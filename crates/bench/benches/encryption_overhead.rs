@@ -1,0 +1,21 @@
+//! §6.2 micro-benchmark: object-encryption overhead (on vs off).
+use criterion::{criterion_group, criterion_main, Criterion};
+use pesos_bench::{run_workload, Config};
+use pesos_core::ExecutionMode;
+use pesos_kinetic::backend::BackendKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encryption_overhead");
+    group.sample_size(10);
+    let config = Config { mode: ExecutionMode::Sgx, backend: BackendKind::Memory };
+    for encrypt in [false, true] {
+        let label = if encrypt { "encrypted" } else { "plaintext" };
+        group.bench_function(label, |b| {
+            b.iter(|| run_workload(config, 1, 1, 4, 200, 600, 1024, encrypt, |_, _| {}))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 10 micro-benchmark: MAL logging at granularity 1 vs 10 vs no log.
+use criterion::{criterion_group, criterion_main, Criterion};
+use pesos_bench::{run_workload, Config, OPEN_POLICY};
+use pesos_core::ExecutionMode;
+use pesos_kinetic::backend::BackendKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_mal_granularity");
+    group.sample_size(10);
+    let config = Config { mode: ExecutionMode::Sgx, backend: BackendKind::Memory };
+    for granularity in [None, Some(1usize), Some(10)] {
+        let label = match granularity {
+            None => "baseline-no-log".to_string(),
+            Some(g) => format!("log-every-{g}"),
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                run_workload(config, 1, 1, 4, 200, 600, 1024, true, |options, controller| {
+                    let admin = controller.register_client("admin");
+                    options.policy_id = Some(controller.put_policy(&admin, OPEN_POLICY).unwrap());
+                    options.mal_granularity = granularity;
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Figure 3 micro-benchmark: per-operation cost of the YCSB-A mix for the
+//! Native-Sim and Pesos-Sim configurations (full client sweep lives in the
+//! `reproduce` binary).
+use criterion::{criterion_group, criterion_main, Criterion};
+use pesos_bench::{run_workload, Config};
+use pesos_core::ExecutionMode;
+use pesos_kinetic::backend::BackendKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_throughput");
+    group.sample_size(10);
+    for mode in [ExecutionMode::Native, ExecutionMode::Sgx] {
+        let config = Config { mode, backend: BackendKind::Memory };
+        group.bench_function(config.label(), |b| {
+            b.iter(|| run_workload(config, 1, 1, 4, 200, 600, 1024, true, |_, _| {}))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Figure 4 micro-benchmark: mean request latency at low concurrency.
+use criterion::{criterion_group, criterion_main, Criterion};
+use pesos_bench::{run_workload, Config};
+use pesos_core::ExecutionMode;
+use pesos_kinetic::backend::BackendKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_latency");
+    group.sample_size(10);
+    for mode in [ExecutionMode::Native, ExecutionMode::Sgx] {
+        let config = Config { mode, backend: BackendKind::Memory };
+        group.bench_function(format!("{}-1client", config.label()), |b| {
+            b.iter(|| run_workload(config, 1, 1, 1, 200, 400, 1024, true, |_, _| {}))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Figure 5 micro-benchmark: throughput with 1 vs 3 simulated disks.
+use criterion::{criterion_group, criterion_main, Criterion};
+use pesos_bench::{run_workload, Config};
+use pesos_core::ExecutionMode;
+use pesos_kinetic::backend::BackendKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_disk_scaling");
+    group.sample_size(10);
+    let config = Config { mode: ExecutionMode::Sgx, backend: BackendKind::Memory };
+    for disks in [1usize, 3] {
+        group.bench_function(format!("pesos-sim-{disks}-disks"), |b| {
+            b.iter(|| run_workload(config, disks, 1, 4, 200, 600, 1024, true, |_, _| {}))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Figure 6 micro-benchmark: payload-size sweep (128 B vs 64 KiB).
+use criterion::{criterion_group, criterion_main, Criterion};
+use pesos_bench::{run_workload, Config};
+use pesos_core::ExecutionMode;
+use pesos_kinetic::backend::BackendKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_payload_size");
+    group.sample_size(10);
+    let config = Config { mode: ExecutionMode::Sgx, backend: BackendKind::Memory };
+    for size in [128usize, 4096, 65536] {
+        group.bench_function(format!("pesos-sim-{size}B"), |b| {
+            b.iter(|| run_workload(config, 1, 1, 4, 200, 400, size, true, |_, _| {}))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

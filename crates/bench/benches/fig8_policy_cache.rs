@@ -1,0 +1,23 @@
+//! Figure 8 micro-benchmark: policy-cache hit vs miss heavy configurations.
+use criterion::{criterion_group, criterion_main, Criterion};
+use pesos_bench::{run_workload, Config, OPEN_POLICY};
+use pesos_core::ExecutionMode;
+use pesos_kinetic::backend::BackendKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_policy_cache");
+    group.sample_size(10);
+    let config = Config { mode: ExecutionMode::Sgx, backend: BackendKind::Memory };
+    group.bench_function("one-policy-all-objects", |b| {
+        b.iter(|| {
+            run_workload(config, 1, 1, 4, 200, 600, 1024, true, |options, controller| {
+                let admin = controller.register_client("admin");
+                options.policy_id = Some(controller.put_policy(&admin, OPEN_POLICY).unwrap());
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

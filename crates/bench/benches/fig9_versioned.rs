@@ -1,0 +1,24 @@
+//! Figure 9 micro-benchmark: versioned-store policy enforcement cost.
+use criterion::{criterion_group, criterion_main, Criterion};
+use pesos_bench::{run_workload, Config, VERSIONED_POLICY};
+use pesos_core::ExecutionMode;
+use pesos_kinetic::backend::BackendKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_versioned");
+    group.sample_size(10);
+    let config = Config { mode: ExecutionMode::Sgx, backend: BackendKind::Memory };
+    group.bench_function("versioned-store", |b| {
+        b.iter(|| {
+            run_workload(config, 1, 1, 4, 200, 600, 1024, true, |options, controller| {
+                let admin = controller.register_client("admin");
+                options.policy_id = Some(controller.put_policy(&admin, VERSIONED_POLICY).unwrap());
+                options.versioned = true;
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Micro-benchmarks of the substrate primitives on the request fast path:
+//! SHA-256, the AEAD, policy compilation and policy evaluation.
+use criterion::{criterion_group, criterion_main, Criterion};
+use pesos_crypto::{sha256, AeadKey};
+use pesos_policy::{compile, Operation, RequestContext, StaticObjectView};
+
+fn bench(c: &mut Criterion) {
+    let payload = vec![7u8; 1024];
+
+    c.bench_function("sha256_1kib", |b| b.iter(|| sha256(&payload)));
+
+    let key = AeadKey::new(&[1u8; 32]);
+    let nonce = pesos_crypto::aead::counter_nonce(1, 1);
+    c.bench_function("aead_seal_1kib", |b| b.iter(|| key.seal(&nonce, b"k", &payload)));
+
+    let policy_src = "read :- sessionKeyIs(\"alice\") or sessionKeyIs(\"bob\")\nupdate :- sessionKeyIs(\"alice\")\ndelete :- sessionKeyIs(\"admin\")";
+    c.bench_function("policy_compile_acl", |b| b.iter(|| compile(policy_src).unwrap()));
+
+    let compiled = compile(policy_src).unwrap();
+    let view = StaticObjectView::default();
+    let ctx = RequestContext::new(Operation::Read).with_session_key("bob");
+    c.bench_function("policy_evaluate_acl", |b| {
+        b.iter(|| compiled.evaluate(Operation::Read, &ctx, &view))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Regenerates every table and figure of the Pesos evaluation.
+//!
+//! ```text
+//! cargo run -p pesos-bench --release --bin reproduce               # all figures, quick scale
+//! cargo run -p pesos-bench --release --bin reproduce -- fig3 fig8  # selected figures
+//! cargo run -p pesos-bench --release --bin reproduce -- --full     # paper-scale sweeps
+//! ```
+
+use pesos_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let want = |name: &str| selected.is_empty() || selected.contains(&name);
+
+    println!("Pesos evaluation reproduction (scale: {scale:?})");
+
+    if want("fig3") {
+        pesos_bench::fig3_throughput(scale);
+    }
+    if want("fig4") {
+        pesos_bench::fig4_latency(scale);
+    }
+    if want("fig5") {
+        pesos_bench::fig5_disk_scaling(scale);
+    }
+    if want("enc") {
+        pesos_bench::encryption_overhead(scale);
+    }
+    if want("fig6") {
+        pesos_bench::fig6_payload_size(scale);
+    }
+    if want("fig7") {
+        pesos_bench::fig7_replication(scale);
+    }
+    if want("fig8") {
+        pesos_bench::fig8_policy_cache(scale);
+    }
+    if want("fig9") {
+        pesos_bench::fig9_versioned(scale);
+    }
+    if want("fig10") {
+        pesos_bench::fig10_mal_granularity(scale);
+    }
+}

@@ -1,0 +1,524 @@
+//! Benchmark harness for the Pesos evaluation (paper §6).
+//!
+//! Each `figN_*` function regenerates the corresponding figure of the paper
+//! as a printed table: the same sweeps (clients, disks, payload sizes,
+//! replication factors, unique-policy counts, MAL log granularities) over
+//! the same four configurations (Native/Pesos × Simulator/Disk). Absolute
+//! numbers depend on the host; the *shapes* — who wins and by roughly what
+//! factor — are what EXPERIMENTS.md records against the paper.
+//!
+//! The `reproduce` binary drives these functions; `cargo bench` runs
+//! Criterion micro-benchmarks built on the same code paths with small
+//! operation counts.
+
+use std::sync::Arc;
+
+use pesos_core::{ControllerConfig, ExecutionMode, PesosController};
+use pesos_kinetic::backend::BackendKind;
+use pesos_ycsb::{RunnerOptions, Summary, Workload, WorkloadRunner, WorkloadSpec};
+
+/// How large a sweep to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small operation counts so the whole suite finishes in minutes.
+    Quick,
+    /// Paper-scale operation counts (100 k operations, 100 k keys).
+    Full,
+}
+
+impl Scale {
+    fn ops(self) -> usize {
+        match self {
+            Scale::Quick => 4_000,
+            Scale::Full => 100_000,
+        }
+    }
+
+    fn records(self) -> usize {
+        match self {
+            Scale::Quick => 2_000,
+            Scale::Full => 100_000,
+        }
+    }
+
+    fn clients_sweep(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![1, 4, 8, 16],
+            Scale::Full => vec![1, 20, 50, 100, 150, 200, 250, 300],
+        }
+    }
+}
+
+/// One benchmark configuration label, matching the paper's legend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Native or Pesos (SGX).
+    pub mode: ExecutionMode,
+    /// Simulator or HDD-model backend.
+    pub backend: BackendKind,
+}
+
+impl Config {
+    /// The four configurations of Figures 3–5.
+    pub fn all() -> [Config; 4] {
+        [
+            Config { mode: ExecutionMode::Native, backend: BackendKind::Memory },
+            Config { mode: ExecutionMode::Sgx, backend: BackendKind::Memory },
+            Config { mode: ExecutionMode::Native, backend: BackendKind::Hdd },
+            Config { mode: ExecutionMode::Sgx, backend: BackendKind::Hdd },
+        ]
+    }
+
+    /// The two simulator-only configurations (Figures 7–10).
+    pub fn simulator_only() -> [Config; 2] {
+        [
+            Config { mode: ExecutionMode::Native, backend: BackendKind::Memory },
+            Config { mode: ExecutionMode::Sgx, backend: BackendKind::Memory },
+        ]
+    }
+
+    /// Label such as "Native Sim" or "Pesos Disk".
+    pub fn label(&self) -> String {
+        let backend = match self.backend {
+            BackendKind::Memory => "Sim",
+            BackendKind::Hdd => "Disk",
+        };
+        format!("{} {}", self.mode.label(), backend)
+    }
+
+    fn controller_config(&self, drives: usize) -> ControllerConfig {
+        match (self.mode, self.backend) {
+            (ExecutionMode::Native, BackendKind::Memory) => {
+                ControllerConfig::native_simulator(drives)
+            }
+            (ExecutionMode::Sgx, BackendKind::Memory) => ControllerConfig::sgx_simulator(drives),
+            (ExecutionMode::Native, BackendKind::Hdd) => ControllerConfig::native_disk(drives),
+            (ExecutionMode::Sgx, BackendKind::Hdd) => ControllerConfig::sgx_disk(drives),
+        }
+    }
+}
+
+/// A single measured data point.
+#[derive(Debug, Clone)]
+pub struct DataPoint {
+    /// Configuration label.
+    pub config: String,
+    /// The swept parameter value (clients, disks, bytes, ...).
+    pub x: f64,
+    /// Throughput in KIOP/s.
+    pub kiops: f64,
+    /// Mean latency in milliseconds.
+    pub latency_ms: f64,
+}
+
+/// Builds a controller, loads the key space and replays the workload once.
+#[allow(clippy::too_many_arguments)]
+pub fn run_workload(
+    config: Config,
+    drives: usize,
+    replication: usize,
+    clients: usize,
+    records: usize,
+    ops: usize,
+    value_size: usize,
+    encrypt: bool,
+    options_tweak: impl FnOnce(&mut RunnerOptions, &Arc<PesosController>),
+) -> Summary {
+    let mut controller_config = config.controller_config(drives);
+    controller_config.replication_factor = replication;
+    controller_config.encrypt_objects = encrypt;
+    let controller = Arc::new(PesosController::new(controller_config).expect("bootstrap"));
+
+    let spec = WorkloadSpec {
+        workload: Workload::A,
+        record_count: records,
+        operation_count: ops,
+        value_size,
+        seed: 42,
+    };
+    let runner = WorkloadRunner::new(Arc::clone(&controller), spec);
+    let mut options = RunnerOptions {
+        clients,
+        ..RunnerOptions::default()
+    };
+    options_tweak(&mut options, &controller);
+    runner.load(&options).expect("load phase");
+    runner.run(&options)
+}
+
+fn print_header(title: &str, x_label: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!(
+        "{:<22} {:>10} {:>14} {:>14}",
+        "config", x_label, "KIOP/s", "latency(ms)"
+    );
+}
+
+fn print_point(p: &DataPoint) {
+    println!(
+        "{:<22} {:>10} {:>14.2} {:>14.3}",
+        p.config, p.x, p.kiops, p.latency_ms
+    );
+}
+
+/// A policy that admits every authenticated client; used where the paper
+/// measures mechanisms other than access control.
+pub const OPEN_POLICY: &str =
+    "read :- sessionKeyIs(U)\nupdate :- sessionKeyIs(U)\ndelete :- sessionKeyIs(U)";
+
+/// The versioned-store policy of §5.3 / Figure 9.
+pub const VERSIONED_POLICY: &str = "update :- ( objId(this, O) and currVersion(O, CV) and nextVersion(CV + 1) ) or ( objId(this, NULL) and nextVersion(0) )\nread :- sessionKeyIs(U)";
+
+/// Figure 3: throughput vs number of clients for the four configurations.
+pub fn fig3_throughput(scale: Scale) -> Vec<DataPoint> {
+    let mut out = Vec::new();
+    print_header("Figure 3: throughput vs clients (YCSB-A, 1 KiB)", "clients");
+    for config in Config::all() {
+        // Disk-backed configurations are severely IOP-limited; scale the
+        // operation count down so the sweep completes in reasonable time.
+        let (ops, records) = match config.backend {
+            BackendKind::Memory => (scale.ops(), scale.records()),
+            BackendKind::Hdd => ((scale.ops() / 16).max(200), (scale.records() / 16).max(100)),
+        };
+        for &clients in &scale.clients_sweep() {
+            let summary =
+                run_workload(config, 1, 1, clients, records, ops, 1024, true, |_, _| {});
+            let point = DataPoint {
+                config: config.label(),
+                x: clients as f64,
+                kiops: summary.throughput_kiops(),
+                latency_ms: summary.mean_latency_ms(),
+            };
+            print_point(&point);
+            out.push(point);
+        }
+    }
+    out
+}
+
+/// Figure 4: latency vs number of clients (simulator configurations; the
+/// latency column is the figure).
+pub fn fig4_latency(scale: Scale) -> Vec<DataPoint> {
+    let mut out = Vec::new();
+    print_header("Figure 4: latency vs clients (simulator)", "clients");
+    for config in Config::simulator_only() {
+        for &clients in &scale.clients_sweep() {
+            let summary = run_workload(
+                config,
+                1,
+                1,
+                clients,
+                scale.records(),
+                scale.ops(),
+                1024,
+                true,
+                |_, _| {},
+            );
+            let point = DataPoint {
+                config: config.label(),
+                x: clients as f64,
+                kiops: summary.throughput_kiops(),
+                latency_ms: summary.mean_latency_ms(),
+            };
+            print_point(&point);
+            out.push(point);
+        }
+    }
+    out
+}
+
+/// Figure 5: scalability with the number of disks.
+pub fn fig5_disk_scaling(scale: Scale) -> Vec<DataPoint> {
+    let mut out = Vec::new();
+    print_header("Figure 5: throughput vs number of disks (1 KiB)", "disks");
+    for config in Config::all() {
+        let (ops, records) = match config.backend {
+            BackendKind::Memory => (scale.ops(), scale.records()),
+            BackendKind::Hdd => ((scale.ops() / 16).max(200), (scale.records() / 16).max(100)),
+        };
+        for disks in 1..=3usize {
+            let clients = scale.clients_sweep().last().copied().unwrap_or(8);
+            let summary = run_workload(
+                config,
+                disks,
+                1,
+                clients * disks,
+                records,
+                ops * disks,
+                1024,
+                true,
+                |_, _| {},
+            );
+            let point = DataPoint {
+                config: config.label(),
+                x: disks as f64,
+                kiops: summary.throughput_kiops(),
+                latency_ms: summary.mean_latency_ms(),
+            };
+            print_point(&point);
+            out.push(point);
+        }
+    }
+    out
+}
+
+/// §6.2 text: payload-encryption overhead at 1 KiB.
+pub fn encryption_overhead(scale: Scale) -> Vec<DataPoint> {
+    let mut out = Vec::new();
+    print_header("Encryption overhead (Pesos Sim, 1 KiB)", "encrypted");
+    for (label, encrypt) in [("plaintext", false), ("encrypted", true)] {
+        let config = Config {
+            mode: ExecutionMode::Sgx,
+            backend: BackendKind::Memory,
+        };
+        let clients = *scale.clients_sweep().last().unwrap();
+        let summary = run_workload(
+            config,
+            1,
+            1,
+            clients,
+            scale.records(),
+            scale.ops(),
+            1024,
+            encrypt,
+            |_, _| {},
+        );
+        let point = DataPoint {
+            config: format!("Pesos Sim {label}"),
+            x: u64::from(encrypt) as f64,
+            kiops: summary.throughput_kiops(),
+            latency_ms: summary.mean_latency_ms(),
+        };
+        print_point(&point);
+        out.push(point);
+    }
+    out
+}
+
+/// Figure 6: throughput vs payload size (128 B – 64 KiB).
+pub fn fig6_payload_size(scale: Scale) -> Vec<DataPoint> {
+    let mut out = Vec::new();
+    print_header("Figure 6: throughput vs payload size", "bytes");
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![128, 1024, 8192, 65_536],
+        Scale::Full => vec![128, 256, 512, 1024, 2048, 4096, 8192, 16_384, 32_768, 65_536],
+    };
+    for config in Config::simulator_only() {
+        for &size in &sizes {
+            let clients = match scale {
+                Scale::Quick => 8,
+                Scale::Full => 100,
+            };
+            // Bound total bytes moved for the largest payloads.
+            let ops = (scale.ops() * 1024 / size.max(1024)).max(500);
+            let records = scale.records().min(ops);
+            let summary =
+                run_workload(config, 1, 1, clients, records, ops, size, true, |_, _| {});
+            let point = DataPoint {
+                config: config.label(),
+                x: size as f64,
+                kiops: summary.throughput_kiops(),
+                latency_ms: summary.mean_latency_ms(),
+            };
+            print_point(&point);
+            out.push(point);
+        }
+    }
+    out
+}
+
+/// Figure 7: replication effect (each object replicated to all drives).
+pub fn fig7_replication(scale: Scale) -> Vec<DataPoint> {
+    let mut out = Vec::new();
+    print_header("Figure 7: replication to all disks (simulator)", "disks");
+    for config in Config::simulator_only() {
+        for disks in 1..=4usize {
+            let clients = *scale.clients_sweep().last().unwrap();
+            let summary = run_workload(
+                config,
+                disks,
+                disks,
+                clients,
+                scale.records(),
+                scale.ops(),
+                1024,
+                true,
+                |_, _| {},
+            );
+            let point = DataPoint {
+                config: config.label(),
+                x: disks as f64,
+                kiops: summary.throughput_kiops(),
+                latency_ms: summary.mean_latency_ms(),
+            };
+            print_point(&point);
+            out.push(point);
+        }
+    }
+    out
+}
+
+/// Figure 8: throughput vs number of unique policies (policy-cache effect).
+pub fn fig8_policy_cache(scale: Scale) -> Vec<DataPoint> {
+    let mut out = Vec::new();
+    print_header("Figure 8: unique policies vs throughput", "policies");
+    // Scale the cache and the policy counts together so the collapse beyond
+    // the cache capacity is visible at quick scale too.
+    let (cache_capacity, policy_counts): (usize, Vec<usize>) = match scale {
+        Scale::Quick => (500, vec![1, 100, 400, 800, 1500]),
+        Scale::Full => (
+            50_000,
+            vec![1, 10_000, 30_000, 50_000, 60_000, 80_000, 100_000],
+        ),
+    };
+    for config in Config::simulator_only() {
+        for &count in &policy_counts {
+            let mut controller_config = config.controller_config(1);
+            controller_config.policy_cache_capacity = cache_capacity;
+            let controller = Arc::new(PesosController::new(controller_config).expect("bootstrap"));
+            let admin = controller.register_client("admin");
+            let pool: Vec<_> = (0..count)
+                .map(|i| {
+                    controller
+                        .put_policy(
+                            &admin,
+                            &format!(
+                                "read :- sessionKeyIs(U) and ge({i}, 0)\n\
+                                 update :- sessionKeyIs(U) and ge({i}, 0)\n\
+                                 delete :- sessionKeyIs(U)"
+                            ),
+                        )
+                        .expect("policy")
+                })
+                .collect();
+            let spec = WorkloadSpec {
+                workload: Workload::A,
+                record_count: scale.records(),
+                operation_count: scale.ops(),
+                value_size: 1024,
+                seed: 42,
+            };
+            let runner = WorkloadRunner::new(Arc::clone(&controller), spec);
+            let options = RunnerOptions {
+                clients: *scale.clients_sweep().last().unwrap(),
+                policy_pool: pool,
+                ..RunnerOptions::default()
+            };
+            runner.load(&options).expect("load");
+            let summary = runner.run(&options);
+            let point = DataPoint {
+                config: config.label(),
+                x: count as f64,
+                kiops: summary.throughput_kiops(),
+                latency_ms: summary.mean_latency_ms(),
+            };
+            print_point(&point);
+            out.push(point);
+        }
+    }
+    out
+}
+
+/// Figure 9: versioned-storage use case, throughput vs clients.
+pub fn fig9_versioned(scale: Scale) -> Vec<DataPoint> {
+    let mut out = Vec::new();
+    print_header("Figure 9: versioned store vs clients (simulator)", "clients");
+    for config in Config::simulator_only() {
+        for &clients in &scale.clients_sweep() {
+            let summary = run_workload(
+                config,
+                1,
+                1,
+                clients,
+                scale.records(),
+                scale.ops(),
+                1024,
+                true,
+                |options, controller| {
+                    let admin = controller.register_client("admin");
+                    options.policy_id = Some(
+                        controller
+                            .put_policy(&admin, VERSIONED_POLICY)
+                            .expect("policy"),
+                    );
+                    options.versioned = true;
+                },
+            );
+            let point = DataPoint {
+                config: config.label(),
+                x: clients as f64,
+                kiops: summary.throughput_kiops(),
+                latency_ms: summary.mean_latency_ms(),
+            };
+            print_point(&point);
+            out.push(point);
+        }
+    }
+    out
+}
+
+/// Figure 10: mandatory access logging, throughput vs log granularity.
+pub fn fig10_mal_granularity(scale: Scale) -> Vec<DataPoint> {
+    let mut out = Vec::new();
+    print_header("Figure 10: MAL log granularity (simulator)", "granularity");
+    let granularities: Vec<Option<usize>> = vec![None, Some(1), Some(10), Some(50), Some(100)];
+    for config in Config::simulator_only() {
+        for &granularity in &granularities {
+            let clients = *scale.clients_sweep().last().unwrap();
+            let summary = run_workload(
+                config,
+                1,
+                1,
+                clients,
+                scale.records(),
+                scale.ops(),
+                1024,
+                true,
+                |options, controller| {
+                    let admin = controller.register_client("admin");
+                    options.policy_id =
+                        Some(controller.put_policy(&admin, OPEN_POLICY).expect("policy"));
+                    options.mal_granularity = granularity;
+                },
+            );
+            let point = DataPoint {
+                config: format!(
+                    "{}{}",
+                    config.label(),
+                    if granularity.is_none() { " base" } else { "" }
+                ),
+                x: granularity.unwrap_or(0) as f64,
+                kiops: summary.throughput_kiops(),
+                latency_ms: summary.mean_latency_ms(),
+            };
+            print_point(&point);
+            out.push(point);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_labels() {
+        let labels: Vec<String> = Config::all().iter().map(|c| c.label()).collect();
+        assert!(labels.contains(&"Native Sim".to_string()));
+        assert!(labels.contains(&"Pesos Disk".to_string()));
+        assert_eq!(Config::simulator_only().len(), 2);
+    }
+
+    #[test]
+    fn run_workload_produces_throughput() {
+        let config = Config {
+            mode: ExecutionMode::Native,
+            backend: BackendKind::Memory,
+        };
+        let summary = run_workload(config, 1, 1, 2, 100, 300, 256, true, |_, _| {});
+        assert_eq!(summary.operations, 300);
+        assert!(summary.throughput_ops() > 0.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Controller configuration.
+
+use pesos_kinetic::backend::BackendKind;
+use pesos_sgx::{EnclaveConfig, ExecutionMode, SgxCostModel};
+
+/// Static configuration of one Pesos controller instance.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Whether the controller runs natively or inside the simulated enclave.
+    pub mode: ExecutionMode,
+    /// The SGX cost model applied in [`ExecutionMode::Sgx`].
+    pub cost_model: SgxCostModel,
+    /// Enclave parameters (measurement inputs, heap size, threads).
+    pub enclave: EnclaveConfig,
+    /// Number of Kinetic drives to create/attach.
+    pub drive_count: usize,
+    /// Timing backend used by the drives.
+    pub drive_backend: BackendKind,
+    /// Replication factor (1 = no replication).
+    pub replication_factor: usize,
+    /// Encrypt object payloads before writing them to the drives.
+    pub encrypt_objects: bool,
+    /// Capacity of the policy cache in entries (paper: 50 000).
+    pub policy_cache_capacity: usize,
+    /// Budget of the object cache in bytes (paper: bounded well below EPC).
+    pub object_cache_bytes: usize,
+    /// Number of asynchronous results retained per controller (paper: 2048).
+    pub result_buffer_capacity: usize,
+    /// Worker threads handling requests inside the enclave.
+    pub worker_threads: usize,
+    /// Untrusted system-call service threads.
+    pub syscall_threads: usize,
+    /// Session soft-state expiry in seconds.
+    pub session_expiry_secs: u64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            mode: ExecutionMode::Sgx,
+            cost_model: SgxCostModel::default(),
+            enclave: EnclaveConfig::default(),
+            drive_count: 1,
+            drive_backend: BackendKind::Memory,
+            replication_factor: 1,
+            encrypt_objects: true,
+            policy_cache_capacity: 50_000,
+            object_cache_bytes: 16 * 1024 * 1024,
+            result_buffer_capacity: 2048,
+            worker_threads: 4,
+            syscall_threads: 4,
+            session_expiry_secs: 600,
+        }
+    }
+}
+
+impl ControllerConfig {
+    /// Configuration mirroring the paper's "Pesos Sim" setup: SGX costs on,
+    /// in-memory drive backend.
+    pub fn sgx_simulator(drives: usize) -> Self {
+        ControllerConfig {
+            mode: ExecutionMode::Sgx,
+            drive_count: drives,
+            drive_backend: BackendKind::Memory,
+            ..ControllerConfig::default()
+        }
+    }
+
+    /// Configuration mirroring the paper's "Native Sim" setup.
+    pub fn native_simulator(drives: usize) -> Self {
+        ControllerConfig {
+            mode: ExecutionMode::Native,
+            cost_model: SgxCostModel::zero(),
+            drive_count: drives,
+            drive_backend: BackendKind::Memory,
+            ..ControllerConfig::default()
+        }
+    }
+
+    /// Configuration mirroring the paper's "Pesos Disk" setup (HDD model).
+    pub fn sgx_disk(drives: usize) -> Self {
+        ControllerConfig {
+            mode: ExecutionMode::Sgx,
+            drive_count: drives,
+            drive_backend: BackendKind::Hdd,
+            ..ControllerConfig::default()
+        }
+    }
+
+    /// Configuration mirroring the paper's "Native Disk" setup.
+    pub fn native_disk(drives: usize) -> Self {
+        ControllerConfig {
+            mode: ExecutionMode::Native,
+            cost_model: SgxCostModel::zero(),
+            drive_count: drives,
+            drive_backend: BackendKind::Hdd,
+            ..ControllerConfig::default()
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), crate::error::PesosError> {
+        if self.drive_count == 0 {
+            return Err(crate::error::PesosError::BadRequest(
+                "drive_count must be at least 1".into(),
+            ));
+        }
+        if self.replication_factor == 0 || self.replication_factor > self.drive_count {
+            return Err(crate::error::PesosError::BadRequest(format!(
+                "replication_factor {} must be in 1..={}",
+                self.replication_factor, self.drive_count
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_configurations() {
+        let s = ControllerConfig::sgx_simulator(3);
+        assert_eq!(s.mode, ExecutionMode::Sgx);
+        assert_eq!(s.drive_backend, BackendKind::Memory);
+        assert_eq!(s.drive_count, 3);
+        let n = ControllerConfig::native_disk(2);
+        assert_eq!(n.mode, ExecutionMode::Native);
+        assert_eq!(n.drive_backend, BackendKind::Hdd);
+        assert_eq!(ControllerConfig::default().result_buffer_capacity, 2048);
+        assert_eq!(ControllerConfig::default().policy_cache_capacity, 50_000);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ControllerConfig::default().validate().is_ok());
+        let mut c = ControllerConfig::default();
+        c.drive_count = 0;
+        assert!(c.validate().is_err());
+        let mut c = ControllerConfig::sgx_simulator(2);
+        c.replication_factor = 3;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,890 @@
+//! The Pesos controller: request handling and unified policy enforcement.
+//!
+//! Every client operation flows through [`PesosController::handle`] (or the
+//! typed convenience methods it is built from): the session is looked up,
+//! the object's associated policy is fetched (policy cache → drive), the
+//! policy interpreter decides, and only then is the storage layer invoked —
+//! the single enforcement layer the paper argues for. Asynchronous writes
+//! are acknowledged immediately with an operation identifier and executed on
+//! enclave worker threads; their results land in the bounded result buffer.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pesos_crypto::Certificate;
+use pesos_policy::{Operation, PolicyId, RequestContext, Value};
+use pesos_sgx::UserScheduler;
+use pesos_wire::{RestMethod, RestRequest, RestResponse, RestStatus};
+use rand::RngCore;
+
+use crate::bootstrap::{bootstrap, BootstrapReport};
+use crate::config::ControllerConfig;
+use crate::encryption::ObjectCrypter;
+use crate::error::PesosError;
+use crate::metrics::ControllerMetrics;
+use crate::request::{ClientRequest, ClientResponse};
+use crate::result_buffer::{AsyncResult, ResultBuffer};
+use crate::session::SessionManager;
+use crate::store::PesosStore;
+use crate::transaction::{TransactionManager, TxOutcome, TxWrite};
+
+/// Suffix used to derive an object's associated log key for MAL policies.
+pub const LOG_SUFFIX: &str = ".log";
+
+/// The Pesos controller.
+pub struct PesosController {
+    config: ControllerConfig,
+    store: Arc<PesosStore>,
+    sessions: SessionManager,
+    transactions: TransactionManager,
+    results: Arc<ResultBuffer>,
+    scheduler: UserScheduler,
+    metrics: ControllerMetrics,
+    clock: AtomicU64,
+    report: BootstrapReport,
+    tx_outcomes: Mutex<HashMap<u64, TxOutcome>>,
+}
+
+impl PesosController {
+    /// Bootstraps a controller: attestation, secret provisioning, exclusive
+    /// drive takeover, cache construction.
+    pub fn new(config: ControllerConfig) -> Result<Self, PesosError> {
+        let outcome = bootstrap(&config)?;
+        let crypter = ObjectCrypter::new(&outcome.secrets.storage_master_key, config.encrypt_objects);
+        let store = Arc::new(PesosStore::new(
+            outcome.drives,
+            outcome.clients,
+            crypter,
+            config.object_cache_bytes,
+            config.policy_cache_capacity,
+            config.replication_factor,
+            outcome.asyscall,
+            outcome.enclave,
+        ));
+        Ok(PesosController {
+            sessions: SessionManager::new(config.session_expiry_secs),
+            transactions: TransactionManager::new(),
+            results: Arc::new(ResultBuffer::new(config.result_buffer_capacity)),
+            scheduler: UserScheduler::new(config.worker_threads),
+            metrics: ControllerMetrics::new(),
+            clock: AtomicU64::new(1),
+            report: outcome.report,
+            tx_outcomes: Mutex::new(HashMap::new()),
+            store,
+            config,
+        })
+    }
+
+    /// The bootstrap report (measurement, drives, device certificates).
+    pub fn report(&self) -> &BootstrapReport {
+        &self.report
+    }
+
+    /// The controller configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// Direct access to the storage layer (used by benchmarks and tests).
+    pub fn store(&self) -> &Arc<PesosStore> {
+        &self.store
+    }
+
+    /// A snapshot of the controller metrics.
+    pub fn metrics(&self) -> crate::metrics::MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Sets the controller's logical time (seconds). Time-based policies and
+    /// session expiry use this clock so tests and examples are
+    /// deterministic.
+    pub fn set_time(&self, now: u64) {
+        self.clock.store(now, Ordering::SeqCst);
+    }
+
+    /// The controller's current logical time.
+    pub fn now(&self) -> u64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+
+    // ------------------------------------------------------------------
+    // Sessions
+    // ------------------------------------------------------------------
+
+    /// Registers a client by a stable identifier (e.g. a user name in tests
+    /// or the certificate fingerprint in production) and opens its session.
+    pub fn register_client(&self, client_id: &str) -> String {
+        self.sessions.connect(client_id, client_id, self.now());
+        client_id.to_string()
+    }
+
+    /// Registers a client from its TLS certificate; the session identity is
+    /// the hex fingerprint of the certificate's public key, which is what
+    /// `sessionKeyIs` policies compare against.
+    pub fn register_client_with_certificate(
+        &self,
+        cert: &Certificate,
+    ) -> Result<String, PesosError> {
+        cert.verify_signature()
+            .map_err(|e| PesosError::NoSession(format!("invalid client certificate: {e}")))?;
+        let id = pesos_crypto::hex_encode(&cert.subject_key.to_bytes());
+        self.sessions.connect(&id, &cert.subject, self.now());
+        Ok(id)
+    }
+
+    /// Issues a freshness nonce to a client for time-certificate requests.
+    pub fn issue_nonce(&self, client_id: &str) -> Result<Vec<u8>, PesosError> {
+        let mut nonce = vec![0u8; 16];
+        rand::thread_rng().fill_bytes(&mut nonce);
+        if self.sessions.issue_nonce(client_id, nonce.clone()) {
+            Ok(nonce)
+        } else {
+            Err(PesosError::NoSession(client_id.to_string()))
+        }
+    }
+
+    /// Expires idle sessions; returns the number dropped.
+    pub fn expire_sessions(&self) -> usize {
+        self.sessions.expire(self.now())
+    }
+
+    fn require_session(&self, client_id: &str) -> Result<(), PesosError> {
+        if self.sessions.touch(client_id, self.now()) {
+            Ok(())
+        } else {
+            Err(PesosError::NoSession(client_id.to_string()))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Policy enforcement
+    // ------------------------------------------------------------------
+
+    fn check_policy(
+        &self,
+        operation: Operation,
+        key: &str,
+        client_id: &str,
+        certificates: &[Certificate],
+        next_version: Option<u64>,
+        new_object_hash: Option<Vec<u8>>,
+    ) -> Result<(), PesosError> {
+        let Some(meta) = self.store.get_metadata(key) else {
+            // No object yet: creation is governed by the policy supplied with
+            // the put (if any); there is nothing to check here.
+            return Ok(());
+        };
+        let Some(policy_id) = meta.policy_id else {
+            return Ok(());
+        };
+        let policy = self.store.load_policy(&policy_id)?;
+
+        let mut ctx = RequestContext::new(operation)
+            .with_session_key(client_id)
+            .with_now(self.now())
+            .bind(pesos_policy::parser::THIS_VAR, Value::Str(key.to_string()))
+            .bind(
+                pesos_policy::parser::LOG_VAR,
+                Value::Str(format!("{key}{LOG_SUFFIX}")),
+            );
+        if let Some(v) = next_version {
+            ctx = ctx.with_next_version(v);
+        }
+        if let Some(h) = new_object_hash {
+            ctx = ctx.with_new_object_hash(h);
+        }
+        if let Some(session) = self.sessions.get(client_id) {
+            if let Some(nonce) = session.issued_nonce {
+                ctx = ctx.with_freshness_nonce(nonce);
+            }
+        }
+        for cert in certificates {
+            ctx = ctx.with_certificate(cert.clone());
+        }
+
+        let decision = policy.evaluate(operation, &ctx, &self.store.view());
+        if decision.allowed {
+            Ok(())
+        } else {
+            ControllerMetrics::bump(&self.metrics.policy_denials);
+            Err(PesosError::PolicyDenied(decision.reason))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Typed operations
+    // ------------------------------------------------------------------
+
+    /// Installs a policy and returns its identifier.
+    pub fn put_policy(&self, client_id: &str, source: &str) -> Result<PolicyId, PesosError> {
+        self.require_session(client_id)?;
+        ControllerMetrics::bump(&self.metrics.requests);
+        self.store.put_policy(source)
+    }
+
+    /// Stores an object (optionally associating a policy), enforcing the
+    /// update permission of any existing policy. Returns the new version.
+    pub fn put(
+        &self,
+        client_id: &str,
+        key: &str,
+        value: Vec<u8>,
+        policy_id: Option<PolicyId>,
+        expected_version: Option<u64>,
+        certificates: &[Certificate],
+    ) -> Result<u64, PesosError> {
+        self.require_session(client_id)?;
+        ControllerMetrics::bump(&self.metrics.requests);
+        ControllerMetrics::bump(&self.metrics.writes);
+
+        let current = self.store.get_metadata(key);
+        let default_next = current
+            .as_ref()
+            .map(|m| m.latest_version + 1)
+            .unwrap_or(0);
+        let next_version = expected_version.unwrap_or(default_next);
+        let new_hash = pesos_crypto::sha256(&value).to_vec();
+        self.check_policy(
+            Operation::Update,
+            key,
+            client_id,
+            certificates,
+            Some(next_version),
+            Some(new_hash),
+        )?;
+
+        if let Some(id) = &policy_id {
+            // The referenced policy must exist before it can be attached.
+            self.store.load_policy(id)?;
+        }
+        self.store.put_object(key, &value, policy_id)
+    }
+
+    /// Stores an object asynchronously; returns the operation identifier the
+    /// client can poll. The policy check happens synchronously before the
+    /// request is acknowledged, as in the paper's request flow.
+    pub fn put_async(
+        &self,
+        client_id: &str,
+        key: &str,
+        value: Vec<u8>,
+        policy_id: Option<PolicyId>,
+        expected_version: Option<u64>,
+        certificates: &[Certificate],
+    ) -> Result<u64, PesosError> {
+        self.require_session(client_id)?;
+        ControllerMetrics::bump(&self.metrics.requests);
+        ControllerMetrics::bump(&self.metrics.writes);
+        ControllerMetrics::bump(&self.metrics.async_accepted);
+
+        let current = self.store.get_metadata(key);
+        let default_next = current
+            .as_ref()
+            .map(|m| m.latest_version + 1)
+            .unwrap_or(0);
+        let next_version = expected_version.unwrap_or(default_next);
+        let new_hash = pesos_crypto::sha256(&value).to_vec();
+        self.check_policy(
+            Operation::Update,
+            key,
+            client_id,
+            certificates,
+            Some(next_version),
+            Some(new_hash),
+        )?;
+        if let Some(id) = &policy_id {
+            self.store.load_policy(id)?;
+        }
+
+        let op_id = self.results.register(client_id);
+        let store = Arc::clone(&self.store);
+        let results = Arc::clone(&self.results);
+        let key = key.to_string();
+        self.scheduler.spawn(move || {
+            let outcome = match store.put_object(&key, &value, policy_id) {
+                Ok(version) => AsyncResult::Completed {
+                    version: Some(version),
+                },
+                Err(e) => AsyncResult::Failed {
+                    reason: e.to_string(),
+                },
+            };
+            results.complete(op_id, outcome);
+        });
+        Ok(op_id)
+    }
+
+    /// Retrieves the latest version of an object, enforcing the read
+    /// permission.
+    pub fn get(
+        &self,
+        client_id: &str,
+        key: &str,
+        certificates: &[Certificate],
+    ) -> Result<(Arc<Vec<u8>>, u64), PesosError> {
+        self.require_session(client_id)?;
+        ControllerMetrics::bump(&self.metrics.requests);
+        ControllerMetrics::bump(&self.metrics.reads);
+        self.check_policy(Operation::Read, key, client_id, certificates, None, None)?;
+        self.store.get_object(key)
+    }
+
+    /// Retrieves a specific stored version (history read for versioned
+    /// objects), enforcing the read permission.
+    pub fn get_version(
+        &self,
+        client_id: &str,
+        key: &str,
+        version: u64,
+        certificates: &[Certificate],
+    ) -> Result<Vec<u8>, PesosError> {
+        self.require_session(client_id)?;
+        ControllerMetrics::bump(&self.metrics.requests);
+        ControllerMetrics::bump(&self.metrics.reads);
+        self.check_policy(Operation::Read, key, client_id, certificates, None, None)?;
+        self.store.get_object_version(key, version)
+    }
+
+    /// Deletes an object, enforcing the delete permission.
+    pub fn delete(
+        &self,
+        client_id: &str,
+        key: &str,
+        certificates: &[Certificate],
+    ) -> Result<(), PesosError> {
+        self.require_session(client_id)?;
+        ControllerMetrics::bump(&self.metrics.requests);
+        ControllerMetrics::bump(&self.metrics.deletes);
+        self.check_policy(Operation::Delete, key, client_id, certificates, None, None)?;
+        self.store.delete_object(key)
+    }
+
+    /// Attaches an existing policy to an existing object (a policy change is
+    /// treated as an update of the object, per §3.3).
+    pub fn attach_policy(
+        &self,
+        client_id: &str,
+        key: &str,
+        policy_id: PolicyId,
+        certificates: &[Certificate],
+    ) -> Result<(), PesosError> {
+        self.require_session(client_id)?;
+        ControllerMetrics::bump(&self.metrics.requests);
+        self.check_policy(Operation::Update, key, client_id, certificates, None, None)?;
+        self.store.load_policy(&policy_id)?;
+        self.store.attach_policy(key, policy_id)
+    }
+
+    /// Polls the result of an asynchronous operation.
+    pub fn poll_result(&self, client_id: &str, operation_id: u64) -> Option<AsyncResult> {
+        self.results.poll(client_id, operation_id)
+    }
+
+    /// Waits (bounded) for all scheduled asynchronous work to finish; used
+    /// by benchmarks to drain before measuring.
+    pub fn drain_async(&self) {
+        self.scheduler.wait_idle();
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Begins a transaction and returns its handle.
+    pub fn create_tx(&self, client_id: &str) -> Result<u64, PesosError> {
+        self.require_session(client_id)?;
+        Ok(self.transactions.create(client_id))
+    }
+
+    /// Adds a read to a transaction.
+    pub fn add_read(&self, client_id: &str, tx_id: u64, key: &str) -> Result<(), PesosError> {
+        self.require_session(client_id)?;
+        self.transactions.add_read(tx_id, client_id, key)
+    }
+
+    /// Adds a write to a transaction.
+    pub fn add_write(
+        &self,
+        client_id: &str,
+        tx_id: u64,
+        key: &str,
+        value: Vec<u8>,
+    ) -> Result<(), PesosError> {
+        self.require_session(client_id)?;
+        self.transactions.add_write(
+            tx_id,
+            client_id,
+            TxWrite {
+                key: key.to_string(),
+                value,
+                policy_id: None,
+            },
+        )
+    }
+
+    /// Aborts a transaction.
+    pub fn abort_tx(&self, client_id: &str, tx_id: u64) -> Result<(), PesosError> {
+        self.require_session(client_id)?;
+        ControllerMetrics::bump(&self.metrics.tx_aborted);
+        self.transactions.abort(tx_id, client_id)
+    }
+
+    /// Commits a transaction with full policy enforcement on every buffered
+    /// read and write. All writes are applied atomically with respect to
+    /// other transactions on the same keys.
+    pub fn commit_tx(&self, client_id: &str, tx_id: u64) -> Result<TxOutcome, PesosError> {
+        self.require_session(client_id)?;
+        let store = Arc::clone(&self.store);
+        let outcome = self.transactions.commit(tx_id, client_id, |reads, writes| {
+            // Policy checks first so a denial aborts before any write.
+            for write in writes {
+                let next = store
+                    .get_metadata(&write.key)
+                    .map(|m| m.latest_version + 1)
+                    .unwrap_or(0);
+                self.check_policy(
+                    Operation::Update,
+                    &write.key,
+                    client_id,
+                    &[],
+                    Some(next),
+                    Some(pesos_crypto::sha256(&write.value).to_vec()),
+                )?;
+            }
+            for key in reads {
+                self.check_policy(Operation::Read, key, client_id, &[], None, None)?;
+            }
+            let mut outcome = TxOutcome::default();
+            for key in reads {
+                let (value, _) = store.get_object(key)?;
+                outcome.read_values.push((*value).clone());
+            }
+            for write in writes {
+                let version = store.put_object(&write.key, &write.value, None)?;
+                outcome.write_versions.push(version);
+            }
+            Ok(outcome)
+        });
+        match outcome {
+            Ok(out) => {
+                ControllerMetrics::bump(&self.metrics.tx_committed);
+                self.tx_outcomes.lock().insert(tx_id, out.clone());
+                Ok(out)
+            }
+            Err(e) => {
+                ControllerMetrics::bump(&self.metrics.tx_aborted);
+                Err(e)
+            }
+        }
+    }
+
+    /// Returns the outcome of a previously committed transaction.
+    pub fn check_results(&self, client_id: &str, tx_id: u64) -> Result<TxOutcome, PesosError> {
+        self.require_session(client_id)?;
+        self.tx_outcomes
+            .lock()
+            .get(&tx_id)
+            .cloned()
+            .ok_or_else(|| PesosError::TransactionAborted(format!("no results for tx {tx_id}")))
+    }
+
+    // ------------------------------------------------------------------
+    // REST dispatch
+    // ------------------------------------------------------------------
+
+    /// Handles a REST request for an authenticated client.
+    pub fn handle(&self, client_id: &str, request: ClientRequest) -> ClientResponse {
+        match self.dispatch(client_id, &request) {
+            Ok(response) => response,
+            Err(e) => error_response(e),
+        }
+    }
+
+    fn dispatch(
+        &self,
+        client_id: &str,
+        request: &ClientRequest,
+    ) -> Result<ClientResponse, PesosError> {
+        let rest: &RestRequest = &request.rest;
+        let certs = &request.certificates;
+        match rest.method {
+            RestMethod::Status => Ok(RestResponse::ok(b"pesos: ok".to_vec())),
+            RestMethod::PutPolicy => {
+                let source = String::from_utf8(rest.value.clone())
+                    .map_err(|_| PesosError::BadRequest("policy text must be UTF-8".into()))?;
+                let id = self.put_policy(client_id, &source)?;
+                Ok(RestResponse::ok(id.to_hex().into_bytes()))
+            }
+            RestMethod::GetPolicy => {
+                self.require_session(client_id)?;
+                let id = parse_policy_id(&rest.key)?;
+                let policy = self.store.load_policy(&id)?;
+                Ok(RestResponse::ok(policy.to_bytes()))
+            }
+            RestMethod::AttachPolicy => {
+                let id = parse_policy_id(
+                    rest.policy_id
+                        .as_deref()
+                        .ok_or(PesosError::BadRequest("missing policy id".into()))?,
+                )?;
+                self.attach_policy(client_id, &rest.key, id, certs)?;
+                Ok(RestResponse::ok_empty())
+            }
+            RestMethod::Put | RestMethod::Update => {
+                let policy_id = match rest.policy_id.as_deref() {
+                    Some(hex) => Some(parse_policy_id(hex)?),
+                    None => None,
+                };
+                if rest.asynchronous {
+                    let op = self.put_async(
+                        client_id,
+                        &rest.key,
+                        rest.value.clone(),
+                        policy_id,
+                        rest.expected_version,
+                        certs,
+                    )?;
+                    Ok(RestResponse::accepted(op))
+                } else {
+                    let version = self.put(
+                        client_id,
+                        &rest.key,
+                        rest.value.clone(),
+                        policy_id,
+                        rest.expected_version,
+                        certs,
+                    )?;
+                    Ok(RestResponse::ok_empty().with_version(version))
+                }
+            }
+            RestMethod::Get => match rest.expected_version {
+                Some(version) => {
+                    let value = self.get_version(client_id, &rest.key, version, certs)?;
+                    Ok(RestResponse::ok(value).with_version(version))
+                }
+                None => {
+                    let (value, version) = self.get(client_id, &rest.key, certs)?;
+                    Ok(RestResponse::ok((*value).clone()).with_version(version))
+                }
+            },
+            RestMethod::Delete => {
+                self.delete(client_id, &rest.key, certs)?;
+                Ok(RestResponse::ok_empty())
+            }
+            RestMethod::PollResult => {
+                let op_id: u64 = rest
+                    .key
+                    .parse()
+                    .map_err(|_| PesosError::BadRequest("operation id must be numeric".into()))?;
+                match self.poll_result(client_id, op_id) {
+                    Some(AsyncResult::Completed { version }) => {
+                        let mut resp = RestResponse::ok_empty();
+                        if let Some(v) = version {
+                            resp = resp.with_version(v);
+                        }
+                        Ok(resp)
+                    }
+                    Some(AsyncResult::Pending) => Ok(RestResponse::accepted(op_id)),
+                    Some(AsyncResult::Failed { reason }) => {
+                        Ok(RestResponse::failure(RestStatus::BackendError, reason))
+                    }
+                    None => Err(PesosError::ObjectNotFound(format!("operation {op_id}"))),
+                }
+            }
+            RestMethod::CreateTx => {
+                let tx = self.create_tx(client_id)?;
+                Ok(RestResponse::ok(tx.to_string().into_bytes()))
+            }
+            RestMethod::AddRead => {
+                let tx = rest.tx_id.ok_or(PesosError::BadRequest("missing tx id".into()))?;
+                self.add_read(client_id, tx, &rest.key)?;
+                Ok(RestResponse::ok_empty())
+            }
+            RestMethod::AddWrite => {
+                let tx = rest.tx_id.ok_or(PesosError::BadRequest("missing tx id".into()))?;
+                self.add_write(client_id, tx, &rest.key, rest.value.clone())?;
+                Ok(RestResponse::ok_empty())
+            }
+            RestMethod::CommitTx => {
+                let tx = rest.tx_id.ok_or(PesosError::BadRequest("missing tx id".into()))?;
+                let outcome = self.commit_tx(client_id, tx)?;
+                let versions: Vec<String> =
+                    outcome.write_versions.iter().map(|v| v.to_string()).collect();
+                Ok(RestResponse::ok(versions.join(",").into_bytes()))
+            }
+            RestMethod::AbortTx => {
+                let tx = rest.tx_id.ok_or(PesosError::BadRequest("missing tx id".into()))?;
+                self.abort_tx(client_id, tx)?;
+                Ok(RestResponse::ok_empty())
+            }
+            RestMethod::CheckResults => {
+                let tx = rest.tx_id.ok_or(PesosError::BadRequest("missing tx id".into()))?;
+                let outcome = self.check_results(client_id, tx)?;
+                let versions: Vec<String> =
+                    outcome.write_versions.iter().map(|v| v.to_string()).collect();
+                Ok(RestResponse::ok(versions.join(",").into_bytes()))
+            }
+        }
+    }
+}
+
+fn parse_policy_id(hex: &str) -> Result<PolicyId, PesosError> {
+    PolicyId::from_hex(hex)
+        .ok_or_else(|| PesosError::BadRequest(format!("invalid policy id {hex:?}")))
+}
+
+fn error_response(e: PesosError) -> RestResponse {
+    let status = match &e {
+        PesosError::PolicyDenied(_) => RestStatus::PolicyDenied,
+        PesosError::ObjectNotFound(_) | PesosError::PolicyNotFound(_) => RestStatus::NotFound,
+        PesosError::VersionConflict { .. } | PesosError::TransactionAborted(_) => {
+            RestStatus::Conflict
+        }
+        PesosError::BadRequest(_) | PesosError::NoSession(_) => RestStatus::BadRequest,
+        PesosError::Backend(_) | PesosError::Bootstrap(_) => RestStatus::BackendError,
+    };
+    RestResponse::failure(status, e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> PesosController {
+        PesosController::new(ControllerConfig::native_simulator(1)).unwrap()
+    }
+
+    #[test]
+    fn basic_put_get_delete_without_policy() {
+        let c = controller();
+        c.register_client("alice");
+        let v = c.put("alice", "greeting", b"hello".to_vec(), None, None, &[]).unwrap();
+        assert_eq!(v, 0);
+        let (value, version) = c.get("alice", "greeting", &[]).unwrap();
+        assert_eq!(&**value, b"hello");
+        assert_eq!(version, 0);
+        c.delete("alice", "greeting", &[]).unwrap();
+        assert!(c.get("alice", "greeting", &[]).is_err());
+    }
+
+    #[test]
+    fn unregistered_client_rejected() {
+        let c = controller();
+        assert!(matches!(
+            c.put("ghost", "k", vec![], None, None, &[]),
+            Err(PesosError::NoSession(_))
+        ));
+    }
+
+    #[test]
+    fn acl_policy_enforced_end_to_end() {
+        let c = controller();
+        c.register_client("alice");
+        c.register_client("bob");
+        c.register_client("admin");
+        let policy = c
+            .put_policy(
+                "alice",
+                "read :- sessionKeyIs(\"alice\") or sessionKeyIs(\"bob\")\n\
+                 update :- sessionKeyIs(\"alice\")\n\
+                 delete :- sessionKeyIs(\"admin\")",
+            )
+            .unwrap();
+        c.put("alice", "doc", b"v0".to_vec(), Some(policy), None, &[]).unwrap();
+
+        // Bob can read but not update.
+        assert!(c.get("bob", "doc", &[]).is_ok());
+        assert!(matches!(
+            c.put("bob", "doc", b"v1".to_vec(), None, None, &[]),
+            Err(PesosError::PolicyDenied(_))
+        ));
+        // Alice can update; only admin can delete.
+        c.put("alice", "doc", b"v1".to_vec(), None, None, &[]).unwrap();
+        assert!(c.delete("alice", "doc", &[]).is_err());
+        c.delete("admin", "doc", &[]).unwrap();
+        assert!(c.metrics().policy_denials >= 2);
+    }
+
+    #[test]
+    fn versioned_store_policy_via_rest() {
+        let c = controller();
+        c.register_client("writer");
+        let policy = c
+            .put_policy(
+                "writer",
+                "update :- ( objId(this, O) and currVersion(O, CV) and nextVersion(CV + 1) ) \
+                 or ( objId(this, NULL) and nextVersion(0) )\n\
+                 read :- sessionKeyIs(U)",
+            )
+            .unwrap();
+        // Create at version 0.
+        let v = c
+            .put("writer", "versioned", b"v0".to_vec(), Some(policy), Some(0), &[])
+            .unwrap();
+        assert_eq!(v, 0);
+        // Correct increment accepted, wrong one rejected.
+        assert!(c
+            .put("writer", "versioned", b"v1".to_vec(), None, Some(1), &[])
+            .is_ok());
+        assert!(c
+            .put("writer", "versioned", b"v3".to_vec(), None, Some(3), &[])
+            .is_err());
+        // History read.
+        assert_eq!(c.get_version("writer", "versioned", 0, &[]).unwrap(), b"v0");
+        assert_eq!(c.get("writer", "versioned", &[]).unwrap().1, 1);
+    }
+
+    #[test]
+    fn async_put_and_poll() {
+        let c = controller();
+        c.register_client("alice");
+        let op = c
+            .put_async("alice", "async-obj", b"payload".to_vec(), None, None, &[])
+            .unwrap();
+        c.drain_async();
+        match c.poll_result("alice", op) {
+            Some(AsyncResult::Completed { version }) => assert_eq!(version, Some(0)),
+            other => panic!("unexpected async result {other:?}"),
+        }
+        // Other clients cannot see the result.
+        assert!(c.poll_result("bob", op).is_none());
+        let (value, _) = c.get("alice", "async-obj", &[]).unwrap();
+        assert_eq!(&**value, b"payload");
+    }
+
+    #[test]
+    fn transactions_commit_atomically_with_policy_checks() {
+        let c = controller();
+        c.register_client("alice");
+        c.register_client("bob");
+        let acl = c
+            .put_policy("alice", "read :- sessionKeyIs(\"alice\")\nupdate :- sessionKeyIs(\"alice\")\ndelete :- sessionKeyIs(\"alice\")")
+            .unwrap();
+        c.put("alice", "account/a", b"100".to_vec(), Some(acl), None, &[]).unwrap();
+        c.put("alice", "account/b", b"0".to_vec(), Some(acl), None, &[]).unwrap();
+
+        // Alice transfers atomically.
+        let tx = c.create_tx("alice").unwrap();
+        c.add_read("alice", tx, "account/a").unwrap();
+        c.add_write("alice", tx, "account/a", b"50".to_vec()).unwrap();
+        c.add_write("alice", tx, "account/b", b"50".to_vec()).unwrap();
+        let outcome = c.commit_tx("alice", tx).unwrap();
+        assert_eq!(outcome.write_versions.len(), 2);
+        assert_eq!(outcome.read_values[0], b"100");
+        assert_eq!(c.check_results("alice", tx).unwrap(), outcome);
+
+        // Bob's transaction is denied by the policy and aborts atomically.
+        let tx = c.create_tx("bob").unwrap();
+        c.add_write("bob", tx, "account/a", b"0".to_vec()).unwrap();
+        assert!(matches!(
+            c.commit_tx("bob", tx),
+            Err(PesosError::PolicyDenied(_))
+        ));
+        let (value, _) = c.get("alice", "account/a", &[]).unwrap();
+        assert_eq!(&**value, b"50");
+        assert_eq!(c.metrics().tx_committed, 1);
+        assert!(c.metrics().tx_aborted >= 1);
+    }
+
+    #[test]
+    fn rest_dispatch_round_trip() {
+        let c = controller();
+        c.register_client("alice");
+
+        // Install a policy over REST.
+        let resp = c.handle(
+            "alice",
+            ClientRequest::new(RestRequest {
+                method: RestMethod::PutPolicy,
+                key: "acl".into(),
+                value: b"read :- sessionKeyIs(\"alice\")\nupdate :- sessionKeyIs(\"alice\")\ndelete :- sessionKeyIs(\"alice\")".to_vec(),
+                policy_id: None,
+                asynchronous: false,
+                tx_id: None,
+                expected_version: None,
+            }),
+        );
+        assert_eq!(resp.status, RestStatus::Ok);
+        let policy_hex = String::from_utf8(resp.value).unwrap();
+
+        // Put with the policy attached.
+        let resp = c.handle(
+            "alice",
+            ClientRequest::new(RestRequest::put("users/alice", b"profile".to_vec()).with_policy(policy_hex.clone())),
+        );
+        assert_eq!(resp.status, RestStatus::Ok);
+        assert_eq!(resp.version, Some(0));
+
+        // Read it back.
+        let resp = c.handle("alice", ClientRequest::new(RestRequest::get("users/alice")));
+        assert_eq!(resp.status, RestStatus::Ok);
+        assert_eq!(resp.value, b"profile");
+
+        // An unauthorized client is denied.
+        c.register_client("eve");
+        let resp = c.handle("eve", ClientRequest::new(RestRequest::get("users/alice")));
+        assert_eq!(resp.status, RestStatus::PolicyDenied);
+
+        // Async put over REST and poll.
+        let resp = c.handle(
+            "alice",
+            ClientRequest::new(RestRequest::put("users/alice", b"v2".to_vec()).asynchronous()),
+        );
+        assert_eq!(resp.status, RestStatus::Accepted);
+        let op = resp.operation_id.unwrap();
+        c.drain_async();
+        let resp = c.handle(
+            "alice",
+            ClientRequest::new(RestRequest::new(RestMethod::PollResult, op.to_string())),
+        );
+        assert_eq!(resp.status, RestStatus::Ok);
+
+        // Unknown policy id is a bad request.
+        let resp = c.handle(
+            "alice",
+            ClientRequest::new(RestRequest::put("x", vec![]).with_policy("zz-not-hex")),
+        );
+        assert_eq!(resp.status, RestStatus::BadRequest);
+
+        // Missing object is NotFound.
+        let resp = c.handle("alice", ClientRequest::new(RestRequest::get("missing")));
+        assert_eq!(resp.status, RestStatus::NotFound);
+
+        // Status endpoint.
+        let resp = c.handle("alice", ClientRequest::new(RestRequest::new(RestMethod::Status, "")));
+        assert_eq!(resp.status, RestStatus::Ok);
+    }
+
+    #[test]
+    fn certificate_based_client_registration() {
+        let c = controller();
+        let kp = pesos_crypto::KeyPair::from_seed(b"cert-client");
+        let cert = pesos_crypto::CertificateBuilder::new("client:carol", kp.public())
+            .issue_self_signed(&kp);
+        let id = c.register_client_with_certificate(&cert).unwrap();
+        assert_eq!(id, pesos_crypto::hex_encode(&kp.public().to_bytes()));
+        // The registered identity can operate.
+        c.put(&id, "carol-obj", b"x".to_vec(), None, None, &[]).unwrap();
+        // A tampered certificate is rejected.
+        let mut bad = cert.clone();
+        bad.subject = "client:mallory".into();
+        assert!(c.register_client_with_certificate(&bad).is_err());
+    }
+
+    #[test]
+    fn bootstrap_report_exposed() {
+        let c = controller();
+        assert_eq!(c.report().drives.len(), 1);
+        assert!(!c.report().measurement.is_empty());
+        assert!(c.config().drive_count == 1);
+        assert_eq!(c.now(), 1);
+        c.set_time(500);
+        assert_eq!(c.now(), 500);
+        c.register_client("tmp");
+        assert_eq!(c.expire_sessions(), 0);
+        c.set_time(5000);
+        assert_eq!(c.expire_sessions(), 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Controller error type.
+
+use std::fmt;
+
+use pesos_kinetic::KineticError;
+use pesos_policy::PolicyError;
+use pesos_sgx::SgxError;
+use pesos_wire::WireError;
+
+/// Errors surfaced by the Pesos controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PesosError {
+    /// The policy associated with the object denied the operation.
+    PolicyDenied(String),
+    /// The requested object does not exist.
+    ObjectNotFound(String),
+    /// The referenced policy does not exist.
+    PolicyNotFound(String),
+    /// The supplied version did not match (versioned update conflict).
+    VersionConflict { expected: u64, got: u64 },
+    /// A transaction failed or was aborted.
+    TransactionAborted(String),
+    /// The request was malformed.
+    BadRequest(String),
+    /// The client session is unknown or expired.
+    NoSession(String),
+    /// A backend drive reported an error.
+    Backend(String),
+    /// Bootstrap or attestation failed.
+    Bootstrap(String),
+}
+
+impl fmt::Display for PesosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PesosError::PolicyDenied(msg) => write!(f, "policy denied: {msg}"),
+            PesosError::ObjectNotFound(key) => write!(f, "object not found: {key}"),
+            PesosError::PolicyNotFound(id) => write!(f, "policy not found: {id}"),
+            PesosError::VersionConflict { expected, got } => {
+                write!(f, "version conflict: expected {expected}, got {got}")
+            }
+            PesosError::TransactionAborted(msg) => write!(f, "transaction aborted: {msg}"),
+            PesosError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            PesosError::NoSession(msg) => write!(f, "no session: {msg}"),
+            PesosError::Backend(msg) => write!(f, "backend error: {msg}"),
+            PesosError::Bootstrap(msg) => write!(f, "bootstrap failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PesosError {}
+
+impl From<KineticError> for PesosError {
+    fn from(e: KineticError) -> Self {
+        match e {
+            KineticError::NotFound => PesosError::ObjectNotFound("<backend key>".to_string()),
+            other => PesosError::Backend(other.to_string()),
+        }
+    }
+}
+
+impl From<PolicyError> for PesosError {
+    fn from(e: PolicyError) -> Self {
+        PesosError::BadRequest(format!("policy error: {e}"))
+    }
+}
+
+impl From<SgxError> for PesosError {
+    fn from(e: SgxError) -> Self {
+        PesosError::Bootstrap(e.to_string())
+    }
+}
+
+impl From<WireError> for PesosError {
+    fn from(e: WireError) -> Self {
+        PesosError::BadRequest(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: PesosError = KineticError::NotFound.into();
+        assert!(matches!(e, PesosError::ObjectNotFound(_)));
+        let e: PesosError = KineticError::NoSpace.into();
+        assert!(matches!(e, PesosError::Backend(_)));
+        let e: PesosError = PolicyError::UnknownPredicate("x".into()).into();
+        assert!(matches!(e, PesosError::BadRequest(_)));
+        assert!(PesosError::VersionConflict { expected: 1, got: 2 }
+            .to_string()
+            .contains("1"));
+    }
+}

@@ -1,0 +1,47 @@
+//! The Pesos controller.
+//!
+//! This crate ties the substrates together into the system the paper
+//! describes (§3–§4): a controller that runs inside an (simulated) SGX
+//! enclave, takes exclusive control of a set of Kinetic drives at bootstrap,
+//! accepts REST requests from authenticated clients, enforces the per-object
+//! policies compiled by `pesos-policy` on every access, encrypts objects
+//! before they reach the drives, caches objects and policies within the EPC
+//! budget, offers an asynchronous request interface with a bounded result
+//! buffer, supports ACID multi-object transactions via a VLL-style lock
+//! manager, and replicates objects across drives with a deterministic
+//! placement function.
+
+pub mod bootstrap;
+pub mod config;
+pub mod controller;
+pub mod encryption;
+pub mod error;
+pub mod metadata;
+pub mod metrics;
+pub mod object_cache;
+pub mod placement;
+pub mod request;
+pub mod result_buffer;
+pub mod session;
+pub mod store;
+pub mod transaction;
+
+pub use bootstrap::BootstrapReport;
+pub use config::ControllerConfig;
+pub use controller::PesosController;
+pub use encryption::ObjectCrypter;
+pub use error::PesosError;
+pub use metadata::{ObjectMetadata, VersionMeta};
+pub use metrics::ControllerMetrics;
+pub use object_cache::ObjectCache;
+pub use placement::placement;
+pub use request::{ClientRequest, ClientResponse};
+pub use result_buffer::ResultBuffer;
+pub use session::{SessionContext, SessionManager};
+pub use store::PesosStore;
+pub use transaction::{TransactionManager, TxOutcome};
+
+pub use pesos_kinetic::{DriveConfig, DriveSet, KineticDrive};
+pub use pesos_policy::Operation;
+pub use pesos_sgx::ExecutionMode;
+pub use pesos_wire::{RestMethod, RestRequest, RestResponse, RestStatus};

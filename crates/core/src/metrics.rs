@@ -1,0 +1,88 @@
+//! Controller-level metrics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters describing controller activity.
+#[derive(Debug, Default)]
+pub struct ControllerMetrics {
+    /// Total requests handled.
+    pub requests: AtomicU64,
+    /// Read (GET) operations.
+    pub reads: AtomicU64,
+    /// Write (PUT/UPDATE) operations.
+    pub writes: AtomicU64,
+    /// Delete operations.
+    pub deletes: AtomicU64,
+    /// Operations denied by a policy.
+    pub policy_denials: AtomicU64,
+    /// Asynchronous operations accepted.
+    pub async_accepted: AtomicU64,
+    /// Transactions committed.
+    pub tx_committed: AtomicU64,
+    /// Transactions aborted.
+    pub tx_aborted: AtomicU64,
+}
+
+/// A plain-data snapshot of [`ControllerMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Total requests handled.
+    pub requests: u64,
+    /// Read operations.
+    pub reads: u64,
+    /// Write operations.
+    pub writes: u64,
+    /// Delete operations.
+    pub deletes: u64,
+    /// Policy denials.
+    pub policy_denials: u64,
+    /// Async operations accepted.
+    pub async_accepted: u64,
+    /// Transactions committed.
+    pub tx_committed: u64,
+    /// Transactions aborted.
+    pub tx_aborted: u64,
+}
+
+impl ControllerMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            policy_denials: self.policy_denials.load(Ordering::Relaxed),
+            async_accepted: self.async_accepted.load(Ordering::Relaxed),
+            tx_committed: self.tx_committed.load(Ordering::Relaxed),
+            tx_aborted: self.tx_aborted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ControllerMetrics::new();
+        ControllerMetrics::bump(&m.requests);
+        ControllerMetrics::bump(&m.requests);
+        ControllerMetrics::bump(&m.policy_denials);
+        let s = m.snapshot();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.policy_denials, 1);
+        assert_eq!(s.writes, 0);
+    }
+}

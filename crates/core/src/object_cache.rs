@@ -1,0 +1,199 @@
+//! The in-enclave object cache.
+//!
+//! A global in-memory structure that serves recently written or read objects
+//! without a disk round trip and supports content-based policy checks
+//! (`objSays`) with fast lookups (paper §3.1, §4.2). The cache is bounded by
+//! a byte budget chosen to stay inside the EPC and evicts approximately
+//! least-frequently-used entries.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Counters describing cache behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObjectCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted for space.
+    pub evictions: u64,
+    /// Bytes currently cached.
+    pub used_bytes: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+struct Entry {
+    value: Arc<Vec<u8>>,
+    version: u64,
+    frequency: u64,
+}
+
+struct Inner {
+    entries: HashMap<String, Entry>,
+    used_bytes: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A byte-bounded, approximately-LFU object cache.
+pub struct ObjectCache {
+    budget_bytes: u64,
+    inner: Mutex<Inner>,
+}
+
+impl ObjectCache {
+    /// Creates a cache with the given byte budget.
+    pub fn new(budget_bytes: usize) -> Self {
+        ObjectCache {
+            budget_bytes: budget_bytes.max(1) as u64,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                used_bytes: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Looks up the latest cached value and version for `key`.
+    pub fn get(&self, key: &str) -> Option<(Arc<Vec<u8>>, u64)> {
+        let mut inner = self.inner.lock();
+        match inner.entries.get_mut(key) {
+            Some(e) => {
+                e.frequency += 1;
+                let out = (Arc::clone(&e.value), e.version);
+                inner.hits += 1;
+                Some(out)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) the cached value for `key`.
+    ///
+    /// Values larger than the whole budget are not cached.
+    pub fn put(&self, key: &str, value: Arc<Vec<u8>>, version: u64) {
+        let size = value.len() as u64 + key.len() as u64;
+        if size > self.budget_bytes {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if let Some(old) = inner.entries.remove(key) {
+            inner.used_bytes -= old.value.len() as u64 + key.len() as u64;
+        }
+        // Evict until the new entry fits.
+        while inner.used_bytes + size > self.budget_bytes {
+            let victim = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.frequency)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    if let Some(e) = inner.entries.remove(&k) {
+                        inner.used_bytes -= e.value.len() as u64 + k.len() as u64;
+                        inner.evictions += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+        inner.used_bytes += size;
+        inner.entries.insert(
+            key.to_string(),
+            Entry {
+                value,
+                version,
+                frequency: 1,
+            },
+        );
+    }
+
+    /// Removes a key from the cache (e.g. on delete).
+    pub fn invalidate(&self, key: &str) {
+        let mut inner = self.inner.lock();
+        if let Some(e) = inner.entries.remove(key) {
+            inner.used_bytes -= e.value.len() as u64 + key.len() as u64;
+        }
+    }
+
+    /// Returns counters.
+    pub fn stats(&self) -> ObjectCacheStats {
+        let inner = self.inner.lock();
+        ObjectCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            used_bytes: inner.used_bytes,
+            entries: inner.entries.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_invalidate() {
+        let cache = ObjectCache::new(1024);
+        cache.put("a", Arc::new(b"value-a".to_vec()), 1);
+        let (v, ver) = cache.get("a").unwrap();
+        assert_eq!(&**v, b"value-a");
+        assert_eq!(ver, 1);
+        cache.invalidate("a");
+        assert!(cache.get("a").is_none());
+        let s = cache.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn replacement_updates_accounting() {
+        let cache = ObjectCache::new(1024);
+        cache.put("a", Arc::new(vec![0; 100]), 1);
+        cache.put("a", Arc::new(vec![0; 10]), 2);
+        let s = cache.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.used_bytes, 10 + 1);
+        assert_eq!(cache.get("a").unwrap().1, 2);
+    }
+
+    #[test]
+    fn byte_budget_enforced_with_lfu_eviction() {
+        let cache = ObjectCache::new(350);
+        cache.put("hot", Arc::new(vec![0; 100]), 1);
+        for _ in 0..10 {
+            cache.get("hot");
+        }
+        cache.put("cold1", Arc::new(vec![0; 100]), 1);
+        cache.put("cold2", Arc::new(vec![0; 100]), 1);
+        // Adding another 100-byte entry must evict a cold one, not the hot.
+        cache.put("new", Arc::new(vec![0; 100]), 1);
+        assert!(cache.get("hot").is_some());
+        assert!(cache.stats().evictions >= 1);
+        assert!(cache.stats().used_bytes <= 350);
+    }
+
+    #[test]
+    fn oversized_values_not_cached() {
+        let cache = ObjectCache::new(64);
+        cache.put("big", Arc::new(vec![0; 1000]), 1);
+        assert!(cache.get("big").is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

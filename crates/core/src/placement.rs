@@ -1,0 +1,122 @@
+//! Deterministic replication placement.
+//!
+//! Pesos maps objects to disks through a deterministic hash of the object
+//! key over the ordered list of drives: the primary is selected by the hash,
+//! and the `N-1` replicas go to the following positions
+//! `D(i+1), D(i+2), ..., D(i+N-1)` (paper §4.5). No replication metadata
+//! needs to be kept; on drive failure the next available drive in the
+//! sequence is used.
+
+use pesos_crypto::sha256;
+
+/// Returns the ordered drive indices holding `key`: the primary first, then
+/// the replicas, `replication_factor` entries in total (capped at the number
+/// of drives).
+pub fn placement(key: &str, drive_count: usize, replication_factor: usize) -> Vec<usize> {
+    if drive_count == 0 {
+        return Vec::new();
+    }
+    let factor = replication_factor.clamp(1, drive_count);
+    let digest = sha256(key.as_bytes());
+    let mut h = [0u8; 8];
+    h.copy_from_slice(&digest[..8]);
+    let primary = (u64::from_be_bytes(h) % drive_count as u64) as usize;
+    (0..factor).map(|i| (primary + i) % drive_count).collect()
+}
+
+/// Like [`placement`] but skips drives reported offline, extending the probe
+/// sequence so the replication factor is preserved when possible.
+pub fn placement_available(
+    key: &str,
+    drive_count: usize,
+    replication_factor: usize,
+    online: &[usize],
+) -> Vec<usize> {
+    if drive_count == 0 || online.is_empty() {
+        return Vec::new();
+    }
+    let factor = replication_factor.clamp(1, drive_count);
+    let digest = sha256(key.as_bytes());
+    let mut h = [0u8; 8];
+    h.copy_from_slice(&digest[..8]);
+    let primary = (u64::from_be_bytes(h) % drive_count as u64) as usize;
+
+    let mut out = Vec::with_capacity(factor);
+    for offset in 0..drive_count {
+        let idx = (primary + offset) % drive_count;
+        if online.contains(&idx) {
+            out.push(idx);
+            if out.len() == factor {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        for key in ["a", "b", "users/alice", "a-very-long-object-key-0123456789"] {
+            let a = placement(key, 5, 3);
+            let b = placement(key, 5, 3);
+            assert_eq!(a, b);
+            assert_eq!(a.len(), 3);
+            assert!(a.iter().all(|&i| i < 5));
+        }
+    }
+
+    #[test]
+    fn replicas_are_consecutive_and_distinct() {
+        let p = placement("some-key", 4, 3);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[1], (p[0] + 1) % 4);
+        assert_eq!(p[2], (p[0] + 2) % 4);
+        let unique: std::collections::HashSet<_> = p.iter().collect();
+        assert_eq!(unique.len(), 3);
+    }
+
+    #[test]
+    fn factor_is_capped_at_drive_count() {
+        assert_eq!(placement("k", 2, 5).len(), 2);
+        assert_eq!(placement("k", 1, 1), vec![0]);
+        assert!(placement("k", 0, 1).is_empty());
+    }
+
+    #[test]
+    fn distribution_is_roughly_balanced() {
+        let drives = 4;
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for i in 0..4000 {
+            let p = placement(&format!("user{i}"), drives, 1);
+            *counts.entry(p[0]).or_default() += 1;
+        }
+        for d in 0..drives {
+            let c = counts.get(&d).copied().unwrap_or(0);
+            assert!(
+                (700..=1300).contains(&c),
+                "drive {d} got {c} of 4000 objects"
+            );
+        }
+    }
+
+    #[test]
+    fn failure_falls_through_to_next_available() {
+        let all = placement("obj", 4, 2);
+        // Take the primary offline.
+        let online: Vec<usize> = (0..4).filter(|i| *i != all[0]).collect();
+        let p = placement_available("obj", 4, 2, &online);
+        assert_eq!(p.len(), 2);
+        assert!(!p.contains(&all[0]));
+        assert_eq!(p[0], (all[0] + 1) % 4);
+
+        // With only one drive online the factor degrades gracefully.
+        let p = placement_available("obj", 4, 3, &[2]);
+        assert_eq!(p, vec![2]);
+        assert!(placement_available("obj", 4, 2, &[]).is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! Client-facing request and response wrappers.
+//!
+//! REST parameters travel as a [`RestRequest`]; policies that rely on
+//! certified external facts (`certificateSays`) additionally need the
+//! certificates the client presents with the request. [`ClientRequest`]
+//! bundles the two, and [`ClientResponse`] is the REST response together
+//! with the operation identifier bookkeeping the controller adds.
+
+use pesos_crypto::Certificate;
+use pesos_wire::{RestRequest, RestResponse};
+
+/// A request as seen by the controller's request handler.
+#[derive(Debug, Clone)]
+pub struct ClientRequest {
+    /// The REST parameters (method, key, value, policy, async flag, ...).
+    pub rest: RestRequest,
+    /// Certificates presented with the request for `certificateSays`.
+    pub certificates: Vec<Certificate>,
+}
+
+impl ClientRequest {
+    /// Wraps a REST request with no certificates.
+    pub fn new(rest: RestRequest) -> Self {
+        ClientRequest {
+            rest,
+            certificates: Vec::new(),
+        }
+    }
+
+    /// Attaches a certificate.
+    pub fn with_certificate(mut self, cert: Certificate) -> Self {
+        self.certificates.push(cert);
+        self
+    }
+}
+
+impl From<RestRequest> for ClientRequest {
+    fn from(rest: RestRequest) -> Self {
+        ClientRequest::new(rest)
+    }
+}
+
+/// The controller's response type (alias of the REST response).
+pub type ClientResponse = RestResponse;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pesos_crypto::{CertificateBuilder, KeyPair};
+
+    #[test]
+    fn construction() {
+        let rest = RestRequest::put("k", b"v".to_vec());
+        let req = ClientRequest::new(rest.clone());
+        assert!(req.certificates.is_empty());
+        let kp = KeyPair::from_seed(b"x");
+        let cert = CertificateBuilder::new("c", kp.public()).issue_self_signed(&kp);
+        let req = ClientRequest::from(rest).with_certificate(cert);
+        assert_eq!(req.certificates.len(), 1);
+    }
+}

@@ -1,0 +1,165 @@
+//! The asynchronous-operation result buffer.
+//!
+//! Asynchronous put/update/delete requests are acknowledged immediately with
+//! an operation identifier; once the backend write completes, its result is
+//! stored here for the client to poll. Because enclave memory is scarce,
+//! only the results of the most recent operations are retained (2048 by
+//! default), and older ones are discarded (paper §4.1).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// The state of an asynchronous operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsyncResult {
+    /// The operation has been accepted but not yet completed.
+    Pending,
+    /// The operation completed successfully; an optional version is carried
+    /// for writes.
+    Completed { version: Option<u64> },
+    /// The operation failed.
+    Failed { reason: String },
+}
+
+struct Inner {
+    results: HashMap<u64, (String, AsyncResult)>,
+    order: VecDeque<u64>,
+    discarded: u64,
+}
+
+/// A bounded buffer of asynchronous operation results.
+pub struct ResultBuffer {
+    capacity: usize,
+    next_id: AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+impl ResultBuffer {
+    /// Creates a buffer retaining at most `capacity` results.
+    pub fn new(capacity: usize) -> Self {
+        ResultBuffer {
+            capacity: capacity.max(1),
+            next_id: AtomicU64::new(1),
+            inner: Mutex::new(Inner {
+                results: HashMap::new(),
+                order: VecDeque::new(),
+                discarded: 0,
+            }),
+        }
+    }
+
+    /// Registers a new pending operation owned by `client` and returns its
+    /// operation identifier.
+    pub fn register(&self, client: &str) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let mut inner = self.inner.lock();
+        inner
+            .results
+            .insert(id, (client.to_string(), AsyncResult::Pending));
+        inner.order.push_back(id);
+        while inner.order.len() > self.capacity {
+            if let Some(old) = inner.order.pop_front() {
+                inner.results.remove(&old);
+                inner.discarded += 1;
+            }
+        }
+        id
+    }
+
+    /// Records the completion of operation `id`.
+    pub fn complete(&self, id: u64, result: AsyncResult) {
+        let mut inner = self.inner.lock();
+        if let Some(entry) = inner.results.get_mut(&id) {
+            entry.1 = result;
+        }
+        // If the entry was already discarded the result is dropped, exactly
+        // as the paper describes for results older than the retention bound.
+    }
+
+    /// Polls the result of operation `id` for `client`.
+    ///
+    /// Returns `None` if the operation is unknown (never existed, discarded,
+    /// or owned by a different client).
+    pub fn poll(&self, client: &str, id: u64) -> Option<AsyncResult> {
+        let inner = self.inner.lock();
+        inner
+            .results
+            .get(&id)
+            .filter(|(owner, _)| owner == client)
+            .map(|(_, r)| r.clone())
+    }
+
+    /// Number of results currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().results.len()
+    }
+
+    /// True if no results are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of results discarded because of the retention bound.
+    pub fn discarded(&self) -> u64 {
+        self.inner.lock().discarded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_complete_poll_cycle() {
+        let buf = ResultBuffer::new(16);
+        let id = buf.register("alice");
+        assert_eq!(buf.poll("alice", id), Some(AsyncResult::Pending));
+        buf.complete(id, AsyncResult::Completed { version: Some(3) });
+        assert_eq!(
+            buf.poll("alice", id),
+            Some(AsyncResult::Completed { version: Some(3) })
+        );
+    }
+
+    #[test]
+    fn results_are_scoped_to_the_owning_client() {
+        let buf = ResultBuffer::new(16);
+        let id = buf.register("alice");
+        assert!(buf.poll("bob", id).is_none());
+        assert!(buf.poll("alice", 999).is_none());
+    }
+
+    #[test]
+    fn old_results_are_discarded_beyond_capacity() {
+        let buf = ResultBuffer::new(4);
+        let first = buf.register("c");
+        for _ in 0..10 {
+            buf.register("c");
+        }
+        assert_eq!(buf.len(), 4);
+        assert!(buf.poll("c", first).is_none());
+        assert_eq!(buf.discarded(), 7);
+        // Completing a discarded operation is a no-op rather than an error.
+        buf.complete(first, AsyncResult::Failed { reason: "late".into() });
+        assert!(buf.poll("c", first).is_none());
+    }
+
+    #[test]
+    fn failures_are_reported() {
+        let buf = ResultBuffer::new(8);
+        let id = buf.register("alice");
+        buf.complete(
+            id,
+            AsyncResult::Failed {
+                reason: "disk offline".into(),
+            },
+        );
+        assert!(matches!(
+            buf.poll("alice", id),
+            Some(AsyncResult::Failed { .. })
+        ));
+        assert!(!buf.is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Client session management.
+//!
+//! When a new client connects (as determined by its certificate), the
+//! controller creates a session context holding per-client soft state such
+//! as asynchronous-request bookkeeping and policy-related metadata. The
+//! session survives a disconnect and expires only after a grace period; a
+//! reconnecting client with the same certificate reuses it (paper §3.1).
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+/// Per-client soft state.
+#[derive(Debug, Clone)]
+pub struct SessionContext {
+    /// Stable client identity (certificate fingerprint or subject).
+    pub client_id: String,
+    /// Human-readable subject from the certificate.
+    pub subject: String,
+    /// Logical time the session was created.
+    pub created_at: u64,
+    /// Logical time of the last request.
+    pub last_active: u64,
+    /// Number of requests served in this session.
+    pub requests: u64,
+    /// Freshness nonce most recently issued to this client for time
+    /// certificates.
+    pub issued_nonce: Option<Vec<u8>>,
+}
+
+/// Manages session contexts keyed by client identity.
+pub struct SessionManager {
+    expiry_secs: u64,
+    sessions: Mutex<HashMap<String, SessionContext>>,
+}
+
+impl SessionManager {
+    /// Creates a manager whose sessions expire `expiry_secs` after their
+    /// last activity.
+    pub fn new(expiry_secs: u64) -> Self {
+        SessionManager {
+            expiry_secs,
+            sessions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Returns the existing session for `client_id` or creates one.
+    pub fn connect(&self, client_id: &str, subject: &str, now: u64) -> SessionContext {
+        let mut sessions = self.sessions.lock();
+        let entry = sessions
+            .entry(client_id.to_string())
+            .or_insert_with(|| SessionContext {
+                client_id: client_id.to_string(),
+                subject: subject.to_string(),
+                created_at: now,
+                last_active: now,
+                requests: 0,
+                issued_nonce: None,
+            });
+        entry.last_active = now;
+        entry.clone()
+    }
+
+    /// Records a request for `client_id`, returning false if no session
+    /// exists (the caller should re-authenticate the client).
+    pub fn touch(&self, client_id: &str, now: u64) -> bool {
+        let mut sessions = self.sessions.lock();
+        match sessions.get_mut(client_id) {
+            Some(s) => {
+                s.last_active = now;
+                s.requests += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Issues and remembers a freshness nonce for `client_id`.
+    pub fn issue_nonce(&self, client_id: &str, nonce: Vec<u8>) -> bool {
+        let mut sessions = self.sessions.lock();
+        match sessions.get_mut(client_id) {
+            Some(s) => {
+                s.issued_nonce = Some(nonce);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Returns the session for `client_id`, if present.
+    pub fn get(&self, client_id: &str) -> Option<SessionContext> {
+        self.sessions.lock().get(client_id).cloned()
+    }
+
+    /// Drops sessions idle past the expiry window; returns how many expired.
+    pub fn expire(&self, now: u64) -> usize {
+        let mut sessions = self.sessions.lock();
+        let before = sessions.len();
+        sessions.retain(|_, s| now.saturating_sub(s.last_active) <= self.expiry_secs);
+        before - sessions.len()
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// True if there are no live sessions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_creates_and_reuses_sessions() {
+        let mgr = SessionManager::new(100);
+        let s1 = mgr.connect("fp-1", "client:alice", 10);
+        assert_eq!(s1.created_at, 10);
+        // Reconnecting reuses the context (created_at unchanged).
+        let s2 = mgr.connect("fp-1", "client:alice", 50);
+        assert_eq!(s2.created_at, 10);
+        assert_eq!(s2.last_active, 50);
+        assert_eq!(mgr.len(), 1);
+    }
+
+    #[test]
+    fn touch_and_nonce_require_session() {
+        let mgr = SessionManager::new(100);
+        assert!(!mgr.touch("missing", 0));
+        assert!(!mgr.issue_nonce("missing", vec![1]));
+        mgr.connect("fp", "c", 0);
+        assert!(mgr.touch("fp", 5));
+        assert!(mgr.issue_nonce("fp", vec![1, 2]));
+        let s = mgr.get("fp").unwrap();
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.issued_nonce, Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn sessions_expire_after_idle_period() {
+        let mgr = SessionManager::new(60);
+        mgr.connect("a", "a", 0);
+        mgr.connect("b", "b", 100);
+        // At t=100, "a" has been idle 100 > 60 seconds.
+        assert_eq!(mgr.expire(100), 1);
+        assert!(mgr.get("a").is_none());
+        assert!(mgr.get("b").is_some());
+        // A session persists past disconnect until expiry (paper §3.1).
+        assert_eq!(mgr.expire(120), 0);
+        assert_eq!(mgr.expire(200), 1);
+        assert!(mgr.is_empty());
+    }
+}

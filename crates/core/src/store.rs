@@ -1,0 +1,510 @@
+//! The controller's storage layer.
+//!
+//! [`PesosStore`] sits between the request handler and the Kinetic drives:
+//! it encrypts objects, maintains per-object metadata, persists compiled
+//! policies, replicates writes according to the deterministic placement
+//! function, serves reads from the object cache when possible, and routes
+//! every disk interaction through the asynchronous system-call interface so
+//! the SGX cost model is charged on the same code path as in the real
+//! system.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use pesos_kinetic::{DriveSet, KineticClient, KineticError};
+use pesos_policy::{CompiledPolicy, ObjectStoreView, PolicyCache, PolicyId, Tuple};
+use pesos_sgx::{AsyscallInterface, Enclave};
+
+use crate::encryption::ObjectCrypter;
+use crate::error::PesosError;
+use crate::metadata::{data_key, meta_key, policy_key, ObjectMetadata, VersionMeta};
+use crate::object_cache::ObjectCache;
+use crate::placement::placement_available;
+
+/// The storage layer of one controller instance.
+pub struct PesosStore {
+    drives: DriveSet,
+    clients: Vec<Arc<KineticClient>>,
+    crypter: ObjectCrypter,
+    object_cache: ObjectCache,
+    policy_cache: PolicyCache,
+    metadata: RwLock<HashMap<String, ObjectMetadata>>,
+    replication_factor: usize,
+    asyscall: Arc<AsyscallInterface>,
+    enclave: Arc<Enclave>,
+}
+
+impl PesosStore {
+    /// Creates the store over an already bootstrapped set of drives and
+    /// authenticated clients (one per drive, in drive order).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        drives: DriveSet,
+        clients: Vec<Arc<KineticClient>>,
+        crypter: ObjectCrypter,
+        object_cache_bytes: usize,
+        policy_cache_capacity: usize,
+        replication_factor: usize,
+        asyscall: Arc<AsyscallInterface>,
+        enclave: Arc<Enclave>,
+    ) -> Self {
+        PesosStore {
+            drives,
+            clients,
+            crypter,
+            object_cache: ObjectCache::new(object_cache_bytes),
+            policy_cache: PolicyCache::new(policy_cache_capacity),
+            metadata: RwLock::new(HashMap::new()),
+            replication_factor,
+            asyscall,
+            enclave,
+        }
+    }
+
+    /// The drive set backing the store.
+    pub fn drives(&self) -> &DriveSet {
+        &self.drives
+    }
+
+    /// Object-cache statistics.
+    pub fn object_cache_stats(&self) -> crate::object_cache::ObjectCacheStats {
+        self.object_cache.stats()
+    }
+
+    /// Policy-cache statistics.
+    pub fn policy_cache_stats(&self) -> pesos_policy::CacheStats {
+        self.policy_cache.stats()
+    }
+
+    fn online_indices(&self) -> Vec<usize> {
+        self.drives.online_indices()
+    }
+
+    fn targets_for(&self, key: &str) -> Vec<usize> {
+        placement_available(
+            key,
+            self.clients.len(),
+            self.replication_factor,
+            &self.online_indices(),
+        )
+    }
+
+    fn backend_put(&self, drive_index: usize, key: Vec<u8>, value: Vec<u8>) -> Result<(), PesosError> {
+        let client = Arc::clone(&self.clients[drive_index]);
+        self.enclave.charge_boundary_copy(value.len());
+        let result = self
+            .asyscall
+            .submit(move || client.put(&key, value, &[], b"pesos", true))?;
+        result.map_err(PesosError::from)
+    }
+
+    fn backend_get(&self, drive_index: usize, key: Vec<u8>) -> Result<Vec<u8>, KineticError> {
+        let client = Arc::clone(&self.clients[drive_index]);
+        let result = self
+            .asyscall
+            .submit(move || client.get(&key))
+            .map_err(|_| KineticError::ConnectionClosed)?;
+        result.map(|(value, _version)| value)
+    }
+
+    fn backend_delete(&self, drive_index: usize, key: Vec<u8>) {
+        let client = Arc::clone(&self.clients[drive_index]);
+        let _ = self.asyscall.submit(move || client.delete(&key, &[], true));
+    }
+
+    /// Writes `encoded` to every placement target of `placement_key`.
+    fn replicated_put(&self, placement_key: &str, backend_key: Vec<u8>, encoded: Vec<u8>) -> Result<(), PesosError> {
+        let targets = self.targets_for(placement_key);
+        if targets.is_empty() {
+            return Err(PesosError::Backend("no online drives".into()));
+        }
+        for index in targets {
+            self.backend_put(index, backend_key.clone(), encoded.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Reads `backend_key` from the first reachable replica of
+    /// `placement_key`.
+    fn replicated_get(&self, placement_key: &str, backend_key: Vec<u8>) -> Result<Vec<u8>, PesosError> {
+        let targets = self.targets_for(placement_key);
+        let mut last_err = PesosError::Backend("no online drives".into());
+        for index in targets {
+            match self.backend_get(index, backend_key.clone()) {
+                Ok(v) => return Ok(v),
+                Err(KineticError::NotFound) => {
+                    last_err = PesosError::ObjectNotFound(placement_key.to_string())
+                }
+                Err(e) => last_err = PesosError::Backend(e.to_string()),
+            }
+        }
+        Err(last_err)
+    }
+
+    // ------------------------------------------------------------------
+    // Policies
+    // ------------------------------------------------------------------
+
+    /// Compiles and persists a policy, returning its identifier.
+    pub fn put_policy(&self, source: &str) -> Result<PolicyId, PesosError> {
+        let compiled = Arc::new(pesos_policy::compile(source)?);
+        self.store_compiled_policy(compiled)
+    }
+
+    /// Persists an already compiled policy.
+    pub fn store_compiled_policy(&self, policy: Arc<CompiledPolicy>) -> Result<PolicyId, PesosError> {
+        let id = policy.id();
+        let bytes = policy.to_bytes();
+        self.replicated_put(&id.to_hex(), policy_key(&id.to_hex()), bytes)?;
+        self.policy_cache.insert(policy);
+        Ok(id)
+    }
+
+    /// Loads a policy by identifier, consulting the cache first and falling
+    /// back to the drives.
+    pub fn load_policy(&self, id: &PolicyId) -> Result<Arc<CompiledPolicy>, PesosError> {
+        if let Some(p) = self.policy_cache.get(id) {
+            return Ok(p);
+        }
+        let bytes = self
+            .replicated_get(&id.to_hex(), policy_key(&id.to_hex()))
+            .map_err(|_| PesosError::PolicyNotFound(id.to_hex()))?;
+        let policy = Arc::new(CompiledPolicy::from_bytes(&bytes)?);
+        if policy.id() != *id {
+            return Err(PesosError::Backend("stored policy hash mismatch".into()));
+        }
+        self.policy_cache.insert(Arc::clone(&policy));
+        Ok(policy)
+    }
+
+    // ------------------------------------------------------------------
+    // Metadata
+    // ------------------------------------------------------------------
+
+    /// Returns the metadata for `key`, reading through to the drives on a
+    /// cold start.
+    pub fn get_metadata(&self, key: &str) -> Option<ObjectMetadata> {
+        if let Some(m) = self.metadata.read().get(key) {
+            return Some(m.clone());
+        }
+        match self.replicated_get(key, meta_key(key)) {
+            Ok(bytes) => {
+                let meta = ObjectMetadata::from_bytes(&bytes).ok()?;
+                self.metadata
+                    .write()
+                    .insert(key.to_string(), meta.clone());
+                Some(meta)
+            }
+            Err(_) => None,
+        }
+    }
+
+    fn persist_metadata(&self, meta: &ObjectMetadata) -> Result<(), PesosError> {
+        self.replicated_put(&meta.key, meta_key(&meta.key), meta.to_bytes())?;
+        self.metadata
+            .write()
+            .insert(meta.key.clone(), meta.clone());
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Objects
+    // ------------------------------------------------------------------
+
+    /// Stores a new version of `key` and returns the version number.
+    ///
+    /// The caller (controller) is responsible for policy checks; the store
+    /// only enforces the mechanical version sequence.
+    pub fn put_object(
+        &self,
+        key: &str,
+        value: &[u8],
+        policy_id: Option<PolicyId>,
+    ) -> Result<u64, PesosError> {
+        let mut meta = self
+            .get_metadata(key)
+            .unwrap_or_else(|| ObjectMetadata::new(key));
+        let new_version = if meta.versions.is_empty() {
+            0
+        } else {
+            meta.latest_version + 1
+        };
+
+        let encoded = self.crypter.seal(key, new_version, value);
+        self.replicated_put(key, data_key(key, new_version), encoded)?;
+
+        let policy_hash = policy_id
+            .or(meta.policy_id)
+            .map(|p| p.0.to_vec())
+            .unwrap_or_default();
+        if policy_id.is_some() {
+            meta.policy_id = policy_id;
+        }
+        meta.record_version(VersionMeta {
+            version: new_version,
+            size: value.len() as u64,
+            value_hash: pesos_crypto::sha256(value).to_vec(),
+            policy_hash,
+        });
+        self.persist_metadata(&meta)?;
+
+        self.object_cache
+            .put(key, Arc::new(value.to_vec()), new_version);
+        Ok(new_version)
+    }
+
+    /// Retrieves the latest version of `key`.
+    pub fn get_object(&self, key: &str) -> Result<(Arc<Vec<u8>>, u64), PesosError> {
+        if let Some((value, version)) = self.object_cache.get(key) {
+            return Ok((value, version));
+        }
+        let meta = self
+            .get_metadata(key)
+            .ok_or_else(|| PesosError::ObjectNotFound(key.to_string()))?;
+        let version = meta.latest_version;
+        let value = self.get_object_version(key, version)?;
+        let value = Arc::new(value);
+        self.object_cache.put(key, Arc::clone(&value), version);
+        Ok((value, version))
+    }
+
+    /// Retrieves a specific stored version of `key` (used by versioned-store
+    /// history reads and `objSays` evaluation).
+    pub fn get_object_version(&self, key: &str, version: u64) -> Result<Vec<u8>, PesosError> {
+        let stored = self.replicated_get(key, data_key(key, version))?;
+        self.crypter
+            .unseal(key, version, &stored)
+            .map_err(|e| PesosError::Backend(format!("decryption failed: {e}")))
+    }
+
+    /// Deletes `key` (all retained versions and its metadata).
+    pub fn delete_object(&self, key: &str) -> Result<(), PesosError> {
+        let meta = self
+            .get_metadata(key)
+            .ok_or_else(|| PesosError::ObjectNotFound(key.to_string()))?;
+        let targets = self.targets_for(key);
+        for v in &meta.versions {
+            for &index in &targets {
+                self.backend_delete(index, data_key(key, v.version));
+            }
+        }
+        for &index in &targets {
+            self.backend_delete(index, meta_key(key));
+        }
+        self.metadata.write().remove(key);
+        self.object_cache.invalidate(key);
+        Ok(())
+    }
+
+    /// Associates `policy_id` with an existing object without changing its
+    /// contents.
+    pub fn attach_policy(&self, key: &str, policy_id: PolicyId) -> Result<(), PesosError> {
+        let mut meta = self
+            .get_metadata(key)
+            .ok_or_else(|| PesosError::ObjectNotFound(key.to_string()))?;
+        meta.policy_id = Some(policy_id);
+        self.persist_metadata(&meta)
+    }
+
+    /// Returns a read-only view adapter usable by the policy interpreter.
+    pub fn view(&self) -> StoreView<'_> {
+        StoreView { store: self }
+    }
+}
+
+/// Adapter exposing the store as an [`ObjectStoreView`] for policy checks.
+pub struct StoreView<'a> {
+    store: &'a PesosStore,
+}
+
+impl ObjectStoreView for StoreView<'_> {
+    fn exists(&self, key: &str) -> bool {
+        self.store.get_metadata(key).is_some()
+    }
+
+    fn current_version(&self, key: &str) -> Option<u64> {
+        self.store.get_metadata(key).map(|m| m.latest_version)
+    }
+
+    fn object_size(&self, key: &str, version: u64) -> Option<u64> {
+        self.store
+            .get_metadata(key)
+            .and_then(|m| m.version(version).map(|v| v.size))
+    }
+
+    fn object_hash(&self, key: &str, version: u64) -> Option<Vec<u8>> {
+        self.store
+            .get_metadata(key)
+            .and_then(|m| m.version(version).map(|v| v.value_hash.clone()))
+    }
+
+    fn policy_hash(&self, key: &str, version: u64) -> Option<Vec<u8>> {
+        self.store
+            .get_metadata(key)
+            .and_then(|m| m.version(version).map(|v| v.policy_hash.clone()))
+    }
+
+    fn object_tuples(&self, key: &str, version: u64) -> Vec<Tuple> {
+        // Objects accessed during policy evaluation are cached so that
+        // content-based policies avoid repeated disk reads (paper §4.2).
+        let contents = if let Some((cached, cached_version)) = self.store.object_cache.get(key) {
+            if cached_version == version {
+                Some((*cached).clone())
+            } else {
+                self.store.get_object_version(key, version).ok()
+            }
+        } else {
+            self.store.get_object_version(key, version).ok()
+        };
+        match contents {
+            Some(bytes) => std::str::from_utf8(&bytes)
+                .map(|text| text.lines().filter_map(Tuple::parse).collect())
+                .unwrap_or_default(),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pesos_kinetic::{ClientConfig, DriveConfig, KineticDrive};
+    use pesos_sgx::{EnclaveConfig, ExecutionMode, SgxCostModel};
+
+    fn store(drive_count: usize, replication: usize) -> PesosStore {
+        let drives: Vec<Arc<KineticDrive>> = (0..drive_count)
+            .map(|i| Arc::new(KineticDrive::new(DriveConfig::simulator(format!("kd-{i}")))))
+            .collect();
+        let clients: Vec<Arc<KineticClient>> = drives
+            .iter()
+            .map(|d| {
+                Arc::new(
+                    KineticClient::connect(Arc::clone(d), ClientConfig::factory_default()).unwrap(),
+                )
+            })
+            .collect();
+        let cost = pesos_sgx::cost::ModeCost::new(ExecutionMode::Native, SgxCostModel::zero());
+        let enclave = Arc::new(Enclave::create(EnclaveConfig::default(), cost).unwrap());
+        let asyscall = Arc::new(AsyscallInterface::new(2, 16, cost));
+        PesosStore::new(
+            DriveSet::from_drives(drives),
+            clients,
+            ObjectCrypter::new(&[1u8; 32], true),
+            1024 * 1024,
+            128,
+            replication,
+            asyscall,
+            enclave,
+        )
+    }
+
+    #[test]
+    fn object_round_trip_with_versions() {
+        let s = store(1, 1);
+        assert_eq!(s.put_object("users/alice", b"v0", None).unwrap(), 0);
+        assert_eq!(s.put_object("users/alice", b"v1", None).unwrap(), 1);
+        let (value, version) = s.get_object("users/alice").unwrap();
+        assert_eq!(&**value, b"v1");
+        assert_eq!(version, 1);
+        assert_eq!(s.get_object_version("users/alice", 0).unwrap(), b"v0");
+        assert!(matches!(
+            s.get_object("missing"),
+            Err(PesosError::ObjectNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn objects_are_encrypted_on_the_drives() {
+        let s = store(1, 1);
+        s.put_object("secret", b"plaintext-contents", None).unwrap();
+        let drive = s.drives().get(0).unwrap();
+        let raw = drive.peek(&data_key("secret", 0)).unwrap();
+        assert_ne!(raw.value, b"plaintext-contents");
+        assert!(!raw
+            .value
+            .windows(b"plaintext".len())
+            .any(|w| w == b"plaintext"));
+    }
+
+    #[test]
+    fn delete_removes_data_and_metadata() {
+        let s = store(1, 1);
+        s.put_object("tmp", b"x", None).unwrap();
+        s.put_object("tmp", b"y", None).unwrap();
+        s.delete_object("tmp").unwrap();
+        assert!(s.get_metadata("tmp").is_none());
+        assert!(s.get_object("tmp").is_err());
+        assert!(s.delete_object("tmp").is_err());
+    }
+
+    #[test]
+    fn policies_persist_and_reload() {
+        let s = store(1, 1);
+        let id = s.put_policy("read :- sessionKeyIs(\"alice\")").unwrap();
+        // A hit from the cache.
+        assert!(s.load_policy(&id).is_ok());
+        // Clear the cache to force the disk path.
+        s.policy_cache.clear();
+        let reloaded = s.load_policy(&id).unwrap();
+        assert_eq!(reloaded.id(), id);
+        assert!(matches!(
+            s.load_policy(&PolicyId([0u8; 32])),
+            Err(PesosError::PolicyNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn replication_places_copies_on_multiple_drives() {
+        let s = store(3, 3);
+        s.put_object("replicated", b"payload", None).unwrap();
+        let copies = s
+            .drives()
+            .iter()
+            .filter(|d| d.peek(&data_key("replicated", 0)).is_some())
+            .count();
+        assert_eq!(copies, 3);
+    }
+
+    #[test]
+    fn reads_survive_primary_drive_failure_with_replication() {
+        let s = store(3, 2);
+        s.put_object("ha-object", b"payload", None).unwrap();
+        // Take the primary replica offline.
+        let targets = crate::placement::placement("ha-object", 3, 2);
+        s.drives().get(targets[0]).unwrap().set_online(false);
+        // Invalidate the cache so the read truly goes to the drives.
+        s.object_cache.invalidate("ha-object");
+        let (value, _) = s.get_object("ha-object").unwrap();
+        assert_eq!(&**value, b"payload");
+    }
+
+    #[test]
+    fn attach_policy_updates_metadata() {
+        let s = store(1, 1);
+        s.put_object("doc", b"contents", None).unwrap();
+        let id = s.put_policy("read :- sessionKeyIs(\"alice\")").unwrap();
+        s.attach_policy("doc", id).unwrap();
+        assert_eq!(s.get_metadata("doc").unwrap().policy_id, Some(id));
+        assert!(s.attach_policy("missing", id).is_err());
+    }
+
+    #[test]
+    fn view_exposes_object_facts() {
+        let s = store(1, 1);
+        s.put_object("doc", b"hello world", None).unwrap();
+        s.put_object("doc.log", b"read(\"doc\",0,\"alice\")", None).unwrap();
+        let view = s.view();
+        assert!(view.exists("doc"));
+        assert!(!view.exists("nope"));
+        assert_eq!(view.current_version("doc"), Some(0));
+        assert_eq!(view.object_size("doc", 0), Some(11));
+        assert_eq!(
+            view.object_hash("doc", 0).unwrap(),
+            pesos_crypto::sha256(b"hello world").to_vec()
+        );
+        let tuples = view.object_tuples("doc.log", 0);
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(tuples[0].name, "read");
+    }
+}

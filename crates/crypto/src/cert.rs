@@ -1,0 +1,487 @@
+//! X.509-style certificates and chains of trust.
+//!
+//! Pesos uses certificates in three places:
+//!
+//! 1. Clients authenticate to the controller with a certificate; the
+//!    certificate's public key becomes the session identity tested by the
+//!    `sessionKeyIs` policy predicate.
+//! 2. External facts (`certificateSays(authority, freshness, tuple)`) are
+//!    certified statements — e.g. a trusted time service signing
+//!    `time(1650000000)`, possibly with a Pesos-generated nonce for
+//!    freshness, and possibly endorsed by a certificate authority to form a
+//!    chain of trust.
+//! 3. Each Kinetic drive carries a device certificate which the controller
+//!    pins at bootstrap, letting it detect whole-disk replacement (a
+//!    coarse-grained rollback attack the paper explicitly covers).
+//!
+//! Certificates here carry named *claims* — tuples of a name and string
+//! arguments — which map directly onto the tuple values of the policy
+//! language.
+
+use crate::error::CryptoError;
+use crate::keys::{KeyPair, PublicKey, Signature};
+
+/// A named claim carried by a certificate, e.g. `time("1650000000")` or
+/// `member("group-admins", "alice")`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Claim {
+    /// The tuple name.
+    pub name: String,
+    /// The tuple arguments, kept as strings; the policy layer parses them
+    /// into typed values when needed.
+    pub args: Vec<String>,
+}
+
+impl Claim {
+    /// Creates a claim from a name and arguments.
+    pub fn new(name: impl Into<String>, args: Vec<String>) -> Self {
+        Claim {
+            name: name.into(),
+            args,
+        }
+    }
+}
+
+/// An X.509-style certificate binding a subject and claims to a public key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Certificate {
+    /// Human-readable subject name (e.g. `"client:alice"`, `"drive:kd-07"`).
+    pub subject: String,
+    /// The subject's public key.
+    pub subject_key: PublicKey,
+    /// Name of the issuer.
+    pub issuer: String,
+    /// The issuer's public key; for self-signed certificates this equals
+    /// `subject_key`.
+    pub issuer_key: PublicKey,
+    /// Claims certified by the issuer.
+    pub claims: Vec<Claim>,
+    /// Validity window start (seconds, arbitrary epoch).
+    pub not_before: u64,
+    /// Validity window end (seconds).
+    pub not_after: u64,
+    /// Serial number assigned by the issuer.
+    pub serial: u64,
+    /// Optional freshness nonce (e.g. supplied by Pesos for time queries).
+    pub nonce: Option<Vec<u8>>,
+    /// The issuer's signature over the canonical encoding.
+    pub signature: Signature,
+}
+
+impl Certificate {
+    /// Returns the canonical byte encoding that is signed.
+    fn to_signed_bytes(
+        subject: &str,
+        subject_key: &PublicKey,
+        issuer: &str,
+        issuer_key: &PublicKey,
+        claims: &[Claim],
+        not_before: u64,
+        not_after: u64,
+        serial: u64,
+        nonce: &Option<Vec<u8>>,
+    ) -> Vec<u8> {
+        let mut out = Vec::new();
+        let push_str = |out: &mut Vec<u8>, s: &str| {
+            out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+            out.extend_from_slice(s.as_bytes());
+        };
+        push_str(&mut out, subject);
+        out.extend_from_slice(&subject_key.to_bytes());
+        push_str(&mut out, issuer);
+        out.extend_from_slice(&issuer_key.to_bytes());
+        out.extend_from_slice(&(claims.len() as u32).to_be_bytes());
+        for claim in claims {
+            push_str(&mut out, &claim.name);
+            out.extend_from_slice(&(claim.args.len() as u32).to_be_bytes());
+            for arg in &claim.args {
+                push_str(&mut out, arg);
+            }
+        }
+        out.extend_from_slice(&not_before.to_be_bytes());
+        out.extend_from_slice(&not_after.to_be_bytes());
+        out.extend_from_slice(&serial.to_be_bytes());
+        match nonce {
+            Some(n) => {
+                out.push(1);
+                out.extend_from_slice(&(n.len() as u32).to_be_bytes());
+                out.extend_from_slice(n);
+            }
+            None => out.push(0),
+        }
+        out
+    }
+
+    /// Verifies the issuer's signature using the embedded issuer key.
+    ///
+    /// Note that this only checks *integrity*; whether the issuer is trusted
+    /// is decided by [`TrustStore::verify_chain`] or by the policy engine.
+    pub fn verify_signature(&self) -> Result<(), CryptoError> {
+        let bytes = Self::to_signed_bytes(
+            &self.subject,
+            &self.subject_key,
+            &self.issuer,
+            &self.issuer_key,
+            &self.claims,
+            self.not_before,
+            self.not_after,
+            self.serial,
+            &self.nonce,
+        );
+        self.issuer_key.verify(&bytes, &self.signature)
+    }
+
+    /// True if `now` falls within the certificate's validity window.
+    pub fn valid_at(&self, now: u64) -> bool {
+        now >= self.not_before && now <= self.not_after
+    }
+
+    /// True if the certificate is self-signed (subject key == issuer key).
+    pub fn is_self_signed(&self) -> bool {
+        self.subject_key == self.issuer_key
+    }
+
+    /// Looks up the first claim with the given name.
+    pub fn claim(&self, name: &str) -> Option<&Claim> {
+        self.claims.iter().find(|c| c.name == name)
+    }
+
+    /// Returns the certificate fingerprint (hash of the signed encoding).
+    pub fn fingerprint(&self) -> [u8; 32] {
+        let bytes = Self::to_signed_bytes(
+            &self.subject,
+            &self.subject_key,
+            &self.issuer,
+            &self.issuer_key,
+            &self.claims,
+            self.not_before,
+            self.not_after,
+            self.serial,
+            &self.nonce,
+        );
+        crate::sha256(&bytes)
+    }
+}
+
+/// Builder for issuing certificates.
+///
+/// # Examples
+///
+/// ```
+/// use pesos_crypto::{CertificateBuilder, KeyPair};
+/// let ca = KeyPair::from_seed(b"ca");
+/// let alice = KeyPair::from_seed(b"alice");
+/// let cert = CertificateBuilder::new("client:alice", alice.public())
+///     .validity(0, 1_000_000)
+///     .claim("member", vec!["engineering".into()])
+///     .issue("pesos-ca", &ca);
+/// assert!(cert.verify_signature().is_ok());
+/// ```
+pub struct CertificateBuilder {
+    subject: String,
+    subject_key: PublicKey,
+    claims: Vec<Claim>,
+    not_before: u64,
+    not_after: u64,
+    serial: u64,
+    nonce: Option<Vec<u8>>,
+}
+
+impl CertificateBuilder {
+    /// Starts building a certificate for `subject` with `subject_key`.
+    pub fn new(subject: impl Into<String>, subject_key: PublicKey) -> Self {
+        CertificateBuilder {
+            subject: subject.into(),
+            subject_key,
+            claims: Vec::new(),
+            not_before: 0,
+            not_after: u64::MAX,
+            serial: 1,
+            nonce: None,
+        }
+    }
+
+    /// Sets the validity window.
+    pub fn validity(mut self, not_before: u64, not_after: u64) -> Self {
+        self.not_before = not_before;
+        self.not_after = not_after;
+        self
+    }
+
+    /// Adds a claim tuple.
+    pub fn claim(mut self, name: impl Into<String>, args: Vec<String>) -> Self {
+        self.claims.push(Claim::new(name, args));
+        self
+    }
+
+    /// Sets the serial number.
+    pub fn serial(mut self, serial: u64) -> Self {
+        self.serial = serial;
+        self
+    }
+
+    /// Attaches a freshness nonce.
+    pub fn nonce(mut self, nonce: Vec<u8>) -> Self {
+        self.nonce = Some(nonce);
+        self
+    }
+
+    /// Issues the certificate, signing it with `issuer_keys`.
+    pub fn issue(self, issuer: impl Into<String>, issuer_keys: &KeyPair) -> Certificate {
+        let issuer = issuer.into();
+        let issuer_key = issuer_keys.public();
+        let bytes = Certificate::to_signed_bytes(
+            &self.subject,
+            &self.subject_key,
+            &issuer,
+            &issuer_key,
+            &self.claims,
+            self.not_before,
+            self.not_after,
+            self.serial,
+            &self.nonce,
+        );
+        let signature = issuer_keys.sign(&bytes);
+        Certificate {
+            subject: self.subject,
+            subject_key: self.subject_key,
+            issuer,
+            issuer_key,
+            claims: self.claims,
+            not_before: self.not_before,
+            not_after: self.not_after,
+            serial: self.serial,
+            nonce: self.nonce,
+            signature,
+        }
+    }
+
+    /// Issues a self-signed certificate.
+    pub fn issue_self_signed(self, keys: &KeyPair) -> Certificate {
+        let subject = self.subject.clone();
+        self.issue(subject, keys)
+    }
+}
+
+/// Errors specific to certificate-chain validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertificateError {
+    /// The chain was empty.
+    EmptyChain,
+    /// A signature in the chain failed to verify.
+    BadSignature { index: usize },
+    /// A certificate in the chain was outside its validity window.
+    Expired { index: usize },
+    /// The issuer key of certificate `index` does not match the subject key
+    /// of certificate `index + 1`.
+    BrokenLink { index: usize },
+    /// The root of the chain is not in the trust store.
+    UntrustedRoot,
+}
+
+impl std::fmt::Display for CertificateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertificateError::EmptyChain => write!(f, "empty certificate chain"),
+            CertificateError::BadSignature { index } => {
+                write!(f, "bad signature on chain element {index}")
+            }
+            CertificateError::Expired { index } => {
+                write!(f, "chain element {index} outside validity window")
+            }
+            CertificateError::BrokenLink { index } => {
+                write!(f, "issuer of element {index} does not match element {}", index + 1)
+            }
+            CertificateError::UntrustedRoot => write!(f, "untrusted root certificate"),
+        }
+    }
+}
+
+impl std::error::Error for CertificateError {}
+
+/// A set of trusted root public keys and the chain-verification logic.
+#[derive(Clone, Default, Debug)]
+pub struct TrustStore {
+    roots: Vec<PublicKey>,
+}
+
+impl TrustStore {
+    /// Creates an empty trust store.
+    pub fn new() -> Self {
+        TrustStore { roots: Vec::new() }
+    }
+
+    /// Adds a trusted root key.
+    pub fn add_root(&mut self, key: PublicKey) {
+        if !self.roots.contains(&key) {
+            self.roots.push(key);
+        }
+    }
+
+    /// Returns true if `key` is a trusted root.
+    pub fn is_trusted_root(&self, key: &PublicKey) -> bool {
+        self.roots.contains(key)
+    }
+
+    /// Number of trusted roots.
+    pub fn len(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// True if no roots are installed.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Verifies a chain ordered leaf-first: `chain[0]` is the end-entity
+    /// certificate, each `chain[i]` must be issued by `chain[i+1]`'s subject
+    /// key, and the final certificate's issuer must be a trusted root (or
+    /// itself a trusted root key if self-signed).
+    pub fn verify_chain(
+        &self,
+        chain: &[Certificate],
+        now: u64,
+    ) -> Result<(), CertificateError> {
+        if chain.is_empty() {
+            return Err(CertificateError::EmptyChain);
+        }
+        for (i, cert) in chain.iter().enumerate() {
+            if cert.verify_signature().is_err() {
+                return Err(CertificateError::BadSignature { index: i });
+            }
+            if !cert.valid_at(now) {
+                return Err(CertificateError::Expired { index: i });
+            }
+            if i + 1 < chain.len() && cert.issuer_key != chain[i + 1].subject_key {
+                return Err(CertificateError::BrokenLink { index: i });
+            }
+        }
+        let root = chain.last().expect("chain non-empty");
+        if self.is_trusted_root(&root.issuer_key) || self.is_trusted_root(&root.subject_key) {
+            Ok(())
+        } else {
+            Err(CertificateError::UntrustedRoot)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ca() -> KeyPair {
+        KeyPair::from_seed(b"test-ca")
+    }
+
+    #[test]
+    fn self_signed_round_trip() {
+        let alice = KeyPair::from_seed(b"alice");
+        let cert = CertificateBuilder::new("client:alice", alice.public())
+            .validity(10, 100)
+            .issue_self_signed(&alice);
+        assert!(cert.is_self_signed());
+        cert.verify_signature().unwrap();
+        assert!(cert.valid_at(50));
+        assert!(!cert.valid_at(5));
+        assert!(!cert.valid_at(101));
+    }
+
+    #[test]
+    fn ca_issued_cert_verifies() {
+        let ca = ca();
+        let bob = KeyPair::from_seed(b"bob");
+        let cert = CertificateBuilder::new("client:bob", bob.public())
+            .claim("member", vec!["storage-team".into()])
+            .issue("pesos-ca", &ca);
+        cert.verify_signature().unwrap();
+        assert!(!cert.is_self_signed());
+        assert_eq!(cert.claim("member").unwrap().args[0], "storage-team");
+        assert!(cert.claim("missing").is_none());
+    }
+
+    #[test]
+    fn tampering_breaks_signature() {
+        let ca = ca();
+        let bob = KeyPair::from_seed(b"bob");
+        let mut cert = CertificateBuilder::new("client:bob", bob.public()).issue("pesos-ca", &ca);
+        cert.claims.push(Claim::new("admin", vec![]));
+        assert!(cert.verify_signature().is_err());
+    }
+
+    #[test]
+    fn chain_verification() {
+        let root = ca();
+        let intermediate = KeyPair::from_seed(b"time-service");
+        let mut store = TrustStore::new();
+        store.add_root(root.public());
+
+        // Root endorses the time service.
+        let ts_cert = CertificateBuilder::new("svc:time", intermediate.public())
+            .claim("role", vec!["time-authority".into()])
+            .issue("root-ca", &root);
+        // Time service signs a time statement.
+        let leaf = CertificateBuilder::new("stmt:time", intermediate.public())
+            .claim("time", vec!["1650000000".into()])
+            .issue("svc:time", &intermediate);
+
+        store.verify_chain(&[leaf.clone(), ts_cert.clone()], 100).unwrap();
+
+        // Chain with a wrong root fails.
+        let other_store = TrustStore::new();
+        assert_eq!(
+            other_store.verify_chain(&[leaf.clone(), ts_cert.clone()], 100),
+            Err(CertificateError::UntrustedRoot)
+        );
+
+        // Broken link: leaf claims to be issued by someone else.
+        let impostor = KeyPair::from_seed(b"impostor");
+        let bad_leaf = CertificateBuilder::new("stmt:time", impostor.public())
+            .claim("time", vec!["999".into()])
+            .issue("svc:time", &impostor);
+        assert_eq!(
+            store.verify_chain(&[bad_leaf, ts_cert], 100),
+            Err(CertificateError::BrokenLink { index: 0 })
+        );
+    }
+
+    #[test]
+    fn chain_expiry_detected() {
+        let root = ca();
+        let mut store = TrustStore::new();
+        store.add_root(root.public());
+        let leaf = CertificateBuilder::new("x", root.public())
+            .validity(0, 10)
+            .issue("root", &root);
+        assert_eq!(
+            store.verify_chain(&[leaf], 11),
+            Err(CertificateError::Expired { index: 0 })
+        );
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        let store = TrustStore::new();
+        assert_eq!(store.verify_chain(&[], 0), Err(CertificateError::EmptyChain));
+    }
+
+    #[test]
+    fn nonce_is_covered_by_signature() {
+        let ca = ca();
+        let ts = KeyPair::from_seed(b"ts");
+        let cert = CertificateBuilder::new("stmt:time", ts.public())
+            .nonce(vec![1, 2, 3, 4])
+            .issue("ca", &ca);
+        cert.verify_signature().unwrap();
+        let mut altered = cert.clone();
+        altered.nonce = Some(vec![9, 9, 9, 9]);
+        assert!(altered.verify_signature().is_err());
+    }
+
+    #[test]
+    fn fingerprint_changes_with_content() {
+        let ca = ca();
+        let a = CertificateBuilder::new("a", ca.public()).serial(1).issue("ca", &ca);
+        let b = CertificateBuilder::new("a", ca.public()).serial(2).issue("ca", &ca);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

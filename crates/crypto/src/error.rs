@@ -1,0 +1,62 @@
+//! Error types shared by the cryptographic substrate.
+
+use std::fmt;
+
+/// Errors produced by the cryptographic primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A ciphertext or MAC failed verification.
+    AuthenticationFailed,
+    /// Input data could not be decoded (hex, certificate encoding, ...).
+    InvalidEncoding(String),
+    /// A key had the wrong length or structure.
+    InvalidKey(String),
+    /// A nonce had the wrong length.
+    InvalidNonce { expected: usize, got: usize },
+    /// A signature did not verify under the given public key.
+    InvalidSignature,
+    /// A certificate failed validation (expired, bad chain, ...).
+    CertificateInvalid(String),
+    /// An arithmetic precondition was violated (e.g. division by zero).
+    Arithmetic(String),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::AuthenticationFailed => write!(f, "authentication failed"),
+            CryptoError::InvalidEncoding(msg) => write!(f, "invalid encoding: {msg}"),
+            CryptoError::InvalidKey(msg) => write!(f, "invalid key: {msg}"),
+            CryptoError::InvalidNonce { expected, got } => {
+                write!(f, "invalid nonce length: expected {expected}, got {got}")
+            }
+            CryptoError::InvalidSignature => write!(f, "invalid signature"),
+            CryptoError::CertificateInvalid(msg) => write!(f, "certificate invalid: {msg}"),
+            CryptoError::Arithmetic(msg) => write!(f, "arithmetic error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            CryptoError::AuthenticationFailed.to_string(),
+            "authentication failed"
+        );
+        assert!(CryptoError::InvalidNonce {
+            expected: 12,
+            got: 8
+        }
+        .to_string()
+        .contains("12"));
+        assert!(CryptoError::InvalidEncoding("x".into())
+            .to_string()
+            .contains("x"));
+    }
+}

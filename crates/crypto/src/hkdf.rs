@@ -1,0 +1,107 @@
+//! HKDF-SHA256 key derivation (RFC 5869).
+//!
+//! The controller derives per-purpose keys (object encryption, channel
+//! traffic keys, result-buffer sealing) from the master secret provisioned
+//! by the attestation service. HKDF keeps those uses cryptographically
+//! separated by the `info` label.
+
+use crate::hmac::HmacSha256;
+
+/// Derives `out_len` bytes of keying material from `ikm`.
+///
+/// * `salt` — optional non-secret randomization (empty slice allowed).
+/// * `ikm` — the input keying material (e.g. the provisioned master secret).
+/// * `info` — context/purpose label that separates derived keys.
+///
+/// # Panics
+///
+/// Panics if `out_len > 255 * 32`, as the standard does not define longer
+/// outputs.
+///
+/// # Examples
+///
+/// ```
+/// use pesos_crypto::hkdf_sha256;
+/// let k1 = hkdf_sha256(b"salt", b"master", b"object-encryption", 32);
+/// let k2 = hkdf_sha256(b"salt", b"master", b"channel-traffic", 32);
+/// assert_ne!(k1, k2);
+/// ```
+pub fn hkdf_sha256(salt: &[u8], ikm: &[u8], info: &[u8], out_len: usize) -> Vec<u8> {
+    assert!(out_len <= 255 * 32, "HKDF output length too large");
+
+    // Extract.
+    let prk = HmacSha256::mac(salt, ikm);
+
+    // Expand.
+    let mut out = Vec::with_capacity(out_len);
+    let mut previous: Vec<u8> = Vec::new();
+    let mut counter: u8 = 1;
+    while out.len() < out_len {
+        let mut h = HmacSha256::new(&prk);
+        h.update(&previous);
+        h.update(info);
+        h.update(&[counter]);
+        let block = h.finalize();
+        let take = (out_len - out.len()).min(block.len());
+        out.extend_from_slice(&block[..take]);
+        previous = block.to_vec();
+        counter = counter.wrapping_add(1);
+    }
+    out
+}
+
+/// Derives a fixed 32-byte key; convenience wrapper over [`hkdf_sha256`].
+pub fn derive_key32(ikm: &[u8], info: &[u8]) -> [u8; 32] {
+    let v = hkdf_sha256(b"pesos-hkdf-salt", ikm, info, 32);
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&v);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex_encode;
+
+    // RFC 5869 test case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0b; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let okm = hkdf_sha256(&salt, &ikm, &info, 42);
+        assert_eq!(
+            hex_encode(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 test case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case3() {
+        let ikm = [0x0b; 22];
+        let okm = hkdf_sha256(&[], &ikm, &[], 42);
+        assert_eq!(
+            hex_encode(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn different_info_different_keys() {
+        let a = derive_key32(b"master", b"a");
+        let b = derive_key32(b"master", b"b");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn long_output_is_deterministic() {
+        let a = hkdf_sha256(b"s", b"ikm", b"info", 100);
+        let b = hkdf_sha256(b"s", b"ikm", b"info", 100);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        // A prefix request must be a prefix of the longer output.
+        let c = hkdf_sha256(b"s", b"ikm", b"info", 40);
+        assert_eq!(&a[..40], &c[..]);
+    }
+}

@@ -1,0 +1,142 @@
+//! HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+//!
+//! Used by the AEAD construction (encrypt-then-MAC), the secure channel
+//! record layer and key-confirmation messages during attestation.
+
+use crate::sha256::{Digest, Sha256};
+
+const BLOCK_LEN: usize = 64;
+
+/// Incremental HMAC-SHA256 computation.
+///
+/// # Examples
+///
+/// ```
+/// use pesos_crypto::hmac::HmacSha256;
+/// let tag = HmacSha256::mac(b"key", b"message");
+/// assert!(HmacSha256::verify(b"key", b"message", &tag));
+/// assert!(!HmacSha256::verify(b"key", b"other", &tag));
+/// ```
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    opad_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates a new MAC instance keyed with `key`.
+    ///
+    /// Keys longer than the SHA-256 block size are hashed first, as the
+    /// standard requires.
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let d = crate::sha256(key);
+            k[..d.len()].copy_from_slice(&d);
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad = [0u8; BLOCK_LEN];
+        let mut opad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] = k[i] ^ 0x36;
+            opad[i] = k[i] ^ 0x5c;
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        HmacSha256 {
+            inner,
+            opad_key: opad,
+        }
+    }
+
+    /// Absorbs `data` into the MAC computation.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finalizes and returns the 32-byte authentication tag.
+    pub fn finalize(self) -> Digest {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// One-shot MAC of `data` under `key`.
+    pub fn mac(key: &[u8], data: &[u8]) -> Digest {
+        let mut h = HmacSha256::new(key);
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Verifies `tag` against the MAC of `data` under `key` in constant time.
+    pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> bool {
+        let expected = Self::mac(key, data);
+        crate::ct_eq(&expected, tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex_encode;
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0b; 20];
+        let tag = HmacSha256::mac(&key, b"Hi There");
+        assert_eq!(
+            hex_encode(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let tag = HmacSha256::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex_encode(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaa; 20];
+        let data = [0xdd; 50];
+        let tag = HmacSha256::mac(&key, &data);
+        assert_eq!(
+            hex_encode(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_long_key() {
+        let key = [0xaa; 131];
+        let tag = HmacSha256::mac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex_encode(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let mut h = HmacSha256::new(b"secret");
+        h.update(b"part one, ");
+        h.update(b"part two");
+        assert_eq!(h.finalize(), HmacSha256::mac(b"secret", b"part one, part two"));
+    }
+
+    #[test]
+    fn verify_rejects_truncated_tag() {
+        let tag = HmacSha256::mac(b"k", b"m");
+        assert!(!HmacSha256::verify(b"k", b"m", &tag[..16]));
+    }
+}

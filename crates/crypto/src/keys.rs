@@ -1,0 +1,285 @@
+//! Schnorr-style signing keys over a 256-bit prime field.
+//!
+//! Pesos identifies clients by the public key of the X.509 certificate they
+//! present when establishing the TLS session (`sessionKeyIs` predicate), and
+//! uses third-party signatures for externally certified facts
+//! (`certificateSays` predicate, e.g. a trusted time service). This module
+//! provides the key pairs and signatures used for both.
+//!
+//! The scheme is classic Schnorr in the multiplicative group modulo
+//! `p = 2^256 - 189` with generator `g = 2`:
+//!
+//! * secret key `x`, public key `y = g^x mod p`
+//! * sign: pick nonce `k`, compute `r = g^k`, `e = H(r || m) mod (p-1)`,
+//!   `s = k + e·x mod (p-1)`; signature is `(e, s)`
+//! * verify: recompute `r' = g^s · y^{-e}` and accept iff
+//!   `H(r' || m) mod (p-1) == e`
+//!
+//! It exists to give the policy engine real verify-able signatures with the
+//! right cost profile, not to be a hardened production scheme.
+
+use crate::bigint::{group_order, prime_p, U256};
+use crate::error::CryptoError;
+use crate::sha256::sha256_concat;
+
+/// The group generator.
+fn generator() -> U256 {
+    U256::from_u64(2)
+}
+
+/// A public verification key; also serves as a client identity in policies.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PublicKey {
+    y: U256,
+}
+
+/// A Schnorr signature `(e, s)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Signature {
+    e: U256,
+    s: U256,
+}
+
+/// A signing key pair.
+#[derive(Clone)]
+pub struct KeyPair {
+    secret: U256,
+    public: PublicKey,
+}
+
+impl std::fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PublicKey({})", &self.fingerprint_hex()[..16])
+    }
+}
+
+impl std::fmt::Debug for KeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the secret key.
+        write!(f, "KeyPair(public: {:?})", self.public)
+    }
+}
+
+impl PublicKey {
+    /// Serializes the public key as 32 big-endian bytes.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.y.to_be_bytes()
+    }
+
+    /// Parses a public key from 32 big-endian bytes.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Self {
+        PublicKey {
+            y: U256::from_be_bytes(bytes),
+        }
+    }
+
+    /// Parses a public key from a byte slice of at most 32 bytes.
+    pub fn from_slice(bytes: &[u8]) -> Result<Self, CryptoError> {
+        U256::from_be_slice(bytes)
+            .map(|y| PublicKey { y })
+            .ok_or_else(|| CryptoError::InvalidKey("public key longer than 32 bytes".into()))
+    }
+
+    /// SHA-256 fingerprint of the serialized key.
+    pub fn fingerprint(&self) -> [u8; 32] {
+        crate::sha256(&self.to_bytes())
+    }
+
+    /// Hex-encoded fingerprint, convenient for logs and policy text.
+    pub fn fingerprint_hex(&self) -> String {
+        crate::hex_encode(&self.fingerprint())
+    }
+
+    /// Verifies `sig` over `message`.
+    pub fn verify(&self, message: &[u8], sig: &Signature) -> Result<(), CryptoError> {
+        let p = prime_p();
+        let q = group_order();
+        let g = generator();
+
+        if sig.s.cmp_u256(&q) != std::cmp::Ordering::Less || sig.s.is_zero() && sig.e.is_zero() {
+            return Err(CryptoError::InvalidSignature);
+        }
+
+        // r' = g^s * (y^e)^{-1} mod p.
+        let gs = g.pow_mod(&sig.s, &p);
+        let ye = self.y.pow_mod(&sig.e, &p);
+        let ye_inv = ye
+            .inv_mod_prime(&p)
+            .ok_or(CryptoError::InvalidSignature)?;
+        let r_prime = gs.mul_mod(ye_inv, &p);
+
+        let e_prime = challenge(&r_prime, message, &q);
+        if e_prime == sig.e {
+            Ok(())
+        } else {
+            Err(CryptoError::InvalidSignature)
+        }
+    }
+}
+
+impl Signature {
+    /// Serializes the signature as 64 bytes (`e || s`, both big-endian).
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.e.to_be_bytes());
+        out[32..].copy_from_slice(&self.s.to_be_bytes());
+        out
+    }
+
+    /// Parses a signature from its 64-byte encoding.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        if bytes.len() != 64 {
+            return Err(CryptoError::InvalidEncoding(format!(
+                "signature must be 64 bytes, got {}",
+                bytes.len()
+            )));
+        }
+        let mut e = [0u8; 32];
+        let mut s = [0u8; 32];
+        e.copy_from_slice(&bytes[..32]);
+        s.copy_from_slice(&bytes[32..]);
+        Ok(Signature {
+            e: U256::from_be_bytes(&e),
+            s: U256::from_be_bytes(&s),
+        })
+    }
+}
+
+impl KeyPair {
+    /// Generates a fresh key pair using the supplied RNG.
+    pub fn generate<R: rand::Rng>(rng: &mut R) -> Self {
+        let q = group_order();
+        let secret = U256::random_below(rng, &q);
+        Self::from_secret(secret)
+    }
+
+    /// Derives a deterministic key pair from a seed.
+    ///
+    /// Useful for reproducible tests and benchmark fixtures; the seed is
+    /// hashed so any byte string works.
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let digest = crate::sha256(seed);
+        let secret = U256::from_be_bytes(&digest).rem(&group_order());
+        let secret = if secret.is_zero() { U256::ONE } else { secret };
+        Self::from_secret(secret)
+    }
+
+    fn from_secret(secret: U256) -> Self {
+        let p = prime_p();
+        let y = generator().pow_mod(&secret, &p);
+        KeyPair {
+            secret,
+            public: PublicKey { y },
+        }
+    }
+
+    /// Returns the public half of the key pair.
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Signs `message`.
+    ///
+    /// The nonce is derived deterministically from the secret key and the
+    /// message (RFC 6979 style) so signing never needs an RNG and cannot be
+    /// broken by nonce reuse across identical messages.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let p = prime_p();
+        let q = group_order();
+        let g = generator();
+
+        // Deterministic nonce: H(secret || message), reduced into the group.
+        let k_digest = sha256_concat(&[&self.secret.to_be_bytes(), message, b"pesos-nonce"]);
+        let mut k = U256::from_be_bytes(&k_digest).rem(&q);
+        if k.is_zero() {
+            k = U256::ONE;
+        }
+
+        let r = g.pow_mod(&k, &p);
+        let e = challenge(&r, message, &q);
+        // s = k + e*x mod q.
+        let ex = e.mul_mod(self.secret, &q);
+        let s = k.add_mod(ex, &q);
+        Signature { e, s }
+    }
+}
+
+/// Computes the Fiat–Shamir challenge `H(r || m) mod q`.
+fn challenge(r: &U256, message: &[u8], q: &U256) -> U256 {
+    let digest = sha256_concat(&[&r.to_be_bytes(), message]);
+    U256::from_be_bytes(&digest).rem(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let kp = KeyPair::from_seed(b"alice");
+        let sig = kp.sign(b"grant read access to object 42");
+        kp.public()
+            .verify(b"grant read access to object 42", &sig)
+            .unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_wrong_message() {
+        let kp = KeyPair::from_seed(b"alice");
+        let sig = kp.sign(b"message A");
+        assert!(kp.public().verify(b"message B", &sig).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let alice = KeyPair::from_seed(b"alice");
+        let bob = KeyPair::from_seed(b"bob");
+        let sig = alice.sign(b"hello");
+        assert!(bob.public().verify(b"hello", &sig).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_tampered_signature() {
+        let kp = KeyPair::from_seed(b"alice");
+        let sig = kp.sign(b"hello");
+        let mut bytes = sig.to_bytes();
+        bytes[40] ^= 0x01;
+        let bad = Signature::from_bytes(&bytes).unwrap();
+        assert!(kp.public().verify(b"hello", &bad).is_err());
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = KeyPair::from_seed(b"seed");
+        let b = KeyPair::from_seed(b"seed");
+        assert_eq!(a.public(), b.public());
+        assert_ne!(a.public(), KeyPair::from_seed(b"other").public());
+    }
+
+    #[test]
+    fn signature_serialization_round_trip() {
+        let kp = KeyPair::from_seed(b"carol");
+        let sig = kp.sign(b"payload");
+        let parsed = Signature::from_bytes(&sig.to_bytes()).unwrap();
+        assert_eq!(parsed, sig);
+        assert!(Signature::from_bytes(&[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn public_key_serialization_round_trip() {
+        let kp = KeyPair::from_seed(b"dave");
+        let pk = kp.public();
+        let restored = PublicKey::from_bytes(&pk.to_bytes());
+        assert_eq!(restored, pk);
+        let sig = kp.sign(b"x");
+        restored.verify(b"x", &sig).unwrap();
+    }
+
+    #[test]
+    fn random_keypair_works() {
+        let mut rng = rand::thread_rng();
+        let kp = KeyPair::generate(&mut rng);
+        let sig = kp.sign(b"random key message");
+        kp.public().verify(b"random key message", &sig).unwrap();
+    }
+}

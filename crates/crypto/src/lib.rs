@@ -1,0 +1,148 @@
+//! Cryptographic substrate for the Pesos secure object store reproduction.
+//!
+//! The original Pesos prototype relies on OpenSSL (TLS, AES-GCM, SHA-256,
+//! X.509) running inside an SGX enclave. This crate provides the equivalent
+//! building blocks implemented from scratch so that the rest of the system
+//! exercises the same code paths — key derivation, authenticated encryption
+//! of every object before it leaves the controller, certificate chains for
+//! the `certificateSays` policy predicate, and mutually authenticated
+//! channels — without depending on external cryptographic libraries.
+//!
+//! # Security notice
+//!
+//! These primitives are **simulation grade**. SHA-256 and HMAC follow the
+//! standard constructions and pass the published test vectors, but the AEAD
+//! and signature schemes are deliberately simple (encrypt-then-MAC over a
+//! hash-based keystream, Schnorr-style signatures over a 256-bit prime
+//! field with textbook big-integer arithmetic). They reproduce the *cost
+//! profile* and *API semantics* the paper depends on; they are not intended
+//! to protect real data.
+
+pub mod aead;
+pub mod bigint;
+pub mod cert;
+pub mod error;
+pub mod hkdf;
+pub mod hmac;
+pub mod keys;
+pub mod sha256;
+
+pub use aead::{AeadKey, SealedBox};
+pub use bigint::U256;
+pub use cert::{Certificate, CertificateBuilder, CertificateError, TrustStore};
+pub use error::CryptoError;
+pub use hkdf::hkdf_sha256;
+pub use hmac::HmacSha256;
+pub use keys::{KeyPair, PublicKey, Signature};
+pub use sha256::{sha256, Digest, Sha256};
+
+/// Length in bytes of a SHA-256 digest.
+pub const DIGEST_LEN: usize = 32;
+
+/// Length in bytes of symmetric keys used throughout the system.
+pub const KEY_LEN: usize = 32;
+
+/// Length in bytes of AEAD nonces.
+pub const NONCE_LEN: usize = 12;
+
+/// Length in bytes of the AEAD authentication tag.
+pub const TAG_LEN: usize = 16;
+
+/// Computes the SHA-256 digest of `data` and returns it hex-encoded.
+///
+/// Convenience helper used by object fingerprinting (`objHash` predicate)
+/// and by tests.
+pub fn sha256_hex(data: &[u8]) -> String {
+    hex_encode(&sha256(data))
+}
+
+/// Encodes bytes as lowercase hexadecimal.
+pub fn hex_encode(data: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(data.len() * 2);
+    for &b in data {
+        out.push(HEX[(b >> 4) as usize] as char);
+        out.push(HEX[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a lowercase or uppercase hexadecimal string into bytes.
+///
+/// Returns an error if the string has odd length or contains a non-hex
+/// character.
+pub fn hex_decode(s: &str) -> Result<Vec<u8>, CryptoError> {
+    if s.len() % 2 != 0 {
+        return Err(CryptoError::InvalidEncoding("odd-length hex string".into()));
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for chunk in bytes.chunks(2) {
+        let hi = hex_val(chunk[0])?;
+        let lo = hex_val(chunk[1])?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+fn hex_val(c: u8) -> Result<u8, CryptoError> {
+    match c {
+        b'0'..=b'9' => Ok(c - b'0'),
+        b'a'..=b'f' => Ok(c - b'a' + 10),
+        b'A'..=b'F' => Ok(c - b'A' + 10),
+        _ => Err(CryptoError::InvalidEncoding(format!(
+            "invalid hex character {:?}",
+            c as char
+        ))),
+    }
+}
+
+/// Constant-time equality comparison of two byte slices.
+///
+/// Returns `false` if the lengths differ. Used for MAC and tag comparison to
+/// mirror what a production implementation would do.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let data = vec![0u8, 1, 2, 0xfe, 0xff, 0x10, 0xab];
+        let enc = hex_encode(&data);
+        assert_eq!(enc, "000102feff10ab");
+        assert_eq!(hex_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn hex_decode_rejects_bad_input() {
+        assert!(hex_decode("abc").is_err());
+        assert!(hex_decode("zz").is_err());
+    }
+
+    #[test]
+    fn ct_eq_behaviour() {
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn sha256_hex_known_vector() {
+        assert_eq!(
+            sha256_hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! A named set of Kinetic drives assigned to one Pesos controller.
+//!
+//! The paper's controller uses a static configuration of drives (dynamic
+//! membership via consistent hashing is listed as future work); the
+//! [`DriveSet`] mirrors that: an ordered list of drives addressable by index
+//! (for the replication placement function) and by identifier, plus helpers
+//! for cluster-wide administration and the drive-to-drive copy API.
+
+use std::sync::Arc;
+
+use crate::drive::KineticDrive;
+use crate::error::KineticError;
+
+/// An ordered collection of drives.
+#[derive(Clone, Default)]
+pub struct DriveSet {
+    drives: Vec<Arc<KineticDrive>>,
+}
+
+impl DriveSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        DriveSet { drives: Vec::new() }
+    }
+
+    /// Creates a set from existing drives.
+    pub fn from_drives(drives: Vec<Arc<KineticDrive>>) -> Self {
+        DriveSet { drives }
+    }
+
+    /// Adds a drive to the end of the ordered list.
+    pub fn add(&mut self, drive: Arc<KineticDrive>) {
+        self.drives.push(drive);
+    }
+
+    /// Number of drives.
+    pub fn len(&self) -> usize {
+        self.drives.len()
+    }
+
+    /// True if the set holds no drives.
+    pub fn is_empty(&self) -> bool {
+        self.drives.is_empty()
+    }
+
+    /// Returns the drive at `index`.
+    pub fn get(&self, index: usize) -> Option<&Arc<KineticDrive>> {
+        self.drives.get(index)
+    }
+
+    /// Looks a drive up by identifier.
+    pub fn by_id(&self, id: &str) -> Option<&Arc<KineticDrive>> {
+        self.drives.iter().find(|d| d.id() == id)
+    }
+
+    /// Iterates over the drives in configuration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<KineticDrive>> {
+        self.drives.iter()
+    }
+
+    /// Identifiers of all drives, in order.
+    pub fn ids(&self) -> Vec<String> {
+        self.drives.iter().map(|d| d.id().to_string()).collect()
+    }
+
+    /// Indices of drives that are currently reachable.
+    pub fn online_indices(&self) -> Vec<usize> {
+        self.drives
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_online())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Copies `keys` from the drive `source_id` directly to `target_id`
+    /// using the P2P push API.
+    pub fn p2p_push(
+        &self,
+        source_id: &str,
+        target_id: &str,
+        keys: &[Vec<u8>],
+    ) -> Result<usize, KineticError> {
+        let source = self
+            .by_id(source_id)
+            .ok_or_else(|| KineticError::DriveUnavailable(source_id.to_string()))?;
+        let target = self
+            .by_id(target_id)
+            .ok_or_else(|| KineticError::DriveUnavailable(target_id.to_string()))?;
+        source.push_to(target, keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drive::DriveConfig;
+
+    fn set(n: usize) -> DriveSet {
+        let drives = (0..n)
+            .map(|i| Arc::new(KineticDrive::new(DriveConfig::simulator(format!("kd-{i:02}")))))
+            .collect();
+        DriveSet::from_drives(drives)
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let mut s = set(3);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.get(1).unwrap().id(), "kd-01");
+        assert!(s.by_id("kd-02").is_some());
+        assert!(s.by_id("missing").is_none());
+        assert_eq!(s.ids(), vec!["kd-00", "kd-01", "kd-02"]);
+
+        s.add(Arc::new(KineticDrive::new(DriveConfig::simulator("kd-99"))));
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn online_tracking() {
+        let s = set(3);
+        assert_eq!(s.online_indices(), vec![0, 1, 2]);
+        s.get(1).unwrap().set_online(false);
+        assert_eq!(s.online_indices(), vec![0, 2]);
+    }
+
+    #[test]
+    fn p2p_push_between_members() {
+        let s = set(2);
+        let source = s.get(0).unwrap();
+        // Store directly through the engine-peek path via a client-less put.
+        source
+            .execute(
+                &crate::drive::Account {
+                    identity: 1,
+                    secret: b"asdfasdf".to_vec(),
+                    permissions: crate::drive::Permission::all(),
+                },
+                &{
+                    let mut c = crate::protocol::Command::request(crate::protocol::MessageType::Put);
+                    c.body.key = b"obj".to_vec();
+                    c.body.value = b"data".to_vec();
+                    c.body.new_version = b"1".to_vec();
+                    c
+                },
+            );
+        let copied = s.p2p_push("kd-00", "kd-01", &[b"obj".to_vec()]).unwrap();
+        assert_eq!(copied, 1);
+        assert!(s.get(1).unwrap().peek(b"obj").is_some());
+        assert!(s.p2p_push("nope", "kd-01", &[]).is_err());
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let s = DriveSet::new();
+        assert!(s.is_empty());
+        assert!(s.get(0).is_none());
+        assert!(s.online_indices().is_empty());
+    }
+}

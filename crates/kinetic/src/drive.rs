@@ -1,0 +1,790 @@
+//! A complete simulated Kinetic drive.
+//!
+//! A drive couples the key-value [`DriveEngine`], a timing
+//! [`DriveBackend`], the security configuration (numeric identities with
+//! shared HMAC secrets and permission masks — real Kinetic drives ship with
+//! the well-known demo identity `1` / secret `asdfasdf` that Pesos removes
+//! at bootstrap), a unique device certificate that lets the controller
+//! detect whole-drive replacement, and the administrative operations
+//! (`Security`, `Setup`, `GetLog`) plus the peer-to-peer copy API.
+//!
+//! The drive processes authenticated protocol envelopes
+//! ([`KineticDrive::handle_frame`]); the client library in [`crate::client`]
+//! produces and consumes those envelopes.
+
+use parking_lot::{Mutex, RwLock};
+use pesos_crypto::{Certificate, CertificateBuilder, KeyPair};
+
+use crate::backend::{BackendKind, DriveBackend, HddModel};
+use crate::engine::{DriveEngine, EngineStats, StoredEntry};
+use crate::error::KineticError;
+use crate::protocol::{
+    AccountSpec, Command, Envelope, MessageType, ResponseStatus, StatusCode,
+};
+
+/// Permission bits for drive operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Permission {
+    /// Read values.
+    Read,
+    /// Write values.
+    Write,
+    /// Delete values.
+    Delete,
+    /// Run range scans.
+    Range,
+    /// Run device setup (cluster version, erase).
+    Setup,
+    /// Change the security configuration.
+    Security,
+    /// Initiate peer-to-peer pushes.
+    P2p,
+    /// Read device logs and statistics.
+    GetLog,
+}
+
+impl Permission {
+    /// The bit used in permission masks.
+    pub fn bit(self) -> u32 {
+        match self {
+            Permission::Read => 1 << 0,
+            Permission::Write => 1 << 1,
+            Permission::Delete => 1 << 2,
+            Permission::Range => 1 << 3,
+            Permission::Setup => 1 << 4,
+            Permission::Security => 1 << 5,
+            Permission::P2p => 1 << 6,
+            Permission::GetLog => 1 << 7,
+        }
+    }
+
+    /// A mask granting every permission.
+    pub fn all() -> u32 {
+        0xff
+    }
+
+    /// A mask granting only data-path permissions (read/write/delete/range).
+    pub fn data_only() -> u32 {
+        Permission::Read.bit()
+            | Permission::Write.bit()
+            | Permission::Delete.bit()
+            | Permission::Range.bit()
+    }
+}
+
+/// An access-control account on the drive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Account {
+    /// Numeric identity presented in envelopes.
+    pub identity: i64,
+    /// Shared HMAC secret.
+    pub secret: Vec<u8>,
+    /// Permission mask ([`Permission::bit`] values OR-ed together).
+    pub permissions: u32,
+}
+
+impl Account {
+    /// True if the account holds `permission`.
+    pub fn allows(&self, permission: Permission) -> bool {
+        self.permissions & permission.bit() != 0
+    }
+}
+
+/// The security configuration of a drive.
+#[derive(Debug, Clone, Default)]
+pub struct AccessControl {
+    accounts: Vec<Account>,
+}
+
+impl AccessControl {
+    /// The factory configuration: the well-known demo identity with full
+    /// permissions, exactly what Pesos must remove at bootstrap.
+    pub fn factory_default() -> Self {
+        AccessControl {
+            accounts: vec![Account {
+                identity: 1,
+                secret: b"asdfasdf".to_vec(),
+                permissions: Permission::all(),
+            }],
+        }
+    }
+
+    /// Replaces all accounts.
+    pub fn replace(&mut self, accounts: Vec<Account>) {
+        self.accounts = accounts;
+    }
+
+    /// Looks up an account by identity.
+    pub fn account(&self, identity: i64) -> Option<&Account> {
+        self.accounts.iter().find(|a| a.identity == identity)
+    }
+
+    /// Number of configured accounts.
+    pub fn len(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// True if no accounts are configured (drive is unreachable).
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+    }
+}
+
+/// Static configuration of a drive.
+#[derive(Debug, Clone)]
+pub struct DriveConfig {
+    /// Drive identifier (serial number), e.g. `"kd-01"`.
+    pub id: String,
+    /// Advertised capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Timing backend.
+    pub backend: BackendKind,
+    /// Custom HDD model (only used when `backend` is [`BackendKind::Hdd`]).
+    pub hdd_model: Option<HddModel>,
+    /// Initial cluster version.
+    pub cluster_version: u64,
+}
+
+impl DriveConfig {
+    /// Configuration for an in-memory simulator drive (the paper's "Sim").
+    pub fn simulator(id: impl Into<String>) -> Self {
+        DriveConfig {
+            id: id.into(),
+            capacity_bytes: 4 * 1024 * 1024 * 1024, // Plenty for benchmarks.
+            backend: BackendKind::Memory,
+            hdd_model: None,
+            cluster_version: 0,
+        }
+    }
+
+    /// Configuration for an HDD-modelled drive (the paper's "Disk").
+    pub fn hdd(id: impl Into<String>) -> Self {
+        DriveConfig {
+            id: id.into(),
+            capacity_bytes: 4 * 1024 * 1024 * 1024 * 1024, // 4 TB.
+            backend: BackendKind::Hdd,
+            hdd_model: None,
+            cluster_version: 0,
+        }
+    }
+}
+
+/// Device information returned by `GetLog`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriveInfo {
+    /// Drive identifier.
+    pub id: String,
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Bytes in use.
+    pub used_bytes: u64,
+    /// Fraction of capacity in use.
+    pub utilization: f64,
+    /// Engine operation counters.
+    pub stats: EngineStats,
+    /// Current cluster version.
+    pub cluster_version: u64,
+    /// Number of configured accounts.
+    pub accounts: usize,
+}
+
+/// A simulated Kinetic drive.
+pub struct KineticDrive {
+    config: DriveConfig,
+    engine: Mutex<DriveEngine>,
+    backend: DriveBackend,
+    security: RwLock<AccessControl>,
+    cluster_version: RwLock<u64>,
+    device_keys: KeyPair,
+    device_certificate: Certificate,
+    /// Simulated availability flag (failure injection).
+    online: RwLock<bool>,
+}
+
+impl KineticDrive {
+    /// Creates a drive in its factory state.
+    pub fn new(config: DriveConfig) -> Self {
+        let backend = match config.backend {
+            BackendKind::Memory => DriveBackend::memory(),
+            BackendKind::Hdd => match config.hdd_model {
+                Some(model) => DriveBackend::hdd_with(model),
+                None => DriveBackend::hdd(),
+            },
+        };
+        let device_keys = KeyPair::from_seed(format!("kinetic-device-{}", config.id).as_bytes());
+        let device_certificate =
+            CertificateBuilder::new(format!("drive:{}", config.id), device_keys.public())
+                .claim("model", vec!["ST4000NK0001".to_string()])
+                .claim("serial", vec![config.id.clone()])
+                .issue_self_signed(&device_keys);
+        KineticDrive {
+            engine: Mutex::new(DriveEngine::new(config.capacity_bytes)),
+            backend,
+            security: RwLock::new(AccessControl::factory_default()),
+            cluster_version: RwLock::new(config.cluster_version),
+            device_keys,
+            device_certificate,
+            config,
+            online: RwLock::new(true),
+        }
+    }
+
+    /// The drive identifier.
+    pub fn id(&self) -> &str {
+        &self.config.id
+    }
+
+    /// The unique device certificate (used by the controller to detect
+    /// whole-drive replacement between restarts).
+    pub fn device_certificate(&self) -> &Certificate {
+        &self.device_certificate
+    }
+
+    /// The device signing keys (used to answer attestation challenges).
+    pub fn device_keys(&self) -> &KeyPair {
+        &self.device_keys
+    }
+
+    /// Simulates unplugging the drive; subsequent requests fail.
+    pub fn set_online(&self, online: bool) {
+        *self.online.write() = online;
+    }
+
+    /// True if the drive is reachable.
+    pub fn is_online(&self) -> bool {
+        *self.online.read()
+    }
+
+    /// Returns device information (the `GetLog` payload).
+    pub fn info(&self) -> DriveInfo {
+        let engine = self.engine.lock();
+        DriveInfo {
+            id: self.config.id.clone(),
+            capacity_bytes: engine.capacity_bytes(),
+            used_bytes: engine.used_bytes(),
+            utilization: engine.utilization(),
+            stats: engine.stats(),
+            cluster_version: *self.cluster_version.read(),
+            accounts: self.security.read().len(),
+        }
+    }
+
+    /// Looks up the secret for an identity (used by the client library when
+    /// the caller owns the drive's credentials).
+    pub fn account_secret(&self, identity: i64) -> Option<Vec<u8>> {
+        self.security
+            .read()
+            .account(identity)
+            .map(|a| a.secret.clone())
+    }
+
+    /// Processes one authenticated protocol frame and returns the encoded,
+    /// authenticated response frame.
+    pub fn handle_frame(&self, frame: &[u8]) -> Vec<u8> {
+        match self.handle_frame_inner(frame) {
+            Ok(response) => response,
+            Err((identity_secret, err)) => {
+                // Best-effort error response; authenticate it if we know the
+                // caller's secret, otherwise send it with an empty secret.
+                let mut resp = Command::request(MessageType::Response);
+                resp.status = ResponseStatus {
+                    code: err.status_code(),
+                    message: err.to_string(),
+                };
+                let secret = identity_secret.unwrap_or_default();
+                Envelope::seal(0, &secret, &resp).encode()
+            }
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn handle_frame_inner(
+        &self,
+        frame: &[u8],
+    ) -> Result<Vec<u8>, (Option<Vec<u8>>, KineticError)> {
+        if !self.is_online() {
+            return Err((
+                None,
+                KineticError::DriveUnavailable(format!("drive {} offline", self.config.id)),
+            ));
+        }
+        let envelope = Envelope::decode(frame).map_err(|e| (None, e))?;
+        let account = {
+            let security = self.security.read();
+            security.account(envelope.identity).cloned()
+        };
+        let account = account.ok_or_else(|| {
+            (
+                None,
+                KineticError::NotAuthorized(format!("unknown identity {}", envelope.identity)),
+            )
+        })?;
+        let command = envelope
+            .open(&account.secret)
+            .map_err(|e| (Some(account.secret.clone()), e))?;
+
+        let response = self.execute(&account, &command);
+        Ok(Envelope::seal(envelope.identity, &account.secret, &response).encode())
+    }
+
+    /// Executes an already authenticated command for `account`.
+    pub fn execute(&self, account: &Account, command: &Command) -> Command {
+        // Cluster version must match for data operations (admin Setup may
+        // change it).
+        let current_cluster = *self.cluster_version.read();
+        if command.cluster_version != current_cluster
+            && command.message_type != MessageType::Setup
+            && command.message_type != MessageType::GetLog
+        {
+            return Command::response_to(
+                command,
+                StatusCode::InvalidRequest,
+                format!(
+                    "cluster version mismatch: drive at {current_cluster}, request at {}",
+                    command.cluster_version
+                ),
+            );
+        }
+
+        match command.message_type {
+            MessageType::Noop => Command::response_to(command, StatusCode::Success, ""),
+            MessageType::Put => self.op_put(account, command),
+            MessageType::Get => self.op_get(account, command),
+            MessageType::Delete => self.op_delete(account, command),
+            MessageType::GetKeyRange => self.op_range(account, command),
+            MessageType::Security => self.op_security(account, command),
+            MessageType::Setup => self.op_setup(account, command),
+            MessageType::GetLog => self.op_getlog(account, command),
+            MessageType::Flush => Command::response_to(command, StatusCode::Success, "flushed"),
+            MessageType::PeerToPeerPush => Command::response_to(
+                command,
+                StatusCode::NotAttempted,
+                "peer-to-peer push must be mediated by the cluster layer",
+            ),
+            MessageType::Response => Command::response_to(
+                command,
+                StatusCode::InvalidRequest,
+                "response message sent as request",
+            ),
+        }
+    }
+
+    fn deny(command: &Command, what: &str) -> Command {
+        Command::response_to(
+            command,
+            StatusCode::NotAuthorized,
+            format!("identity lacks {what} permission"),
+        )
+    }
+
+    fn op_put(&self, account: &Account, command: &Command) -> Command {
+        if !account.allows(Permission::Write) {
+            return Self::deny(command, "write");
+        }
+        self.backend
+            .charge_io(command.body.key.len() + command.body.value.len());
+        let result = self.engine.lock().put(
+            &command.body.key,
+            command.body.value.clone(),
+            &command.body.db_version,
+            command.body.new_version.clone(),
+            command.body.force,
+        );
+        match result {
+            Ok(()) => Command::response_to(command, StatusCode::Success, ""),
+            Err(e) => Command::response_to(command, e.status_code(), e.to_string()),
+        }
+    }
+
+    fn op_get(&self, account: &Account, command: &Command) -> Command {
+        if !account.allows(Permission::Read) {
+            return Self::deny(command, "read");
+        }
+        let result = self.engine.lock().get(&command.body.key);
+        match result {
+            Ok(StoredEntry { value, version }) => {
+                self.backend.charge_io(command.body.key.len() + value.len());
+                let mut resp = Command::response_to(command, StatusCode::Success, "");
+                resp.body.key = command.body.key.clone();
+                resp.body.value = value;
+                resp.body.db_version = version;
+                resp
+            }
+            Err(e) => {
+                self.backend.charge_io(command.body.key.len());
+                Command::response_to(command, e.status_code(), e.to_string())
+            }
+        }
+    }
+
+    fn op_delete(&self, account: &Account, command: &Command) -> Command {
+        if !account.allows(Permission::Delete) {
+            return Self::deny(command, "delete");
+        }
+        self.backend.charge_io(command.body.key.len());
+        let result = self.engine.lock().delete(
+            &command.body.key,
+            &command.body.db_version,
+            command.body.force,
+        );
+        match result {
+            Ok(()) => Command::response_to(command, StatusCode::Success, ""),
+            Err(e) => Command::response_to(command, e.status_code(), e.to_string()),
+        }
+    }
+
+    fn op_range(&self, account: &Account, command: &Command) -> Command {
+        if !account.allows(Permission::Range) {
+            return Self::deny(command, "range");
+        }
+        let max = if command.body.max_returned == 0 {
+            200
+        } else {
+            command.body.max_returned as usize
+        };
+        let keys = self.engine.lock().key_range(
+            &command.body.range_start,
+            &command.body.range_end,
+            max,
+        );
+        self.backend
+            .charge_io(keys.iter().map(|k| k.len()).sum::<usize>());
+        let mut resp = Command::response_to(command, StatusCode::Success, "");
+        // Keys are returned newline-separated in the value field (the real
+        // protocol uses a repeated field; this keeps the codec small).
+        resp.body.value = keys.join(&b"\n"[..]);
+        resp
+    }
+
+    fn op_security(&self, account: &Account, command: &Command) -> Command {
+        if !account.allows(Permission::Security) {
+            return Self::deny(command, "security");
+        }
+        if command.body.security_accounts.is_empty() {
+            return Command::response_to(
+                command,
+                StatusCode::InvalidRequest,
+                "security command must define at least one account",
+            );
+        }
+        let accounts: Vec<Account> = command
+            .body
+            .security_accounts
+            .iter()
+            .map(|spec: &AccountSpec| Account {
+                identity: spec.identity,
+                secret: spec.secret.clone(),
+                permissions: spec.permissions,
+            })
+            .collect();
+        self.security.write().replace(accounts);
+        Command::response_to(command, StatusCode::Success, "security updated")
+    }
+
+    fn op_setup(&self, account: &Account, command: &Command) -> Command {
+        if !account.allows(Permission::Setup) {
+            return Self::deny(command, "setup");
+        }
+        if let Some(v) = command.body.setup_new_cluster_version {
+            *self.cluster_version.write() = v;
+        }
+        if command.body.setup_erase {
+            self.engine.lock().erase();
+        }
+        Command::response_to(command, StatusCode::Success, "setup applied")
+    }
+
+    fn op_getlog(&self, account: &Account, command: &Command) -> Command {
+        if !account.allows(Permission::GetLog) {
+            return Self::deny(command, "getlog");
+        }
+        let info = self.info();
+        let mut resp = Command::response_to(command, StatusCode::Success, "");
+        resp.body.value = format!(
+            "id={};capacity={};used={};utilization={:.6};keys={};cluster_version={}",
+            info.id,
+            info.capacity_bytes,
+            info.used_bytes,
+            info.utilization,
+            info.stats.keys,
+            info.cluster_version
+        )
+        .into_bytes();
+        resp
+    }
+
+    /// Copies the given keys directly to `target`, standing in for the
+    /// drive-to-drive P2P push API (used by replication repair).
+    ///
+    /// Returns the number of keys copied; missing keys are skipped.
+    pub fn push_to(&self, target: &KineticDrive, keys: &[Vec<u8>]) -> Result<usize, KineticError> {
+        if !self.is_online() {
+            return Err(KineticError::DriveUnavailable(self.config.id.clone()));
+        }
+        if !target.is_online() {
+            return Err(KineticError::DriveUnavailable(target.config.id.clone()));
+        }
+        let mut copied = 0;
+        for key in keys {
+            let entry = { self.engine.lock().get(key) };
+            if let Ok(entry) = entry {
+                self.backend.charge_io(key.len() + entry.value.len());
+                target.backend.charge_io(key.len() + entry.value.len());
+                target
+                    .engine
+                    .lock()
+                    .put(key, entry.value, &[], entry.version, true)?;
+                copied += 1;
+            }
+        }
+        Ok(copied)
+    }
+
+    /// Direct engine access for tests and recovery tooling: reads a key
+    /// without permission checks or backend charges.
+    pub fn peek(&self, key: &[u8]) -> Option<StoredEntry> {
+        self.engine.lock().get(key).ok()
+    }
+
+    /// Number of keys currently stored.
+    pub fn key_count(&self) -> usize {
+        self.engine.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive() -> KineticDrive {
+        KineticDrive::new(DriveConfig::simulator("kd-test"))
+    }
+
+    fn admin_envelope(drive: &KineticDrive, command: &Command) -> Vec<u8> {
+        let secret = drive.account_secret(1).unwrap();
+        Envelope::seal(1, &secret, command).encode()
+    }
+
+    fn roundtrip(drive: &KineticDrive, command: &Command) -> Command {
+        let frame = admin_envelope(drive, command);
+        let resp_frame = drive.handle_frame(&frame);
+        let env = Envelope::decode(&resp_frame).unwrap();
+        Command::decode(&env.command_bytes).unwrap()
+    }
+
+    #[test]
+    fn factory_default_account_works() {
+        let d = drive();
+        let mut put = Command::request(MessageType::Put);
+        put.body.key = b"k".to_vec();
+        put.body.value = b"v".to_vec();
+        put.body.new_version = b"1".to_vec();
+        let resp = roundtrip(&d, &put);
+        assert_eq!(resp.status.code, StatusCode::Success);
+
+        let mut get = Command::request(MessageType::Get);
+        get.body.key = b"k".to_vec();
+        let resp = roundtrip(&d, &get);
+        assert_eq!(resp.status.code, StatusCode::Success);
+        assert_eq!(resp.body.value, b"v");
+        assert_eq!(resp.body.db_version, b"1");
+    }
+
+    #[test]
+    fn unknown_identity_rejected() {
+        let d = drive();
+        let cmd = Command::request(MessageType::Noop);
+        let frame = Envelope::seal(99, b"whatever", &cmd).encode();
+        let resp_frame = d.handle_frame(&frame);
+        let env = Envelope::decode(&resp_frame).unwrap();
+        let resp = Command::decode(&env.command_bytes).unwrap();
+        assert_eq!(resp.status.code, StatusCode::NotAuthorized);
+    }
+
+    #[test]
+    fn bad_hmac_rejected() {
+        let d = drive();
+        let cmd = Command::request(MessageType::Noop);
+        let frame = Envelope::seal(1, b"wrong-secret", &cmd).encode();
+        let resp_frame = d.handle_frame(&frame);
+        let env = Envelope::decode(&resp_frame).unwrap();
+        let resp = Command::decode(&env.command_bytes).unwrap();
+        assert_eq!(resp.status.code, StatusCode::HmacFailure);
+    }
+
+    #[test]
+    fn security_takeover_locks_out_old_identity() {
+        let d = drive();
+        // Replace all accounts with a single Pesos admin identity.
+        let mut sec = Command::request(MessageType::Security);
+        sec.body.security_accounts = vec![AccountSpec {
+            identity: 42,
+            secret: b"pesos-admin-secret".to_vec(),
+            permissions: Permission::all(),
+        }];
+        let resp = roundtrip(&d, &sec);
+        assert_eq!(resp.status.code, StatusCode::Success);
+
+        // The factory identity no longer works.
+        let noop = Command::request(MessageType::Noop);
+        let frame = Envelope::seal(1, b"asdfasdf", &noop).encode();
+        let env = Envelope::decode(&d.handle_frame(&frame)).unwrap();
+        let resp = Command::decode(&env.command_bytes).unwrap();
+        assert_eq!(resp.status.code, StatusCode::NotAuthorized);
+
+        // The new identity does.
+        let frame = Envelope::seal(42, b"pesos-admin-secret", &noop).encode();
+        let env = Envelope::decode(&d.handle_frame(&frame)).unwrap();
+        let resp = Command::decode(&env.command_bytes).unwrap();
+        assert_eq!(resp.status.code, StatusCode::Success);
+    }
+
+    #[test]
+    fn permissions_enforced() {
+        let d = drive();
+        // Install a read-only identity.
+        let mut sec = Command::request(MessageType::Security);
+        sec.body.security_accounts = vec![
+            AccountSpec {
+                identity: 1,
+                secret: b"asdfasdf".to_vec(),
+                permissions: Permission::all(),
+            },
+            AccountSpec {
+                identity: 2,
+                secret: b"reader".to_vec(),
+                permissions: Permission::Read.bit(),
+            },
+        ];
+        assert_eq!(roundtrip(&d, &sec).status.code, StatusCode::Success);
+
+        let mut put = Command::request(MessageType::Put);
+        put.body.key = b"k".to_vec();
+        put.body.value = b"v".to_vec();
+        put.body.new_version = b"1".to_vec();
+        let frame = Envelope::seal(2, b"reader", &put).encode();
+        let env = Envelope::decode(&d.handle_frame(&frame)).unwrap();
+        let resp = Command::decode(&env.command_bytes).unwrap();
+        assert_eq!(resp.status.code, StatusCode::NotAuthorized);
+    }
+
+    #[test]
+    fn cluster_version_mismatch_rejected() {
+        let d = drive();
+        // Raise the cluster version via setup.
+        let mut setup = Command::request(MessageType::Setup);
+        setup.body.setup_new_cluster_version = Some(5);
+        assert_eq!(roundtrip(&d, &setup).status.code, StatusCode::Success);
+
+        // A data request still at version 0 is rejected.
+        let mut get = Command::request(MessageType::Get);
+        get.body.key = b"k".to_vec();
+        let resp = roundtrip(&d, &get);
+        assert_eq!(resp.status.code, StatusCode::InvalidRequest);
+
+        // With the right version it reaches the engine (NotFound).
+        let mut get = Command::request(MessageType::Get);
+        get.cluster_version = 5;
+        get.body.key = b"k".to_vec();
+        let resp = roundtrip(&d, &get);
+        assert_eq!(resp.status.code, StatusCode::NotFound);
+    }
+
+    #[test]
+    fn setup_erase_clears_data() {
+        let d = drive();
+        let mut put = Command::request(MessageType::Put);
+        put.body.key = b"k".to_vec();
+        put.body.value = b"v".to_vec();
+        put.body.new_version = b"1".to_vec();
+        roundtrip(&d, &put);
+        assert_eq!(d.key_count(), 1);
+
+        let mut setup = Command::request(MessageType::Setup);
+        setup.body.setup_erase = true;
+        assert_eq!(roundtrip(&d, &setup).status.code, StatusCode::Success);
+        assert_eq!(d.key_count(), 0);
+    }
+
+    #[test]
+    fn getlog_reports_utilization() {
+        let d = drive();
+        let mut log = Command::request(MessageType::GetLog);
+        log.body.log_type = "utilization".to_string();
+        let resp = roundtrip(&d, &log);
+        assert_eq!(resp.status.code, StatusCode::Success);
+        let text = String::from_utf8(resp.body.value).unwrap();
+        assert!(text.contains("id=kd-test"));
+        assert!(text.contains("cluster_version=0"));
+    }
+
+    #[test]
+    fn range_scan_over_frame_interface() {
+        let d = drive();
+        for k in ["a/1", "a/2", "b/1"] {
+            let mut put = Command::request(MessageType::Put);
+            put.body.key = k.as_bytes().to_vec();
+            put.body.value = b"v".to_vec();
+            put.body.new_version = b"1".to_vec();
+            roundtrip(&d, &put);
+        }
+        let mut range = Command::request(MessageType::GetKeyRange);
+        range.body.range_start = b"a/".to_vec();
+        range.body.range_end = b"a/~".to_vec();
+        let resp = roundtrip(&d, &range);
+        assert_eq!(resp.status.code, StatusCode::Success);
+        let keys = String::from_utf8(resp.body.value).unwrap();
+        assert_eq!(keys, "a/1\na/2");
+    }
+
+    #[test]
+    fn offline_drive_unreachable() {
+        let d = drive();
+        d.set_online(false);
+        let noop = Command::request(MessageType::Noop);
+        let frame = Envelope::seal(1, b"asdfasdf", &noop).encode();
+        let env = Envelope::decode(&d.handle_frame(&frame)).unwrap();
+        let resp = Command::decode(&env.command_bytes).unwrap();
+        assert_eq!(resp.status.code, StatusCode::NotAttempted);
+        d.set_online(true);
+        assert!(d.is_online());
+    }
+
+    #[test]
+    fn p2p_push_copies_objects() {
+        let source = drive();
+        let target = KineticDrive::new(DriveConfig::simulator("kd-target"));
+        let mut put = Command::request(MessageType::Put);
+        put.body.key = b"replicate-me".to_vec();
+        put.body.value = b"payload".to_vec();
+        put.body.new_version = b"3".to_vec();
+        roundtrip(&source, &put);
+
+        let copied = source
+            .push_to(&target, &[b"replicate-me".to_vec(), b"missing".to_vec()])
+            .unwrap();
+        assert_eq!(copied, 1);
+        let entry = target.peek(b"replicate-me").unwrap();
+        assert_eq!(entry.value, b"payload");
+        assert_eq!(entry.version, b"3");
+
+        target.set_online(false);
+        assert!(source.push_to(&target, &[b"replicate-me".to_vec()]).is_err());
+    }
+
+    #[test]
+    fn device_certificate_is_stable_and_unique() {
+        let a = KineticDrive::new(DriveConfig::simulator("kd-a"));
+        let a2 = KineticDrive::new(DriveConfig::simulator("kd-a"));
+        let b = KineticDrive::new(DriveConfig::simulator("kd-b"));
+        assert_eq!(
+            a.device_certificate().fingerprint(),
+            a2.device_certificate().fingerprint()
+        );
+        assert_ne!(
+            a.device_certificate().fingerprint(),
+            b.device_certificate().fingerprint()
+        );
+        a.device_certificate().verify_signature().unwrap();
+    }
+}

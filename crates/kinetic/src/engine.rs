@@ -1,0 +1,306 @@
+//! The key-value engine inside a Kinetic drive.
+//!
+//! Real Kinetic drives run a LevelDB-backed key-value store on their SoC.
+//! The engine here keeps the same externally visible semantics: byte-string
+//! keys ordered lexicographically, versioned entries with compare-and-swap
+//! semantics on PUT and DELETE (unless `force` is set), inclusive range
+//! scans, and capacity accounting against the advertised drive size.
+
+use std::collections::BTreeMap;
+
+use crate::error::KineticError;
+
+/// A stored entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredEntry {
+    /// The value bytes.
+    pub value: Vec<u8>,
+    /// The entry version (opaque bytes chosen by the writer).
+    pub version: Vec<u8>,
+}
+
+/// Counters describing engine activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Number of keys currently stored.
+    pub keys: u64,
+    /// Total bytes of keys and values currently stored.
+    pub used_bytes: u64,
+    /// Total PUT operations served.
+    pub puts: u64,
+    /// Total GET operations served.
+    pub gets: u64,
+    /// Total DELETE operations served.
+    pub deletes: u64,
+    /// Total range scans served.
+    pub scans: u64,
+}
+
+/// The versioned key-value engine.
+#[derive(Debug)]
+pub struct DriveEngine {
+    entries: BTreeMap<Vec<u8>, StoredEntry>,
+    capacity_bytes: u64,
+    used_bytes: u64,
+    stats: EngineStats,
+}
+
+impl DriveEngine {
+    /// Creates an engine with the given capacity in bytes.
+    pub fn new(capacity_bytes: u64) -> Self {
+        DriveEngine {
+            entries: BTreeMap::new(),
+            capacity_bytes,
+            used_bytes: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently used by keys and values.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Fraction of capacity in use.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity_bytes == 0 {
+            return 0.0;
+        }
+        self.used_bytes as f64 / self.capacity_bytes as f64
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            keys: self.entries.len() as u64,
+            used_bytes: self.used_bytes,
+            ..self.stats
+        }
+    }
+
+    fn entry_size(key: &[u8], value: &[u8]) -> u64 {
+        (key.len() + value.len()) as u64
+    }
+
+    /// Stores `value` under `key`.
+    ///
+    /// Unless `force` is true the currently stored version must equal
+    /// `expected_version` (empty means "no existing entry"), reproducing the
+    /// Kinetic compare-and-swap PUT.
+    pub fn put(
+        &mut self,
+        key: &[u8],
+        value: Vec<u8>,
+        expected_version: &[u8],
+        new_version: Vec<u8>,
+        force: bool,
+    ) -> Result<(), KineticError> {
+        self.stats.puts += 1;
+        let existing = self.entries.get(key);
+        if !force {
+            let actual = existing.map(|e| e.version.as_slice()).unwrap_or(&[]);
+            if actual != expected_version {
+                return Err(KineticError::VersionMismatch {
+                    expected: expected_version.to_vec(),
+                    actual: actual.to_vec(),
+                });
+            }
+        }
+
+        let new_size = Self::entry_size(key, &value);
+        let old_size = existing
+            .map(|e| Self::entry_size(key, &e.value))
+            .unwrap_or(0);
+        let projected = self.used_bytes - old_size + new_size;
+        if projected > self.capacity_bytes {
+            return Err(KineticError::NoSpace);
+        }
+
+        self.used_bytes = projected;
+        self.entries.insert(
+            key.to_vec(),
+            StoredEntry {
+                value,
+                version: new_version,
+            },
+        );
+        Ok(())
+    }
+
+    /// Retrieves the entry stored under `key`.
+    pub fn get(&mut self, key: &[u8]) -> Result<StoredEntry, KineticError> {
+        self.stats.gets += 1;
+        self.entries.get(key).cloned().ok_or(KineticError::NotFound)
+    }
+
+    /// Deletes `key`. Unless `force` is set the stored version must match.
+    pub fn delete(
+        &mut self,
+        key: &[u8],
+        expected_version: &[u8],
+        force: bool,
+    ) -> Result<(), KineticError> {
+        self.stats.deletes += 1;
+        let existing = self.entries.get(key).ok_or(KineticError::NotFound)?;
+        if !force && existing.version != expected_version {
+            return Err(KineticError::VersionMismatch {
+                expected: expected_version.to_vec(),
+                actual: existing.version.clone(),
+            });
+        }
+        let size = Self::entry_size(key, &existing.value);
+        self.entries.remove(key);
+        self.used_bytes -= size;
+        Ok(())
+    }
+
+    /// Returns up to `max` keys in `[start, end]` (inclusive), in order.
+    pub fn key_range(&mut self, start: &[u8], end: &[u8], max: usize) -> Vec<Vec<u8>> {
+        self.stats.scans += 1;
+        self.entries
+            .range(start.to_vec()..=end.to_vec())
+            .take(max)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Removes every entry (instant secure erase).
+    pub fn erase(&mut self) {
+        self.entries.clear();
+        self.used_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> DriveEngine {
+        DriveEngine::new(1024 * 1024)
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut e = engine();
+        e.put(b"k1", b"v1".to_vec(), b"", b"1".to_vec(), false).unwrap();
+        let entry = e.get(b"k1").unwrap();
+        assert_eq!(entry.value, b"v1");
+        assert_eq!(entry.version, b"1");
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn get_missing_is_not_found() {
+        let mut e = engine();
+        assert_eq!(e.get(b"missing"), Err(KineticError::NotFound));
+    }
+
+    #[test]
+    fn versioned_put_enforced() {
+        let mut e = engine();
+        e.put(b"k", b"v1".to_vec(), b"", b"1".to_vec(), false).unwrap();
+        // Wrong expected version rejected.
+        let err = e
+            .put(b"k", b"v2".to_vec(), b"0".to_vec().as_slice(), b"2".to_vec(), false)
+            .unwrap_err();
+        assert!(matches!(err, KineticError::VersionMismatch { .. }));
+        // Correct expected version accepted.
+        e.put(b"k", b"v2".to_vec(), b"1", b"2".to_vec(), false).unwrap();
+        assert_eq!(e.get(b"k").unwrap().version, b"2");
+        // Creating over an existing key with empty expected version fails.
+        assert!(e.put(b"k", b"v3".to_vec(), b"", b"3".to_vec(), false).is_err());
+        // Force overrides.
+        e.put(b"k", b"v3".to_vec(), b"", b"3".to_vec(), true).unwrap();
+        assert_eq!(e.get(b"k").unwrap().value, b"v3");
+    }
+
+    #[test]
+    fn versioned_delete_enforced() {
+        let mut e = engine();
+        e.put(b"k", b"v".to_vec(), b"", b"7".to_vec(), false).unwrap();
+        assert!(matches!(
+            e.delete(b"k", b"8", false),
+            Err(KineticError::VersionMismatch { .. })
+        ));
+        e.delete(b"k", b"7", false).unwrap();
+        assert_eq!(e.delete(b"k", b"7", false), Err(KineticError::NotFound));
+        // Force delete ignores version.
+        e.put(b"k", b"v".to_vec(), b"", b"9".to_vec(), false).unwrap();
+        e.delete(b"k", b"", true).unwrap();
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn capacity_enforced_and_accounted() {
+        let mut e = DriveEngine::new(20);
+        e.put(b"a", vec![0u8; 10], b"", b"1".to_vec(), false).unwrap();
+        assert_eq!(e.used_bytes(), 11);
+        assert_eq!(e.put(b"b", vec![0u8; 15], b"", b"1".to_vec(), false), Err(KineticError::NoSpace));
+        // Overwriting with a smaller value frees space.
+        e.put(b"a", vec![0u8; 2], b"1", b"2".to_vec(), false).unwrap();
+        assert_eq!(e.used_bytes(), 3);
+        e.put(b"b", vec![0u8; 15], b"", b"1".to_vec(), false).unwrap();
+        assert!(e.utilization() > 0.9);
+        // Deleting restores space.
+        e.delete(b"b", b"1", false).unwrap();
+        assert_eq!(e.used_bytes(), 3);
+    }
+
+    #[test]
+    fn key_range_scan() {
+        let mut e = engine();
+        for k in ["a", "b", "c", "d", "e"] {
+            e.put(k.as_bytes(), b"v".to_vec(), b"", b"1".to_vec(), false)
+                .unwrap();
+        }
+        assert_eq!(
+            e.key_range(b"b", b"d", 10),
+            vec![b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]
+        );
+        assert_eq!(e.key_range(b"a", b"e", 2).len(), 2);
+        assert!(e.key_range(b"x", b"z", 10).is_empty());
+    }
+
+    #[test]
+    fn erase_clears_everything() {
+        let mut e = engine();
+        for i in 0..10u8 {
+            e.put(&[i], vec![i; 10], b"", b"1".to_vec(), false).unwrap();
+        }
+        e.erase();
+        assert!(e.is_empty());
+        assert_eq!(e.used_bytes(), 0);
+        assert_eq!(e.get(&[0]), Err(KineticError::NotFound));
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let mut e = engine();
+        e.put(b"k", b"v".to_vec(), b"", b"1".to_vec(), false).unwrap();
+        let _ = e.get(b"k");
+        let _ = e.get(b"missing");
+        let _ = e.delete(b"k", b"1", false);
+        let _ = e.key_range(b"a", b"z", 10);
+        let s = e.stats();
+        assert_eq!(s.puts, 1);
+        assert_eq!(s.gets, 2);
+        assert_eq!(s.deletes, 1);
+        assert_eq!(s.scans, 1);
+        assert_eq!(s.keys, 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Error type for the Kinetic substrate.
+
+use std::fmt;
+
+use crate::protocol::StatusCode;
+
+/// Errors produced by drives and the client library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KineticError {
+    /// The drive rejected the request; carries the protocol status.
+    Rejected {
+        /// Protocol-level status code.
+        code: StatusCode,
+        /// Human-readable detail from the drive.
+        message: String,
+    },
+    /// The HMAC on a message did not verify.
+    AuthenticationFailed,
+    /// The identity is unknown to the drive or lacks the needed permission.
+    NotAuthorized(String),
+    /// A version precondition failed (compare-and-swap style PUT/DELETE).
+    VersionMismatch { expected: Vec<u8>, actual: Vec<u8> },
+    /// The requested key does not exist.
+    NotFound,
+    /// The message could not be decoded.
+    Malformed(String),
+    /// The drive is not reachable (simulated network/drive failure).
+    DriveUnavailable(String),
+    /// The client connection was closed.
+    ConnectionClosed,
+    /// The drive has no remaining capacity.
+    NoSpace,
+}
+
+impl KineticError {
+    /// Maps the error to the protocol status code reported to peers.
+    pub fn status_code(&self) -> StatusCode {
+        match self {
+            KineticError::Rejected { code, .. } => *code,
+            KineticError::AuthenticationFailed => StatusCode::HmacFailure,
+            KineticError::NotAuthorized(_) => StatusCode::NotAuthorized,
+            KineticError::VersionMismatch { .. } => StatusCode::VersionMismatch,
+            KineticError::NotFound => StatusCode::NotFound,
+            KineticError::Malformed(_) => StatusCode::InvalidRequest,
+            KineticError::DriveUnavailable(_) => StatusCode::NotAttempted,
+            KineticError::ConnectionClosed => StatusCode::NotAttempted,
+            KineticError::NoSpace => StatusCode::NoSpace,
+        }
+    }
+}
+
+impl fmt::Display for KineticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KineticError::Rejected { code, message } => {
+                write!(f, "rejected ({code:?}): {message}")
+            }
+            KineticError::AuthenticationFailed => write!(f, "message authentication failed"),
+            KineticError::NotAuthorized(msg) => write!(f, "not authorized: {msg}"),
+            KineticError::VersionMismatch { expected, actual } => write!(
+                f,
+                "version mismatch: expected {:?}, actual {:?}",
+                String::from_utf8_lossy(expected),
+                String::from_utf8_lossy(actual)
+            ),
+            KineticError::NotFound => write!(f, "key not found"),
+            KineticError::Malformed(msg) => write!(f, "malformed message: {msg}"),
+            KineticError::DriveUnavailable(msg) => write!(f, "drive unavailable: {msg}"),
+            KineticError::ConnectionClosed => write!(f, "connection closed"),
+            KineticError::NoSpace => write!(f, "no space left on drive"),
+        }
+    }
+}
+
+impl std::error::Error for KineticError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_code_mapping() {
+        assert_eq!(
+            KineticError::AuthenticationFailed.status_code(),
+            StatusCode::HmacFailure
+        );
+        assert_eq!(KineticError::NotFound.status_code(), StatusCode::NotFound);
+        assert_eq!(
+            KineticError::VersionMismatch {
+                expected: vec![],
+                actual: vec![]
+            }
+            .status_code(),
+            StatusCode::VersionMismatch
+        );
+        assert_eq!(KineticError::NoSpace.status_code(), StatusCode::NoSpace);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = KineticError::VersionMismatch {
+            expected: b"1".to_vec(),
+            actual: b"2".to_vec(),
+        };
+        let s = e.to_string();
+        assert!(s.contains('1') && s.contains('2'));
+    }
+}

@@ -1,0 +1,45 @@
+//! Kinetic Open Storage substrate.
+//!
+//! Pesos persists objects on Seagate Kinetic drives: hard disks with an
+//! on-board SoC and an Ethernet interface that speak a key-value protocol
+//! (Google Protocol Buffers over a length-prefixed framing, every message
+//! authenticated with an HMAC keyed by a per-identity secret). The
+//! controller takes exclusive ownership of its drives at bootstrap by
+//! replacing all accounts with a single administrative identity, then issues
+//! `PUT`/`GET`/`DELETE` operations against them over mutually authenticated
+//! channels.
+//!
+//! This crate rebuilds that stack:
+//!
+//! * [`protocol`] — the message model and its protobuf-style encoding.
+//! * [`engine`] — the key-value engine inside a drive (versioned entries,
+//!   range scans, capacity accounting).
+//! * [`backend`] — the timing model: an in-memory *simulator* backend
+//!   (the paper's "Sim" configuration, mirroring the Java Kinetic
+//!   simulator) and an *HDD* backend that charges seek/rotational/transfer
+//!   latency and throttles to roughly 1 kIOP/s per spindle (the paper's
+//!   "Disk" configuration).
+//! * [`drive`] — a full drive: engine + backend + accounts/ACLs + device
+//!   certificate + admin operations (security, setup/erase, getlog) + the
+//!   peer-to-peer copy API.
+//! * [`client`] — the client library used by the controller: session setup,
+//!   per-message HMAC authentication, synchronous and asynchronous
+//!   operations with a bounded ring of in-flight requests serviced by a
+//!   thread pool.
+//! * [`cluster`] — a named set of drives, as configured for one controller.
+
+pub mod backend;
+pub mod client;
+pub mod cluster;
+pub mod drive;
+pub mod engine;
+pub mod error;
+pub mod protocol;
+
+pub use backend::{BackendKind, DriveBackend, HddModel};
+pub use client::{AsyncHandle, ClientConfig, KineticClient};
+pub use cluster::DriveSet;
+pub use drive::{AccessControl, Account, DriveConfig, KineticDrive, Permission};
+pub use engine::{DriveEngine, EngineStats, StoredEntry};
+pub use error::KineticError;
+pub use protocol::{Command, CommandBody, MessageType, ResponseStatus, StatusCode};

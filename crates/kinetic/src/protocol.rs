@@ -1,0 +1,649 @@
+//! The Kinetic wire protocol.
+//!
+//! Real Kinetic drives exchange protobuf `Message`s wrapped in a 9-byte
+//! header; each message carries an HMAC computed over the command bytes with
+//! the secret of the issuing identity. We reproduce the same structure with
+//! the protobuf-style codec from `pesos-wire`:
+//!
+//! ```text
+//! frame := u32 length || message
+//! message := identity (1) | hmac (2) | command_bytes (3)
+//! command := header (1) | body (2) | status (3)
+//! header  := connection_id (1) | sequence (2) | message_type (3) | cluster_version (4) | ack_sequence (5)
+//! body    := key (1) | value (2) | db_version (3) | new_version (4) | force (5)
+//!          | range_start (6) | range_end (7) | max_returned (8) | p2p_target (9)
+//!          | setup_new_cluster_version (10) | setup_erase (11) | log_type (12)
+//!          | security_accounts (13, repeated nested)
+//! ```
+//!
+//! Only the fields the Pesos controller actually uses are modelled, but the
+//! decoder skips unknown fields so the format can grow.
+
+use pesos_crypto::HmacSha256;
+use pesos_wire::codec::{FieldReader, FieldWriter};
+
+use crate::error::KineticError;
+
+/// Operation types (mirrors the Kinetic `MessageType` enum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageType {
+    /// Store a value.
+    Put,
+    /// Retrieve a value.
+    Get,
+    /// Delete a value.
+    Delete,
+    /// Retrieve a key range (used for recovery/scrubbing).
+    GetKeyRange,
+    /// No-op, used as a keep-alive and for latency probes.
+    Noop,
+    /// Replace the security configuration (accounts and ACLs).
+    Security,
+    /// Device setup: set cluster version and/or erase all data.
+    Setup,
+    /// Retrieve device information and statistics.
+    GetLog,
+    /// Push objects directly to a peer drive.
+    PeerToPeerPush,
+    /// Flush any volatile write-back state to stable media.
+    Flush,
+    /// A response message.
+    Response,
+}
+
+impl MessageType {
+    fn to_u64(self) -> u64 {
+        match self {
+            MessageType::Put => 1,
+            MessageType::Get => 2,
+            MessageType::Delete => 3,
+            MessageType::GetKeyRange => 4,
+            MessageType::Noop => 5,
+            MessageType::Security => 6,
+            MessageType::Setup => 7,
+            MessageType::GetLog => 8,
+            MessageType::PeerToPeerPush => 9,
+            MessageType::Flush => 10,
+            MessageType::Response => 11,
+        }
+    }
+
+    fn from_u64(v: u64) -> Result<Self, KineticError> {
+        Ok(match v {
+            1 => MessageType::Put,
+            2 => MessageType::Get,
+            3 => MessageType::Delete,
+            4 => MessageType::GetKeyRange,
+            5 => MessageType::Noop,
+            6 => MessageType::Security,
+            7 => MessageType::Setup,
+            8 => MessageType::GetLog,
+            9 => MessageType::PeerToPeerPush,
+            10 => MessageType::Flush,
+            11 => MessageType::Response,
+            other => {
+                return Err(KineticError::Malformed(format!(
+                    "unknown message type {other}"
+                )))
+            }
+        })
+    }
+}
+
+/// Status codes carried in responses (subset of the Kinetic enum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StatusCode {
+    /// Operation succeeded.
+    Success,
+    /// Key not found.
+    NotFound,
+    /// dbVersion precondition failed.
+    VersionMismatch,
+    /// The identity is not allowed to perform the operation.
+    NotAuthorized,
+    /// The message HMAC did not verify.
+    HmacFailure,
+    /// The request was malformed.
+    InvalidRequest,
+    /// The drive did not attempt the operation (offline, busy, ...).
+    NotAttempted,
+    /// The drive is out of space.
+    NoSpace,
+    /// An internal drive error occurred.
+    InternalError,
+}
+
+impl StatusCode {
+    fn to_u64(self) -> u64 {
+        match self {
+            StatusCode::Success => 1,
+            StatusCode::NotFound => 2,
+            StatusCode::VersionMismatch => 3,
+            StatusCode::NotAuthorized => 4,
+            StatusCode::HmacFailure => 5,
+            StatusCode::InvalidRequest => 6,
+            StatusCode::NotAttempted => 7,
+            StatusCode::NoSpace => 8,
+            StatusCode::InternalError => 9,
+        }
+    }
+
+    fn from_u64(v: u64) -> Result<Self, KineticError> {
+        Ok(match v {
+            1 => StatusCode::Success,
+            2 => StatusCode::NotFound,
+            3 => StatusCode::VersionMismatch,
+            4 => StatusCode::NotAuthorized,
+            5 => StatusCode::HmacFailure,
+            6 => StatusCode::InvalidRequest,
+            7 => StatusCode::NotAttempted,
+            8 => StatusCode::NoSpace,
+            9 => StatusCode::InternalError,
+            other => {
+                return Err(KineticError::Malformed(format!(
+                    "unknown status code {other}"
+                )))
+            }
+        })
+    }
+
+    /// True for success.
+    pub fn is_success(self) -> bool {
+        self == StatusCode::Success
+    }
+}
+
+/// A security account definition carried in a `Security` command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccountSpec {
+    /// Numeric identity.
+    pub identity: i64,
+    /// Shared HMAC secret.
+    pub secret: Vec<u8>,
+    /// Permission bits (see [`crate::drive::Permission`]).
+    pub permissions: u32,
+}
+
+/// The body of a command; which fields are meaningful depends on the type.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommandBody {
+    /// Object key.
+    pub key: Vec<u8>,
+    /// Object value (PUT, responses to GET).
+    pub value: Vec<u8>,
+    /// Expected stored version for compare-and-swap semantics.
+    pub db_version: Vec<u8>,
+    /// New version to store.
+    pub new_version: Vec<u8>,
+    /// Ignore the version precondition.
+    pub force: bool,
+    /// Range scan start key (inclusive).
+    pub range_start: Vec<u8>,
+    /// Range scan end key (inclusive).
+    pub range_end: Vec<u8>,
+    /// Maximum number of keys returned by a range scan.
+    pub max_returned: u32,
+    /// Target drive identifier for P2P push.
+    pub p2p_target: String,
+    /// New cluster version for `Setup`.
+    pub setup_new_cluster_version: Option<u64>,
+    /// Request an instant secure erase in `Setup`.
+    pub setup_erase: bool,
+    /// Log type requested by `GetLog` (free-form label).
+    pub log_type: String,
+    /// Account definitions for `Security`.
+    pub security_accounts: Vec<AccountSpec>,
+}
+
+/// A protocol command (request or response).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Command {
+    /// Connection identifier assigned by the drive at handshake time.
+    pub connection_id: u64,
+    /// Monotonically increasing per-connection sequence number.
+    pub sequence: u64,
+    /// The operation.
+    pub message_type: MessageType,
+    /// The cluster version the issuer believes the drive is at.
+    pub cluster_version: u64,
+    /// For responses: the sequence number being acknowledged.
+    pub ack_sequence: u64,
+    /// Operation payload.
+    pub body: CommandBody,
+    /// Response status (requests use `Success`/empty message).
+    pub status: ResponseStatus,
+}
+
+/// Status portion of a command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseStatus {
+    /// The code.
+    pub code: StatusCode,
+    /// Optional detail message.
+    pub message: String,
+}
+
+impl Default for ResponseStatus {
+    fn default() -> Self {
+        ResponseStatus {
+            code: StatusCode::Success,
+            message: String::new(),
+        }
+    }
+}
+
+impl Command {
+    /// Creates a request command.
+    pub fn request(message_type: MessageType) -> Self {
+        Command {
+            connection_id: 0,
+            sequence: 0,
+            message_type,
+            cluster_version: 0,
+            ack_sequence: 0,
+            body: CommandBody::default(),
+            status: ResponseStatus::default(),
+        }
+    }
+
+    /// Creates a response acknowledging `request` with the given status.
+    pub fn response_to(request: &Command, code: StatusCode, message: impl Into<String>) -> Self {
+        Command {
+            connection_id: request.connection_id,
+            sequence: 0,
+            message_type: MessageType::Response,
+            cluster_version: request.cluster_version,
+            ack_sequence: request.sequence,
+            body: CommandBody::default(),
+            status: ResponseStatus {
+                code,
+                message: message.into(),
+            },
+        }
+    }
+
+    /// Encodes the command (without the outer authenticated envelope).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut header = FieldWriter::new();
+        header
+            .uint64(1, self.connection_id)
+            .uint64(2, self.sequence)
+            .uint64(3, self.message_type.to_u64())
+            .uint64(4, self.cluster_version)
+            .uint64(5, self.ack_sequence);
+
+        let mut body = FieldWriter::new();
+        let b = &self.body;
+        if !b.key.is_empty() {
+            body.bytes(1, &b.key);
+        }
+        if !b.value.is_empty() {
+            body.bytes(2, &b.value);
+        }
+        if !b.db_version.is_empty() {
+            body.bytes(3, &b.db_version);
+        }
+        if !b.new_version.is_empty() {
+            body.bytes(4, &b.new_version);
+        }
+        if b.force {
+            body.boolean(5, true);
+        }
+        if !b.range_start.is_empty() {
+            body.bytes(6, &b.range_start);
+        }
+        if !b.range_end.is_empty() {
+            body.bytes(7, &b.range_end);
+        }
+        if b.max_returned != 0 {
+            body.uint64(8, b.max_returned as u64);
+        }
+        if !b.p2p_target.is_empty() {
+            body.string(9, &b.p2p_target);
+        }
+        if let Some(v) = b.setup_new_cluster_version {
+            body.uint64(10, v);
+        }
+        if b.setup_erase {
+            body.boolean(11, true);
+        }
+        if !b.log_type.is_empty() {
+            body.string(12, &b.log_type);
+        }
+        for account in &b.security_accounts {
+            let mut acc = FieldWriter::new();
+            acc.sint64(1, account.identity)
+                .bytes(2, &account.secret)
+                .uint64(3, account.permissions as u64);
+            body.message(13, &acc);
+        }
+
+        let mut status = FieldWriter::new();
+        status.uint64(1, self.status.code.to_u64());
+        if !self.status.message.is_empty() {
+            status.string(2, &self.status.message);
+        }
+
+        let mut command = FieldWriter::new();
+        command
+            .message(1, &header)
+            .message(2, &body)
+            .message(3, &status);
+        command.finish()
+    }
+
+    /// Decodes a command from its encoding.
+    pub fn decode(data: &[u8]) -> Result<Self, KineticError> {
+        let malformed = |msg: &str| KineticError::Malformed(msg.to_string());
+        let fields = FieldReader::new(data)
+            .collect_fields()
+            .map_err(|e| KineticError::Malformed(e.to_string()))?;
+
+        let mut cmd = Command::request(MessageType::Noop);
+        let mut saw_header = false;
+
+        for field in fields {
+            match field.number {
+                1 => {
+                    saw_header = true;
+                    for f in FieldReader::new(field.data)
+                        .collect_fields()
+                        .map_err(|e| KineticError::Malformed(e.to_string()))?
+                    {
+                        match f.number {
+                            1 => cmd.connection_id = f.value,
+                            2 => cmd.sequence = f.value,
+                            3 => cmd.message_type = MessageType::from_u64(f.value)?,
+                            4 => cmd.cluster_version = f.value,
+                            5 => cmd.ack_sequence = f.value,
+                            _ => {}
+                        }
+                    }
+                }
+                2 => {
+                    for f in FieldReader::new(field.data)
+                        .collect_fields()
+                        .map_err(|e| KineticError::Malformed(e.to_string()))?
+                    {
+                        match f.number {
+                            1 => cmd.body.key = f.data.to_vec(),
+                            2 => cmd.body.value = f.data.to_vec(),
+                            3 => cmd.body.db_version = f.data.to_vec(),
+                            4 => cmd.body.new_version = f.data.to_vec(),
+                            5 => cmd.body.force = f.as_bool(),
+                            6 => cmd.body.range_start = f.data.to_vec(),
+                            7 => cmd.body.range_end = f.data.to_vec(),
+                            8 => cmd.body.max_returned = f.value as u32,
+                            9 => {
+                                cmd.body.p2p_target = f
+                                    .as_str()
+                                    .map_err(|_| malformed("p2p target not UTF-8"))?
+                                    .to_string()
+                            }
+                            10 => cmd.body.setup_new_cluster_version = Some(f.value),
+                            11 => cmd.body.setup_erase = f.as_bool(),
+                            12 => {
+                                cmd.body.log_type = f
+                                    .as_str()
+                                    .map_err(|_| malformed("log type not UTF-8"))?
+                                    .to_string()
+                            }
+                            13 => {
+                                let mut spec = AccountSpec {
+                                    identity: 0,
+                                    secret: Vec::new(),
+                                    permissions: 0,
+                                };
+                                for af in FieldReader::new(f.data)
+                                    .collect_fields()
+                                    .map_err(|e| KineticError::Malformed(e.to_string()))?
+                                {
+                                    match af.number {
+                                        1 => spec.identity = af.as_sint64(),
+                                        2 => spec.secret = af.data.to_vec(),
+                                        3 => spec.permissions = af.value as u32,
+                                        _ => {}
+                                    }
+                                }
+                                cmd.body.security_accounts.push(spec);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                3 => {
+                    for f in FieldReader::new(field.data)
+                        .collect_fields()
+                        .map_err(|e| KineticError::Malformed(e.to_string()))?
+                    {
+                        match f.number {
+                            1 => cmd.status.code = StatusCode::from_u64(f.value)?,
+                            2 => {
+                                cmd.status.message = f
+                                    .as_str()
+                                    .map_err(|_| malformed("status message not UTF-8"))?
+                                    .to_string()
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        if !saw_header {
+            return Err(malformed("missing command header"));
+        }
+        Ok(cmd)
+    }
+}
+
+/// The authenticated envelope around a command: identity + HMAC + bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// The numeric identity of the issuer.
+    pub identity: i64,
+    /// HMAC-SHA256 over the command bytes with the identity's secret.
+    pub hmac: Vec<u8>,
+    /// The encoded command.
+    pub command_bytes: Vec<u8>,
+}
+
+impl Envelope {
+    /// Wraps and authenticates a command.
+    pub fn seal(identity: i64, secret: &[u8], command: &Command) -> Self {
+        let command_bytes = command.encode();
+        let hmac = HmacSha256::mac(secret, &command_bytes).to_vec();
+        Envelope {
+            identity,
+            hmac,
+            command_bytes,
+        }
+    }
+
+    /// Verifies the HMAC with `secret` and decodes the inner command.
+    pub fn open(&self, secret: &[u8]) -> Result<Command, KineticError> {
+        if !HmacSha256::verify(secret, &self.command_bytes, &self.hmac) {
+            return Err(KineticError::AuthenticationFailed);
+        }
+        Command::decode(&self.command_bytes)
+    }
+
+    /// Encodes the envelope for transmission.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = FieldWriter::new();
+        w.sint64(1, self.identity)
+            .bytes(2, &self.hmac)
+            .bytes(3, &self.command_bytes);
+        w.finish()
+    }
+
+    /// Decodes an envelope.
+    pub fn decode(data: &[u8]) -> Result<Self, KineticError> {
+        let fields = FieldReader::new(data)
+            .collect_fields()
+            .map_err(|e| KineticError::Malformed(e.to_string()))?;
+        let mut identity = None;
+        let mut hmac = Vec::new();
+        let mut command_bytes = Vec::new();
+        for f in fields {
+            match f.number {
+                1 => identity = Some(f.as_sint64()),
+                2 => hmac = f.data.to_vec(),
+                3 => command_bytes = f.data.to_vec(),
+                _ => {}
+            }
+        }
+        let identity =
+            identity.ok_or_else(|| KineticError::Malformed("missing identity".into()))?;
+        if command_bytes.is_empty() {
+            return Err(KineticError::Malformed("missing command bytes".into()));
+        }
+        Ok(Envelope {
+            identity,
+            hmac,
+            command_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_command() -> Command {
+        let mut cmd = Command::request(MessageType::Put);
+        cmd.connection_id = 77;
+        cmd.sequence = 5;
+        cmd.cluster_version = 2;
+        cmd.body.key = b"object/alpha".to_vec();
+        cmd.body.value = vec![1, 2, 3, 4, 5];
+        cmd.body.new_version = b"v2".to_vec();
+        cmd.body.db_version = b"v1".to_vec();
+        cmd.body.force = false;
+        cmd
+    }
+
+    #[test]
+    fn command_round_trip() {
+        let cmd = sample_command();
+        let decoded = Command::decode(&cmd.encode()).unwrap();
+        assert_eq!(decoded, cmd);
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let req = sample_command();
+        let mut resp = Command::response_to(&req, StatusCode::VersionMismatch, "stored v3");
+        resp.body.value = b"payload".to_vec();
+        let decoded = Command::decode(&resp.encode()).unwrap();
+        assert_eq!(decoded.message_type, MessageType::Response);
+        assert_eq!(decoded.ack_sequence, 5);
+        assert_eq!(decoded.status.code, StatusCode::VersionMismatch);
+        assert_eq!(decoded.status.message, "stored v3");
+        assert_eq!(decoded.body.value, b"payload");
+    }
+
+    #[test]
+    fn security_command_round_trip() {
+        let mut cmd = Command::request(MessageType::Security);
+        cmd.body.security_accounts = vec![
+            AccountSpec {
+                identity: 1,
+                secret: b"admin-secret".to_vec(),
+                permissions: 0xff,
+            },
+            AccountSpec {
+                identity: -42,
+                secret: b"other".to_vec(),
+                permissions: 0x3,
+            },
+        ];
+        let decoded = Command::decode(&cmd.encode()).unwrap();
+        assert_eq!(decoded.body.security_accounts, cmd.body.security_accounts);
+    }
+
+    #[test]
+    fn setup_and_getlog_round_trip() {
+        let mut cmd = Command::request(MessageType::Setup);
+        cmd.body.setup_new_cluster_version = Some(9);
+        cmd.body.setup_erase = true;
+        let decoded = Command::decode(&cmd.encode()).unwrap();
+        assert_eq!(decoded.body.setup_new_cluster_version, Some(9));
+        assert!(decoded.body.setup_erase);
+
+        let mut log = Command::request(MessageType::GetLog);
+        log.body.log_type = "utilization".to_string();
+        let decoded = Command::decode(&log.encode()).unwrap();
+        assert_eq!(decoded.body.log_type, "utilization");
+    }
+
+    #[test]
+    fn malformed_command_rejected() {
+        assert!(Command::decode(b"not a command").is_err());
+        assert!(Command::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn envelope_authentication() {
+        let cmd = sample_command();
+        let env = Envelope::seal(1, b"secret", &cmd);
+        let opened = env.open(b"secret").unwrap();
+        assert_eq!(opened, cmd);
+        assert_eq!(env.open(b"wrong"), Err(KineticError::AuthenticationFailed));
+    }
+
+    #[test]
+    fn envelope_tamper_detected() {
+        let cmd = sample_command();
+        let mut env = Envelope::seal(1, b"secret", &cmd);
+        env.command_bytes[0] ^= 0x1;
+        assert_eq!(env.open(b"secret"), Err(KineticError::AuthenticationFailed));
+    }
+
+    #[test]
+    fn envelope_encoding_round_trip() {
+        let cmd = sample_command();
+        let env = Envelope::seal(7, b"s", &cmd);
+        let decoded = Envelope::decode(&env.encode()).unwrap();
+        assert_eq!(decoded, env);
+        assert!(Envelope::decode(b"junk").is_err());
+    }
+
+    #[test]
+    fn message_type_and_status_exhaustive() {
+        for t in [
+            MessageType::Put,
+            MessageType::Get,
+            MessageType::Delete,
+            MessageType::GetKeyRange,
+            MessageType::Noop,
+            MessageType::Security,
+            MessageType::Setup,
+            MessageType::GetLog,
+            MessageType::PeerToPeerPush,
+            MessageType::Flush,
+            MessageType::Response,
+        ] {
+            assert_eq!(MessageType::from_u64(t.to_u64()).unwrap(), t);
+        }
+        assert!(MessageType::from_u64(99).is_err());
+        for s in [
+            StatusCode::Success,
+            StatusCode::NotFound,
+            StatusCode::VersionMismatch,
+            StatusCode::NotAuthorized,
+            StatusCode::HmacFailure,
+            StatusCode::InvalidRequest,
+            StatusCode::NotAttempted,
+            StatusCode::NoSpace,
+            StatusCode::InternalError,
+        ] {
+            assert_eq!(StatusCode::from_u64(s.to_u64()).unwrap(), s);
+        }
+        assert!(StatusCode::from_u64(99).is_err());
+        assert!(StatusCode::Success.is_success());
+        assert!(!StatusCode::NotFound.is_success());
+    }
+}

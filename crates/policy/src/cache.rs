@@ -1,0 +1,257 @@
+//! The policy cache.
+//!
+//! Recently compiled policies are held in an in-enclave cache so that the
+//! common case — many objects sharing few policies — avoids both
+//! recompilation and a disk round trip (paper §4.2; Figure 8 measures the
+//! throughput collapse once the number of unique policies exceeds the cache
+//! capacity). Eviction approximates least-frequently-used: each entry keeps
+//! a hit counter, counters are halved periodically so stale popularity
+//! decays, and the entry with the lowest counter is evicted.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::compiler::{CompiledPolicy, PolicyId};
+
+/// Cache hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the policy in the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Current number of cached policies.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; zero when no lookups have happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+struct Entry {
+    policy: Arc<CompiledPolicy>,
+    frequency: u64,
+}
+
+struct Inner {
+    entries: HashMap<PolicyId, Entry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    lookups_since_decay: u64,
+}
+
+/// A bounded, approximately-LFU policy cache.
+pub struct PolicyCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl PolicyCache {
+    /// Creates a cache holding at most `capacity` policies (the paper's
+    /// evaluation uses 50 000 entries).
+    pub fn new(capacity: usize) -> Self {
+        PolicyCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                lookups_since_decay: 0,
+            }),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up a policy, bumping its frequency on a hit.
+    pub fn get(&self, id: &PolicyId) -> Option<Arc<CompiledPolicy>> {
+        let mut inner = self.inner.lock();
+        inner.lookups_since_decay += 1;
+        if inner.lookups_since_decay > 4 * self.capacity as u64 {
+            inner.lookups_since_decay = 0;
+            for entry in inner.entries.values_mut() {
+                entry.frequency /= 2;
+            }
+        }
+        match inner.entries.get_mut(id) {
+            Some(entry) => {
+                entry.frequency += 1;
+                let policy = Arc::clone(&entry.policy);
+                inner.hits += 1;
+                Some(policy)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a policy, evicting the least-frequently-used entry if full.
+    pub fn insert(&self, policy: Arc<CompiledPolicy>) -> PolicyId {
+        let id = policy.id();
+        let mut inner = self.inner.lock();
+        if inner.entries.contains_key(&id) {
+            return id;
+        }
+        if inner.entries.len() >= self.capacity {
+            if let Some(victim) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.frequency)
+                .map(|(k, _)| *k)
+            {
+                inner.entries.remove(&victim);
+                inner.evictions += 1;
+            }
+        }
+        inner.entries.insert(
+            id,
+            Entry {
+                policy,
+                frequency: 1,
+            },
+        );
+        id
+    }
+
+    /// Removes a policy from the cache (e.g. after it is superseded).
+    pub fn invalidate(&self, id: &PolicyId) -> bool {
+        self.inner.lock().entries.remove(id).is_some()
+    }
+
+    /// Empties the cache.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+    }
+
+    /// Returns counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.entries.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile;
+
+    fn policy(n: usize) -> Arc<CompiledPolicy> {
+        Arc::new(compile(&format!("read :- eq({n}, {n})")).unwrap())
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let cache = PolicyCache::new(10);
+        let p = policy(1);
+        let id = cache.insert(Arc::clone(&p));
+        assert_eq!(cache.get(&id).unwrap().id(), p.id());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn miss_recorded_for_unknown_policy() {
+        let cache = PolicyCache::new(10);
+        let unknown = policy(7).id();
+        assert!(cache.get(&unknown).is_none());
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn eviction_prefers_cold_entries() {
+        let cache = PolicyCache::new(3);
+        let hot = cache.insert(policy(0));
+        let cold1 = cache.insert(policy(1));
+        let cold2 = cache.insert(policy(2));
+        // Touch the hot entry repeatedly.
+        for _ in 0..5 {
+            cache.get(&hot);
+        }
+        cache.get(&cold2);
+        // Inserting a fourth entry evicts the coldest (cold1).
+        cache.insert(policy(3));
+        assert!(cache.get(&hot).is_some());
+        assert!(cache.get(&cold1).is_none());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().entries, 3);
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let cache = PolicyCache::new(2);
+        let p = policy(1);
+        let a = cache.insert(Arc::clone(&p));
+        let b = cache.insert(p);
+        assert_eq!(a, b);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let cache = PolicyCache::new(4);
+        let id = cache.insert(policy(1));
+        assert!(cache.invalidate(&id));
+        assert!(!cache.invalidate(&id));
+        cache.insert(policy(2));
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn hit_rate_reflects_workload() {
+        let cache = PolicyCache::new(100);
+        let id = cache.insert(policy(1));
+        for _ in 0..9 {
+            cache.get(&id);
+        }
+        cache.get(&policy(2).id());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 9);
+        assert_eq!(stats.misses, 1);
+        assert!((stats.hit_rate() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_decay_keeps_cache_adaptive() {
+        let cache = PolicyCache::new(2);
+        let old_hot = cache.insert(policy(1));
+        for _ in 0..50 {
+            cache.get(&old_hot);
+        }
+        let newcomer = cache.insert(policy(2));
+        // Access the newcomer enough times (with decay) that the old entry
+        // can eventually be displaced by a third policy.
+        for _ in 0..600 {
+            cache.get(&newcomer);
+        }
+        cache.insert(policy(3));
+        assert!(cache.get(&newcomer).is_some());
+    }
+}

@@ -1,0 +1,259 @@
+//! Request context and object views consumed by the policy interpreter.
+
+use std::collections::BTreeMap;
+
+use pesos_crypto::Certificate;
+
+use crate::value::{Tuple, Value};
+
+/// The operation a permission clause governs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Operation {
+    /// Retrieve an object.
+    Read,
+    /// Create or overwrite an object (including policy changes).
+    Update,
+    /// Delete an object (allowing its name to be reused).
+    Delete,
+}
+
+impl Operation {
+    /// Parses a permission keyword; `destroy` is accepted as an alias of
+    /// `delete`, matching the paper's content-server example.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "read" => Some(Operation::Read),
+            "update" | "write" => Some(Operation::Update),
+            "delete" | "destroy" => Some(Operation::Delete),
+            _ => None,
+        }
+    }
+
+    /// The canonical keyword.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Operation::Read => "read",
+            Operation::Update => "update",
+            Operation::Delete => "delete",
+        }
+    }
+}
+
+/// Everything the interpreter may consult about the *request* being checked.
+#[derive(Debug, Clone, Default)]
+pub struct RequestContext {
+    /// The operation being attempted.
+    pub operation: Option<Operation>,
+    /// Identity of the authenticated session (hex key fingerprint or any
+    /// stable identifier the controller chooses).
+    pub session_key: Option<String>,
+    /// Certificates presented alongside the request (`certificateSays`).
+    pub certificates: Vec<Certificate>,
+    /// The controller's current time (seconds), used for certificate
+    /// validity and freshness checks.
+    pub now: u64,
+    /// Freshness nonce previously issued by Pesos for time queries.
+    pub freshness_nonce: Option<Vec<u8>>,
+    /// The version number supplied with a put/update request
+    /// (`nextVersion`).
+    pub next_version: Option<u64>,
+    /// Hash of the incoming object value (the "next" version's hash).
+    pub new_object_hash: Option<Vec<u8>>,
+    /// Pre-bound variables, e.g. `THIS` → accessed key, `LOG` → log key.
+    pub bindings: BTreeMap<String, Value>,
+}
+
+impl RequestContext {
+    /// Creates a context for `operation`.
+    pub fn new(operation: Operation) -> Self {
+        RequestContext {
+            operation: Some(operation),
+            ..RequestContext::default()
+        }
+    }
+
+    /// Sets the authenticated session identity.
+    pub fn with_session_key(mut self, key: impl Into<String>) -> Self {
+        self.session_key = Some(key.into());
+        self
+    }
+
+    /// Adds a presented certificate.
+    pub fn with_certificate(mut self, cert: Certificate) -> Self {
+        self.certificates.push(cert);
+        self
+    }
+
+    /// Sets the controller time.
+    pub fn with_now(mut self, now: u64) -> Self {
+        self.now = now;
+        self
+    }
+
+    /// Sets the version supplied by the request.
+    pub fn with_next_version(mut self, version: u64) -> Self {
+        self.next_version = Some(version);
+        self
+    }
+
+    /// Sets the hash of the incoming value.
+    pub fn with_new_object_hash(mut self, hash: Vec<u8>) -> Self {
+        self.new_object_hash = Some(hash);
+        self
+    }
+
+    /// Pre-binds a variable (e.g. `THIS`).
+    pub fn bind(mut self, name: impl Into<String>, value: Value) -> Self {
+        self.bindings.insert(name.into(), value);
+        self
+    }
+
+    /// Sets the freshness nonce issued to the client.
+    pub fn with_freshness_nonce(mut self, nonce: Vec<u8>) -> Self {
+        self.freshness_nonce = Some(nonce);
+        self
+    }
+}
+
+/// Facts about one version of one object, as used by [`StaticObjectView`].
+#[derive(Debug, Clone, Default)]
+pub struct ObjectFacts {
+    /// Object size in bytes.
+    pub size: u64,
+    /// Hash of the object contents.
+    pub hash: Vec<u8>,
+    /// Hash of the policy associated with the object.
+    pub policy_hash: Vec<u8>,
+    /// Tuples parsed from the object contents (for `objSays`).
+    pub tuples: Vec<Tuple>,
+}
+
+/// A simple in-memory [`crate::interpreter::ObjectStoreView`] used by tests,
+/// examples and the controller's object-cache adapter.
+#[derive(Debug, Clone, Default)]
+pub struct StaticObjectView {
+    /// Latest version per key.
+    pub latest: BTreeMap<String, u64>,
+    /// Facts per (key, version).
+    pub facts: BTreeMap<(String, u64), ObjectFacts>,
+}
+
+impl StaticObjectView {
+    /// Creates an empty view.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `facts` as version `version` of `key`, updating the latest
+    /// version if needed.
+    pub fn insert(&mut self, key: impl Into<String>, version: u64, facts: ObjectFacts) {
+        let key = key.into();
+        let latest = self.latest.entry(key.clone()).or_insert(version);
+        if version > *latest {
+            *latest = version;
+        }
+        self.facts.insert((key, version), facts);
+    }
+
+    /// Convenience: records an object version from its raw contents, parsing
+    /// newline-separated tuples for `objSays`.
+    pub fn insert_contents(&mut self, key: impl Into<String>, version: u64, contents: &[u8]) {
+        let tuples = std::str::from_utf8(contents)
+            .map(|text| text.lines().filter_map(Tuple::parse).collect())
+            .unwrap_or_default();
+        self.insert(
+            key,
+            version,
+            ObjectFacts {
+                size: contents.len() as u64,
+                hash: pesos_crypto::sha256(contents).to_vec(),
+                policy_hash: Vec::new(),
+                tuples,
+            },
+        );
+    }
+}
+
+impl crate::interpreter::ObjectStoreView for StaticObjectView {
+    fn exists(&self, key: &str) -> bool {
+        self.latest.contains_key(key)
+    }
+
+    fn current_version(&self, key: &str) -> Option<u64> {
+        self.latest.get(key).copied()
+    }
+
+    fn object_size(&self, key: &str, version: u64) -> Option<u64> {
+        self.facts.get(&(key.to_string(), version)).map(|f| f.size)
+    }
+
+    fn object_hash(&self, key: &str, version: u64) -> Option<Vec<u8>> {
+        self.facts
+            .get(&(key.to_string(), version))
+            .map(|f| f.hash.clone())
+    }
+
+    fn policy_hash(&self, key: &str, version: u64) -> Option<Vec<u8>> {
+        self.facts
+            .get(&(key.to_string(), version))
+            .map(|f| f.policy_hash.clone())
+    }
+
+    fn object_tuples(&self, key: &str, version: u64) -> Vec<Tuple> {
+        self.facts
+            .get(&(key.to_string(), version))
+            .map(|f| f.tuples.clone())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpreter::ObjectStoreView;
+
+    #[test]
+    fn operation_parsing() {
+        assert_eq!(Operation::parse("read"), Some(Operation::Read));
+        assert_eq!(Operation::parse("UPDATE"), Some(Operation::Update));
+        assert_eq!(Operation::parse("destroy"), Some(Operation::Delete));
+        assert_eq!(Operation::parse("write"), Some(Operation::Update));
+        assert_eq!(Operation::parse("fly"), None);
+        assert_eq!(Operation::Read.as_str(), "read");
+    }
+
+    #[test]
+    fn static_view_tracks_versions_and_facts() {
+        let mut view = StaticObjectView::new();
+        view.insert_contents("obj", 0, b"hello");
+        view.insert_contents("obj", 1, b"read(\"obj\",0,\"alice\")\nwrite(\"obj\",0,\"bob\")");
+
+        assert!(view.exists("obj"));
+        assert!(!view.exists("other"));
+        assert_eq!(view.current_version("obj"), Some(1));
+        assert_eq!(view.object_size("obj", 0), Some(5));
+        assert_eq!(
+            view.object_hash("obj", 0).unwrap(),
+            pesos_crypto::sha256(b"hello").to_vec()
+        );
+        let tuples = view.object_tuples("obj", 1);
+        assert_eq!(tuples.len(), 2);
+        assert_eq!(tuples[0].name, "read");
+        assert!(view.object_tuples("obj", 9).is_empty());
+    }
+
+    #[test]
+    fn context_builders() {
+        let ctx = RequestContext::new(Operation::Update)
+            .with_session_key("alice")
+            .with_now(100)
+            .with_next_version(3)
+            .with_new_object_hash(vec![1, 2, 3])
+            .with_freshness_nonce(vec![9])
+            .bind("THIS", Value::Str("obj".into()));
+        assert_eq!(ctx.operation, Some(Operation::Update));
+        assert_eq!(ctx.session_key.as_deref(), Some("alice"));
+        assert_eq!(ctx.next_version, Some(3));
+        assert_eq!(ctx.bindings.get("THIS"), Some(&Value::Str("obj".into())));
+    }
+}

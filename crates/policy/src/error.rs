@@ -1,0 +1,70 @@
+//! Error type for the policy language.
+
+use std::fmt;
+
+/// Errors raised while lexing, parsing, compiling or evaluating policies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyError {
+    /// The lexer met an unexpected character.
+    LexError { position: usize, message: String },
+    /// The parser met an unexpected token.
+    ParseError { position: usize, message: String },
+    /// An unknown predicate name was used.
+    UnknownPredicate(String),
+    /// A predicate was called with the wrong number of arguments.
+    WrongArity {
+        predicate: String,
+        expected: &'static str,
+        got: usize,
+    },
+    /// A compiled policy blob could not be decoded.
+    CorruptBinary(String),
+    /// Evaluation failed in a way that is not simply "denied" (e.g. an
+    /// unbound variable used in an arithmetic expression).
+    EvaluationError(String),
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::LexError { position, message } => {
+                write!(f, "lex error at {position}: {message}")
+            }
+            PolicyError::ParseError { position, message } => {
+                write!(f, "parse error at token {position}: {message}")
+            }
+            PolicyError::UnknownPredicate(name) => write!(f, "unknown predicate {name:?}"),
+            PolicyError::WrongArity {
+                predicate,
+                expected,
+                got,
+            } => write!(
+                f,
+                "predicate {predicate:?} expects {expected} arguments, got {got}"
+            ),
+            PolicyError::CorruptBinary(msg) => write!(f, "corrupt policy binary: {msg}"),
+            PolicyError::EvaluationError(msg) => write!(f, "evaluation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(PolicyError::UnknownPredicate("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(PolicyError::WrongArity {
+            predicate: "eq".into(),
+            expected: "2",
+            got: 3
+        }
+        .to_string()
+        .contains("eq"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Lexer for the policy language.
+//!
+//! The original prototype uses Flex for lexical analysis; this hand-written
+//! scanner covers the same token set: permission keywords, predicate and
+//! tuple identifiers, variables (identifiers starting with an uppercase
+//! letter), integer and string literals, the `:-` rule separator, logical
+//! connectives in both ASCII (`and`, `or`, `&`, `|`) and Unicode (`∧`, `∨`)
+//! spellings, parentheses, commas and `+` for version arithmetic.
+
+use crate::error::PolicyError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// A lowercase-initial identifier (predicate or tuple name, or keyword).
+    Ident(String),
+    /// An uppercase-initial identifier: a variable.
+    Variable(String),
+    /// An integer literal.
+    Int(i64),
+    /// A string literal (single or double quoted).
+    Str(String),
+    /// `:-`
+    Turnstile,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `+`
+    Plus,
+    /// Conjunction (`and`, `&`, `∧`).
+    And,
+    /// Disjunction (`or`, `|`, `∨`).
+    Or,
+}
+
+/// Tokenizes policy text.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, PolicyError> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '%' | '#' => {
+                // Comment to end of line.
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '&' => {
+                tokens.push(Token::And);
+                i += 1;
+                if i < chars.len() && chars[i] == '&' {
+                    i += 1;
+                }
+            }
+            '|' => {
+                tokens.push(Token::Or);
+                i += 1;
+                if i < chars.len() && chars[i] == '|' {
+                    i += 1;
+                }
+            }
+            '∧' => {
+                tokens.push(Token::And);
+                i += 1;
+            }
+            '∨' => {
+                tokens.push(Token::Or);
+                i += 1;
+            }
+            ':' => {
+                if i + 1 < chars.len() && chars[i + 1] == '-' {
+                    tokens.push(Token::Turnstile);
+                    i += 2;
+                } else {
+                    return Err(PolicyError::LexError {
+                        position: i,
+                        message: "expected ':-'".to_string(),
+                    });
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && chars[j] != quote {
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return Err(PolicyError::LexError {
+                        position: i,
+                        message: "unterminated string literal".to_string(),
+                    });
+                }
+                tokens.push(Token::Str(chars[start..j].iter().collect()));
+                i = j + 1;
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                let mut j = i;
+                if chars[j] == '-' {
+                    j += 1;
+                }
+                while j < chars.len() && chars[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                let value = text.parse::<i64>().map_err(|_| PolicyError::LexError {
+                    position: start,
+                    message: format!("invalid integer {text:?}"),
+                })?;
+                tokens.push(Token::Int(value));
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < chars.len()
+                    && (chars[j].is_alphanumeric() || chars[j] == '_' || chars[j] == '-')
+                {
+                    j += 1;
+                }
+                let word: String = chars[start..j].iter().collect();
+                i = j;
+                match word.to_ascii_lowercase().as_str() {
+                    "and" => tokens.push(Token::And),
+                    "or" => tokens.push(Token::Or),
+                    _ => {
+                        if word.chars().next().unwrap().is_uppercase() {
+                            tokens.push(Token::Variable(word));
+                        } else {
+                            tokens.push(Token::Ident(word));
+                        }
+                    }
+                }
+            }
+            other => {
+                return Err(PolicyError::LexError {
+                    position: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_simple_policy() {
+        let tokens = tokenize("read :- sessionKeyIs(Kalice)").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("read".into()),
+                Token::Turnstile,
+                Token::Ident("sessionKeyIs".into()),
+                Token::LParen,
+                Token::Variable("Kalice".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_connectives_in_all_spellings() {
+        for text in [
+            "a(X) and b(Y) or c(Z)",
+            "a(X) & b(Y) | c(Z)",
+            "a(X) && b(Y) || c(Z)",
+            "a(X) ∧ b(Y) ∨ c(Z)",
+        ] {
+            let tokens = tokenize(text).unwrap();
+            assert!(tokens.contains(&Token::And), "{text}");
+            assert!(tokens.contains(&Token::Or), "{text}");
+        }
+    }
+
+    #[test]
+    fn tokenizes_literals() {
+        let tokens = tokenize("eq(X, 42) and eq(Y, -7) and eq(Z, \"hello\") and eq(W, 'hi')")
+            .unwrap();
+        assert!(tokens.contains(&Token::Int(42)));
+        assert!(tokens.contains(&Token::Int(-7)));
+        assert!(tokens.contains(&Token::Str("hello".into())));
+        assert!(tokens.contains(&Token::Str("hi".into())));
+    }
+
+    #[test]
+    fn tokenizes_version_arithmetic() {
+        let tokens = tokenize("nextVersion(CV + 1)").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("nextVersion".into()),
+                Token::LParen,
+                Token::Variable("CV".into()),
+                Token::Plus,
+                Token::Int(1),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_whitespace() {
+        let tokens = tokenize("% a comment line\nread :- eq(1, 1) # trailing\n").unwrap();
+        assert_eq!(tokens[0], Token::Ident("read".into()));
+        assert_eq!(tokens.len(), 8);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(tokenize("read : eq(1,1)").is_err());
+        assert!(tokenize("eq(\"unterminated)").is_err());
+        assert!(tokenize("eq(1, 2) @").is_err());
+    }
+
+    #[test]
+    fn variables_versus_identifiers() {
+        let tokens = tokenize("objId(THIS, o)").unwrap();
+        assert_eq!(tokens[2], Token::Variable("THIS".into()));
+        assert_eq!(tokens[4], Token::Ident("o".into()));
+    }
+}

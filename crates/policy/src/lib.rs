@@ -1,0 +1,57 @@
+//! The Pesos declarative policy language.
+//!
+//! A Pesos policy controls the three operations on an object — `read`,
+//! `update` and `delete` — with one permission clause each. A permission is
+//! a condition in disjunctive normal form over a small set of predicates
+//! (paper Table 1): relational comparisons, certified external facts
+//! (`certificateSays`), the authenticated session key (`sessionKeyIs`) and
+//! object state (`objId`, `currVersion`, `nextVersion`, `objSize`,
+//! `objPolicy`, `objHash`, `objSays`). Arguments are literals or variables;
+//! variables bind on first use, which lets later predicates constrain
+//! earlier bindings (e.g. `currVersion(o, V) ∧ nextVersion(V + 1)`).
+//!
+//! The pipeline mirrors the paper's implementation: policy text is parsed
+//! ([`parser`]), compiled into a compact binary representation
+//! ([`compiler`]) that is cached and stored on the Kinetic drives, and
+//! evaluated against a request context by the interpreter
+//! ([`interpreter`]). The [`cache`] module provides the
+//! least-frequently-used policy cache whose behaviour Figure 8 measures.
+//!
+//! # Example
+//!
+//! ```
+//! use pesos_policy::{compile, Operation, RequestContext, StaticObjectView};
+//!
+//! let policy = compile(
+//!     "read :- sessionKeyIs(\"alice\") or sessionKeyIs(\"bob\")\n\
+//!      update :- sessionKeyIs(\"alice\")\n\
+//!      delete :- sessionKeyIs(\"admin\")",
+//! )
+//! .unwrap();
+//!
+//! let view = StaticObjectView::default();
+//! let ctx = RequestContext::new(Operation::Read).with_session_key("bob");
+//! assert!(policy.evaluate(Operation::Read, &ctx, &view).allowed);
+//! let ctx = RequestContext::new(Operation::Delete).with_session_key("bob");
+//! assert!(!policy.evaluate(Operation::Delete, &ctx, &view).allowed);
+//! ```
+
+pub mod ast;
+pub mod cache;
+pub mod compiler;
+pub mod context;
+pub mod error;
+pub mod interpreter;
+pub mod lexer;
+pub mod parser;
+pub mod predicates;
+pub mod value;
+
+pub use ast::{Condition, Conjunction, Expr, PolicyAst, PredicateCall};
+pub use cache::{CacheStats, PolicyCache};
+pub use compiler::{compile, CompiledPolicy, PolicyId};
+pub use context::{Operation, RequestContext, StaticObjectView};
+pub use error::PolicyError;
+pub use interpreter::{Decision, ObjectStoreView};
+pub use predicates::Predicate;
+pub use value::{Tuple, Value};

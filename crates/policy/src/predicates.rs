@@ -1,0 +1,187 @@
+//! The predicate set of the policy language (paper Table 1).
+
+use crate::error::PolicyError;
+
+/// The predicates available to policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Predicate {
+    /// `eq(x, y)` — x = y (binds an unbound side).
+    Eq,
+    /// `le(x, y)` — x <= y.
+    Le,
+    /// `lt(x, y)` — x < y.
+    Lt,
+    /// `ge(x, y)` — x >= y.
+    Ge,
+    /// `gt(x, y)` — x > y.
+    Gt,
+    /// `certificateSays(a, [f,] key(v1, ...))` — authority `a` certifies the
+    /// tuple, optionally with freshness bound `f`.
+    CertificateSays,
+    /// `sessionKeyIs(k)` — the client is authenticated with key `k`.
+    SessionKeyIs,
+    /// `objId(obj, id)` — compares or sets the object id of `obj` (`NULL`
+    /// when the object does not exist).
+    ObjId,
+    /// `currVersion(obj, v)` — compares or sets the current version.
+    CurrVersion,
+    /// `nextVersion(v)` — compares or sets the version argument of the
+    /// put/update request being evaluated.
+    NextVersion,
+    /// `objSize(obj, v, s)` — compares or sets the size of version `v`.
+    ObjSize,
+    /// `objPolicy(obj, v, ph)` — compares or sets the policy hash.
+    ObjPolicy,
+    /// `objHash(obj, v, h)` — compares or sets the content hash.
+    ObjHash,
+    /// `objSays(obj, v, key(v1, ...))` — matches the tuple against the
+    /// contents of `obj` at version `v`.
+    ObjSays,
+}
+
+impl Predicate {
+    /// Resolves a predicate name (case-insensitive; the MAL example's
+    /// `currIndex`/`nextIndex` are accepted as aliases).
+    pub fn resolve(name: &str) -> Result<Self, PolicyError> {
+        Ok(match name.to_ascii_lowercase().as_str() {
+            "eq" => Predicate::Eq,
+            "le" => Predicate::Le,
+            "lt" => Predicate::Lt,
+            "ge" => Predicate::Ge,
+            "gt" => Predicate::Gt,
+            "certificatesays" => Predicate::CertificateSays,
+            "sessionkeyis" => Predicate::SessionKeyIs,
+            "objid" => Predicate::ObjId,
+            "currversion" | "currindex" => Predicate::CurrVersion,
+            "nextversion" | "nextindex" => Predicate::NextVersion,
+            "objsize" => Predicate::ObjSize,
+            "objpolicy" => Predicate::ObjPolicy,
+            "objhash" => Predicate::ObjHash,
+            "objsays" => Predicate::ObjSays,
+            _ => return Err(PolicyError::UnknownPredicate(name.to_string())),
+        })
+    }
+
+    /// Checks the number of arguments, returning the expected arity text on
+    /// failure.
+    pub fn check_arity(self, got: usize) -> Result<(), PolicyError> {
+        let (ok, expected): (bool, &'static str) = match self {
+            Predicate::Eq | Predicate::Le | Predicate::Lt | Predicate::Ge | Predicate::Gt => {
+                (got == 2, "2")
+            }
+            Predicate::CertificateSays => (got == 2 || got == 3, "2 or 3"),
+            Predicate::SessionKeyIs | Predicate::NextVersion => (got == 1, "1"),
+            Predicate::ObjId | Predicate::CurrVersion => (got == 2, "2"),
+            Predicate::ObjSize | Predicate::ObjPolicy | Predicate::ObjHash | Predicate::ObjSays => {
+                (got == 3, "3")
+            }
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(PolicyError::WrongArity {
+                predicate: format!("{self:?}"),
+                expected,
+                got,
+            })
+        }
+    }
+
+    /// Stable numeric code used by the compiled binary format.
+    pub fn code(self) -> u8 {
+        match self {
+            Predicate::Eq => 1,
+            Predicate::Le => 2,
+            Predicate::Lt => 3,
+            Predicate::Ge => 4,
+            Predicate::Gt => 5,
+            Predicate::CertificateSays => 6,
+            Predicate::SessionKeyIs => 7,
+            Predicate::ObjId => 8,
+            Predicate::CurrVersion => 9,
+            Predicate::NextVersion => 10,
+            Predicate::ObjSize => 11,
+            Predicate::ObjPolicy => 12,
+            Predicate::ObjHash => 13,
+            Predicate::ObjSays => 14,
+        }
+    }
+
+    /// Inverse of [`Predicate::code`].
+    pub fn from_code(code: u8) -> Result<Self, PolicyError> {
+        Ok(match code {
+            1 => Predicate::Eq,
+            2 => Predicate::Le,
+            3 => Predicate::Lt,
+            4 => Predicate::Ge,
+            5 => Predicate::Gt,
+            6 => Predicate::CertificateSays,
+            7 => Predicate::SessionKeyIs,
+            8 => Predicate::ObjId,
+            9 => Predicate::CurrVersion,
+            10 => Predicate::NextVersion,
+            11 => Predicate::ObjSize,
+            12 => Predicate::ObjPolicy,
+            13 => Predicate::ObjHash,
+            14 => Predicate::ObjSays,
+            other => {
+                return Err(PolicyError::CorruptBinary(format!(
+                    "unknown predicate code {other}"
+                )))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Predicate; 14] = [
+        Predicate::Eq,
+        Predicate::Le,
+        Predicate::Lt,
+        Predicate::Ge,
+        Predicate::Gt,
+        Predicate::CertificateSays,
+        Predicate::SessionKeyIs,
+        Predicate::ObjId,
+        Predicate::CurrVersion,
+        Predicate::NextVersion,
+        Predicate::ObjSize,
+        Predicate::ObjPolicy,
+        Predicate::ObjHash,
+        Predicate::ObjSays,
+    ];
+
+    #[test]
+    fn code_round_trip() {
+        for p in ALL {
+            assert_eq!(Predicate::from_code(p.code()).unwrap(), p);
+        }
+        assert!(Predicate::from_code(0).is_err());
+        assert!(Predicate::from_code(99).is_err());
+    }
+
+    #[test]
+    fn name_resolution_and_aliases() {
+        assert_eq!(Predicate::resolve("eq").unwrap(), Predicate::Eq);
+        assert_eq!(Predicate::resolve("sessionKeyIs").unwrap(), Predicate::SessionKeyIs);
+        assert_eq!(Predicate::resolve("currIndex").unwrap(), Predicate::CurrVersion);
+        assert_eq!(Predicate::resolve("nextIndex").unwrap(), Predicate::NextVersion);
+        assert_eq!(Predicate::resolve("OBJSAYS").unwrap(), Predicate::ObjSays);
+        assert!(Predicate::resolve("unknown").is_err());
+    }
+
+    #[test]
+    fn arity_checks() {
+        assert!(Predicate::Eq.check_arity(2).is_ok());
+        assert!(Predicate::Eq.check_arity(3).is_err());
+        assert!(Predicate::CertificateSays.check_arity(2).is_ok());
+        assert!(Predicate::CertificateSays.check_arity(3).is_ok());
+        assert!(Predicate::CertificateSays.check_arity(4).is_err());
+        assert!(Predicate::SessionKeyIs.check_arity(1).is_ok());
+        assert!(Predicate::ObjSays.check_arity(3).is_ok());
+        assert!(Predicate::ObjSays.check_arity(1).is_err());
+    }
+}

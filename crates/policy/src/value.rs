@@ -1,0 +1,243 @@
+//! Value types of the policy language.
+//!
+//! The language supports five value types (paper §3.3): integers, strings,
+//! hashes, public keys and tuples. `Null` is added to represent "no such
+//! object" so that policies like the versioned store's
+//! `objId(this, NULL) ∧ nextVersion(0)` can express object creation.
+
+use std::fmt;
+
+/// A tuple value: a name and arguments, e.g. `write("obj", 3, "alice")`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    /// Tuple name.
+    pub name: String,
+    /// Tuple arguments.
+    pub args: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates a tuple.
+    pub fn new(name: impl Into<String>, args: Vec<Value>) -> Self {
+        Tuple {
+            name: name.into(),
+            args,
+        }
+    }
+
+    /// Parses a tuple from its textual form `name(arg, arg, ...)`.
+    ///
+    /// Arguments are parsed as integers when possible and strings otherwise;
+    /// nested tuples are not supported in the textual form. This is the
+    /// format Pesos expects for the content of `objSays` log objects.
+    pub fn parse(text: &str) -> Option<Tuple> {
+        let text = text.trim();
+        let open = text.find('(')?;
+        if !text.ends_with(')') {
+            return None;
+        }
+        let name = text[..open].trim();
+        if name.is_empty() {
+            return None;
+        }
+        let inner = &text[open + 1..text.len() - 1];
+        let args = if inner.trim().is_empty() {
+            Vec::new()
+        } else {
+            inner
+                .split(',')
+                .map(|a| {
+                    let a = a.trim();
+                    let unquoted = a
+                        .strip_prefix('"')
+                        .and_then(|s| s.strip_suffix('"'))
+                        .or_else(|| a.strip_prefix('\'').and_then(|s| s.strip_suffix('\'')));
+                    match unquoted {
+                        Some(s) => Value::Str(s.to_string()),
+                        None => match a.parse::<i64>() {
+                            Ok(i) => Value::Int(i),
+                            Err(_) => Value::Str(a.to_string()),
+                        },
+                    }
+                })
+                .collect()
+        };
+        Some(Tuple::new(name, args))
+    }
+
+    /// Renders the tuple in the textual log format accepted by
+    /// [`Tuple::parse`].
+    pub fn render(&self) -> String {
+        let args: Vec<String> = self
+            .args
+            .iter()
+            .map(|a| match a {
+                Value::Int(i) => i.to_string(),
+                Value::Str(s) => format!("\"{s}\""),
+                Value::Hash(h) => format!("\"{}\"", pesos_crypto::hex_encode(h)),
+                Value::PubKey(k) => format!("\"{k}\""),
+                Value::Null => "null".to_string(),
+                Value::Tuple(t) => t.render(),
+            })
+            .collect();
+        format!("{}({})", self.name, args.join(","))
+    }
+}
+
+/// A policy-language value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// A 32-byte hash.
+    Hash(Vec<u8>),
+    /// A public key, stored as its hex fingerprint.
+    PubKey(String),
+    /// A tuple.
+    Tuple(Box<Tuple>),
+    /// The absent value (e.g. `objId` of a non-existent object).
+    Null,
+}
+
+impl Value {
+    /// Attempts to view the value as an integer, coercing numeric strings.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(s) => s.trim().parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Attempts to view the value as a string slice (strings and keys).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::PubKey(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// True if this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Loose equality used by unification: integers compare with numeric
+    /// strings, public keys compare with equal strings, everything else
+    /// requires identical variants.
+    pub fn loosely_equals(&self, other: &Value) -> bool {
+        if self == other {
+            return true;
+        }
+        match (self, other) {
+            (Value::Int(_), Value::Str(_)) | (Value::Str(_), Value::Int(_)) => {
+                match (self.as_int(), other.as_int()) {
+                    (Some(a), Some(b)) => a == b,
+                    _ => false,
+                }
+            }
+            (Value::PubKey(a), Value::Str(b)) | (Value::Str(b), Value::PubKey(a)) => a == b,
+            (Value::Hash(h), Value::Str(s)) | (Value::Str(s), Value::Hash(h)) => {
+                pesos_crypto::hex_encode(h) == *s
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Hash(h) => write!(f, "#{}", pesos_crypto::hex_encode(h)),
+            Value::PubKey(k) => write!(f, "key:{k}"),
+            Value::Tuple(t) => write!(f, "{}", t.render()),
+            Value::Null => write!(f, "null"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_parse_and_render_round_trip() {
+        let t = Tuple::new(
+            "write",
+            vec![
+                Value::Str("obj-1".into()),
+                Value::Int(4),
+                Value::Str("alice".into()),
+            ],
+        );
+        let rendered = t.render();
+        assert_eq!(rendered, "write(\"obj-1\",4,\"alice\")");
+        assert_eq!(Tuple::parse(&rendered).unwrap(), t);
+    }
+
+    #[test]
+    fn tuple_parse_plain_and_quoted() {
+        let t = Tuple::parse("read(obj, 3, 'bob')").unwrap();
+        assert_eq!(t.name, "read");
+        assert_eq!(t.args[0], Value::Str("obj".into()));
+        assert_eq!(t.args[1], Value::Int(3));
+        assert_eq!(t.args[2], Value::Str("bob".into()));
+        assert_eq!(Tuple::parse("empty()").unwrap().args.len(), 0);
+    }
+
+    #[test]
+    fn tuple_parse_rejects_garbage() {
+        assert!(Tuple::parse("no-parens").is_none());
+        assert!(Tuple::parse("(just args)").is_none());
+        assert!(Tuple::parse("unterminated(1,2").is_none());
+    }
+
+    #[test]
+    fn int_coercion() {
+        assert_eq!(Value::Str(" 42 ".into()).as_int(), Some(42));
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Str("abc".into()).as_int(), None);
+        assert_eq!(Value::Null.as_int(), None);
+    }
+
+    #[test]
+    fn loose_equality() {
+        assert!(Value::Int(5).loosely_equals(&Value::Str("5".into())));
+        assert!(!Value::Int(5).loosely_equals(&Value::Str("6".into())));
+        assert!(Value::PubKey("abcd".into()).loosely_equals(&Value::Str("abcd".into())));
+        assert!(Value::Hash(vec![0xab, 0xcd]).loosely_equals(&Value::Str("abcd".into())));
+        assert!(!Value::Null.loosely_equals(&Value::Int(0)));
+        assert!(Value::Null.loosely_equals(&Value::Null));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::Str("x".into()).to_string(), "\"x\"");
+        assert_eq!(Value::Null.to_string(), "null");
+        assert!(Value::Hash(vec![1, 2]).to_string().starts_with('#'));
+    }
+}

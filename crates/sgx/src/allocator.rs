@@ -1,0 +1,227 @@
+//! Bitmap page allocator emulating `mmap`/`munmap` inside the enclave heap.
+//!
+//! SGX v1 fixes the enclave memory range at initialisation, so Scone
+//! pre-allocates all code, data and heap pages and emulates the POSIX
+//! `mmap`/`munmap` interface with a simple bitmap allocator inside that
+//! region (paper §4.6, "Memory management"). This module implements that
+//! allocator: a first-fit search over a page-granular bitmap, supporting
+//! multi-page regions and returning page-aligned offsets into the enclave
+//! heap.
+
+use crate::enclave::PAGE_SIZE;
+use crate::error::SgxError;
+
+/// A first-fit bitmap allocator over a fixed number of pages.
+#[derive(Debug, Clone)]
+pub struct BitmapAllocator {
+    /// One bit per page; `true` means allocated.
+    bitmap: Vec<u64>,
+    total_pages: usize,
+    allocated_pages: usize,
+}
+
+impl BitmapAllocator {
+    /// Creates an allocator managing `heap_bytes` of enclave heap.
+    pub fn new(heap_bytes: usize) -> Self {
+        let total_pages = heap_bytes / PAGE_SIZE;
+        let words = (total_pages + 63) / 64;
+        BitmapAllocator {
+            bitmap: vec![0u64; words],
+            total_pages,
+            allocated_pages: 0,
+        }
+    }
+
+    /// Total number of managed pages.
+    pub fn total_pages(&self) -> usize {
+        self.total_pages
+    }
+
+    /// Currently allocated pages.
+    pub fn allocated_pages(&self) -> usize {
+        self.allocated_pages
+    }
+
+    /// Free pages remaining.
+    pub fn free_pages(&self) -> usize {
+        self.total_pages - self.allocated_pages
+    }
+
+    fn is_set(&self, page: usize) -> bool {
+        (self.bitmap[page / 64] >> (page % 64)) & 1 == 1
+    }
+
+    fn set(&mut self, page: usize) {
+        self.bitmap[page / 64] |= 1 << (page % 64);
+    }
+
+    fn clear(&mut self, page: usize) {
+        self.bitmap[page / 64] &= !(1 << (page % 64));
+    }
+
+    /// Allocates a contiguous region of at least `bytes`, returning its
+    /// byte offset within the enclave heap (page aligned).
+    pub fn alloc(&mut self, bytes: usize) -> Result<usize, SgxError> {
+        let pages = bytes.div_ceil(PAGE_SIZE).max(1);
+        if pages > self.free_pages() {
+            return Err(SgxError::OutOfEnclaveMemory {
+                requested: bytes,
+                available: self.free_pages() * PAGE_SIZE,
+            });
+        }
+        // First-fit scan for `pages` consecutive clear bits.
+        let mut run_start = 0usize;
+        let mut run_len = 0usize;
+        for page in 0..self.total_pages {
+            if self.is_set(page) {
+                run_len = 0;
+                run_start = page + 1;
+            } else {
+                run_len += 1;
+                if run_len == pages {
+                    for p in run_start..run_start + pages {
+                        self.set(p);
+                    }
+                    self.allocated_pages += pages;
+                    return Ok(run_start * PAGE_SIZE);
+                }
+            }
+        }
+        Err(SgxError::OutOfEnclaveMemory {
+            requested: bytes,
+            available: self.free_pages() * PAGE_SIZE,
+        })
+    }
+
+    /// Frees a region previously returned by [`BitmapAllocator::alloc`].
+    ///
+    /// `offset` must be the value returned by `alloc` and `bytes` the same
+    /// size passed to it (rounded up to whole pages internally).
+    pub fn free(&mut self, offset: usize, bytes: usize) -> Result<(), SgxError> {
+        if offset % PAGE_SIZE != 0 {
+            return Err(SgxError::InvalidFree { offset });
+        }
+        let first = offset / PAGE_SIZE;
+        let pages = bytes.div_ceil(PAGE_SIZE).max(1);
+        if first + pages > self.total_pages {
+            return Err(SgxError::InvalidFree { offset });
+        }
+        // All pages must currently be allocated; otherwise this is a double
+        // free or a bad range.
+        for p in first..first + pages {
+            if !self.is_set(p) {
+                return Err(SgxError::InvalidFree { offset });
+            }
+        }
+        for p in first..first + pages {
+            self.clear(p);
+        }
+        self.allocated_pages -= pages;
+        Ok(())
+    }
+
+    /// Fraction of managed pages currently allocated (0.0–1.0).
+    pub fn utilization(&self) -> f64 {
+        if self.total_pages == 0 {
+            return 0.0;
+        }
+        self.allocated_pages as f64 / self.total_pages as f64
+    }
+
+    /// Size in pages of the largest free contiguous region; an indicator of
+    /// fragmentation.
+    pub fn largest_free_run(&self) -> usize {
+        let mut best = 0usize;
+        let mut run = 0usize;
+        for page in 0..self.total_pages {
+            if self.is_set(page) {
+                run = 0;
+            } else {
+                run += 1;
+                best = best.max(run);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_round_trip() {
+        let mut a = BitmapAllocator::new(64 * PAGE_SIZE);
+        assert_eq!(a.total_pages(), 64);
+        let off1 = a.alloc(PAGE_SIZE * 4).unwrap();
+        let off2 = a.alloc(PAGE_SIZE).unwrap();
+        assert_ne!(off1, off2);
+        assert_eq!(a.allocated_pages(), 5);
+        a.free(off1, PAGE_SIZE * 4).unwrap();
+        assert_eq!(a.allocated_pages(), 1);
+        a.free(off2, PAGE_SIZE).unwrap();
+        assert_eq!(a.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn sub_page_allocations_round_up() {
+        let mut a = BitmapAllocator::new(16 * PAGE_SIZE);
+        let off = a.alloc(100).unwrap();
+        assert_eq!(a.allocated_pages(), 1);
+        a.free(off, 100).unwrap();
+        assert_eq!(a.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn exhaustion_reported() {
+        let mut a = BitmapAllocator::new(4 * PAGE_SIZE);
+        a.alloc(3 * PAGE_SIZE).unwrap();
+        assert!(matches!(
+            a.alloc(2 * PAGE_SIZE),
+            Err(SgxError::OutOfEnclaveMemory { .. })
+        ));
+        // A single page still fits.
+        a.alloc(PAGE_SIZE).unwrap();
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut a = BitmapAllocator::new(8 * PAGE_SIZE);
+        let off = a.alloc(PAGE_SIZE).unwrap();
+        a.free(off, PAGE_SIZE).unwrap();
+        assert!(a.free(off, PAGE_SIZE).is_err());
+    }
+
+    #[test]
+    fn invalid_free_rejected() {
+        let mut a = BitmapAllocator::new(8 * PAGE_SIZE);
+        assert!(a.free(123, PAGE_SIZE).is_err()); // Unaligned.
+        assert!(a.free(100 * PAGE_SIZE, PAGE_SIZE).is_err()); // Out of range.
+    }
+
+    #[test]
+    fn reuse_after_free_fills_gaps() {
+        let mut a = BitmapAllocator::new(8 * PAGE_SIZE);
+        let o1 = a.alloc(2 * PAGE_SIZE).unwrap();
+        let _o2 = a.alloc(2 * PAGE_SIZE).unwrap();
+        a.free(o1, 2 * PAGE_SIZE).unwrap();
+        // The freed hole is reused (first fit).
+        let o3 = a.alloc(PAGE_SIZE).unwrap();
+        assert_eq!(o3, o1);
+    }
+
+    #[test]
+    fn fragmentation_metrics() {
+        let mut a = BitmapAllocator::new(10 * PAGE_SIZE);
+        let offs: Vec<usize> = (0..5).map(|_| a.alloc(2 * PAGE_SIZE).unwrap()).collect();
+        assert_eq!(a.utilization(), 1.0);
+        assert_eq!(a.largest_free_run(), 0);
+        // Free every other region to fragment.
+        a.free(offs[1], 2 * PAGE_SIZE).unwrap();
+        a.free(offs[3], 2 * PAGE_SIZE).unwrap();
+        assert_eq!(a.largest_free_run(), 2);
+        assert!((a.utilization() - 0.6).abs() < 1e-9);
+        // A 3-page request cannot be satisfied despite 4 free pages.
+        assert!(a.alloc(3 * PAGE_SIZE).is_err());
+    }
+}

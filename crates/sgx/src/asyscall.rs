@@ -1,0 +1,249 @@
+//! Asynchronous system-call interface (FlexSC / Scone style).
+//!
+//! Control-transfer instructions are forbidden inside SGX enclaves, so every
+//! system call would normally require an expensive enclave exit. Scone, and
+//! therefore Pesos, instead places system-call arguments into shared-memory
+//! *slots*, enqueues the slot index on a *submission queue*, and lets
+//! untrusted *service threads* outside the enclave execute the call and push
+//! the result onto a *return queue* (paper §4.6, "I/O interface").
+//!
+//! This module reproduces that machinery: a bounded slot table, crossbeam
+//! channels standing in for the shared-memory queues, and a configurable
+//! number of service threads. Work is submitted as closures (the "system
+//! call body"), which lets the Kinetic client library and the controller
+//! route all of their I/O through the interface without this crate having to
+//! know about sockets or disks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use crate::cost::{CostEvent, ModeCost};
+use crate::error::SgxError;
+
+type SyscallBody = Box<dyn FnOnce() + Send + 'static>;
+
+/// Counters describing the interface's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AsyscallStats {
+    /// Calls submitted by enclave threads.
+    pub submitted: u64,
+    /// Calls completed by service threads.
+    pub completed: u64,
+    /// Times a submitter had to wait because all slots were busy.
+    pub slot_waits: u64,
+}
+
+struct Shared {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    slot_waits: AtomicU64,
+}
+
+/// The asynchronous system-call interface.
+pub struct AsyscallInterface {
+    tx: Sender<SyscallBody>,
+    shared: Arc<Shared>,
+    cost: ModeCost,
+    workers: Vec<JoinHandle<()>>,
+    slots: usize,
+}
+
+impl AsyscallInterface {
+    /// Creates the interface with `service_threads` untrusted worker threads
+    /// and `slots` system-call slots (the submission queue depth).
+    pub fn new(service_threads: usize, slots: usize, cost: ModeCost) -> Self {
+        let slots = slots.max(1);
+        let (tx, rx): (Sender<SyscallBody>, Receiver<SyscallBody>) = bounded(slots);
+        let shared = Arc::new(Shared {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            slot_waits: AtomicU64::new(0),
+        });
+
+        let mut workers = Vec::new();
+        for i in 0..service_threads.max(1) {
+            let rx = rx.clone();
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("asyscall-{i}"))
+                .spawn(move || {
+                    while let Ok(body) = rx.recv() {
+                        body();
+                        shared.completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+                .expect("spawn asyscall service thread");
+            workers.push(handle);
+        }
+
+        AsyscallInterface {
+            tx,
+            shared,
+            cost,
+            workers,
+            slots,
+        }
+    }
+
+    /// Number of configured system-call slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Submits a "system call" and blocks until its result is available.
+    ///
+    /// This mirrors the synchronous wrapper Scone exposes to the
+    /// application: the enclave-side cost of slot handling is charged, the
+    /// body runs on an untrusted service thread, and the calling thread
+    /// parks until the return queue delivers the result. The calling thread
+    /// would normally switch to another user-level thread while waiting;
+    /// that interleaving is provided by [`crate::scheduler::UserScheduler`].
+    pub fn submit<T, F>(&self, body: F) -> Result<T, SgxError>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.cost.charge(CostEvent::AsyncSyscall);
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+
+        let (result_tx, result_rx) = bounded::<T>(1);
+        let job: SyscallBody = Box::new(move || {
+            let out = body();
+            let _ = result_tx.send(out);
+        });
+
+        if self.tx.is_full() {
+            self.shared.slot_waits.fetch_add(1, Ordering::Relaxed);
+        }
+        self.tx
+            .send(job)
+            .map_err(|_| SgxError::SyscallInterfaceClosed)?;
+        result_rx
+            .recv()
+            .map_err(|_| SgxError::SyscallInterfaceClosed)
+    }
+
+    /// Submits a "system call" without waiting for its completion.
+    ///
+    /// Used for fire-and-forget writes when the caller tracks completion via
+    /// the Pesos result buffer instead.
+    pub fn submit_detached<F>(&self, body: F) -> Result<(), SgxError>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.cost.charge(CostEvent::AsyncSyscall);
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        if self.tx.is_full() {
+            self.shared.slot_waits.fetch_add(1, Ordering::Relaxed);
+        }
+        self.tx
+            .send(Box::new(body))
+            .map_err(|_| SgxError::SyscallInterfaceClosed)
+    }
+
+    /// Returns activity counters.
+    pub fn stats(&self) -> AsyscallStats {
+        AsyscallStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            slot_waits: self.shared.slot_waits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Shuts the interface down, waiting for service threads to exit.
+    pub fn shutdown(mut self) {
+        drop(self.tx);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{ExecutionMode, SgxCostModel};
+
+    fn iface() -> AsyscallInterface {
+        AsyscallInterface::new(
+            2,
+            8,
+            ModeCost::new(ExecutionMode::Sgx, SgxCostModel::zero()),
+        )
+    }
+
+    #[test]
+    fn submit_returns_result() {
+        let i = iface();
+        let out = i.submit(|| 40 + 2).unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(i.stats().submitted, 1);
+        // The completion counter is bumped by the service thread after it
+        // delivers the result, so give it a moment.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while i.stats().completed < 1 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(i.stats().completed, 1);
+    }
+
+    #[test]
+    fn many_concurrent_submissions() {
+        let i = Arc::new(iface());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let i = Arc::clone(&i);
+            handles.push(std::thread::spawn(move || {
+                let mut sum = 0u64;
+                for k in 0..50u64 {
+                    sum += i.submit(move || t * 1000 + k).unwrap();
+                }
+                sum
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        // Sum of t*1000*50 + sum(0..50) for each of 8 threads.
+        let expected: u64 = (0..8u64).map(|t| t * 1000 * 50 + (0..50).sum::<u64>()).sum();
+        assert_eq!(total, expected);
+        assert_eq!(i.stats().submitted, 400);
+    }
+
+    #[test]
+    fn detached_submission_completes() {
+        let i = iface();
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..10 {
+            let c = Arc::clone(&counter);
+            i.submit_detached(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        // Wait for completion.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while counter.load(Ordering::SeqCst) < 10 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn shutdown_joins_workers() {
+        let i = iface();
+        i.submit(|| ()).unwrap();
+        i.shutdown();
+    }
+
+    #[test]
+    fn slots_reported() {
+        let i = AsyscallInterface::new(
+            1,
+            16,
+            ModeCost::new(ExecutionMode::Native, SgxCostModel::zero()),
+        );
+        assert_eq!(i.slots(), 16);
+    }
+}

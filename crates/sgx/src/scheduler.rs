@@ -1,0 +1,208 @@
+//! User-level task scheduling inside the enclave.
+//!
+//! SGX enclaves must declare their maximum number of hardware threads (TCS
+//! slots) at build time. Scone works around this by multiplexing an
+//! arbitrary number of *user-level threads* onto the fixed pool of enclave
+//! threads; a user-level thread runs until its next preemption point (a
+//! system-call submission) and then yields to the scheduler (paper §4.6,
+//! "Multithreading support").
+//!
+//! The simulator models this as a work-stealing-free M:N scheduler: tasks
+//! (closures) are queued and executed by a fixed pool of worker threads that
+//! stands in for the enclave hardware threads. Connection handlers and
+//! Kinetic-library service loops in `pesos-core` run as such tasks.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Counters describing scheduler activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Tasks submitted.
+    pub spawned: u64,
+    /// Tasks completed.
+    pub completed: u64,
+    /// Worker threads (enclave hardware threads).
+    pub workers: usize,
+}
+
+struct Inner {
+    spawned: AtomicU64,
+    completed: AtomicU64,
+    active: AtomicUsize,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+/// An M:N user-level scheduler with a fixed worker pool.
+pub struct UserScheduler {
+    tx: Sender<Task>,
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl UserScheduler {
+    /// Creates a scheduler with `hardware_threads` workers.
+    pub fn new(hardware_threads: usize) -> Self {
+        let threads = hardware_threads.max(1);
+        let (tx, rx): (Sender<Task>, Receiver<Task>) = unbounded();
+        let inner = Arc::new(Inner {
+            spawned: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            active: AtomicUsize::new(0),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        });
+
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let rx = rx.clone();
+            let inner = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("enclave-hw-{i}"))
+                    .spawn(move || {
+                        while let Ok(task) = rx.recv() {
+                            inner.active.fetch_add(1, Ordering::SeqCst);
+                            task();
+                            inner.active.fetch_sub(1, Ordering::SeqCst);
+                            inner.completed.fetch_add(1, Ordering::SeqCst);
+                            let _guard = inner.idle_lock.lock();
+                            inner.idle_cv.notify_all();
+                        }
+                    })
+                    .expect("spawn enclave worker"),
+            );
+        }
+
+        UserScheduler { tx, inner, workers }
+    }
+
+    /// Spawns a user-level task.
+    pub fn spawn<F>(&self, task: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.inner.spawned.fetch_add(1, Ordering::SeqCst);
+        self.tx
+            .send(Box::new(task))
+            .expect("scheduler queue closed");
+    }
+
+    /// Spawns a task returning a value; the result can be collected with the
+    /// returned receiver.
+    pub fn spawn_with_result<T, F>(&self, task: F) -> Receiver<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        self.spawn(move || {
+            let _ = tx.send(task());
+        });
+        rx
+    }
+
+    /// Blocks until every spawned task has completed.
+    pub fn wait_idle(&self) {
+        let mut guard = self.inner.idle_lock.lock();
+        loop {
+            let spawned = self.inner.spawned.load(Ordering::SeqCst);
+            let completed = self.inner.completed.load(Ordering::SeqCst);
+            if completed >= spawned {
+                return;
+            }
+            self.inner
+                .idle_cv
+                .wait_for(&mut guard, std::time::Duration::from_millis(10));
+        }
+    }
+
+    /// Returns activity counters.
+    pub fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            spawned: self.inner.spawned.load(Ordering::SeqCst),
+            completed: self.inner.completed.load(Ordering::SeqCst),
+            workers: self.workers.len(),
+        }
+    }
+
+    /// Shuts the scheduler down after draining queued tasks.
+    pub fn shutdown(mut self) {
+        self.wait_idle();
+        drop(self.tx);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_all_tasks() {
+        let sched = UserScheduler::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            sched.spawn(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        sched.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        let stats = sched.stats();
+        assert_eq!(stats.spawned, 100);
+        assert_eq!(stats.completed, 100);
+        assert_eq!(stats.workers, 4);
+    }
+
+    #[test]
+    fn spawn_with_result_delivers() {
+        let sched = UserScheduler::new(2);
+        let rx = sched.spawn_with_result(|| 7 * 6);
+        assert_eq!(rx.recv().unwrap(), 42);
+    }
+
+    #[test]
+    fn more_tasks_than_workers() {
+        let sched = UserScheduler::new(1);
+        let rxs: Vec<_> = (0..20)
+            .map(|i| sched.spawn_with_result(move || i * 2))
+            .collect();
+        let mut results: Vec<i32> = rxs.into_iter().map(|r| r.recv().unwrap()).collect();
+        results.sort();
+        assert_eq!(results, (0..20).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shutdown_completes_outstanding_work() {
+        let sched = UserScheduler::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..10 {
+            let c = Arc::clone(&counter);
+            sched.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        sched.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn zero_threads_clamped_to_one() {
+        let sched = UserScheduler::new(0);
+        assert_eq!(sched.stats().workers, 1);
+        let rx = sched.spawn_with_result(|| 1);
+        assert_eq!(rx.recv().unwrap(), 1);
+    }
+}

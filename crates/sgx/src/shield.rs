@@ -1,0 +1,185 @@
+//! Scone-style file shield.
+//!
+//! Scone interposes *shields* on system calls that move data across the
+//! enclave boundary: file contents are transparently encrypted before they
+//! leave the enclave and verified when they come back, and arguments are
+//! sanity-checked to prevent Iago attacks (paper §4.6, "I/O interface").
+//!
+//! Pesos uses the shield for any state it spills to untrusted local storage
+//! (for example the simulated result-buffer overflow area). The shield is a
+//! thin keyed wrapper over the AEAD: each logical file name gets its own
+//! derived key, and the file name is bound as associated data so ciphertexts
+//! cannot be swapped between files by the untrusted OS.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use pesos_crypto::{AeadKey, CryptoError};
+
+/// Transparent encryption/verification layer for untrusted storage.
+pub struct FileShield {
+    master_key: [u8; 32],
+    /// Untrusted backing store: file name -> sealed contents.
+    store: Mutex<HashMap<String, Vec<u8>>>,
+    /// Monotonic write counter per file, used as the nonce sequence.
+    counters: Mutex<HashMap<String, u64>>,
+}
+
+impl FileShield {
+    /// Creates a shield keyed with `master_key` (normally derived from the
+    /// provisioned storage master secret).
+    pub fn new(master_key: [u8; 32]) -> Self {
+        FileShield {
+            master_key,
+            store: Mutex::new(HashMap::new()),
+            counters: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn file_key(&self, name: &str) -> AeadKey {
+        let mut ikm = Vec::with_capacity(32 + name.len());
+        ikm.extend_from_slice(&self.master_key);
+        ikm.extend_from_slice(name.as_bytes());
+        AeadKey::from_secret(&ikm)
+    }
+
+    /// Writes `contents` to the shielded file `name` (encrypting it before
+    /// it reaches the untrusted store).
+    pub fn write(&self, name: &str, contents: &[u8]) {
+        let seq = {
+            let mut counters = self.counters.lock();
+            let c = counters.entry(name.to_string()).or_insert(0);
+            *c += 1;
+            *c
+        };
+        let key = self.file_key(name);
+        let nonce = pesos_crypto::aead::counter_nonce(0x46494c45, seq);
+        let sealed = key.seal_to_bytes(&nonce, name.as_bytes(), contents);
+        self.store.lock().insert(name.to_string(), sealed);
+    }
+
+    /// Reads and verifies the shielded file `name`.
+    pub fn read(&self, name: &str) -> Result<Vec<u8>, CryptoError> {
+        let sealed = self
+            .store
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CryptoError::InvalidEncoding(format!("no such file {name:?}")))?;
+        self.file_key(name).open_from_bytes(&sealed, name.as_bytes())
+    }
+
+    /// Removes a shielded file. Returns true if it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.store.lock().remove(name).is_some()
+    }
+
+    /// Returns the number of shielded files.
+    pub fn len(&self) -> usize {
+        self.store.lock().len()
+    }
+
+    /// True if no files are stored.
+    pub fn is_empty(&self) -> bool {
+        self.store.lock().is_empty()
+    }
+
+    /// Test/failure-injection hook: corrupts the stored ciphertext of `name`
+    /// as a malicious OS could. Returns true if the file existed.
+    pub fn tamper_with(&self, name: &str) -> bool {
+        let mut store = self.store.lock();
+        match store.get_mut(name) {
+            Some(data) if !data.is_empty() => {
+                let last = data.len() - 1;
+                data[last] ^= 0x1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Test/failure-injection hook: swaps the ciphertexts of two files, as a
+    /// malicious OS could try in order to serve stale or foreign data.
+    pub fn swap_files(&self, a: &str, b: &str) -> bool {
+        let mut store = self.store.lock();
+        if !store.contains_key(a) || !store.contains_key(b) {
+            return false;
+        }
+        let va = store.get(a).cloned().unwrap();
+        let vb = store.get(b).cloned().unwrap();
+        store.insert(a.to_string(), vb);
+        store.insert(b.to_string(), va);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shield() -> FileShield {
+        FileShield::new([3u8; 32])
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let s = shield();
+        s.write("result-buffer.bin", b"operation 42: success");
+        assert_eq!(s.read("result-buffer.bin").unwrap(), b"operation 42: success");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn overwrites_supersede() {
+        let s = shield();
+        s.write("f", b"v1");
+        s.write("f", b"v2");
+        assert_eq!(s.read("f").unwrap(), b"v2");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn missing_file_is_error() {
+        assert!(shield().read("nope").is_err());
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let s = shield();
+        s.write("f", b"important");
+        assert!(s.tamper_with("f"));
+        assert!(s.read("f").is_err());
+        assert!(!s.tamper_with("missing"));
+    }
+
+    #[test]
+    fn file_swap_detected() {
+        let s = shield();
+        s.write("a", b"contents of a");
+        s.write("b", b"contents of b");
+        assert!(s.swap_files("a", "b"));
+        // The AAD binds the file name, so swapped ciphertexts fail to open.
+        assert!(s.read("a").is_err());
+        assert!(s.read("b").is_err());
+    }
+
+    #[test]
+    fn remove_works() {
+        let s = shield();
+        s.write("f", b"x");
+        assert!(s.remove("f"));
+        assert!(!s.remove("f"));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn different_master_keys_do_not_interoperate() {
+        let s1 = FileShield::new([1u8; 32]);
+        let s2 = FileShield::new([2u8; 32]);
+        s1.write("f", b"secret");
+        // Simulate the untrusted store being handed to another enclave.
+        let sealed = s1.store.lock().get("f").cloned().unwrap();
+        s2.store.lock().insert("f".to_string(), sealed);
+        assert!(s2.read("f").is_err());
+    }
+}

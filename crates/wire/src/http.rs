@@ -1,0 +1,433 @@
+//! Minimal HTTP/1.1 request and response handling.
+//!
+//! The Pesos controller exposes a plain REST-over-HTTPS interface so that
+//! "a large variety of applications" can use it without a client library
+//! (paper §4.1). This module supplies the request/response types plus
+//! parsing and serialization; the secure channel from [`crate::channel`]
+//! plays the role TLS plays in the original system.
+
+use std::collections::BTreeMap;
+
+use crate::error::WireError;
+
+/// HTTP status codes used by the Pesos REST API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatusCode {
+    /// 200 — request succeeded (also used for async acknowledgements).
+    Ok,
+    /// 202 — asynchronous request accepted.
+    Accepted,
+    /// 400 — malformed request.
+    BadRequest,
+    /// 403 — policy check denied the operation.
+    Forbidden,
+    /// 404 — object or policy not found.
+    NotFound,
+    /// 409 — conflict (e.g. version mismatch, transaction abort).
+    Conflict,
+    /// 500 — internal error (e.g. backend disk failure).
+    InternalError,
+    /// 503 — controller overloaded or backend unavailable.
+    Unavailable,
+}
+
+impl StatusCode {
+    /// The numeric code.
+    pub fn code(self) -> u16 {
+        match self {
+            StatusCode::Ok => 200,
+            StatusCode::Accepted => 202,
+            StatusCode::BadRequest => 400,
+            StatusCode::Forbidden => 403,
+            StatusCode::NotFound => 404,
+            StatusCode::Conflict => 409,
+            StatusCode::InternalError => 500,
+            StatusCode::Unavailable => 503,
+        }
+    }
+
+    /// The reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self {
+            StatusCode::Ok => "OK",
+            StatusCode::Accepted => "Accepted",
+            StatusCode::BadRequest => "Bad Request",
+            StatusCode::Forbidden => "Forbidden",
+            StatusCode::NotFound => "Not Found",
+            StatusCode::Conflict => "Conflict",
+            StatusCode::InternalError => "Internal Server Error",
+            StatusCode::Unavailable => "Service Unavailable",
+        }
+    }
+
+    /// Parses a numeric code.
+    pub fn from_code(code: u16) -> Option<Self> {
+        match code {
+            200 => Some(StatusCode::Ok),
+            202 => Some(StatusCode::Accepted),
+            400 => Some(StatusCode::BadRequest),
+            403 => Some(StatusCode::Forbidden),
+            404 => Some(StatusCode::NotFound),
+            409 => Some(StatusCode::Conflict),
+            500 => Some(StatusCode::InternalError),
+            503 => Some(StatusCode::Unavailable),
+            _ => None,
+        }
+    }
+
+    /// True for 2xx codes.
+    pub fn is_success(self) -> bool {
+        matches!(self, StatusCode::Ok | StatusCode::Accepted)
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// The HTTP method (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target, e.g. `/objects/user%2F42?method=put`.
+    pub path: String,
+    /// Header map with lowercase names.
+    pub headers: BTreeMap<String, String>,
+    /// The request body.
+    pub body: Vec<u8>,
+}
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// The status code.
+    pub status: StatusCode,
+    /// Header map with lowercase names.
+    pub headers: BTreeMap<String, String>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// Creates a POST request with a body.
+    pub fn post(path: impl Into<String>, body: Vec<u8>) -> Self {
+        let mut headers = BTreeMap::new();
+        headers.insert("content-length".to_string(), body.len().to_string());
+        HttpRequest {
+            method: "POST".to_string(),
+            path: path.into(),
+            headers,
+            body,
+        }
+    }
+
+    /// Creates a GET request.
+    pub fn get(path: impl Into<String>) -> Self {
+        HttpRequest {
+            method: "GET".to_string(),
+            path: path.into(),
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Adds a header (name stored lowercase).
+    pub fn header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.insert(name.to_ascii_lowercase(), value.into());
+        self
+    }
+
+    /// Serializes to the HTTP/1.1 wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        out.extend_from_slice(format!("{} {} HTTP/1.1\r\n", self.method, self.path).as_bytes());
+        let mut headers = self.headers.clone();
+        headers.insert("content-length".to_string(), self.body.len().to_string());
+        for (name, value) in &headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses a request from its wire format.
+    pub fn parse(input: &[u8]) -> Result<Self, WireError> {
+        let (head, body) = split_head(input)?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines
+            .next()
+            .ok_or_else(|| WireError::MalformedHttp("missing request line".into()))?;
+        let mut parts = request_line.split(' ');
+        let method = parts
+            .next()
+            .ok_or_else(|| WireError::MalformedHttp("missing method".into()))?
+            .to_string();
+        let path = parts
+            .next()
+            .ok_or_else(|| WireError::MalformedHttp("missing path".into()))?
+            .to_string();
+        let version = parts
+            .next()
+            .ok_or_else(|| WireError::MalformedHttp("missing version".into()))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(WireError::MalformedHttp(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let headers = parse_headers(lines)?;
+        let body = read_body(&headers, body)?;
+        Ok(HttpRequest {
+            method,
+            path,
+            headers,
+            body,
+        })
+    }
+
+    /// Extracts the query-string parameters from the path.
+    pub fn query_params(&self) -> BTreeMap<String, String> {
+        match self.path.split_once('?') {
+            Some((_, query)) => parse_query(query),
+            None => BTreeMap::new(),
+        }
+    }
+
+    /// Returns the path without the query string.
+    pub fn path_only(&self) -> &str {
+        self.path.split('?').next().unwrap_or(&self.path)
+    }
+}
+
+impl HttpResponse {
+    /// Creates a response with the given status and body.
+    pub fn new(status: StatusCode, body: Vec<u8>) -> Self {
+        HttpResponse {
+            status,
+            headers: BTreeMap::new(),
+            body,
+        }
+    }
+
+    /// Adds a header (name stored lowercase).
+    pub fn header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.insert(name.to_ascii_lowercase(), value.into());
+        self
+    }
+
+    /// Serializes to the HTTP/1.1 wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        out.extend_from_slice(
+            format!(
+                "HTTP/1.1 {} {}\r\n",
+                self.status.code(),
+                self.status.reason()
+            )
+            .as_bytes(),
+        );
+        let mut headers = self.headers.clone();
+        headers.insert("content-length".to_string(), self.body.len().to_string());
+        for (name, value) in &headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses a response from its wire format.
+    pub fn parse(input: &[u8]) -> Result<Self, WireError> {
+        let (head, body) = split_head(input)?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines
+            .next()
+            .ok_or_else(|| WireError::MalformedHttp("missing status line".into()))?;
+        let mut parts = status_line.split(' ');
+        let _version = parts.next();
+        let code: u16 = parts
+            .next()
+            .and_then(|c| c.parse().ok())
+            .ok_or_else(|| WireError::MalformedHttp("missing status code".into()))?;
+        let status = StatusCode::from_code(code)
+            .ok_or_else(|| WireError::MalformedHttp(format!("unknown status {code}")))?;
+        let headers = parse_headers(lines)?;
+        let body = read_body(&headers, body)?;
+        Ok(HttpResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+fn split_head(input: &[u8]) -> Result<(&str, &[u8]), WireError> {
+    let sep = b"\r\n\r\n";
+    let pos = input
+        .windows(sep.len())
+        .position(|w| w == sep)
+        .ok_or_else(|| WireError::MalformedHttp("missing header terminator".into()))?;
+    let head =
+        std::str::from_utf8(&input[..pos]).map_err(|_| WireError::InvalidUtf8)?;
+    Ok((head, &input[pos + sep.len()..]))
+}
+
+fn parse_headers<'a>(
+    lines: impl Iterator<Item = &'a str>,
+) -> Result<BTreeMap<String, String>, WireError> {
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| WireError::MalformedHttp(format!("bad header line {line:?}")))?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+    Ok(headers)
+}
+
+fn read_body(headers: &BTreeMap<String, String>, body: &[u8]) -> Result<Vec<u8>, WireError> {
+    match headers.get("content-length") {
+        Some(len_str) => {
+            let len: usize = len_str
+                .parse()
+                .map_err(|_| WireError::MalformedHttp("bad content-length".into()))?;
+            if body.len() < len {
+                return Err(WireError::MalformedHttp(format!(
+                    "body truncated: expected {len}, got {}",
+                    body.len()
+                )));
+            }
+            Ok(body[..len].to_vec())
+        }
+        None => Ok(body.to_vec()),
+    }
+}
+
+/// Parses an `application/x-www-form-urlencoded` style query string.
+pub fn parse_query(query: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for pair in query.split('&') {
+        if pair.is_empty() {
+            continue;
+        }
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        out.insert(percent_decode(k), percent_decode(v));
+    }
+    out
+}
+
+/// Percent-encodes a string for safe inclusion in a URL path or query.
+pub fn percent_encode(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for &b in input.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Decodes percent-encoded text; invalid escapes are passed through.
+pub fn percent_decode(input: &str) -> String {
+    let bytes = input.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() {
+            if let Ok(v) = u8::from_str_radix(&input[i + 1..i + 3], 16) {
+                out.push(v);
+                i += 3;
+                continue;
+            }
+            out.push(bytes[i]);
+            i += 1;
+        } else if bytes[i] == b'+' {
+            out.push(b' ');
+            i += 1;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let req = HttpRequest::post("/objects/key1?method=put", b"value bytes".to_vec())
+            .header("X-Pesos-Policy", "policy-7");
+        let bytes = req.to_bytes();
+        let parsed = HttpRequest::parse(&bytes).unwrap();
+        assert_eq!(parsed.method, "POST");
+        assert_eq!(parsed.path_only(), "/objects/key1");
+        assert_eq!(parsed.body, b"value bytes");
+        assert_eq!(parsed.headers.get("x-pesos-policy").unwrap(), "policy-7");
+        assert_eq!(parsed.query_params().get("method").unwrap(), "put");
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = HttpResponse::new(StatusCode::Forbidden, b"policy denied".to_vec())
+            .header("X-Pesos-Op", "op-42");
+        let parsed = HttpResponse::parse(&resp.to_bytes()).unwrap();
+        assert_eq!(parsed.status, StatusCode::Forbidden);
+        assert_eq!(parsed.body, b"policy denied");
+        assert_eq!(parsed.headers.get("x-pesos-op").unwrap(), "op-42");
+    }
+
+    #[test]
+    fn get_request_has_empty_body() {
+        let parsed = HttpRequest::parse(&HttpRequest::get("/status").to_bytes()).unwrap();
+        assert_eq!(parsed.method, "GET");
+        assert!(parsed.body.is_empty());
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        assert!(HttpRequest::parse(b"garbage").is_err());
+        assert!(HttpRequest::parse(b"POST /x\r\n\r\n").is_err());
+        assert!(HttpRequest::parse(b"POST /x HTTP/3.0\r\n\r\n").is_err());
+        assert!(HttpRequest::parse(b"POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort").is_err());
+    }
+
+    #[test]
+    fn unknown_status_rejected() {
+        assert!(HttpResponse::parse(b"HTTP/1.1 999 Weird\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn status_code_properties() {
+        assert!(StatusCode::Ok.is_success());
+        assert!(StatusCode::Accepted.is_success());
+        assert!(!StatusCode::Forbidden.is_success());
+        for code in [200u16, 202, 400, 403, 404, 409, 500, 503] {
+            let s = StatusCode::from_code(code).unwrap();
+            assert_eq!(s.code(), code);
+            assert!(!s.reason().is_empty());
+        }
+        assert!(StatusCode::from_code(302).is_none());
+    }
+
+    #[test]
+    fn percent_encoding_round_trip() {
+        let original = "user/42 with spaces & symbols=%";
+        let encoded = percent_encode(original);
+        assert!(!encoded.contains(' '));
+        assert_eq!(percent_decode(&encoded), original);
+    }
+
+    #[test]
+    fn query_parsing() {
+        let params = parse_query("method=put&key=a%2Fb&flag");
+        assert_eq!(params.get("method").unwrap(), "put");
+        assert_eq!(params.get("key").unwrap(), "a/b");
+        assert_eq!(params.get("flag").unwrap(), "");
+    }
+}

@@ -1,0 +1,543 @@
+//! The Pesos REST request/response model.
+//!
+//! A Pesos POST request carries at most four parameters (paper §4.1): a
+//! *method*, a *key* (part of the URL), a *value* and a *policy identifier*.
+//! Requests may additionally be flagged asynchronous, in which case the
+//! controller acknowledges immediately with an operation identifier that the
+//! client can later poll with [`RestMethod::PollResult`].
+//!
+//! This module defines the typed request/response structures and their
+//! mapping onto [`crate::http`] messages, so that both the in-process
+//! benchmark client and an on-the-wire client speak exactly the same format.
+
+use std::fmt;
+
+use crate::error::WireError;
+use crate::http::{percent_decode, percent_encode, HttpRequest, HttpResponse, StatusCode};
+
+/// The operations exposed by the Pesos REST API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RestMethod {
+    /// Store an object (optionally associating a policy).
+    Put,
+    /// Retrieve an object.
+    Get,
+    /// Delete an object.
+    Delete,
+    /// Update an existing object (distinguished from `Put` so version
+    /// policies can treat creation specially).
+    Update,
+    /// Install a policy; the value carries the policy source text.
+    PutPolicy,
+    /// Retrieve a previously installed policy (for auditing).
+    GetPolicy,
+    /// Attach an existing policy to an existing object.
+    AttachPolicy,
+    /// Query the result of an asynchronous operation.
+    PollResult,
+    /// Begin a transaction.
+    CreateTx,
+    /// Add a read operation to a transaction.
+    AddRead,
+    /// Add a write operation to a transaction.
+    AddWrite,
+    /// Commit a transaction.
+    CommitTx,
+    /// Abort a transaction.
+    AbortTx,
+    /// Check the per-operation results of a committed transaction.
+    CheckResults,
+    /// Controller status / health.
+    Status,
+}
+
+impl RestMethod {
+    /// The textual name used on the wire.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RestMethod::Put => "put",
+            RestMethod::Get => "get",
+            RestMethod::Delete => "delete",
+            RestMethod::Update => "update",
+            RestMethod::PutPolicy => "putPolicy",
+            RestMethod::GetPolicy => "getPolicy",
+            RestMethod::AttachPolicy => "attachPolicy",
+            RestMethod::PollResult => "pollResult",
+            RestMethod::CreateTx => "createTx",
+            RestMethod::AddRead => "addRead",
+            RestMethod::AddWrite => "addWrite",
+            RestMethod::CommitTx => "commitTx",
+            RestMethod::AbortTx => "abortTx",
+            RestMethod::CheckResults => "checkResults",
+            RestMethod::Status => "status",
+        }
+    }
+
+    /// Parses the wire name.
+    pub fn parse(s: &str) -> Result<Self, WireError> {
+        match s {
+            "put" => Ok(RestMethod::Put),
+            "get" => Ok(RestMethod::Get),
+            "delete" => Ok(RestMethod::Delete),
+            "update" => Ok(RestMethod::Update),
+            "putPolicy" => Ok(RestMethod::PutPolicy),
+            "getPolicy" => Ok(RestMethod::GetPolicy),
+            "attachPolicy" => Ok(RestMethod::AttachPolicy),
+            "pollResult" => Ok(RestMethod::PollResult),
+            "createTx" => Ok(RestMethod::CreateTx),
+            "addRead" => Ok(RestMethod::AddRead),
+            "addWrite" => Ok(RestMethod::AddWrite),
+            "commitTx" => Ok(RestMethod::CommitTx),
+            "abortTx" => Ok(RestMethod::AbortTx),
+            "checkResults" => Ok(RestMethod::CheckResults),
+            "status" => Ok(RestMethod::Status),
+            other => Err(WireError::InvalidParameter(format!(
+                "unknown method {other:?}"
+            ))),
+        }
+    }
+
+    /// True for methods that may execute asynchronously (paper §4.1: put,
+    /// update and delete; reads and session management are synchronous).
+    pub fn supports_async(self) -> bool {
+        matches!(
+            self,
+            RestMethod::Put | RestMethod::Update | RestMethod::Delete | RestMethod::CommitTx
+        )
+    }
+
+    /// True for methods that mutate state.
+    pub fn is_write(self) -> bool {
+        !matches!(
+            self,
+            RestMethod::Get
+                | RestMethod::GetPolicy
+                | RestMethod::PollResult
+                | RestMethod::CheckResults
+                | RestMethod::Status
+        )
+    }
+}
+
+impl fmt::Display for RestMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A typed Pesos REST request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestRequest {
+    /// The operation to perform.
+    pub method: RestMethod,
+    /// Object or policy key (may be empty for e.g. `createTx`).
+    pub key: String,
+    /// Object payload or policy text.
+    pub value: Vec<u8>,
+    /// Identifier of a previously installed policy to associate.
+    pub policy_id: Option<String>,
+    /// Execute asynchronously if the method supports it.
+    pub asynchronous: bool,
+    /// Transaction handle for transactional sub-operations.
+    pub tx_id: Option<u64>,
+    /// Expected object version (used by versioned-store clients).
+    pub expected_version: Option<u64>,
+}
+
+impl RestRequest {
+    /// Creates a request with the given method and key and no payload.
+    pub fn new(method: RestMethod, key: impl Into<String>) -> Self {
+        RestRequest {
+            method,
+            key: key.into(),
+            value: Vec::new(),
+            policy_id: None,
+            asynchronous: false,
+            tx_id: None,
+            expected_version: None,
+        }
+    }
+
+    /// Creates a `put` request.
+    pub fn put(key: impl Into<String>, value: Vec<u8>) -> Self {
+        let mut r = Self::new(RestMethod::Put, key);
+        r.value = value;
+        r
+    }
+
+    /// Creates a `get` request.
+    pub fn get(key: impl Into<String>) -> Self {
+        Self::new(RestMethod::Get, key)
+    }
+
+    /// Creates a `delete` request.
+    pub fn delete(key: impl Into<String>) -> Self {
+        Self::new(RestMethod::Delete, key)
+    }
+
+    /// Sets the associated policy identifier.
+    pub fn with_policy(mut self, policy_id: impl Into<String>) -> Self {
+        self.policy_id = Some(policy_id.into());
+        self
+    }
+
+    /// Marks the request asynchronous.
+    pub fn asynchronous(mut self) -> Self {
+        self.asynchronous = true;
+        self
+    }
+
+    /// Sets the transaction handle.
+    pub fn in_tx(mut self, tx_id: u64) -> Self {
+        self.tx_id = Some(tx_id);
+        self
+    }
+
+    /// Sets the expected version.
+    pub fn with_version(mut self, version: u64) -> Self {
+        self.expected_version = Some(version);
+        self
+    }
+
+    /// Converts into an HTTP request (`POST /objects/<key>?method=...`).
+    pub fn to_http(&self) -> HttpRequest {
+        let mut path = format!(
+            "/objects/{}?method={}",
+            percent_encode(&self.key),
+            self.method.as_str()
+        );
+        if let Some(policy) = &self.policy_id {
+            path.push_str(&format!("&policy={}", percent_encode(policy)));
+        }
+        if self.asynchronous {
+            path.push_str("&async=1");
+        }
+        if let Some(tx) = self.tx_id {
+            path.push_str(&format!("&tx={tx}"));
+        }
+        if let Some(v) = self.expected_version {
+            path.push_str(&format!("&version={v}"));
+        }
+        HttpRequest::post(path, self.value.clone())
+    }
+
+    /// Parses an HTTP request back into a typed REST request.
+    pub fn from_http(req: &HttpRequest) -> Result<Self, WireError> {
+        if req.method != "POST" && req.method != "GET" {
+            return Err(WireError::MalformedHttp(format!(
+                "unsupported HTTP method {}",
+                req.method
+            )));
+        }
+        let params = req.query_params();
+        let method_str = params
+            .get("method")
+            .ok_or(WireError::MissingParameter("method"))?;
+        let method = RestMethod::parse(method_str)?;
+
+        let path = req.path_only();
+        let key = path
+            .strip_prefix("/objects/")
+            .map(percent_decode)
+            .unwrap_or_default();
+
+        let policy_id = params.get("policy").cloned().filter(|p| !p.is_empty());
+        let asynchronous = params.get("async").map(|v| v == "1").unwrap_or(false);
+        let tx_id = match params.get("tx") {
+            Some(v) => Some(
+                v.parse::<u64>()
+                    .map_err(|_| WireError::InvalidParameter(format!("bad tx id {v:?}")))?,
+            ),
+            None => None,
+        };
+        let expected_version = match params.get("version") {
+            Some(v) => Some(
+                v.parse::<u64>()
+                    .map_err(|_| WireError::InvalidParameter(format!("bad version {v:?}")))?,
+            ),
+            None => None,
+        };
+
+        Ok(RestRequest {
+            method,
+            key,
+            value: req.body.clone(),
+            policy_id,
+            asynchronous,
+            tx_id,
+            expected_version,
+        })
+    }
+}
+
+/// Outcome classification of a REST operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestStatus {
+    /// The operation completed successfully.
+    Ok,
+    /// The operation was accepted for asynchronous execution.
+    Accepted,
+    /// The policy check denied the operation.
+    PolicyDenied,
+    /// The object or policy was not found.
+    NotFound,
+    /// A version or transaction conflict occurred.
+    Conflict,
+    /// The request was malformed.
+    BadRequest,
+    /// A backend (disk) or internal error occurred.
+    BackendError,
+}
+
+impl RestStatus {
+    /// Maps to the HTTP status code used on the wire.
+    pub fn http_status(self) -> StatusCode {
+        match self {
+            RestStatus::Ok => StatusCode::Ok,
+            RestStatus::Accepted => StatusCode::Accepted,
+            RestStatus::PolicyDenied => StatusCode::Forbidden,
+            RestStatus::NotFound => StatusCode::NotFound,
+            RestStatus::Conflict => StatusCode::Conflict,
+            RestStatus::BadRequest => StatusCode::BadRequest,
+            RestStatus::BackendError => StatusCode::InternalError,
+        }
+    }
+
+    /// Maps an HTTP status back to a REST status.
+    pub fn from_http(status: StatusCode) -> Self {
+        match status {
+            StatusCode::Ok => RestStatus::Ok,
+            StatusCode::Accepted => RestStatus::Accepted,
+            StatusCode::Forbidden => RestStatus::PolicyDenied,
+            StatusCode::NotFound => RestStatus::NotFound,
+            StatusCode::Conflict => RestStatus::Conflict,
+            StatusCode::BadRequest => RestStatus::BadRequest,
+            StatusCode::InternalError | StatusCode::Unavailable => RestStatus::BackendError,
+        }
+    }
+
+    /// True if the operation succeeded (including async acceptance).
+    pub fn is_success(self) -> bool {
+        matches!(self, RestStatus::Ok | RestStatus::Accepted)
+    }
+}
+
+/// A typed Pesos REST response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestResponse {
+    /// The outcome.
+    pub status: RestStatus,
+    /// Object payload (for `get`), policy text (for `getPolicy`) or empty.
+    pub value: Vec<u8>,
+    /// Operation identifier for asynchronous requests.
+    pub operation_id: Option<u64>,
+    /// Version of the object involved, when known.
+    pub version: Option<u64>,
+    /// Human-readable detail for failures.
+    pub detail: Option<String>,
+}
+
+impl RestResponse {
+    /// Creates a successful response with a payload.
+    pub fn ok(value: Vec<u8>) -> Self {
+        RestResponse {
+            status: RestStatus::Ok,
+            value,
+            operation_id: None,
+            version: None,
+            detail: None,
+        }
+    }
+
+    /// Creates an empty successful response.
+    pub fn ok_empty() -> Self {
+        Self::ok(Vec::new())
+    }
+
+    /// Creates an "accepted" response carrying the async operation id.
+    pub fn accepted(operation_id: u64) -> Self {
+        RestResponse {
+            status: RestStatus::Accepted,
+            value: Vec::new(),
+            operation_id: Some(operation_id),
+            version: None,
+            detail: None,
+        }
+    }
+
+    /// Creates a failure response.
+    pub fn failure(status: RestStatus, detail: impl Into<String>) -> Self {
+        RestResponse {
+            status,
+            value: Vec::new(),
+            operation_id: None,
+            version: None,
+            detail: Some(detail.into()),
+        }
+    }
+
+    /// Attaches a version number.
+    pub fn with_version(mut self, version: u64) -> Self {
+        self.version = Some(version);
+        self
+    }
+
+    /// Converts into an HTTP response.
+    pub fn to_http(&self) -> HttpResponse {
+        let mut resp = HttpResponse::new(self.status.http_status(), self.value.clone());
+        if let Some(op) = self.operation_id {
+            resp = resp.header("x-pesos-operation", op.to_string());
+        }
+        if let Some(v) = self.version {
+            resp = resp.header("x-pesos-version", v.to_string());
+        }
+        if let Some(d) = &self.detail {
+            resp = resp.header("x-pesos-detail", d.clone());
+        }
+        resp
+    }
+
+    /// Parses an HTTP response back into a typed REST response.
+    pub fn from_http(resp: &HttpResponse) -> Result<Self, WireError> {
+        let status = RestStatus::from_http(resp.status);
+        let operation_id = match resp.headers.get("x-pesos-operation") {
+            Some(v) => Some(v.parse::<u64>().map_err(|_| {
+                WireError::InvalidParameter(format!("bad operation id {v:?}"))
+            })?),
+            None => None,
+        };
+        let version = match resp.headers.get("x-pesos-version") {
+            Some(v) => Some(
+                v.parse::<u64>()
+                    .map_err(|_| WireError::InvalidParameter(format!("bad version {v:?}")))?,
+            ),
+            None => None,
+        };
+        Ok(RestResponse {
+            status,
+            value: resp.body.clone(),
+            operation_id,
+            version,
+            detail: resp.headers.get("x-pesos-detail").cloned(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_name_round_trip() {
+        let all = [
+            RestMethod::Put,
+            RestMethod::Get,
+            RestMethod::Delete,
+            RestMethod::Update,
+            RestMethod::PutPolicy,
+            RestMethod::GetPolicy,
+            RestMethod::AttachPolicy,
+            RestMethod::PollResult,
+            RestMethod::CreateTx,
+            RestMethod::AddRead,
+            RestMethod::AddWrite,
+            RestMethod::CommitTx,
+            RestMethod::AbortTx,
+            RestMethod::CheckResults,
+            RestMethod::Status,
+        ];
+        for m in all {
+            assert_eq!(RestMethod::parse(m.as_str()).unwrap(), m);
+        }
+        assert!(RestMethod::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn async_support_matches_paper() {
+        assert!(RestMethod::Put.supports_async());
+        assert!(RestMethod::Update.supports_async());
+        assert!(RestMethod::Delete.supports_async());
+        assert!(!RestMethod::Get.supports_async());
+        assert!(!RestMethod::PollResult.supports_async());
+    }
+
+    #[test]
+    fn request_http_round_trip() {
+        let req = RestRequest::put("users/alice", b"profile data".to_vec())
+            .with_policy("acl-policy-3")
+            .asynchronous()
+            .with_version(7);
+        let http = req.to_http();
+        let parsed = RestRequest::from_http(&HttpRequest::parse(&http.to_bytes()).unwrap()).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn request_with_tx_round_trip() {
+        let req = RestRequest::new(RestMethod::AddWrite, "k1").in_tx(99);
+        let parsed = RestRequest::from_http(&req.to_http()).unwrap();
+        assert_eq!(parsed.tx_id, Some(99));
+        assert_eq!(parsed.method, RestMethod::AddWrite);
+    }
+
+    #[test]
+    fn request_missing_method_rejected() {
+        let http = HttpRequest::post("/objects/key", vec![]);
+        assert_eq!(
+            RestRequest::from_http(&http),
+            Err(WireError::MissingParameter("method"))
+        );
+    }
+
+    #[test]
+    fn request_bad_params_rejected() {
+        let http = HttpRequest::post("/objects/key?method=put&tx=abc", vec![]);
+        assert!(RestRequest::from_http(&http).is_err());
+        let http = HttpRequest::post("/objects/key?method=put&version=xyz", vec![]);
+        assert!(RestRequest::from_http(&http).is_err());
+    }
+
+    #[test]
+    fn key_with_special_characters_round_trips() {
+        let req = RestRequest::get("dir/with space/αβγ");
+        let parsed = RestRequest::from_http(&req.to_http()).unwrap();
+        assert_eq!(parsed.key, "dir/with space/αβγ");
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let cases = vec![
+            RestResponse::ok(b"payload".to_vec()).with_version(3),
+            RestResponse::accepted(42),
+            RestResponse::failure(RestStatus::PolicyDenied, "update permission denied"),
+            RestResponse::failure(RestStatus::NotFound, "no such object"),
+        ];
+        for resp in cases {
+            let http = resp.to_http();
+            let parsed = RestResponse::from_http(&HttpResponse::parse(&http.to_bytes()).unwrap())
+                .unwrap();
+            assert_eq!(parsed.status, resp.status);
+            assert_eq!(parsed.value, resp.value);
+            assert_eq!(parsed.operation_id, resp.operation_id);
+            assert_eq!(parsed.version, resp.version);
+        }
+    }
+
+    #[test]
+    fn status_mapping_is_consistent() {
+        for s in [
+            RestStatus::Ok,
+            RestStatus::Accepted,
+            RestStatus::PolicyDenied,
+            RestStatus::NotFound,
+            RestStatus::Conflict,
+            RestStatus::BadRequest,
+            RestStatus::BackendError,
+        ] {
+            assert_eq!(RestStatus::from_http(s.http_status()), s);
+        }
+        assert!(RestStatus::Ok.is_success());
+        assert!(RestStatus::Accepted.is_success());
+        assert!(!RestStatus::PolicyDenied.is_success());
+    }
+}

@@ -1,0 +1,19 @@
+//! YCSB-style workload generation and measurement for the Pesos evaluation.
+//!
+//! The paper drives Pesos with pre-generated YCSB traces (workloads A–D,
+//! 100 000 operations over 100 000 unique 1 KiB objects) replayed by an
+//! adapted client, and reports throughput (operations per second) and mean
+//! latency while sweeping the number of concurrent clients, the payload
+//! size, the number of disks, the replication factor, the number of unique
+//! policies and the MAL log granularity. This crate provides the equivalent
+//! pieces: key-popularity distributions, the four stock workload mixes,
+//! trace generation, a multi-threaded replay harness against a
+//! [`pesos_core::PesosController`], and latency/throughput statistics.
+
+pub mod runner;
+pub mod stats;
+pub mod workload;
+
+pub use runner::{BenchResult, RunnerOptions, WorkloadRunner};
+pub use stats::{LatencyHistogram, Summary};
+pub use workload::{Distribution, OpKind, TraceOp, Workload, WorkloadSpec};

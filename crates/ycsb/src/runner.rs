@@ -1,0 +1,300 @@
+//! Multi-threaded trace replay against a Pesos controller.
+//!
+//! Mirrors the paper's methodology: a trace is generated (and conceptually
+//! persisted) up front, the key space is loaded, and then `clients`
+//! concurrent connections replay disjoint slices of the trace as fast as the
+//! controller allows. Throughput is total completed operations over
+//! wall-clock time; latency is recorded per operation.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pesos_core::{PesosController, PesosError};
+use pesos_policy::PolicyId;
+
+use crate::stats::{LatencyHistogram, Summary};
+use crate::workload::{OpKind, TraceOp, WorkloadSpec};
+
+/// Result of one benchmark run.
+pub type BenchResult = Summary;
+
+/// Options controlling a replay run.
+#[derive(Debug, Clone)]
+pub struct RunnerOptions {
+    /// Number of concurrent client threads.
+    pub clients: usize,
+    /// Identifier of the policy to associate with every object, if any.
+    pub policy_id: Option<PolicyId>,
+    /// When multiple policies are exercised (Figure 8), they are assigned
+    /// round-robin per key from this list instead of `policy_id`.
+    pub policy_pool: Vec<PolicyId>,
+    /// Use the asynchronous put interface instead of synchronous puts.
+    pub async_writes: bool,
+    /// Versioned-store mode: supply the expected next version with updates.
+    pub versioned: bool,
+    /// Mandatory-access-logging mode: append the required log entry before
+    /// every Nth operation (the log granularity G of Figure 10). `None`
+    /// disables MAL behaviour.
+    pub mal_granularity: Option<usize>,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> Self {
+        RunnerOptions {
+            clients: 1,
+            policy_id: None,
+            policy_pool: Vec::new(),
+            async_writes: false,
+            versioned: false,
+            mal_granularity: None,
+        }
+    }
+}
+
+/// Drives a workload against a controller.
+pub struct WorkloadRunner {
+    controller: Arc<PesosController>,
+    spec: WorkloadSpec,
+}
+
+impl WorkloadRunner {
+    /// Creates a runner for `controller` and `spec`.
+    pub fn new(controller: Arc<PesosController>, spec: WorkloadSpec) -> Self {
+        WorkloadRunner { controller, spec }
+    }
+
+    /// The workload specification.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    fn client_name(i: usize) -> String {
+        format!("ycsb-client-{i}")
+    }
+
+    fn policy_for_key(&self, options: &RunnerOptions, key_index: usize) -> Option<PolicyId> {
+        if !options.policy_pool.is_empty() {
+            Some(options.policy_pool[key_index % options.policy_pool.len()])
+        } else {
+            options.policy_id
+        }
+    }
+
+    /// Loads the key space (the YCSB load phase), associating policies as
+    /// configured. Returns the number of objects loaded.
+    pub fn load(&self, options: &RunnerOptions) -> Result<usize, PesosError> {
+        let loader = self.controller.register_client("ycsb-loader");
+        for index in 0..self.spec.record_count {
+            let key = self.spec.key(index);
+            let policy = self.policy_for_key(options, index);
+            let value = self.spec.value(index);
+            if options.versioned {
+                self.controller
+                    .put(&loader, &key, value, policy, Some(0), &[])?;
+            } else {
+                self.controller.put(&loader, &key, value, policy, None, &[])?;
+            }
+        }
+        Ok(self.spec.record_count)
+    }
+
+    /// Replays the trace with the given options and returns the summary.
+    pub fn run(&self, options: &RunnerOptions) -> Summary {
+        let trace = self.spec.generate_trace();
+        let clients = options.clients.max(1);
+        // Register all client sessions up front (connection setup is not
+        // part of the measured window, as in the paper).
+        let client_ids: Vec<String> = (0..clients)
+            .map(|i| self.controller.register_client(&Self::client_name(i)))
+            .collect();
+
+        let chunk = trace.len().div_ceil(clients);
+        let start = Instant::now();
+        let mut handles = Vec::new();
+        for (i, ops) in trace.chunks(chunk).enumerate() {
+            let controller = Arc::clone(&self.controller);
+            let client = client_ids[i.min(client_ids.len() - 1)].clone();
+            let spec = self.spec.clone();
+            let options = options.clone();
+            let ops: Vec<TraceOp> = ops.to_vec();
+            handles.push(std::thread::spawn(move || {
+                replay_slice(&controller, &client, &spec, &options, &ops)
+            }));
+        }
+
+        let mut latency = LatencyHistogram::new();
+        let mut operations = 0;
+        let mut errors = 0;
+        let mut denied = 0;
+        for h in handles {
+            let slice = h.join().expect("replay thread panicked");
+            latency.merge(&slice.latency);
+            operations += slice.operations;
+            errors += slice.errors;
+            denied += slice.denied;
+        }
+        if options.async_writes {
+            self.controller.drain_async();
+        }
+        Summary {
+            operations,
+            errors,
+            denied,
+            elapsed: start.elapsed(),
+            latency,
+        }
+    }
+}
+
+struct SliceResult {
+    operations: u64,
+    errors: u64,
+    denied: u64,
+    latency: LatencyHistogram,
+}
+
+fn replay_slice(
+    controller: &PesosController,
+    client: &str,
+    spec: &WorkloadSpec,
+    options: &RunnerOptions,
+    ops: &[TraceOp],
+) -> SliceResult {
+    let mut latency = LatencyHistogram::new();
+    let mut operations = 0u64;
+    let mut errors = 0u64;
+    let mut denied = 0u64;
+
+    for (op_index, op) in ops.iter().enumerate() {
+        let key = spec.key(op.key_index);
+        let op_start = Instant::now();
+        let result: Result<(), PesosError> = match op.kind {
+            OpKind::Read => controller.get(client, &key, &[]).map(|_| ()),
+            OpKind::Update | OpKind::Insert => {
+                let value = spec.value(op.key_index);
+                // Mandatory access logging: append the intent to the log
+                // object first, every G-th write going to the log (Figure
+                // 10's granularity parameter).
+                if let Some(granularity) = options.mal_granularity {
+                    if granularity > 0 && op_index % granularity == 0 {
+                        let log_key = format!("{key}.log");
+                        let entry = format!("write(\"{key}\",{op_index},\"{client}\")\n");
+                        let _ = controller.put(client, &log_key, entry.into_bytes(), None, None, &[]);
+                    }
+                }
+                let expected = if options.versioned {
+                    controller
+                        .store()
+                        .get_metadata(&key)
+                        .map(|m| m.latest_version + 1)
+                        .or(Some(0))
+                } else {
+                    None
+                };
+                if options.async_writes {
+                    controller
+                        .put_async(client, &key, value, None, expected, &[])
+                        .map(|_| ())
+                } else {
+                    controller
+                        .put(client, &key, value, None, expected, &[])
+                        .map(|_| ())
+                }
+            }
+        };
+        latency.record(op_start.elapsed());
+        match result {
+            Ok(()) => operations += 1,
+            Err(PesosError::PolicyDenied(_)) => denied += 1,
+            Err(_) => errors += 1,
+        }
+    }
+
+    SliceResult {
+        operations,
+        errors,
+        denied,
+        latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use pesos_core::ControllerConfig;
+
+    fn tiny_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            workload: Workload::A,
+            record_count: 50,
+            operation_count: 200,
+            value_size: 128,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn load_and_run_without_policies() {
+        let controller =
+            Arc::new(PesosController::new(ControllerConfig::native_simulator(1)).unwrap());
+        let runner = WorkloadRunner::new(Arc::clone(&controller), tiny_spec());
+        let options = RunnerOptions::default();
+        assert_eq!(runner.load(&options).unwrap(), 50);
+        let summary = runner.run(&options);
+        assert_eq!(summary.operations, 200);
+        assert_eq!(summary.errors, 0);
+        assert_eq!(summary.denied, 0);
+        assert!(summary.throughput_ops() > 0.0);
+        assert!(summary.mean_latency_ms() >= 0.0);
+    }
+
+    #[test]
+    fn run_with_policy_and_multiple_clients() {
+        let controller =
+            Arc::new(PesosController::new(ControllerConfig::native_simulator(1)).unwrap());
+        let admin = controller.register_client("admin");
+        // A policy that allows every authenticated YCSB client.
+        let policy = controller
+            .put_policy(&admin, "read :- sessionKeyIs(U)\nupdate :- sessionKeyIs(U)\ndelete :- sessionKeyIs(U)")
+            .unwrap();
+        let runner = WorkloadRunner::new(Arc::clone(&controller), tiny_spec());
+        let options = RunnerOptions {
+            clients: 4,
+            policy_id: Some(policy),
+            ..RunnerOptions::default()
+        };
+        runner.load(&options).unwrap();
+        let summary = runner.run(&options);
+        assert_eq!(summary.operations, 200);
+        assert_eq!(summary.denied, 0);
+    }
+
+    #[test]
+    fn versioned_and_async_modes() {
+        let controller =
+            Arc::new(PesosController::new(ControllerConfig::native_simulator(1)).unwrap());
+        let admin = controller.register_client("admin");
+        let versioned = controller
+            .put_policy(
+                &admin,
+                "update :- ( objId(this, O) and currVersion(O, CV) and nextVersion(CV + 1) ) \
+                 or ( objId(this, NULL) and nextVersion(0) )\nread :- sessionKeyIs(U)",
+            )
+            .unwrap();
+        let runner = WorkloadRunner::new(Arc::clone(&controller), tiny_spec());
+        let options = RunnerOptions {
+            clients: 2,
+            policy_id: Some(versioned),
+            versioned: true,
+            async_writes: true,
+            ..RunnerOptions::default()
+        };
+        runner.load(&options).unwrap();
+        let summary = runner.run(&options);
+        // Async writes may race on versions between threads; reads plus the
+        // vast majority of writes must still succeed.
+        assert!(summary.operations + summary.denied + summary.errors == 200);
+        assert!(summary.operations > 150);
+    }
+}

@@ -1,0 +1,167 @@
+//! Latency and throughput statistics.
+
+use std::time::Duration;
+
+/// A fixed-bucket latency histogram (microsecond resolution, log-spaced).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    total_us: u64,
+    max_us: u64,
+}
+
+const BUCKET_COUNT: usize = 64;
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; BUCKET_COUNT],
+            count: 0,
+            total_us: 0,
+            max_us: 0,
+        }
+    }
+
+    fn bucket_for(us: u64) -> usize {
+        // Log2 bucketing: bucket i covers [2^i, 2^(i+1)) microseconds.
+        (64 - us.max(1).leading_zeros() as usize - 1).min(BUCKET_COUNT - 1)
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let us = latency.as_micros() as u64;
+        self.buckets[Self::bucket_for(us)] += 1;
+        self.count += 1;
+        self.total_us += us;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_us += other.total_us;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.total_us / self.count)
+    }
+
+    /// Maximum recorded latency.
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(self.max_us)
+    }
+
+    /// Approximate percentile (upper bucket bound), `p` in `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Duration::from_micros(1u64 << (i + 1));
+            }
+        }
+        self.max()
+    }
+}
+
+/// A summary of one measurement run.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Total operations completed.
+    pub operations: u64,
+    /// Operations that failed (policy denials excluded — see `denied`).
+    pub errors: u64,
+    /// Operations denied by policy.
+    pub denied: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// The latency distribution.
+    pub latency: LatencyHistogram,
+}
+
+impl Summary {
+    /// Operations per second.
+    pub fn throughput_ops(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.operations as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Throughput in KIOP/s, the unit the paper's figures use.
+    pub fn throughput_kiops(&self) -> f64 {
+        self.throughput_ops() / 1_000.0
+    }
+
+    /// Mean latency in milliseconds.
+    pub fn mean_latency_ms(&self) -> f64 {
+        self.latency.mean().as_secs_f64() * 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = LatencyHistogram::new();
+        for us in [10u64, 20, 40, 80, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean(), Duration::from_micros(230));
+        assert_eq!(h.max(), Duration::from_micros(1000));
+        assert!(h.percentile(50.0) <= h.percentile(99.0));
+        assert_eq!(LatencyHistogram::new().mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_micros(100));
+        b.record(Duration::from_micros(300));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), Duration::from_micros(200));
+    }
+
+    #[test]
+    fn summary_throughput() {
+        let s = Summary {
+            operations: 10_000,
+            errors: 0,
+            denied: 0,
+            elapsed: Duration::from_secs(2),
+            latency: LatencyHistogram::new(),
+        };
+        assert!((s.throughput_ops() - 5_000.0).abs() < 1e-9);
+        assert!((s.throughput_kiops() - 5.0).abs() < 1e-9);
+    }
+}

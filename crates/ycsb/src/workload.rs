@@ -1,0 +1,259 @@
+//! YCSB workload definitions and trace generation.
+
+use rand::distributions::Distribution as _;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Operation kinds appearing in traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Read the latest version of an object.
+    Read,
+    /// Overwrite an object.
+    Update,
+    /// Insert a new object.
+    Insert,
+}
+
+/// A single trace operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceOp {
+    /// The operation.
+    pub kind: OpKind,
+    /// Index of the target key in the key space.
+    pub key_index: usize,
+}
+
+/// Key-popularity distributions supported by YCSB.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipfian with the given exponent (YCSB default 0.99).
+    Zipfian(f64),
+    /// Most recently inserted keys are most popular.
+    Latest,
+}
+
+/// The standard YCSB workload mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// 50 % reads / 50 % updates, zipfian (the paper reports this one).
+    A,
+    /// 95 % reads / 5 % updates, zipfian.
+    B,
+    /// 100 % reads, zipfian.
+    C,
+    /// 95 % reads / 5 % inserts, latest distribution.
+    D,
+}
+
+impl Workload {
+    /// Fraction of reads in the mix.
+    pub fn read_fraction(self) -> f64 {
+        match self {
+            Workload::A => 0.5,
+            Workload::B | Workload::D => 0.95,
+            Workload::C => 1.0,
+        }
+    }
+
+    /// The key-popularity distribution the mix uses.
+    pub fn distribution(self) -> Distribution {
+        match self {
+            Workload::A | Workload::B | Workload::C => Distribution::Zipfian(0.99),
+            Workload::D => Distribution::Latest,
+        }
+    }
+
+    /// Whether non-read operations are inserts (D) or updates (A/B).
+    pub fn writes_are_inserts(self) -> bool {
+        matches!(self, Workload::D)
+    }
+}
+
+/// Parameters of a generated trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// The workload mix.
+    pub workload: Workload,
+    /// Number of unique keys (paper: 100 000).
+    pub record_count: usize,
+    /// Number of operations in the trace (paper: 100 000).
+    pub operation_count: usize,
+    /// Payload size in bytes (paper: 1 KiB by default).
+    pub value_size: usize,
+    /// RNG seed for reproducible traces.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            workload: Workload::A,
+            record_count: 100_000,
+            operation_count: 100_000,
+            value_size: 1024,
+            seed: 42,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// A smaller spec convenient for CI-scale runs.
+    pub fn small(workload: Workload) -> Self {
+        WorkloadSpec {
+            workload,
+            record_count: 2_000,
+            operation_count: 5_000,
+            value_size: 1024,
+            seed: 42,
+        }
+    }
+
+    /// The key string for key index `i`.
+    pub fn key(&self, index: usize) -> String {
+        format!("user{index:012}")
+    }
+
+    /// Deterministically generates the value for a key (YCSB uses random
+    /// printable fields; content is irrelevant to the measurements).
+    pub fn value(&self, index: usize) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ index as u64);
+        let mut v = vec![0u8; self.value_size];
+        rng.fill(&mut v[..]);
+        v
+    }
+
+    /// Generates the operation trace.
+    pub fn generate_trace(&self) -> Vec<TraceOp> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let zipf = ZipfSampler::new(self.record_count, 0.99);
+        let mut inserted = self.record_count;
+        let mut ops = Vec::with_capacity(self.operation_count);
+        for _ in 0..self.operation_count {
+            let is_read = rng.gen_bool(self.workload.read_fraction());
+            let key_index = match self.workload.distribution() {
+                Distribution::Uniform => rng.gen_range(0..self.record_count),
+                Distribution::Zipfian(_) => zipf.sample(&mut rng),
+                Distribution::Latest => {
+                    // Popularity skewed towards the most recent insert.
+                    let back = zipf.sample(&mut rng);
+                    inserted.saturating_sub(1 + back) % inserted.max(1)
+                }
+            };
+            let kind = if is_read {
+                OpKind::Read
+            } else if self.workload.writes_are_inserts() {
+                inserted += 1;
+                OpKind::Insert
+            } else {
+                OpKind::Update
+            };
+            ops.push(TraceOp { kind, key_index });
+        }
+        ops
+    }
+}
+
+/// A Zipfian sampler over `0..n` using the rejection-inversion free
+/// (cumulative table) method; table construction is O(n) once per spec.
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` items with exponent `theta`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        let n = n.max(1);
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 1..=n {
+            total += 1.0 / (i as f64).powf(theta);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Samples an index in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rand::distributions::Open01.sample(rng);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn workload_mixes_match_ycsb_definitions() {
+        assert_eq!(Workload::A.read_fraction(), 0.5);
+        assert_eq!(Workload::B.read_fraction(), 0.95);
+        assert_eq!(Workload::C.read_fraction(), 1.0);
+        assert!(Workload::D.writes_are_inserts());
+        assert!(matches!(Workload::A.distribution(), Distribution::Zipfian(_)));
+        assert_eq!(Workload::D.distribution(), Distribution::Latest);
+    }
+
+    #[test]
+    fn traces_are_deterministic_and_sized() {
+        let spec = WorkloadSpec::small(Workload::A);
+        let a = spec.generate_trace();
+        let b = spec.generate_trace();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), spec.operation_count);
+        assert!(a.iter().all(|op| op.key_index < spec.record_count + spec.operation_count));
+    }
+
+    #[test]
+    fn workload_a_is_roughly_half_reads() {
+        let spec = WorkloadSpec::small(Workload::A);
+        let trace = spec.generate_trace();
+        let reads = trace.iter().filter(|o| o.kind == OpKind::Read).count();
+        let frac = reads as f64 / trace.len() as f64;
+        assert!((0.45..0.55).contains(&frac), "read fraction {frac}");
+    }
+
+    #[test]
+    fn workload_c_is_read_only() {
+        let spec = WorkloadSpec::small(Workload::C);
+        assert!(spec
+            .generate_trace()
+            .iter()
+            .all(|o| o.kind == OpKind::Read));
+    }
+
+    #[test]
+    fn zipfian_is_skewed_towards_low_indices() {
+        let sampler = ZipfSampler::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(sampler.sample(&mut rng)).or_default() += 1;
+        }
+        let head: usize = (0..10).map(|i| counts.get(&i).copied().unwrap_or(0)).sum();
+        // The 1% hottest keys should receive far more than 1% of accesses.
+        assert!(head > 2_000, "head count {head}");
+        assert!(counts.keys().all(|&k| k < 1000));
+    }
+
+    #[test]
+    fn values_are_reproducible_and_sized() {
+        let spec = WorkloadSpec::default();
+        assert_eq!(spec.value(7).len(), 1024);
+        assert_eq!(spec.value(7), spec.value(7));
+        assert_ne!(spec.value(7), spec.value(8));
+        assert_eq!(spec.key(3), "user000000000003");
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use pesos::crypto::{hex_decode, hex_encode, sha256, AeadKey, HmacSha256};
+use pesos::policy::{compile, CompiledPolicy, Operation, RequestContext, StaticObjectView};
+use pesos::wire::codec::{read_varint, write_varint, FieldReader, FieldWriter};
+
+proptest! {
+    #[test]
+    fn varint_round_trips(value in any::<u64>()) {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, value);
+        let (decoded, consumed) = read_varint(&buf).unwrap();
+        prop_assert_eq!(decoded, value);
+        prop_assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn field_codec_round_trips(num in 1u32..1000, s in ".{0,64}", b in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let mut w = FieldWriter::new();
+        w.string(num, &s).bytes(num + 1, &b);
+        let encoded = w.finish();
+        let fields = FieldReader::new(&encoded).collect_fields().unwrap();
+        prop_assert_eq!(fields.len(), 2);
+        prop_assert_eq!(fields[0].as_str().unwrap(), s.as_str());
+        prop_assert_eq!(fields[1].data, &b[..]);
+    }
+
+    #[test]
+    fn hex_round_trips(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn sha256_is_deterministic_and_length_sensitive(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let a = sha256(&data);
+        prop_assert_eq!(a, sha256(&data));
+        let mut extended = data.clone();
+        extended.push(0);
+        prop_assert_ne!(a, sha256(&extended));
+    }
+
+    #[test]
+    fn hmac_detects_any_single_bit_flip(key in proptest::collection::vec(any::<u8>(), 1..64),
+                                        data in proptest::collection::vec(any::<u8>(), 1..256),
+                                        flip in any::<usize>()) {
+        let tag = HmacSha256::mac(&key, &data);
+        let mut tampered = data.clone();
+        let idx = flip % tampered.len();
+        tampered[idx] ^= 1;
+        prop_assert!(HmacSha256::verify(&key, &data, &tag));
+        prop_assert!(!HmacSha256::verify(&key, &tampered, &tag));
+    }
+
+    #[test]
+    fn aead_round_trips_and_rejects_tampering(key in any::<[u8; 32]>(),
+                                              aad in proptest::collection::vec(any::<u8>(), 0..32),
+                                              plaintext in proptest::collection::vec(any::<u8>(), 0..512),
+                                              seq in any::<u64>()) {
+        let aead = AeadKey::new(&key);
+        let nonce = pesos::crypto::aead::counter_nonce(1, seq);
+        let sealed = aead.seal(&nonce, &aad, &plaintext);
+        prop_assert_eq!(aead.open(&sealed, &aad).unwrap(), plaintext.clone());
+        if !plaintext.is_empty() {
+            let mut tampered = sealed.clone();
+            tampered.ciphertext[0] ^= 1;
+            prop_assert!(aead.open(&tampered, &aad).is_err());
+        }
+    }
+
+    #[test]
+    fn compiled_policies_round_trip_through_binary(a in 0i64..1000, b in 0i64..1000, name in "[a-z]{1,8}") {
+        let src = format!(
+            "read :- eq({a}, {a}) and ge({b}, 0) or sessionKeyIs(\"{name}\")\nupdate :- sessionKeyIs(\"{name}\")"
+        );
+        let policy = compile(&src).unwrap();
+        let decoded = CompiledPolicy::from_bytes(&policy.to_bytes()).unwrap();
+        prop_assert_eq!(&decoded, &policy);
+        prop_assert_eq!(decoded.id(), policy.id());
+    }
+
+    #[test]
+    fn acl_policies_only_admit_listed_clients(owner in "[a-z]{1,8}", other in "[a-z]{1,8}") {
+        prop_assume!(owner != other);
+        let policy = compile(&format!("read :- sessionKeyIs(\"{owner}\")")).unwrap();
+        let view = StaticObjectView::default();
+        let ctx = RequestContext::new(Operation::Read).with_session_key(owner.clone());
+        prop_assert!(policy.evaluate(Operation::Read, &ctx, &view).allowed);
+        let ctx = RequestContext::new(Operation::Read).with_session_key(other.clone());
+        prop_assert!(!policy.evaluate(Operation::Read, &ctx, &view).allowed);
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_balanced(keys in proptest::collection::vec("[a-z0-9]{1,16}", 1..50),
+                                               drives in 1usize..8, factor in 1usize..4) {
+        for key in &keys {
+            let a = pesos::core::placement(key, drives, factor);
+            let b = pesos::core::placement(key, drives, factor);
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(a.len(), factor.min(drives));
+            prop_assert!(a.iter().all(|&i| i < drives));
+            // Replica sets contain no duplicates.
+            let unique: std::collections::HashSet<_> = a.iter().collect();
+            prop_assert_eq!(unique.len(), a.len());
+        }
+    }
+}
