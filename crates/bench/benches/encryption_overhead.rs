@@ -7,7 +7,10 @@ use pesos_kinetic::backend::BackendKind;
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("encryption_overhead");
     group.sample_size(10);
-    let config = Config { mode: ExecutionMode::Sgx, backend: BackendKind::Memory };
+    let config = Config {
+        mode: ExecutionMode::Sgx,
+        backend: BackendKind::Memory,
+    };
     for encrypt in [false, true] {
         let label = if encrypt { "encrypted" } else { "plaintext" };
         group.bench_function(label, |b| {

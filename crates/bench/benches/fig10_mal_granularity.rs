@@ -7,7 +7,10 @@ use pesos_kinetic::backend::BackendKind;
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_mal_granularity");
     group.sample_size(10);
-    let config = Config { mode: ExecutionMode::Sgx, backend: BackendKind::Memory };
+    let config = Config {
+        mode: ExecutionMode::Sgx,
+        backend: BackendKind::Memory,
+    };
     for granularity in [None, Some(1usize), Some(10)] {
         let label = match granularity {
             None => "baseline-no-log".to_string(),
@@ -15,11 +18,22 @@ fn bench(c: &mut Criterion) {
         };
         group.bench_function(label, |b| {
             b.iter(|| {
-                run_workload(config, 1, 1, 4, 200, 600, 1024, true, |options, controller| {
-                    let admin = controller.register_client("admin");
-                    options.policy_id = Some(controller.put_policy(&admin, OPEN_POLICY).unwrap());
-                    options.mal_granularity = granularity;
-                })
+                run_workload(
+                    config,
+                    1,
+                    1,
+                    4,
+                    200,
+                    600,
+                    1024,
+                    true,
+                    |options, controller| {
+                        let admin = controller.register_client("admin");
+                        options.policy_id =
+                            Some(controller.put_policy(&admin, OPEN_POLICY).unwrap());
+                        options.mal_granularity = granularity;
+                    },
+                )
             })
         });
     }

@@ -10,7 +10,10 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_throughput");
     group.sample_size(10);
     for mode in [ExecutionMode::Native, ExecutionMode::Sgx] {
-        let config = Config { mode, backend: BackendKind::Memory };
+        let config = Config {
+            mode,
+            backend: BackendKind::Memory,
+        };
         group.bench_function(config.label(), |b| {
             b.iter(|| run_workload(config, 1, 1, 4, 200, 600, 1024, true, |_, _| {}))
         });

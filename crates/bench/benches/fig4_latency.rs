@@ -8,7 +8,10 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_latency");
     group.sample_size(10);
     for mode in [ExecutionMode::Native, ExecutionMode::Sgx] {
-        let config = Config { mode, backend: BackendKind::Memory };
+        let config = Config {
+            mode,
+            backend: BackendKind::Memory,
+        };
         group.bench_function(format!("{}-1client", config.label()), |b| {
             b.iter(|| run_workload(config, 1, 1, 1, 200, 400, 1024, true, |_, _| {}))
         });

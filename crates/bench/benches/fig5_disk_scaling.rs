@@ -7,7 +7,10 @@ use pesos_kinetic::backend::BackendKind;
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_disk_scaling");
     group.sample_size(10);
-    let config = Config { mode: ExecutionMode::Sgx, backend: BackendKind::Memory };
+    let config = Config {
+        mode: ExecutionMode::Sgx,
+        backend: BackendKind::Memory,
+    };
     for disks in [1usize, 3] {
         group.bench_function(format!("pesos-sim-{disks}-disks"), |b| {
             b.iter(|| run_workload(config, disks, 1, 4, 200, 600, 1024, true, |_, _| {}))

@@ -7,7 +7,10 @@ use pesos_kinetic::backend::BackendKind;
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_payload_size");
     group.sample_size(10);
-    let config = Config { mode: ExecutionMode::Sgx, backend: BackendKind::Memory };
+    let config = Config {
+        mode: ExecutionMode::Sgx,
+        backend: BackendKind::Memory,
+    };
     for size in [128usize, 4096, 65536] {
         group.bench_function(format!("pesos-sim-{size}B"), |b| {
             b.iter(|| run_workload(config, 1, 1, 4, 200, 400, size, true, |_, _| {}))

@@ -7,13 +7,26 @@ use pesos_kinetic::backend::BackendKind;
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_policy_cache");
     group.sample_size(10);
-    let config = Config { mode: ExecutionMode::Sgx, backend: BackendKind::Memory };
+    let config = Config {
+        mode: ExecutionMode::Sgx,
+        backend: BackendKind::Memory,
+    };
     group.bench_function("one-policy-all-objects", |b| {
         b.iter(|| {
-            run_workload(config, 1, 1, 4, 200, 600, 1024, true, |options, controller| {
-                let admin = controller.register_client("admin");
-                options.policy_id = Some(controller.put_policy(&admin, OPEN_POLICY).unwrap());
-            })
+            run_workload(
+                config,
+                1,
+                1,
+                4,
+                200,
+                600,
+                1024,
+                true,
+                |options, controller| {
+                    let admin = controller.register_client("admin");
+                    options.policy_id = Some(controller.put_policy(&admin, OPEN_POLICY).unwrap());
+                },
+            )
         })
     });
     group.finish();

@@ -7,14 +7,28 @@ use pesos_kinetic::backend::BackendKind;
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_versioned");
     group.sample_size(10);
-    let config = Config { mode: ExecutionMode::Sgx, backend: BackendKind::Memory };
+    let config = Config {
+        mode: ExecutionMode::Sgx,
+        backend: BackendKind::Memory,
+    };
     group.bench_function("versioned-store", |b| {
         b.iter(|| {
-            run_workload(config, 1, 1, 4, 200, 600, 1024, true, |options, controller| {
-                let admin = controller.register_client("admin");
-                options.policy_id = Some(controller.put_policy(&admin, VERSIONED_POLICY).unwrap());
-                options.versioned = true;
-            })
+            run_workload(
+                config,
+                1,
+                1,
+                4,
+                200,
+                600,
+                1024,
+                true,
+                |options, controller| {
+                    let admin = controller.register_client("admin");
+                    options.policy_id =
+                        Some(controller.put_policy(&admin, VERSIONED_POLICY).unwrap());
+                    options.versioned = true;
+                },
+            )
         })
     });
     group.finish();

@@ -11,10 +11,14 @@ fn bench(c: &mut Criterion) {
 
     let key = AeadKey::new(&[1u8; 32]);
     let nonce = pesos_crypto::aead::counter_nonce(1, 1);
-    c.bench_function("aead_seal_1kib", |b| b.iter(|| key.seal(&nonce, b"k", &payload)));
+    c.bench_function("aead_seal_1kib", |b| {
+        b.iter(|| key.seal(&nonce, b"k", &payload))
+    });
 
     let policy_src = "read :- sessionKeyIs(\"alice\") or sessionKeyIs(\"bob\")\nupdate :- sessionKeyIs(\"alice\")\ndelete :- sessionKeyIs(\"admin\")";
-    c.bench_function("policy_compile_acl", |b| b.iter(|| compile(policy_src).unwrap()));
+    c.bench_function("policy_compile_acl", |b| {
+        b.iter(|| compile(policy_src).unwrap())
+    });
 
     let compiled = compile(policy_src).unwrap();
     let view = StaticObjectView::default();

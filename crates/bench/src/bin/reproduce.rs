@@ -6,7 +6,24 @@
 //! cargo run -p pesos-bench --release --bin reproduce -- --full     # paper-scale sweeps
 //! ```
 
-use pesos_bench::Scale;
+use pesos_bench::{DataPoint, Scale};
+
+type FigureFn = fn(Scale) -> Vec<DataPoint>;
+
+/// One table drives both argument validation and dispatch, so a figure
+/// cannot be valid-but-unrunnable or runnable-but-rejected.
+const FIGURES: [(&str, FigureFn); 10] = [
+    ("fig3", pesos_bench::fig3_throughput),
+    ("fig4", pesos_bench::fig4_latency),
+    ("fig5", pesos_bench::fig5_disk_scaling),
+    ("enc", pesos_bench::encryption_overhead),
+    ("fig6", pesos_bench::fig6_payload_size),
+    ("fig7", pesos_bench::fig7_replication),
+    ("fig8", pesos_bench::fig8_policy_cache),
+    ("fig9", pesos_bench::fig9_versioned),
+    ("fig10", pesos_bench::fig10_mal_granularity),
+    ("contention", pesos_bench::contention),
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,35 +37,22 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .map(|s| s.as_str())
         .collect();
-    let want = |name: &str| selected.is_empty() || selected.contains(&name);
+    for name in &selected {
+        if !FIGURES.iter().any(|(known, _)| known == name) {
+            let known: Vec<&str> = FIGURES.iter().map(|(n, _)| *n).collect();
+            eprintln!(
+                "unknown figure {name:?}; known figures: {}",
+                known.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
 
     println!("Pesos evaluation reproduction (scale: {scale:?})");
 
-    if want("fig3") {
-        pesos_bench::fig3_throughput(scale);
-    }
-    if want("fig4") {
-        pesos_bench::fig4_latency(scale);
-    }
-    if want("fig5") {
-        pesos_bench::fig5_disk_scaling(scale);
-    }
-    if want("enc") {
-        pesos_bench::encryption_overhead(scale);
-    }
-    if want("fig6") {
-        pesos_bench::fig6_payload_size(scale);
-    }
-    if want("fig7") {
-        pesos_bench::fig7_replication(scale);
-    }
-    if want("fig8") {
-        pesos_bench::fig8_policy_cache(scale);
-    }
-    if want("fig9") {
-        pesos_bench::fig9_versioned(scale);
-    }
-    if want("fig10") {
-        pesos_bench::fig10_mal_granularity(scale);
+    for (name, figure) in FIGURES {
+        if selected.is_empty() || selected.contains(&name) {
+            figure(scale);
+        }
     }
 }

@@ -62,18 +62,36 @@ impl Config {
     /// The four configurations of Figures 3–5.
     pub fn all() -> [Config; 4] {
         [
-            Config { mode: ExecutionMode::Native, backend: BackendKind::Memory },
-            Config { mode: ExecutionMode::Sgx, backend: BackendKind::Memory },
-            Config { mode: ExecutionMode::Native, backend: BackendKind::Hdd },
-            Config { mode: ExecutionMode::Sgx, backend: BackendKind::Hdd },
+            Config {
+                mode: ExecutionMode::Native,
+                backend: BackendKind::Memory,
+            },
+            Config {
+                mode: ExecutionMode::Sgx,
+                backend: BackendKind::Memory,
+            },
+            Config {
+                mode: ExecutionMode::Native,
+                backend: BackendKind::Hdd,
+            },
+            Config {
+                mode: ExecutionMode::Sgx,
+                backend: BackendKind::Hdd,
+            },
         ]
     }
 
     /// The two simulator-only configurations (Figures 7–10).
     pub fn simulator_only() -> [Config; 2] {
         [
-            Config { mode: ExecutionMode::Native, backend: BackendKind::Memory },
-            Config { mode: ExecutionMode::Sgx, backend: BackendKind::Memory },
+            Config {
+                mode: ExecutionMode::Native,
+                backend: BackendKind::Memory,
+            },
+            Config {
+                mode: ExecutionMode::Sgx,
+                backend: BackendKind::Memory,
+            },
         ]
     }
 
@@ -124,9 +142,40 @@ pub fn run_workload(
     encrypt: bool,
     options_tweak: impl FnOnce(&mut RunnerOptions, &Arc<PesosController>),
 ) -> Summary {
+    run_workload_with(
+        config,
+        drives,
+        replication,
+        clients,
+        records,
+        ops,
+        value_size,
+        encrypt,
+        |_| {},
+        options_tweak,
+    )
+}
+
+/// Like [`run_workload`] but lets the caller adjust the controller
+/// configuration (lock shards, serial replication, ...) before bootstrap —
+/// the hook the before/after comparisons are built on.
+#[allow(clippy::too_many_arguments)]
+pub fn run_workload_with(
+    config: Config,
+    drives: usize,
+    replication: usize,
+    clients: usize,
+    records: usize,
+    ops: usize,
+    value_size: usize,
+    encrypt: bool,
+    config_tweak: impl FnOnce(&mut ControllerConfig),
+    options_tweak: impl FnOnce(&mut RunnerOptions, &Arc<PesosController>),
+) -> Summary {
     let mut controller_config = config.controller_config(drives);
     controller_config.replication_factor = replication;
     controller_config.encrypt_objects = encrypt;
+    config_tweak(&mut controller_config);
     let controller = Arc::new(PesosController::new(controller_config).expect("bootstrap"));
 
     let spec = WorkloadSpec {
@@ -181,9 +230,9 @@ pub fn fig3_throughput(scale: Scale) -> Vec<DataPoint> {
             BackendKind::Memory => (scale.ops(), scale.records()),
             BackendKind::Hdd => ((scale.ops() / 16).max(200), (scale.records() / 16).max(100)),
         };
+        let mut busiest: Option<Summary> = None;
         for &clients in &scale.clients_sweep() {
-            let summary =
-                run_workload(config, 1, 1, clients, records, ops, 1024, true, |_, _| {});
+            let summary = run_workload(config, 1, 1, clients, records, ops, 1024, true, |_, _| {});
             let point = DataPoint {
                 config: config.label(),
                 x: clients as f64,
@@ -192,6 +241,17 @@ pub fn fig3_throughput(scale: Scale) -> Vec<DataPoint> {
             };
             print_point(&point);
             out.push(point);
+            busiest = Some(summary);
+        }
+        // Before/after delta against the pre-batch single-lock path at the
+        // largest client count (simulator configs only — the disk model's
+        // IOP ceiling hides lock contention).
+        if config.backend == BackendKind::Memory {
+            let clients = *scale.clients_sweep().last().unwrap();
+            let before = run_workload_before(config, 1, 1, clients, records, ops);
+            if let Some(after) = &busiest {
+                print_delta(&config.label(), &before, after);
+            }
         }
     }
     out
@@ -302,7 +362,9 @@ pub fn fig6_payload_size(scale: Scale) -> Vec<DataPoint> {
     print_header("Figure 6: throughput vs payload size", "bytes");
     let sizes: Vec<usize> = match scale {
         Scale::Quick => vec![128, 1024, 8192, 65_536],
-        Scale::Full => vec![128, 256, 512, 1024, 2048, 4096, 8192, 16_384, 32_768, 65_536],
+        Scale::Full => vec![
+            128, 256, 512, 1024, 2048, 4096, 8192, 16_384, 32_768, 65_536,
+        ],
     };
     for config in Config::simulator_only() {
         for &size in &sizes {
@@ -313,8 +375,7 @@ pub fn fig6_payload_size(scale: Scale) -> Vec<DataPoint> {
             // Bound total bytes moved for the largest payloads.
             let ops = (scale.ops() * 1024 / size.max(1024)).max(500);
             let records = scale.records().min(ops);
-            let summary =
-                run_workload(config, 1, 1, clients, records, ops, size, true, |_, _| {});
+            let summary = run_workload(config, 1, 1, clients, records, ops, size, true, |_, _| {});
             let point = DataPoint {
                 config: config.label(),
                 x: size as f64,
@@ -333,8 +394,9 @@ pub fn fig7_replication(scale: Scale) -> Vec<DataPoint> {
     let mut out = Vec::new();
     print_header("Figure 7: replication to all disks (simulator)", "disks");
     for config in Config::simulator_only() {
+        let mut widest: Option<Summary> = None;
+        let clients = *scale.clients_sweep().last().unwrap();
         for disks in 1..=4usize {
-            let clients = *scale.clients_sweep().last().unwrap();
             let summary = run_workload(
                 config,
                 disks,
@@ -354,6 +416,128 @@ pub fn fig7_replication(scale: Scale) -> Vec<DataPoint> {
             };
             print_point(&point);
             out.push(point);
+            widest = Some(summary);
+        }
+        // Before/after delta at the widest replication factor: serial
+        // replica writes vs the scatter-gather batch.
+        let before = run_workload_before(config, 4, 4, clients, scale.records(), scale.ops());
+        if let Some(after) = &widest {
+            print_delta(&config.label(), &before, after);
+        }
+    }
+    out
+}
+
+/// Runs one workload in the pre-batch "before" configuration: one global
+/// lock shard and serial, blocking replication.
+#[allow(clippy::too_many_arguments)]
+fn run_workload_before(
+    config: Config,
+    drives: usize,
+    replication: usize,
+    clients: usize,
+    records: usize,
+    ops: usize,
+) -> Summary {
+    run_workload_with(
+        config,
+        drives,
+        replication,
+        clients,
+        records,
+        ops,
+        1024,
+        true,
+        |c| {
+            c.lock_shards = 1;
+            c.serial_replication = true;
+        },
+        |_, _| {},
+    )
+}
+
+fn print_delta(label: &str, before: &Summary, after: &Summary) {
+    println!(
+        "{label:<22} before {:>10.2} KIOP/s   after {:>10.2} KIOP/s   speedup {:>5.2}x",
+        before.throughput_kiops(),
+        after.throughput_kiops(),
+        after.throughput_ops() / before.throughput_ops().max(f64::MIN_POSITIVE),
+    );
+}
+
+/// Contention micro-benchmark: multi-threaded YCSB-A put/get throughput of
+/// the sharded + scatter-gather path against the pre-existing single-lock +
+/// serial-replication path, on a replicated deployment.
+///
+/// Both backends are swept: the disk model is where batched replication
+/// pays off even on a single CPU (replica service times overlap instead of
+/// queueing behind each other), while the in-memory simulator isolates lock
+/// contention and therefore only separates the paths when real hardware
+/// parallelism is available.
+pub fn contention(scale: Scale) -> Vec<DataPoint> {
+    let (drives, replication) = (3, 2);
+    // The disk model caps at ~1 kIOP/s per drive; keep its op counts small.
+    let (ops, records) = ((scale.ops() / 16).max(200), (scale.records() / 16).max(100));
+    let mut out = Vec::new();
+    print_header(
+        "Contention: single-lock serial (before) vs sharded batched (after)",
+        "threads",
+    );
+    for backend in [BackendKind::Hdd, BackendKind::Memory] {
+        let config = Config {
+            mode: ExecutionMode::Sgx,
+            backend,
+        };
+        let (ops, records) = match backend {
+            BackendKind::Hdd => (ops, records),
+            BackendKind::Memory => (scale.ops(), scale.records()),
+        };
+        for &threads in &[1usize, 2, 4, 8] {
+            let before = run_workload_with(
+                config,
+                drives,
+                replication,
+                threads,
+                records,
+                ops,
+                1024,
+                true,
+                |c| {
+                    c.lock_shards = 1;
+                    c.serial_replication = true;
+                    c.syscall_threads = 16;
+                },
+                |_, _| {},
+            );
+            let after = run_workload_with(
+                config,
+                drives,
+                replication,
+                threads,
+                records,
+                ops,
+                1024,
+                true,
+                |c| {
+                    c.syscall_threads = 16;
+                },
+                |_, _| {},
+            );
+            for (label, summary) in [("before", &before), ("after", &after)] {
+                let point = DataPoint {
+                    config: format!("{label} ({})", config.label()),
+                    x: threads as f64,
+                    kiops: summary.throughput_kiops(),
+                    latency_ms: summary.mean_latency_ms(),
+                };
+                print_point(&point);
+                out.push(point);
+            }
+            print_delta(
+                &format!("{} {threads} threads", config.label()),
+                &before,
+                &after,
+            );
         }
     }
     out
@@ -423,7 +607,10 @@ pub fn fig8_policy_cache(scale: Scale) -> Vec<DataPoint> {
 /// Figure 9: versioned-storage use case, throughput vs clients.
 pub fn fig9_versioned(scale: Scale) -> Vec<DataPoint> {
     let mut out = Vec::new();
-    print_header("Figure 9: versioned store vs clients (simulator)", "clients");
+    print_header(
+        "Figure 9: versioned store vs clients (simulator)",
+        "clients",
+    );
     for config in Config::simulator_only() {
         for &clients in &scale.clients_sweep() {
             let summary = run_workload(

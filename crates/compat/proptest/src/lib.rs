@@ -1,0 +1,456 @@
+//! Offline shim for the `proptest` API subset used by this workspace.
+//!
+//! Provides the `proptest!` macro, `prop_assert*`/`prop_assume!`, integer
+//! range strategies, a pattern strategy for the simple regex subset
+//! `.{m,n}` / `[class]{m,n}`, and `collection::vec`. Inputs are generated
+//! from a deterministic per-test seed (no shrinking) so failures reproduce
+//! across runs.
+
+use std::fmt;
+use std::ops::Range;
+
+pub mod collection;
+pub mod prelude;
+
+/// Error signalled by a single generated test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the test should fail.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject => f.write_str("inputs rejected by prop_assume!"),
+        }
+    }
+}
+
+/// Number of cases generated per property (override with the
+/// `PROPTEST_CASES` environment variable, as with real proptest).
+pub const DEFAULT_CASES: usize = 64;
+
+fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// Deterministic case generator (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test name and case index.
+    pub fn new(test_name: &str, case: u64) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for b in test_name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            state: seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Returns the next random word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift; bias is irrelevant for test-input generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Marker for types generatable by [`any`].
+pub trait Arbitrary {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        for b in &mut out {
+            *b = rng.next_u64() as u8;
+        }
+        out
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// String patterns (`&str` literals) act as strategies over the regex
+/// subset `atom{m,n}` where atom is `.` or a `[...]` character class with
+/// literal characters and `a-z` style ranges.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let span = (atom.max - atom.min + 1) as u64;
+            let count = atom.min + rng.below(span) as usize;
+            for _ in 0..count {
+                let i = rng.below(atom.chars.len() as u64) as usize;
+                out.push(atom.chars[i]);
+            }
+        }
+        out
+    }
+}
+
+struct PatternAtom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let alphabet: Vec<char> = match c {
+            '.' => (0x20u8..0x7F).map(|b| b as char).collect(),
+            '[' => {
+                let mut class = Vec::new();
+                loop {
+                    match chars.next() {
+                        Some(']') => break,
+                        Some(lo) => {
+                            if chars.peek() == Some(&'-') {
+                                chars.next();
+                                let hi = chars
+                                    .next()
+                                    .unwrap_or_else(|| panic!("unterminated range in {pattern:?}"));
+                                class.extend((lo as u32..=hi as u32).filter_map(char::from_u32));
+                            } else {
+                                class.push(lo);
+                            }
+                        }
+                        None => panic!("unterminated character class in {pattern:?}"),
+                    }
+                }
+                class
+            }
+            other => vec![other],
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repeat lower bound"),
+                    hi.trim().parse().expect("bad repeat upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in {pattern:?}");
+        assert!(!alphabet.is_empty(), "empty character class in {pattern:?}");
+        atoms.push(PatternAtom {
+            chars: alphabet,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+/// Runs the body of one `proptest!`-declared test across generated cases.
+pub fn run_cases<F>(test_name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let total = cases();
+    let mut rejected = 0usize;
+    for case in 0..total as u64 {
+        let mut rng = TestRng::new(test_name, case);
+        match body(&mut rng) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject) => rejected += 1,
+            Err(TestCaseError::Fail(message)) => {
+                panic!("proptest {test_name}: case {case} failed: {message}")
+            }
+        }
+    }
+    assert!(
+        rejected < total,
+        "proptest {test_name}: every generated case was rejected by prop_assume!"
+    );
+}
+
+/// Declares property-based tests.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        #[test]
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            $crate::run_cases(stringify!($name), |rng| {
+                $( let $arg = $crate::Strategy::generate(&$strategy, rng); )+
+                $body
+                Ok(())
+            });
+        }
+    )*};
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "{} (left: {:?}, right: {:?})",
+                format!($($fmt)*),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Fails the current case unless the operands differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Skips the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_strategy_in_bounds() {
+        let mut rng = TestRng::new("range", 0);
+        for _ in 0..1000 {
+            let v = (5u32..10).generate(&mut rng);
+            assert!((5..10).contains(&v));
+            let w = (0i64..1000).generate(&mut rng);
+            assert!((0..1000).contains(&w));
+        }
+    }
+
+    #[test]
+    fn pattern_strategy_matches_subset() {
+        let mut rng = TestRng::new("pattern", 1);
+        for _ in 0..200 {
+            let s = "[a-z0-9]{1,16}".generate(&mut rng);
+            assert!((1..=16).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            let t = ".{0,64}".generate(&mut rng);
+            assert!(t.chars().count() <= 64);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = TestRng::new("vec", 2);
+        for _ in 0..200 {
+            let v = crate::collection::vec(any::<u8>(), 0..128).generate(&mut rng);
+            assert!(v.len() < 128);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = {
+            let mut rng = TestRng::new("det", 3);
+            "[a-z]{1,8}".generate(&mut rng)
+        };
+        let b = {
+            let mut rng = TestRng::new("det", 3);
+            "[a-z]{1,8}".generate(&mut rng)
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn shim_macro_self_test(x in 0u32..100, ys in crate::collection::vec(any::<u8>(), 0..8)) {
+            prop_assume!(x != 99);
+            prop_assert!(x < 100);
+            prop_assert_eq!(ys.len(), ys.len());
+            prop_assert_ne!(x, 100);
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! The `proptest::prelude` subset: everything the `proptest!` macro bodies
+//! reference.
+
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy,
+    TestCaseError,
+};

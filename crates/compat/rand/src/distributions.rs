@@ -1,0 +1,19 @@
+//! The `rand::distributions` subset used by this workspace.
+
+use crate::Rng;
+
+/// A distribution over values of `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The open interval `(0, 1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Open01;
+
+impl Distribution<f64> for Open01 {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        ((rng.next_u64() >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64)
+    }
+}

@@ -1,0 +1,284 @@
+//! Offline shim for the `rand` 0.8 API subset used by this workspace.
+//!
+//! The core generator is xoshiro256++ seeded through SplitMix64 — the same
+//! construction the real `rand_xoshiro` crate uses — which is more than
+//! adequate for workload generation and for the simulation-grade
+//! cryptography in `pesos-crypto` (which additionally hashes any randomness
+//! it consumes). Not suitable for production cryptography, but neither is
+//! the rest of this reproduction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub mod distributions;
+pub mod rngs;
+
+pub use distributions::{Distribution, Open01};
+
+/// Low-level random number generation: raw words and byte fills.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// Convenience methods layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Fills the byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        open01(self) < p.clamp(0.0, 1.0)
+    }
+
+    /// Samples uniformly from the half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    /// Returns a uniformly random value of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::generate(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable uniformly from a `Range` by [`Rng::gen_range`].
+pub trait SampleUniform: Sized {
+    /// Samples uniformly from `range` (which must be non-empty).
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: std::ops::Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: std::ops::Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range called with empty range");
+                let span = (range.end - range.start) as u64;
+                // Debiased multiply-shift (Lemire); the loop rejects the
+                // biased low region.
+                loop {
+                    let x = rng.next_u64();
+                    let m = (x as u128).wrapping_mul(span as u128);
+                    let low = m as u64;
+                    if low >= span.wrapping_neg() % span || span.is_power_of_two() {
+                        return range.start + ((m >> 64) as u64) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(usize, u64, u32, u16, u8);
+
+impl SampleUniform for i64 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: std::ops::Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        let span = range.end.wrapping_sub(range.start) as u64;
+        let offset = u64::sample_range(rng, 0..span);
+        range.start.wrapping_add(offset as i64)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: std::ops::Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        range.start + open01(rng) * (range.end - range.start)
+    }
+}
+
+/// Types producible by [`Rng::gen`] and [`random`].
+pub trait Standard: Sized {
+    /// Generates a uniformly random value.
+    fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        open01(rng)
+    }
+}
+
+/// Seedable generators (the subset of rand's `SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// The seed type.
+    type Seed;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+
+    /// Creates a generator from OS-ish entropy.
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(entropy_seed())
+    }
+}
+
+fn open01<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 53 random mantissa bits; add half an ulp so 0.0 is excluded.
+    ((rng.next_u64() >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64)
+}
+
+pub(crate) fn entropy_seed() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    // RandomState draws per-process OS entropy; fold in time, pid and a
+    // counter so each call yields a distinct seed.
+    let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0);
+    h.write_u64(nanos);
+    h.write_u64(std::process::id() as u64);
+    h.write_u64(COUNTER.fetch_add(1, Ordering::Relaxed));
+    h.finish()
+}
+
+/// Returns the thread-local generator.
+pub fn thread_rng() -> rngs::ThreadRng {
+    rngs::ThreadRng::new()
+}
+
+/// Returns one random value from the thread-local generator.
+pub fn random<T: Standard>() -> T {
+    T::generate(&mut thread_rng())
+}
+
+pub(crate) struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    pub(crate) fn from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, as recommended by the xoshiro authors.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256 {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        // xoshiro256++
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn fill_covers_all_lengths() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for len in 0..40 {
+            let mut buf = vec![0u8; len];
+            rng.fill(&mut buf[..]);
+            if len >= 16 {
+                assert!(buf.iter().any(|&b| b != 0));
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+        }
+        // Small spans hit every value.
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let trues = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&trues), "got {trues}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn open01_is_open_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v: f64 = Open01.sample(&mut rng);
+            assert!(v > 0.0 && v < 1.0);
+        }
+    }
+
+    #[test]
+    fn thread_rng_and_random_differ_across_calls() {
+        let a: u64 = random();
+        let b: u64 = random();
+        let mut r = thread_rng();
+        let c = r.next_u64();
+        assert!(
+            a != b || b != c,
+            "three identical draws is vanishingly unlikely"
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Concrete generators: [`StdRng`] (seedable, deterministic) and
+//! [`ThreadRng`] (thread-local, entropy-seeded).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::{RngCore, SeedableRng, Xoshiro256};
+
+/// A deterministic seedable generator (xoshiro256++).
+pub struct StdRng {
+    inner: Xoshiro256,
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut folded = 0u64;
+        for chunk in seed.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            folded = folded.rotate_left(17) ^ u64::from_le_bytes(word);
+        }
+        Self::seed_from_u64(folded)
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        StdRng {
+            inner: Xoshiro256::from_u64(state),
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.inner.next() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        fill_from_words(&mut self.inner, dest);
+    }
+}
+
+thread_local! {
+    static THREAD_RNG: Rc<RefCell<Xoshiro256>> =
+        Rc::new(RefCell::new(Xoshiro256::from_u64(crate::entropy_seed())));
+}
+
+/// Handle to the thread-local generator.
+#[derive(Clone)]
+pub struct ThreadRng {
+    inner: Rc<RefCell<Xoshiro256>>,
+}
+
+impl ThreadRng {
+    pub(crate) fn new() -> Self {
+        ThreadRng {
+            inner: THREAD_RNG.with(Rc::clone),
+        }
+    }
+}
+
+impl RngCore for ThreadRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.inner.borrow_mut().next() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.borrow_mut().next()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        fill_from_words(&mut self.inner.borrow_mut(), dest);
+    }
+}
+
+fn fill_from_words(rng: &mut Xoshiro256, dest: &mut [u8]) {
+    let mut chunks = dest.chunks_exact_mut(8);
+    for chunk in &mut chunks {
+        chunk.copy_from_slice(&rng.next().to_le_bytes());
+    }
+    let rest = chunks.into_remainder();
+    if !rest.is_empty() {
+        let word = rng.next().to_le_bytes();
+        rest.copy_from_slice(&word[..rest.len()]);
+    }
+}

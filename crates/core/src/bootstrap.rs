@@ -88,7 +88,9 @@ pub fn bootstrap(config: &ControllerConfig) -> Result<BootstrapOutcome, PesosErr
     //    runtime secrets. In this reproduction the service is instantiated
     //    in-process with freshly generated secrets; its verification logic is
     //    identical to a remote deployment.
-    let drive_ids: Vec<String> = (0..config.drive_count).map(|i| format!("kd-{i:02}")).collect();
+    let drive_ids: Vec<String> = (0..config.drive_count)
+        .map(|i| format!("kd-{i:02}"))
+        .collect();
     let secrets = ProvisionedSecrets {
         tls_key_seed: pesos_crypto::sha256(b"pesos-controller-tls-seed").to_vec(),
         disk_credentials: drive_ids
@@ -141,8 +143,9 @@ pub fn bootstrap(config: &ControllerConfig) -> Result<BootstrapOutcome, PesosErr
 
         // Connect with the factory account and replace ALL accounts with the
         // single Pesos administrative identity.
-        let factory = KineticClient::connect(Arc::clone(&drive), ClientConfig::factory_default())
-            .map_err(|e| PesosError::Bootstrap(format!("cannot reach drive {id}: {e}")))?;
+        let factory =
+            KineticClient::connect(Arc::clone(&drive), ClientConfig::factory_default())
+                .map_err(|e| PesosError::Bootstrap(format!("cannot reach drive {id}: {e}")))?;
         let admin_secret = admin_secret_for(&secrets, id);
         factory
             .replace_accounts(vec![AccountSpec {
@@ -164,11 +167,7 @@ pub fn bootstrap(config: &ControllerConfig) -> Result<BootstrapOutcome, PesosErr
         drop(admin);
         let session = KineticClient::connect(
             Arc::clone(&drive),
-            ClientConfig::admin(
-                PESOS_ADMIN_IDENTITY,
-                admin_secret,
-                PESOS_CLUSTER_VERSION,
-            ),
+            ClientConfig::admin(PESOS_ADMIN_IDENTITY, admin_secret, PESOS_CLUSTER_VERSION),
         )
         .map_err(|e| PesosError::Bootstrap(format!("session connect to {id} failed: {e}")))?;
 
@@ -208,11 +207,9 @@ mod tests {
 
         // The factory account no longer works on any drive.
         for drive in outcome.drives.iter() {
-            assert!(KineticClient::connect(
-                Arc::clone(drive),
-                ClientConfig::factory_default()
-            )
-            .is_err());
+            assert!(
+                KineticClient::connect(Arc::clone(drive), ClientConfig::factory_default()).is_err()
+            );
         }
         // The admin sessions do.
         for client in &outcome.clients {

@@ -32,6 +32,16 @@ pub struct ControllerConfig {
     pub syscall_threads: usize,
     /// Session soft-state expiry in seconds.
     pub session_expiry_secs: u64,
+    /// Lock shards for the in-enclave metadata map and object cache.
+    /// Sessions operating on keys that hash to different shards never
+    /// contend; 1 reproduces the old single-global-lock behaviour. The
+    /// object cache splits its byte budget across shards, so the largest
+    /// cacheable object is `object_cache_bytes / lock_shards`.
+    pub lock_shards: usize,
+    /// Write replicas one after another through the blocking syscall path
+    /// instead of as one scatter-gather batch. Only useful as the "before"
+    /// configuration in benchmarks and equivalence tests.
+    pub serial_replication: bool,
 }
 
 impl Default for ControllerConfig {
@@ -50,6 +60,8 @@ impl Default for ControllerConfig {
             worker_threads: 4,
             syscall_threads: 4,
             session_expiry_secs: 600,
+            lock_shards: 16,
+            serial_replication: false,
         }
     }
 }
@@ -111,6 +123,11 @@ impl ControllerConfig {
                 self.replication_factor, self.drive_count
             )));
         }
+        if self.lock_shards == 0 {
+            return Err(crate::error::PesosError::BadRequest(
+                "lock_shards must be at least 1".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -135,11 +152,27 @@ mod tests {
     #[test]
     fn validation() {
         assert!(ControllerConfig::default().validate().is_ok());
-        let mut c = ControllerConfig::default();
-        c.drive_count = 0;
+        let c = ControllerConfig {
+            drive_count: 0,
+            ..ControllerConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = ControllerConfig::sgx_simulator(2);
-        c.replication_factor = 3;
+        let c = ControllerConfig {
+            replication_factor: 3,
+            ..ControllerConfig::sgx_simulator(2)
+        };
         assert!(c.validate().is_err());
+        let c = ControllerConfig {
+            lock_shards: 0,
+            ..ControllerConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn sharding_defaults() {
+        let c = ControllerConfig::default();
+        assert!(c.lock_shards >= 1);
+        assert!(!c.serial_replication);
     }
 }

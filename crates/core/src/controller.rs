@@ -52,14 +52,13 @@ impl PesosController {
     /// drive takeover, cache construction.
     pub fn new(config: ControllerConfig) -> Result<Self, PesosError> {
         let outcome = bootstrap(&config)?;
-        let crypter = ObjectCrypter::new(&outcome.secrets.storage_master_key, config.encrypt_objects);
+        let crypter =
+            ObjectCrypter::new(&outcome.secrets.storage_master_key, config.encrypt_objects);
         let store = Arc::new(PesosStore::new(
             outcome.drives,
             outcome.clients,
             crypter,
-            config.object_cache_bytes,
-            config.policy_cache_capacity,
-            config.replication_factor,
+            crate::store::StoreOptions::from_config(&config),
             outcome.asyscall,
             outcome.enclave,
         ));
@@ -162,6 +161,9 @@ impl PesosController {
     // Policy enforcement
     // ------------------------------------------------------------------
 
+    /// Evaluates the policy attached to `key` (if any) for `operation`,
+    /// returning the policy that was applied so callers can inspect what it
+    /// constrained.
     fn check_policy(
         &self,
         operation: Operation,
@@ -170,14 +172,14 @@ impl PesosController {
         certificates: &[Certificate],
         next_version: Option<u64>,
         new_object_hash: Option<Vec<u8>>,
-    ) -> Result<(), PesosError> {
+    ) -> Result<Option<Arc<pesos_policy::CompiledPolicy>>, PesosError> {
         let Some(meta) = self.store.get_metadata(key) else {
             // No object yet: creation is governed by the policy supplied with
             // the put (if any); there is nothing to check here.
-            return Ok(());
+            return Ok(None);
         };
         let Some(policy_id) = meta.policy_id else {
-            return Ok(());
+            return Ok(None);
         };
         let policy = self.store.load_policy(&policy_id)?;
 
@@ -206,11 +208,29 @@ impl PesosController {
 
         let decision = policy.evaluate(operation, &ctx, &self.store.view());
         if decision.allowed {
-            Ok(())
+            Ok(Some(policy))
         } else {
             ControllerMetrics::bump(&self.metrics.policy_denials);
             Err(PesosError::PolicyDenied(decision.reason))
         }
+    }
+
+    /// The version the store must re-validate under the key lock: the
+    /// client's explicit compare-and-swap version if given, otherwise the
+    /// version the policy just approved — but only when that policy
+    /// actually constrains `nextVersion` (enforcing it for plain ACL
+    /// policies would make every concurrent writer but one fail).
+    fn cas_version(
+        applied: &Option<Arc<pesos_policy::CompiledPolicy>>,
+        expected_version: Option<u64>,
+        next_version: u64,
+    ) -> Option<u64> {
+        expected_version.or_else(|| {
+            applied
+                .as_ref()
+                .filter(|p| p.constrains_version(Operation::Update))
+                .map(|_| next_version)
+        })
     }
 
     // ------------------------------------------------------------------
@@ -240,13 +260,10 @@ impl PesosController {
         ControllerMetrics::bump(&self.metrics.writes);
 
         let current = self.store.get_metadata(key);
-        let default_next = current
-            .as_ref()
-            .map(|m| m.latest_version + 1)
-            .unwrap_or(0);
+        let default_next = current.as_ref().map(|m| m.latest_version + 1).unwrap_or(0);
         let next_version = expected_version.unwrap_or(default_next);
         let new_hash = pesos_crypto::sha256(&value).to_vec();
-        self.check_policy(
+        let applied = self.check_policy(
             Operation::Update,
             key,
             client_id,
@@ -259,7 +276,13 @@ impl PesosController {
             // The referenced policy must exist before it can be attached.
             self.store.load_policy(id)?;
         }
-        self.store.put_object(key, &value, policy_id)
+        // The policy check above ran outside the store's key lock; the
+        // store re-validates the version under it, so two racing writers
+        // that both passed a version-constraining policy (or both supplied
+        // the same expected_version) cannot both land — one gets a
+        // VersionConflict instead of a blind overwrite.
+        let cas = Self::cas_version(&applied, expected_version, next_version);
+        self.store.put_object_cas(key, &value, policy_id, cas)
     }
 
     /// Stores an object asynchronously; returns the operation identifier the
@@ -280,13 +303,10 @@ impl PesosController {
         ControllerMetrics::bump(&self.metrics.async_accepted);
 
         let current = self.store.get_metadata(key);
-        let default_next = current
-            .as_ref()
-            .map(|m| m.latest_version + 1)
-            .unwrap_or(0);
+        let default_next = current.as_ref().map(|m| m.latest_version + 1).unwrap_or(0);
         let next_version = expected_version.unwrap_or(default_next);
         let new_hash = pesos_crypto::sha256(&value).to_vec();
-        self.check_policy(
+        let applied = self.check_policy(
             Operation::Update,
             key,
             client_id,
@@ -297,13 +317,14 @@ impl PesosController {
         if let Some(id) = &policy_id {
             self.store.load_policy(id)?;
         }
+        let cas = Self::cas_version(&applied, expected_version, next_version);
 
         let op_id = self.results.register(client_id);
         let store = Arc::clone(&self.store);
         let results = Arc::clone(&self.results);
         let key = key.to_string();
         self.scheduler.spawn(move || {
-            let outcome = match store.put_object(&key, &value, policy_id) {
+            let outcome = match store.put_object_cas(&key, &value, policy_id, cas) {
                 Ok(version) => AsyncResult::Completed {
                     version: Some(version),
                 },
@@ -598,32 +619,48 @@ impl PesosController {
                 Ok(RestResponse::ok(tx.to_string().into_bytes()))
             }
             RestMethod::AddRead => {
-                let tx = rest.tx_id.ok_or(PesosError::BadRequest("missing tx id".into()))?;
+                let tx = rest
+                    .tx_id
+                    .ok_or(PesosError::BadRequest("missing tx id".into()))?;
                 self.add_read(client_id, tx, &rest.key)?;
                 Ok(RestResponse::ok_empty())
             }
             RestMethod::AddWrite => {
-                let tx = rest.tx_id.ok_or(PesosError::BadRequest("missing tx id".into()))?;
+                let tx = rest
+                    .tx_id
+                    .ok_or(PesosError::BadRequest("missing tx id".into()))?;
                 self.add_write(client_id, tx, &rest.key, rest.value.clone())?;
                 Ok(RestResponse::ok_empty())
             }
             RestMethod::CommitTx => {
-                let tx = rest.tx_id.ok_or(PesosError::BadRequest("missing tx id".into()))?;
+                let tx = rest
+                    .tx_id
+                    .ok_or(PesosError::BadRequest("missing tx id".into()))?;
                 let outcome = self.commit_tx(client_id, tx)?;
-                let versions: Vec<String> =
-                    outcome.write_versions.iter().map(|v| v.to_string()).collect();
+                let versions: Vec<String> = outcome
+                    .write_versions
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect();
                 Ok(RestResponse::ok(versions.join(",").into_bytes()))
             }
             RestMethod::AbortTx => {
-                let tx = rest.tx_id.ok_or(PesosError::BadRequest("missing tx id".into()))?;
+                let tx = rest
+                    .tx_id
+                    .ok_or(PesosError::BadRequest("missing tx id".into()))?;
                 self.abort_tx(client_id, tx)?;
                 Ok(RestResponse::ok_empty())
             }
             RestMethod::CheckResults => {
-                let tx = rest.tx_id.ok_or(PesosError::BadRequest("missing tx id".into()))?;
+                let tx = rest
+                    .tx_id
+                    .ok_or(PesosError::BadRequest("missing tx id".into()))?;
                 let outcome = self.check_results(client_id, tx)?;
-                let versions: Vec<String> =
-                    outcome.write_versions.iter().map(|v| v.to_string()).collect();
+                let versions: Vec<String> = outcome
+                    .write_versions
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect();
                 Ok(RestResponse::ok(versions.join(",").into_bytes()))
             }
         }
@@ -660,7 +697,9 @@ mod tests {
     fn basic_put_get_delete_without_policy() {
         let c = controller();
         c.register_client("alice");
-        let v = c.put("alice", "greeting", b"hello".to_vec(), None, None, &[]).unwrap();
+        let v = c
+            .put("alice", "greeting", b"hello".to_vec(), None, None, &[])
+            .unwrap();
         assert_eq!(v, 0);
         let (value, version) = c.get("alice", "greeting", &[]).unwrap();
         assert_eq!(&**value, b"hello");
@@ -692,7 +731,8 @@ mod tests {
                  delete :- sessionKeyIs(\"admin\")",
             )
             .unwrap();
-        c.put("alice", "doc", b"v0".to_vec(), Some(policy), None, &[]).unwrap();
+        c.put("alice", "doc", b"v0".to_vec(), Some(policy), None, &[])
+            .unwrap();
 
         // Bob can read but not update.
         assert!(c.get("bob", "doc", &[]).is_ok());
@@ -701,7 +741,8 @@ mod tests {
             Err(PesosError::PolicyDenied(_))
         ));
         // Alice can update; only admin can delete.
-        c.put("alice", "doc", b"v1".to_vec(), None, None, &[]).unwrap();
+        c.put("alice", "doc", b"v1".to_vec(), None, None, &[])
+            .unwrap();
         assert!(c.delete("alice", "doc", &[]).is_err());
         c.delete("admin", "doc", &[]).unwrap();
         assert!(c.metrics().policy_denials >= 2);
@@ -721,7 +762,14 @@ mod tests {
             .unwrap();
         // Create at version 0.
         let v = c
-            .put("writer", "versioned", b"v0".to_vec(), Some(policy), Some(0), &[])
+            .put(
+                "writer",
+                "versioned",
+                b"v0".to_vec(),
+                Some(policy),
+                Some(0),
+                &[],
+            )
             .unwrap();
         assert_eq!(v, 0);
         // Correct increment accepted, wrong one rejected.
@@ -762,14 +810,18 @@ mod tests {
         let acl = c
             .put_policy("alice", "read :- sessionKeyIs(\"alice\")\nupdate :- sessionKeyIs(\"alice\")\ndelete :- sessionKeyIs(\"alice\")")
             .unwrap();
-        c.put("alice", "account/a", b"100".to_vec(), Some(acl), None, &[]).unwrap();
-        c.put("alice", "account/b", b"0".to_vec(), Some(acl), None, &[]).unwrap();
+        c.put("alice", "account/a", b"100".to_vec(), Some(acl), None, &[])
+            .unwrap();
+        c.put("alice", "account/b", b"0".to_vec(), Some(acl), None, &[])
+            .unwrap();
 
         // Alice transfers atomically.
         let tx = c.create_tx("alice").unwrap();
         c.add_read("alice", tx, "account/a").unwrap();
-        c.add_write("alice", tx, "account/a", b"50".to_vec()).unwrap();
-        c.add_write("alice", tx, "account/b", b"50".to_vec()).unwrap();
+        c.add_write("alice", tx, "account/a", b"50".to_vec())
+            .unwrap();
+        c.add_write("alice", tx, "account/b", b"50".to_vec())
+            .unwrap();
         let outcome = c.commit_tx("alice", tx).unwrap();
         assert_eq!(outcome.write_versions.len(), 2);
         assert_eq!(outcome.read_values[0], b"100");
@@ -812,7 +864,10 @@ mod tests {
         // Put with the policy attached.
         let resp = c.handle(
             "alice",
-            ClientRequest::new(RestRequest::put("users/alice", b"profile".to_vec()).with_policy(policy_hex.clone())),
+            ClientRequest::new(
+                RestRequest::put("users/alice", b"profile".to_vec())
+                    .with_policy(policy_hex.clone()),
+            ),
         );
         assert_eq!(resp.status, RestStatus::Ok);
         assert_eq!(resp.version, Some(0));
@@ -853,7 +908,10 @@ mod tests {
         assert_eq!(resp.status, RestStatus::NotFound);
 
         // Status endpoint.
-        let resp = c.handle("alice", ClientRequest::new(RestRequest::new(RestMethod::Status, "")));
+        let resp = c.handle(
+            "alice",
+            ClientRequest::new(RestRequest::new(RestMethod::Status, "")),
+        );
         assert_eq!(resp.status, RestStatus::Ok);
     }
 
@@ -866,7 +924,8 @@ mod tests {
         let id = c.register_client_with_certificate(&cert).unwrap();
         assert_eq!(id, pesos_crypto::hex_encode(&kp.public().to_bytes()));
         // The registered identity can operate.
-        c.put(&id, "carol-obj", b"x".to_vec(), None, None, &[]).unwrap();
+        c.put(&id, "carol-obj", b"x".to_vec(), None, None, &[])
+            .unwrap();
         // A tampered certificate is rejected.
         let mut bad = cert.clone();
         bad.subject = "client:mallory".into();

@@ -55,7 +55,11 @@ impl ObjectCrypter {
         let nonce = pesos_crypto::aead::counter_nonce(0x4f424a45, seq);
         let mut out = Vec::with_capacity(plaintext.len() + 64);
         out.push(1u8);
-        out.extend_from_slice(&self.key.seal_to_bytes(&nonce, &Self::aad(object_key, version), plaintext));
+        out.extend_from_slice(&self.key.seal_to_bytes(
+            &nonce,
+            &Self::aad(object_key, version),
+            plaintext,
+        ));
         out
     }
 

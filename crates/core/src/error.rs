@@ -89,8 +89,11 @@ mod tests {
         assert!(matches!(e, PesosError::Backend(_)));
         let e: PesosError = PolicyError::UnknownPredicate("x".into()).into();
         assert!(matches!(e, PesosError::BadRequest(_)));
-        assert!(PesosError::VersionConflict { expected: 1, got: 2 }
-            .to_string()
-            .contains("1"));
+        assert!(PesosError::VersionConflict {
+            expected: 1,
+            got: 2
+        }
+        .to_string()
+        .contains("1"));
     }
 }

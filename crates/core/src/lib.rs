@@ -31,14 +31,15 @@ pub use config::ControllerConfig;
 pub use controller::PesosController;
 pub use encryption::ObjectCrypter;
 pub use error::PesosError;
-pub use metadata::{ObjectMetadata, VersionMeta};
+pub use metadata::{ObjectMetadata, ShardedMetadata, VersionMeta};
 pub use metrics::ControllerMetrics;
 pub use object_cache::ObjectCache;
+pub use placement::key_hash;
 pub use placement::placement;
 pub use request::{ClientRequest, ClientResponse};
 pub use result_buffer::ResultBuffer;
 pub use session::{SessionContext, SessionManager};
-pub use store::PesosStore;
+pub use store::{PesosStore, StoreOptions};
 pub use transaction::{TransactionManager, TxOutcome};
 
 pub use pesos_kinetic::{DriveConfig, DriveSet, KineticDrive};

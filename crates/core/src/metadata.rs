@@ -6,6 +6,9 @@
 //! next to the object data and is what the `objSize`, `objHash`,
 //! `objPolicy`, `currVersion` and `objId` predicates consult.
 
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
 use pesos_policy::PolicyId;
 use pesos_wire::codec::{FieldReader, FieldWriter};
 
@@ -98,7 +101,12 @@ impl ObjectMetadata {
         let mut meta = ObjectMetadata::default();
         for f in fields {
             match f.number {
-                1 => meta.key = f.as_str().map_err(|_| corrupt("key not UTF-8"))?.to_string(),
+                1 => {
+                    meta.key = f
+                        .as_str()
+                        .map_err(|_| corrupt("key not UTF-8"))?
+                        .to_string()
+                }
                 2 => meta.latest_version = f.value,
                 3 => {
                     if f.data.len() == 32 {
@@ -137,6 +145,63 @@ impl ObjectMetadata {
             return Err(corrupt("missing key"));
         }
         Ok(meta)
+    }
+}
+
+/// The in-enclave metadata map, sharded to keep concurrent sessions on
+/// different keys from contending on one global lock.
+///
+/// Shards are selected by [`crate::placement::key_hash`] — the same hash
+/// that drives replica placement — so all state for a key (metadata shard,
+/// cache shard, drive set) derives from one hash computation and keys that
+/// never share a shard never share a lock.
+pub struct ShardedMetadata {
+    shards: Vec<RwLock<HashMap<String, ObjectMetadata>>>,
+}
+
+impl ShardedMetadata {
+    /// Creates a map with `shards` lock shards (at least one).
+    pub fn new(shards: usize) -> Self {
+        ShardedMetadata {
+            shards: (0..shards.max(1))
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of lock shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: &str) -> &RwLock<HashMap<String, ObjectMetadata>> {
+        &self.shards[crate::placement::shard_index(key, self.shards.len())]
+    }
+
+    /// Returns a clone of the metadata for `key`, if cached.
+    pub fn get(&self, key: &str) -> Option<ObjectMetadata> {
+        self.shard(key).read().get(key).cloned()
+    }
+
+    /// Inserts (or replaces) the metadata for `meta.key`.
+    pub fn insert(&self, meta: ObjectMetadata) {
+        let shard = self.shard(&meta.key);
+        shard.write().insert(meta.key.clone(), meta);
+    }
+
+    /// Removes the metadata for `key`.
+    pub fn remove(&self, key: &str) {
+        self.shard(key).write().remove(key);
+    }
+
+    /// Total number of cached metadata records across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether no metadata is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -218,9 +283,13 @@ mod tests {
 
     #[test]
     fn backend_keys_are_namespaced_and_ordered() {
-        assert!(String::from_utf8(data_key("a", 3)).unwrap().starts_with("o/a/"));
+        assert!(String::from_utf8(data_key("a", 3))
+            .unwrap()
+            .starts_with("o/a/"));
         assert_eq!(meta_key("a"), b"m/a".to_vec());
-        assert!(String::from_utf8(policy_key("ff00")).unwrap().starts_with("p/"));
+        assert!(String::from_utf8(policy_key("ff00"))
+            .unwrap()
+            .starts_with("p/"));
         // Zero-padded versions sort correctly as byte strings.
         assert!(data_key("a", 2) < data_key("a", 10));
     }

@@ -5,6 +5,14 @@
 //! (`objSays`) with fast lookups (paper §3.1, §4.2). The cache is bounded by
 //! a byte budget chosen to stay inside the EPC and evicts approximately
 //! least-frequently-used entries.
+//!
+//! The byte budget is split across N independently locked LFU shards
+//! (selected with [`crate::placement::key_hash`], the same hash replica
+//! placement uses) so concurrent sessions touching different keys never
+//! serialize on one global mutex. Eviction is per shard: a hot entry can
+//! only be displaced by traffic hashing to its own shard, which approximates
+//! global LFU closely under the uniform key hashing the placement function
+//! provides.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -40,35 +48,64 @@ struct Inner {
     evictions: u64,
 }
 
-/// A byte-bounded, approximately-LFU object cache.
+impl Inner {
+    fn new() -> Self {
+        Inner {
+            entries: HashMap::new(),
+            used_bytes: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+}
+
+/// A byte-bounded, approximately-LFU, lock-sharded object cache.
 pub struct ObjectCache {
-    budget_bytes: u64,
-    inner: Mutex<Inner>,
+    shard_budget_bytes: u64,
+    shards: Vec<Mutex<Inner>>,
 }
 
 impl ObjectCache {
-    /// Creates a cache with the given byte budget.
+    /// Creates a single-shard cache with the given byte budget (one global
+    /// lock; use [`ObjectCache::with_shards`] for the concurrent variant).
     pub fn new(budget_bytes: usize) -> Self {
+        ObjectCache::with_shards(budget_bytes, 1)
+    }
+
+    /// Creates a cache whose byte budget is split evenly across `shards`
+    /// independently locked LFU shards.
+    ///
+    /// Note the admission bound this implies: a single object can occupy at
+    /// most one shard's budget (`budget_bytes / shards`), not the whole
+    /// budget — the slab-style price of independent per-shard eviction.
+    /// Deployments caching objects near the total budget should lower
+    /// `lock_shards`.
+    pub fn with_shards(budget_bytes: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
         ObjectCache {
-            budget_bytes: budget_bytes.max(1) as u64,
-            inner: Mutex::new(Inner {
-                entries: HashMap::new(),
-                used_bytes: 0,
-                hits: 0,
-                misses: 0,
-                evictions: 0,
-            }),
+            shard_budget_bytes: (budget_bytes / shards).max(1) as u64,
+            shards: (0..shards).map(|_| Mutex::new(Inner::new())).collect(),
         }
     }
 
-    /// The configured byte budget.
+    /// The configured byte budget (summed over all shards).
     pub fn budget_bytes(&self) -> u64 {
-        self.budget_bytes
+        self.shard_budget_bytes * self.shards.len() as u64
+    }
+
+    /// Number of lock shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<Inner> {
+        &self.shards[crate::placement::shard_index(key, self.shards.len())]
     }
 
     /// Looks up the latest cached value and version for `key`.
     pub fn get(&self, key: &str) -> Option<(Arc<Vec<u8>>, u64)> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shard(key).lock();
         match inner.entries.get_mut(key) {
             Some(e) => {
                 e.frequency += 1;
@@ -85,18 +122,18 @@ impl ObjectCache {
 
     /// Inserts (or replaces) the cached value for `key`.
     ///
-    /// Values larger than the whole budget are not cached.
+    /// Values larger than the whole shard budget are not cached.
     pub fn put(&self, key: &str, value: Arc<Vec<u8>>, version: u64) {
         let size = value.len() as u64 + key.len() as u64;
-        if size > self.budget_bytes {
+        if size > self.shard_budget_bytes {
             return;
         }
-        let mut inner = self.inner.lock();
+        let mut inner = self.shard(key).lock();
         if let Some(old) = inner.entries.remove(key) {
             inner.used_bytes -= old.value.len() as u64 + key.len() as u64;
         }
         // Evict until the new entry fits.
-        while inner.used_bytes + size > self.budget_bytes {
+        while inner.used_bytes + size > self.shard_budget_bytes {
             let victim = inner
                 .entries
                 .iter()
@@ -125,22 +162,24 @@ impl ObjectCache {
 
     /// Removes a key from the cache (e.g. on delete).
     pub fn invalidate(&self, key: &str) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shard(key).lock();
         if let Some(e) = inner.entries.remove(key) {
             inner.used_bytes -= e.value.len() as u64 + key.len() as u64;
         }
     }
 
-    /// Returns counters.
+    /// Returns counters aggregated over all shards.
     pub fn stats(&self) -> ObjectCacheStats {
-        let inner = self.inner.lock();
-        ObjectCacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            evictions: inner.evictions,
-            used_bytes: inner.used_bytes,
-            entries: inner.entries.len(),
+        let mut stats = ObjectCacheStats::default();
+        for shard in &self.shards {
+            let inner = shard.lock();
+            stats.hits += inner.hits;
+            stats.misses += inner.misses;
+            stats.evictions += inner.evictions;
+            stats.used_bytes += inner.used_bytes;
+            stats.entries += inner.entries.len();
         }
+        stats
     }
 }
 
@@ -195,5 +234,36 @@ mod tests {
         cache.put("big", Arc::new(vec![0; 1000]), 1);
         assert!(cache.get("big").is_none());
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn sharded_cache_keeps_per_key_semantics() {
+        let cache = ObjectCache::with_shards(16 * 1024, 8);
+        assert_eq!(cache.shard_count(), 8);
+        assert_eq!(cache.budget_bytes(), (16 * 1024 / 8) * 8);
+        for i in 0..100 {
+            let key = format!("k{i}");
+            cache.put(&key, Arc::new(vec![i as u8; 8]), i);
+        }
+        for i in 0..100 {
+            let key = format!("k{i}");
+            let (v, ver) = cache.get(&key).unwrap();
+            assert_eq!(&**v, &vec![i as u8; 8]);
+            assert_eq!(ver, i);
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, 100);
+        assert_eq!(s.hits, 100);
+        cache.invalidate("k3");
+        assert!(cache.get("k3").is_none());
+    }
+
+    #[test]
+    fn shard_budgets_sum_to_total() {
+        let cache = ObjectCache::with_shards(1000, 4);
+        // Per-shard budget floors at total/shards.
+        assert_eq!(cache.budget_bytes(), 1000);
+        let tiny = ObjectCache::with_shards(2, 4);
+        assert_eq!(tiny.budget_bytes(), 4); // floored at 1 byte per shard
     }
 }

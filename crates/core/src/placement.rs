@@ -9,6 +9,29 @@
 
 use pesos_crypto::sha256;
 
+/// The deterministic key hash everything placement-related derives from:
+/// drive selection, metadata lock shards and object-cache shards all use
+/// this same value, so state for one key always lives behind the same
+/// shard index regardless of the structure consulted.
+pub fn key_hash(key: &str) -> u64 {
+    let digest = sha256(key.as_bytes());
+    let mut h = [0u8; 8];
+    h.copy_from_slice(&digest[..8]);
+    u64::from_be_bytes(h)
+}
+
+/// Maps `key` to one of `shards` lock-shard indices using [`key_hash`].
+///
+/// Every sharded structure (metadata map, object cache, key-lock registry)
+/// must select shards through this one function so their shard choice can
+/// never drift apart.
+pub fn shard_index(key: &str, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    (key_hash(key) % shards as u64) as usize
+}
+
 /// Returns the ordered drive indices holding `key`: the primary first, then
 /// the replicas, `replication_factor` entries in total (capped at the number
 /// of drives).
@@ -17,10 +40,7 @@ pub fn placement(key: &str, drive_count: usize, replication_factor: usize) -> Ve
         return Vec::new();
     }
     let factor = replication_factor.clamp(1, drive_count);
-    let digest = sha256(key.as_bytes());
-    let mut h = [0u8; 8];
-    h.copy_from_slice(&digest[..8]);
-    let primary = (u64::from_be_bytes(h) % drive_count as u64) as usize;
+    let primary = (key_hash(key) % drive_count as u64) as usize;
     (0..factor).map(|i| (primary + i) % drive_count).collect()
 }
 
@@ -36,10 +56,7 @@ pub fn placement_available(
         return Vec::new();
     }
     let factor = replication_factor.clamp(1, drive_count);
-    let digest = sha256(key.as_bytes());
-    let mut h = [0u8; 8];
-    h.copy_from_slice(&digest[..8]);
-    let primary = (u64::from_be_bytes(h) % drive_count as u64) as usize;
+    let primary = (key_hash(key) % drive_count as u64) as usize;
 
     let mut out = Vec::with_capacity(factor);
     for offset in 0..drive_count {

@@ -142,7 +142,12 @@ mod tests {
         assert!(buf.poll("c", first).is_none());
         assert_eq!(buf.discarded(), 7);
         // Completing a discarded operation is a no-op rather than an error.
-        buf.complete(first, AsyncResult::Failed { reason: "late".into() });
+        buf.complete(
+            first,
+            AsyncResult::Failed {
+                reason: "late".into(),
+            },
+        );
         assert!(buf.poll("c", first).is_none());
     }
 

@@ -7,20 +7,125 @@
 //! every disk interaction through the asynchronous system-call interface so
 //! the SGX cost model is charged on the same code path as in the real
 //! system.
+//!
+//! # The parallel scatter-gather hot path
+//!
+//! Replicated writes are issued as one [`AsyscallInterface::submit_batch`]:
+//! all replica PUTs are enqueued back-to-back and joined once, first error
+//! wins, so a replication factor of N costs one drive round trip instead of
+//! N sequential ones. Replicated reads race the replicas through the same
+//! batch machinery and return the first successful completion, leaving the
+//! stragglers to finish in the background. Object payloads and backend keys
+//! travel as shared [`Payload`]/`Arc<[u8]>` buffers, so fanning a write out
+//! to N replicas bumps reference counts instead of cloning the encoded
+//! object per target.
+//!
+//! Hot shared state is lock-sharded: the metadata map
+//! ([`ShardedMetadata`]) and the object cache split their entries over N
+//! independently locked shards selected by the same key hash replica
+//! placement uses, and writers serialize per key (not globally) through a
+//! sharded key-lock registry, so concurrent sessions on different keys
+//! proceed without contention while writes to one key stay linearizable.
+//!
+//! Setting [`crate::config::ControllerConfig::serial_replication`] restores
+//! the old blocking one-replica-at-a-time path; benchmarks use it as the
+//! "before" configuration and tests assert both paths leave byte-identical
+//! drive state.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
-use pesos_kinetic::{DriveSet, KineticClient, KineticError};
+use parking_lot::Mutex;
+use pesos_kinetic::{DriveSet, KineticClient, KineticError, Payload};
 use pesos_policy::{CompiledPolicy, ObjectStoreView, PolicyCache, PolicyId, Tuple};
 use pesos_sgx::{AsyscallInterface, Enclave};
 
+use crate::config::ControllerConfig;
 use crate::encryption::ObjectCrypter;
 use crate::error::PesosError;
-use crate::metadata::{data_key, meta_key, policy_key, ObjectMetadata, VersionMeta};
+use crate::metadata::{
+    data_key, meta_key, policy_key, ObjectMetadata, ShardedMetadata, VersionMeta,
+};
 use crate::object_cache::ObjectCache;
-use crate::placement::placement_available;
+use crate::placement::{placement_available, shard_index};
+
+/// Sizing and behaviour options for one [`PesosStore`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Byte budget of the object cache.
+    pub object_cache_bytes: usize,
+    /// Entry capacity of the policy cache.
+    pub policy_cache_capacity: usize,
+    /// Replication factor (1 = no replication).
+    pub replication_factor: usize,
+    /// Lock shards for metadata, cache and key-lock structures.
+    pub lock_shards: usize,
+    /// Use the serial (pre-batch) replication path.
+    pub serial_replication: bool,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions::from_config(&ControllerConfig::default())
+    }
+}
+
+impl StoreOptions {
+    /// Extracts the store-relevant options from a controller configuration.
+    pub fn from_config(config: &ControllerConfig) -> Self {
+        StoreOptions {
+            object_cache_bytes: config.object_cache_bytes,
+            policy_cache_capacity: config.policy_cache_capacity,
+            replication_factor: config.replication_factor,
+            lock_shards: config.lock_shards,
+            serial_replication: config.serial_replication,
+        }
+    }
+}
+
+/// Sharded registry of per-key write locks.
+///
+/// A writer holds its key's lock across version assignment, replica I/O,
+/// metadata persistence and cache update, which linearizes writes per key
+/// without serializing unrelated keys. Entries are dropped again when a
+/// delete leaves no other holder, so the registry tracks live keys rather
+/// than every key ever written.
+struct KeyLocks {
+    shards: Vec<Mutex<HashMap<String, Arc<Mutex<()>>>>>,
+}
+
+impl KeyLocks {
+    fn new(shards: usize) -> Self {
+        KeyLocks {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<HashMap<String, Arc<Mutex<()>>>> {
+        &self.shards[shard_index(key, self.shards.len())]
+    }
+
+    fn lock_for(&self, key: &str) -> Arc<Mutex<()>> {
+        Arc::clone(
+            self.shard(key)
+                .lock()
+                .entry(key.to_string())
+                .or_insert_with(|| Arc::new(Mutex::new(()))),
+        )
+    }
+
+    /// Drops `key`'s registry entry if `held` (the caller's clone) and the
+    /// registry itself are the only holders. New clones are only handed
+    /// out under the shard lock, so the count cannot grow concurrently.
+    fn release_if_unused(&self, key: &str, held: &Arc<Mutex<()>>) {
+        let mut shard = self.shard(key).lock();
+        if Arc::strong_count(held) == 2 {
+            shard.remove(key);
+        }
+    }
+}
 
 /// The storage layer of one controller instance.
 pub struct PesosStore {
@@ -29,8 +134,10 @@ pub struct PesosStore {
     crypter: ObjectCrypter,
     object_cache: ObjectCache,
     policy_cache: PolicyCache,
-    metadata: RwLock<HashMap<String, ObjectMetadata>>,
+    metadata: ShardedMetadata,
+    key_locks: KeyLocks,
     replication_factor: usize,
+    serial_replication: bool,
     asyscall: Arc<AsyscallInterface>,
     enclave: Arc<Enclave>,
 }
@@ -38,14 +145,11 @@ pub struct PesosStore {
 impl PesosStore {
     /// Creates the store over an already bootstrapped set of drives and
     /// authenticated clients (one per drive, in drive order).
-    #[allow(clippy::too_many_arguments)]
     pub fn new(
         drives: DriveSet,
         clients: Vec<Arc<KineticClient>>,
         crypter: ObjectCrypter,
-        object_cache_bytes: usize,
-        policy_cache_capacity: usize,
-        replication_factor: usize,
+        options: StoreOptions,
         asyscall: Arc<AsyscallInterface>,
         enclave: Arc<Enclave>,
     ) -> Self {
@@ -53,10 +157,12 @@ impl PesosStore {
             drives,
             clients,
             crypter,
-            object_cache: ObjectCache::new(object_cache_bytes),
-            policy_cache: PolicyCache::new(policy_cache_capacity),
-            metadata: RwLock::new(HashMap::new()),
-            replication_factor,
+            object_cache: ObjectCache::with_shards(options.object_cache_bytes, options.lock_shards),
+            policy_cache: PolicyCache::new(options.policy_cache_capacity),
+            metadata: ShardedMetadata::new(options.lock_shards),
+            key_locks: KeyLocks::new(options.lock_shards),
+            replication_factor: options.replication_factor,
+            serial_replication: options.serial_replication,
             asyscall,
             enclave,
         }
@@ -77,6 +183,13 @@ impl PesosStore {
         self.policy_cache.stats()
     }
 
+    /// Statistics of the asynchronous system-call interface the store
+    /// drives; exposes how many scatter-gather batches were issued and the
+    /// peak I/O concurrency reached.
+    pub fn asyscall_stats(&self) -> pesos_sgx::AsyscallStats {
+        self.asyscall.stats()
+    }
+
     fn online_indices(&self) -> Vec<usize> {
         self.drives.online_indices()
     }
@@ -90,7 +203,12 @@ impl PesosStore {
         )
     }
 
-    fn backend_put(&self, drive_index: usize, key: Vec<u8>, value: Vec<u8>) -> Result<(), PesosError> {
+    fn backend_put(
+        &self,
+        drive_index: usize,
+        key: Arc<[u8]>,
+        value: Payload,
+    ) -> Result<(), PesosError> {
         let client = Arc::clone(&self.clients[drive_index]);
         self.enclave.charge_boundary_copy(value.len());
         let result = self
@@ -99,47 +217,105 @@ impl PesosStore {
         result.map_err(PesosError::from)
     }
 
-    fn backend_get(&self, drive_index: usize, key: Vec<u8>) -> Result<Vec<u8>, KineticError> {
+    fn backend_delete(&self, drive_index: usize, key: Arc<[u8]>) {
         let client = Arc::clone(&self.clients[drive_index]);
-        let result = self
-            .asyscall
-            .submit(move || client.get(&key))
-            .map_err(|_| KineticError::ConnectionClosed)?;
-        result.map(|(value, _version)| value)
-    }
-
-    fn backend_delete(&self, drive_index: usize, key: Vec<u8>) {
-        let client = Arc::clone(&self.clients[drive_index]);
-        let _ = self.asyscall.submit(move || client.delete(&key, &[], true));
+        let _ = self.asyscall.submit(move || {
+            let _ = client.delete(&key, &[], true);
+        });
     }
 
     /// Writes `encoded` to every placement target of `placement_key`.
-    fn replicated_put(&self, placement_key: &str, backend_key: Vec<u8>, encoded: Vec<u8>) -> Result<(), PesosError> {
+    ///
+    /// The default path enqueues one PUT per replica as a single
+    /// scatter-gather batch and joins the whole set once (first error
+    /// wins); the payload and backend key are shared buffers, so each
+    /// replica costs a reference-count bump, not a copy.
+    fn replicated_put(
+        &self,
+        placement_key: &str,
+        backend_key: Arc<[u8]>,
+        encoded: Payload,
+    ) -> Result<(), PesosError> {
         let targets = self.targets_for(placement_key);
         if targets.is_empty() {
             return Err(PesosError::Backend("no online drives".into()));
         }
-        for index in targets {
-            self.backend_put(index, backend_key.clone(), encoded.clone())?;
+        if self.serial_replication {
+            for index in targets {
+                self.backend_put(index, Arc::clone(&backend_key), encoded.clone())?;
+            }
+            return Ok(());
+        }
+
+        for _ in &targets {
+            self.enclave.charge_boundary_copy(encoded.len());
+        }
+        let set = self.asyscall.submit_batch(targets.iter().map(|&index| {
+            let client = Arc::clone(&self.clients[index]);
+            let key = Arc::clone(&backend_key);
+            let value = encoded.clone();
+            move || client.put(&key, value, &[], b"pesos", true)
+        }))?;
+        for result in set.join()? {
+            result.map_err(PesosError::from)?;
         }
         Ok(())
     }
 
-    /// Reads `backend_key` from the first reachable replica of
-    /// `placement_key`.
-    fn replicated_get(&self, placement_key: &str, backend_key: Vec<u8>) -> Result<Vec<u8>, PesosError> {
+    /// Reads `backend_key` from the replicas of `placement_key`.
+    ///
+    /// All reachable replicas are raced through one scatter-gather batch;
+    /// the first successful completion wins and the remaining reads drain
+    /// in the background.
+    fn replicated_get(
+        &self,
+        placement_key: &str,
+        backend_key: Arc<[u8]>,
+    ) -> Result<Payload, PesosError> {
         let targets = self.targets_for(placement_key);
-        let mut last_err = PesosError::Backend("no online drives".into());
-        for index in targets {
-            match self.backend_get(index, backend_key.clone()) {
-                Ok(v) => return Ok(v),
-                Err(KineticError::NotFound) => {
-                    last_err = PesosError::ObjectNotFound(placement_key.to_string())
+        let not_found = || PesosError::ObjectNotFound(placement_key.to_string());
+        if targets.is_empty() {
+            return Err(PesosError::Backend("no online drives".into()));
+        }
+
+        if self.serial_replication {
+            let mut last_err = PesosError::Backend("no online drives".into());
+            for index in targets {
+                let client = Arc::clone(&self.clients[index]);
+                let key = Arc::clone(&backend_key);
+                let result = self
+                    .asyscall
+                    .submit(move || client.get(&key))
+                    .map_err(|_| KineticError::ConnectionClosed);
+                match result.and_then(|r| r) {
+                    Ok((value, _version)) => return Ok(value),
+                    Err(KineticError::NotFound) => last_err = not_found(),
+                    Err(e) => last_err = PesosError::Backend(e.to_string()),
                 }
-                Err(e) => last_err = PesosError::Backend(e.to_string()),
+            }
+            return Err(last_err);
+        }
+
+        let mut set = self.asyscall.submit_batch(targets.iter().map(|&index| {
+            let client = Arc::clone(&self.clients[index]);
+            let key = Arc::clone(&backend_key);
+            move || client.get(&key)
+        }))?;
+        let mut saw_not_found = false;
+        let mut last_err: Option<PesosError> = None;
+        while let Some((_index, result)) = set.next_completed() {
+            match result {
+                Ok(Ok((value, _version))) => return Ok(value),
+                Ok(Err(KineticError::NotFound)) => saw_not_found = true,
+                Ok(Err(e)) => last_err = Some(PesosError::Backend(e.to_string())),
+                Err(e) => last_err = Some(PesosError::Backend(e.to_string())),
             }
         }
-        Err(last_err)
+        if saw_not_found {
+            Err(not_found())
+        } else {
+            Err(last_err.unwrap_or_else(|| PesosError::Backend("no online drives".into())))
+        }
     }
 
     // ------------------------------------------------------------------
@@ -153,10 +329,17 @@ impl PesosStore {
     }
 
     /// Persists an already compiled policy.
-    pub fn store_compiled_policy(&self, policy: Arc<CompiledPolicy>) -> Result<PolicyId, PesosError> {
+    pub fn store_compiled_policy(
+        &self,
+        policy: Arc<CompiledPolicy>,
+    ) -> Result<PolicyId, PesosError> {
         let id = policy.id();
         let bytes = policy.to_bytes();
-        self.replicated_put(&id.to_hex(), policy_key(&id.to_hex()), bytes)?;
+        self.replicated_put(
+            &id.to_hex(),
+            Arc::from(policy_key(&id.to_hex())),
+            bytes.into(),
+        )?;
         self.policy_cache.insert(policy);
         Ok(id)
     }
@@ -168,7 +351,7 @@ impl PesosStore {
             return Ok(p);
         }
         let bytes = self
-            .replicated_get(&id.to_hex(), policy_key(&id.to_hex()))
+            .replicated_get(&id.to_hex(), Arc::from(policy_key(&id.to_hex())))
             .map_err(|_| PesosError::PolicyNotFound(id.to_hex()))?;
         let policy = Arc::new(CompiledPolicy::from_bytes(&bytes)?);
         if policy.id() != *id {
@@ -184,16 +367,34 @@ impl PesosStore {
 
     /// Returns the metadata for `key`, reading through to the drives on a
     /// cold start.
+    ///
+    /// The read-through (drive read + map fill) runs under the key write
+    /// lock: filling without it could insert metadata a concurrent delete
+    /// or newer put has already superseded, resurrecting deleted objects
+    /// or rolling versions back. The warm path (map hit) stays lock-free.
     pub fn get_metadata(&self, key: &str) -> Option<ObjectMetadata> {
-        if let Some(m) = self.metadata.read().get(key) {
-            return Some(m.clone());
+        if let Some(m) = self.metadata.get(key) {
+            return Some(m);
         }
-        match self.replicated_get(key, meta_key(key)) {
+        let key_lock = self.key_locks.lock_for(key);
+        let fill_guard = key_lock.lock();
+        let out = self.load_metadata_locked(key);
+        drop(fill_guard);
+        self.key_locks.release_if_unused(key, &key_lock);
+        out
+    }
+
+    /// The read-through body of [`PesosStore::get_metadata`]; the caller
+    /// must hold `key`'s write lock, which makes the drive read
+    /// authoritative (no delete or put can run concurrently for this key).
+    fn load_metadata_locked(&self, key: &str) -> Option<ObjectMetadata> {
+        if let Some(m) = self.metadata.get(key) {
+            return Some(m);
+        }
+        match self.replicated_get(key, Arc::from(meta_key(key))) {
             Ok(bytes) => {
                 let meta = ObjectMetadata::from_bytes(&bytes).ok()?;
-                self.metadata
-                    .write()
-                    .insert(key.to_string(), meta.clone());
+                self.metadata.insert(meta.clone());
                 Some(meta)
             }
             Err(_) => None,
@@ -201,10 +402,12 @@ impl PesosStore {
     }
 
     fn persist_metadata(&self, meta: &ObjectMetadata) -> Result<(), PesosError> {
-        self.replicated_put(&meta.key, meta_key(&meta.key), meta.to_bytes())?;
-        self.metadata
-            .write()
-            .insert(meta.key.clone(), meta.clone());
+        self.replicated_put(
+            &meta.key,
+            Arc::from(meta_key(&meta.key)),
+            meta.to_bytes().into(),
+        )?;
+        self.metadata.insert(meta.clone());
         Ok(())
     }
 
@@ -215,24 +418,53 @@ impl PesosStore {
     /// Stores a new version of `key` and returns the version number.
     ///
     /// The caller (controller) is responsible for policy checks; the store
-    /// only enforces the mechanical version sequence.
+    /// only enforces the mechanical version sequence. Writes to the same
+    /// key are linearized through its key lock; writes to different keys
+    /// proceed concurrently.
     pub fn put_object(
         &self,
         key: &str,
         value: &[u8],
         policy_id: Option<PolicyId>,
     ) -> Result<u64, PesosError> {
+        self.put_object_cas(key, value, policy_id, None)
+    }
+
+    /// Like [`PesosStore::put_object`] but with compare-and-swap semantics:
+    /// when `expected_version` is given, the write only succeeds if it
+    /// lands exactly at that version. The check runs under the key lock, so
+    /// two racing writers expecting the same version cannot both succeed —
+    /// the policy layer's pre-write `nextVersion` check alone cannot
+    /// guarantee that, because it runs before the lock is taken.
+    pub fn put_object_cas(
+        &self,
+        key: &str,
+        value: &[u8],
+        policy_id: Option<PolicyId>,
+        expected_version: Option<u64>,
+    ) -> Result<u64, PesosError> {
+        let key_lock = self.key_locks.lock_for(key);
+        let _write_guard = key_lock.lock();
+
         let mut meta = self
-            .get_metadata(key)
+            .load_metadata_locked(key)
             .unwrap_or_else(|| ObjectMetadata::new(key));
         let new_version = if meta.versions.is_empty() {
             0
         } else {
             meta.latest_version + 1
         };
+        if let Some(expected) = expected_version {
+            if expected != new_version {
+                return Err(PesosError::VersionConflict {
+                    expected,
+                    got: new_version,
+                });
+            }
+        }
 
-        let encoded = self.crypter.seal(key, new_version, value);
-        self.replicated_put(key, data_key(key, new_version), encoded)?;
+        let encoded: Payload = self.crypter.seal(key, new_version, value).into();
+        self.replicated_put(key, Arc::from(data_key(key, new_version)), encoded)?;
 
         let policy_hash = policy_id
             .or(meta.policy_id)
@@ -265,43 +497,99 @@ impl PesosStore {
         let version = meta.latest_version;
         let value = self.get_object_version(key, version)?;
         let value = Arc::new(value);
-        self.object_cache.put(key, Arc::clone(&value), version);
+        // Fill the cache under the key lock, and only if what we read from
+        // the drives is still the latest content: without the re-check, a
+        // delete or a newer write completing between our drive read and
+        // this insert would be shadowed by the stale value indefinitely.
+        // The hash comparison also covers delete-and-recreate, where the
+        // version numbers restart and can collide.
+        {
+            // Hash outside the lock: the value is immutable and SHA-256 is
+            // the expensive part; only the metadata comparison needs the
+            // lock.
+            let value_hash = pesos_crypto::sha256(&value);
+            let key_lock = self.key_locks.lock_for(key);
+            let fill_guard = key_lock.lock();
+            let still_latest = self.metadata.get(key).is_some_and(|m| {
+                m.latest_version == version
+                    && m.version(version)
+                        .is_some_and(|v| v.value_hash == value_hash)
+            });
+            if still_latest {
+                self.object_cache.put(key, Arc::clone(&value), version);
+            }
+            drop(fill_guard);
+            self.key_locks.release_if_unused(key, &key_lock);
+        }
         Ok((value, version))
     }
 
     /// Retrieves a specific stored version of `key` (used by versioned-store
     /// history reads and `objSays` evaluation).
     pub fn get_object_version(&self, key: &str, version: u64) -> Result<Vec<u8>, PesosError> {
-        let stored = self.replicated_get(key, data_key(key, version))?;
+        let stored = self.replicated_get(key, Arc::from(data_key(key, version)))?;
         self.crypter
             .unseal(key, version, &stored)
             .map_err(|e| PesosError::Backend(format!("decryption failed: {e}")))
     }
 
     /// Deletes `key` (all retained versions and its metadata).
+    ///
+    /// All per-version, per-replica deletes go out as one scatter-gather
+    /// batch that is joined before the key lock is released, so a put that
+    /// re-creates the key afterwards can never race a still-queued delete.
     pub fn delete_object(&self, key: &str) -> Result<(), PesosError> {
+        let key_lock = self.key_locks.lock_for(key);
+        let write_guard = key_lock.lock();
+
         let meta = self
-            .get_metadata(key)
+            .load_metadata_locked(key)
             .ok_or_else(|| PesosError::ObjectNotFound(key.to_string()))?;
         let targets = self.targets_for(key);
-        for v in &meta.versions {
-            for &index in &targets {
-                self.backend_delete(index, data_key(key, v.version));
+        let mut backend_keys: Vec<Arc<[u8]>> = meta
+            .versions
+            .iter()
+            .map(|v| Arc::from(data_key(key, v.version)))
+            .collect();
+        backend_keys.push(Arc::from(meta_key(key)));
+
+        if self.serial_replication {
+            for backend_key in &backend_keys {
+                for &index in &targets {
+                    self.backend_delete(index, Arc::clone(backend_key));
+                }
             }
+        } else {
+            let set = self
+                .asyscall
+                .submit_batch(backend_keys.iter().flat_map(|backend_key| {
+                    targets.iter().map(|&index| {
+                        let client = Arc::clone(&self.clients[index]);
+                        let backend_key = Arc::clone(backend_key);
+                        move || {
+                            // Missing replicas are fine: the key may never
+                            // have reached this drive.
+                            let _ = client.delete(&backend_key, &[], true);
+                        }
+                    })
+                }))?;
+            set.join()?;
         }
-        for &index in &targets {
-            self.backend_delete(index, meta_key(key));
-        }
-        self.metadata.write().remove(key);
+        self.metadata.remove(key);
         self.object_cache.invalidate(key);
+        drop(write_guard);
+        self.key_locks.release_if_unused(key, &key_lock);
         Ok(())
     }
 
     /// Associates `policy_id` with an existing object without changing its
     /// contents.
     pub fn attach_policy(&self, key: &str, policy_id: PolicyId) -> Result<(), PesosError> {
+        let key_lock = self.key_locks.lock_for(key);
+        let _write_guard = key_lock.lock();
+
         let mut meta = self
-            .get_metadata(key)
+            .load_metadata_locked(key)
             .ok_or_else(|| PesosError::ObjectNotFound(key.to_string()))?;
         meta.policy_id = Some(policy_id);
         self.persist_metadata(&meta)
@@ -372,7 +660,7 @@ mod tests {
     use pesos_kinetic::{ClientConfig, DriveConfig, KineticDrive};
     use pesos_sgx::{EnclaveConfig, ExecutionMode, SgxCostModel};
 
-    fn store(drive_count: usize, replication: usize) -> PesosStore {
+    fn store_with(drive_count: usize, replication: usize, serial: bool) -> PesosStore {
         let drives: Vec<Arc<KineticDrive>> = (0..drive_count)
             .map(|i| Arc::new(KineticDrive::new(DriveConfig::simulator(format!("kd-{i}")))))
             .collect();
@@ -386,17 +674,25 @@ mod tests {
             .collect();
         let cost = pesos_sgx::cost::ModeCost::new(ExecutionMode::Native, SgxCostModel::zero());
         let enclave = Arc::new(Enclave::create(EnclaveConfig::default(), cost).unwrap());
-        let asyscall = Arc::new(AsyscallInterface::new(2, 16, cost));
+        let asyscall = Arc::new(AsyscallInterface::new(4, 16, cost));
         PesosStore::new(
             DriveSet::from_drives(drives),
             clients,
             ObjectCrypter::new(&[1u8; 32], true),
-            1024 * 1024,
-            128,
-            replication,
+            StoreOptions {
+                object_cache_bytes: 1024 * 1024,
+                policy_cache_capacity: 128,
+                replication_factor: replication,
+                lock_shards: 8,
+                serial_replication: serial,
+            },
             asyscall,
             enclave,
         )
+    }
+
+    fn store(drive_count: usize, replication: usize) -> PesosStore {
+        store_with(drive_count, replication, false)
     }
 
     #[test]
@@ -467,6 +763,67 @@ mod tests {
     }
 
     #[test]
+    fn replicated_put_issues_replica_writes_as_one_batch() {
+        let s = store(3, 3);
+        let before = s.asyscall_stats();
+        s.put_object("batched", b"payload", None).unwrap();
+        let after = s.asyscall_stats();
+        // One batch for the 3 data replicas, one for the 3 metadata
+        // replicas (plus a raced metadata read batch on the cold lookup).
+        assert!(
+            after.batches >= before.batches + 2,
+            "no scatter-gather batches were issued: {after:?}"
+        );
+        let copies = s
+            .drives()
+            .iter()
+            .filter(|d| d.peek(&data_key("batched", 0)).is_some())
+            .count();
+        assert_eq!(copies, 3);
+    }
+
+    #[test]
+    fn serial_and_batched_replication_produce_identical_drive_state() {
+        let serial = store_with(3, 2, true);
+        let batched = store_with(3, 2, false);
+        for s in [&serial, &batched] {
+            for i in 0..20 {
+                let key = format!("obj/{i}");
+                s.put_object(&key, format!("v0 of {i}").as_bytes(), None)
+                    .unwrap();
+                if i % 3 == 0 {
+                    s.put_object(&key, format!("v1 of {i}").as_bytes(), None)
+                        .unwrap();
+                }
+                if i % 5 == 0 {
+                    s.delete_object(&key).unwrap();
+                }
+            }
+        }
+        for (a, b) in serial.drives().iter().zip(batched.drives().iter()) {
+            assert_eq!(a.key_count(), b.key_count());
+        }
+        for i in 0..20 {
+            if i % 5 == 0 {
+                continue; // deleted
+            }
+            let key = format!("obj/{i}");
+            for version in 0..=u64::from(i % 3 == 0) {
+                let raw_key = data_key(&key, version);
+                for (a, b) in serial.drives().iter().zip(batched.drives().iter()) {
+                    match (a.peek(&raw_key), b.peek(&raw_key)) {
+                        (Some(x), Some(y)) => {
+                            assert_eq!(x.value, y.value, "divergent replica for {key} v{version}")
+                        }
+                        (None, None) => {}
+                        other => panic!("presence mismatch for {key} v{version}: {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn reads_survive_primary_drive_failure_with_replication() {
         let s = store(3, 2);
         s.put_object("ha-object", b"payload", None).unwrap();
@@ -493,7 +850,8 @@ mod tests {
     fn view_exposes_object_facts() {
         let s = store(1, 1);
         s.put_object("doc", b"hello world", None).unwrap();
-        s.put_object("doc.log", b"read(\"doc\",0,\"alice\")", None).unwrap();
+        s.put_object("doc.log", b"read(\"doc\",0,\"alice\")", None)
+            .unwrap();
         let view = s.view();
         assert!(view.exists("doc"));
         assert!(!view.exists("nope"));
@@ -506,5 +864,59 @@ mod tests {
         let tuples = view.object_tuples("doc.log", 0);
         assert_eq!(tuples.len(), 1);
         assert_eq!(tuples[0].name, "read");
+    }
+
+    #[test]
+    fn put_object_cas_rejects_wrong_expected_version() {
+        let s = store(1, 1);
+        assert_eq!(s.put_object_cas("doc", b"v0", None, Some(0)).unwrap(), 0);
+        assert!(matches!(
+            s.put_object_cas("doc", b"v2", None, Some(2)),
+            Err(PesosError::VersionConflict {
+                expected: 2,
+                got: 1
+            })
+        ));
+        assert_eq!(s.put_object_cas("doc", b"v1", None, Some(1)).unwrap(), 1);
+        // Racing CAS writers expecting the same version: exactly one wins.
+        let s = Arc::new(store(1, 1));
+        s.put_object("raced", b"v0", None).unwrap();
+        let winners: usize = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || s.put_object_cas("raced", b"new", None, Some(1)).is_ok())
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&won| won)
+            .count();
+        assert_eq!(winners, 1, "exactly one CAS writer must land at version 1");
+        assert_eq!(s.get_metadata("raced").unwrap().latest_version, 1);
+    }
+
+    #[test]
+    fn concurrent_writers_to_one_key_get_distinct_contiguous_versions() {
+        let s = Arc::new(store(1, 1));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                (0..5)
+                    .map(|_| s.put_object("contended", b"x", None).unwrap())
+                    .collect::<Vec<u64>>()
+            }));
+        }
+        let mut versions: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        versions.sort_unstable();
+        let expected: Vec<u64> = (0..40).collect();
+        assert_eq!(
+            versions, expected,
+            "versions must be distinct and contiguous"
+        );
+        assert_eq!(s.get_metadata("contended").unwrap().latest_version, 39);
     }
 }

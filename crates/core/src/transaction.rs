@@ -150,9 +150,9 @@ impl TransactionManager {
     {
         let tx = {
             let mut txs = self.transactions.lock();
-            let tx = txs
-                .get(&id)
-                .ok_or_else(|| PesosError::TransactionAborted(format!("unknown transaction {id}")))?;
+            let tx = txs.get(&id).ok_or_else(|| {
+                PesosError::TransactionAborted(format!("unknown transaction {id}"))
+            })?;
             if tx.owner != owner {
                 return Err(PesosError::TransactionAborted(
                     "transaction owned by a different client".into(),
@@ -261,7 +261,9 @@ mod tests {
         assert_eq!(outcome.write_versions, vec![0]);
         assert_eq!(mgr.open_count(), 0);
         // Committing twice fails.
-        assert!(mgr.commit(id, "alice", |_, _| Ok(TxOutcome::default())).is_err());
+        assert!(mgr
+            .commit(id, "alice", |_, _| Ok(TxOutcome::default()))
+            .is_err());
     }
 
     #[test]
@@ -270,7 +272,9 @@ mod tests {
         let id = mgr.create("alice");
         assert!(mgr.add_read(id, "bob", "x").is_err());
         assert!(mgr.abort(id, "bob").is_err());
-        assert!(mgr.commit(id, "bob", |_, _| Ok(TxOutcome::default())).is_err());
+        assert!(mgr
+            .commit(id, "bob", |_, _| Ok(TxOutcome::default()))
+            .is_err());
         mgr.abort(id, "alice").unwrap();
         assert!(mgr.abort(id, "alice").is_err());
     }
@@ -305,7 +309,8 @@ mod tests {
             },
         )
         .unwrap();
-        mgr.commit(id2, "c", |_, _| Ok(TxOutcome::default())).unwrap();
+        mgr.commit(id2, "c", |_, _| Ok(TxOutcome::default()))
+            .unwrap();
     }
 
     #[test]

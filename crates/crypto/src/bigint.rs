@@ -26,7 +26,9 @@ impl U256 {
     /// The value zero.
     pub const ZERO: U256 = U256 { limbs: [0; 4] };
     /// The value one.
-    pub const ONE: U256 = U256 { limbs: [1, 0, 0, 0] };
+    pub const ONE: U256 = U256 {
+        limbs: [1, 0, 0, 0],
+    };
 
     /// Constructs from a `u64`.
     pub const fn from_u64(v: u64) -> Self {
@@ -94,10 +96,10 @@ impl U256 {
     pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = 0u64;
-        for i in 0..4 {
+        for (i, o) in out.iter_mut().enumerate() {
             let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
             let (s2, c2) = s1.overflowing_add(carry);
-            out[i] = s2;
+            *o = s2;
             carry = (c1 as u64) + (c2 as u64);
         }
         (U256 { limbs: out }, carry != 0)
@@ -107,10 +109,10 @@ impl U256 {
     pub fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = 0u64;
-        for i in 0..4 {
+        for (i, o) in out.iter_mut().enumerate() {
             let (d1, b1) = self.limbs[i].overflowing_sub(rhs.limbs[i]);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            out[i] = d2;
+            *o = d2;
             borrow = (b1 as u64) + (b2 as u64);
         }
         (U256 { limbs: out }, borrow != 0)
@@ -122,9 +124,8 @@ impl U256 {
         for i in 0..4 {
             let mut carry: u128 = 0;
             for j in 0..4 {
-                let cur = out[i + j] as u128
-                    + (self.limbs[i] as u128) * (rhs.limbs[j] as u128)
-                    + carry;
+                let cur =
+                    out[i + j] as u128 + (self.limbs[i] as u128) * (rhs.limbs[j] as u128) + carry;
                 out[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -206,8 +207,8 @@ impl U256 {
     fn shl1_mod(self, m: &U256) -> U256 {
         let mut out = [0u64; 4];
         let mut carry = 0u64;
-        for i in 0..4 {
-            out[i] = (self.limbs[i] << 1) | carry;
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = (self.limbs[i] << 1) | carry;
             carry = self.limbs[i] >> 63;
         }
         let shifted = U256 { limbs: out };
@@ -260,6 +261,7 @@ impl U256 {
     }
 
     /// Reduces `self` modulo `m`.
+    #[allow(clippy::should_implement_trait)]
     pub fn rem(self, m: &U256) -> U256 {
         let mut wide = [0u64; 8];
         wide[..4].copy_from_slice(&self.limbs);

@@ -70,6 +70,7 @@ pub struct Certificate {
 
 impl Certificate {
     /// Returns the canonical byte encoding that is signed.
+    #[allow(clippy::too_many_arguments)]
     fn to_signed_bytes(
         subject: &str,
         subject_key: &PublicKey,
@@ -290,7 +291,11 @@ impl std::fmt::Display for CertificateError {
                 write!(f, "chain element {index} outside validity window")
             }
             CertificateError::BrokenLink { index } => {
-                write!(f, "issuer of element {index} does not match element {}", index + 1)
+                write!(
+                    f,
+                    "issuer of element {index} does not match element {}",
+                    index + 1
+                )
             }
             CertificateError::UntrustedRoot => write!(f, "untrusted root certificate"),
         }
@@ -337,11 +342,7 @@ impl TrustStore {
     /// certificate, each `chain[i]` must be issued by `chain[i+1]`'s subject
     /// key, and the final certificate's issuer must be a trusted root (or
     /// itself a trusted root key if self-signed).
-    pub fn verify_chain(
-        &self,
-        chain: &[Certificate],
-        now: u64,
-    ) -> Result<(), CertificateError> {
+    pub fn verify_chain(&self, chain: &[Certificate], now: u64) -> Result<(), CertificateError> {
         if chain.is_empty() {
             return Err(CertificateError::EmptyChain);
         }
@@ -424,7 +425,9 @@ mod tests {
             .claim("time", vec!["1650000000".into()])
             .issue("svc:time", &intermediate);
 
-        store.verify_chain(&[leaf.clone(), ts_cert.clone()], 100).unwrap();
+        store
+            .verify_chain(&[leaf.clone(), ts_cert.clone()], 100)
+            .unwrap();
 
         // Chain with a wrong root fails.
         let other_store = TrustStore::new();
@@ -461,7 +464,10 @@ mod tests {
     #[test]
     fn empty_chain_rejected() {
         let store = TrustStore::new();
-        assert_eq!(store.verify_chain(&[], 0), Err(CertificateError::EmptyChain));
+        assert_eq!(
+            store.verify_chain(&[], 0),
+            Err(CertificateError::EmptyChain)
+        );
     }
 
     #[test]
@@ -480,8 +486,12 @@ mod tests {
     #[test]
     fn fingerprint_changes_with_content() {
         let ca = ca();
-        let a = CertificateBuilder::new("a", ca.public()).serial(1).issue("ca", &ca);
-        let b = CertificateBuilder::new("a", ca.public()).serial(2).issue("ca", &ca);
+        let a = CertificateBuilder::new("a", ca.public())
+            .serial(1)
+            .issue("ca", &ca);
+        let b = CertificateBuilder::new("a", ca.public())
+            .serial(2)
+            .issue("ca", &ca);
         assert_ne!(a.fingerprint(), b.fingerprint());
     }
 }

@@ -119,7 +119,10 @@ mod tests {
     #[test]
     fn rfc4231_long_key() {
         let key = [0xaa; 131];
-        let tag = HmacSha256::mac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let tag = HmacSha256::mac(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(
             hex_encode(&tag),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
@@ -131,7 +134,10 @@ mod tests {
         let mut h = HmacSha256::new(b"secret");
         h.update(b"part one, ");
         h.update(b"part two");
-        assert_eq!(h.finalize(), HmacSha256::mac(b"secret", b"part one, part two"));
+        assert_eq!(
+            h.finalize(),
+            HmacSha256::mac(b"secret", b"part one, part two")
+        );
     }
 
     #[test]

@@ -103,9 +103,7 @@ impl PublicKey {
         // r' = g^s * (y^e)^{-1} mod p.
         let gs = g.pow_mod(&sig.s, &p);
         let ye = self.y.pow_mod(&sig.e, &p);
-        let ye_inv = ye
-            .inv_mod_prime(&p)
-            .ok_or(CryptoError::InvalidSignature)?;
+        let ye_inv = ye.inv_mod_prime(&p).ok_or(CryptoError::InvalidSignature)?;
         let r_prime = gs.mul_mod(ye_inv, &p);
 
         let e_prime = challenge(&r_prime, message, &q);

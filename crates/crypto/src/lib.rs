@@ -72,7 +72,7 @@ pub fn hex_encode(data: &[u8]) -> String {
 /// Returns an error if the string has odd length or contains a non-hex
 /// character.
 pub fn hex_decode(s: &str) -> Result<Vec<u8>, CryptoError> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err(CryptoError::InvalidEncoding("odd-length hex string".into()));
     }
     let mut out = Vec::with_capacity(s.len() / 2);

@@ -60,8 +60,7 @@ impl HddModel {
     /// Service time for an operation touching `bytes` of data.
     pub fn service_time(&self, bytes: usize) -> Duration {
         let half_rotation = Duration::from_secs_f64(60.0 / self.rpm as f64 / 2.0 / 10.0);
-        let transfer =
-            Duration::from_secs_f64(bytes as f64 / self.transfer_rate as f64);
+        let transfer = Duration::from_secs_f64(bytes as f64 / self.transfer_rate as f64);
         self.avg_seek + half_rotation + transfer + self.controller_overhead
     }
 

@@ -18,7 +18,9 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 
 use crate::drive::KineticDrive;
 use crate::error::KineticError;
-use crate::protocol::{AccountSpec, Command, CommandBody, Envelope, MessageType, StatusCode};
+use crate::protocol::{
+    AccountSpec, Command, CommandBody, Envelope, MessageType, Payload, StatusCode,
+};
 
 /// Configuration of a client session.
 #[derive(Debug, Clone)]
@@ -162,9 +164,7 @@ impl KineticClient {
         let envelope = Envelope::decode(&resp_frame)?;
         // Responses are authenticated with the session secret; an error
         // response produced before authentication uses an empty secret.
-        let response = envelope
-            .open(secret)
-            .or_else(|_| envelope.open(&[]))?;
+        let response = envelope.open(secret).or_else(|_| envelope.open(&[]))?;
         Ok(response)
     }
 
@@ -194,7 +194,7 @@ impl KineticClient {
     pub fn put(
         &self,
         key: &[u8],
-        value: Vec<u8>,
+        value: impl Into<Payload>,
         expected_version: &[u8],
         new_version: &[u8],
         force: bool,
@@ -202,7 +202,7 @@ impl KineticClient {
         let mut cmd = self.next_command(MessageType::Put);
         cmd.body = CommandBody {
             key: key.to_vec(),
-            value,
+            value: value.into(),
             db_version: expected_version.to_vec(),
             new_version: new_version.to_vec(),
             force,
@@ -212,7 +212,7 @@ impl KineticClient {
     }
 
     /// Retrieves the value and version stored under `key`.
-    pub fn get(&self, key: &[u8]) -> Result<(Vec<u8>, Vec<u8>), KineticError> {
+    pub fn get(&self, key: &[u8]) -> Result<(Payload, Vec<u8>), KineticError> {
         let mut cmd = self.next_command(MessageType::Get);
         cmd.body.key = key.to_vec();
         let resp = self.exchange(&cmd)?;
@@ -279,11 +279,7 @@ impl KineticClient {
     }
 
     /// Runs device setup (cluster version change and/or erase).
-    pub fn setup(
-        &self,
-        new_cluster_version: Option<u64>,
-        erase: bool,
-    ) -> Result<(), KineticError> {
+    pub fn setup(&self, new_cluster_version: Option<u64>, erase: bool) -> Result<(), KineticError> {
         let mut cmd = self.next_command(MessageType::Setup);
         cmd.body.setup_new_cluster_version = new_cluster_version;
         cmd.body.setup_erase = erase;
@@ -295,7 +291,7 @@ impl KineticClient {
         let mut cmd = self.next_command(MessageType::GetLog);
         cmd.body.log_type = log_type.to_string();
         let resp = Self::check_success(self.exchange(&cmd)?)?;
-        String::from_utf8(resp.body.value)
+        String::from_utf8(resp.body.value.to_vec())
             .map_err(|_| KineticError::Malformed("log not UTF-8".into()))
     }
 
@@ -303,7 +299,7 @@ impl KineticClient {
     pub fn put_async(
         &self,
         key: &[u8],
-        value: Vec<u8>,
+        value: impl Into<Payload>,
         expected_version: &[u8],
         new_version: &[u8],
         force: bool,
@@ -311,7 +307,7 @@ impl KineticClient {
         let mut cmd = self.next_command(MessageType::Put);
         cmd.body = CommandBody {
             key: key.to_vec(),
-            value,
+            value: value.into(),
             db_version: expected_version.to_vec(),
             new_version: new_version.to_vec(),
             force,
@@ -368,7 +364,9 @@ mod tests {
     #[test]
     fn put_get_delete_cycle() {
         let (_drive, client) = connected();
-        client.put(b"user/1", b"alice".to_vec(), b"", b"v1", false).unwrap();
+        client
+            .put(b"user/1", b"alice".to_vec(), b"", b"v1", false)
+            .unwrap();
         let (value, version) = client.get(b"user/1").unwrap();
         assert_eq!(value, b"alice");
         assert_eq!(version, b"v1");
@@ -380,7 +378,9 @@ mod tests {
     fn version_conflicts_surface() {
         let (_drive, client) = connected();
         client.put(b"k", b"v1".to_vec(), b"", b"1", false).unwrap();
-        let err = client.put(b"k", b"v2".to_vec(), b"wrong", b"2", false).unwrap_err();
+        let err = client
+            .put(b"k", b"v2".to_vec(), b"wrong", b"2", false)
+            .unwrap_err();
         assert!(matches!(
             err,
             KineticError::Rejected {
@@ -394,7 +394,9 @@ mod tests {
     fn key_range_lists_keys() {
         let (_drive, client) = connected();
         for k in ["p/1", "p/2", "q/1"] {
-            client.put(k.as_bytes(), b"v".to_vec(), b"", b"1", false).unwrap();
+            client
+                .put(k.as_bytes(), b"v".to_vec(), b"", b"1", false)
+                .unwrap();
         }
         let keys = client.key_range(b"p/", b"p/~", 100).unwrap();
         assert_eq!(keys, vec![b"p/1".to_vec(), b"p/2".to_vec()]);
@@ -428,7 +430,9 @@ mod tests {
     #[test]
     fn async_delete_completes() {
         let (_drive, client) = connected();
-        client.put(b"gone", b"v".to_vec(), b"", b"1", false).unwrap();
+        client
+            .put(b"gone", b"v".to_vec(), b"", b"1", false)
+            .unwrap();
         let h = client.delete_async(b"gone", b"", true).unwrap();
         assert_eq!(h.wait().unwrap().status.code, StatusCode::Success);
         assert_eq!(client.get(b"gone"), Err(KineticError::NotFound));

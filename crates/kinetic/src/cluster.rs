@@ -98,7 +98,11 @@ mod tests {
 
     fn set(n: usize) -> DriveSet {
         let drives = (0..n)
-            .map(|i| Arc::new(KineticDrive::new(DriveConfig::simulator(format!("kd-{i:02}")))))
+            .map(|i| {
+                Arc::new(KineticDrive::new(DriveConfig::simulator(format!(
+                    "kd-{i:02}"
+                ))))
+            })
             .collect();
         DriveSet::from_drives(drives)
     }
@@ -130,21 +134,20 @@ mod tests {
         let s = set(2);
         let source = s.get(0).unwrap();
         // Store directly through the engine-peek path via a client-less put.
-        source
-            .execute(
-                &crate::drive::Account {
-                    identity: 1,
-                    secret: b"asdfasdf".to_vec(),
-                    permissions: crate::drive::Permission::all(),
-                },
-                &{
-                    let mut c = crate::protocol::Command::request(crate::protocol::MessageType::Put);
-                    c.body.key = b"obj".to_vec();
-                    c.body.value = b"data".to_vec();
-                    c.body.new_version = b"1".to_vec();
-                    c
-                },
-            );
+        source.execute(
+            &crate::drive::Account {
+                identity: 1,
+                secret: b"asdfasdf".to_vec(),
+                permissions: crate::drive::Permission::all(),
+            },
+            &{
+                let mut c = crate::protocol::Command::request(crate::protocol::MessageType::Put);
+                c.body.key = b"obj".to_vec();
+                c.body.value = b"data".into();
+                c.body.new_version = b"1".to_vec();
+                c
+            },
+        );
         let copied = s.p2p_push("kd-00", "kd-01", &[b"obj".to_vec()]).unwrap();
         assert_eq!(copied, 1);
         assert!(s.get(1).unwrap().peek(b"obj").is_some());

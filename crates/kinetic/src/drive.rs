@@ -18,9 +18,7 @@ use pesos_crypto::{Certificate, CertificateBuilder, KeyPair};
 use crate::backend::{BackendKind, DriveBackend, HddModel};
 use crate::engine::{DriveEngine, EngineStats, StoredEntry};
 use crate::error::KineticError;
-use crate::protocol::{
-    AccountSpec, Command, Envelope, MessageType, ResponseStatus, StatusCode,
-};
+use crate::protocol::{AccountSpec, Command, Envelope, MessageType, ResponseStatus, StatusCode};
 
 /// Permission bits for drive operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -298,10 +296,7 @@ impl KineticDrive {
     }
 
     #[allow(clippy::type_complexity)]
-    fn handle_frame_inner(
-        &self,
-        frame: &[u8],
-    ) -> Result<Vec<u8>, (Option<Vec<u8>>, KineticError)> {
+    fn handle_frame_inner(&self, frame: &[u8]) -> Result<Vec<u8>, (Option<Vec<u8>>, KineticError)> {
         if !self.is_online() {
             return Err((
                 None,
@@ -442,17 +437,16 @@ impl KineticDrive {
         } else {
             command.body.max_returned as usize
         };
-        let keys = self.engine.lock().key_range(
-            &command.body.range_start,
-            &command.body.range_end,
-            max,
-        );
+        let keys =
+            self.engine
+                .lock()
+                .key_range(&command.body.range_start, &command.body.range_end, max);
         self.backend
             .charge_io(keys.iter().map(|k| k.len()).sum::<usize>());
         let mut resp = Command::response_to(command, StatusCode::Success, "");
         // Keys are returned newline-separated in the value field (the real
         // protocol uses a repeated field; this keeps the codec small).
-        resp.body.value = keys.join(&b"\n"[..]);
+        resp.body.value = keys.join(&b"\n"[..]).into();
         resp
     }
 
@@ -509,7 +503,8 @@ impl KineticDrive {
             info.stats.keys,
             info.cluster_version
         )
-        .into_bytes();
+        .into_bytes()
+        .into();
         resp
     }
 
@@ -577,7 +572,7 @@ mod tests {
         let d = drive();
         let mut put = Command::request(MessageType::Put);
         put.body.key = b"k".to_vec();
-        put.body.value = b"v".to_vec();
+        put.body.value = b"v".into();
         put.body.new_version = b"1".to_vec();
         let resp = roundtrip(&d, &put);
         assert_eq!(resp.status.code, StatusCode::Success);
@@ -660,7 +655,7 @@ mod tests {
 
         let mut put = Command::request(MessageType::Put);
         put.body.key = b"k".to_vec();
-        put.body.value = b"v".to_vec();
+        put.body.value = b"v".into();
         put.body.new_version = b"1".to_vec();
         let frame = Envelope::seal(2, b"reader", &put).encode();
         let env = Envelope::decode(&d.handle_frame(&frame)).unwrap();
@@ -695,7 +690,7 @@ mod tests {
         let d = drive();
         let mut put = Command::request(MessageType::Put);
         put.body.key = b"k".to_vec();
-        put.body.value = b"v".to_vec();
+        put.body.value = b"v".into();
         put.body.new_version = b"1".to_vec();
         roundtrip(&d, &put);
         assert_eq!(d.key_count(), 1);
@@ -713,7 +708,7 @@ mod tests {
         log.body.log_type = "utilization".to_string();
         let resp = roundtrip(&d, &log);
         assert_eq!(resp.status.code, StatusCode::Success);
-        let text = String::from_utf8(resp.body.value).unwrap();
+        let text = String::from_utf8(resp.body.value.to_vec()).unwrap();
         assert!(text.contains("id=kd-test"));
         assert!(text.contains("cluster_version=0"));
     }
@@ -724,7 +719,7 @@ mod tests {
         for k in ["a/1", "a/2", "b/1"] {
             let mut put = Command::request(MessageType::Put);
             put.body.key = k.as_bytes().to_vec();
-            put.body.value = b"v".to_vec();
+            put.body.value = b"v".into();
             put.body.new_version = b"1".to_vec();
             roundtrip(&d, &put);
         }
@@ -733,7 +728,7 @@ mod tests {
         range.body.range_end = b"a/~".to_vec();
         let resp = roundtrip(&d, &range);
         assert_eq!(resp.status.code, StatusCode::Success);
-        let keys = String::from_utf8(resp.body.value).unwrap();
+        let keys = String::from_utf8(resp.body.value.to_vec()).unwrap();
         assert_eq!(keys, "a/1\na/2");
     }
 
@@ -756,7 +751,7 @@ mod tests {
         let target = KineticDrive::new(DriveConfig::simulator("kd-target"));
         let mut put = Command::request(MessageType::Put);
         put.body.key = b"replicate-me".to_vec();
-        put.body.value = b"payload".to_vec();
+        put.body.value = b"payload".into();
         put.body.new_version = b"3".to_vec();
         roundtrip(&source, &put);
 
@@ -769,7 +764,9 @@ mod tests {
         assert_eq!(entry.version, b"3");
 
         target.set_online(false);
-        assert!(source.push_to(&target, &[b"replicate-me".to_vec()]).is_err());
+        assert!(source
+            .push_to(&target, &[b"replicate-me".to_vec()])
+            .is_err());
     }
 
     #[test]

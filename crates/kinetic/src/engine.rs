@@ -9,12 +9,13 @@
 use std::collections::BTreeMap;
 
 use crate::error::KineticError;
+use crate::protocol::Payload;
 
 /// A stored entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoredEntry {
-    /// The value bytes.
-    pub value: Vec<u8>,
+    /// The value bytes (shared, immutable).
+    pub value: Payload,
     /// The entry version (opaque bytes chosen by the writer).
     pub version: Vec<u8>,
 }
@@ -105,12 +106,13 @@ impl DriveEngine {
     pub fn put(
         &mut self,
         key: &[u8],
-        value: Vec<u8>,
+        value: impl Into<Payload>,
         expected_version: &[u8],
         new_version: Vec<u8>,
         force: bool,
     ) -> Result<(), KineticError> {
         self.stats.puts += 1;
+        let value: Payload = value.into();
         let existing = self.entries.get(key);
         if !force {
             let actual = existing.map(|e| e.version.as_slice()).unwrap_or(&[]);
@@ -197,7 +199,8 @@ mod tests {
     #[test]
     fn put_get_round_trip() {
         let mut e = engine();
-        e.put(b"k1", b"v1".to_vec(), b"", b"1".to_vec(), false).unwrap();
+        e.put(b"k1", b"v1".to_vec(), b"", b"1".to_vec(), false)
+            .unwrap();
         let entry = e.get(b"k1").unwrap();
         assert_eq!(entry.value, b"v1");
         assert_eq!(entry.version, b"1");
@@ -213,26 +216,38 @@ mod tests {
     #[test]
     fn versioned_put_enforced() {
         let mut e = engine();
-        e.put(b"k", b"v1".to_vec(), b"", b"1".to_vec(), false).unwrap();
+        e.put(b"k", b"v1".to_vec(), b"", b"1".to_vec(), false)
+            .unwrap();
         // Wrong expected version rejected.
         let err = e
-            .put(b"k", b"v2".to_vec(), b"0".to_vec().as_slice(), b"2".to_vec(), false)
+            .put(
+                b"k",
+                b"v2".to_vec(),
+                b"0".to_vec().as_slice(),
+                b"2".to_vec(),
+                false,
+            )
             .unwrap_err();
         assert!(matches!(err, KineticError::VersionMismatch { .. }));
         // Correct expected version accepted.
-        e.put(b"k", b"v2".to_vec(), b"1", b"2".to_vec(), false).unwrap();
+        e.put(b"k", b"v2".to_vec(), b"1", b"2".to_vec(), false)
+            .unwrap();
         assert_eq!(e.get(b"k").unwrap().version, b"2");
         // Creating over an existing key with empty expected version fails.
-        assert!(e.put(b"k", b"v3".to_vec(), b"", b"3".to_vec(), false).is_err());
+        assert!(e
+            .put(b"k", b"v3".to_vec(), b"", b"3".to_vec(), false)
+            .is_err());
         // Force overrides.
-        e.put(b"k", b"v3".to_vec(), b"", b"3".to_vec(), true).unwrap();
+        e.put(b"k", b"v3".to_vec(), b"", b"3".to_vec(), true)
+            .unwrap();
         assert_eq!(e.get(b"k").unwrap().value, b"v3");
     }
 
     #[test]
     fn versioned_delete_enforced() {
         let mut e = engine();
-        e.put(b"k", b"v".to_vec(), b"", b"7".to_vec(), false).unwrap();
+        e.put(b"k", b"v".to_vec(), b"", b"7".to_vec(), false)
+            .unwrap();
         assert!(matches!(
             e.delete(b"k", b"8", false),
             Err(KineticError::VersionMismatch { .. })
@@ -240,7 +255,8 @@ mod tests {
         e.delete(b"k", b"7", false).unwrap();
         assert_eq!(e.delete(b"k", b"7", false), Err(KineticError::NotFound));
         // Force delete ignores version.
-        e.put(b"k", b"v".to_vec(), b"", b"9".to_vec(), false).unwrap();
+        e.put(b"k", b"v".to_vec(), b"", b"9".to_vec(), false)
+            .unwrap();
         e.delete(b"k", b"", true).unwrap();
         assert!(e.is_empty());
     }
@@ -248,13 +264,19 @@ mod tests {
     #[test]
     fn capacity_enforced_and_accounted() {
         let mut e = DriveEngine::new(20);
-        e.put(b"a", vec![0u8; 10], b"", b"1".to_vec(), false).unwrap();
+        e.put(b"a", vec![0u8; 10], b"", b"1".to_vec(), false)
+            .unwrap();
         assert_eq!(e.used_bytes(), 11);
-        assert_eq!(e.put(b"b", vec![0u8; 15], b"", b"1".to_vec(), false), Err(KineticError::NoSpace));
+        assert_eq!(
+            e.put(b"b", vec![0u8; 15], b"", b"1".to_vec(), false),
+            Err(KineticError::NoSpace)
+        );
         // Overwriting with a smaller value frees space.
-        e.put(b"a", vec![0u8; 2], b"1", b"2".to_vec(), false).unwrap();
+        e.put(b"a", vec![0u8; 2], b"1", b"2".to_vec(), false)
+            .unwrap();
         assert_eq!(e.used_bytes(), 3);
-        e.put(b"b", vec![0u8; 15], b"", b"1".to_vec(), false).unwrap();
+        e.put(b"b", vec![0u8; 15], b"", b"1".to_vec(), false)
+            .unwrap();
         assert!(e.utilization() > 0.9);
         // Deleting restores space.
         e.delete(b"b", b"1", false).unwrap();
@@ -291,7 +313,8 @@ mod tests {
     #[test]
     fn stats_track_operations() {
         let mut e = engine();
-        e.put(b"k", b"v".to_vec(), b"", b"1".to_vec(), false).unwrap();
+        e.put(b"k", b"v".to_vec(), b"", b"1".to_vec(), false)
+            .unwrap();
         let _ = e.get(b"k");
         let _ = e.get(b"missing");
         let _ = e.delete(b"k", b"1", false);

@@ -42,4 +42,4 @@ pub use cluster::DriveSet;
 pub use drive::{AccessControl, Account, DriveConfig, KineticDrive, Permission};
 pub use engine::{DriveEngine, EngineStats, StoredEntry};
 pub use error::KineticError;
-pub use protocol::{Command, CommandBody, MessageType, ResponseStatus, StatusCode};
+pub use protocol::{Command, CommandBody, MessageType, Payload, ResponseStatus, StatusCode};

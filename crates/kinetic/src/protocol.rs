@@ -19,6 +19,8 @@
 //! Only the fields the Pesos controller actually uses are modelled, but the
 //! decoder skips unknown fields so the format can grow.
 
+use std::sync::Arc;
+
 use pesos_crypto::HmacSha256;
 use pesos_wire::codec::{FieldReader, FieldWriter};
 
@@ -164,13 +166,113 @@ pub struct AccountSpec {
     pub permissions: u32,
 }
 
+/// A reference-counted, immutable value payload.
+///
+/// Replication fans one object write out to several drives; sharing the
+/// payload bytes through an `Arc` means enqueueing a command for each
+/// replica is a reference-count bump, not a copy. The only copies left on
+/// the write path are the per-replica wire-frame encode/decode, which model
+/// the network boundary the cost model charges anyway.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Payload(Arc<[u8]>);
+
+impl Payload {
+    /// Creates an empty payload.
+    pub fn new() -> Self {
+        Payload::default()
+    }
+
+    /// The shared underlying buffer.
+    pub fn as_arc(&self) -> &Arc<[u8]> {
+        &self.0
+    }
+
+    /// Copies the payload into an owned vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+}
+
+impl std::ops::Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(bytes: Vec<u8>) -> Self {
+        Payload(Arc::from(bytes))
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(bytes: &[u8]) -> Self {
+        Payload(Arc::from(bytes))
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Payload {
+    fn from(bytes: &[u8; N]) -> Self {
+        Payload(Arc::from(&bytes[..]))
+    }
+}
+
+impl From<Arc<[u8]>> for Payload {
+    fn from(bytes: Arc<[u8]>) -> Self {
+        Payload(bytes)
+    }
+}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&[u8]> for Payload {
+    fn eq(&self, other: &&[u8]) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &*self.0 == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Payload {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        *self.0 == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Payload {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        *self.0 == other[..]
+    }
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Payload({} bytes)", self.0.len())
+    }
+}
+
 /// The body of a command; which fields are meaningful depends on the type.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CommandBody {
     /// Object key.
     pub key: Vec<u8>,
     /// Object value (PUT, responses to GET).
-    pub value: Vec<u8>,
+    pub value: Payload,
     /// Expected stored version for compare-and-swap semantics.
     pub db_version: Vec<u8>,
     /// New version to store.
@@ -367,7 +469,7 @@ impl Command {
                     {
                         match f.number {
                             1 => cmd.body.key = f.data.to_vec(),
-                            2 => cmd.body.value = f.data.to_vec(),
+                            2 => cmd.body.value = f.data.into(),
                             3 => cmd.body.db_version = f.data.to_vec(),
                             4 => cmd.body.new_version = f.data.to_vec(),
                             5 => cmd.body.force = f.as_bool(),
@@ -518,7 +620,7 @@ mod tests {
         cmd.sequence = 5;
         cmd.cluster_version = 2;
         cmd.body.key = b"object/alpha".to_vec();
-        cmd.body.value = vec![1, 2, 3, 4, 5];
+        cmd.body.value = vec![1, 2, 3, 4, 5].into();
         cmd.body.new_version = b"v2".to_vec();
         cmd.body.db_version = b"v1".to_vec();
         cmd.body.force = false;
@@ -536,7 +638,7 @@ mod tests {
     fn response_round_trip() {
         let req = sample_command();
         let mut resp = Command::response_to(&req, StatusCode::VersionMismatch, "stored v3");
-        resp.body.value = b"payload".to_vec();
+        resp.body.value = b"payload".into();
         let decoded = Command::decode(&resp.encode()).unwrap();
         assert_eq!(decoded.message_type, MessageType::Response);
         assert_eq!(decoded.ack_sequence, 5);

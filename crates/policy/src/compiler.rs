@@ -124,8 +124,14 @@ pub fn compile_ast(ast: &PolicyAst) -> Result<CompiledPolicy, PolicyError> {
         permissions.insert(*op, compiled_condition);
     }
 
-    let this_slot = variables.iter().position(|v| v == THIS_VAR).map(|i| i as u16);
-    let log_slot = variables.iter().position(|v| v == LOG_VAR).map(|i| i as u16);
+    let this_slot = variables
+        .iter()
+        .position(|v| v == THIS_VAR)
+        .map(|i| i as u16);
+    let log_slot = variables
+        .iter()
+        .position(|v| v == LOG_VAR)
+        .map(|i| i as u16);
 
     Ok(CompiledPolicy {
         permissions,
@@ -169,6 +175,24 @@ impl CompiledPolicy {
     /// The policy identifier (hash of the binary encoding).
     pub fn id(&self) -> PolicyId {
         PolicyId(pesos_crypto::sha256(&self.to_bytes()))
+    }
+
+    /// Whether the condition for `operation` constrains the version being
+    /// written (references `nextVersion`). Enforcement uses this to decide
+    /// if the version a policy approved must also be re-validated
+    /// atomically at write time.
+    pub fn constrains_version(&self, operation: Operation) -> bool {
+        self.permissions
+            .get(&operation)
+            .map(|condition| {
+                condition.conjunctions.iter().any(|conjunction| {
+                    conjunction
+                        .predicates
+                        .iter()
+                        .any(|p| p.predicate == Predicate::NextVersion)
+                })
+            })
+            .unwrap_or(false)
     }
 
     /// Serializes the compiled policy.
@@ -266,8 +290,14 @@ impl CompiledPolicy {
             }
         }
 
-        let this_slot = variables.iter().position(|v| v == THIS_VAR).map(|i| i as u16);
-        let log_slot = variables.iter().position(|v| v == LOG_VAR).map(|i| i as u16);
+        let this_slot = variables
+            .iter()
+            .position(|v| v == THIS_VAR)
+            .map(|i| i as u16);
+        let log_slot = variables
+            .iter()
+            .position(|v| v == LOG_VAR)
+            .map(|i| i as u16);
         Ok(CompiledPolicy {
             permissions,
             variables,
@@ -353,8 +383,8 @@ fn decode_predicate(data: &[u8]) -> Result<CompiledPredicate, PolicyError> {
             _ => {}
         }
     }
-    let predicate = predicate
-        .ok_or_else(|| PolicyError::CorruptBinary("predicate missing opcode".into()))?;
+    let predicate =
+        predicate.ok_or_else(|| PolicyError::CorruptBinary("predicate missing opcode".into()))?;
     predicate.check_arity(args.len())?;
     Ok(CompiledPredicate { predicate, args })
 }
@@ -444,7 +474,8 @@ fn decode_value(data: &[u8]) -> Result<Value, PolicyError> {
 mod tests {
     use super::*;
 
-    const VERSIONED: &str = "update :- ( objId(this, O) and currVersion(O, CV) and nextVersion(CV + 1) ) \
+    const VERSIONED: &str =
+        "update :- ( objId(this, O) and currVersion(O, CV) and nextVersion(CV + 1) ) \
          or ( objId(this, NULL) and nextVersion(0) )\n\
          read :- sessionKeyIs(U)";
 
@@ -455,6 +486,16 @@ mod tests {
         assert!(p.this_slot.is_some());
         assert!(p.log_slot.is_none());
         assert!(p.variables.contains(&"CV".to_string()));
+    }
+
+    #[test]
+    fn constrains_version_detects_next_version_use() {
+        let p = compile(VERSIONED).unwrap();
+        assert!(p.constrains_version(Operation::Update));
+        assert!(!p.constrains_version(Operation::Read));
+        let acl = compile("update :- sessionKeyIs(\"alice\")").unwrap();
+        assert!(!acl.constrains_version(Operation::Update));
+        assert!(!acl.constrains_version(Operation::Delete));
     }
 
     #[test]

@@ -226,7 +226,11 @@ mod tests {
     fn static_view_tracks_versions_and_facts() {
         let mut view = StaticObjectView::new();
         view.insert_contents("obj", 0, b"hello");
-        view.insert_contents("obj", 1, b"read(\"obj\",0,\"alice\")\nwrite(\"obj\",0,\"bob\")");
+        view.insert_contents(
+            "obj",
+            1,
+            b"read(\"obj\",0,\"alice\")\nwrite(\"obj\",0,\"bob\")",
+        );
 
         assert!(view.exists("obj"));
         assert!(!view.exists("other"));

@@ -80,7 +80,10 @@ impl CompiledPolicy {
         view: &V,
     ) -> Decision {
         let Some(condition) = self.permissions.get(&operation) else {
-            return Decision::deny(format!("policy grants no {} permission", operation.as_str()));
+            return Decision::deny(format!(
+                "policy grants no {} permission",
+                operation.as_str()
+            ));
         };
         if condition.conjunctions.is_empty() {
             return Decision::deny(format!("policy denies {}", operation.as_str()));
@@ -92,10 +95,7 @@ impl CompiledPolicy {
                 Ok(false) | Err(_) => continue,
             }
         }
-        Decision::deny(format!(
-            "no {} condition was satisfied",
-            operation.as_str()
-        ))
+        Decision::deny(format!("no {} condition was satisfied", operation.as_str()))
     }
 
     fn initial_env(&self, ctx: &RequestContext) -> Env {
@@ -170,13 +170,17 @@ impl CompiledPolicy {
                     .eval_expr(a, env)?
                     .and_then(|v| v.as_int())
                     .ok_or_else(|| {
-                        PolicyError::EvaluationError("left operand of + is unbound or non-integer".into())
+                        PolicyError::EvaluationError(
+                            "left operand of + is unbound or non-integer".into(),
+                        )
                     })?;
                 let b = self
                     .eval_expr(b, env)?
                     .and_then(|v| v.as_int())
                     .ok_or_else(|| {
-                        PolicyError::EvaluationError("right operand of + is unbound or non-integer".into())
+                        PolicyError::EvaluationError(
+                            "right operand of + is unbound or non-integer".into(),
+                        )
                     })?;
                 Ok(Some(Value::Int(a + b)))
             }
@@ -188,7 +192,10 @@ impl CompiledPolicy {
                         None => return Ok(None),
                     }
                 }
-                Ok(Some(Value::Tuple(Box::new(Tuple::new(name.clone(), values)))))
+                Ok(Some(Value::Tuple(Box::new(Tuple::new(
+                    name.clone(),
+                    values,
+                )))))
             }
         }
     }
@@ -345,7 +352,9 @@ impl CompiledPolicy {
             return Ok(false);
         };
         let fact = match kind {
-            FactKind::Size => view.object_size(&key, version).map(|s| Value::Int(s as i64)),
+            FactKind::Size => view
+                .object_size(&key, version)
+                .map(|s| Value::Int(s as i64)),
             FactKind::Hash => view.object_hash(&key, version).map(Value::Hash),
             FactKind::Policy => view.policy_hash(&key, version).map(Value::Hash),
         };
@@ -624,7 +633,10 @@ mod tests {
             let ctx = RequestContext::new(Operation::Update)
                 .with_next_version(bad)
                 .bind(THIS_VAR, this.clone());
-            assert!(!p.evaluate(Operation::Update, &ctx, &view).allowed, "v={bad}");
+            assert!(
+                !p.evaluate(Operation::Update, &ctx, &view).allowed,
+                "v={bad}"
+            );
         }
 
         // Creation of a new object starts at version 0.
@@ -840,7 +852,10 @@ mod tests {
             ("read :- eq(3, 3)", true),
             ("read :- eq(3, 4)", false),
             ("read :- eq(\"a\", \"a\")", true),
-            ("read :- le(3, 3) and lt(3, 4) and ge(4, 4) and gt(5, 4)", true),
+            (
+                "read :- le(3, 3) and lt(3, 4) and ge(4, 4) and gt(5, 4)",
+                true,
+            ),
             ("read :- lt(4, 3)", false),
             ("read :- eq(X, 7) and eq(X, 7)", true),
             ("read :- eq(X, 7) and eq(X, 8)", false),
@@ -861,7 +876,11 @@ mod tests {
     fn disjunction_falls_through_to_later_conjunctions() {
         let p = compile("read :- eq(1, 2) or eq(2, 2) or eq(3, 4)").unwrap();
         let view = StaticObjectView::new();
-        let d = p.evaluate(Operation::Read, &RequestContext::new(Operation::Read), &view);
+        let d = p.evaluate(
+            Operation::Read,
+            &RequestContext::new(Operation::Read),
+            &view,
+        );
         assert!(d.allowed);
         assert_eq!(d.matched_conjunction, Some(1));
     }

@@ -203,8 +203,8 @@ mod tests {
 
     #[test]
     fn tokenizes_literals() {
-        let tokens = tokenize("eq(X, 42) and eq(Y, -7) and eq(Z, \"hello\") and eq(W, 'hi')")
-            .unwrap();
+        let tokens =
+            tokenize("eq(X, 42) and eq(Y, -7) and eq(Z, \"hello\") and eq(W, 'hi')").unwrap();
         assert!(tokens.contains(&Token::Int(42)));
         assert!(tokens.contains(&Token::Int(-7)));
         assert!(tokens.contains(&Token::Str("hello".into())));

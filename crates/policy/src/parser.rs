@@ -73,7 +73,10 @@ impl Parser {
         while self.peek().is_some() {
             let (op, condition) = self.parse_clause()?;
             // Multiple clauses for the same permission OR together.
-            let entry = ast.permissions.entry(op).or_insert_with(Condition::deny_all);
+            let entry = ast
+                .permissions
+                .entry(op)
+                .or_insert_with(Condition::deny_all);
             entry.conjunctions.extend(condition.conjunctions);
         }
         if ast.permissions.is_empty() {
@@ -127,15 +130,11 @@ impl Parser {
 
     fn parse_conjunction(&mut self) -> Result<Conjunction, PolicyError> {
         let mut predicates = vec![self.parse_predicate()?];
-        loop {
-            match self.peek() {
-                Some(Token::And) => {
-                    self.next();
-                    predicates.push(self.parse_predicate()?);
-                }
-                // Implicit end of clause.
-                _ => break,
-            }
+        // A clause is a conjunction until a token other than `and` (the
+        // implicit end of the clause) or a clause boundary appears.
+        while let Some(Token::And) = self.peek() {
+            self.next();
+            predicates.push(self.parse_predicate()?);
             if self.at_clause_boundary() {
                 break;
             }
@@ -298,8 +297,18 @@ mod tests {
                      objHash(O, V + 1, NH) and objSays(L, LV, 'write'(O, V, CH, NH, U))",
         )
         .unwrap();
-        assert_eq!(ast.condition(Operation::Read).conjunctions[0].predicates.len(), 5);
-        assert_eq!(ast.condition(Operation::Update).conjunctions[0].predicates.len(), 8);
+        assert_eq!(
+            ast.condition(Operation::Read).conjunctions[0]
+                .predicates
+                .len(),
+            5
+        );
+        assert_eq!(
+            ast.condition(Operation::Update).conjunctions[0]
+                .predicates
+                .len(),
+            8
+        );
     }
 
     #[test]

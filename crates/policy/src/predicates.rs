@@ -166,9 +166,18 @@ mod tests {
     #[test]
     fn name_resolution_and_aliases() {
         assert_eq!(Predicate::resolve("eq").unwrap(), Predicate::Eq);
-        assert_eq!(Predicate::resolve("sessionKeyIs").unwrap(), Predicate::SessionKeyIs);
-        assert_eq!(Predicate::resolve("currIndex").unwrap(), Predicate::CurrVersion);
-        assert_eq!(Predicate::resolve("nextIndex").unwrap(), Predicate::NextVersion);
+        assert_eq!(
+            Predicate::resolve("sessionKeyIs").unwrap(),
+            Predicate::SessionKeyIs
+        );
+        assert_eq!(
+            Predicate::resolve("currIndex").unwrap(),
+            Predicate::CurrVersion
+        );
+        assert_eq!(
+            Predicate::resolve("nextIndex").unwrap(),
+            Predicate::NextVersion
+        );
         assert_eq!(Predicate::resolve("OBJSAYS").unwrap(), Predicate::ObjSays);
         assert!(Predicate::resolve("unknown").is_err());
     }

@@ -24,7 +24,7 @@ impl BitmapAllocator {
     /// Creates an allocator managing `heap_bytes` of enclave heap.
     pub fn new(heap_bytes: usize) -> Self {
         let total_pages = heap_bytes / PAGE_SIZE;
-        let words = (total_pages + 63) / 64;
+        let words = total_pages.div_ceil(64);
         BitmapAllocator {
             bitmap: vec![0u64; words],
             total_pages,
@@ -98,7 +98,7 @@ impl BitmapAllocator {
     /// `offset` must be the value returned by `alloc` and `bytes` the same
     /// size passed to it (rounded up to whole pages internally).
     pub fn free(&mut self, offset: usize, bytes: usize) -> Result<(), SgxError> {
-        if offset % PAGE_SIZE != 0 {
+        if !offset.is_multiple_of(PAGE_SIZE) {
             return Err(SgxError::InvalidFree { offset });
         }
         let first = offset / PAGE_SIZE;

@@ -7,18 +7,44 @@
 //! untrusted *service threads* outside the enclave execute the call and push
 //! the result onto a *return queue* (paper §4.6, "I/O interface").
 //!
-//! This module reproduces that machinery: a bounded slot table, crossbeam
-//! channels standing in for the shared-memory queues, and a configurable
-//! number of service threads. Work is submitted as closures (the "system
-//! call body"), which lets the Kinetic client library and the controller
-//! route all of their I/O through the interface without this crate having to
-//! know about sockets or disks.
+//! # Slot table
+//!
+//! The shared-memory slots are modelled faithfully by a preallocated slot
+//! table: a submission claims a free slot (blocking — and counting a
+//! `slot_waits` — only when every slot is genuinely occupied), parks the
+//! call body in it, and enqueues just the slot index. Service threads pop
+//! indices, execute the body out of the slot, and only then return the slot
+//! to the free list, so the table bounds the number of in-flight calls
+//! exactly like the fixed slot array in the real system. No queue buffer is
+//! allocated per call; the only per-call allocations are the boxed body and
+//! the completion cell it reports into.
+//!
+//! # Completions and scatter-gather batches
+//!
+//! Three submission flavours are built on the same path:
+//!
+//! * [`AsyscallInterface::submit`] — the synchronous wrapper Scone exposes
+//!   to the application; enqueues and parks until the result arrives.
+//! * [`AsyscallInterface::submit_async`] — returns a [`Completion`] the
+//!   caller joins later, letting one enclave thread keep many calls in
+//!   flight.
+//! * [`AsyscallInterface::submit_batch`] — the scatter-gather path: N
+//!   bodies are enqueued back-to-back and a [`CompletionSet`] hands back
+//!   results *in completion order*, so callers can join all of them
+//!   (replicated writes) or take the first success and leave the rest to
+//!   finish in the background (raced replicated reads).
+//!
+//! The calling thread would normally switch to another user-level thread
+//! while waiting; that interleaving is provided by
+//! [`crate::scheduler::UserScheduler`].
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
 
 use crate::cost::{CostEvent, ModeCost};
 use crate::error::SgxError;
@@ -34,33 +60,248 @@ pub struct AsyscallStats {
     pub completed: u64,
     /// Times a submitter had to wait because all slots were busy.
     pub slot_waits: u64,
+    /// Scatter-gather batches submitted via `submit_batch`.
+    pub batches: u64,
+    /// Highest number of call bodies ever executing concurrently.
+    pub max_concurrency: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Completion cells
+// ---------------------------------------------------------------------------
+
+struct CompletionCell<T> {
+    value: Option<T>,
+    /// Set when the body was dropped without running (interface shut down).
+    abandoned: bool,
+}
+
+struct CompletionState<T> {
+    cell: Mutex<CompletionCell<T>>,
+    cv: Condvar,
+    /// Present when this completion belongs to a batch; finished indices are
+    /// pushed there so the set can observe completion order.
+    batch: Option<(Arc<BatchCore>, usize)>,
+}
+
+impl<T> CompletionState<T> {
+    fn new(batch: Option<(Arc<BatchCore>, usize)>) -> Arc<Self> {
+        Arc::new(CompletionState {
+            cell: Mutex::new(CompletionCell {
+                value: None,
+                abandoned: false,
+            }),
+            cv: Condvar::new(),
+            batch,
+        })
+    }
+
+    fn notify_batch(&self) {
+        if let Some((core, index)) = &self.batch {
+            core.finished.lock().push_back(*index);
+            core.cv.notify_all();
+        }
+    }
+}
+
+/// Handle to one in-flight asynchronous system call.
+///
+/// Returned by [`AsyscallInterface::submit_async`]; join it with
+/// [`Completion::wait`].
+pub struct Completion<T> {
+    state: Arc<CompletionState<T>>,
+}
+
+impl<T> Completion<T> {
+    /// Blocks until the call finishes and returns its result.
+    pub fn wait(self) -> Result<T, SgxError> {
+        let mut cell = self.state.cell.lock();
+        loop {
+            if let Some(value) = cell.value.take() {
+                return Ok(value);
+            }
+            if cell.abandoned {
+                return Err(SgxError::SyscallInterfaceClosed);
+            }
+            self.state.cv.wait(&mut cell);
+        }
+    }
+}
+
+/// Writes a body's result into its completion cell; marks the cell
+/// abandoned if the body is dropped without running.
+struct CompletionFiller<T> {
+    state: Arc<CompletionState<T>>,
+    filled: bool,
+}
+
+impl<T> CompletionFiller<T> {
+    fn fill(mut self, value: T) {
+        self.state.cell.lock().value = Some(value);
+        self.filled = true;
+        self.state.cv.notify_all();
+        self.state.notify_batch();
+    }
+}
+
+impl<T> Drop for CompletionFiller<T> {
+    fn drop(&mut self) {
+        if !self.filled {
+            self.state.cell.lock().abandoned = true;
+            self.state.cv.notify_all();
+            self.state.notify_batch();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batches
+// ---------------------------------------------------------------------------
+
+struct BatchCore {
+    finished: Mutex<VecDeque<usize>>,
+    cv: Condvar,
+}
+
+/// A joinable set of completions produced by one scatter-gather batch.
+pub struct CompletionSet<T> {
+    completions: Vec<Option<Completion<T>>>,
+    core: Arc<BatchCore>,
+    delivered: usize,
+}
+
+impl<T> CompletionSet<T> {
+    /// Number of calls in the batch.
+    pub fn len(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.completions.is_empty()
+    }
+
+    /// Blocks until the next not-yet-delivered call finishes, returning its
+    /// submission index and result. Returns `None` once every call has been
+    /// delivered.
+    ///
+    /// Results come back in *completion order*, which is what lets callers
+    /// race a batch and stop at the first usable result.
+    pub fn next_completed(&mut self) -> Option<(usize, Result<T, SgxError>)> {
+        if self.delivered == self.completions.len() {
+            return None;
+        }
+        let index = {
+            let mut finished = self.core.finished.lock();
+            loop {
+                if let Some(index) = finished.pop_front() {
+                    break index;
+                }
+                self.core.cv.wait(&mut finished);
+            }
+        };
+        self.delivered += 1;
+        let completion = self.completions[index]
+            .take()
+            .expect("completion index delivered twice");
+        // The cell is already filled (or abandoned); this cannot block.
+        Some((index, completion.wait()))
+    }
+
+    /// Joins the whole batch, returning results in submission order.
+    ///
+    /// The first abandoned call (interface shut down mid-batch) aborts the
+    /// join — first error wins.
+    pub fn join(mut self) -> Result<Vec<T>, SgxError> {
+        let mut out: Vec<Option<T>> = (0..self.completions.len()).map(|_| None).collect();
+        while let Some((index, result)) = self.next_completed() {
+            out[index] = Some(result?);
+        }
+        Ok(out
+            .into_iter()
+            .map(|v| v.expect("missing result"))
+            .collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The interface
+// ---------------------------------------------------------------------------
+
+/// One shared-memory system-call slot: holds the parked call body from
+/// submission until a service thread picks it up.
+struct Slot {
+    body: Mutex<Option<SyscallBody>>,
 }
 
 struct Shared {
+    slots: Vec<Slot>,
+    free: Mutex<Vec<usize>>,
+    free_cv: Condvar,
     submitted: AtomicU64,
     completed: AtomicU64,
     slot_waits: AtomicU64,
+    batches: AtomicU64,
+    active: AtomicUsize,
+    max_concurrency: AtomicU64,
+}
+
+impl Shared {
+    /// Claims a free slot, blocking while the table is full. The wait is
+    /// counted at the moment the submitter actually blocks, so `slot_waits`
+    /// is exact under contention (the old decoupled `is_full()` pre-check
+    /// undercounted).
+    fn acquire_slot(&self) -> usize {
+        let mut free = self.free.lock();
+        if let Some(index) = free.pop() {
+            return index;
+        }
+        self.slot_waits.fetch_add(1, Ordering::Relaxed);
+        loop {
+            if let Some(index) = free.pop() {
+                return index;
+            }
+            self.free_cv.wait(&mut free);
+        }
+    }
+
+    fn release_slot(&self, index: usize) {
+        self.free.lock().push(index);
+        self.free_cv.notify_one();
+    }
 }
 
 /// The asynchronous system-call interface.
 pub struct AsyscallInterface {
-    tx: Sender<SyscallBody>,
+    tx: Sender<usize>,
     shared: Arc<Shared>,
     cost: ModeCost,
     workers: Vec<JoinHandle<()>>,
-    slots: usize,
 }
 
 impl AsyscallInterface {
     /// Creates the interface with `service_threads` untrusted worker threads
-    /// and `slots` system-call slots (the submission queue depth).
+    /// and `slots` system-call slots (the maximum number of in-flight
+    /// calls).
     pub fn new(service_threads: usize, slots: usize, cost: ModeCost) -> Self {
         let slots = slots.max(1);
-        let (tx, rx): (Sender<SyscallBody>, Receiver<SyscallBody>) = bounded(slots);
+        // The queue itself is unbounded; admission control is the slot
+        // table, exactly as in the modelled system.
+        let (tx, rx): (Sender<usize>, Receiver<usize>) = unbounded();
         let shared = Arc::new(Shared {
+            slots: (0..slots)
+                .map(|_| Slot {
+                    body: Mutex::new(None),
+                })
+                .collect(),
+            free: Mutex::new((0..slots).rev().collect()),
+            free_cv: Condvar::new(),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             slot_waits: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            active: AtomicUsize::new(0),
+            max_concurrency: AtomicU64::new(0),
         });
 
         let mut workers = Vec::new();
@@ -70,9 +311,27 @@ impl AsyscallInterface {
             let handle = std::thread::Builder::new()
                 .name(format!("asyscall-{i}"))
                 .spawn(move || {
-                    while let Ok(body) = rx.recv() {
-                        body();
+                    while let Ok(slot_index) = rx.recv() {
+                        let body = shared.slots[slot_index]
+                            .body
+                            .lock()
+                            .take()
+                            .expect("queued slot without body");
+                        let active = shared.active.fetch_add(1, Ordering::SeqCst) as u64 + 1;
+                        shared.max_concurrency.fetch_max(active, Ordering::SeqCst);
+                        // Contain a panicking body: its completion filler is
+                        // dropped during the unwind (waiters see the call as
+                        // abandoned), and the slot and this service thread
+                        // both survive instead of leaking.
+                        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+                        shared.active.fetch_sub(1, Ordering::SeqCst);
                         shared.completed.fetch_add(1, Ordering::Relaxed);
+                        // Slot stays occupied for the call's whole lifetime,
+                        // like the real shared-memory slot.
+                        shared.release_slot(slot_index);
+                        if outcome.is_err() {
+                            eprintln!("asyscall: system-call body panicked; call abandoned");
+                        }
                     }
                 })
                 .expect("spawn asyscall service thread");
@@ -84,13 +343,49 @@ impl AsyscallInterface {
             shared,
             cost,
             workers,
-            slots,
         }
     }
 
     /// Number of configured system-call slots.
     pub fn slots(&self) -> usize {
-        self.slots
+        self.shared.slots.len()
+    }
+
+    fn enqueue(&self, body: SyscallBody) -> Result<(), SgxError> {
+        self.cost.charge(CostEvent::AsyncSyscall);
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        let slot_index = self.shared.acquire_slot();
+        *self.shared.slots[slot_index].body.lock() = Some(body);
+        match self.tx.send(slot_index) {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                // Interface closed: reclaim the slot and drop the body (its
+                // completion filler reports the abandonment).
+                drop(self.shared.slots[slot_index].body.lock().take());
+                self.shared.release_slot(slot_index);
+                Err(SgxError::SyscallInterfaceClosed)
+            }
+        }
+    }
+
+    fn submit_completion<T, F>(
+        &self,
+        body: F,
+        batch: Option<(Arc<BatchCore>, usize)>,
+    ) -> Result<Completion<T>, SgxError>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let state = CompletionState::new(batch);
+        let mut filler = Some(CompletionFiller {
+            state: Arc::clone(&state),
+            filled: false,
+        });
+        self.enqueue(Box::new(move || {
+            filler.take().expect("body run twice").fill(body());
+        }))?;
+        Ok(Completion { state })
     }
 
     /// Submits a "system call" and blocks until its result is available.
@@ -98,32 +393,53 @@ impl AsyscallInterface {
     /// This mirrors the synchronous wrapper Scone exposes to the
     /// application: the enclave-side cost of slot handling is charged, the
     /// body runs on an untrusted service thread, and the calling thread
-    /// parks until the return queue delivers the result. The calling thread
-    /// would normally switch to another user-level thread while waiting;
-    /// that interleaving is provided by [`crate::scheduler::UserScheduler`].
+    /// parks until the return queue delivers the result.
     pub fn submit<T, F>(&self, body: F) -> Result<T, SgxError>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
-        self.cost.charge(CostEvent::AsyncSyscall);
-        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        self.submit_async(body)?.wait()
+    }
 
-        let (result_tx, result_rx) = bounded::<T>(1);
-        let job: SyscallBody = Box::new(move || {
-            let out = body();
-            let _ = result_tx.send(out);
+    /// Submits a "system call" without waiting; the returned [`Completion`]
+    /// is joined later, so one enclave thread can keep many calls in
+    /// flight.
+    pub fn submit_async<T, F>(&self, body: F) -> Result<Completion<T>, SgxError>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.submit_completion(body, None)
+    }
+
+    /// Submits N call bodies as one scatter-gather batch and returns the
+    /// joinable [`CompletionSet`].
+    ///
+    /// The bodies start executing as service threads become free — several
+    /// at once when the pool allows — which is what turns serial
+    /// replication loops into parallel fan-out.
+    pub fn submit_batch<T, F, I>(&self, bodies: I) -> Result<CompletionSet<T>, SgxError>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+        I: IntoIterator<Item = F>,
+    {
+        let core = Arc::new(BatchCore {
+            finished: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
         });
-
-        if self.tx.is_full() {
-            self.shared.slot_waits.fetch_add(1, Ordering::Relaxed);
+        let mut completions = Vec::new();
+        for (index, body) in bodies.into_iter().enumerate() {
+            let completion = self.submit_completion(body, Some((Arc::clone(&core), index)))?;
+            completions.push(Some(completion));
         }
-        self.tx
-            .send(job)
-            .map_err(|_| SgxError::SyscallInterfaceClosed)?;
-        result_rx
-            .recv()
-            .map_err(|_| SgxError::SyscallInterfaceClosed)
+        self.shared.batches.fetch_add(1, Ordering::Relaxed);
+        Ok(CompletionSet {
+            completions,
+            core,
+            delivered: 0,
+        })
     }
 
     /// Submits a "system call" without waiting for its completion.
@@ -134,14 +450,7 @@ impl AsyscallInterface {
     where
         F: FnOnce() + Send + 'static,
     {
-        self.cost.charge(CostEvent::AsyncSyscall);
-        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
-        if self.tx.is_full() {
-            self.shared.slot_waits.fetch_add(1, Ordering::Relaxed);
-        }
-        self.tx
-            .send(Box::new(body))
-            .map_err(|_| SgxError::SyscallInterfaceClosed)
+        self.enqueue(Box::new(body))
     }
 
     /// Returns activity counters.
@@ -150,6 +459,8 @@ impl AsyscallInterface {
             submitted: self.shared.submitted.load(Ordering::Relaxed),
             completed: self.shared.completed.load(Ordering::Relaxed),
             slot_waits: self.shared.slot_waits.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            max_concurrency: self.shared.max_concurrency.load(Ordering::SeqCst),
         }
     }
 
@@ -206,7 +517,9 @@ mod tests {
         }
         let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
         // Sum of t*1000*50 + sum(0..50) for each of 8 threads.
-        let expected: u64 = (0..8u64).map(|t| t * 1000 * 50 + (0..50).sum::<u64>()).sum();
+        let expected: u64 = (0..8u64)
+            .map(|t| t * 1000 * 50 + (0..50).sum::<u64>())
+            .sum();
         assert_eq!(total, expected);
         assert_eq!(i.stats().submitted, 400);
     }
@@ -245,5 +558,150 @@ mod tests {
             ModeCost::new(ExecutionMode::Native, SgxCostModel::zero()),
         );
         assert_eq!(i.slots(), 16);
+    }
+
+    #[test]
+    fn async_submission_overlaps_with_caller() {
+        let i = iface();
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let g = Arc::clone(&gate);
+        let completion = i
+            .submit_async(move || {
+                g.wait();
+                7
+            })
+            .unwrap();
+        // The caller reaches this point while the body is still blocked,
+        // proving submit_async does not wait.
+        gate.wait();
+        assert_eq!(completion.wait().unwrap(), 7);
+    }
+
+    #[test]
+    fn batch_bodies_execute_concurrently() {
+        // Every body waits on a shared barrier: the batch can only finish
+        // if all four bodies run at the same time.
+        let i = AsyscallInterface::new(
+            4,
+            8,
+            ModeCost::new(ExecutionMode::Native, SgxCostModel::zero()),
+        );
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let set = i
+            .submit_batch((0..4).map(|n| {
+                let barrier = Arc::clone(&barrier);
+                move || {
+                    barrier.wait();
+                    n * 10
+                }
+            }))
+            .unwrap();
+        let mut results = set.join().unwrap();
+        results.sort_unstable();
+        assert_eq!(results, vec![0, 10, 20, 30]);
+        let stats = i.stats();
+        assert_eq!(stats.batches, 1);
+        assert!(
+            stats.max_concurrency >= 4,
+            "bodies did not overlap: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn batch_completion_order_allows_racing() {
+        let i = AsyscallInterface::new(
+            2,
+            8,
+            ModeCost::new(ExecutionMode::Native, SgxCostModel::zero()),
+        );
+        // Body 0 blocks until released; body 1 finishes immediately. The
+        // first delivered completion must be index 1.
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let g = Arc::clone(&gate);
+        let bodies: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+            Box::new(move || {
+                g.wait();
+                0
+            }),
+            Box::new(|| 1),
+        ];
+        let mut set = i.submit_batch(bodies).unwrap();
+        let (index, value) = set.next_completed().unwrap();
+        assert_eq!((index, value.unwrap()), (1, 1));
+        gate.wait();
+        let (index, value) = set.next_completed().unwrap();
+        assert_eq!((index, value.unwrap()), (0, 0));
+        assert!(set.next_completed().is_none());
+    }
+
+    #[test]
+    fn slot_waits_counted_exactly_under_contention() {
+        // One service thread, one slot: with the slot occupied by a blocked
+        // body, every further submission must record exactly one wait.
+        let i = Arc::new(AsyscallInterface::new(
+            1,
+            1,
+            ModeCost::new(ExecutionMode::Native, SgxCostModel::zero()),
+        ));
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let g = Arc::clone(&gate);
+        let blocker = i
+            .submit_async(move || {
+                g.wait();
+            })
+            .unwrap();
+        // Wait until the blocker actually occupies the slot.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while i.stats().max_concurrency < 1 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        let submitters: Vec<_> = (0..3)
+            .map(|_| {
+                let i = Arc::clone(&i);
+                std::thread::spawn(move || i.submit(|| ()).unwrap())
+            })
+            .collect();
+        // acquire_slot counts the wait *before* blocking, so polling the
+        // counter until all three submitters have registered is
+        // deterministic — no sleep-based guessing about scheduling.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while i.stats().slot_waits < 3 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(i.stats().slot_waits, 3, "submitters never blocked");
+        gate.wait();
+        for s in submitters {
+            s.join().unwrap();
+        }
+        blocker.wait().unwrap();
+        // No extra waits were recorded while the queue drained.
+        assert_eq!(i.stats().slot_waits, 3);
+    }
+
+    #[test]
+    fn panicking_body_does_not_leak_slot_or_worker() {
+        // One slot, one worker: if the panicking body leaked either, the
+        // follow-up submissions would hang forever.
+        let i = AsyscallInterface::new(
+            1,
+            1,
+            ModeCost::new(ExecutionMode::Native, SgxCostModel::zero()),
+        );
+        let boom = i.submit_async(|| panic!("boom"));
+        assert!(matches!(
+            boom.unwrap().wait(),
+            Err(SgxError::SyscallInterfaceClosed)
+        ));
+        for k in 0..4 {
+            assert_eq!(i.submit(move || k).unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn empty_batch_joins_immediately() {
+        let i = iface();
+        let set = i.submit_batch(std::iter::empty::<fn() -> u32>()).unwrap();
+        assert!(set.is_empty());
+        assert_eq!(set.join().unwrap(), Vec::<u32>::new());
     }
 }

@@ -91,9 +91,7 @@ impl SgxCostModel {
             CostEvent::EnclaveTransition => self.transition_ns,
             CostEvent::AsyncSyscall => self.async_syscall_ns,
             CostEvent::EpcPageFault => self.epc_page_fault_ns,
-            CostEvent::BoundaryCopy(bytes) => {
-                (bytes as u64 * self.boundary_copy_ns_per_kib) / 1024
-            }
+            CostEvent::BoundaryCopy(bytes) => (bytes as u64 * self.boundary_copy_ns_per_kib) / 1024,
         }
     }
 

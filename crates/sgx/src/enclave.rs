@@ -53,13 +53,19 @@ impl EnclaveConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), SgxError> {
         if self.heap_bytes == 0 {
-            return Err(SgxError::InvalidConfig("heap_bytes must be non-zero".into()));
+            return Err(SgxError::InvalidConfig(
+                "heap_bytes must be non-zero".into(),
+            ));
         }
         if self.max_threads == 0 {
-            return Err(SgxError::InvalidConfig("max_threads must be non-zero".into()));
+            return Err(SgxError::InvalidConfig(
+                "max_threads must be non-zero".into(),
+            ));
         }
         if self.binary_identity.is_empty() {
-            return Err(SgxError::InvalidConfig("binary_identity must be set".into()));
+            return Err(SgxError::InvalidConfig(
+                "binary_identity must be set".into(),
+            ));
         }
         Ok(())
     }
@@ -163,9 +169,9 @@ impl Enclave {
             self.resident.fetch_sub(bytes as u64, Ordering::SeqCst);
             return Err(SgxError::OutOfEnclaveMemory {
                 requested: bytes,
-                available: (self.config.heap_bytes as u64).saturating_sub(
-                    self.resident.load(Ordering::SeqCst),
-                ) as usize,
+                available: (self.config.heap_bytes as u64)
+                    .saturating_sub(self.resident.load(Ordering::SeqCst))
+                    as usize,
             });
         }
         self.peak.fetch_max(new_resident, Ordering::SeqCst);
@@ -173,7 +179,7 @@ impl Enclave {
 
         if new_resident > EPC_USABLE_BYTES as u64 {
             // The overflowing pages must be paged in/out.
-            let overflow_pages = (bytes + PAGE_SIZE - 1) / PAGE_SIZE;
+            let overflow_pages = bytes.div_ceil(PAGE_SIZE);
             self.page_faults
                 .fetch_add(overflow_pages as u64, Ordering::Relaxed);
             self.cost
@@ -238,19 +244,25 @@ mod tests {
         let a = EnclaveMeasurement::of(&EnclaveConfig::default());
         let b = EnclaveMeasurement::of(&EnclaveConfig::default());
         assert_eq!(a, b);
-        let mut other = EnclaveConfig::default();
-        other.version = "2.0".into();
+        let other = EnclaveConfig {
+            version: "2.0".into(),
+            ..EnclaveConfig::default()
+        };
         assert_ne!(a, EnclaveMeasurement::of(&other));
         assert_eq!(a.to_hex().len(), 64);
     }
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = EnclaveConfig::default();
-        c.heap_bytes = 0;
+        let c = EnclaveConfig {
+            heap_bytes: 0,
+            ..EnclaveConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = EnclaveConfig::default();
-        c.max_threads = 0;
+        let c = EnclaveConfig {
+            max_threads: 0,
+            ..EnclaveConfig::default()
+        };
         assert!(c.validate().is_err());
         let mut c = EnclaveConfig::default();
         c.binary_identity.clear();
@@ -316,8 +328,10 @@ mod tests {
     #[test]
     fn sealing_key_bound_to_measurement() {
         let a = enclave().sealing_key();
-        let mut config = EnclaveConfig::default();
-        config.binary_identity = "tampered".into();
+        let config = EnclaveConfig {
+            binary_identity: "tampered".into(),
+            ..EnclaveConfig::default()
+        };
         let other = Enclave::create(
             config,
             ModeCost::new(ExecutionMode::Sgx, SgxCostModel::zero()),

@@ -66,7 +66,8 @@ impl FileShield {
             .get(name)
             .cloned()
             .ok_or_else(|| CryptoError::InvalidEncoding(format!("no such file {name:?}")))?;
-        self.file_key(name).open_from_bytes(&sealed, name.as_bytes())
+        self.file_key(name)
+            .open_from_bytes(&sealed, name.as_bytes())
     }
 
     /// Removes a shielded file. Returns true if it existed.
@@ -125,7 +126,10 @@ mod tests {
     fn write_read_round_trip() {
         let s = shield();
         s.write("result-buffer.bin", b"operation 42: success");
-        assert_eq!(s.read("result-buffer.bin").unwrap(), b"operation 42: success");
+        assert_eq!(
+            s.read("result-buffer.bin").unwrap(),
+            b"operation 42: success"
+        );
         assert_eq!(s.len(), 1);
     }
 

@@ -176,7 +176,12 @@ fn derive_endpoint(
     transcript.extend_from_slice(&resp_msg.ephemeral_public);
     transcript.extend_from_slice(&resp_msg.nonce);
 
-    let okm = hkdf_sha256(&transcript, &shared.to_be_bytes(), b"pesos-traffic-keys", 64);
+    let okm = hkdf_sha256(
+        &transcript,
+        &shared.to_be_bytes(),
+        b"pesos-traffic-keys",
+        64,
+    );
     let mut i2r = [0u8; 32];
     let mut r2i = [0u8; 32];
     i2r.copy_from_slice(&okm[..32]);
@@ -316,10 +321,9 @@ mod tests {
         let client = KeyPair::from_seed(b"client-alice");
         let server = KeyPair::from_seed(b"pesos-controller");
 
-        let client_cert = CertificateBuilder::new("client:alice", client.public())
-            .issue("ca", &ca);
-        let server_cert = CertificateBuilder::new("pesos:controller", server.public())
-            .issue("ca", &ca);
+        let client_cert = CertificateBuilder::new("client:alice", client.public()).issue("ca", &ca);
+        let server_cert =
+            CertificateBuilder::new("pesos:controller", server.public()).issue("ca", &ca);
 
         let mut trust = TrustStore::new();
         trust.add_root(ca.public());

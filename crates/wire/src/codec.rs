@@ -59,9 +59,7 @@ pub fn read_varint(input: &[u8]) -> Result<(u64, usize), WireError> {
             return Err(WireError::VarintOverflow);
         }
         let part = (byte & 0x7f) as u64;
-        value |= part
-            .checked_shl(shift)
-            .ok_or(WireError::VarintOverflow)?;
+        value |= part.checked_shl(shift).ok_or(WireError::VarintOverflow)?;
         if byte & 0x80 == 0 {
             return Ok((value, i + 1));
         }
@@ -341,7 +339,17 @@ mod tests {
 
     #[test]
     fn varint_round_trip() {
-        for v in [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut buf = Vec::new();
             write_varint(&mut buf, v);
             let (decoded, n) = read_varint(&buf).unwrap();

@@ -264,8 +264,7 @@ fn split_head(input: &[u8]) -> Result<(&str, &[u8]), WireError> {
         .windows(sep.len())
         .position(|w| w == sep)
         .ok_or_else(|| WireError::MalformedHttp("missing header terminator".into()))?;
-    let head =
-        std::str::from_utf8(&input[..pos]).map_err(|_| WireError::InvalidUtf8)?;
+    let head = std::str::from_utf8(&input[..pos]).map_err(|_| WireError::InvalidUtf8)?;
     Ok((head, &input[pos + sep.len()..]))
 }
 
@@ -394,7 +393,9 @@ mod tests {
         assert!(HttpRequest::parse(b"garbage").is_err());
         assert!(HttpRequest::parse(b"POST /x\r\n\r\n").is_err());
         assert!(HttpRequest::parse(b"POST /x HTTP/3.0\r\n\r\n").is_err());
-        assert!(HttpRequest::parse(b"POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort").is_err());
+        assert!(
+            HttpRequest::parse(b"POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort").is_err()
+        );
     }
 
     #[test]

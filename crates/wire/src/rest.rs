@@ -401,9 +401,10 @@ impl RestResponse {
     pub fn from_http(resp: &HttpResponse) -> Result<Self, WireError> {
         let status = RestStatus::from_http(resp.status);
         let operation_id = match resp.headers.get("x-pesos-operation") {
-            Some(v) => Some(v.parse::<u64>().map_err(|_| {
-                WireError::InvalidParameter(format!("bad operation id {v:?}"))
-            })?),
+            Some(v) => Some(
+                v.parse::<u64>()
+                    .map_err(|_| WireError::InvalidParameter(format!("bad operation id {v:?}")))?,
+            ),
             None => None,
         };
         let version = match resp.headers.get("x-pesos-version") {
@@ -468,7 +469,8 @@ mod tests {
             .asynchronous()
             .with_version(7);
         let http = req.to_http();
-        let parsed = RestRequest::from_http(&HttpRequest::parse(&http.to_bytes()).unwrap()).unwrap();
+        let parsed =
+            RestRequest::from_http(&HttpRequest::parse(&http.to_bytes()).unwrap()).unwrap();
         assert_eq!(parsed, req);
     }
 
@@ -514,8 +516,8 @@ mod tests {
         ];
         for resp in cases {
             let http = resp.to_http();
-            let parsed = RestResponse::from_http(&HttpResponse::parse(&http.to_bytes()).unwrap())
-                .unwrap();
+            let parsed =
+                RestResponse::from_http(&HttpResponse::parse(&http.to_bytes()).unwrap()).unwrap();
             assert_eq!(parsed.status, resp.status);
             assert_eq!(parsed.value, resp.value);
             assert_eq!(parsed.operation_id, resp.operation_id);

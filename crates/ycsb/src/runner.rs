@@ -92,7 +92,8 @@ impl WorkloadRunner {
                 self.controller
                     .put(&loader, &key, value, policy, Some(0), &[])?;
             } else {
-                self.controller.put(&loader, &key, value, policy, None, &[])?;
+                self.controller
+                    .put(&loader, &key, value, policy, None, &[])?;
             }
         }
         Ok(self.spec.record_count)
@@ -179,7 +180,8 @@ fn replay_slice(
                     if granularity > 0 && op_index % granularity == 0 {
                         let log_key = format!("{key}.log");
                         let entry = format!("write(\"{key}\",{op_index},\"{client}\")\n");
-                        let _ = controller.put(client, &log_key, entry.into_bytes(), None, None, &[]);
+                        let _ =
+                            controller.put(client, &log_key, entry.into_bytes(), None, None, &[]);
                     }
                 }
                 let expected = if options.versioned {
@@ -256,7 +258,10 @@ mod tests {
         let admin = controller.register_client("admin");
         // A policy that allows every authenticated YCSB client.
         let policy = controller
-            .put_policy(&admin, "read :- sessionKeyIs(U)\nupdate :- sessionKeyIs(U)\ndelete :- sessionKeyIs(U)")
+            .put_policy(
+                &admin,
+                "read :- sessionKeyIs(U)\nupdate :- sessionKeyIs(U)\ndelete :- sessionKeyIs(U)",
+            )
             .unwrap();
         let runner = WorkloadRunner::new(Arc::clone(&controller), tiny_spec());
         let options = RunnerOptions {

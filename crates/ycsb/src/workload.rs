@@ -202,7 +202,10 @@ mod tests {
         assert_eq!(Workload::B.read_fraction(), 0.95);
         assert_eq!(Workload::C.read_fraction(), 1.0);
         assert!(Workload::D.writes_are_inserts());
-        assert!(matches!(Workload::A.distribution(), Distribution::Zipfian(_)));
+        assert!(matches!(
+            Workload::A.distribution(),
+            Distribution::Zipfian(_)
+        ));
         assert_eq!(Workload::D.distribution(), Distribution::Latest);
     }
 
@@ -213,7 +216,9 @@ mod tests {
         let b = spec.generate_trace();
         assert_eq!(a, b);
         assert_eq!(a.len(), spec.operation_count);
-        assert!(a.iter().all(|op| op.key_index < spec.record_count + spec.operation_count));
+        assert!(a
+            .iter()
+            .all(|op| op.key_index < spec.record_count + spec.operation_count));
     }
 
     #[test]
@@ -228,10 +233,7 @@ mod tests {
     #[test]
     fn workload_c_is_read_only() {
         let spec = WorkloadSpec::small(Workload::C);
-        assert!(spec
-            .generate_trace()
-            .iter()
-            .all(|o| o.kind == OpKind::Read));
+        assert!(spec.generate_trace().iter().all(|o| o.kind == OpKind::Read));
     }
 
     #[test]

@@ -52,15 +52,28 @@ fn main() {
         &alice,
         ClientRequest::new(RestRequest::new(RestMethod::PollResult, op.to_string())),
     );
-    println!("async upload completed: {:?} (version {:?})", resp.status, resp.version);
+    println!(
+        "async upload completed: {:?} (version {:?})",
+        resp.status, resp.version
+    );
 
     // Bob fetches the page; Eve (unknown identity with a session) is denied.
-    let resp = controller.handle(&bob, ClientRequest::new(RestRequest::get("site/index.html")));
+    let resp = controller.handle(
+        &bob,
+        ClientRequest::new(RestRequest::get("site/index.html")),
+    );
     println!("bob GET -> {:?} ({} bytes)", resp.status, resp.value.len());
 
     let eve = controller.register_client("eve");
-    let resp = controller.handle(&eve, ClientRequest::new(RestRequest::get("site/index.html")));
-    println!("eve GET -> {:?} ({})", resp.status, resp.detail.unwrap_or_default());
+    let resp = controller.handle(
+        &eve,
+        ClientRequest::new(RestRequest::get("site/index.html")),
+    );
+    println!(
+        "eve GET -> {:?} ({})",
+        resp.status,
+        resp.detail.unwrap_or_default()
+    );
 
     // Bob cannot replace the page, the administrator can delete it.
     let resp = controller.handle(

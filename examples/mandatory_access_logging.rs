@@ -27,10 +27,24 @@ fn main() {
 
     // The protected record and its (initially empty) log object.
     controller
-        .put(&alice, "medical/record-7", b"blood type: 0+".to_vec(), Some(mal_policy), None, &[])
+        .put(
+            &alice,
+            "medical/record-7",
+            b"blood type: 0+".to_vec(),
+            Some(mal_policy),
+            None,
+            &[],
+        )
         .expect("create record");
     controller
-        .put(&alice, "medical/record-7.log", b"".to_vec(), None, None, &[])
+        .put(
+            &alice,
+            "medical/record-7.log",
+            b"".to_vec(),
+            None,
+            None,
+            &[],
+        )
         .expect("create log");
 
     // Reading without announcing the access in the log is denied.
@@ -40,7 +54,14 @@ fn main() {
     // Announce the intent: append `read("<object>", <version>, "<client>")`.
     let entry = "read(\"medical/record-7\",0,\"alice\")\n";
     controller
-        .put(&alice, "medical/record-7.log", entry.as_bytes().to_vec(), None, None, &[])
+        .put(
+            &alice,
+            "medical/record-7.log",
+            entry.as_bytes().to_vec(),
+            None,
+            None,
+            &[],
+        )
         .expect("append log entry");
 
     // Now the read succeeds, and the log preserves the provenance trail.

@@ -32,16 +32,32 @@ fn main() {
 
     // Alice stores an object governed by the policy.
     let version = controller
-        .put(&alice, "greetings/hello", b"hello pesos".to_vec(), Some(policy), None, &[])
+        .put(
+            &alice,
+            "greetings/hello",
+            b"hello pesos".to_vec(),
+            Some(policy),
+            None,
+            &[],
+        )
         .expect("put failed");
     println!("stored version      : {version}");
 
     // Bob may read it...
-    let (value, _) = controller.get(&bob, "greetings/hello", &[]).expect("read failed");
+    let (value, _) = controller
+        .get(&bob, "greetings/hello", &[])
+        .expect("read failed");
     println!("bob read            : {}", String::from_utf8_lossy(&value));
 
     // ...but not overwrite it.
-    let denied = controller.put(&bob, "greetings/hello", b"defaced".to_vec(), None, None, &[]);
+    let denied = controller.put(
+        &bob,
+        "greetings/hello",
+        b"defaced".to_vec(),
+        None,
+        None,
+        &[],
+    );
     println!("bob update denied   : {}", denied.is_err());
 
     println!("metrics             : {:?}", controller.metrics());

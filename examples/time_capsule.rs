@@ -34,7 +34,14 @@ fn main() {
         .expect("policy");
 
     controller
-        .put(&archivist, "capsule/1977", b"sealed until release".to_vec(), Some(policy), None, &[])
+        .put(
+            &archivist,
+            "capsule/1977",
+            b"sealed until release".to_vec(),
+            Some(policy),
+            None,
+            &[],
+        )
         .expect("initial put (object had no policy yet)");
 
     // The CA's endorsement of the time service (long lived).

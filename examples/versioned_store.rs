@@ -25,13 +25,27 @@ fn main() {
     // Create the document at version 0 and evolve it.
     for (expected, text) in [(0u64, "draft"), (1, "reviewed"), (2, "published")] {
         let v = controller
-            .put(&writer, "doc/report", text.as_bytes().to_vec(), Some(policy), Some(expected), &[])
+            .put(
+                &writer,
+                "doc/report",
+                text.as_bytes().to_vec(),
+                Some(policy),
+                Some(expected),
+                &[],
+            )
             .expect("versioned update");
         println!("stored version {v}: {text}");
     }
 
     // A stale or skipped version number is rejected by the policy.
-    let stale = controller.put(&writer, "doc/report", b"rollback".to_vec(), None, Some(1), &[]);
+    let stale = controller.put(
+        &writer,
+        "doc/report",
+        b"rollback".to_vec(),
+        None,
+        Some(1),
+        &[],
+    );
     println!("stale update rejected: {}", stale.is_err());
     let skip = controller.put(&writer, "doc/report", b"skip".to_vec(), None, Some(7), &[]);
     println!("skipped version rejected: {}", skip.is_err());

@@ -1,0 +1,161 @@
+//! Concurrency stress tests for the sharded metadata/cache hot path: many
+//! threads mixing put/get/delete over both disjoint and shared keys, with
+//! replication, asserting that writes stay linearizable per key.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use pesos::{ControllerConfig, PesosController, PesosError};
+
+const THREADS: usize = 8;
+const OPS_PER_THREAD: usize = 40;
+
+fn controller() -> Arc<PesosController> {
+    let mut config = ControllerConfig::native_simulator(3);
+    config.replication_factor = 2;
+    config.lock_shards = 8;
+    Arc::new(PesosController::new(config).expect("bootstrap"))
+}
+
+#[test]
+fn mixed_ops_over_disjoint_keys_linearize_per_key() {
+    let c = controller();
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let c = Arc::clone(&c);
+        handles.push(std::thread::spawn(move || {
+            let client = c.register_client(&format!("client-{t}"));
+            let key = format!("own/{t}");
+            for i in 0..OPS_PER_THREAD {
+                let value = format!("value {i} of thread {t}").into_bytes();
+                let version = c
+                    .put(&client, &key, value.clone(), None, None, &[])
+                    .unwrap();
+                // Single writer per key: versions must be strictly
+                // sequential.
+                assert_eq!(version as usize, i, "thread {t} saw out-of-order version");
+                let (read, read_version) = c.get(&client, &key, &[]).unwrap();
+                assert_eq!(read_version, version);
+                assert_eq!(&*read, &value);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Final state: every thread's key holds its last write.
+    let observer = c.register_client("observer");
+    for t in 0..THREADS {
+        let key = format!("own/{t}");
+        let (value, version) = c.get(&observer, &key, &[]).unwrap();
+        assert_eq!(version as usize, OPS_PER_THREAD - 1);
+        assert_eq!(
+            &*value,
+            format!("value {} of thread {t}", OPS_PER_THREAD - 1).as_bytes()
+        );
+    }
+}
+
+#[test]
+fn concurrent_writers_on_one_key_get_distinct_contiguous_versions() {
+    let c = controller();
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let c = Arc::clone(&c);
+        handles.push(std::thread::spawn(move || {
+            let client = c.register_client(&format!("writer-{t}"));
+            let mut versions = Vec::new();
+            for i in 0..OPS_PER_THREAD {
+                let value = format!("write {i} from {t}").into_bytes();
+                versions.push(c.put(&client, "shared", value, None, None, &[]).unwrap());
+            }
+            versions
+        }));
+    }
+    let mut all_versions: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    all_versions.sort_unstable();
+    let expected: Vec<u64> = (0..(THREADS * OPS_PER_THREAD) as u64).collect();
+    assert_eq!(
+        all_versions, expected,
+        "concurrent writers must observe distinct, contiguous versions"
+    );
+    // Reads agree with the metadata after the dust settles.
+    let observer = c.register_client("observer");
+    let (_, version) = c.get(&observer, "shared", &[]).unwrap();
+    assert_eq!(version as usize, THREADS * OPS_PER_THREAD - 1);
+}
+
+#[test]
+fn mixed_put_get_delete_with_shared_and_disjoint_keys_stays_consistent() {
+    let c = controller();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let c = Arc::clone(&c);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let client = c.register_client(&format!("mixer-{t}"));
+            for i in 0..OPS_PER_THREAD {
+                // Disjoint traffic.
+                let own = format!("mine/{t}");
+                c.put(&client, &own, format!("{i}").into_bytes(), None, None, &[])
+                    .unwrap();
+                // Shared traffic: puts, reads and deletes race on one key.
+                let shared = "contended/obj";
+                match i % 4 {
+                    0 | 1 => {
+                        let _ = c.put(
+                            &client,
+                            shared,
+                            format!("{t}/{i}").into_bytes(),
+                            None,
+                            None,
+                            &[],
+                        );
+                    }
+                    2 => match c.get(&client, shared, &[]) {
+                        // A read must either miss entirely or return a
+                        // value some writer actually wrote.
+                        Ok((value, _)) => {
+                            let text = String::from_utf8((*value).clone()).unwrap();
+                            assert!(
+                                text.contains('/'),
+                                "read returned bytes nobody wrote: {text:?}"
+                            );
+                        }
+                        Err(PesosError::ObjectNotFound(_)) => {}
+                        Err(e) => panic!("unexpected read error: {e}"),
+                    },
+                    _ => match c.delete(&client, shared, &[]) {
+                        Ok(()) | Err(PesosError::ObjectNotFound(_)) => {}
+                        Err(e) => panic!("unexpected delete error: {e}"),
+                    },
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Disjoint keys: last write of each thread is intact.
+    let observer = c.register_client("observer");
+    for t in 0..THREADS {
+        let (value, _) = c.get(&observer, &format!("mine/{t}"), &[]).unwrap();
+        assert_eq!(&*value, format!("{}", OPS_PER_THREAD - 1).as_bytes());
+    }
+    // The shared key is either gone or holds a value some writer wrote.
+    match c.get(&observer, "contended/obj", &[]) {
+        Ok((value, _)) => {
+            let text = String::from_utf8((*value).clone()).unwrap();
+            assert!(text.contains('/'));
+        }
+        Err(PesosError::ObjectNotFound(_)) => {}
+        Err(e) => panic!("unexpected final state: {e}"),
+    }
+}

@@ -25,11 +25,20 @@ fn full_stack_acl_enforcement_under_sgx_mode() {
              delete :- sessionKeyIs(\"alice\")",
         )
         .unwrap();
-    c.put(&alice, "shared/doc", b"v0".to_vec(), Some(policy), None, &[])
-        .unwrap();
+    c.put(
+        &alice,
+        "shared/doc",
+        b"v0".to_vec(),
+        Some(policy),
+        None,
+        &[],
+    )
+    .unwrap();
 
     assert!(c.get(&bob, "shared/doc", &[]).is_ok());
-    assert!(c.put(&bob, "shared/doc", b"nope".to_vec(), None, None, &[]).is_err());
+    assert!(c
+        .put(&bob, "shared/doc", b"nope".to_vec(), None, None, &[])
+        .is_err());
     assert!(c.delete(&bob, "shared/doc", &[]).is_err());
     assert!(c.delete(&alice, "shared/doc", &[]).is_ok());
 }
@@ -40,8 +49,15 @@ fn data_is_encrypted_and_replicated_across_drives() {
     config.replication_factor = 3;
     let c = PesosController::new(config).unwrap();
     let alice = c.register_client("alice");
-    c.put(&alice, "secret/report", b"top secret contents".to_vec(), None, None, &[])
-        .unwrap();
+    c.put(
+        &alice,
+        "secret/report",
+        b"top secret contents".to_vec(),
+        None,
+        None,
+        &[],
+    )
+    .unwrap();
 
     // Every drive holds a copy, and none of them holds the plaintext.
     let mut copies = 0;
@@ -72,10 +88,9 @@ fn rest_interface_round_trips_through_http_encoding() {
     // parse it back before handling, as an on-the-wire client would.
     let rest = RestRequest::put("wire/object", b"wire payload".to_vec());
     let http_bytes = rest.to_http().to_bytes();
-    let parsed = RestRequest::from_http(
-        &pesos::wire::HttpRequest::parse(&http_bytes).expect("http parse"),
-    )
-    .expect("rest parse");
+    let parsed =
+        RestRequest::from_http(&pesos::wire::HttpRequest::parse(&http_bytes).expect("http parse"))
+            .expect("rest parse");
     let resp = c.handle(&alice, ClientRequest::new(parsed));
     assert_eq!(resp.status, RestStatus::Ok);
 
@@ -87,8 +102,10 @@ fn rest_interface_round_trips_through_http_encoding() {
 fn transactions_are_atomic_across_objects_and_threads() {
     let c = Arc::new(sgx_controller(1));
     let alice = c.register_client("alice");
-    c.put(&alice, "bank/a", b"1000".to_vec(), None, None, &[]).unwrap();
-    c.put(&alice, "bank/b", b"0".to_vec(), None, None, &[]).unwrap();
+    c.put(&alice, "bank/a", b"1000".to_vec(), None, None, &[])
+        .unwrap();
+    c.put(&alice, "bank/b", b"0".to_vec(), None, None, &[])
+        .unwrap();
 
     let mut handles = Vec::new();
     for i in 0..4 {
@@ -96,8 +113,13 @@ fn transactions_are_atomic_across_objects_and_threads() {
         handles.push(std::thread::spawn(move || {
             let me = c.register_client(&format!("worker-{i}"));
             let tx = c.create_tx(&me).unwrap();
-            c.add_write(&me, tx, "bank/a", format!("{}", 1000 - (i + 1) * 100).into_bytes())
-                .unwrap();
+            c.add_write(
+                &me,
+                tx,
+                "bank/a",
+                format!("{}", 1000 - (i + 1) * 100).into_bytes(),
+            )
+            .unwrap();
             c.add_write(&me, tx, "bank/b", format!("{}", (i + 1) * 100).into_bytes())
                 .unwrap();
             c.commit_tx(&me, tx).unwrap();
@@ -128,9 +150,17 @@ fn mandatory_access_logging_enforced_end_to_end() {
              delete :- sessionKeyIs(\"alice\")",
         )
         .unwrap();
-    c.put(&alice, "records/1", b"payload".to_vec(), Some(policy), None, &[])
+    c.put(
+        &alice,
+        "records/1",
+        b"payload".to_vec(),
+        Some(policy),
+        None,
+        &[],
+    )
+    .unwrap();
+    c.put(&alice, "records/1.log", b"".to_vec(), None, None, &[])
         .unwrap();
-    c.put(&alice, "records/1.log", b"".to_vec(), None, None, &[]).unwrap();
 
     // Unlogged access denied; logged access allowed.
     assert!(c.get(&alice, "records/1", &[]).is_err());
@@ -155,7 +185,8 @@ fn native_and_sgx_modes_agree_on_results() {
         let c = PesosController::new(config).unwrap();
         let id = c.register_client("client");
         for i in 0..20u32 {
-            c.put(&id, &format!("obj/{i}"), vec![i as u8; 64], None, None, &[]).unwrap();
+            c.put(&id, &format!("obj/{i}"), vec![i as u8; 64], None, None, &[])
+                .unwrap();
         }
         for i in 0..20u32 {
             let (value, version) = c.get(&id, &format!("obj/{i}"), &[]).unwrap();

@@ -5,6 +5,7 @@ use proptest::prelude::*;
 use pesos::crypto::{hex_decode, hex_encode, sha256, AeadKey, HmacSha256};
 use pesos::policy::{compile, CompiledPolicy, Operation, RequestContext, StaticObjectView};
 use pesos::wire::codec::{read_varint, write_varint, FieldReader, FieldWriter};
+use pesos::{ControllerConfig, PesosController};
 
 proptest! {
     #[test]
@@ -89,6 +90,64 @@ proptest! {
         prop_assert!(policy.evaluate(Operation::Read, &ctx, &view).allowed);
         let ctx = RequestContext::new(Operation::Read).with_session_key(other.clone());
         prop_assert!(!policy.evaluate(Operation::Read, &ctx, &view).allowed);
+    }
+
+    #[test]
+    fn batched_and_serial_replication_leave_identical_drive_state(
+        ops in proptest::collection::vec((0usize..5, 0u8..3, proptest::collection::vec(any::<u8>(), 1..48)), 1..12)
+    ) {
+        // Replay one random put/overwrite/delete sequence against two
+        // controllers that differ only in the replication path, then
+        // require every drive pair to hold byte-identical raw state.
+        let controller_for = |serial: bool| {
+            let mut config = ControllerConfig::native_simulator(3);
+            config.replication_factor = 2;
+            config.serial_replication = serial;
+            if serial {
+                config.lock_shards = 1;
+            }
+            PesosController::new(config).expect("bootstrap")
+        };
+        let serial = controller_for(true);
+        let batched = controller_for(false);
+        let mut versions_written: Vec<(String, u64)> = Vec::new();
+        for c in [&serial, &batched] {
+            let client = c.register_client("replayer");
+            for (key_index, op, value) in &ops {
+                let key = format!("obj/{key_index}");
+                match op % 3 {
+                    2 => {
+                        let _ = c.delete(&client, &key, &[]);
+                    }
+                    _ => {
+                        let version = c
+                            .put(&client, &key, value.clone(), None, None, &[])
+                            .unwrap();
+                        versions_written.push((key, version));
+                    }
+                }
+            }
+        }
+        let serial_store = serial.store();
+        let batched_store = batched.store();
+        for (a, b) in serial_store.drives().iter().zip(batched_store.drives().iter()) {
+            prop_assert_eq!(a.key_count(), b.key_count(), "drive key counts diverged");
+        }
+        for (key, version) in &versions_written {
+            let raw_key = pesos::core::metadata::data_key(key, *version);
+            for (a, b) in serial_store.drives().iter().zip(batched_store.drives().iter()) {
+                match (a.peek(&raw_key), b.peek(&raw_key)) {
+                    (Some(x), Some(y)) => {
+                        prop_assert_eq!(&x.value, &y.value, "replica bytes diverged for {} v{}", key, version);
+                        prop_assert_eq!(&x.version, &y.version);
+                    }
+                    (None, None) => {}
+                    other => return Err(TestCaseError::fail(format!(
+                        "presence mismatch for {key} v{version}: {other:?}"
+                    ))),
+                }
+            }
+        }
     }
 
     #[test]
