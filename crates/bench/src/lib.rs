@@ -457,10 +457,16 @@ fn run_workload_before(
 }
 
 fn print_delta(label: &str, before: &Summary, after: &Summary) {
+    // µs per operation derived from sustained throughput — the number the
+    // ROADMAP's digest-pipeline work tracks (the seed sat at ~70 µs/op on
+    // the in-memory backend, CPU-bound in SHA-256).
+    let us_per_op = |s: &Summary| 1e6 / s.throughput_ops().max(f64::MIN_POSITIVE);
     println!(
-        "{label:<22} before {:>10.2} KIOP/s   after {:>10.2} KIOP/s   speedup {:>5.2}x",
+        "{label:<22} before {:>10.2} KIOP/s ({:>7.2} µs/op)   after {:>10.2} KIOP/s ({:>7.2} µs/op)   speedup {:>5.2}x",
         before.throughput_kiops(),
+        us_per_op(before),
         after.throughput_kiops(),
+        us_per_op(after),
         after.throughput_ops() / before.throughput_ops().max(f64::MIN_POSITIVE),
     );
 }

@@ -12,6 +12,15 @@ pub fn black_box<T>(value: T) -> T {
     std::hint::black_box(value)
 }
 
+/// True when the bench binary was invoked with `--test` (mirroring real
+/// criterion's smoke mode): every benchmark runs a single sample so CI can
+/// verify the harness executes without paying for full measurements.
+/// Public so bench code with manual timing sections can skip them in the
+/// same runs the harness treats as smoke tests.
+pub fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// Benchmark driver handed to the functions in [`criterion_group!`].
 pub struct Criterion {
     default_sample_size: usize,
@@ -83,10 +92,12 @@ fn run_one<F>(id: &str, samples: usize, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
+    // Smoke mode: one sample, no warm-up — just prove the benchmark runs.
+    let runs = if test_mode() { 1 } else { samples + 1 };
     let mut bencher = Bencher {
-        timings: Vec::with_capacity(samples + 1),
+        timings: Vec::with_capacity(runs),
     };
-    for _ in 0..samples + 1 {
+    for _ in 0..runs {
         f(&mut bencher);
     }
     // Drop the warm-up sample when we can afford to.

@@ -26,6 +26,9 @@ pub struct ControllerConfig {
     pub object_cache_bytes: usize,
     /// Number of asynchronous results retained per controller (paper: 2048).
     pub result_buffer_capacity: usize,
+    /// Number of committed-transaction outcomes retained for
+    /// `check_results` polling; the oldest are evicted beyond this bound.
+    pub tx_outcome_capacity: usize,
     /// Worker threads handling requests inside the enclave.
     pub worker_threads: usize,
     /// Untrusted system-call service threads.
@@ -57,6 +60,7 @@ impl Default for ControllerConfig {
             policy_cache_capacity: 50_000,
             object_cache_bytes: 16 * 1024 * 1024,
             result_buffer_capacity: 2048,
+            tx_outcome_capacity: 2048,
             worker_threads: 4,
             syscall_threads: 4,
             session_expiry_secs: 600,

@@ -24,6 +24,7 @@ use crate::config::ControllerConfig;
 use crate::encryption::ObjectCrypter;
 use crate::error::PesosError;
 use crate::metrics::ControllerMetrics;
+use crate::placement::HashedKey;
 use crate::request::{ClientRequest, ClientResponse};
 use crate::result_buffer::{AsyncResult, ResultBuffer};
 use crate::session::SessionManager;
@@ -32,6 +33,60 @@ use crate::transaction::{TransactionManager, TxOutcome, TxWrite};
 
 /// Suffix used to derive an object's associated log key for MAL policies.
 pub const LOG_SUFFIX: &str = ".log";
+
+/// Sharded, bounded map of committed-transaction outcomes.
+///
+/// Transaction identifiers are dense sequence numbers, so `tx_id % shards`
+/// spreads concurrent committers evenly without any hashing; one global
+/// mutex here was among the last request-rate locks left from the ROADMAP.
+///
+/// Outcomes hold full copies of every value the transaction read, so
+/// retention is bounded like the async result buffer: each shard keeps its
+/// most recent commits and evicts the oldest beyond its share of the
+/// capacity. A client polling `check_results` for an evicted transaction
+/// gets the same not-found error as for an unknown one.
+struct ShardedTxOutcomes {
+    per_shard_capacity: usize,
+    shards: Vec<Mutex<TxOutcomeShard>>,
+}
+
+#[derive(Default)]
+struct TxOutcomeShard {
+    outcomes: HashMap<u64, TxOutcome>,
+    order: std::collections::VecDeque<u64>,
+}
+
+impl ShardedTxOutcomes {
+    fn new(shards: usize, capacity: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedTxOutcomes {
+            per_shard_capacity: (capacity / shards).max(1),
+            shards: (0..shards)
+                .map(|_| Mutex::new(TxOutcomeShard::default()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, tx_id: u64) -> &Mutex<TxOutcomeShard> {
+        &self.shards[(tx_id % self.shards.len() as u64) as usize]
+    }
+
+    fn insert(&self, tx_id: u64, outcome: TxOutcome) {
+        let mut shard = self.shard(tx_id).lock();
+        if shard.outcomes.insert(tx_id, outcome).is_none() {
+            shard.order.push_back(tx_id);
+        }
+        while shard.order.len() > self.per_shard_capacity {
+            if let Some(evicted) = shard.order.pop_front() {
+                shard.outcomes.remove(&evicted);
+            }
+        }
+    }
+
+    fn get(&self, tx_id: u64) -> Option<TxOutcome> {
+        self.shard(tx_id).lock().outcomes.get(&tx_id).cloned()
+    }
+}
 
 /// The Pesos controller.
 pub struct PesosController {
@@ -44,7 +99,7 @@ pub struct PesosController {
     metrics: ControllerMetrics,
     clock: AtomicU64,
     report: BootstrapReport,
-    tx_outcomes: Mutex<HashMap<u64, TxOutcome>>,
+    tx_outcomes: ShardedTxOutcomes,
 }
 
 impl PesosController {
@@ -63,14 +118,14 @@ impl PesosController {
             outcome.enclave,
         ));
         Ok(PesosController {
-            sessions: SessionManager::new(config.session_expiry_secs),
+            sessions: SessionManager::with_shards(config.session_expiry_secs, config.lock_shards),
             transactions: TransactionManager::new(),
             results: Arc::new(ResultBuffer::new(config.result_buffer_capacity)),
             scheduler: UserScheduler::new(config.worker_threads),
             metrics: ControllerMetrics::new(),
             clock: AtomicU64::new(1),
             report: outcome.report,
-            tx_outcomes: Mutex::new(HashMap::new()),
+            tx_outcomes: ShardedTxOutcomes::new(config.lock_shards, config.tx_outcome_capacity),
             store,
             config,
         })
@@ -164,16 +219,22 @@ impl PesosController {
     /// Evaluates the policy attached to `key` (if any) for `operation`,
     /// returning the policy that was applied so callers can inspect what it
     /// constrained.
+    /// `meta` is the caller's already-fetched metadata for `key` (fetch
+    /// once per request — every caller needs it anyway for version
+    /// defaults or existence checks, so re-reading it here would double
+    /// the metadata lock traffic and cloning per request).
+    #[allow(clippy::too_many_arguments)]
     fn check_policy(
         &self,
         operation: Operation,
-        key: &str,
+        key: &HashedKey<'_>,
+        meta: Option<&crate::metadata::ObjectMetadata>,
         client_id: &str,
         certificates: &[Certificate],
         next_version: Option<u64>,
         new_object_hash: Option<Vec<u8>>,
     ) -> Result<Option<Arc<pesos_policy::CompiledPolicy>>, PesosError> {
-        let Some(meta) = self.store.get_metadata(key) else {
+        let Some(meta) = meta else {
             // No object yet: creation is governed by the policy supplied with
             // the put (if any); there is nothing to check here.
             return Ok(None);
@@ -183,6 +244,7 @@ impl PesosController {
         };
         let policy = self.store.load_policy(&policy_id)?;
 
+        let key = key.key();
         let mut ctx = RequestContext::new(operation)
             .with_session_key(client_id)
             .with_now(self.now())
@@ -259,17 +321,21 @@ impl PesosController {
         ControllerMetrics::bump(&self.metrics.requests);
         ControllerMetrics::bump(&self.metrics.writes);
 
+        // One key hash and one content hash for the whole request: both are
+        // reused by the policy check and then handed down into the store.
+        let key = HashedKey::new(key);
         let current = self.store.get_metadata(key);
         let default_next = current.as_ref().map(|m| m.latest_version + 1).unwrap_or(0);
         let next_version = expected_version.unwrap_or(default_next);
-        let new_hash = pesos_crypto::sha256(&value).to_vec();
+        let new_hash = pesos_crypto::sha256(&value);
         let applied = self.check_policy(
             Operation::Update,
-            key,
+            &key,
+            current.as_ref(),
             client_id,
             certificates,
             Some(next_version),
-            Some(new_hash),
+            Some(new_hash.to_vec()),
         )?;
 
         if let Some(id) = &policy_id {
@@ -282,7 +348,8 @@ impl PesosController {
         // the same expected_version) cannot both land — one gets a
         // VersionConflict instead of a blind overwrite.
         let cas = Self::cas_version(&applied, expected_version, next_version);
-        self.store.put_object_cas(key, &value, policy_id, cas)
+        self.store
+            .put_object_full(key, &value, policy_id, cas, Some(new_hash))
     }
 
     /// Stores an object asynchronously; returns the operation identifier the
@@ -302,17 +369,19 @@ impl PesosController {
         ControllerMetrics::bump(&self.metrics.writes);
         ControllerMetrics::bump(&self.metrics.async_accepted);
 
+        let key = HashedKey::new(key);
         let current = self.store.get_metadata(key);
         let default_next = current.as_ref().map(|m| m.latest_version + 1).unwrap_or(0);
         let next_version = expected_version.unwrap_or(default_next);
-        let new_hash = pesos_crypto::sha256(&value).to_vec();
+        let new_hash = pesos_crypto::sha256(&value);
         let applied = self.check_policy(
             Operation::Update,
-            key,
+            &key,
+            current.as_ref(),
             client_id,
             certificates,
             Some(next_version),
-            Some(new_hash),
+            Some(new_hash.to_vec()),
         )?;
         if let Some(id) = &policy_id {
             self.store.load_policy(id)?;
@@ -322,9 +391,13 @@ impl PesosController {
         let op_id = self.results.register(client_id);
         let store = Arc::clone(&self.store);
         let results = Arc::clone(&self.results);
-        let key = key.to_string();
+        // Only the raw parts can move into the worker closure; the key hash
+        // travels with them so the store does not recompute it.
+        let key_hash = key.hash();
+        let key = key.key().to_string();
         self.scheduler.spawn(move || {
-            let outcome = match store.put_object_cas(&key, &value, policy_id, cas) {
+            let key = HashedKey::from_parts(&key, key_hash);
+            let outcome = match store.put_object_full(key, &value, policy_id, cas, Some(new_hash)) {
                 Ok(version) => AsyncResult::Completed {
                     version: Some(version),
                 },
@@ -348,7 +421,17 @@ impl PesosController {
         self.require_session(client_id)?;
         ControllerMetrics::bump(&self.metrics.requests);
         ControllerMetrics::bump(&self.metrics.reads);
-        self.check_policy(Operation::Read, key, client_id, certificates, None, None)?;
+        let key = HashedKey::new(key);
+        let current = self.store.get_metadata(key);
+        self.check_policy(
+            Operation::Read,
+            &key,
+            current.as_ref(),
+            client_id,
+            certificates,
+            None,
+            None,
+        )?;
         self.store.get_object(key)
     }
 
@@ -364,7 +447,17 @@ impl PesosController {
         self.require_session(client_id)?;
         ControllerMetrics::bump(&self.metrics.requests);
         ControllerMetrics::bump(&self.metrics.reads);
-        self.check_policy(Operation::Read, key, client_id, certificates, None, None)?;
+        let key = HashedKey::new(key);
+        let current = self.store.get_metadata(key);
+        self.check_policy(
+            Operation::Read,
+            &key,
+            current.as_ref(),
+            client_id,
+            certificates,
+            None,
+            None,
+        )?;
         self.store.get_object_version(key, version)
     }
 
@@ -378,7 +471,17 @@ impl PesosController {
         self.require_session(client_id)?;
         ControllerMetrics::bump(&self.metrics.requests);
         ControllerMetrics::bump(&self.metrics.deletes);
-        self.check_policy(Operation::Delete, key, client_id, certificates, None, None)?;
+        let key = HashedKey::new(key);
+        let current = self.store.get_metadata(key);
+        self.check_policy(
+            Operation::Delete,
+            &key,
+            current.as_ref(),
+            client_id,
+            certificates,
+            None,
+            None,
+        )?;
         self.store.delete_object(key)
     }
 
@@ -393,7 +496,17 @@ impl PesosController {
     ) -> Result<(), PesosError> {
         self.require_session(client_id)?;
         ControllerMetrics::bump(&self.metrics.requests);
-        self.check_policy(Operation::Update, key, client_id, certificates, None, None)?;
+        let key = HashedKey::new(key);
+        let current = self.store.get_metadata(key);
+        self.check_policy(
+            Operation::Update,
+            &key,
+            current.as_ref(),
+            client_id,
+            certificates,
+            None,
+            None,
+        )?;
         self.store.load_policy(&policy_id)?;
         self.store.attach_policy(key, policy_id)
     }
@@ -459,31 +572,48 @@ impl PesosController {
         self.require_session(client_id)?;
         let store = Arc::clone(&self.store);
         let outcome = self.transactions.commit(tx_id, client_id, |reads, writes| {
+            // Hash each key and each write payload once for the whole
+            // commit: the policy checks and the write-back below reuse them.
+            let write_keys: Vec<HashedKey<'_>> =
+                writes.iter().map(|w| HashedKey::new(&w.key)).collect();
+            let write_hashes: Vec<pesos_crypto::Digest> = writes
+                .iter()
+                .map(|w| pesos_crypto::sha256(&w.value))
+                .collect();
+            let read_keys: Vec<HashedKey<'_>> = reads.iter().map(|k| HashedKey::new(k)).collect();
             // Policy checks first so a denial aborts before any write.
-            for write in writes {
-                let next = store
-                    .get_metadata(&write.key)
-                    .map(|m| m.latest_version + 1)
-                    .unwrap_or(0);
+            for (key, hash) in write_keys.iter().zip(&write_hashes) {
+                let current = store.get_metadata(key);
+                let next = current.as_ref().map(|m| m.latest_version + 1).unwrap_or(0);
                 self.check_policy(
                     Operation::Update,
-                    &write.key,
+                    key,
+                    current.as_ref(),
                     client_id,
                     &[],
                     Some(next),
-                    Some(pesos_crypto::sha256(&write.value).to_vec()),
+                    Some(hash.to_vec()),
                 )?;
             }
-            for key in reads {
-                self.check_policy(Operation::Read, key, client_id, &[], None, None)?;
+            for key in &read_keys {
+                let current = store.get_metadata(key);
+                self.check_policy(
+                    Operation::Read,
+                    key,
+                    current.as_ref(),
+                    client_id,
+                    &[],
+                    None,
+                    None,
+                )?;
             }
             let mut outcome = TxOutcome::default();
-            for key in reads {
+            for key in &read_keys {
                 let (value, _) = store.get_object(key)?;
                 outcome.read_values.push((*value).clone());
             }
-            for write in writes {
-                let version = store.put_object(&write.key, &write.value, None)?;
+            for (write, (key, hash)) in writes.iter().zip(write_keys.iter().zip(&write_hashes)) {
+                let version = store.put_object_full(key, &write.value, None, None, Some(*hash))?;
                 outcome.write_versions.push(version);
             }
             Ok(outcome)
@@ -491,7 +621,7 @@ impl PesosController {
         match outcome {
             Ok(out) => {
                 ControllerMetrics::bump(&self.metrics.tx_committed);
-                self.tx_outcomes.lock().insert(tx_id, out.clone());
+                self.tx_outcomes.insert(tx_id, out.clone());
                 Ok(out)
             }
             Err(e) => {
@@ -502,13 +632,20 @@ impl PesosController {
     }
 
     /// Returns the outcome of a previously committed transaction.
+    ///
+    /// Retention is bounded (see [`ShardedTxOutcomes`]): a
+    /// [`PesosError::ResultUnavailable`] here means the outcome is not
+    /// retained — the transaction id is unknown, aborted, or committed long
+    /// enough ago that its outcome was evicted. It must not be read as
+    /// proof the transaction did not commit; the authoritative commit
+    /// signal is [`PesosController::commit_tx`]'s return value.
     pub fn check_results(&self, client_id: &str, tx_id: u64) -> Result<TxOutcome, PesosError> {
         self.require_session(client_id)?;
-        self.tx_outcomes
-            .lock()
-            .get(&tx_id)
-            .cloned()
-            .ok_or_else(|| PesosError::TransactionAborted(format!("no results for tx {tx_id}")))
+        self.tx_outcomes.get(tx_id).ok_or_else(|| {
+            PesosError::ResultUnavailable(format!(
+                "no retained results for tx {tx_id} (unknown, aborted, or evicted)"
+            ))
+        })
     }
 
     // ------------------------------------------------------------------
@@ -675,7 +812,9 @@ fn parse_policy_id(hex: &str) -> Result<PolicyId, PesosError> {
 fn error_response(e: PesosError) -> RestResponse {
     let status = match &e {
         PesosError::PolicyDenied(_) => RestStatus::PolicyDenied,
-        PesosError::ObjectNotFound(_) | PesosError::PolicyNotFound(_) => RestStatus::NotFound,
+        PesosError::ObjectNotFound(_)
+        | PesosError::PolicyNotFound(_)
+        | PesosError::ResultUnavailable(_) => RestStatus::NotFound,
         PesosError::VersionConflict { .. } | PesosError::TransactionAborted(_) => {
             RestStatus::Conflict
         }
@@ -838,6 +977,27 @@ mod tests {
         assert_eq!(&**value, b"50");
         assert_eq!(c.metrics().tx_committed, 1);
         assert!(c.metrics().tx_aborted >= 1);
+    }
+
+    #[test]
+    fn tx_outcomes_are_bounded() {
+        let mut config = ControllerConfig::native_simulator(1);
+        config.tx_outcome_capacity = 8;
+        config.lock_shards = 2;
+        let c = PesosController::new(config).unwrap();
+        c.register_client("alice");
+        let mut ids = Vec::new();
+        for i in 0..40u32 {
+            let tx = c.create_tx("alice").unwrap();
+            c.add_write("alice", tx, &format!("k{i}"), b"v".to_vec())
+                .unwrap();
+            c.commit_tx("alice", tx).unwrap();
+            ids.push(tx);
+        }
+        // Recent outcomes are retrievable; the oldest were evicted to keep
+        // retention bounded (4 per shard here).
+        assert!(c.check_results("alice", *ids.last().unwrap()).is_ok());
+        assert!(c.check_results("alice", ids[0]).is_err());
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub enum PesosError {
     VersionConflict { expected: u64, got: u64 },
     /// A transaction failed or was aborted.
     TransactionAborted(String),
+    /// The outcome of an operation is no longer (or not yet) retained;
+    /// unlike [`PesosError::TransactionAborted`] this says nothing about
+    /// whether the operation succeeded.
+    ResultUnavailable(String),
     /// The request was malformed.
     BadRequest(String),
     /// The client session is unknown or expired.
@@ -40,6 +44,7 @@ impl fmt::Display for PesosError {
                 write!(f, "version conflict: expected {expected}, got {got}")
             }
             PesosError::TransactionAborted(msg) => write!(f, "transaction aborted: {msg}"),
+            PesosError::ResultUnavailable(msg) => write!(f, "result unavailable: {msg}"),
             PesosError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             PesosError::NoSession(msg) => write!(f, "no session: {msg}"),
             PesosError::Backend(msg) => write!(f, "backend error: {msg}"),

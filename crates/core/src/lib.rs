@@ -34,8 +34,7 @@ pub use error::PesosError;
 pub use metadata::{ObjectMetadata, ShardedMetadata, VersionMeta};
 pub use metrics::ControllerMetrics;
 pub use object_cache::ObjectCache;
-pub use placement::key_hash;
-pub use placement::placement;
+pub use placement::{key_hash, placement, HashedKey};
 pub use request::{ClientRequest, ClientResponse};
 pub use result_buffer::ResultBuffer;
 pub use session::{SessionContext, SessionManager};

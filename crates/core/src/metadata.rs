@@ -154,10 +154,14 @@ impl ObjectMetadata {
 /// Shards are selected by [`crate::placement::key_hash`] — the same hash
 /// that drives replica placement — so all state for a key (metadata shard,
 /// cache shard, drive set) derives from one hash computation and keys that
-/// never share a shard never share a lock.
+/// never share a shard never share a lock. Callers on the request hot path
+/// pass a precomputed [`HashedKey`] so the shard selection costs a modulo,
+/// not a fresh SHA-256 of the key.
 pub struct ShardedMetadata {
     shards: Vec<RwLock<HashMap<String, ObjectMetadata>>>,
 }
+
+use crate::placement::HashedKey;
 
 impl ShardedMetadata {
     /// Creates a map with `shards` lock shards (at least one).
@@ -174,24 +178,36 @@ impl ShardedMetadata {
         self.shards.len()
     }
 
-    fn shard(&self, key: &str) -> &RwLock<HashMap<String, ObjectMetadata>> {
-        &self.shards[crate::placement::shard_index(key, self.shards.len())]
+    fn shard(&self, key: &HashedKey<'_>) -> &RwLock<HashMap<String, ObjectMetadata>> {
+        &self.shards[key.shard(self.shards.len())]
     }
 
     /// Returns a clone of the metadata for `key`, if cached.
-    pub fn get(&self, key: &str) -> Option<ObjectMetadata> {
-        self.shard(key).read().get(key).cloned()
+    pub fn get<'a>(&self, key: impl Into<HashedKey<'a>>) -> Option<ObjectMetadata> {
+        let key = key.into();
+        self.shard(&key).read().get(key.key()).cloned()
     }
 
-    /// Inserts (or replaces) the metadata for `meta.key`.
-    pub fn insert(&self, meta: ObjectMetadata) {
-        let shard = self.shard(&meta.key);
+    /// Inserts (or replaces) the metadata for `meta.key`; `key` should be
+    /// the hashed form of that same key (saving a digest). A mismatched
+    /// pair is a caller bug — debug builds assert; release builds fall back
+    /// to hashing `meta.key` itself so the record still lands in the shard
+    /// where lookups will find it, instead of becoming unreachable.
+    pub fn insert<'a>(&self, key: impl Into<HashedKey<'a>>, meta: ObjectMetadata) {
+        let key = key.into();
+        debug_assert_eq!(key.key(), meta.key, "hashed key does not match record");
+        let shard = if key.key() == meta.key {
+            self.shard(&key)
+        } else {
+            self.shard(&HashedKey::new(&meta.key))
+        };
         shard.write().insert(meta.key.clone(), meta);
     }
 
     /// Removes the metadata for `key`.
-    pub fn remove(&self, key: &str) {
-        self.shard(key).write().remove(key);
+    pub fn remove<'a>(&self, key: impl Into<HashedKey<'a>>) {
+        let key = key.into();
+        self.shard(&key).write().remove(key.key());
     }
 
     /// Total number of cached metadata records across all shards.

@@ -19,6 +19,8 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::placement::HashedKey;
+
 /// Counters describing cache behaviour.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ObjectCacheStats {
@@ -99,14 +101,15 @@ impl ObjectCache {
         self.shards.len()
     }
 
-    fn shard(&self, key: &str) -> &Mutex<Inner> {
-        &self.shards[crate::placement::shard_index(key, self.shards.len())]
+    fn shard(&self, key: &HashedKey<'_>) -> &Mutex<Inner> {
+        &self.shards[key.shard(self.shards.len())]
     }
 
     /// Looks up the latest cached value and version for `key`.
-    pub fn get(&self, key: &str) -> Option<(Arc<Vec<u8>>, u64)> {
-        let mut inner = self.shard(key).lock();
-        match inner.entries.get_mut(key) {
+    pub fn get<'a>(&self, key: impl Into<HashedKey<'a>>) -> Option<(Arc<Vec<u8>>, u64)> {
+        let key = key.into();
+        let mut inner = self.shard(&key).lock();
+        match inner.entries.get_mut(key.key()) {
             Some(e) => {
                 e.frequency += 1;
                 let out = (Arc::clone(&e.value), e.version);
@@ -123,12 +126,14 @@ impl ObjectCache {
     /// Inserts (or replaces) the cached value for `key`.
     ///
     /// Values larger than the whole shard budget are not cached.
-    pub fn put(&self, key: &str, value: Arc<Vec<u8>>, version: u64) {
+    pub fn put<'a>(&self, key: impl Into<HashedKey<'a>>, value: Arc<Vec<u8>>, version: u64) {
+        let hashed = key.into();
+        let key = hashed.key();
         let size = value.len() as u64 + key.len() as u64;
         if size > self.shard_budget_bytes {
             return;
         }
-        let mut inner = self.shard(key).lock();
+        let mut inner = self.shard(&hashed).lock();
         if let Some(old) = inner.entries.remove(key) {
             inner.used_bytes -= old.value.len() as u64 + key.len() as u64;
         }
@@ -161,10 +166,11 @@ impl ObjectCache {
     }
 
     /// Removes a key from the cache (e.g. on delete).
-    pub fn invalidate(&self, key: &str) {
-        let mut inner = self.shard(key).lock();
-        if let Some(e) = inner.entries.remove(key) {
-            inner.used_bytes -= e.value.len() as u64 + key.len() as u64;
+    pub fn invalidate<'a>(&self, key: impl Into<HashedKey<'a>>) {
+        let key = key.into();
+        let mut inner = self.shard(&key).lock();
+        if let Some(e) = inner.entries.remove(key.key()) {
+            inner.used_bytes -= e.value.len() as u64 + key.key().len() as u64;
         }
     }
 

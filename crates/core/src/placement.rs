@@ -20,34 +20,110 @@ pub fn key_hash(key: &str) -> u64 {
     u64::from_be_bytes(h)
 }
 
+/// An object key bundled with its [`key_hash`], computed exactly once.
+///
+/// One request consults several hash-keyed structures — drive placement,
+/// the metadata map shard, the object-cache shard, the key-lock registry —
+/// and each of them used to recompute the SHA-256 key hash from scratch.
+/// The controller now builds a `HashedKey` when the request enters and
+/// threads it through every layer, so the digest is paid once per request
+/// regardless of how many structures are touched.
+///
+/// `From<&str>` keeps call sites that have only a bare key (tests, external
+/// store users) working: conversion computes the hash, so a bare `&str`
+/// argument is exactly the old behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct HashedKey<'a> {
+    key: &'a str,
+    hash: u64,
+}
+
+impl<'a> HashedKey<'a> {
+    /// Hashes `key` once and caches the result.
+    pub fn new(key: &'a str) -> Self {
+        HashedKey {
+            key,
+            hash: key_hash(key),
+        }
+    }
+
+    /// Reassembles a `HashedKey` from a key and its previously computed
+    /// [`key_hash`]; crate-internal because a mismatched pair would corrupt
+    /// shard selection. Used where a request crosses an ownership boundary
+    /// (e.g. into an async closure) and only the raw parts can travel.
+    pub(crate) fn from_parts(key: &'a str, hash: u64) -> Self {
+        HashedKey { key, hash }
+    }
+
+    /// The object key.
+    pub fn key(&self) -> &'a str {
+        self.key
+    }
+
+    /// The cached [`key_hash`] value.
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Maps this key to one of `shards` lock-shard indices.
+    ///
+    /// Every sharded structure (metadata map, object cache, key-lock
+    /// registry) selects shards through this one function so their shard
+    /// choice can never drift apart.
+    pub fn shard(&self, shards: usize) -> usize {
+        if shards <= 1 {
+            return 0;
+        }
+        (self.hash % shards as u64) as usize
+    }
+}
+
+impl<'a> From<&'a str> for HashedKey<'a> {
+    fn from(key: &'a str) -> Self {
+        HashedKey::new(key)
+    }
+}
+
+impl<'a> From<&'a String> for HashedKey<'a> {
+    fn from(key: &'a String) -> Self {
+        HashedKey::new(key)
+    }
+}
+
+impl<'a> From<&HashedKey<'a>> for HashedKey<'a> {
+    fn from(key: &HashedKey<'a>) -> Self {
+        *key
+    }
+}
+
 /// Maps `key` to one of `shards` lock-shard indices using [`key_hash`].
 ///
-/// Every sharded structure (metadata map, object cache, key-lock registry)
-/// must select shards through this one function so their shard choice can
-/// never drift apart.
+/// Convenience wrapper over [`HashedKey::shard`] for callers without a
+/// precomputed hash.
 pub fn shard_index(key: &str, shards: usize) -> usize {
-    if shards <= 1 {
-        return 0;
-    }
-    (key_hash(key) % shards as u64) as usize
+    HashedKey::new(key).shard(shards)
 }
 
 /// Returns the ordered drive indices holding `key`: the primary first, then
 /// the replicas, `replication_factor` entries in total (capped at the number
 /// of drives).
-pub fn placement(key: &str, drive_count: usize, replication_factor: usize) -> Vec<usize> {
+pub fn placement<'a>(
+    key: impl Into<HashedKey<'a>>,
+    drive_count: usize,
+    replication_factor: usize,
+) -> Vec<usize> {
     if drive_count == 0 {
         return Vec::new();
     }
     let factor = replication_factor.clamp(1, drive_count);
-    let primary = (key_hash(key) % drive_count as u64) as usize;
+    let primary = (key.into().hash() % drive_count as u64) as usize;
     (0..factor).map(|i| (primary + i) % drive_count).collect()
 }
 
 /// Like [`placement`] but skips drives reported offline, extending the probe
 /// sequence so the replication factor is preserved when possible.
-pub fn placement_available(
-    key: &str,
+pub fn placement_available<'a>(
+    key: impl Into<HashedKey<'a>>,
     drive_count: usize,
     replication_factor: usize,
     online: &[usize],
@@ -56,12 +132,43 @@ pub fn placement_available(
         return Vec::new();
     }
     let factor = replication_factor.clamp(1, drive_count);
-    let primary = (key_hash(key) % drive_count as u64) as usize;
+    let primary = (key.into().hash() % drive_count as u64) as usize;
+
+    // One O(drives) membership mask instead of an `online.contains` linear
+    // scan per probed slot (which made the probe loop quadratic in the
+    // drive count when most drives were offline). Realistic cluster sizes
+    // fit a stack bitmask, keeping this per-request path allocation-free;
+    // only very large clusters pay for a heap-allocated mask.
+    enum Mask {
+        Small(u128),
+        Large(Vec<bool>),
+    }
+    let mask = if drive_count <= 128 {
+        let mut mask: u128 = 0;
+        for &idx in online {
+            if idx < drive_count {
+                mask |= 1 << idx;
+            }
+        }
+        Mask::Small(mask)
+    } else {
+        let mut mask = vec![false; drive_count];
+        for &idx in online {
+            if idx < drive_count {
+                mask[idx] = true;
+            }
+        }
+        Mask::Large(mask)
+    };
+    let is_online = |idx: usize| match &mask {
+        Mask::Small(m) => m & (1 << idx) != 0,
+        Mask::Large(v) => v[idx],
+    };
 
     let mut out = Vec::with_capacity(factor);
     for offset in 0..drive_count {
         let idx = (primary + offset) % drive_count;
-        if online.contains(&idx) {
+        if is_online(idx) {
             out.push(idx);
             if out.len() == factor {
                 break;
@@ -119,6 +226,53 @@ mod tests {
                 "drive {d} got {c} of 4000 objects"
             );
         }
+    }
+
+    #[test]
+    fn hashed_key_matches_direct_key_hash() {
+        for key in ["", "a", "users/alice", "a-very-long-object-key-0123456789"] {
+            let hashed = HashedKey::new(key);
+            assert_eq!(hashed.hash(), key_hash(key));
+            assert_eq!(hashed.key(), key);
+            for shards in [1usize, 2, 7, 16, 64] {
+                assert_eq!(hashed.shard(shards), shard_index(key, shards));
+            }
+            // Placement through a precomputed hash is identical to placement
+            // from the bare key.
+            assert_eq!(placement(hashed, 5, 3), placement(key, 5, 3));
+            assert_eq!(
+                placement_available(hashed, 5, 3, &[0, 2, 4]),
+                placement_available(key, 5, 3, &[0, 2, 4])
+            );
+        }
+    }
+
+    #[test]
+    fn placement_available_scales_to_many_drives() {
+        // 2000 drives with only a sparse tail online: the boolean mask keeps
+        // this O(drives); the old per-probe `contains` scan was O(drives²).
+        let drive_count = 2000;
+        let online: Vec<usize> = (0..drive_count).filter(|i| i % 37 == 0).collect();
+        for i in 0..50 {
+            let key = format!("obj/{i}");
+            let p = placement_available(&key, drive_count, 3, &online);
+            assert_eq!(p.len(), 3);
+            assert!(p.iter().all(|idx| idx % 37 == 0));
+            // The probe order is preserved: each selected drive is the next
+            // online drive at or after the previous selection.
+            let primary = (key_hash(&key) % drive_count as u64) as usize;
+            let expected: Vec<usize> = (0..drive_count)
+                .map(|off| (primary + off) % drive_count)
+                .filter(|idx| idx % 37 == 0)
+                .take(3)
+                .collect();
+            assert_eq!(p, expected);
+        }
+        // Out-of-range indices in the online list are ignored, not a panic.
+        assert_eq!(
+            placement_available("k", 4, 2, &[1, 9999]),
+            placement_available("k", 4, 2, &[1])
+        );
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! session survives a disconnect and expires only after a grace period; a
 //! reconnecting client with the same certificate reuses it (paper §3.1).
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 use parking_lot::Mutex;
 
@@ -29,24 +31,52 @@ pub struct SessionContext {
 }
 
 /// Manages session contexts keyed by client identity.
+///
+/// The map is split over N independently locked shards (the same pattern as
+/// the metadata map and object cache) because every single request calls
+/// [`SessionManager::touch`]: one global mutex here serialized otherwise
+/// disjoint sessions. Client identities are not placement keys, so shard
+/// selection uses the standard library hasher — no SHA-256 on this path.
 pub struct SessionManager {
     expiry_secs: u64,
-    sessions: Mutex<HashMap<String, SessionContext>>,
+    shards: Vec<Mutex<HashMap<String, SessionContext>>>,
 }
 
 impl SessionManager {
-    /// Creates a manager whose sessions expire `expiry_secs` after their
-    /// last activity.
+    /// Creates a single-shard manager whose sessions expire `expiry_secs`
+    /// after their last activity.
     pub fn new(expiry_secs: u64) -> Self {
+        SessionManager::with_shards(expiry_secs, 1)
+    }
+
+    /// Creates a manager whose session map is split over `shards` lock
+    /// shards (at least one).
+    pub fn with_shards(expiry_secs: u64, shards: usize) -> Self {
         SessionManager {
             expiry_secs,
-            sessions: Mutex::new(HashMap::new()),
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
         }
+    }
+
+    /// Number of lock shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, client_id: &str) -> &Mutex<HashMap<String, SessionContext>> {
+        if self.shards.len() == 1 {
+            return &self.shards[0];
+        }
+        let mut hasher = DefaultHasher::new();
+        client_id.hash(&mut hasher);
+        &self.shards[(hasher.finish() % self.shards.len() as u64) as usize]
     }
 
     /// Returns the existing session for `client_id` or creates one.
     pub fn connect(&self, client_id: &str, subject: &str, now: u64) -> SessionContext {
-        let mut sessions = self.sessions.lock();
+        let mut sessions = self.shard(client_id).lock();
         let entry = sessions
             .entry(client_id.to_string())
             .or_insert_with(|| SessionContext {
@@ -64,7 +94,7 @@ impl SessionManager {
     /// Records a request for `client_id`, returning false if no session
     /// exists (the caller should re-authenticate the client).
     pub fn touch(&self, client_id: &str, now: u64) -> bool {
-        let mut sessions = self.sessions.lock();
+        let mut sessions = self.shard(client_id).lock();
         match sessions.get_mut(client_id) {
             Some(s) => {
                 s.last_active = now;
@@ -77,7 +107,7 @@ impl SessionManager {
 
     /// Issues and remembers a freshness nonce for `client_id`.
     pub fn issue_nonce(&self, client_id: &str, nonce: Vec<u8>) -> bool {
-        let mut sessions = self.sessions.lock();
+        let mut sessions = self.shard(client_id).lock();
         match sessions.get_mut(client_id) {
             Some(s) => {
                 s.issued_nonce = Some(nonce);
@@ -89,20 +119,24 @@ impl SessionManager {
 
     /// Returns the session for `client_id`, if present.
     pub fn get(&self, client_id: &str) -> Option<SessionContext> {
-        self.sessions.lock().get(client_id).cloned()
+        self.shard(client_id).lock().get(client_id).cloned()
     }
 
     /// Drops sessions idle past the expiry window; returns how many expired.
     pub fn expire(&self, now: u64) -> usize {
-        let mut sessions = self.sessions.lock();
-        let before = sessions.len();
-        sessions.retain(|_, s| now.saturating_sub(s.last_active) <= self.expiry_secs);
-        before - sessions.len()
+        let mut expired = 0;
+        for shard in &self.shards {
+            let mut sessions = shard.lock();
+            let before = sessions.len();
+            sessions.retain(|_, s| now.saturating_sub(s.last_active) <= self.expiry_secs);
+            expired += before - sessions.len();
+        }
+        expired
     }
 
     /// Number of live sessions.
     pub fn len(&self) -> usize {
-        self.sessions.lock().len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// True if there are no live sessions.
@@ -138,6 +172,50 @@ mod tests {
         let s = mgr.get("fp").unwrap();
         assert_eq!(s.requests, 1);
         assert_eq!(s.issued_nonce, Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn sharded_manager_keeps_per_client_semantics() {
+        let mgr = SessionManager::with_shards(60, 8);
+        assert_eq!(mgr.shard_count(), 8);
+        for i in 0..100 {
+            mgr.connect(&format!("client-{i}"), "subject", i);
+        }
+        assert_eq!(mgr.len(), 100);
+        for i in 0..100 {
+            let id = format!("client-{i}");
+            assert!(mgr.touch(&id, i + 1));
+            assert!(mgr.issue_nonce(&id, vec![i as u8]));
+            let s = mgr.get(&id).unwrap();
+            assert_eq!(s.requests, 1);
+            assert_eq!(s.issued_nonce, Some(vec![i as u8]));
+        }
+        // Expiry sweeps every shard: clients idle past the window (last
+        // active at i+1, so those with i+1 < 40 at now=100) go, the rest
+        // stay.
+        assert_eq!(mgr.expire(100), 39);
+        assert_eq!(mgr.len(), 61);
+        // Concurrent touches on disjoint clients are safe.
+        let mgr = std::sync::Arc::new(SessionManager::with_shards(60, 8));
+        for i in 0..8 {
+            mgr.connect(&format!("t-{i}"), "s", 0);
+        }
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let mgr = std::sync::Arc::clone(&mgr);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        assert!(mgr.touch(&format!("t-{i}"), 1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for i in 0..8 {
+            assert_eq!(mgr.get(&format!("t-{i}")).unwrap().requests, 100);
+        }
     }
 
     #[test]

@@ -31,6 +31,18 @@
 //! the old blocking one-replica-at-a-time path; benchmarks use it as the
 //! "before" configuration and tests assert both paths leave byte-identical
 //! drive state.
+//!
+//! # The digest pipeline
+//!
+//! Every hash on the request path is computed exactly once. The controller
+//! builds a [`HashedKey`] when a request enters and threads it through
+//! placement, the metadata shard, the cache shard and the key-lock
+//! registry, so the SHA-256 placement hash is paid once per request rather
+//! than once per structure. Put payloads arrive with the content digest the
+//! controller already computed for the policy check (the crate-private
+//! `put_object_full`), so the version metadata never hashes the same bytes
+//! twice. The compression-count budgets in `tests/digest_budget.rs` pin
+//! these invariants.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -47,7 +59,7 @@ use crate::metadata::{
     data_key, meta_key, policy_key, ObjectMetadata, ShardedMetadata, VersionMeta,
 };
 use crate::object_cache::ObjectCache;
-use crate::placement::{placement_available, shard_index};
+use crate::placement::{placement_available, HashedKey};
 
 /// Sizing and behaviour options for one [`PesosStore`].
 #[derive(Debug, Clone)]
@@ -103,15 +115,15 @@ impl KeyLocks {
         }
     }
 
-    fn shard(&self, key: &str) -> &Mutex<HashMap<String, Arc<Mutex<()>>>> {
-        &self.shards[shard_index(key, self.shards.len())]
+    fn shard(&self, key: &HashedKey<'_>) -> &Mutex<HashMap<String, Arc<Mutex<()>>>> {
+        &self.shards[key.shard(self.shards.len())]
     }
 
-    fn lock_for(&self, key: &str) -> Arc<Mutex<()>> {
+    fn lock_for(&self, key: &HashedKey<'_>) -> Arc<Mutex<()>> {
         Arc::clone(
             self.shard(key)
                 .lock()
-                .entry(key.to_string())
+                .entry(key.key().to_string())
                 .or_insert_with(|| Arc::new(Mutex::new(()))),
         )
     }
@@ -119,10 +131,10 @@ impl KeyLocks {
     /// Drops `key`'s registry entry if `held` (the caller's clone) and the
     /// registry itself are the only holders. New clones are only handed
     /// out under the shard lock, so the count cannot grow concurrently.
-    fn release_if_unused(&self, key: &str, held: &Arc<Mutex<()>>) {
+    fn release_if_unused(&self, key: &HashedKey<'_>, held: &Arc<Mutex<()>>) {
         let mut shard = self.shard(key).lock();
         if Arc::strong_count(held) == 2 {
-            shard.remove(key);
+            shard.remove(key.key());
         }
     }
 }
@@ -194,7 +206,7 @@ impl PesosStore {
         self.drives.online_indices()
     }
 
-    fn targets_for(&self, key: &str) -> Vec<usize> {
+    fn targets_for(&self, key: &HashedKey<'_>) -> Vec<usize> {
         placement_available(
             key,
             self.clients.len(),
@@ -232,7 +244,7 @@ impl PesosStore {
     /// replica costs a reference-count bump, not a copy.
     fn replicated_put(
         &self,
-        placement_key: &str,
+        placement_key: &HashedKey<'_>,
         backend_key: Arc<[u8]>,
         encoded: Payload,
     ) -> Result<(), PesosError> {
@@ -269,11 +281,11 @@ impl PesosStore {
     /// in the background.
     fn replicated_get(
         &self,
-        placement_key: &str,
+        placement_key: &HashedKey<'_>,
         backend_key: Arc<[u8]>,
     ) -> Result<Payload, PesosError> {
         let targets = self.targets_for(placement_key);
-        let not_found = || PesosError::ObjectNotFound(placement_key.to_string());
+        let not_found = || PesosError::ObjectNotFound(placement_key.key().to_string());
         if targets.is_empty() {
             return Err(PesosError::Backend("no online drives".into()));
         }
@@ -335,9 +347,10 @@ impl PesosStore {
     ) -> Result<PolicyId, PesosError> {
         let id = policy.id();
         let bytes = policy.to_bytes();
+        let hex = id.to_hex();
         self.replicated_put(
-            &id.to_hex(),
-            Arc::from(policy_key(&id.to_hex())),
+            &HashedKey::new(&hex),
+            Arc::from(policy_key(&hex)),
             bytes.into(),
         )?;
         self.policy_cache.insert(policy);
@@ -350,8 +363,9 @@ impl PesosStore {
         if let Some(p) = self.policy_cache.get(id) {
             return Ok(p);
         }
+        let hex = id.to_hex();
         let bytes = self
-            .replicated_get(&id.to_hex(), Arc::from(policy_key(&id.to_hex())))
+            .replicated_get(&HashedKey::new(&hex), Arc::from(policy_key(&hex)))
             .map_err(|_| PesosError::PolicyNotFound(id.to_hex()))?;
         let policy = Arc::new(CompiledPolicy::from_bytes(&bytes)?);
         if policy.id() != *id {
@@ -372,42 +386,50 @@ impl PesosStore {
     /// lock: filling without it could insert metadata a concurrent delete
     /// or newer put has already superseded, resurrecting deleted objects
     /// or rolling versions back. The warm path (map hit) stays lock-free.
-    pub fn get_metadata(&self, key: &str) -> Option<ObjectMetadata> {
+    pub fn get_metadata<'a>(&self, key: impl Into<HashedKey<'a>>) -> Option<ObjectMetadata> {
+        let key = key.into();
         if let Some(m) = self.metadata.get(key) {
             return Some(m);
         }
-        let key_lock = self.key_locks.lock_for(key);
+        let key_lock = self.key_locks.lock_for(&key);
         let fill_guard = key_lock.lock();
-        let out = self.load_metadata_locked(key);
+        let out = self.load_metadata_locked(&key);
         drop(fill_guard);
-        self.key_locks.release_if_unused(key, &key_lock);
+        self.key_locks.release_if_unused(&key, &key_lock);
         out
     }
 
     /// The read-through body of [`PesosStore::get_metadata`]; the caller
     /// must hold `key`'s write lock, which makes the drive read
     /// authoritative (no delete or put can run concurrently for this key).
-    fn load_metadata_locked(&self, key: &str) -> Option<ObjectMetadata> {
+    fn load_metadata_locked(&self, key: &HashedKey<'_>) -> Option<ObjectMetadata> {
         if let Some(m) = self.metadata.get(key) {
             return Some(m);
         }
-        match self.replicated_get(key, Arc::from(meta_key(key))) {
+        match self.replicated_get(key, Arc::from(meta_key(key.key()))) {
             Ok(bytes) => {
                 let meta = ObjectMetadata::from_bytes(&bytes).ok()?;
-                self.metadata.insert(meta.clone());
+                // A record whose embedded key differs from the key it was
+                // stored under is corrupt drive state: caching it would
+                // file it in `key`'s shard under the embedded name, where
+                // no lookup or removal would ever find it again.
+                if meta.key != key.key() {
+                    return None;
+                }
+                self.metadata.insert(key, meta.clone());
                 Some(meta)
             }
             Err(_) => None,
         }
     }
 
-    fn persist_metadata(&self, meta: &ObjectMetadata) -> Result<(), PesosError> {
-        self.replicated_put(
-            &meta.key,
-            Arc::from(meta_key(&meta.key)),
-            meta.to_bytes().into(),
-        )?;
-        self.metadata.insert(meta.clone());
+    fn persist_metadata(
+        &self,
+        key: &HashedKey<'_>,
+        meta: &ObjectMetadata,
+    ) -> Result<(), PesosError> {
+        self.replicated_put(key, Arc::from(meta_key(&meta.key)), meta.to_bytes().into())?;
+        self.metadata.insert(key, meta.clone());
         Ok(())
     }
 
@@ -421,13 +443,13 @@ impl PesosStore {
     /// only enforces the mechanical version sequence. Writes to the same
     /// key are linearized through its key lock; writes to different keys
     /// proceed concurrently.
-    pub fn put_object(
+    pub fn put_object<'a>(
         &self,
-        key: &str,
+        key: impl Into<HashedKey<'a>>,
         value: &[u8],
         policy_id: Option<PolicyId>,
     ) -> Result<u64, PesosError> {
-        self.put_object_cas(key, value, policy_id, None)
+        self.put_object_full(key, value, policy_id, None, None)
     }
 
     /// Like [`PesosStore::put_object`] but with compare-and-swap semantics:
@@ -436,19 +458,42 @@ impl PesosStore {
     /// two racing writers expecting the same version cannot both succeed —
     /// the policy layer's pre-write `nextVersion` check alone cannot
     /// guarantee that, because it runs before the lock is taken.
-    pub fn put_object_cas(
+    pub fn put_object_cas<'a>(
         &self,
-        key: &str,
+        key: impl Into<HashedKey<'a>>,
         value: &[u8],
         policy_id: Option<PolicyId>,
         expected_version: Option<u64>,
     ) -> Result<u64, PesosError> {
-        let key_lock = self.key_locks.lock_for(key);
+        self.put_object_full(key, value, policy_id, expected_version, None)
+    }
+
+    /// The full put path: compare-and-swap plus an optional precomputed
+    /// content digest.
+    ///
+    /// The controller already hashes every put payload for the policy
+    /// check's `objHash` predicate; passing that digest here keeps the
+    /// version metadata from hashing the same bytes a second time. A `None`
+    /// hash is computed on the spot, so callers without a digest get
+    /// identical results. Crate-private because the digest is trusted: a
+    /// mismatched hash would be persisted into the version metadata, where
+    /// it breaks `objHash` policies and permanently defeats the get-path
+    /// cache revalidation for that version.
+    pub(crate) fn put_object_full<'a>(
+        &self,
+        key: impl Into<HashedKey<'a>>,
+        value: &[u8],
+        policy_id: Option<PolicyId>,
+        expected_version: Option<u64>,
+        value_hash: Option<pesos_crypto::Digest>,
+    ) -> Result<u64, PesosError> {
+        let key = key.into();
+        let key_lock = self.key_locks.lock_for(&key);
         let _write_guard = key_lock.lock();
 
         let mut meta = self
-            .load_metadata_locked(key)
-            .unwrap_or_else(|| ObjectMetadata::new(key));
+            .load_metadata_locked(&key)
+            .unwrap_or_else(|| ObjectMetadata::new(key.key()));
         let new_version = if meta.versions.is_empty() {
             0
         } else {
@@ -463,8 +508,8 @@ impl PesosStore {
             }
         }
 
-        let encoded: Payload = self.crypter.seal(key, new_version, value).into();
-        self.replicated_put(key, Arc::from(data_key(key, new_version)), encoded)?;
+        let encoded: Payload = self.crypter.seal(key.key(), new_version, value).into();
+        self.replicated_put(&key, Arc::from(data_key(key.key(), new_version)), encoded)?;
 
         let policy_hash = policy_id
             .or(meta.policy_id)
@@ -476,10 +521,12 @@ impl PesosStore {
         meta.record_version(VersionMeta {
             version: new_version,
             size: value.len() as u64,
-            value_hash: pesos_crypto::sha256(value).to_vec(),
+            value_hash: value_hash
+                .unwrap_or_else(|| pesos_crypto::sha256(value))
+                .to_vec(),
             policy_hash,
         });
-        self.persist_metadata(&meta)?;
+        self.persist_metadata(&key, &meta)?;
 
         self.object_cache
             .put(key, Arc::new(value.to_vec()), new_version);
@@ -487,13 +534,17 @@ impl PesosStore {
     }
 
     /// Retrieves the latest version of `key`.
-    pub fn get_object(&self, key: &str) -> Result<(Arc<Vec<u8>>, u64), PesosError> {
+    pub fn get_object<'a>(
+        &self,
+        key: impl Into<HashedKey<'a>>,
+    ) -> Result<(Arc<Vec<u8>>, u64), PesosError> {
+        let key = key.into();
         if let Some((value, version)) = self.object_cache.get(key) {
             return Ok((value, version));
         }
         let meta = self
             .get_metadata(key)
-            .ok_or_else(|| PesosError::ObjectNotFound(key.to_string()))?;
+            .ok_or_else(|| PesosError::ObjectNotFound(key.key().to_string()))?;
         let version = meta.latest_version;
         let value = self.get_object_version(key, version)?;
         let value = Arc::new(value);
@@ -508,7 +559,7 @@ impl PesosStore {
             // the expensive part; only the metadata comparison needs the
             // lock.
             let value_hash = pesos_crypto::sha256(&value);
-            let key_lock = self.key_locks.lock_for(key);
+            let key_lock = self.key_locks.lock_for(&key);
             let fill_guard = key_lock.lock();
             let still_latest = self.metadata.get(key).is_some_and(|m| {
                 m.latest_version == version
@@ -519,17 +570,22 @@ impl PesosStore {
                 self.object_cache.put(key, Arc::clone(&value), version);
             }
             drop(fill_guard);
-            self.key_locks.release_if_unused(key, &key_lock);
+            self.key_locks.release_if_unused(&key, &key_lock);
         }
         Ok((value, version))
     }
 
     /// Retrieves a specific stored version of `key` (used by versioned-store
     /// history reads and `objSays` evaluation).
-    pub fn get_object_version(&self, key: &str, version: u64) -> Result<Vec<u8>, PesosError> {
-        let stored = self.replicated_get(key, Arc::from(data_key(key, version)))?;
+    pub fn get_object_version<'a>(
+        &self,
+        key: impl Into<HashedKey<'a>>,
+        version: u64,
+    ) -> Result<Vec<u8>, PesosError> {
+        let key = key.into();
+        let stored = self.replicated_get(&key, Arc::from(data_key(key.key(), version)))?;
         self.crypter
-            .unseal(key, version, &stored)
+            .unseal(key.key(), version, &stored)
             .map_err(|e| PesosError::Backend(format!("decryption failed: {e}")))
     }
 
@@ -538,20 +594,21 @@ impl PesosStore {
     /// All per-version, per-replica deletes go out as one scatter-gather
     /// batch that is joined before the key lock is released, so a put that
     /// re-creates the key afterwards can never race a still-queued delete.
-    pub fn delete_object(&self, key: &str) -> Result<(), PesosError> {
-        let key_lock = self.key_locks.lock_for(key);
+    pub fn delete_object<'a>(&self, key: impl Into<HashedKey<'a>>) -> Result<(), PesosError> {
+        let key = key.into();
+        let key_lock = self.key_locks.lock_for(&key);
         let write_guard = key_lock.lock();
 
         let meta = self
-            .load_metadata_locked(key)
-            .ok_or_else(|| PesosError::ObjectNotFound(key.to_string()))?;
-        let targets = self.targets_for(key);
+            .load_metadata_locked(&key)
+            .ok_or_else(|| PesosError::ObjectNotFound(key.key().to_string()))?;
+        let targets = self.targets_for(&key);
         let mut backend_keys: Vec<Arc<[u8]>> = meta
             .versions
             .iter()
-            .map(|v| Arc::from(data_key(key, v.version)))
+            .map(|v| Arc::from(data_key(key.key(), v.version)))
             .collect();
-        backend_keys.push(Arc::from(meta_key(key)));
+        backend_keys.push(Arc::from(meta_key(key.key())));
 
         if self.serial_replication {
             for backend_key in &backend_keys {
@@ -578,21 +635,26 @@ impl PesosStore {
         self.metadata.remove(key);
         self.object_cache.invalidate(key);
         drop(write_guard);
-        self.key_locks.release_if_unused(key, &key_lock);
+        self.key_locks.release_if_unused(&key, &key_lock);
         Ok(())
     }
 
     /// Associates `policy_id` with an existing object without changing its
     /// contents.
-    pub fn attach_policy(&self, key: &str, policy_id: PolicyId) -> Result<(), PesosError> {
-        let key_lock = self.key_locks.lock_for(key);
+    pub fn attach_policy<'a>(
+        &self,
+        key: impl Into<HashedKey<'a>>,
+        policy_id: PolicyId,
+    ) -> Result<(), PesosError> {
+        let key = key.into();
+        let key_lock = self.key_locks.lock_for(&key);
         let _write_guard = key_lock.lock();
 
         let mut meta = self
-            .load_metadata_locked(key)
-            .ok_or_else(|| PesosError::ObjectNotFound(key.to_string()))?;
+            .load_metadata_locked(&key)
+            .ok_or_else(|| PesosError::ObjectNotFound(key.key().to_string()))?;
         meta.policy_id = Some(policy_id);
-        self.persist_metadata(&meta)
+        self.persist_metadata(&key, &meta)
     }
 
     /// Returns a read-only view adapter usable by the policy interpreter.

@@ -1,30 +1,47 @@
 //! HMAC-SHA256 (RFC 2104 / FIPS 198-1).
 //!
 //! Used by the AEAD construction (encrypt-then-MAC), the secure channel
-//! record layer and key-confirmation messages during attestation.
+//! record layer, the Kinetic protocol envelopes and key-confirmation
+//! messages during attestation.
+//!
+//! # Cached key schedules
+//!
+//! The HMAC key schedule — padding the key to a block, XOR-ing the ipad and
+//! opad masks, and compressing one block for each — costs two SHA-256
+//! compressions plus the mask work, and depends only on the key. [`HmacKey`]
+//! runs that schedule once and stores the two resulting [`Sha256`] midstates;
+//! every subsequent MAC under the same key clones the midstates (a memcpy)
+//! instead of redoing the schedule. Callers that MAC many messages under one
+//! key (the Kinetic session layer does four MACs per drive exchange, the
+//! AEAD one per seal/open) should hold an `HmacKey`. The one-shot
+//! [`HmacSha256::mac`] remains for ad-hoc keys and produces byte-identical
+//! tags, which the equivalence tests assert.
 
 use crate::sha256::{Digest, Sha256};
 
 const BLOCK_LEN: usize = 64;
 
-/// Incremental HMAC-SHA256 computation.
+/// A reusable HMAC-SHA256 key with precomputed ipad/opad midstates.
 ///
 /// # Examples
 ///
 /// ```
-/// use pesos_crypto::hmac::HmacSha256;
-/// let tag = HmacSha256::mac(b"key", b"message");
-/// assert!(HmacSha256::verify(b"key", b"message", &tag));
-/// assert!(!HmacSha256::verify(b"key", b"other", &tag));
+/// use pesos_crypto::hmac::{HmacKey, HmacSha256};
+/// let key = HmacKey::new(b"key");
+/// let tag = key.mac(b"message");
+/// assert_eq!(tag, HmacSha256::mac(b"key", b"message"));
+/// assert!(key.verify(b"message", &tag));
 /// ```
 #[derive(Clone)]
-pub struct HmacSha256 {
+pub struct HmacKey {
+    /// SHA-256 state after absorbing `key ^ ipad`.
     inner: Sha256,
-    opad_key: [u8; BLOCK_LEN],
+    /// SHA-256 state after absorbing `key ^ opad`.
+    outer: Sha256,
 }
 
-impl HmacSha256 {
-    /// Creates a new MAC instance keyed with `key`.
+impl HmacKey {
+    /// Runs the HMAC key schedule once for `key`.
     ///
     /// Keys longer than the SHA-256 block size are hashed first, as the
     /// standard requires.
@@ -46,10 +63,55 @@ impl HmacSha256 {
 
         let mut inner = Sha256::new();
         inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        HmacKey { inner, outer }
+    }
+
+    /// Starts an incremental MAC computation under this key.
+    pub fn hasher(&self) -> HmacSha256 {
         HmacSha256 {
-            inner,
-            opad_key: opad,
+            inner: self.inner.clone(),
+            outer: self.outer.clone(),
         }
+    }
+
+    /// MACs `data` under this key.
+    pub fn mac(&self, data: &[u8]) -> Digest {
+        let mut h = self.hasher();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Verifies `tag` against the MAC of `data` in constant time.
+    pub fn verify(&self, data: &[u8], tag: &[u8]) -> bool {
+        crate::ct_eq(&self.mac(data), tag)
+    }
+}
+
+/// Incremental HMAC-SHA256 computation.
+///
+/// # Examples
+///
+/// ```
+/// use pesos_crypto::hmac::HmacSha256;
+/// let tag = HmacSha256::mac(b"key", b"message");
+/// assert!(HmacSha256::verify(b"key", b"message", &tag));
+/// assert!(!HmacSha256::verify(b"key", b"other", &tag));
+/// ```
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer: Sha256,
+}
+
+impl HmacSha256 {
+    /// Creates a new MAC instance keyed with `key`.
+    ///
+    /// Runs the full key schedule; callers reusing a key should go through
+    /// [`HmacKey::hasher`] instead.
+    pub fn new(key: &[u8]) -> Self {
+        HmacKey::new(key).hasher()
     }
 
     /// Absorbs `data` into the MAC computation.
@@ -58,12 +120,10 @@ impl HmacSha256 {
     }
 
     /// Finalizes and returns the 32-byte authentication tag.
-    pub fn finalize(self) -> Digest {
+    pub fn finalize(mut self) -> Digest {
         let inner_digest = self.inner.finalize();
-        let mut outer = Sha256::new();
-        outer.update(&self.opad_key);
-        outer.update(&inner_digest);
-        outer.finalize()
+        self.outer.update(&inner_digest);
+        self.outer.finalize()
     }
 
     /// One-shot MAC of `data` under `key`.
@@ -138,6 +198,76 @@ mod tests {
             h.finalize(),
             HmacSha256::mac(b"secret", b"part one, part two")
         );
+    }
+
+    /// RFC 2104 HMAC built from raw [`Sha256`] primitives, sharing no code
+    /// with the cached key schedule — the independent reference the
+    /// equivalence test compares against. (`HmacSha256::mac` itself routes
+    /// through `HmacKey::new`, so comparing against it alone would be
+    /// circular.)
+    fn reference_hmac(key: &[u8], msg: &[u8]) -> Digest {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            key_block[..32].copy_from_slice(&crate::sha256::sha256(key));
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0x36u8; BLOCK_LEN];
+        let mut opad = [0x5cu8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] ^= key_block[i];
+            opad[i] ^= key_block[i];
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        inner.update(msg);
+        let inner_digest = inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    #[test]
+    fn cached_key_matches_one_shot_for_all_key_lengths() {
+        // Short, block-length and longer-than-block keys all go through the
+        // same midstate cache and must match both the one-shot API and an
+        // independently built RFC 2104 reference.
+        for key_len in [0usize, 1, 20, 63, 64, 65, 131] {
+            let key: Vec<u8> = (0..key_len).map(|i| (i * 7 + 3) as u8).collect();
+            let cached = HmacKey::new(&key);
+            for msg_len in [0usize, 1, 55, 64, 200] {
+                let msg = vec![0x5au8; msg_len];
+                let tag = cached.mac(&msg);
+                assert_eq!(
+                    tag,
+                    reference_hmac(&key, &msg),
+                    "cached tag diverges from the raw-primitive reference \
+                     (key {key_len} msg {msg_len})"
+                );
+                assert_eq!(
+                    tag,
+                    HmacSha256::mac(&key, &msg),
+                    "key {key_len} msg {msg_len}"
+                );
+                assert!(cached.verify(&msg, &tag));
+                assert!(!cached.verify(&msg, &tag[..16]));
+            }
+        }
+    }
+
+    #[test]
+    fn cached_key_is_reusable_and_clonable() {
+        let key = HmacKey::new(b"session-secret");
+        let a = key.mac(b"first message");
+        let b = key.clone().mac(b"first message");
+        assert_eq!(a, b);
+        // The key is not consumed or mutated by use.
+        assert_eq!(key.mac(b"first message"), a);
+        let mut h = key.hasher();
+        h.update(b"first ");
+        h.update(b"message");
+        assert_eq!(h.finalize(), a);
     }
 
     #[test]

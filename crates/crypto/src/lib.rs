@@ -17,6 +17,32 @@
 //! field with textbook big-integer arithmetic). They reproduce the *cost
 //! profile* and *API semantics* the paper depends on; they are not intended
 //! to protect real data.
+//!
+//! # Midstate caching
+//!
+//! Pesos's per-request crypto cost is dominated by fixed setup work that
+//! depends only on long-lived keys, not on the message: the HMAC key
+//! schedule (two SHA-256 compressions per MAC) and the AEAD keystream's
+//! key+nonce absorption. This crate caches those prefixes as cloneable
+//! [`Sha256`] *midstates*:
+//!
+//! - [`hmac::HmacKey`] stores the ipad/opad-absorbed inner and outer hash
+//!   states; each MAC under the key clones them (a memcpy) instead of
+//!   re-padding and re-compressing the key. The Kinetic session layer holds
+//!   one per session secret, saving the schedule on all four MACs of every
+//!   drive exchange.
+//! - [`AeadKey`] stores its encryption subkey as an absorbed midstate and
+//!   its MAC subkey as an `HmacKey`; each keystream block clones the
+//!   key+nonce midstate and appends only the counter.
+//!
+//! All cached paths produce **byte-identical** output to the from-scratch
+//! constructions — property tests in each module assert this — so the
+//! caches are pure cost optimizations, not format changes. Security-wise,
+//! a midstate holds exactly the secret-derived state a fresh computation
+//! would reach; cloning it neither widens key exposure in memory beyond the
+//! existing key copies nor changes any tag or ciphertext. The `count-ops`
+//! feature (test builds only) counts SHA-256 compressions process-wide so
+//! regression tests can pin per-operation digest budgets.
 
 pub mod aead;
 pub mod bigint;
@@ -32,7 +58,7 @@ pub use bigint::U256;
 pub use cert::{Certificate, CertificateBuilder, CertificateError, TrustStore};
 pub use error::CryptoError;
 pub use hkdf::hkdf_sha256;
-pub use hmac::HmacSha256;
+pub use hmac::{HmacKey, HmacSha256};
 pub use keys::{KeyPair, PublicKey, Signature};
 pub use sha256::{sha256, Digest, Sha256};
 

@@ -4,9 +4,51 @@
 //! measurements, HMAC and key derivation. The implementation is a direct,
 //! dependency-free transcription of the standard and is validated against
 //! the published test vectors in the unit tests below.
+//!
+//! # Midstates
+//!
+//! [`Sha256`] is `Clone`, and a clone is an exact snapshot of the chaining
+//! state plus any buffered partial block. Code that repeatedly hashes a
+//! common prefix (an HMAC pad block, an AEAD key+nonce header) absorbs the
+//! prefix once, keeps the hasher as a *midstate*, and clones it per use —
+//! each clone costs a 100-byte memcpy instead of re-absorbing (and for
+//! block-aligned prefixes, re-compressing) the prefix. `HmacKey` and the
+//! AEAD keystream are built on this; the digests produced through midstates
+//! are byte-identical to hashing from scratch, which the property tests
+//! assert.
 
 /// A SHA-256 digest (32 bytes).
 pub type Digest = [u8; 32];
+
+/// Process-wide compression-function counter, enabled by the `count-ops`
+/// feature (test builds only — release builds never pay for it).
+///
+/// Every 64-byte compression anywhere in the process increments one relaxed
+/// atomic, which lets tests put a hard budget on the number of SHA-256
+/// compressions an operation is allowed to spend: digest-count regressions
+/// (hashing the same bytes twice, redoing an HMAC key schedule) fail CI
+/// instead of silently costing microseconds.
+#[cfg(feature = "count-ops")]
+pub mod ops {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COMPRESSIONS: AtomicU64 = AtomicU64::new(0);
+
+    pub(super) fn record() {
+        COMPRESSIONS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total compressions executed since process start (or the last
+    /// [`reset`]).
+    pub fn compressions() -> u64 {
+        COMPRESSIONS.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset() {
+        COMPRESSIONS.store(0, Ordering::Relaxed);
+    }
+}
 
 const K: [u32; 64] = [
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
@@ -78,18 +120,18 @@ impl Sha256 {
             }
         }
 
-        // Process full blocks directly from the input.
-        while input.len() >= 64 {
-            let mut block = [0u8; 64];
-            block.copy_from_slice(&input[..64]);
-            self.compress(&block);
-            input = &input[64..];
+        // Compress full blocks directly from the input slice — no staging
+        // copy through `self.buffer`.
+        let mut blocks = input.chunks_exact(64);
+        for block in &mut blocks {
+            self.compress(block.try_into().expect("chunk is 64 bytes"));
         }
 
         // Stash the remainder.
-        if !input.is_empty() {
-            self.buffer[..input.len()].copy_from_slice(input);
-            self.buffer_len = input.len();
+        let rest = blocks.remainder();
+        if !rest.is_empty() {
+            self.buffer[..rest.len()].copy_from_slice(rest);
+            self.buffer_len = rest.len();
         }
     }
 
@@ -97,19 +139,18 @@ impl Sha256 {
     pub fn finalize(mut self) -> Digest {
         let bit_len = self.total_len.wrapping_mul(8);
 
-        // Append the 0x80 terminator.
-        let mut pad = [0u8; 72];
-        pad[0] = 0x80;
-        // Number of zero bytes so that (buffer_len + 1 + zeros + 8) % 64 == 0.
-        let pad_len = if self.buffer_len < 56 {
-            56 - self.buffer_len
-        } else {
-            120 - self.buffer_len
-        };
-        let mut tail = Vec::with_capacity(pad_len + 8);
-        tail.extend_from_slice(&pad[..pad_len]);
-        tail.extend_from_slice(&bit_len.to_be_bytes());
-        self.update_no_len(&tail);
+        // Assemble the terminator, zero padding and length entirely on the
+        // stack: one block if the buffered data leaves room for the 8-byte
+        // length, two otherwise.
+        let mut pad = [0u8; 128];
+        pad[..self.buffer_len].copy_from_slice(&self.buffer[..self.buffer_len]);
+        pad[self.buffer_len] = 0x80;
+        let total = if self.buffer_len < 56 { 64 } else { 128 };
+        pad[total - 8..total].copy_from_slice(&bit_len.to_be_bytes());
+        self.compress(pad[..64].try_into().expect("first padding block"));
+        if total == 128 {
+            self.compress(pad[64..].try_into().expect("second padding block"));
+        }
 
         let mut out = [0u8; 32];
         for (i, word) in self.state.iter().enumerate() {
@@ -118,16 +159,9 @@ impl Sha256 {
         out
     }
 
-    /// Same as [`Sha256::update`] but without advancing the length counter.
-    ///
-    /// Only used internally by [`Sha256::finalize`] to absorb padding.
-    fn update_no_len(&mut self, data: &[u8]) {
-        let saved = self.total_len;
-        self.update(data);
-        self.total_len = saved;
-    }
-
     fn compress(&mut self, block: &[u8; 64]) {
+        #[cfg(feature = "count-ops")]
+        ops::record();
         let mut w = [0u32; 64];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
             w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
@@ -238,6 +272,33 @@ mod tests {
             h.update(&data[..split]);
             h.update(&data[split..]);
             assert_eq!(h.finalize(), sha256(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn midstate_clone_matches_fresh_hash() {
+        // A cloned midstate (any prefix length, block-aligned or not) must
+        // continue to exactly the digest of the concatenated input, and the
+        // midstate itself must stay reusable across many clones.
+        let prefix: Vec<u8> = (0..200u32).map(|i| (i % 251) as u8).collect();
+        for prefix_len in [0usize, 1, 55, 56, 63, 64, 65, 127, 128, 200] {
+            let mut mid = Sha256::new();
+            mid.update(&prefix[..prefix_len]);
+            for suffix_len in [0usize, 1, 8, 55, 64, 129] {
+                let suffix = vec![0xabu8; suffix_len];
+                let mut h = mid.clone();
+                h.update(&suffix);
+                let joined: Vec<u8> = prefix[..prefix_len]
+                    .iter()
+                    .chain(suffix.iter())
+                    .copied()
+                    .collect();
+                assert_eq!(
+                    h.finalize(),
+                    sha256(&joined),
+                    "prefix {prefix_len} suffix {suffix_len}"
+                );
+            }
         }
     }
 

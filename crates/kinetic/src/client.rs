@@ -12,9 +12,10 @@
 //! authenticated protocol envelopes a real deployment would put on the wire.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
+use pesos_crypto::hmac::HmacKey;
 
 use crate::drive::KineticDrive;
 use crate::error::KineticError;
@@ -83,13 +84,27 @@ impl AsyncHandle {
 type Job = (Vec<u8>, Sender<Result<Command, KineticError>>);
 
 /// A client session bound to one drive.
+///
+/// The HMAC key schedule for the session secret is run once at connect time
+/// and shared with the service threads, so the two MACs the client computes
+/// per exchange (request seal, response verify) clone a cached midstate —
+/// the per-message schedule cost the seed paid on all four MACs of every
+/// drive exchange is gone.
 pub struct KineticClient {
     drive: Arc<KineticDrive>,
     config: ClientConfig,
+    mac_key: HmacKey,
     connection_id: u64,
     sequence: AtomicU64,
     job_tx: Sender<Job>,
     in_flight: Arc<AtomicU64>,
+}
+
+/// The HMAC key for the empty secret, used to authenticate error responses
+/// produced before the drive could identify the caller.
+fn empty_secret_key() -> &'static HmacKey {
+    static KEY: OnceLock<HmacKey> = OnceLock::new();
+    KEY.get_or_init(|| HmacKey::new(&[]))
 }
 
 impl KineticClient {
@@ -101,17 +116,18 @@ impl KineticClient {
         let connection_id = rand::random::<u64>() | 1;
         let (job_tx, job_rx): (Sender<Job>, Receiver<Job>) = bounded(config.ring_capacity.max(1));
         let in_flight = Arc::new(AtomicU64::new(0));
+        let mac_key = HmacKey::new(&config.secret);
 
         for i in 0..config.service_threads.max(1) {
             let rx = job_rx.clone();
             let drive = Arc::clone(&drive);
-            let secret = config.secret.clone();
+            let mac_key = mac_key.clone();
             let in_flight = Arc::clone(&in_flight);
             std::thread::Builder::new()
                 .name(format!("kinetic-svc-{}-{i}", drive.id()))
                 .spawn(move || {
                     while let Ok((frame, done)) = rx.recv() {
-                        let result = Self::exchange_frame(&drive, &secret, &frame);
+                        let result = Self::exchange_frame(&drive, &mac_key, &frame);
                         in_flight.fetch_sub(1, Ordering::SeqCst);
                         let _ = done.send(result);
                     }
@@ -122,6 +138,7 @@ impl KineticClient {
         let client = KineticClient {
             drive,
             config,
+            mac_key,
             connection_id,
             sequence: AtomicU64::new(1),
             job_tx,
@@ -157,20 +174,22 @@ impl KineticClient {
 
     fn exchange_frame(
         drive: &KineticDrive,
-        secret: &[u8],
+        mac_key: &HmacKey,
         frame: &[u8],
     ) -> Result<Command, KineticError> {
         let resp_frame = drive.handle_frame(frame);
         let envelope = Envelope::decode(&resp_frame)?;
         // Responses are authenticated with the session secret; an error
         // response produced before authentication uses an empty secret.
-        let response = envelope.open(secret).or_else(|_| envelope.open(&[]))?;
+        let response = envelope
+            .open_with(mac_key)
+            .or_else(|_| envelope.open_with(empty_secret_key()))?;
         Ok(response)
     }
 
     fn exchange(&self, command: &Command) -> Result<Command, KineticError> {
-        let frame = Envelope::seal(self.config.identity, &self.config.secret, command).encode();
-        Self::exchange_frame(&self.drive, &self.config.secret, &frame)
+        let frame = Envelope::seal_with(self.config.identity, &self.mac_key, command).encode();
+        Self::exchange_frame(&self.drive, &self.mac_key, &frame)
     }
 
     fn check_success(response: Command) -> Result<Command, KineticError> {
@@ -331,7 +350,7 @@ impl KineticClient {
     }
 
     fn submit_async(&self, command: &Command) -> Result<AsyncHandle, KineticError> {
-        let frame = Envelope::seal(self.config.identity, &self.config.secret, command).encode();
+        let frame = Envelope::seal_with(self.config.identity, &self.mac_key, command).encode();
         let (done_tx, done_rx) = bounded(1);
         self.in_flight.fetch_add(1, Ordering::SeqCst);
         self.job_tx

@@ -135,11 +135,7 @@ mod tests {
         let source = s.get(0).unwrap();
         // Store directly through the engine-peek path via a client-less put.
         source.execute(
-            &crate::drive::Account {
-                identity: 1,
-                secret: b"asdfasdf".to_vec(),
-                permissions: crate::drive::Permission::all(),
-            },
+            &crate::drive::Account::new(1, b"asdfasdf".to_vec(), crate::drive::Permission::all()),
             &{
                 let mut c = crate::protocol::Command::request(crate::protocol::MessageType::Put);
                 c.body.key = b"obj".to_vec();

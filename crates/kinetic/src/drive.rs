@@ -13,6 +13,7 @@
 //! produces and consumes those envelopes.
 
 use parking_lot::{Mutex, RwLock};
+use pesos_crypto::hmac::HmacKey;
 use pesos_crypto::{Certificate, CertificateBuilder, KeyPair};
 
 use crate::backend::{BackendKind, DriveBackend, HddModel};
@@ -71,22 +72,81 @@ impl Permission {
 }
 
 /// An access-control account on the drive.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The HMAC key schedule for the account secret is run once at construction
+/// and cached, so the two MACs the drive computes per exchange (request
+/// verify, response seal) clone a midstate instead of redoing the schedule.
+/// All fields are private so the secret and its cached key schedule cannot
+/// drift apart: changing credentials means building a new `Account`.
+#[derive(Clone)]
 pub struct Account {
     /// Numeric identity presented in envelopes.
-    pub identity: i64,
+    identity: i64,
     /// Shared HMAC secret.
-    pub secret: Vec<u8>,
+    secret: Vec<u8>,
     /// Permission mask ([`Permission::bit`] values OR-ed together).
-    pub permissions: u32,
+    permissions: u32,
+    /// Precomputed HMAC key schedule for `secret`.
+    mac_key: HmacKey,
 }
 
 impl Account {
+    /// Creates an account, running the HMAC key schedule for `secret` once.
+    pub fn new(identity: i64, secret: Vec<u8>, permissions: u32) -> Self {
+        let mac_key = HmacKey::new(&secret);
+        Account {
+            identity,
+            secret,
+            permissions,
+            mac_key,
+        }
+    }
+
+    /// The numeric identity presented in envelopes.
+    pub fn identity(&self) -> i64 {
+        self.identity
+    }
+
+    /// The shared HMAC secret.
+    pub fn secret(&self) -> &[u8] {
+        &self.secret
+    }
+
+    /// The permission mask.
+    pub fn permissions(&self) -> u32 {
+        self.permissions
+    }
+
     /// True if the account holds `permission`.
     pub fn allows(&self, permission: Permission) -> bool {
         self.permissions & permission.bit() != 0
     }
+
+    /// The cached HMAC key schedule for this account's secret.
+    pub fn mac_key(&self) -> &HmacKey {
+        &self.mac_key
+    }
 }
+
+impl std::fmt::Debug for Account {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Account")
+            .field("identity", &self.identity)
+            .field("secret", &"<redacted>")
+            .field("permissions", &self.permissions)
+            .finish()
+    }
+}
+
+impl PartialEq for Account {
+    fn eq(&self, other: &Self) -> bool {
+        self.identity == other.identity
+            && self.secret == other.secret
+            && self.permissions == other.permissions
+    }
+}
+
+impl Eq for Account {}
 
 /// The security configuration of a drive.
 #[derive(Debug, Clone, Default)]
@@ -99,11 +159,7 @@ impl AccessControl {
     /// permissions, exactly what Pesos must remove at bootstrap.
     pub fn factory_default() -> Self {
         AccessControl {
-            accounts: vec![Account {
-                identity: 1,
-                secret: b"asdfasdf".to_vec(),
-                permissions: Permission::all(),
-            }],
+            accounts: vec![Account::new(1, b"asdfasdf".to_vec(), Permission::all())],
         }
     }
 
@@ -281,22 +337,26 @@ impl KineticDrive {
     pub fn handle_frame(&self, frame: &[u8]) -> Vec<u8> {
         match self.handle_frame_inner(frame) {
             Ok(response) => response,
-            Err((identity_secret, err)) => {
+            Err((identity_key, err)) => {
                 // Best-effort error response; authenticate it if we know the
-                // caller's secret, otherwise send it with an empty secret.
+                // caller's key schedule, otherwise send it with an empty
+                // secret.
                 let mut resp = Command::request(MessageType::Response);
                 resp.status = ResponseStatus {
                     code: err.status_code(),
                     message: err.to_string(),
                 };
-                let secret = identity_secret.unwrap_or_default();
-                Envelope::seal(0, &secret, &resp).encode()
+                let key = identity_key.unwrap_or_else(|| Box::new(HmacKey::new(&[])));
+                Envelope::seal_with(0, &key, &resp).encode()
             }
         }
     }
 
     #[allow(clippy::type_complexity)]
-    fn handle_frame_inner(&self, frame: &[u8]) -> Result<Vec<u8>, (Option<Vec<u8>>, KineticError)> {
+    fn handle_frame_inner(
+        &self,
+        frame: &[u8],
+    ) -> Result<Vec<u8>, (Option<Box<HmacKey>>, KineticError)> {
         if !self.is_online() {
             return Err((
                 None,
@@ -315,11 +375,11 @@ impl KineticDrive {
             )
         })?;
         let command = envelope
-            .open(&account.secret)
-            .map_err(|e| (Some(account.secret.clone()), e))?;
+            .open_with(account.mac_key())
+            .map_err(|e| (Some(Box::new(account.mac_key().clone())), e))?;
 
         let response = self.execute(&account, &command);
-        Ok(Envelope::seal(envelope.identity, &account.secret, &response).encode())
+        Ok(Envelope::seal_with(envelope.identity, account.mac_key(), &response).encode())
     }
 
     /// Executes an already authenticated command for `account`.
@@ -465,10 +525,8 @@ impl KineticDrive {
             .body
             .security_accounts
             .iter()
-            .map(|spec: &AccountSpec| Account {
-                identity: spec.identity,
-                secret: spec.secret.clone(),
-                permissions: spec.permissions,
+            .map(|spec: &AccountSpec| {
+                Account::new(spec.identity, spec.secret.clone(), spec.permissions)
             })
             .collect();
         self.security.write().replace(accounts);

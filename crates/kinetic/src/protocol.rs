@@ -21,7 +21,7 @@
 
 use std::sync::Arc;
 
-use pesos_crypto::HmacSha256;
+use pesos_crypto::hmac::HmacKey;
 use pesos_wire::codec::{FieldReader, FieldWriter};
 
 use crate::error::KineticError;
@@ -554,9 +554,18 @@ pub struct Envelope {
 
 impl Envelope {
     /// Wraps and authenticates a command.
+    ///
+    /// Runs the full HMAC key schedule for `secret`; sessions holding a
+    /// precomputed [`HmacKey`] should use [`Envelope::seal_with`], which
+    /// produces byte-identical envelopes without redoing the schedule.
     pub fn seal(identity: i64, secret: &[u8], command: &Command) -> Self {
+        Envelope::seal_with(identity, &HmacKey::new(secret), command)
+    }
+
+    /// Wraps and authenticates a command with a precomputed key schedule.
+    pub fn seal_with(identity: i64, key: &HmacKey, command: &Command) -> Self {
         let command_bytes = command.encode();
-        let hmac = HmacSha256::mac(secret, &command_bytes).to_vec();
+        let hmac = key.mac(&command_bytes).to_vec();
         Envelope {
             identity,
             hmac,
@@ -566,7 +575,13 @@ impl Envelope {
 
     /// Verifies the HMAC with `secret` and decodes the inner command.
     pub fn open(&self, secret: &[u8]) -> Result<Command, KineticError> {
-        if !HmacSha256::verify(secret, &self.command_bytes, &self.hmac) {
+        self.open_with(&HmacKey::new(secret))
+    }
+
+    /// Verifies the HMAC with a precomputed key schedule and decodes the
+    /// inner command.
+    pub fn open_with(&self, key: &HmacKey) -> Result<Command, KineticError> {
+        if !key.verify(&self.command_bytes, &self.hmac) {
             return Err(KineticError::AuthenticationFailed);
         }
         Command::decode(&self.command_bytes)
@@ -694,6 +709,24 @@ mod tests {
         let opened = env.open(b"secret").unwrap();
         assert_eq!(opened, cmd);
         assert_eq!(env.open(b"wrong"), Err(KineticError::AuthenticationFailed));
+    }
+
+    #[test]
+    fn cached_key_envelopes_match_secret_envelopes() {
+        // The session layer seals and opens through a cached HmacKey; the
+        // wire format must stay byte-identical to the from-secret path.
+        let cmd = sample_command();
+        let key = HmacKey::new(b"secret");
+        let via_secret = Envelope::seal(1, b"secret", &cmd);
+        let via_key = Envelope::seal_with(1, &key, &cmd);
+        assert_eq!(via_key, via_secret);
+        assert_eq!(via_key.encode(), via_secret.encode());
+        assert_eq!(via_secret.open_with(&key).unwrap(), cmd);
+        assert_eq!(via_key.open(b"secret").unwrap(), cmd);
+        assert_eq!(
+            via_key.open_with(&HmacKey::new(b"wrong")),
+            Err(KineticError::AuthenticationFailed)
+        );
     }
 
     #[test]
