@@ -1,0 +1,51 @@
+//! Controller-scaling micro-benchmark: YCSB-A throughput of a
+//! multi-controller cluster (disk model, one drive per controller) at 1, 2
+//! and 4 controllers, against the same code path the single-controller
+//! figures measure.
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pesos_cluster::{ClusterConfig, ControllerCluster};
+use pesos_core::ControllerConfig;
+use pesos_ycsb::{RunnerOptions, Workload, WorkloadRunner, WorkloadSpec};
+
+fn run_cluster(controllers: usize, ops: usize) {
+    let mut controller_config = ControllerConfig::sgx_disk(1);
+    controller_config.syscall_threads = 8;
+    let cluster = Arc::new(
+        ControllerCluster::new(ClusterConfig {
+            controllers,
+            controller: controller_config,
+        })
+        .expect("cluster bootstrap"),
+    );
+    let spec = WorkloadSpec {
+        workload: Workload::A,
+        record_count: 50,
+        operation_count: ops,
+        value_size: 1024,
+        seed: 42,
+    };
+    let runner = WorkloadRunner::new(Arc::clone(&cluster), spec);
+    let options = RunnerOptions {
+        clients: 4 * controllers,
+        ..RunnerOptions::default()
+    };
+    runner.load(&options).expect("load phase");
+    let summary = runner.run(&options);
+    assert_eq!(summary.errors, 0);
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_controller_scaling");
+    group.sample_size(10);
+    for controllers in [1usize, 2, 4] {
+        group.bench_function(format!("ycsb-a-disk-{controllers}c"), |b| {
+            b.iter(|| run_cluster(controllers, 100 * controllers))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -13,6 +13,7 @@
 
 use std::sync::Arc;
 
+use pesos_cluster::{ClusterConfig, ControllerCluster};
 use pesos_core::{ControllerConfig, ExecutionMode, PesosController};
 use pesos_kinetic::backend::BackendKind;
 use pesos_ycsb::{RunnerOptions, Summary, Workload, WorkloadRunner, WorkloadSpec};
@@ -545,6 +546,62 @@ pub fn contention(scale: Scale) -> Vec<DataPoint> {
                 &after,
             );
         }
+    }
+    out
+}
+
+/// Figure 11: throughput vs number of controller instances on the disk
+/// model.
+///
+/// The new scaling axis beyond the paper: one logical service split over N
+/// enclave controllers, each owning a contiguous slice of the key-hash
+/// space and its own drive. The disk model is where the scaling is honest
+/// on any host — each partition's drive sustains ~1 kIOP/s of simulated
+/// service time, so N controllers approach N× the aggregate throughput
+/// while a single controller is pinned at its one drive's ceiling.
+pub fn fig11_controller_scaling(scale: Scale) -> Vec<DataPoint> {
+    let mut out = Vec::new();
+    print_header(
+        "Figure 11: throughput vs controller count (Pesos Disk, 1 drive each)",
+        "controllers",
+    );
+    // The disk model caps at ~1 kIOP/s per drive; keep op counts small.
+    let base_ops = (scale.ops() / 16).max(200);
+    let base_records = (scale.records() / 16).max(100);
+    for controllers in [1usize, 2, 4] {
+        let mut controller_config = ControllerConfig::sgx_disk(1);
+        controller_config.syscall_threads = 8;
+        let cluster = Arc::new(
+            ControllerCluster::new(ClusterConfig {
+                controllers,
+                controller: controller_config,
+            })
+            .expect("cluster bootstrap"),
+        );
+        let spec = WorkloadSpec {
+            workload: Workload::A,
+            // Scale offered load with the cluster so every size runs at
+            // saturation, as in the paper's disk-scaling sweep (Figure 5).
+            record_count: base_records,
+            operation_count: base_ops * controllers,
+            value_size: 1024,
+            seed: 42,
+        };
+        let runner = WorkloadRunner::new(Arc::clone(&cluster), spec);
+        let options = RunnerOptions {
+            clients: 4 * controllers,
+            ..RunnerOptions::default()
+        };
+        runner.load(&options).expect("load phase");
+        let summary = runner.run(&options);
+        let point = DataPoint {
+            config: format!("Pesos Disk x{controllers}"),
+            x: controllers as f64,
+            kiops: summary.throughput_kiops(),
+            latency_ms: summary.mean_latency_ms(),
+        };
+        print_point(&point);
+        out.push(point);
     }
     out
 }

@@ -1,0 +1,1597 @@
+//! The multi-controller cluster: routing, cross-partition transactions and
+//! online rebalancing.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use pesos_core::sharded::{Sharded, ShardedFifoMap};
+use pesos_core::{
+    parse_policy_id, AsyncResult, ClientRequest, ClientResponse, ControllerConfig, HashedKey,
+    PesosController, PesosError, RequestEndpoint, TxOutcome, TxWrite,
+};
+use pesos_crypto::Certificate;
+use pesos_policy::PolicyId;
+use pesos_wire::{RestMethod, RestRequest, RestResponse, RestStatus};
+
+use crate::router::{HashRange, PartitionTable};
+use crate::twopc::ClusterTxManager;
+
+/// Static configuration of a controller cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of controller instances at bootstrap.
+    pub controllers: usize,
+    /// Per-controller configuration template: every instance bootstraps its
+    /// own enclave, drives and caches from a copy of this (one logical
+    /// enclave per controller, so SGX costs are accounted per partition).
+    pub controller: ControllerConfig,
+}
+
+impl ClusterConfig {
+    /// `controllers` instances in the paper's "Native Sim" configuration
+    /// with `drives_per_controller` drives each.
+    pub fn native_simulator(controllers: usize, drives_per_controller: usize) -> Self {
+        ClusterConfig {
+            controllers,
+            controller: ControllerConfig::native_simulator(drives_per_controller),
+        }
+    }
+
+    /// `controllers` instances in the paper's "Pesos Sim" configuration.
+    pub fn sgx_simulator(controllers: usize, drives_per_controller: usize) -> Self {
+        ClusterConfig {
+            controllers,
+            controller: ControllerConfig::sgx_simulator(drives_per_controller),
+        }
+    }
+
+    /// `controllers` instances in the paper's "Pesos Disk" configuration.
+    pub fn sgx_disk(controllers: usize, drives_per_controller: usize) -> Self {
+        ClusterConfig {
+            controllers,
+            controller: ControllerConfig::sgx_disk(drives_per_controller),
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), PesosError> {
+        if self.controllers == 0 {
+            return Err(PesosError::BadRequest(
+                "cluster needs at least one controller".into(),
+            ));
+        }
+        self.controller.validate()
+    }
+}
+
+/// An in-progress hash-range migration between two controllers.
+struct Migration {
+    range: HashRange,
+    src: Arc<PesosController>,
+    dst: Arc<PesosController>,
+}
+
+/// One immutable snapshot of everything a request needs to route: the
+/// partition table plus the set of in-flight migrations. Held behind one
+/// `RwLock<Arc<…>>` so a request can never observe a table flip without the
+/// matching migration record (the gap either way would lose keys).
+struct RoutingState {
+    table: PartitionTable,
+    migrations: Vec<Arc<Migration>>,
+}
+
+/// Bounded map from cluster-level async operation ids to the controller
+/// that accepted the operation and its local id — the same bounded
+/// dense-id retention pattern as the transaction-outcome map, so it shares
+/// [`ShardedFifoMap`].
+type AsyncOps = ShardedFifoMap<(Arc<PesosController>, u64)>;
+
+/// Per-partition cost accounting: each controller instance runs its own
+/// logical enclave, and this report reads its EPC and asynchronous-syscall
+/// counters alongside the partition's hash range.
+#[derive(Debug, Clone)]
+pub struct PartitionCostReport {
+    /// Partition index in the current table.
+    pub partition: usize,
+    /// The hash range the partition owns.
+    pub range: HashRange,
+    /// Hex enclave measurement of the partition's controller.
+    pub measurement: String,
+    /// EPC usage of the partition's enclave.
+    pub epc: pesos_sgx::EpcStats,
+    /// Asynchronous-syscall interface counters of the partition.
+    pub asyscall: pesos_sgx::AsyscallStats,
+    /// Request counters of the partition's controller.
+    pub metrics: pesos_core::metrics::MetricsSnapshot,
+}
+
+/// A cluster of controller instances partitioning the key space.
+///
+/// # Routing
+///
+/// Requests hash the object key once ([`HashedKey`]) and the cluster
+/// routes by that same hash — the digest the single controller already
+/// pays for placement is reused for partition selection, so the cluster
+/// layer adds zero digests to the request path. Each controller is a
+/// complete Pesos instance (own enclave, own drives, own caches); client
+/// sessions are mirrored onto every controller so any partition can serve
+/// any authenticated client.
+///
+/// # Cross-partition transactions
+///
+/// Cluster transactions buffer operations here and commit through a
+/// two-phase protocol over the controllers' prepared-transaction hooks:
+/// every participant *prepares* (VLL locks taken, all policy checks run,
+/// reads executed) before any participant *commits* (writes applied), and
+/// branches are prepared in ascending partition order so two coordinators
+/// can never deadlock across partitions. One partition's policy rejection
+/// therefore aborts the whole transaction with no partition having written
+/// a byte. The merged outcome is filed on every participant under the
+/// cluster transaction id (tagged with a high bit so it cannot collide
+/// with local ids), which makes `check_results` work from any router.
+/// A failure *during* phase two is a backend failure (validation already
+/// passed everywhere) and can leave earlier branches committed — the same
+/// partial-write caveat the single controller's commit loop has for
+/// mid-loop drive failures.
+///
+/// # Online rebalancing
+///
+/// [`ControllerCluster::add_controller`] splits the widest partition's
+/// range; [`ControllerCluster::remove_controller`] merges a partition into
+/// its neighbour. Both install the new routing state (table + migration
+/// record, atomically) while holding the ops gate's write side, so no
+/// request straddles the swap, then drain the moved range key by key:
+/// each object is exported from the source, imported at the destination
+/// and only then deleted at the source (all under per-key write locks and
+/// a striped migration lock), so a failed import can never lose an
+/// object; concurrent requests to a not-yet-moved key pull it on demand
+/// through the same striped locks. Traffic to every other range never
+/// blocks.
+pub struct ControllerCluster {
+    routing: RwLock<Arc<RoutingState>>,
+    /// Reader side held by every operation across its routing snapshot;
+    /// topology changes hold the writer side across the routing swap, so
+    /// every operation runs entirely under one topology — none can write
+    /// to a range's old owner while another demand-pulls it to the new.
+    ops_gate: RwLock<()>,
+    /// Serializes topology changes.
+    rebalance: Mutex<()>,
+    /// Striped per-key locks serializing demand pulls and the drain loop
+    /// during a migration.
+    migration_locks: Sharded<Mutex<()>>,
+    /// Every client registered through the cluster, for re-homing sessions
+    /// onto joining controllers.
+    clients: Mutex<BTreeSet<String>>,
+    tx: ClusterTxManager,
+    async_ops: AsyncOps,
+    next_async_id: AtomicU64,
+    template: ControllerConfig,
+}
+
+impl ControllerCluster {
+    /// Bootstraps `config.controllers` independent controller instances and
+    /// partitions the hash space evenly over them.
+    pub fn new(config: ClusterConfig) -> Result<Self, PesosError> {
+        config.validate()?;
+        let controllers: Vec<Arc<PesosController>> = (0..config.controllers)
+            .map(|_| PesosController::new(config.controller.clone()).map(Arc::new))
+            .collect::<Result<_, _>>()?;
+        let shards = config.controller.lock_shards;
+        Ok(ControllerCluster {
+            routing: RwLock::new(Arc::new(RoutingState {
+                table: PartitionTable::even(controllers),
+                migrations: Vec::new(),
+            })),
+            ops_gate: RwLock::new(()),
+            rebalance: Mutex::new(()),
+            migration_locks: Sharded::new(shards, Mutex::default),
+            clients: Mutex::new(BTreeSet::new()),
+            tx: ClusterTxManager::new(),
+            async_ops: AsyncOps::new(shards, config.controller.result_buffer_capacity),
+            next_async_id: AtomicU64::new(1),
+            template: config.controller,
+        })
+    }
+
+    /// Number of partitions (= controller instances) in the current table.
+    pub fn partition_count(&self) -> usize {
+        self.routing.read().table.len()
+    }
+
+    /// The controllers of the current table, in partition order.
+    pub fn controllers(&self) -> Vec<Arc<PesosController>> {
+        self.routing
+            .read()
+            .table
+            .partitions()
+            .iter()
+            .map(|p| Arc::clone(&p.controller))
+            .collect()
+    }
+
+    /// Partition index the given key routes to (diagnostics and tests).
+    pub fn partition_of(&self, key: &str) -> usize {
+        self.routing
+            .read()
+            .table
+            .index_of(HashedKey::new(key).hash())
+    }
+
+    /// Per-partition cost report: one logical enclave per controller
+    /// instance, read out alongside the partition's hash range.
+    pub fn cost_report(&self) -> Vec<PartitionCostReport> {
+        let routing = self.routing.read().clone();
+        routing
+            .table
+            .partitions()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PartitionCostReport {
+                partition: i,
+                range: routing.table.range(i),
+                measurement: p.controller.report().measurement.clone(),
+                epc: p.controller.store().epc_stats(),
+                asyscall: p.controller.store().asyscall_stats(),
+                metrics: p.controller.metrics(),
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Sessions and time
+    // ------------------------------------------------------------------
+
+    /// Registers a client on every controller (sessions are mirrored so any
+    /// partition can serve the client) and remembers it for re-homing onto
+    /// controllers that join later.
+    pub fn register_client(&self, client_id: &str) -> String {
+        let _gate = self.ops_gate.read();
+        self.clients.lock().insert(client_id.to_string());
+        for partition in self.routing.read().table.partitions() {
+            partition.controller.register_client(client_id);
+        }
+        client_id.to_string()
+    }
+
+    /// Sets the logical time on every controller.
+    pub fn set_time(&self, now: u64) {
+        for partition in self.routing.read().table.partitions() {
+            partition.controller.set_time(now);
+        }
+    }
+
+    /// The cluster's logical time (partition 0's clock; all clocks are set
+    /// together through [`ControllerCluster::set_time`]).
+    pub fn now(&self) -> u64 {
+        self.routing.read().table.partitions()[0].controller.now()
+    }
+
+    /// Expires idle sessions on every controller; returns the count from
+    /// the first partition (sessions are mirrored, so each partition
+    /// expires the same set).
+    pub fn expire_sessions(&self) -> usize {
+        let mut first = None;
+        for partition in self.routing.read().table.partitions() {
+            let expired = partition.controller.expire_sessions();
+            first.get_or_insert(expired);
+        }
+        first.unwrap_or(0)
+    }
+
+    fn require_client(&self, client_id: &str) -> Result<(), PesosError> {
+        if self.clients.lock().contains(client_id) {
+            Ok(())
+        } else {
+            Err(PesosError::NoSession(client_id.to_string()))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Routing internals
+    // ------------------------------------------------------------------
+
+    /// Routes `key` to its owning controller under a consistent routing
+    /// snapshot, demand-pulling the key out of an in-flight migration's
+    /// source first if necessary.
+    fn with_owner<R>(
+        &self,
+        key: &HashedKey<'_>,
+        f: impl FnOnce(&Arc<PesosController>) -> Result<R, PesosError>,
+    ) -> Result<R, PesosError> {
+        let _gate = self.ops_gate.read();
+        let routing = self.routing.read().clone();
+        self.pull_if_migrating(&routing, key)?;
+        f(routing.table.route(key.hash()))
+    }
+
+    /// If `key` lies in a migrating range, ensure it has moved to the
+    /// destination before the caller operates on it.
+    fn pull_if_migrating(
+        &self,
+        routing: &RoutingState,
+        key: &HashedKey<'_>,
+    ) -> Result<(), PesosError> {
+        for migration in &routing.migrations {
+            if migration.range.contains(key.hash()) {
+                self.pull_key(migration, key)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Moves one key from a migration's source to its destination if it is
+    /// still at the source. Serialized per key through the striped
+    /// migration locks, so a demand pull and the drain loop cannot move the
+    /// same key twice; the object itself moves under both stores' per-key
+    /// write locks.
+    fn pull_key(&self, migration: &Migration, key: &HashedKey<'_>) -> Result<(), PesosError> {
+        let _stripe = self.migration_locks.get(key).lock();
+        if migration.dst.store().get_metadata(*key).is_some() {
+            return Ok(()); // already moved
+        }
+        let Some(export) = migration.src.store().export_object(*key)? else {
+            return Ok(()); // never existed (or deleted after moving)
+        };
+        // The destination must be able to enforce the object's policy.
+        if let Some(policy_id) = export.meta.policy_id {
+            if migration.dst.store().load_policy(&policy_id).is_err() {
+                if let Ok(policy) = migration.src.store().load_policy(&policy_id) {
+                    migration.dst.store().store_compiled_policy(policy)?;
+                }
+            }
+        }
+        migration.dst.store().import_object(&export)?;
+        // Only once the destination durably holds the object does the
+        // source copy go away: a failed import leaves the source
+        // authoritative and the pull retryable, never a lost object. (If
+        // this delete itself fails, the stale source copy is unreachable
+        // garbage, not a correctness problem — the router serves the
+        // destination and the dst-metadata check above stops re-pulls.)
+        migration.src.store().delete_object(*key)?;
+        Ok(())
+    }
+
+    /// Makes sure `controller` can resolve `policy_id`, copying the policy
+    /// from any other partition if needed (policies are broadcast on
+    /// install, but a controller that joined later only receives them
+    /// on demand).
+    fn ensure_policy(
+        &self,
+        routing: &RoutingState,
+        controller: &Arc<PesosController>,
+        policy_id: &PolicyId,
+    ) -> Result<(), PesosError> {
+        if controller.store().load_policy(policy_id).is_ok() {
+            return Ok(());
+        }
+        for partition in routing.table.partitions() {
+            if Arc::ptr_eq(&partition.controller, controller) {
+                continue;
+            }
+            if let Ok(policy) = partition.controller.store().load_policy(policy_id) {
+                controller.store().store_compiled_policy(policy)?;
+                return Ok(());
+            }
+        }
+        Err(PesosError::PolicyNotFound(policy_id.to_hex()))
+    }
+
+    // ------------------------------------------------------------------
+    // Object operations
+    // ------------------------------------------------------------------
+
+    /// Installs a policy on every controller and returns its identifier
+    /// (compilation is deterministic, so every instance derives the same
+    /// id).
+    pub fn put_policy(&self, client_id: &str, source: &str) -> Result<PolicyId, PesosError> {
+        let _gate = self.ops_gate.read();
+        let routing = self.routing.read().clone();
+        let mut id = None;
+        for partition in routing.table.partitions() {
+            id = Some(partition.controller.put_policy(client_id, source)?);
+        }
+        id.ok_or_else(|| PesosError::Backend("cluster has no partitions".into()))
+    }
+
+    /// Stores an object on its owning partition.
+    pub fn put(
+        &self,
+        client_id: &str,
+        key: &str,
+        value: Vec<u8>,
+        policy_id: Option<PolicyId>,
+        expected_version: Option<u64>,
+        certificates: &[Certificate],
+    ) -> Result<u64, PesosError> {
+        let key = HashedKey::new(key);
+        let _gate = self.ops_gate.read();
+        let routing = self.routing.read().clone();
+        self.pull_if_migrating(&routing, &key)?;
+        let owner = routing.table.route(key.hash());
+        if let Some(id) = &policy_id {
+            self.ensure_policy(&routing, owner, id)?;
+        }
+        owner.put(
+            client_id,
+            key,
+            value,
+            policy_id,
+            expected_version,
+            certificates,
+        )
+    }
+
+    /// Stores an object asynchronously on its owning partition; the
+    /// returned operation id is cluster-scoped and pollable through
+    /// [`ControllerCluster::poll_result`] regardless of later topology
+    /// changes (the mapping pins the accepting controller).
+    pub fn put_async(
+        &self,
+        client_id: &str,
+        key: &str,
+        value: Vec<u8>,
+        policy_id: Option<PolicyId>,
+        expected_version: Option<u64>,
+        certificates: &[Certificate],
+    ) -> Result<u64, PesosError> {
+        let key = HashedKey::new(key);
+        let _gate = self.ops_gate.read();
+        let routing = self.routing.read().clone();
+        self.pull_if_migrating(&routing, &key)?;
+        let owner = routing.table.route(key.hash());
+        if let Some(id) = &policy_id {
+            self.ensure_policy(&routing, owner, id)?;
+        }
+        let local_op = owner.put_async(
+            client_id,
+            key,
+            value,
+            policy_id,
+            expected_version,
+            certificates,
+        )?;
+        let cluster_op = self.next_async_id.fetch_add(1, Ordering::SeqCst);
+        self.async_ops
+            .insert(cluster_op, (Arc::clone(owner), local_op));
+        Ok(cluster_op)
+    }
+
+    /// Polls the result of a cluster-scoped asynchronous operation.
+    pub fn poll_result(&self, client_id: &str, operation_id: u64) -> Option<AsyncResult> {
+        let (controller, local_op) = self.async_ops.get(operation_id)?;
+        controller.poll_result(client_id, local_op)
+    }
+
+    /// Retrieves the latest version of an object from its owning partition.
+    pub fn get(
+        &self,
+        client_id: &str,
+        key: &str,
+        certificates: &[Certificate],
+    ) -> Result<(Arc<Vec<u8>>, u64), PesosError> {
+        let key = HashedKey::new(key);
+        self.with_owner(&key, |owner| owner.get(client_id, key, certificates))
+    }
+
+    /// Retrieves a specific stored version from the owning partition.
+    pub fn get_version(
+        &self,
+        client_id: &str,
+        key: &str,
+        version: u64,
+        certificates: &[Certificate],
+    ) -> Result<Vec<u8>, PesosError> {
+        let key = HashedKey::new(key);
+        self.with_owner(&key, |owner| {
+            owner.get_version(client_id, key, version, certificates)
+        })
+    }
+
+    /// Deletes an object from its owning partition.
+    pub fn delete(
+        &self,
+        client_id: &str,
+        key: &str,
+        certificates: &[Certificate],
+    ) -> Result<(), PesosError> {
+        let key = HashedKey::new(key);
+        self.with_owner(&key, |owner| owner.delete(client_id, key, certificates))
+    }
+
+    /// Attaches an existing policy to an object on its owning partition.
+    pub fn attach_policy(
+        &self,
+        client_id: &str,
+        key: &str,
+        policy_id: PolicyId,
+        certificates: &[Certificate],
+    ) -> Result<(), PesosError> {
+        let key = HashedKey::new(key);
+        let _gate = self.ops_gate.read();
+        let routing = self.routing.read().clone();
+        self.pull_if_migrating(&routing, &key)?;
+        let owner = routing.table.route(key.hash());
+        self.ensure_policy(&routing, owner, &policy_id)?;
+        owner.attach_policy(client_id, key, policy_id, certificates)
+    }
+
+    /// Waits for all scheduled asynchronous work on every controller.
+    pub fn drain_async(&self) {
+        for partition in self.routing.read().table.partitions() {
+            partition.controller.drain_async();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions (two-phase commit)
+    // ------------------------------------------------------------------
+
+    /// Begins a cluster transaction.
+    pub fn create_tx(&self, client_id: &str) -> Result<u64, PesosError> {
+        self.require_client(client_id)?;
+        Ok(self.tx.create(client_id))
+    }
+
+    /// Number of open (buffered, not yet committed or aborted) cluster
+    /// transactions.
+    pub fn open_tx_count(&self) -> usize {
+        self.tx.open_count()
+    }
+
+    /// Adds a read to a cluster transaction.
+    pub fn add_read(&self, client_id: &str, tx_id: u64, key: &str) -> Result<(), PesosError> {
+        self.require_client(client_id)?;
+        self.tx.add_read(tx_id, client_id, key)
+    }
+
+    /// Adds a write to a cluster transaction.
+    pub fn add_write(
+        &self,
+        client_id: &str,
+        tx_id: u64,
+        key: &str,
+        value: Vec<u8>,
+    ) -> Result<(), PesosError> {
+        self.require_client(client_id)?;
+        self.tx.add_write(
+            tx_id,
+            client_id,
+            TxWrite {
+                key: key.to_string(),
+                value,
+                policy_id: None,
+            },
+        )
+    }
+
+    /// Aborts a cluster transaction.
+    pub fn abort_tx(&self, client_id: &str, tx_id: u64) -> Result<(), PesosError> {
+        self.require_client(client_id)?;
+        self.tx.abort(tx_id, client_id)
+    }
+
+    /// Commits a cluster transaction with the two-phase protocol described
+    /// on [`ControllerCluster`]: group by partition, prepare every branch
+    /// in ascending partition order, and only then commit them. Any
+    /// prepare-phase failure (policy denial on any partition, unknown
+    /// session, read of a missing object) aborts every prepared branch —
+    /// no partition writes.
+    pub fn commit_tx(&self, client_id: &str, tx_id: u64) -> Result<TxOutcome, PesosError> {
+        self.require_client(client_id)?;
+        let _gate = self.ops_gate.read();
+        let tx = self.tx.take(tx_id, client_id)?;
+        let routing = self.routing.read().clone();
+
+        // Settle any in-flight migration for the touched keys first, so
+        // every branch prepares against the partition that owns the key
+        // under this snapshot.
+        #[derive(Default)]
+        struct Branch {
+            reads: Vec<(usize, String)>,
+            writes: Vec<(usize, TxWrite)>,
+        }
+        let mut branches: BTreeMap<usize, Branch> = BTreeMap::new();
+        for (position, key) in tx.reads.iter().enumerate() {
+            let hashed = HashedKey::new(key);
+            self.pull_if_migrating(&routing, &hashed)?;
+            branches
+                .entry(routing.table.index_of(hashed.hash()))
+                .or_default()
+                .reads
+                .push((position, key.clone()));
+        }
+        for (position, write) in tx.writes.into_iter().enumerate() {
+            let hashed = HashedKey::new(&write.key);
+            self.pull_if_migrating(&routing, &hashed)?;
+            branches
+                .entry(routing.table.index_of(hashed.hash()))
+                .or_default()
+                .writes
+                .push((position, write));
+        }
+        let read_count = tx.reads.len();
+        let write_count: usize = branches.values().map(|b| b.writes.len()).sum();
+
+        // Open one local branch transaction per participant. BTreeMap
+        // iteration gives ascending partition order — the global prepare
+        // order that keeps concurrent coordinators deadlock-free. Any
+        // staging failure aborts every local transaction created so far,
+        // not just the failing branch's, so nothing lingers in the
+        // participants' transaction buffers.
+        let participants: Vec<(Arc<PesosController>, u64, &Branch)> = {
+            let mut out: Vec<(Arc<PesosController>, u64, &Branch)> =
+                Vec::with_capacity(branches.len());
+            let mut failure: Option<PesosError> = None;
+            'staging: for (&partition, branch) in &branches {
+                let controller = Arc::clone(&routing.table.partitions()[partition].controller);
+                let local = match controller.create_tx(client_id) {
+                    Ok(local) => local,
+                    Err(e) => {
+                        failure = Some(e);
+                        break 'staging;
+                    }
+                };
+                out.push((controller, local, branch));
+                let (controller, local, _) = out.last().expect("just pushed");
+                for (_, key) in &branch.reads {
+                    if let Err(e) = controller.add_read(client_id, *local, key) {
+                        failure = Some(e);
+                        break 'staging;
+                    }
+                }
+                for (_, write) in &branch.writes {
+                    if let Err(e) =
+                        controller.add_write(client_id, *local, &write.key, write.value.clone())
+                    {
+                        failure = Some(e);
+                        break 'staging;
+                    }
+                }
+            }
+            if let Some(e) = failure {
+                for (controller, local, _) in &out {
+                    let _ = controller.abort_tx(client_id, *local);
+                }
+                return Err(e);
+            }
+            out
+        };
+
+        // Phase one: prepare every branch; first failure aborts them all.
+        let mut prepared = Vec::with_capacity(participants.len());
+        for (index, (controller, local, _)) in participants.iter().enumerate() {
+            match controller.prepare_commit(client_id, *local) {
+                Ok(p) => prepared.push(p),
+                Err(e) => {
+                    for (slot, p) in prepared.into_iter().enumerate() {
+                        participants[slot].0.abort_prepared(p);
+                    }
+                    // Branches after the failing one were never prepared;
+                    // their local transactions were consumed by nothing, so
+                    // abort them to free the buffered state.
+                    for (controller, local, _) in participants.iter().skip(index + 1) {
+                        let _ = controller.abort_tx(client_id, *local);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+
+        // Phase two: apply every branch and merge outcomes back into the
+        // order the client added the operations.
+        let mut read_values: Vec<Option<Vec<u8>>> = vec![None; read_count];
+        let mut write_versions: Vec<Option<u64>> = vec![None; write_count];
+        for (p, (controller, _, branch)) in prepared.into_iter().zip(participants.iter()) {
+            let outcome = controller.commit_prepared(p)?;
+            for ((position, _), value) in branch.reads.iter().zip(outcome.read_values) {
+                read_values[*position] = Some(value);
+            }
+            for ((position, _), version) in branch.writes.iter().zip(outcome.write_versions) {
+                write_versions[*position] = Some(version);
+            }
+        }
+        let outcome = TxOutcome {
+            read_values: read_values
+                .into_iter()
+                .map(|v| v.expect("every read merged"))
+                .collect(),
+            write_versions: write_versions
+                .into_iter()
+                .map(|v| v.expect("every write merged"))
+                .collect(),
+        };
+        // File the merged outcome on every participant under the cluster
+        // id, so check_results finds it no matter which partition is asked.
+        // A transaction with no buffered operations has no participants;
+        // file its (empty) outcome on the first partition so a committed
+        // transaction is always queryable, as on a single controller.
+        if participants.is_empty() {
+            routing.table.partitions()[0]
+                .controller
+                .record_tx_outcome(tx_id, outcome.clone());
+        }
+        for (controller, _, _) in &participants {
+            controller.record_tx_outcome(tx_id, outcome.clone());
+        }
+        Ok(outcome)
+    }
+
+    /// Returns the outcome of a previously committed cluster transaction,
+    /// queryable from any router: every partition is consulted until one
+    /// has the retained outcome. Retention is bounded per controller, with
+    /// the same caveats as [`PesosController::check_results`].
+    pub fn check_results(&self, client_id: &str, tx_id: u64) -> Result<TxOutcome, PesosError> {
+        self.require_client(client_id)?;
+        let routing = self.routing.read().clone();
+        for partition in routing.table.partitions() {
+            if let Some(outcome) = partition.controller.tx_outcome(tx_id) {
+                return Ok(outcome);
+            }
+        }
+        Err(PesosError::ResultUnavailable(format!(
+            "no retained results for tx {tx_id} (unknown, aborted, or evicted)"
+        )))
+    }
+
+    // ------------------------------------------------------------------
+    // Online rebalancing
+    // ------------------------------------------------------------------
+
+    /// Adds a controller built from the cluster's configuration template,
+    /// splitting the widest partition's hash range. Returns the new
+    /// partition count once the moved range is fully drained; concurrent
+    /// traffic keeps serving throughout (requests into the moving range
+    /// demand-pull their keys).
+    ///
+    /// On a drain error the new topology stays installed and the migration
+    /// record stays active, so every un-moved key remains reachable
+    /// through the demand-pull path; the returned error reports the drain
+    /// fault (typically an offline drive) for the operator to retry.
+    pub fn add_controller(&self) -> Result<usize, PesosError> {
+        self.add_controller_with(self.template.clone())
+    }
+
+    /// Like [`ControllerCluster::add_controller`] with an explicit
+    /// controller configuration.
+    pub fn add_controller_with(&self, config: ControllerConfig) -> Result<usize, PesosError> {
+        let _topology = self.rebalance.lock();
+        let controller = Arc::new(PesosController::new(config)?);
+        // Re-home sessions and the logical clock before any traffic can
+        // route to the new partition.
+        controller.set_time(self.now());
+        for client in self.clients.lock().iter() {
+            controller.register_client(client);
+        }
+
+        let migration = {
+            // Quiesce: holding the gate's write side means no operation is
+            // in flight across the swap — every request either completed
+            // under the old routing state or starts under the new one
+            // (table + migration record together), so a demand pull can
+            // never race a write still executing against the old owner.
+            let _quiesced = self.ops_gate.write();
+            let mut routing = self.routing.write();
+            let old = routing.clone();
+            let widest = old.table.widest();
+            let src = Arc::clone(&old.table.partitions()[widest].controller);
+            let (table, moved) = old.table.split(widest, Arc::clone(&controller));
+            let migration = Arc::new(Migration {
+                range: moved,
+                src,
+                dst: Arc::clone(&controller),
+            });
+            let mut migrations = Vec::with_capacity(old.migrations.len() + 1);
+            migrations.extend(old.migrations.iter().cloned());
+            migrations.push(Arc::clone(&migration));
+            *routing = Arc::new(RoutingState { table, migrations });
+            migration
+        };
+        // Second re-homing pass: a register_client that raced the first
+        // pass iterated the old table (without the joiner) but finished
+        // before the quiesce with its id in `clients`; registering again
+        // here is idempotent and closes that gap.
+        for client in self.clients.lock().iter() {
+            controller.register_client(client);
+        }
+        self.settle_migration(&migration)?;
+        Ok(self.partition_count())
+    }
+
+    /// Removes the controller owning partition `index`, merging its hash
+    /// range (and draining its keys) into a neighbouring partition. The
+    /// removed controller keeps running until its last in-flight request
+    /// and the drain complete, then drops out of the table. On a drain
+    /// error the merged topology stays installed with the migration record
+    /// active (see [`ControllerCluster::add_controller`]).
+    pub fn remove_controller(&self, index: usize) -> Result<(), PesosError> {
+        let _topology = self.rebalance.lock();
+        let migration = {
+            // Same quiesce discipline as add_controller_with: no operation
+            // straddles the swap.
+            let _quiesced = self.ops_gate.write();
+            let mut routing = self.routing.write();
+            let old = routing.clone();
+            if old.table.len() <= 1 {
+                return Err(PesosError::BadRequest(
+                    "cannot remove the last controller".into(),
+                ));
+            }
+            if index >= old.table.len() {
+                return Err(PesosError::BadRequest(format!(
+                    "no partition {index} (cluster has {})",
+                    old.table.len()
+                )));
+            }
+            let src = Arc::clone(&old.table.partitions()[index].controller);
+            let (table, moved, absorbed_by) = old.table.merge_out(index);
+            let migration = Arc::new(Migration {
+                range: moved,
+                src,
+                dst: Arc::clone(&table.partitions()[absorbed_by].controller),
+            });
+            let mut migrations = Vec::with_capacity(old.migrations.len() + 1);
+            migrations.extend(old.migrations.iter().cloned());
+            migrations.push(Arc::clone(&migration));
+            *routing = Arc::new(RoutingState { table, migrations });
+            migration
+        };
+        self.settle_migration(&migration)
+    }
+
+    /// The post-swap half of a topology change: flush the source's
+    /// scheduled asynchronous writes, drain the moved range, and retire
+    /// the migration record.
+    ///
+    /// The record is retired only after a *complete* drain. On error it
+    /// stays installed, so the un-moved keys remain reachable through the
+    /// demand-pull path — the safe direction; retiring it early would
+    /// strand them at a source the router no longer consults.
+    fn settle_migration(&self, migration: &Arc<Migration>) -> Result<(), PesosError> {
+        // Asynchronous puts accepted before the table flip may still sit
+        // in the source's scheduler queue; wait them out so the drain's
+        // drive-authoritative key listing observes their writes.
+        migration.src.drain_async();
+        self.drain_migration(migration)?;
+        let mut routing = self.routing.write();
+        let old = routing.clone();
+        let migrations = old
+            .migrations
+            .iter()
+            .filter(|m| !Arc::ptr_eq(m, migration))
+            .cloned()
+            .collect();
+        *routing = Arc::new(RoutingState {
+            table: old.table.clone(),
+            migrations,
+        });
+        Ok(())
+    }
+
+    /// Moves every key of the migration's range from source to
+    /// destination. The source receives no new traffic for the range once
+    /// the barrier has passed, so one authoritative pass over the source's
+    /// drive-resident keys suffices; each key moves under the same striped
+    /// lock the demand-pull path takes.
+    fn drain_migration(&self, migration: &Migration) -> Result<(), PesosError> {
+        for key in migration.src.store().list_keys()? {
+            let hashed = HashedKey::new(&key);
+            if migration.range.contains(hashed.hash()) {
+                self.pull_key(migration, &hashed)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // REST dispatch
+    // ------------------------------------------------------------------
+
+    /// Handles a REST request for an authenticated client, routing it
+    /// through the cluster: keyed object methods go to the owning
+    /// partition, policy installation broadcasts, transaction methods run
+    /// the two-phase path, and status aggregates every partition.
+    pub fn handle(&self, client_id: &str, request: ClientRequest) -> ClientResponse {
+        match self.dispatch(client_id, &request) {
+            Ok(response) => response,
+            Err(e) => e.rest_response(),
+        }
+    }
+
+    fn dispatch(
+        &self,
+        client_id: &str,
+        request: &ClientRequest,
+    ) -> Result<ClientResponse, PesosError> {
+        let rest: &RestRequest = &request.rest;
+        let certs = &request.certificates;
+        match rest.method {
+            RestMethod::Status => {
+                // Healthy only if every partition answers.
+                for controller in self.controllers() {
+                    let response = controller.handle(
+                        client_id,
+                        ClientRequest::new(RestRequest::new(RestMethod::Status, "")),
+                    );
+                    if response.status != RestStatus::Ok {
+                        return Ok(response);
+                    }
+                }
+                Ok(RestResponse::ok(
+                    format!("pesos cluster: ok ({} partitions)", self.partition_count())
+                        .into_bytes(),
+                ))
+            }
+            RestMethod::PutPolicy => {
+                let source = String::from_utf8(rest.value.clone())
+                    .map_err(|_| PesosError::BadRequest("policy text must be UTF-8".into()))?;
+                let id = self.put_policy(client_id, &source)?;
+                Ok(RestResponse::ok(id.to_hex().into_bytes()))
+            }
+            RestMethod::GetPolicy => {
+                // Policies are broadcast; any partition can serve the read.
+                self.require_client(client_id)?;
+                let id = parse_policy_id(&rest.key)?;
+                let routing = self.routing.read().clone();
+                let policy = routing.table.partitions()[0]
+                    .controller
+                    .store()
+                    .load_policy(&id)?;
+                Ok(RestResponse::ok(policy.to_bytes()))
+            }
+            RestMethod::AttachPolicy => {
+                let id = parse_policy_id(
+                    rest.policy_id
+                        .as_deref()
+                        .ok_or(PesosError::BadRequest("missing policy id".into()))?,
+                )?;
+                self.attach_policy(client_id, &rest.key, id, certs)?;
+                Ok(RestResponse::ok_empty())
+            }
+            RestMethod::Put | RestMethod::Update => {
+                let policy_id = match rest.policy_id.as_deref() {
+                    Some(hex) => Some(parse_policy_id(hex)?),
+                    None => None,
+                };
+                if rest.asynchronous {
+                    let op = self.put_async(
+                        client_id,
+                        &rest.key,
+                        rest.value.clone(),
+                        policy_id,
+                        rest.expected_version,
+                        certs,
+                    )?;
+                    Ok(RestResponse::accepted(op))
+                } else {
+                    let version = self.put(
+                        client_id,
+                        &rest.key,
+                        rest.value.clone(),
+                        policy_id,
+                        rest.expected_version,
+                        certs,
+                    )?;
+                    Ok(RestResponse::ok_empty().with_version(version))
+                }
+            }
+            RestMethod::Get => match rest.expected_version {
+                Some(version) => {
+                    let value = self.get_version(client_id, &rest.key, version, certs)?;
+                    Ok(RestResponse::ok(value).with_version(version))
+                }
+                None => {
+                    let (value, version) = self.get(client_id, &rest.key, certs)?;
+                    Ok(RestResponse::ok((*value).clone()).with_version(version))
+                }
+            },
+            RestMethod::Delete => {
+                self.delete(client_id, &rest.key, certs)?;
+                Ok(RestResponse::ok_empty())
+            }
+            RestMethod::PollResult => {
+                let op_id: u64 = rest
+                    .key
+                    .parse()
+                    .map_err(|_| PesosError::BadRequest("operation id must be numeric".into()))?;
+                match self.poll_result(client_id, op_id) {
+                    Some(AsyncResult::Completed { version }) => {
+                        let mut resp = RestResponse::ok_empty();
+                        if let Some(v) = version {
+                            resp = resp.with_version(v);
+                        }
+                        Ok(resp)
+                    }
+                    Some(AsyncResult::Pending) => Ok(RestResponse::accepted(op_id)),
+                    Some(AsyncResult::Failed { reason }) => {
+                        Ok(RestResponse::failure(RestStatus::BackendError, reason))
+                    }
+                    None => Err(PesosError::ObjectNotFound(format!("operation {op_id}"))),
+                }
+            }
+            RestMethod::CreateTx => {
+                let tx = self.create_tx(client_id)?;
+                Ok(RestResponse::ok(tx.to_string().into_bytes()))
+            }
+            RestMethod::AddRead => {
+                let tx = rest
+                    .tx_id
+                    .ok_or(PesosError::BadRequest("missing tx id".into()))?;
+                self.add_read(client_id, tx, &rest.key)?;
+                Ok(RestResponse::ok_empty())
+            }
+            RestMethod::AddWrite => {
+                let tx = rest
+                    .tx_id
+                    .ok_or(PesosError::BadRequest("missing tx id".into()))?;
+                self.add_write(client_id, tx, &rest.key, rest.value.clone())?;
+                Ok(RestResponse::ok_empty())
+            }
+            RestMethod::CommitTx => {
+                let tx = rest
+                    .tx_id
+                    .ok_or(PesosError::BadRequest("missing tx id".into()))?;
+                let outcome = self.commit_tx(client_id, tx)?;
+                let versions: Vec<String> = outcome
+                    .write_versions
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect();
+                Ok(RestResponse::ok(versions.join(",").into_bytes()))
+            }
+            RestMethod::AbortTx => {
+                let tx = rest
+                    .tx_id
+                    .ok_or(PesosError::BadRequest("missing tx id".into()))?;
+                self.abort_tx(client_id, tx)?;
+                Ok(RestResponse::ok_empty())
+            }
+            RestMethod::CheckResults => {
+                let tx = rest
+                    .tx_id
+                    .ok_or(PesosError::BadRequest("missing tx id".into()))?;
+                let outcome = self.check_results(client_id, tx)?;
+                let versions: Vec<String> = outcome
+                    .write_versions
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect();
+                Ok(RestResponse::ok(versions.join(",").into_bytes()))
+            }
+        }
+    }
+}
+
+impl RequestEndpoint for ControllerCluster {
+    fn register_client(&self, client_id: &str) -> String {
+        ControllerCluster::register_client(self, client_id)
+    }
+
+    fn put_policy(&self, client_id: &str, source: &str) -> Result<PolicyId, PesosError> {
+        ControllerCluster::put_policy(self, client_id, source)
+    }
+
+    fn put(
+        &self,
+        client_id: &str,
+        key: &str,
+        value: Vec<u8>,
+        policy_id: Option<PolicyId>,
+        expected_version: Option<u64>,
+        certificates: &[Certificate],
+    ) -> Result<u64, PesosError> {
+        ControllerCluster::put(
+            self,
+            client_id,
+            key,
+            value,
+            policy_id,
+            expected_version,
+            certificates,
+        )
+    }
+
+    fn put_async(
+        &self,
+        client_id: &str,
+        key: &str,
+        value: Vec<u8>,
+        policy_id: Option<PolicyId>,
+        expected_version: Option<u64>,
+        certificates: &[Certificate],
+    ) -> Result<u64, PesosError> {
+        ControllerCluster::put_async(
+            self,
+            client_id,
+            key,
+            value,
+            policy_id,
+            expected_version,
+            certificates,
+        )
+    }
+
+    fn get(
+        &self,
+        client_id: &str,
+        key: &str,
+        certificates: &[Certificate],
+    ) -> Result<(Arc<Vec<u8>>, u64), PesosError> {
+        ControllerCluster::get(self, client_id, key, certificates)
+    }
+
+    fn delete(
+        &self,
+        client_id: &str,
+        key: &str,
+        certificates: &[Certificate],
+    ) -> Result<(), PesosError> {
+        ControllerCluster::delete(self, client_id, key, certificates)
+    }
+
+    fn latest_version(&self, key: &str) -> Option<u64> {
+        let hashed = HashedKey::new(key);
+        let routing = self.routing.read().clone();
+        // Best-effort (no pull): check destination first during migration.
+        for migration in &routing.migrations {
+            if migration.range.contains(hashed.hash()) {
+                if let Some(meta) = migration.dst.store().get_metadata(hashed) {
+                    return Some(meta.latest_version);
+                }
+                if let Some(meta) = migration.src.store().get_metadata(hashed) {
+                    return Some(meta.latest_version);
+                }
+            }
+        }
+        routing
+            .table
+            .route(hashed.hash())
+            .store()
+            .get_metadata(hashed)
+            .map(|m| m.latest_version)
+    }
+
+    fn drain_async(&self) {
+        ControllerCluster::drain_async(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::twopc::CLUSTER_TX_BIT;
+
+    fn cluster(controllers: usize) -> ControllerCluster {
+        ControllerCluster::new(ClusterConfig::native_simulator(controllers, 1)).unwrap()
+    }
+
+    #[test]
+    fn basic_ops_route_by_key_hash() {
+        let c = cluster(4);
+        c.register_client("alice");
+        let keys: Vec<String> = (0..64).map(|i| format!("obj/{i}")).collect();
+        for (i, key) in keys.iter().enumerate() {
+            let v = c
+                .put(
+                    "alice",
+                    key,
+                    format!("value-{i}").into_bytes(),
+                    None,
+                    None,
+                    &[],
+                )
+                .unwrap();
+            assert_eq!(v, 0);
+        }
+        for (i, key) in keys.iter().enumerate() {
+            let (value, version) = c.get("alice", key, &[]).unwrap();
+            assert_eq!(&**value, format!("value-{i}").as_bytes());
+            assert_eq!(version, 0);
+        }
+        // The keys really spread over several partitions, and each lives
+        // only on its owning controller's drives.
+        let mut populated = BTreeSet::new();
+        for key in &keys {
+            populated.insert(c.partition_of(key));
+        }
+        assert!(populated.len() >= 2, "keys all hashed to one partition");
+        let controllers = c.controllers();
+        for key in &keys {
+            let owner = c.partition_of(key);
+            for (i, controller) in controllers.iter().enumerate() {
+                let present = controller.store().get_metadata(key.as_str()).is_some();
+                assert_eq!(present, i == owner, "key {key} misplaced on partition {i}");
+            }
+        }
+        // Deletes route the same way.
+        c.delete("alice", &keys[0], &[]).unwrap();
+        assert!(c.get("alice", &keys[0], &[]).is_err());
+    }
+
+    #[test]
+    fn unregistered_clients_are_rejected_everywhere() {
+        let c = cluster(2);
+        assert!(matches!(
+            c.put("ghost", "k", vec![], None, None, &[]),
+            Err(PesosError::NoSession(_))
+        ));
+        assert!(matches!(
+            c.create_tx("ghost"),
+            Err(PesosError::NoSession(_))
+        ));
+    }
+
+    #[test]
+    fn policies_broadcast_and_enforce_on_every_partition() {
+        let c = cluster(3);
+        c.register_client("alice");
+        c.register_client("eve");
+        let acl = c
+            .put_policy(
+                "alice",
+                "read :- sessionKeyIs(\"alice\")\nupdate :- sessionKeyIs(\"alice\")\ndelete :- sessionKeyIs(\"alice\")",
+            )
+            .unwrap();
+        // Enough keys that several partitions hold policy-protected objects.
+        for i in 0..24 {
+            c.put(
+                "alice",
+                &format!("doc/{i}"),
+                b"secret".to_vec(),
+                Some(acl),
+                None,
+                &[],
+            )
+            .unwrap();
+        }
+        for i in 0..24 {
+            assert!(c.get("alice", &format!("doc/{i}"), &[]).is_ok());
+            assert!(matches!(
+                c.get("eve", &format!("doc/{i}"), &[]),
+                Err(PesosError::PolicyDenied(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn cross_partition_transaction_commits_atomically() {
+        let c = cluster(4);
+        c.register_client("alice");
+        // Pick keys guaranteed to live on different partitions.
+        let keys: Vec<String> = (0..64).map(|i| format!("acct/{i}")).collect();
+        let (a, b) = {
+            let mut found = None;
+            'outer: for x in &keys {
+                for y in &keys {
+                    if c.partition_of(x) != c.partition_of(y) {
+                        found = Some((x.clone(), y.clone()));
+                        break 'outer;
+                    }
+                }
+            }
+            found.expect("two partitions")
+        };
+        c.put("alice", &a, b"100".to_vec(), None, None, &[])
+            .unwrap();
+        c.put("alice", &b, b"0".to_vec(), None, None, &[]).unwrap();
+
+        let tx = c.create_tx("alice").unwrap();
+        assert_ne!(tx & CLUSTER_TX_BIT, 0);
+        c.add_read("alice", tx, &a).unwrap();
+        c.add_write("alice", tx, &a, b"50".to_vec()).unwrap();
+        c.add_write("alice", tx, &b, b"50".to_vec()).unwrap();
+        let outcome = c.commit_tx("alice", tx).unwrap();
+        assert_eq!(outcome.read_values, vec![b"100".to_vec()]);
+        assert_eq!(outcome.write_versions.len(), 2);
+        assert_eq!(&**c.get("alice", &a, &[]).unwrap().0, b"50");
+        assert_eq!(&**c.get("alice", &b, &[]).unwrap().0, b"50");
+        // The outcome is retained and queryable from the cluster.
+        assert_eq!(c.check_results("alice", tx).unwrap(), outcome);
+        assert_eq!(c.open_tx_count(), 0);
+    }
+
+    #[test]
+    fn cross_partition_transaction_aborts_atomically_on_policy_rejection() {
+        let c = cluster(4);
+        c.register_client("alice");
+        c.register_client("bob");
+        let acl = c
+            .put_policy(
+                "alice",
+                "read :- sessionKeyIs(\"alice\")\nupdate :- sessionKeyIs(\"alice\")\ndelete :- sessionKeyIs(\"alice\")",
+            )
+            .unwrap();
+        // One open key and one alice-only key on different partitions.
+        let keys: Vec<String> = (0..64).map(|i| format!("mix/{i}")).collect();
+        let (open_key, locked_key) = {
+            let mut found = None;
+            'outer: for x in &keys {
+                for y in &keys {
+                    if c.partition_of(x) != c.partition_of(y) {
+                        found = Some((x.clone(), y.clone()));
+                        break 'outer;
+                    }
+                }
+            }
+            found.expect("two partitions")
+        };
+        c.put("bob", &open_key, b"v0".to_vec(), None, None, &[])
+            .unwrap();
+        c.put("alice", &locked_key, b"v0".to_vec(), Some(acl), None, &[])
+            .unwrap();
+
+        // Bob's transaction touches both; the locked partition's policy
+        // rejects it, and the open partition must not have written either.
+        let tx = c.create_tx("bob").unwrap();
+        c.add_write("bob", tx, &open_key, b"dirty".to_vec())
+            .unwrap();
+        c.add_write("bob", tx, &locked_key, b"dirty".to_vec())
+            .unwrap();
+        assert!(matches!(
+            c.commit_tx("bob", tx),
+            Err(PesosError::PolicyDenied(_))
+        ));
+        assert_eq!(&**c.get("bob", &open_key, &[]).unwrap().0, b"v0");
+        assert_eq!(&**c.get("alice", &locked_key, &[]).unwrap().0, b"v0");
+        assert!(c.check_results("bob", tx).is_err());
+        // The partitions stay fully usable after the abort (locks freed).
+        c.put("bob", &open_key, b"v1".to_vec(), None, None, &[])
+            .unwrap();
+        c.put("alice", &locked_key, b"v1".to_vec(), None, None, &[])
+            .unwrap();
+    }
+
+    #[test]
+    fn empty_transaction_commit_is_still_queryable() {
+        let c = cluster(2);
+        c.register_client("alice");
+        let tx = c.create_tx("alice").unwrap();
+        let outcome = c.commit_tx("alice", tx).unwrap();
+        assert!(outcome.read_values.is_empty());
+        assert!(outcome.write_versions.is_empty());
+        assert_eq!(c.check_results("alice", tx).unwrap(), outcome);
+    }
+
+    #[test]
+    fn async_puts_poll_through_cluster_scoped_ids() {
+        let c = cluster(3);
+        c.register_client("alice");
+        let op = c
+            .put_async("alice", "async/1", b"payload".to_vec(), None, None, &[])
+            .unwrap();
+        c.drain_async();
+        match c.poll_result("alice", op) {
+            Some(AsyncResult::Completed { version }) => assert_eq!(version, Some(0)),
+            other => panic!("unexpected async result {other:?}"),
+        }
+        // Scoped per client, like the controller's result buffer.
+        assert!(c.poll_result("bob", op).is_none());
+        assert_eq!(&**c.get("alice", "async/1", &[]).unwrap().0, b"payload");
+    }
+
+    #[test]
+    fn add_controller_splits_and_migrates_only_the_moved_range() {
+        let c = cluster(2);
+        c.register_client("alice");
+        let keys: Vec<String> = (0..96).map(|i| format!("grow/{i}")).collect();
+        for key in &keys {
+            c.put("alice", key, key.clone().into_bytes(), None, None, &[])
+                .unwrap();
+        }
+        assert_eq!(c.add_controller().unwrap(), 3);
+        // Every key is still readable and lives exactly on its (possibly
+        // new) owner.
+        let controllers = c.controllers();
+        for key in &keys {
+            assert_eq!(&**c.get("alice", key, &[]).unwrap().0, key.as_bytes());
+            let owner = c.partition_of(key);
+            for (i, controller) in controllers.iter().enumerate() {
+                let present = controller.store().get_metadata(key.as_str()).is_some();
+                assert_eq!(present, i == owner, "key {key} misplaced after rebalance");
+            }
+        }
+        // The new partition actually owns keys (the widest range split).
+        let new_partition_keys = keys
+            .iter()
+            .filter(|k| {
+                Arc::ptr_eq(
+                    &controllers[c.partition_of(k)],
+                    controllers.last().expect("three partitions"),
+                ) || c.partition_of(k) == 2
+            })
+            .count();
+        assert!(new_partition_keys > 0, "split moved no keys");
+        // Version history survives the migration.
+        c.put("alice", &keys[0], b"v1".to_vec(), None, None, &[])
+            .unwrap();
+        assert_eq!(c.get("alice", &keys[0], &[]).unwrap().1, 1);
+    }
+
+    #[test]
+    fn remove_controller_merges_and_loses_nothing() {
+        let c = cluster(3);
+        c.register_client("alice");
+        let acl = c
+            .put_policy(
+                "alice",
+                "read :- sessionKeyIs(\"alice\")\nupdate :- sessionKeyIs(U)\ndelete :- sessionKeyIs(U)",
+            )
+            .unwrap();
+        let keys: Vec<String> = (0..96).map(|i| format!("shrink/{i}")).collect();
+        for key in &keys {
+            c.put("alice", key, key.clone().into_bytes(), Some(acl), None, &[])
+                .unwrap();
+        }
+        c.remove_controller(1).unwrap();
+        assert_eq!(c.partition_count(), 2);
+        for key in &keys {
+            assert_eq!(&**c.get("alice", key, &[]).unwrap().0, key.as_bytes());
+        }
+        // Policy enforcement survives the merge (the absorber can resolve
+        // the policy for migrated objects).
+        c.register_client("eve");
+        for key in keys.iter().take(8) {
+            assert!(matches!(
+                c.get("eve", key, &[]),
+                Err(PesosError::PolicyDenied(_))
+            ));
+        }
+        // Removing down to one partition works; removing the last fails.
+        c.remove_controller(1).unwrap();
+        assert_eq!(c.partition_count(), 1);
+        assert!(c.remove_controller(0).is_err());
+        assert!(c.remove_controller(7).is_err());
+        for key in &keys {
+            assert_eq!(&**c.get("alice", key, &[]).unwrap().0, key.as_bytes());
+        }
+    }
+
+    #[test]
+    fn sessions_are_rehomed_onto_joining_controllers() {
+        let c = cluster(1);
+        c.register_client("alice");
+        c.set_time(500);
+        c.add_controller().unwrap();
+        assert_eq!(c.now(), 500);
+        // Alice can operate on keys owned by the new partition without
+        // re-registering: her session was mirrored during the join.
+        for i in 0..32 {
+            c.put(
+                "alice",
+                &format!("post-join/{i}"),
+                b"x".to_vec(),
+                None,
+                None,
+                &[],
+            )
+            .unwrap();
+        }
+        let second = &c.controllers()[1];
+        assert!(
+            (0..32).any(|i| second
+                .store()
+                .get_metadata(format!("post-join/{i}").as_str())
+                .is_some()),
+            "no key landed on the joined partition"
+        );
+    }
+
+    #[test]
+    fn rest_dispatch_routes_through_the_cluster() {
+        let c = cluster(3);
+        c.register_client("alice");
+
+        let resp = c.handle(
+            "alice",
+            ClientRequest::new(RestRequest {
+                method: RestMethod::PutPolicy,
+                key: "acl".into(),
+                value: b"read :- sessionKeyIs(\"alice\")\nupdate :- sessionKeyIs(\"alice\")\ndelete :- sessionKeyIs(\"alice\")".to_vec(),
+                policy_id: None,
+                asynchronous: false,
+                tx_id: None,
+                expected_version: None,
+            }),
+        );
+        assert_eq!(resp.status, RestStatus::Ok);
+        let policy_hex = String::from_utf8(resp.value).unwrap();
+
+        let resp = c.handle(
+            "alice",
+            ClientRequest::new(
+                RestRequest::put("users/alice", b"profile".to_vec())
+                    .with_policy(policy_hex.clone()),
+            ),
+        );
+        assert_eq!(resp.status, RestStatus::Ok);
+        assert_eq!(resp.version, Some(0));
+
+        let resp = c.handle("alice", ClientRequest::new(RestRequest::get("users/alice")));
+        assert_eq!(resp.status, RestStatus::Ok);
+        assert_eq!(resp.value, b"profile");
+
+        // The policy read comes back from any partition.
+        let resp = c.handle(
+            "alice",
+            ClientRequest::new(RestRequest::new(RestMethod::GetPolicy, policy_hex)),
+        );
+        assert_eq!(resp.status, RestStatus::Ok);
+
+        // Unauthorized client is denied by the owning partition.
+        c.register_client("eve");
+        let resp = c.handle("eve", ClientRequest::new(RestRequest::get("users/alice")));
+        assert_eq!(resp.status, RestStatus::PolicyDenied);
+
+        // Async put + poll through the cluster-scoped operation id.
+        let resp = c.handle(
+            "alice",
+            ClientRequest::new(RestRequest::put("users/alice", b"v2".to_vec()).asynchronous()),
+        );
+        assert_eq!(resp.status, RestStatus::Accepted);
+        let op = resp.operation_id.unwrap();
+        c.drain_async();
+        let resp = c.handle(
+            "alice",
+            ClientRequest::new(RestRequest::new(RestMethod::PollResult, op.to_string())),
+        );
+        assert_eq!(resp.status, RestStatus::Ok);
+
+        // Transactions over REST run the two-phase path.
+        let resp = c.handle(
+            "alice",
+            ClientRequest::new(RestRequest::new(RestMethod::CreateTx, "")),
+        );
+        let tx: u64 = String::from_utf8(resp.value).unwrap().parse().unwrap();
+        let mut add = RestRequest::new(RestMethod::AddWrite, "tx/a").in_tx(tx);
+        add.value = b"1".to_vec();
+        let resp = c.handle("alice", ClientRequest::new(add));
+        assert_eq!(resp.status, RestStatus::Ok);
+        let resp = c.handle(
+            "alice",
+            ClientRequest::new(RestRequest::new(RestMethod::CommitTx, "").in_tx(tx)),
+        );
+        assert_eq!(resp.status, RestStatus::Ok);
+
+        // Status aggregates every partition.
+        let resp = c.handle(
+            "alice",
+            ClientRequest::new(RestRequest::new(RestMethod::Status, "")),
+        );
+        assert_eq!(resp.status, RestStatus::Ok);
+        assert!(String::from_utf8(resp.value)
+            .unwrap()
+            .contains("3 partitions"));
+
+        // Missing object is NotFound, same mapping as the controller.
+        let resp = c.handle("alice", ClientRequest::new(RestRequest::get("missing")));
+        assert_eq!(resp.status, RestStatus::NotFound);
+    }
+
+    #[test]
+    fn cost_report_covers_every_partition() {
+        let c = cluster(3);
+        c.register_client("alice");
+        for i in 0..12 {
+            c.put(
+                "alice",
+                &format!("cost/{i}"),
+                vec![0u8; 256],
+                None,
+                None,
+                &[],
+            )
+            .unwrap();
+        }
+        let report = c.cost_report();
+        assert_eq!(report.len(), 3);
+        let total: u128 = report.iter().map(|p| p.range.width()).sum();
+        assert_eq!(total, u64::MAX as u128 + 1);
+        for p in &report {
+            assert!(!p.measurement.is_empty());
+        }
+        // The request counters across partitions account for the traffic.
+        let requests: u64 = report.iter().map(|p| p.metrics.requests).sum();
+        assert!(requests >= 12);
+    }
+}

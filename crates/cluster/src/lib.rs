@@ -1,0 +1,39 @@
+//! Multi-controller distribution for the Pesos reproduction.
+//!
+//! The paper scales many secured Kinetic drives behind a *single* enclave
+//! controller; this crate adds the next scaling axis: several controller
+//! instances partitioning the key space. A [`ControllerCluster`] runs N
+//! independent [`pesos_core::PesosController`]s — each a complete Pesos
+//! instance with its own logical enclave, drives and caches — and routes
+//! every request by the object key's existing placement hash
+//! ([`pesos_core::HashedKey`]), so partitioning adds zero digests to the
+//! request path.
+//!
+//! Three pieces:
+//!
+//! * [`router`] — contiguous hash-range partitioning and the immutable
+//!   routing table.
+//! * [`twopc`] — cluster transaction buffering; commits run a two-phase
+//!   protocol over the controllers' prepared-transaction hooks, so a
+//!   transaction spanning partitions is atomic (any partition's policy
+//!   rejection aborts the whole thing before a single write) and its
+//!   outcome is queryable from any router.
+//! * [`cluster`] — the cluster itself: request routing, session mirroring,
+//!   REST dispatch, per-partition SGX cost reporting, and *online*
+//!   topology change — `add_controller` / `remove_controller` migrate only
+//!   the affected hash range, draining objects under per-key write locks
+//!   while concurrent traffic keeps serving (requests into the moving
+//!   range demand-pull their keys).
+//!
+//! Known limitation, inherited from the paper's single-controller view:
+//! a policy that references *other* objects (`objSays` over a log object,
+//! MAL-style) is evaluated against the owning partition's store only, so
+//! such referenced objects must co-hash into the same partition.
+
+pub mod cluster;
+pub mod router;
+pub mod twopc;
+
+pub use cluster::{ClusterConfig, ControllerCluster, PartitionCostReport};
+pub use router::{HashRange, Partition, PartitionTable};
+pub use twopc::CLUSTER_TX_BIT;

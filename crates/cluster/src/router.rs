@@ -1,0 +1,275 @@
+//! Hash-range partitioning of the key space over controller instances.
+//!
+//! Every object key already carries a deterministic SHA-256 placement hash
+//! ([`pesos_core::key_hash`], cached per request in
+//! [`pesos_core::HashedKey`]); the cluster layer reuses the same value to
+//! pick the *controller* owning the key, so routing costs zero additional
+//! digests. Each controller owns one contiguous range of the `u64` hash
+//! space; the table is an ordered list of range starts, and routing is a
+//! binary search.
+//!
+//! Contiguous ranges (rather than modulo assignment) are what make online
+//! topology change cheap: adding a controller splits one existing range in
+//! half and migrates only the keys in the moved half; removing one merges
+//! its range into a neighbour. Every other partition is untouched.
+
+use std::sync::Arc;
+
+use pesos_core::PesosController;
+
+/// An inclusive range `[start, end]` of the `u64` key-hash space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashRange {
+    /// Inclusive lower bound.
+    pub start: u64,
+    /// Inclusive upper bound.
+    pub end: u64,
+}
+
+impl HashRange {
+    /// Whether `hash` falls inside the range.
+    pub fn contains(&self, hash: u64) -> bool {
+        self.start <= hash && hash <= self.end
+    }
+
+    /// Number of hash values covered (as `u128`, since a single partition
+    /// covers the full `u64` space).
+    pub fn width(&self) -> u128 {
+        (self.end as u128) - (self.start as u128) + 1
+    }
+}
+
+/// One partition: a contiguous hash range owned by one controller.
+#[derive(Clone)]
+pub struct Partition {
+    /// Inclusive lower bound of the owned range (the upper bound is the
+    /// next partition's start minus one, or `u64::MAX` for the last).
+    pub start: u64,
+    /// The controller instance owning the range.
+    pub controller: Arc<PesosController>,
+}
+
+/// The routing table: partitions ordered by range start, jointly covering
+/// the whole hash space with no gaps or overlaps.
+///
+/// Tables are immutable; topology changes build a new table and swap it in
+/// atomically (see the cluster's routing snapshot), so a request observes
+/// one consistent table for its whole lifetime.
+#[derive(Clone)]
+pub struct PartitionTable {
+    partitions: Vec<Partition>,
+}
+
+impl PartitionTable {
+    /// Builds a table assigning each controller an (almost) equal share of
+    /// the hash space, in the given order. The first partition always
+    /// starts at 0.
+    pub fn even(controllers: Vec<Arc<PesosController>>) -> Self {
+        assert!(
+            !controllers.is_empty(),
+            "a table needs at least one partition"
+        );
+        let n = controllers.len() as u128;
+        let partitions = controllers
+            .into_iter()
+            .enumerate()
+            .map(|(i, controller)| Partition {
+                start: ((i as u128 * (u64::MAX as u128 + 1)) / n) as u64,
+                controller,
+            })
+            .collect();
+        PartitionTable { partitions }
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+    }
+
+    /// The ordered partitions.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// The hash range owned by partition `index`.
+    pub fn range(&self, index: usize) -> HashRange {
+        HashRange {
+            start: self.partitions[index].start,
+            end: match self.partitions.get(index + 1) {
+                Some(next) => next.start - 1,
+                None => u64::MAX,
+            },
+        }
+    }
+
+    /// Index of the partition owning `hash`.
+    pub fn index_of(&self, hash: u64) -> usize {
+        // First partition whose start exceeds `hash`, minus one; starts are
+        // sorted and partition 0 starts at 0, so this never underflows.
+        self.partitions.partition_point(|p| p.start <= hash) - 1
+    }
+
+    /// The controller owning `hash`.
+    pub fn route(&self, hash: u64) -> &Arc<PesosController> {
+        &self.partitions[self.index_of(hash)].controller
+    }
+
+    /// Index of the partition owning the widest hash range (the split
+    /// target when a controller joins).
+    pub fn widest(&self) -> usize {
+        (0..self.partitions.len())
+            .max_by_key(|&i| self.range(i).width())
+            .expect("table is never empty")
+    }
+
+    /// Splits partition `index` in half, assigning the upper half to
+    /// `controller`. Returns the new table and the hash range that moved
+    /// (the keys the migration must drain from the old owner).
+    pub fn split(
+        &self,
+        index: usize,
+        controller: Arc<PesosController>,
+    ) -> (PartitionTable, HashRange) {
+        let range = self.range(index);
+        assert!(range.width() >= 2, "cannot split a single-hash partition");
+        let upper_start = range.start + ((range.end - range.start) / 2) + 1;
+        let moved = HashRange {
+            start: upper_start,
+            end: range.end,
+        };
+        let mut partitions = self.partitions.clone();
+        partitions.insert(
+            index + 1,
+            Partition {
+                start: upper_start,
+                controller,
+            },
+        );
+        (PartitionTable { partitions }, moved)
+    }
+
+    /// Removes partition `index`, merging its range into a neighbour (the
+    /// predecessor, or the successor for partition 0). Returns the new
+    /// table, the hash range that moved, and the index *in the new table*
+    /// of the partition that absorbed it.
+    pub fn merge_out(&self, index: usize) -> (PartitionTable, HashRange, usize) {
+        assert!(
+            self.partitions.len() > 1,
+            "cannot remove the last partition"
+        );
+        let moved = self.range(index);
+        let mut partitions = self.partitions.clone();
+        partitions.remove(index);
+        let absorbed_by = if index == 0 {
+            // The old successor now owns from 0; contiguity requires the
+            // first partition to start at 0.
+            partitions[0].start = 0;
+            0
+        } else {
+            // The predecessor's range silently extends up to the old
+            // successor's start (or the end of the space).
+            index - 1
+        };
+        (PartitionTable { partitions }, moved, absorbed_by)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pesos_core::{key_hash, ControllerConfig};
+
+    fn controller() -> Arc<PesosController> {
+        Arc::new(PesosController::new(ControllerConfig::native_simulator(1)).unwrap())
+    }
+
+    fn controllers(n: usize) -> Vec<Arc<PesosController>> {
+        (0..n).map(|_| controller()).collect()
+    }
+
+    #[test]
+    fn even_table_covers_the_space_contiguously() {
+        for n in 1..=5 {
+            let table = PartitionTable::even(controllers(n));
+            assert_eq!(table.len(), n);
+            assert_eq!(table.partitions()[0].start, 0);
+            let total: u128 = (0..n).map(|i| table.range(i).width()).sum();
+            assert_eq!(total, u64::MAX as u128 + 1);
+            for i in 1..n {
+                assert_eq!(table.range(i - 1).end + 1, table.range(i).start);
+            }
+        }
+    }
+
+    #[test]
+    fn routing_matches_ranges_and_is_deterministic() {
+        let table = PartitionTable::even(controllers(4));
+        for key in ["a", "b", "users/alice", "zzz", ""] {
+            let hash = key_hash(key);
+            let index = table.index_of(hash);
+            assert!(table.range(index).contains(hash));
+            assert!(Arc::ptr_eq(
+                table.route(hash),
+                &table.partitions()[index].controller
+            ));
+        }
+        // Boundary hashes route to the owning side.
+        assert_eq!(table.index_of(0), 0);
+        assert_eq!(table.index_of(u64::MAX), 3);
+        let boundary = table.range(1).start;
+        assert_eq!(table.index_of(boundary), 1);
+        assert_eq!(table.index_of(boundary - 1), 0);
+    }
+
+    #[test]
+    fn split_moves_the_upper_half_only() {
+        let table = PartitionTable::even(controllers(2));
+        let before_other = table.range(0);
+        let (split, moved) = table.split(1, controller());
+        assert_eq!(split.len(), 3);
+        // Partition 0 untouched; the moved range is the upper half of the
+        // old partition 1 and is now owned by the new controller.
+        assert_eq!(split.range(0), before_other);
+        assert_eq!(split.range(2), moved);
+        assert_eq!(
+            moved.width() + split.range(1).width(),
+            table.range(1).width()
+        );
+        let total: u128 = (0..3).map(|i| split.range(i).width()).sum();
+        assert_eq!(total, u64::MAX as u128 + 1);
+    }
+
+    #[test]
+    fn merge_out_preserves_contiguity_for_any_index() {
+        let table = PartitionTable::even(controllers(3));
+        for index in 0..3 {
+            let (merged, moved, absorbed_by) = table.merge_out(index);
+            assert_eq!(merged.len(), 2);
+            assert_eq!(moved, table.range(index));
+            assert_eq!(merged.partitions()[0].start, 0);
+            let total: u128 = (0..2).map(|i| merged.range(i).width()).sum();
+            assert_eq!(total, u64::MAX as u128 + 1);
+            // Every hash of the moved range now routes to the absorber.
+            for probe in [
+                moved.start,
+                moved.end,
+                moved.start + (moved.end - moved.start) / 2,
+            ] {
+                assert_eq!(merged.index_of(probe), absorbed_by);
+            }
+        }
+    }
+
+    #[test]
+    fn widest_prefers_the_largest_range() {
+        let table = PartitionTable::even(controllers(2));
+        let (split, _) = table.split(0, controller());
+        // Ranges now: quarter, quarter, half — partition 2 is widest.
+        assert_eq!(split.widest(), 2);
+    }
+}

@@ -1,0 +1,156 @@
+//! Cluster-level transaction buffering for the two-phase commit.
+//!
+//! A cluster transaction buffers reads and writes exactly like a
+//! single-controller transaction, but the keys may span partitions. At
+//! commit time the cluster groups the buffered operations by owning
+//! partition, opens one *branch* transaction per participant and runs the
+//! two-phase protocol over the controllers'
+//! [`pesos_core::PesosController::prepare_commit`] /
+//! [`pesos_core::PesosController::commit_prepared`] hooks (see the cluster
+//! module for the protocol itself).
+//!
+//! Cluster transaction identifiers carry [`CLUSTER_TX_BIT`] so they can
+//! never collide with any controller's own dense transaction ids inside the
+//! per-controller outcome maps — the merged outcome of a cross-partition
+//! transaction is filed under the cluster id on every participant, which is
+//! what makes it queryable from any router.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use pesos_core::{PesosError, TxWrite};
+
+/// High tag bit of every cluster-assigned transaction id.
+pub const CLUSTER_TX_BIT: u64 = 1 << 63;
+
+/// A buffered, not-yet-committed cluster transaction.
+pub(crate) struct ClusterTx {
+    pub owner: String,
+    pub reads: Vec<String>,
+    pub writes: Vec<TxWrite>,
+}
+
+/// Buffers open cluster transactions until commit or abort.
+pub(crate) struct ClusterTxManager {
+    next_id: AtomicU64,
+    open: Mutex<HashMap<u64, ClusterTx>>,
+}
+
+impl ClusterTxManager {
+    pub fn new() -> Self {
+        ClusterTxManager {
+            next_id: AtomicU64::new(1),
+            open: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Begins a transaction for `owner` and returns its (tagged) id.
+    pub fn create(&self, owner: &str) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst) | CLUSTER_TX_BIT;
+        self.open.lock().insert(
+            id,
+            ClusterTx {
+                owner: owner.to_string(),
+                reads: Vec::new(),
+                writes: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// Number of open transactions.
+    pub fn open_count(&self) -> usize {
+        self.open.lock().len()
+    }
+
+    fn with_tx<R>(
+        &self,
+        id: u64,
+        owner: &str,
+        f: impl FnOnce(&mut ClusterTx) -> R,
+    ) -> Result<R, PesosError> {
+        let mut open = self.open.lock();
+        let tx = open
+            .get_mut(&id)
+            .ok_or_else(|| PesosError::TransactionAborted(format!("unknown transaction {id}")))?;
+        if tx.owner != owner {
+            return Err(PesosError::TransactionAborted(
+                "transaction owned by a different client".into(),
+            ));
+        }
+        Ok(f(tx))
+    }
+
+    pub fn add_read(&self, id: u64, owner: &str, key: &str) -> Result<(), PesosError> {
+        self.with_tx(id, owner, |tx| tx.reads.push(key.to_string()))
+    }
+
+    pub fn add_write(&self, id: u64, owner: &str, write: TxWrite) -> Result<(), PesosError> {
+        self.with_tx(id, owner, |tx| tx.writes.push(write))
+    }
+
+    /// Removes and returns the transaction for committing.
+    pub fn take(&self, id: u64, owner: &str) -> Result<ClusterTx, PesosError> {
+        let mut open = self.open.lock();
+        match open.get(&id) {
+            Some(tx) if tx.owner == owner => Ok(open.remove(&id).expect("checked above")),
+            Some(_) => Err(PesosError::TransactionAborted(
+                "transaction owned by a different client".into(),
+            )),
+            None => Err(PesosError::TransactionAborted(format!(
+                "unknown transaction {id}"
+            ))),
+        }
+    }
+
+    /// Aborts and discards the transaction.
+    pub fn abort(&self, id: u64, owner: &str) -> Result<(), PesosError> {
+        self.take(id, owner).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_carry_the_cluster_tag() {
+        let mgr = ClusterTxManager::new();
+        let id = mgr.create("alice");
+        assert_ne!(id & CLUSTER_TX_BIT, 0);
+        assert_eq!(mgr.open_count(), 1);
+    }
+
+    #[test]
+    fn buffering_and_ownership() {
+        let mgr = ClusterTxManager::new();
+        let id = mgr.create("alice");
+        mgr.add_read(id, "alice", "a").unwrap();
+        mgr.add_write(
+            id,
+            "alice",
+            TxWrite {
+                key: "b".into(),
+                value: vec![1],
+                policy_id: None,
+            },
+        )
+        .unwrap();
+        assert!(mgr.add_read(id, "bob", "x").is_err());
+        assert!(mgr.take(id, "bob").is_err());
+        let tx = mgr.take(id, "alice").unwrap();
+        assert_eq!(tx.reads, vec!["a".to_string()]);
+        assert_eq!(tx.writes.len(), 1);
+        assert!(mgr.take(id, "alice").is_err());
+        assert_eq!(mgr.open_count(), 0);
+    }
+
+    #[test]
+    fn abort_discards() {
+        let mgr = ClusterTxManager::new();
+        let id = mgr.create("c");
+        mgr.abort(id, "c").unwrap();
+        assert!(mgr.abort(id, "c").is_err());
+    }
+}

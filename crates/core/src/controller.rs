@@ -8,11 +8,9 @@
 //! are acknowledged immediately with an operation identifier and executed on
 //! enclave worker threads; their results land in the bounded result buffer.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use pesos_crypto::Certificate;
 use pesos_policy::{Operation, PolicyId, RequestContext, Value};
 use pesos_sgx::UserScheduler;
@@ -34,57 +32,46 @@ use crate::transaction::{TransactionManager, TxOutcome, TxWrite};
 /// Suffix used to derive an object's associated log key for MAL policies.
 pub const LOG_SUFFIX: &str = ".log";
 
-/// Sharded, bounded map of committed-transaction outcomes.
-///
-/// Transaction identifiers are dense sequence numbers, so `tx_id % shards`
-/// spreads concurrent committers evenly without any hashing; one global
-/// mutex here was among the last request-rate locks left from the ROADMAP.
+/// Sharded, bounded map of committed-transaction outcomes
+/// ([`crate::sharded::ShardedFifoMap`]): transaction identifiers are dense
+/// sequence numbers, so the identity shard-index function spreads
+/// concurrent committers evenly without any hashing — one global mutex
+/// here was among the last request-rate locks left from the ROADMAP.
 ///
 /// Outcomes hold full copies of every value the transaction read, so
 /// retention is bounded like the async result buffer: each shard keeps its
 /// most recent commits and evicts the oldest beyond its share of the
 /// capacity. A client polling `check_results` for an evicted transaction
 /// gets the same not-found error as for an unknown one.
-struct ShardedTxOutcomes {
-    per_shard_capacity: usize,
-    shards: Vec<Mutex<TxOutcomeShard>>,
+type ShardedTxOutcomes = crate::sharded::ShardedFifoMap<TxOutcome>;
+
+/// One write of a prepared transaction, with everything the commit phase
+/// needs precomputed during prepare (so commit re-hashes nothing).
+struct PreparedWrite {
+    key_hash: u64,
+    content_hash: pesos_crypto::Digest,
 }
 
-#[derive(Default)]
-struct TxOutcomeShard {
-    outcomes: HashMap<u64, TxOutcome>,
-    order: std::collections::VecDeque<u64>,
+/// A transaction that passed validation with all of its locks held — the
+/// controller-level "prepared" state of a two-phase commit.
+///
+/// Produced by [`PesosController::prepare_commit`]: every policy check has
+/// passed and every buffered read has executed, but no write has touched
+/// the store. The coordinator either applies it with
+/// [`PesosController::commit_prepared`] or discards it with
+/// [`PesosController::abort_prepared`]; merely dropping it also releases
+/// the locks without writing (the abort metric is then not bumped).
+pub struct PreparedCommit<'a> {
+    prepared: crate::transaction::PreparedTransaction<'a>,
+    tx_id: u64,
+    read_values: Vec<Vec<u8>>,
+    write_plan: Vec<PreparedWrite>,
 }
 
-impl ShardedTxOutcomes {
-    fn new(shards: usize, capacity: usize) -> Self {
-        let shards = shards.max(1);
-        ShardedTxOutcomes {
-            per_shard_capacity: (capacity / shards).max(1),
-            shards: (0..shards)
-                .map(|_| Mutex::new(TxOutcomeShard::default()))
-                .collect(),
-        }
-    }
-
-    fn shard(&self, tx_id: u64) -> &Mutex<TxOutcomeShard> {
-        &self.shards[(tx_id % self.shards.len() as u64) as usize]
-    }
-
-    fn insert(&self, tx_id: u64, outcome: TxOutcome) {
-        let mut shard = self.shard(tx_id).lock();
-        if shard.outcomes.insert(tx_id, outcome).is_none() {
-            shard.order.push_back(tx_id);
-        }
-        while shard.order.len() > self.per_shard_capacity {
-            if let Some(evicted) = shard.order.pop_front() {
-                shard.outcomes.remove(&evicted);
-            }
-        }
-    }
-
-    fn get(&self, tx_id: u64) -> Option<TxOutcome> {
-        self.shard(tx_id).lock().outcomes.get(&tx_id).cloned()
+impl PreparedCommit<'_> {
+    /// The transaction identifier this prepared state belongs to.
+    pub fn tx_id(&self) -> u64 {
+        self.tx_id
     }
 }
 
@@ -308,10 +295,15 @@ impl PesosController {
 
     /// Stores an object (optionally associating a policy), enforcing the
     /// update permission of any existing policy. Returns the new version.
-    pub fn put(
+    ///
+    /// Like every typed object operation, `key` accepts either a bare
+    /// `&str` (hashed here, once) or an already-hashed [`HashedKey`] — the
+    /// cluster router hashes the key to pick a partition and hands the same
+    /// hash down, so routing adds zero digests.
+    pub fn put<'a>(
         &self,
         client_id: &str,
-        key: &str,
+        key: impl Into<HashedKey<'a>>,
         value: Vec<u8>,
         policy_id: Option<PolicyId>,
         expected_version: Option<u64>,
@@ -323,7 +315,7 @@ impl PesosController {
 
         // One key hash and one content hash for the whole request: both are
         // reused by the policy check and then handed down into the store.
-        let key = HashedKey::new(key);
+        let key = key.into();
         let current = self.store.get_metadata(key);
         let default_next = current.as_ref().map(|m| m.latest_version + 1).unwrap_or(0);
         let next_version = expected_version.unwrap_or(default_next);
@@ -355,10 +347,10 @@ impl PesosController {
     /// Stores an object asynchronously; returns the operation identifier the
     /// client can poll. The policy check happens synchronously before the
     /// request is acknowledged, as in the paper's request flow.
-    pub fn put_async(
+    pub fn put_async<'a>(
         &self,
         client_id: &str,
-        key: &str,
+        key: impl Into<HashedKey<'a>>,
         value: Vec<u8>,
         policy_id: Option<PolicyId>,
         expected_version: Option<u64>,
@@ -369,7 +361,7 @@ impl PesosController {
         ControllerMetrics::bump(&self.metrics.writes);
         ControllerMetrics::bump(&self.metrics.async_accepted);
 
-        let key = HashedKey::new(key);
+        let key = key.into();
         let current = self.store.get_metadata(key);
         let default_next = current.as_ref().map(|m| m.latest_version + 1).unwrap_or(0);
         let next_version = expected_version.unwrap_or(default_next);
@@ -412,16 +404,16 @@ impl PesosController {
 
     /// Retrieves the latest version of an object, enforcing the read
     /// permission.
-    pub fn get(
+    pub fn get<'a>(
         &self,
         client_id: &str,
-        key: &str,
+        key: impl Into<HashedKey<'a>>,
         certificates: &[Certificate],
     ) -> Result<(Arc<Vec<u8>>, u64), PesosError> {
         self.require_session(client_id)?;
         ControllerMetrics::bump(&self.metrics.requests);
         ControllerMetrics::bump(&self.metrics.reads);
-        let key = HashedKey::new(key);
+        let key = key.into();
         let current = self.store.get_metadata(key);
         self.check_policy(
             Operation::Read,
@@ -437,17 +429,17 @@ impl PesosController {
 
     /// Retrieves a specific stored version (history read for versioned
     /// objects), enforcing the read permission.
-    pub fn get_version(
+    pub fn get_version<'a>(
         &self,
         client_id: &str,
-        key: &str,
+        key: impl Into<HashedKey<'a>>,
         version: u64,
         certificates: &[Certificate],
     ) -> Result<Vec<u8>, PesosError> {
         self.require_session(client_id)?;
         ControllerMetrics::bump(&self.metrics.requests);
         ControllerMetrics::bump(&self.metrics.reads);
-        let key = HashedKey::new(key);
+        let key = key.into();
         let current = self.store.get_metadata(key);
         self.check_policy(
             Operation::Read,
@@ -462,16 +454,16 @@ impl PesosController {
     }
 
     /// Deletes an object, enforcing the delete permission.
-    pub fn delete(
+    pub fn delete<'a>(
         &self,
         client_id: &str,
-        key: &str,
+        key: impl Into<HashedKey<'a>>,
         certificates: &[Certificate],
     ) -> Result<(), PesosError> {
         self.require_session(client_id)?;
         ControllerMetrics::bump(&self.metrics.requests);
         ControllerMetrics::bump(&self.metrics.deletes);
-        let key = HashedKey::new(key);
+        let key = key.into();
         let current = self.store.get_metadata(key);
         self.check_policy(
             Operation::Delete,
@@ -487,16 +479,16 @@ impl PesosController {
 
     /// Attaches an existing policy to an existing object (a policy change is
     /// treated as an update of the object, per §3.3).
-    pub fn attach_policy(
+    pub fn attach_policy<'a>(
         &self,
         client_id: &str,
-        key: &str,
+        key: impl Into<HashedKey<'a>>,
         policy_id: PolicyId,
         certificates: &[Certificate],
     ) -> Result<(), PesosError> {
         self.require_session(client_id)?;
         ControllerMetrics::bump(&self.metrics.requests);
-        let key = HashedKey::new(key);
+        let key = key.into();
         let current = self.store.get_metadata(key);
         self.check_policy(
             Operation::Update,
@@ -568,67 +560,186 @@ impl PesosController {
     /// Commits a transaction with full policy enforcement on every buffered
     /// read and write. All writes are applied atomically with respect to
     /// other transactions on the same keys.
+    ///
+    /// This is [`PesosController::prepare_commit`] followed immediately by
+    /// [`PesosController::commit_prepared`] — the single-controller
+    /// degenerate case of the two-phase protocol the cluster layer runs
+    /// across partitions.
     pub fn commit_tx(&self, client_id: &str, tx_id: u64) -> Result<TxOutcome, PesosError> {
+        let prepared = self.prepare_commit(client_id, tx_id)?;
+        self.commit_prepared(prepared)
+    }
+
+    /// Phase one of a two-phase commit: takes the transaction's VLL locks,
+    /// runs every policy check and executes every buffered read — all the
+    /// validation that can abort the transaction — without applying any
+    /// write.
+    ///
+    /// On success the locks stay held inside the returned
+    /// [`PreparedCommit`]; a distributed coordinator prepares every
+    /// participant before committing any of them, so one partition's policy
+    /// rejection aborts the whole transaction with no partition having
+    /// written. On failure the locks are released and the abort metric is
+    /// bumped.
+    pub fn prepare_commit(
+        &self,
+        client_id: &str,
+        tx_id: u64,
+    ) -> Result<PreparedCommit<'_>, PesosError> {
         self.require_session(client_id)?;
-        let store = Arc::clone(&self.store);
-        let outcome = self.transactions.commit(tx_id, client_id, |reads, writes| {
-            // Hash each key and each write payload once for the whole
-            // commit: the policy checks and the write-back below reuse them.
-            let write_keys: Vec<HashedKey<'_>> =
-                writes.iter().map(|w| HashedKey::new(&w.key)).collect();
-            let write_hashes: Vec<pesos_crypto::Digest> = writes
-                .iter()
-                .map(|w| pesos_crypto::sha256(&w.value))
-                .collect();
-            let read_keys: Vec<HashedKey<'_>> = reads.iter().map(|k| HashedKey::new(k)).collect();
-            // Policy checks first so a denial aborts before any write.
-            for (key, hash) in write_keys.iter().zip(&write_hashes) {
-                let current = store.get_metadata(key);
-                let next = current.as_ref().map(|m| m.latest_version + 1).unwrap_or(0);
-                self.check_policy(
-                    Operation::Update,
-                    key,
-                    current.as_ref(),
-                    client_id,
-                    &[],
-                    Some(next),
-                    Some(hash.to_vec()),
-                )?;
-            }
-            for key in &read_keys {
-                let current = store.get_metadata(key);
-                self.check_policy(
-                    Operation::Read,
-                    key,
-                    current.as_ref(),
-                    client_id,
-                    &[],
-                    None,
-                    None,
-                )?;
-            }
-            let mut outcome = TxOutcome::default();
-            for key in &read_keys {
-                let (value, _) = store.get_object(key)?;
-                outcome.read_values.push((*value).clone());
-            }
-            for (write, (key, hash)) in writes.iter().zip(write_keys.iter().zip(&write_hashes)) {
-                let version = store.put_object_full(key, &write.value, None, None, Some(*hash))?;
-                outcome.write_versions.push(version);
-            }
-            Ok(outcome)
-        });
-        match outcome {
-            Ok(out) => {
-                ControllerMetrics::bump(&self.metrics.tx_committed);
-                self.tx_outcomes.insert(tx_id, out.clone());
-                Ok(out)
-            }
+        let prepared = match self.transactions.prepare(tx_id, client_id) {
+            Ok(p) => p,
             Err(e) => {
+                ControllerMetrics::bump(&self.metrics.tx_aborted);
+                return Err(e);
+            }
+        };
+        match self.validate_prepared(client_id, &prepared) {
+            Ok((read_values, write_plan)) => Ok(PreparedCommit {
+                prepared,
+                tx_id,
+                read_values,
+                write_plan,
+            }),
+            Err(e) => {
+                // Dropping `prepared` releases the locks.
                 ControllerMetrics::bump(&self.metrics.tx_aborted);
                 Err(e)
             }
         }
+    }
+
+    /// The validation body of [`PesosController::prepare_commit`]: policy
+    /// checks for writes then reads (a denial aborts before any state
+    /// changes), then the buffered reads. Hashes each key and each write
+    /// payload once; the returned plan carries them so the commit phase
+    /// re-hashes nothing.
+    #[allow(clippy::type_complexity)]
+    fn validate_prepared(
+        &self,
+        client_id: &str,
+        prepared: &crate::transaction::PreparedTransaction<'_>,
+    ) -> Result<(Vec<Vec<u8>>, Vec<PreparedWrite>), PesosError> {
+        let store = &self.store;
+        let write_keys: Vec<HashedKey<'_>> = prepared
+            .writes()
+            .iter()
+            .map(|w| HashedKey::new(&w.key))
+            .collect();
+        let write_hashes: Vec<pesos_crypto::Digest> = prepared
+            .writes()
+            .iter()
+            .map(|w| pesos_crypto::sha256(&w.value))
+            .collect();
+        let read_keys: Vec<HashedKey<'_>> =
+            prepared.reads().iter().map(|k| HashedKey::new(k)).collect();
+        for (key, hash) in write_keys.iter().zip(&write_hashes) {
+            let current = store.get_metadata(key);
+            let next = current.as_ref().map(|m| m.latest_version + 1).unwrap_or(0);
+            self.check_policy(
+                Operation::Update,
+                key,
+                current.as_ref(),
+                client_id,
+                &[],
+                Some(next),
+                Some(hash.to_vec()),
+            )?;
+        }
+        for key in &read_keys {
+            let current = store.get_metadata(key);
+            self.check_policy(
+                Operation::Read,
+                key,
+                current.as_ref(),
+                client_id,
+                &[],
+                None,
+                None,
+            )?;
+        }
+        let mut read_values = Vec::with_capacity(read_keys.len());
+        for key in &read_keys {
+            let (value, _) = store.get_object(key)?;
+            read_values.push((*value).clone());
+        }
+        let write_plan = write_keys
+            .iter()
+            .zip(&write_hashes)
+            .map(|(key, hash)| PreparedWrite {
+                key_hash: key.hash(),
+                content_hash: *hash,
+            })
+            .collect();
+        Ok((read_values, write_plan))
+    }
+
+    /// Phase two of a two-phase commit: applies the prepared writes under
+    /// the locks taken in phase one, records the outcome under the
+    /// transaction id and releases the locks.
+    ///
+    /// A failure here is a backend failure (validation already passed in
+    /// phase one); writes applied before the failing one remain, exactly as
+    /// in the pre-split commit path.
+    pub fn commit_prepared(&self, prepared: PreparedCommit<'_>) -> Result<TxOutcome, PesosError> {
+        let PreparedCommit {
+            prepared,
+            tx_id,
+            read_values,
+            write_plan,
+        } = prepared;
+        let mut outcome = TxOutcome {
+            write_versions: Vec::with_capacity(write_plan.len()),
+            read_values,
+        };
+        for (write, plan) in prepared.writes().iter().zip(&write_plan) {
+            let key = HashedKey::from_parts(&write.key, plan.key_hash);
+            let version = match self.store.put_object_full(
+                key,
+                &write.value,
+                None,
+                None,
+                Some(plan.content_hash),
+            ) {
+                Ok(v) => v,
+                Err(e) => {
+                    ControllerMetrics::bump(&self.metrics.tx_aborted);
+                    return Err(e);
+                }
+            };
+            outcome.write_versions.push(version);
+        }
+        drop(prepared); // release the VLL locks
+        ControllerMetrics::bump(&self.metrics.tx_committed);
+        self.tx_outcomes.insert(tx_id, outcome.clone());
+        Ok(outcome)
+    }
+
+    /// Aborts a prepared transaction: releases its locks without applying
+    /// any write (used by the cluster coordinator when a sibling
+    /// partition's branch failed to prepare).
+    pub fn abort_prepared(&self, prepared: PreparedCommit<'_>) {
+        ControllerMetrics::bump(&self.metrics.tx_aborted);
+        drop(prepared);
+    }
+
+    /// Files `outcome` under `tx_id` in the bounded outcome map, as if the
+    /// transaction had committed locally.
+    ///
+    /// Used by the cluster coordinator to make a *cross-partition*
+    /// transaction's merged outcome queryable through
+    /// [`PesosController::check_results`] on every participant (cluster
+    /// transaction ids carry a high tag bit, so they can never collide with
+    /// this controller's own dense ids).
+    pub fn record_tx_outcome(&self, tx_id: u64, outcome: TxOutcome) {
+        self.tx_outcomes.insert(tx_id, outcome);
+    }
+
+    /// The retained outcome for `tx_id`, if any — the session-less lookup
+    /// backing [`PesosController::check_results`]; the cluster router uses
+    /// it after enforcing its own session check.
+    pub fn tx_outcome(&self, tx_id: u64) -> Option<TxOutcome> {
+        self.tx_outcomes.get(tx_id)
     }
 
     /// Returns the outcome of a previously committed transaction.
@@ -804,24 +915,16 @@ impl PesosController {
     }
 }
 
-fn parse_policy_id(hex: &str) -> Result<PolicyId, PesosError> {
+/// Parses the hex policy-id form used on the REST surface; shared by the
+/// controller's dispatcher and the cluster router so both reject malformed
+/// ids identically.
+pub fn parse_policy_id(hex: &str) -> Result<PolicyId, PesosError> {
     PolicyId::from_hex(hex)
         .ok_or_else(|| PesosError::BadRequest(format!("invalid policy id {hex:?}")))
 }
 
 fn error_response(e: PesosError) -> RestResponse {
-    let status = match &e {
-        PesosError::PolicyDenied(_) => RestStatus::PolicyDenied,
-        PesosError::ObjectNotFound(_)
-        | PesosError::PolicyNotFound(_)
-        | PesosError::ResultUnavailable(_) => RestStatus::NotFound,
-        PesosError::VersionConflict { .. } | PesosError::TransactionAborted(_) => {
-            RestStatus::Conflict
-        }
-        PesosError::BadRequest(_) | PesosError::NoSession(_) => RestStatus::BadRequest,
-        PesosError::Backend(_) | PesosError::Bootstrap(_) => RestStatus::BackendError,
-    };
-    RestResponse::failure(status, e.to_string())
+    e.rest_response()
 }
 
 #[cfg(test)]

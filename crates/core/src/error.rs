@@ -53,6 +53,31 @@ impl fmt::Display for PesosError {
     }
 }
 
+impl PesosError {
+    /// The REST status this error maps to on the wire; shared by the
+    /// controller's dispatcher and the cluster router so a request answered
+    /// by either layer reports failures identically.
+    pub fn rest_status(&self) -> pesos_wire::RestStatus {
+        use pesos_wire::RestStatus;
+        match self {
+            PesosError::PolicyDenied(_) => RestStatus::PolicyDenied,
+            PesosError::ObjectNotFound(_)
+            | PesosError::PolicyNotFound(_)
+            | PesosError::ResultUnavailable(_) => RestStatus::NotFound,
+            PesosError::VersionConflict { .. } | PesosError::TransactionAborted(_) => {
+                RestStatus::Conflict
+            }
+            PesosError::BadRequest(_) | PesosError::NoSession(_) => RestStatus::BadRequest,
+            PesosError::Backend(_) | PesosError::Bootstrap(_) => RestStatus::BackendError,
+        }
+    }
+
+    /// Builds the REST failure response for this error.
+    pub fn rest_response(&self) -> pesos_wire::RestResponse {
+        pesos_wire::RestResponse::failure(self.rest_status(), self.to_string())
+    }
+}
+
 impl std::error::Error for PesosError {}
 
 impl From<KineticError> for PesosError {

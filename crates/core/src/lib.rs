@@ -15,6 +15,7 @@ pub mod bootstrap;
 pub mod config;
 pub mod controller;
 pub mod encryption;
+pub mod endpoint;
 pub mod error;
 pub mod metadata;
 pub mod metrics;
@@ -23,23 +24,31 @@ pub mod placement;
 pub mod request;
 pub mod result_buffer;
 pub mod session;
+/// Generic lock sharding (canonical re-export; the definition lives in
+/// `pesos-policy` because core depends on policy, not the other way
+/// around).
+pub mod sharded {
+    pub use pesos_policy::sharded::{ShardKey, Sharded, ShardedFifoMap};
+}
 pub mod store;
 pub mod transaction;
 
 pub use bootstrap::BootstrapReport;
 pub use config::ControllerConfig;
-pub use controller::PesosController;
+pub use controller::{parse_policy_id, PesosController, PreparedCommit};
 pub use encryption::ObjectCrypter;
+pub use endpoint::RequestEndpoint;
 pub use error::PesosError;
 pub use metadata::{ObjectMetadata, ShardedMetadata, VersionMeta};
 pub use metrics::ControllerMetrics;
 pub use object_cache::ObjectCache;
 pub use placement::{key_hash, placement, HashedKey};
 pub use request::{ClientRequest, ClientResponse};
-pub use result_buffer::ResultBuffer;
+pub use result_buffer::{AsyncResult, ResultBuffer};
 pub use session::{SessionContext, SessionManager};
-pub use store::{PesosStore, StoreOptions};
-pub use transaction::{TransactionManager, TxOutcome};
+pub use sharded::{ShardKey, Sharded};
+pub use store::{ObjectExport, PesosStore, StoreOptions};
+pub use transaction::{PreparedTransaction, TransactionManager, TxOutcome, TxWrite};
 
 pub use pesos_kinetic::{DriveConfig, DriveSet, KineticDrive};
 pub use pesos_policy::Operation;

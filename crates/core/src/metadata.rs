@@ -156,30 +156,31 @@ impl ObjectMetadata {
 /// cache shard, drive set) derives from one hash computation and keys that
 /// never share a shard never share a lock. Callers on the request hot path
 /// pass a precomputed [`HashedKey`] so the shard selection costs a modulo,
-/// not a fresh SHA-256 of the key.
+/// not a fresh SHA-256 of the key. Built on the generic
+/// [`crate::sharded::Sharded`] container; `RwLock` cells keep the warm
+/// read path (`get`) shared.
 pub struct ShardedMetadata {
-    shards: Vec<RwLock<HashMap<String, ObjectMetadata>>>,
+    shards: Sharded<RwLock<HashMap<String, ObjectMetadata>>>,
 }
 
 use crate::placement::HashedKey;
+use crate::sharded::Sharded;
 
 impl ShardedMetadata {
     /// Creates a map with `shards` lock shards (at least one).
     pub fn new(shards: usize) -> Self {
         ShardedMetadata {
-            shards: (0..shards.max(1))
-                .map(|_| RwLock::new(HashMap::new()))
-                .collect(),
+            shards: Sharded::new(shards, RwLock::default),
         }
     }
 
     /// Number of lock shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.shards.shard_count()
     }
 
     fn shard(&self, key: &HashedKey<'_>) -> &RwLock<HashMap<String, ObjectMetadata>> {
-        &self.shards[key.shard(self.shards.len())]
+        self.shards.get(key)
     }
 
     /// Returns a clone of the metadata for `key`, if cached.

@@ -20,6 +20,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::placement::HashedKey;
+use crate::sharded::Sharded;
 
 /// Counters describing cache behaviour.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -42,6 +43,7 @@ struct Entry {
     frequency: u64,
 }
 
+#[derive(Default)]
 struct Inner {
     entries: HashMap<String, Entry>,
     used_bytes: u64,
@@ -50,22 +52,11 @@ struct Inner {
     evictions: u64,
 }
 
-impl Inner {
-    fn new() -> Self {
-        Inner {
-            entries: HashMap::new(),
-            used_bytes: 0,
-            hits: 0,
-            misses: 0,
-            evictions: 0,
-        }
-    }
-}
-
-/// A byte-bounded, approximately-LFU, lock-sharded object cache.
+/// A byte-bounded, approximately-LFU, lock-sharded object cache (built on
+/// the generic [`Sharded`] container).
 pub struct ObjectCache {
     shard_budget_bytes: u64,
-    shards: Vec<Mutex<Inner>>,
+    shards: Sharded<Mutex<Inner>>,
 }
 
 impl ObjectCache {
@@ -87,22 +78,22 @@ impl ObjectCache {
         let shards = shards.max(1);
         ObjectCache {
             shard_budget_bytes: (budget_bytes / shards).max(1) as u64,
-            shards: (0..shards).map(|_| Mutex::new(Inner::new())).collect(),
+            shards: Sharded::new(shards, Mutex::default),
         }
     }
 
     /// The configured byte budget (summed over all shards).
     pub fn budget_bytes(&self) -> u64 {
-        self.shard_budget_bytes * self.shards.len() as u64
+        self.shard_budget_bytes * self.shards.shard_count() as u64
     }
 
     /// Number of lock shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.shards.shard_count()
     }
 
     fn shard(&self, key: &HashedKey<'_>) -> &Mutex<Inner> {
-        &self.shards[key.shard(self.shards.len())]
+        self.shards.get(key)
     }
 
     /// Looks up the latest cached value and version for `key`.
@@ -177,7 +168,7 @@ impl ObjectCache {
     /// Returns counters aggregated over all shards.
     pub fn stats(&self) -> ObjectCacheStats {
         let mut stats = ObjectCacheStats::default();
-        for shard in &self.shards {
+        for shard in self.shards.iter() {
             let inner = shard.lock();
             stats.hits += inner.hits;
             stats.misses += inner.misses;

@@ -78,6 +78,16 @@ impl<'a> HashedKey<'a> {
     }
 }
 
+impl pesos_policy::ShardKey for HashedKey<'_> {
+    /// Sharded structures keyed by object keys select shards from the
+    /// cached placement hash — the same value [`HashedKey::shard`] uses —
+    /// so generic [`pesos_policy::Sharded`] containers and the hand-rolled
+    /// `shard()` methods they replaced can never disagree.
+    fn shard_hint(&self) -> u64 {
+        self.hash
+    }
+}
+
 impl<'a> From<&'a str> for HashedKey<'a> {
     fn from(key: &'a str) -> Self {
         HashedKey::new(key)

@@ -6,11 +6,11 @@
 //! session survives a disconnect and expires only after a grace period; a
 //! reconnecting client with the same certificate reuses it (paper §3.1).
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 
 use parking_lot::Mutex;
+
+use crate::sharded::Sharded;
 
 /// Per-client soft state.
 #[derive(Debug, Clone)]
@@ -32,14 +32,15 @@ pub struct SessionContext {
 
 /// Manages session contexts keyed by client identity.
 ///
-/// The map is split over N independently locked shards (the same pattern as
-/// the metadata map and object cache) because every single request calls
-/// [`SessionManager::touch`]: one global mutex here serialized otherwise
-/// disjoint sessions. Client identities are not placement keys, so shard
-/// selection uses the standard library hasher — no SHA-256 on this path.
+/// The map is split over N independently locked shards (the same generic
+/// [`Sharded`] container as the metadata map and object cache) because
+/// every single request calls [`SessionManager::touch`]: one global mutex
+/// here serialized otherwise disjoint sessions. Client identities are not
+/// placement keys, so shard selection uses the `str` shard-index function —
+/// the standard library hasher, no SHA-256 on this path.
 pub struct SessionManager {
     expiry_secs: u64,
-    shards: Vec<Mutex<HashMap<String, SessionContext>>>,
+    shards: Sharded<Mutex<HashMap<String, SessionContext>>>,
 }
 
 impl SessionManager {
@@ -54,24 +55,17 @@ impl SessionManager {
     pub fn with_shards(expiry_secs: u64, shards: usize) -> Self {
         SessionManager {
             expiry_secs,
-            shards: (0..shards.max(1))
-                .map(|_| Mutex::new(HashMap::new()))
-                .collect(),
+            shards: Sharded::new(shards, Mutex::default),
         }
     }
 
     /// Number of lock shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.shards.shard_count()
     }
 
     fn shard(&self, client_id: &str) -> &Mutex<HashMap<String, SessionContext>> {
-        if self.shards.len() == 1 {
-            return &self.shards[0];
-        }
-        let mut hasher = DefaultHasher::new();
-        client_id.hash(&mut hasher);
-        &self.shards[(hasher.finish() % self.shards.len() as u64) as usize]
+        self.shards.get(client_id)
     }
 
     /// Returns the existing session for `client_id` or creates one.
@@ -125,7 +119,7 @@ impl SessionManager {
     /// Drops sessions idle past the expiry window; returns how many expired.
     pub fn expire(&self, now: u64) -> usize {
         let mut expired = 0;
-        for shard in &self.shards {
+        for shard in self.shards.iter() {
             let mut sessions = shard.lock();
             let before = sessions.len();
             sessions.retain(|_, s| now.saturating_sub(s.last_active) <= self.expiry_secs);

@@ -50,7 +50,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use pesos_kinetic::{DriveSet, KineticClient, KineticError, Payload};
 use pesos_policy::{CompiledPolicy, ObjectStoreView, PolicyCache, PolicyId, Tuple};
-use pesos_sgx::{AsyscallInterface, Enclave};
+use pesos_sgx::{AsyscallInterface, CompletionPool, Enclave};
 
 use crate::config::ControllerConfig;
 use crate::encryption::ObjectCrypter;
@@ -60,6 +60,7 @@ use crate::metadata::{
 };
 use crate::object_cache::ObjectCache;
 use crate::placement::{placement_available, HashedKey};
+use crate::sharded::Sharded;
 
 /// Sizing and behaviour options for one [`PesosStore`].
 #[derive(Debug, Clone)]
@@ -103,20 +104,18 @@ impl StoreOptions {
 /// delete leaves no other holder, so the registry tracks live keys rather
 /// than every key ever written.
 struct KeyLocks {
-    shards: Vec<Mutex<HashMap<String, Arc<Mutex<()>>>>>,
+    shards: Sharded<Mutex<HashMap<String, Arc<Mutex<()>>>>>,
 }
 
 impl KeyLocks {
     fn new(shards: usize) -> Self {
         KeyLocks {
-            shards: (0..shards.max(1))
-                .map(|_| Mutex::new(HashMap::new()))
-                .collect(),
+            shards: Sharded::new(shards, Mutex::default),
         }
     }
 
     fn shard(&self, key: &HashedKey<'_>) -> &Mutex<HashMap<String, Arc<Mutex<()>>>> {
-        &self.shards[key.shard(self.shards.len())]
+        self.shards.get(key)
     }
 
     fn lock_for(&self, key: &HashedKey<'_>) -> Arc<Mutex<()>> {
@@ -152,6 +151,13 @@ pub struct PesosStore {
     serial_replication: bool,
     asyscall: Arc<AsyscallInterface>,
     enclave: Arc<Enclave>,
+    /// Typed completion pools, one per kinetic result type, backing both
+    /// the single-call and scatter-gather drive paths: steady-state traffic
+    /// recycles completion cells instead of allocating one `Arc` per call
+    /// (cells a raced read abandons mid-flight are simply replaced).
+    put_pool: CompletionPool<Result<(), KineticError>>,
+    get_pool: CompletionPool<Result<(Payload, Vec<u8>), KineticError>>,
+    unit_pool: CompletionPool<()>,
 }
 
 impl PesosStore {
@@ -165,18 +171,27 @@ impl PesosStore {
         asyscall: Arc<AsyscallInterface>,
         enclave: Arc<Enclave>,
     ) -> Self {
+        // A pool can never need more cells than the slot table allows calls
+        // in flight.
+        let pool_capacity = asyscall.slots();
         PesosStore {
             drives,
             clients,
             crypter,
             object_cache: ObjectCache::with_shards(options.object_cache_bytes, options.lock_shards),
-            policy_cache: PolicyCache::new(options.policy_cache_capacity),
+            policy_cache: PolicyCache::with_shards(
+                options.policy_cache_capacity,
+                options.lock_shards,
+            ),
             metadata: ShardedMetadata::new(options.lock_shards),
             key_locks: KeyLocks::new(options.lock_shards),
             replication_factor: options.replication_factor,
             serial_replication: options.serial_replication,
             asyscall,
             enclave,
+            put_pool: CompletionPool::new(pool_capacity),
+            get_pool: CompletionPool::new(pool_capacity),
+            unit_pool: CompletionPool::new(pool_capacity),
         }
     }
 
@@ -202,6 +217,27 @@ impl PesosStore {
         self.asyscall.stats()
     }
 
+    /// Recycling statistics of the typed completion pools (put, get,
+    /// fire-and-forget), summed.
+    pub fn completion_pool_stats(&self) -> pesos_sgx::CompletionPoolStats {
+        let (p, g, u) = (
+            self.put_pool.stats(),
+            self.get_pool.stats(),
+            self.unit_pool.stats(),
+        );
+        pesos_sgx::CompletionPoolStats {
+            reused: p.reused + g.reused + u.reused,
+            allocated: p.allocated + g.allocated + u.allocated,
+        }
+    }
+
+    /// EPC usage counters of the enclave this store runs in. Each
+    /// controller instance owns one logical enclave, so a cluster
+    /// deployment reads per-partition SGX cost from here.
+    pub fn epc_stats(&self) -> pesos_sgx::EpcStats {
+        self.enclave.epc_stats()
+    }
+
     fn online_indices(&self) -> Vec<usize> {
         self.drives.online_indices()
     }
@@ -223,15 +259,15 @@ impl PesosStore {
     ) -> Result<(), PesosError> {
         let client = Arc::clone(&self.clients[drive_index]);
         self.enclave.charge_boundary_copy(value.len());
-        let result = self
-            .asyscall
-            .submit(move || client.put(&key, value, &[], b"pesos", true))?;
+        let result = self.asyscall.submit_with_pool(&self.put_pool, move || {
+            client.put(&key, value, &[], b"pesos", true)
+        })?;
         result.map_err(PesosError::from)
     }
 
     fn backend_delete(&self, drive_index: usize, key: Arc<[u8]>) {
         let client = Arc::clone(&self.clients[drive_index]);
-        let _ = self.asyscall.submit(move || {
+        let _ = self.asyscall.submit_with_pool(&self.unit_pool, move || {
             let _ = client.delete(&key, &[], true);
         });
     }
@@ -262,12 +298,15 @@ impl PesosStore {
         for _ in &targets {
             self.enclave.charge_boundary_copy(encoded.len());
         }
-        let set = self.asyscall.submit_batch(targets.iter().map(|&index| {
-            let client = Arc::clone(&self.clients[index]);
-            let key = Arc::clone(&backend_key);
-            let value = encoded.clone();
-            move || client.put(&key, value, &[], b"pesos", true)
-        }))?;
+        let set = self.asyscall.submit_batch_pooled(
+            &self.put_pool,
+            targets.iter().map(|&index| {
+                let client = Arc::clone(&self.clients[index]);
+                let key = Arc::clone(&backend_key);
+                let value = encoded.clone();
+                move || client.put(&key, value, &[], b"pesos", true)
+            }),
+        )?;
         for result in set.join()? {
             result.map_err(PesosError::from)?;
         }
@@ -297,7 +336,7 @@ impl PesosStore {
                 let key = Arc::clone(&backend_key);
                 let result = self
                     .asyscall
-                    .submit(move || client.get(&key))
+                    .submit_with_pool(&self.get_pool, move || client.get(&key))
                     .map_err(|_| KineticError::ConnectionClosed);
                 match result.and_then(|r| r) {
                     Ok((value, _version)) => return Ok(value),
@@ -308,11 +347,14 @@ impl PesosStore {
             return Err(last_err);
         }
 
-        let mut set = self.asyscall.submit_batch(targets.iter().map(|&index| {
-            let client = Arc::clone(&self.clients[index]);
-            let key = Arc::clone(&backend_key);
-            move || client.get(&key)
-        }))?;
+        let mut set = self.asyscall.submit_batch_pooled(
+            &self.get_pool,
+            targets.iter().map(|&index| {
+                let client = Arc::clone(&self.clients[index]);
+                let key = Arc::clone(&backend_key);
+                move || client.get(&key)
+            }),
+        )?;
         let mut saw_not_found = false;
         let mut last_err: Option<PesosError> = None;
         while let Some((_index, result)) = set.next_completed() {
@@ -617,9 +659,9 @@ impl PesosStore {
                 }
             }
         } else {
-            let set = self
-                .asyscall
-                .submit_batch(backend_keys.iter().flat_map(|backend_key| {
+            let set = self.asyscall.submit_batch_pooled(
+                &self.unit_pool,
+                backend_keys.iter().flat_map(|backend_key| {
                     targets.iter().map(|&index| {
                         let client = Arc::clone(&self.clients[index]);
                         let backend_key = Arc::clone(backend_key);
@@ -629,7 +671,8 @@ impl PesosStore {
                             let _ = client.delete(&backend_key, &[], true);
                         }
                     })
-                }))?;
+                }),
+            )?;
             set.join()?;
         }
         self.metadata.remove(key);
@@ -661,6 +704,136 @@ impl PesosStore {
     pub fn view(&self) -> StoreView<'_> {
         StoreView { store: self }
     }
+
+    // ------------------------------------------------------------------
+    // Hash-range migration (cluster layer)
+    // ------------------------------------------------------------------
+
+    /// Lists every object key stored on this store's drives.
+    ///
+    /// Authoritative, not a cache dump: each drive's metadata namespace
+    /// (`m/…`) is scanned with paginated `GetKeyRange` commands through the
+    /// asynchronous system-call interface, and the union across drives is
+    /// returned (replication stores a record on several drives). The
+    /// cluster layer drives this during hash-range migration, where
+    /// missing a key would mean losing it — which is why an *offline*
+    /// drive is an error here rather than a silently narrowed scan: its
+    /// keys may exist nowhere else, and a migration that believed this
+    /// listing complete would strand them.
+    pub fn list_keys(&self) -> Result<Vec<String>, PesosError> {
+        const BATCH: u32 = 512;
+        let online = self.online_indices();
+        if online.len() != self.clients.len() {
+            return Err(PesosError::Backend(format!(
+                "cannot list keys authoritatively: {} of {} drives offline",
+                self.clients.len() - online.len(),
+                self.clients.len()
+            )));
+        }
+        let mut keys = std::collections::BTreeSet::new();
+        for &index in &online {
+            let mut start: Vec<u8> = b"m/".to_vec();
+            // Everything in the metadata namespace sorts below "m\x30"
+            // ('/' is 0x2f), so "m\xff" is a safe inclusive upper bound.
+            let end: Vec<u8> = b"m\xff".to_vec();
+            loop {
+                let client = Arc::clone(&self.clients[index]);
+                let range_start = start.clone();
+                let range_end = end.clone();
+                let batch = self
+                    .asyscall
+                    .submit(move || client.key_range(&range_start, &range_end, BATCH))?
+                    .map_err(|e| PesosError::Backend(e.to_string()))?;
+                let len = batch.len();
+                for raw in batch {
+                    if let Some(stripped) = raw.strip_prefix(b"m/") {
+                        if let Ok(key) = std::str::from_utf8(stripped) {
+                            keys.insert(key.to_string());
+                        }
+                    }
+                    // The next page starts just after the last key seen.
+                    start = raw;
+                    start.push(0);
+                }
+                if len < BATCH as usize {
+                    break;
+                }
+            }
+        }
+        Ok(keys.into_iter().collect())
+    }
+
+    /// Reads one object out for migration — metadata plus the plaintext of
+    /// every retained version — under the key's write lock, *without*
+    /// removing anything.
+    ///
+    /// Returns `Ok(None)` when the key does not exist. This is the source
+    /// half of a cross-controller migration; the destination applies the
+    /// export with [`PesosStore::import_object`] and only then does the
+    /// coordinator delete the source copy ([`PesosStore::delete_object`]),
+    /// so a failed import can never lose the object. Versions beyond the
+    /// retention bound ([`crate::metadata::MAX_VERSION_HISTORY`]) are not
+    /// exported, mirroring what [`PesosStore::delete_object`] deletes.
+    pub fn export_object<'a>(
+        &self,
+        key: impl Into<HashedKey<'a>>,
+    ) -> Result<Option<ObjectExport>, PesosError> {
+        let key = key.into();
+        let key_lock = self.key_locks.lock_for(&key);
+        let write_guard = key_lock.lock();
+
+        let Some(meta) = self.load_metadata_locked(&key) else {
+            drop(write_guard);
+            self.key_locks.release_if_unused(&key, &key_lock);
+            return Ok(None);
+        };
+        let mut versions = Vec::with_capacity(meta.versions.len());
+        for v in &meta.versions {
+            let stored = self.replicated_get(&key, Arc::from(data_key(key.key(), v.version)))?;
+            let plain = self
+                .crypter
+                .unseal(key.key(), v.version, &stored)
+                .map_err(|e| PesosError::Backend(format!("decryption failed: {e}")))?;
+            versions.push((v.version, plain));
+        }
+        drop(write_guard);
+        self.key_locks.release_if_unused(&key, &key_lock);
+        Ok(Some(ObjectExport { meta, versions }))
+    }
+
+    /// Applies an [`ObjectExport`] produced by another store: re-seals every
+    /// version under this store's placement and persists the metadata
+    /// record verbatim (same version numbers, policy association and
+    /// content hashes), all under the key's write lock.
+    pub fn import_object(&self, export: &ObjectExport) -> Result<(), PesosError> {
+        let key = HashedKey::new(&export.meta.key);
+        let key_lock = self.key_locks.lock_for(&key);
+        let write_guard = key_lock.lock();
+
+        for (version, plain) in &export.versions {
+            let encoded: Payload = self.crypter.seal(key.key(), *version, plain).into();
+            self.replicated_put(&key, Arc::from(data_key(key.key(), *version)), encoded)?;
+        }
+        self.persist_metadata(&key, &export.meta)?;
+        drop(write_guard);
+        self.key_locks.release_if_unused(&key, &key_lock);
+        Ok(())
+    }
+}
+
+/// One object read out of a store for migration: its metadata record and
+/// the plaintext of every retained version.
+///
+/// Plaintext because source and destination place (and may key) ciphertext
+/// differently; the destination re-seals on import. The export never leaves
+/// the (simulated) enclave boundary — migration is controller-to-controller
+/// inside the trust domain, exactly like the original single controller
+/// moving an object between its own drives.
+pub struct ObjectExport {
+    /// The metadata record, persisted verbatim at the destination.
+    pub meta: ObjectMetadata,
+    /// `(version, plaintext)` for every retained version, oldest first.
+    pub versions: Vec<(u64, Vec<u8>)>,
 }
 
 /// Adapter exposing the store as an [`ObjectStoreView`] for policy checks.
@@ -926,6 +1099,88 @@ mod tests {
         let tuples = view.object_tuples("doc.log", 0);
         assert_eq!(tuples.len(), 1);
         assert_eq!(tuples[0].name, "read");
+    }
+
+    #[test]
+    fn list_keys_is_drive_authoritative() {
+        let s = store(2, 2);
+        assert!(s.list_keys().unwrap().is_empty());
+        let mut expected = Vec::new();
+        for i in 0..30 {
+            let key = format!("list/{i:03}");
+            s.put_object(&key, b"v", None).unwrap();
+            expected.push(key);
+        }
+        s.put_object("other/ns", b"v", None).unwrap();
+        expected.push("other/ns".to_string());
+        expected.sort();
+        assert_eq!(s.list_keys().unwrap(), expected);
+        s.delete_object("list/000").unwrap();
+        assert_eq!(s.list_keys().unwrap().len(), expected.len() - 1);
+    }
+
+    #[test]
+    fn export_and_import_move_objects_between_stores() {
+        let src = store(2, 2);
+        let dst = store(3, 1);
+        src.put_object("moved", b"v0", None).unwrap();
+        src.put_object("moved", b"v1", None).unwrap();
+        let policy = src.put_policy("read :- sessionKeyIs(\"alice\")").unwrap();
+        src.attach_policy("moved", policy).unwrap();
+
+        let export = src.export_object("moved").unwrap().expect("object exists");
+        assert_eq!(export.meta.key, "moved");
+        assert_eq!(export.meta.policy_id, Some(policy));
+        assert_eq!(
+            export.versions,
+            vec![(0, b"v0".to_vec()), (1, b"v1".to_vec())]
+        );
+        // The export is non-destructive: the source still serves the
+        // object until the migration coordinator deletes it post-import.
+        assert_eq!(&**src.get_object("moved").unwrap().0, b"v1");
+        src.delete_object("moved").unwrap();
+        assert!(src.get_metadata("moved").is_none());
+        assert!(src.get_object("moved").is_err());
+        assert!(src.list_keys().unwrap().is_empty());
+        assert!(src.export_object("moved").unwrap().is_none());
+
+        dst.import_object(&export).unwrap();
+        let meta = dst.get_metadata("moved").unwrap();
+        assert_eq!(meta.latest_version, 1);
+        assert_eq!(meta.policy_id, Some(policy));
+        let (value, version) = dst.get_object("moved").unwrap();
+        assert_eq!(&**value, b"v1");
+        assert_eq!(version, 1);
+        // Version history survives the move.
+        assert_eq!(dst.get_object_version("moved", 0).unwrap(), b"v0");
+        // Writes continue the version sequence at the destination.
+        assert_eq!(dst.put_object("moved", b"v2", None).unwrap(), 2);
+    }
+
+    #[test]
+    fn list_keys_refuses_to_run_with_a_drive_offline() {
+        let s = store(2, 1);
+        s.put_object("present", b"v", None).unwrap();
+        s.drives().get(1).unwrap().set_online(false);
+        // A narrowed scan could silently miss keys that live only on the
+        // offline drive, so the listing must fail instead.
+        assert!(matches!(s.list_keys(), Err(PesosError::Backend(_))));
+        s.drives().get(1).unwrap().set_online(true);
+        assert_eq!(s.list_keys().unwrap(), vec!["present".to_string()]);
+    }
+
+    #[test]
+    fn completion_pools_recycle_on_the_drive_path() {
+        let s = store(1, 1);
+        for i in 0..50 {
+            let key = format!("pooled/{i}");
+            s.put_object(&key, b"v", None).unwrap();
+        }
+        let stats = s.completion_pool_stats();
+        assert!(
+            stats.reused > stats.allocated,
+            "drive-path completions barely recycled: {stats:?}"
+        );
     }
 
     #[test]

@@ -141,13 +141,21 @@ impl TransactionManager {
         }
     }
 
-    /// Commits the transaction: acquires all locks (waiting VLL-style if any
-    /// are busy), runs `apply` with the buffered reads and writes, releases
-    /// the locks and returns the outcome produced by `apply`.
-    pub fn commit<F>(&self, id: u64, owner: &str, apply: F) -> Result<TxOutcome, PesosError>
-    where
-        F: FnOnce(&[String], &[TxWrite]) -> Result<TxOutcome, PesosError>,
-    {
+    /// Takes ownership of the transaction and acquires all of its locks
+    /// (waiting VLL-style if any are busy), returning a guard that holds
+    /// them until it is dropped.
+    ///
+    /// This is the first phase of a two-phase commit: a distributed
+    /// coordinator prepares one branch per participant, and only when every
+    /// branch is prepared (locks held, validation passed) are the writes
+    /// applied. Dropping the guard releases the locks, so an abort after a
+    /// failed sibling branch is just dropping the prepared guards.
+    ///
+    /// Deadlock discipline: a coordinator preparing branches on several
+    /// managers must prepare them in one globally consistent order (the
+    /// cluster layer uses ascending partition index); VLL's queue prevents
+    /// cycles within one manager but not across managers.
+    pub fn prepare(&self, id: u64, owner: &str) -> Result<PreparedTransaction<'_>, PesosError> {
         let tx = {
             let mut txs = self.transactions.lock();
             let tx = txs.get(&id).ok_or_else(|| {
@@ -162,9 +170,22 @@ impl TransactionManager {
         };
 
         self.acquire_locks(id, &tx);
-        let result = apply(&tx.reads, &tx.writes);
-        self.release_locks(&tx);
-        result
+        Ok(PreparedTransaction {
+            manager: self,
+            tx: Some(tx),
+        })
+    }
+
+    /// Commits the transaction: acquires all locks (waiting VLL-style if any
+    /// are busy), runs `apply` with the buffered reads and writes, releases
+    /// the locks and returns the outcome produced by `apply`.
+    pub fn commit<F>(&self, id: u64, owner: &str, apply: F) -> Result<TxOutcome, PesosError>
+    where
+        F: FnOnce(&[String], &[TxWrite]) -> Result<TxOutcome, PesosError>,
+    {
+        let prepared = self.prepare(id, owner)?;
+        apply(prepared.reads(), prepared.writes())
+        // `prepared` drops here, releasing the locks.
     }
 
     fn keys_free(table: &LockTable, tx: &Transaction) -> bool {
@@ -225,6 +246,44 @@ impl TransactionManager {
             }
         }
         self.unblocked.notify_all();
+    }
+}
+
+/// A transaction whose locks are held (two-phase-commit "prepared" state).
+///
+/// Produced by [`TransactionManager::prepare`]; the locks are released when
+/// the guard is dropped, whether the coordinator committed or aborted, so a
+/// panic or early return cannot strand a VLL queue.
+pub struct PreparedTransaction<'a> {
+    manager: &'a TransactionManager,
+    tx: Option<Transaction>,
+}
+
+impl PreparedTransaction<'_> {
+    /// The buffered read keys, in the order they were added.
+    pub fn reads(&self) -> &[String] {
+        &self
+            .tx
+            .as_ref()
+            .expect("prepared transaction present")
+            .reads
+    }
+
+    /// The buffered writes, in the order they were added.
+    pub fn writes(&self) -> &[TxWrite] {
+        &self
+            .tx
+            .as_ref()
+            .expect("prepared transaction present")
+            .writes
+    }
+}
+
+impl Drop for PreparedTransaction<'_> {
+    fn drop(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            self.manager.release_locks(&tx);
+        }
     }
 }
 
@@ -348,6 +407,49 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(counter.lock().len(), 8);
+    }
+
+    #[test]
+    fn prepared_transactions_hold_locks_until_dropped() {
+        let mgr = Arc::new(TransactionManager::new());
+        let a = mgr.create("c");
+        mgr.add_write(
+            a,
+            "c",
+            TxWrite {
+                key: "contested".into(),
+                value: vec![1],
+                policy_id: None,
+            },
+        )
+        .unwrap();
+        let prepared = mgr.prepare(a, "c").unwrap();
+        assert_eq!(prepared.writes().len(), 1);
+        assert!(prepared.reads().is_empty());
+        // A second transaction on the same key blocks until the prepared
+        // guard is dropped (abort path: no apply ever ran).
+        let b = mgr.create("c");
+        mgr.add_write(
+            b,
+            "c",
+            TxWrite {
+                key: "contested".into(),
+                value: vec![2],
+                policy_id: None,
+            },
+        )
+        .unwrap();
+        let mgr2 = Arc::clone(&mgr);
+        let handle =
+            std::thread::spawn(move || mgr2.commit(b, "c", |_, _| Ok(TxOutcome::default())));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!handle.is_finished(), "locks released before drop");
+        drop(prepared);
+        handle.join().unwrap().unwrap();
+        // Preparing an unknown or foreign transaction fails like commit.
+        assert!(mgr.prepare(a, "c").is_err());
+        let c = mgr.create("owner");
+        assert!(mgr.prepare(c, "other").is_err());
     }
 
     #[test]

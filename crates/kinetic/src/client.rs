@@ -279,15 +279,28 @@ impl KineticClient {
         cmd.body.range_end = end.to_vec();
         cmd.body.max_returned = max;
         let resp = Self::check_success(self.exchange(&cmd)?)?;
-        if resp.body.value.is_empty() {
-            return Ok(Vec::new());
+        // Length-prefixed keys (see the drive's range handler): safe for
+        // keys containing any byte.
+        let bytes = &resp.body.value;
+        let mut keys = Vec::new();
+        let mut offset = 0usize;
+        while offset < bytes.len() {
+            if offset + 4 > bytes.len() {
+                return Err(KineticError::Malformed(
+                    "truncated key-range length prefix".into(),
+                ));
+            }
+            let mut len_bytes = [0u8; 4];
+            len_bytes.copy_from_slice(&bytes[offset..offset + 4]);
+            let len = u32::from_be_bytes(len_bytes) as usize;
+            offset += 4;
+            if offset + len > bytes.len() {
+                return Err(KineticError::Malformed("truncated key-range entry".into()));
+            }
+            keys.push(bytes[offset..offset + len].to_vec());
+            offset += len;
         }
-        Ok(resp
-            .body
-            .value
-            .split(|&b| b == b'\n')
-            .map(|k| k.to_vec())
-            .collect())
+        Ok(keys)
     }
 
     /// Replaces the drive's accounts (administrative).

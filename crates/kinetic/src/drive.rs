@@ -504,9 +504,16 @@ impl KineticDrive {
         self.backend
             .charge_io(keys.iter().map(|k| k.len()).sum::<usize>());
         let mut resp = Command::response_to(command, StatusCode::Success, "");
-        // Keys are returned newline-separated in the value field (the real
-        // protocol uses a repeated field; this keeps the codec small).
-        resp.body.value = keys.join(&b"\n"[..]).into();
+        // Keys are returned length-prefixed in the value field (the real
+        // protocol uses a repeated field; this keeps the codec small while
+        // staying unambiguous for keys containing any byte, including the
+        // newline a join-based encoding would corrupt).
+        let mut payload = Vec::with_capacity(keys.iter().map(|k| k.len() + 4).sum());
+        for key in &keys {
+            payload.extend_from_slice(&(key.len() as u32).to_be_bytes());
+            payload.extend_from_slice(key);
+        }
+        resp.body.value = payload.into();
         resp
     }
 
@@ -774,7 +781,10 @@ mod tests {
     #[test]
     fn range_scan_over_frame_interface() {
         let d = drive();
-        for k in ["a/1", "a/2", "b/1"] {
+        // Includes a key with an embedded newline: the length-prefixed
+        // range encoding must return it intact (a join-based encoding
+        // would split it in two).
+        for k in ["a/1", "a/2", "a/x\ny", "b/1"] {
             let mut put = Command::request(MessageType::Put);
             put.body.key = k.as_bytes().to_vec();
             put.body.value = b"v".into();
@@ -786,8 +796,18 @@ mod tests {
         range.body.range_end = b"a/~".to_vec();
         let resp = roundtrip(&d, &range);
         assert_eq!(resp.status.code, StatusCode::Success);
-        let keys = String::from_utf8(resp.body.value.to_vec()).unwrap();
-        assert_eq!(keys, "a/1\na/2");
+        let mut keys = Vec::new();
+        let bytes = &resp.body.value;
+        let mut offset = 0;
+        while offset < bytes.len() {
+            let mut len = [0u8; 4];
+            len.copy_from_slice(&bytes[offset..offset + 4]);
+            let len = u32::from_be_bytes(len) as usize;
+            offset += 4;
+            keys.push(String::from_utf8(bytes[offset..offset + len].to_vec()).unwrap());
+            offset += len;
+        }
+        assert_eq!(keys, vec!["a/1", "a/2", "a/x\ny"]);
     }
 
     #[test]

@@ -7,6 +7,14 @@
 //! capacity). Eviction approximates least-frequently-used: each entry keeps
 //! a hit counter, counters are halved periodically so stale popularity
 //! decays, and the entry with the lowest counter is evicted.
+//!
+//! The cache is split over N independently locked LFU shards (selected by
+//! the leading bytes of the [`PolicyId`], which is already a content hash)
+//! through the generic [`Sharded`] structure, so concurrent sessions whose
+//! objects reference different policies no longer serialize on one global
+//! mutex — this was the last single-lock structure on the request hot path.
+//! Capacity and decay are per shard; like the object cache, independent
+//! per-shard eviction is the price of independent locking.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -14,6 +22,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::compiler::{CompiledPolicy, PolicyId};
+use crate::sharded::Sharded;
 
 /// Cache hit/miss counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -44,6 +53,7 @@ struct Entry {
     frequency: u64,
 }
 
+#[derive(Default)]
 struct Inner {
     entries: HashMap<PolicyId, Entry>,
     hits: u64,
@@ -52,38 +62,45 @@ struct Inner {
     lookups_since_decay: u64,
 }
 
-/// A bounded, approximately-LFU policy cache.
+/// A bounded, approximately-LFU, lock-sharded policy cache.
 pub struct PolicyCache {
-    capacity: usize,
-    inner: Mutex<Inner>,
+    per_shard_capacity: usize,
+    shards: Sharded<Mutex<Inner>>,
 }
 
 impl PolicyCache {
-    /// Creates a cache holding at most `capacity` policies (the paper's
-    /// evaluation uses 50 000 entries).
+    /// Creates a single-shard cache holding at most `capacity` policies
+    /// (the paper's evaluation uses 50 000 entries); use
+    /// [`PolicyCache::with_shards`] for the concurrent variant.
     pub fn new(capacity: usize) -> Self {
+        PolicyCache::with_shards(capacity, 1)
+    }
+
+    /// Creates a cache whose capacity is split evenly over `shards`
+    /// independently locked LFU shards (at least one entry per shard).
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
         PolicyCache {
-            capacity: capacity.max(1),
-            inner: Mutex::new(Inner {
-                entries: HashMap::new(),
-                hits: 0,
-                misses: 0,
-                evictions: 0,
-                lookups_since_decay: 0,
-            }),
+            per_shard_capacity: (capacity / shards).max(1),
+            shards: Sharded::new(shards, Mutex::default),
         }
     }
 
-    /// The configured capacity.
+    /// The configured capacity (summed over all shards).
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.per_shard_capacity * self.shards.shard_count()
+    }
+
+    /// Number of lock shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.shard_count()
     }
 
     /// Looks up a policy, bumping its frequency on a hit.
     pub fn get(&self, id: &PolicyId) -> Option<Arc<CompiledPolicy>> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shards.get(id).lock();
         inner.lookups_since_decay += 1;
-        if inner.lookups_since_decay > 4 * self.capacity as u64 {
+        if inner.lookups_since_decay > 4 * self.per_shard_capacity as u64 {
             inner.lookups_since_decay = 0;
             for entry in inner.entries.values_mut() {
                 entry.frequency /= 2;
@@ -103,14 +120,15 @@ impl PolicyCache {
         }
     }
 
-    /// Inserts a policy, evicting the least-frequently-used entry if full.
+    /// Inserts a policy, evicting the least-frequently-used entry of its
+    /// shard if that shard is full.
     pub fn insert(&self, policy: Arc<CompiledPolicy>) -> PolicyId {
         let id = policy.id();
-        let mut inner = self.inner.lock();
+        let mut inner = self.shards.get(&id).lock();
         if inner.entries.contains_key(&id) {
             return id;
         }
-        if inner.entries.len() >= self.capacity {
+        if inner.entries.len() >= self.per_shard_capacity {
             if let Some(victim) = inner
                 .entries
                 .iter()
@@ -133,24 +151,27 @@ impl PolicyCache {
 
     /// Removes a policy from the cache (e.g. after it is superseded).
     pub fn invalidate(&self, id: &PolicyId) -> bool {
-        self.inner.lock().entries.remove(id).is_some()
+        self.shards.get(id).lock().entries.remove(id).is_some()
     }
 
     /// Empties the cache.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
-        inner.entries.clear();
+        for shard in &self.shards {
+            shard.lock().entries.clear();
+        }
     }
 
-    /// Returns counters.
+    /// Returns counters aggregated over all shards.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock();
-        CacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            evictions: inner.evictions,
-            entries: inner.entries.len(),
+        let mut stats = CacheStats::default();
+        for shard in &self.shards {
+            let inner = shard.lock();
+            stats.hits += inner.hits;
+            stats.misses += inner.misses;
+            stats.evictions += inner.evictions;
+            stats.entries += inner.entries.len();
         }
+        stats
     }
 }
 
@@ -253,5 +274,26 @@ mod tests {
         }
         cache.insert(policy(3));
         assert!(cache.get(&newcomer).is_some());
+    }
+
+    #[test]
+    fn sharded_cache_keeps_per_policy_semantics() {
+        let cache = PolicyCache::with_shards(64, 8);
+        assert_eq!(cache.shard_count(), 8);
+        assert_eq!(cache.capacity(), 64);
+        let ids: Vec<PolicyId> = (0..32).map(|n| cache.insert(policy(n))).collect();
+        for id in &ids {
+            assert!(cache.get(id).is_some());
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 32);
+        assert_eq!(stats.hits, 32);
+        assert!(cache.invalidate(&ids[3]));
+        assert!(cache.get(&ids[3]).is_none());
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        // Per-shard capacity floors at one entry.
+        let tiny = PolicyCache::with_shards(2, 8);
+        assert_eq!(tiny.capacity(), 8);
     }
 }

@@ -45,6 +45,7 @@ pub mod interpreter;
 pub mod lexer;
 pub mod parser;
 pub mod predicates;
+pub mod sharded;
 pub mod value;
 
 pub use ast::{Condition, Conjunction, Expr, PolicyAst, PredicateCall};
@@ -54,4 +55,5 @@ pub use context::{Operation, RequestContext, StaticObjectView};
 pub use error::PolicyError;
 pub use interpreter::{Decision, ObjectStoreView};
 pub use predicates::Predicate;
+pub use sharded::{ShardKey, Sharded};
 pub use value::{Tuple, Value};

@@ -74,14 +74,16 @@ struct CompletionCell<T> {
     value: Option<T>,
     /// Set when the body was dropped without running (interface shut down).
     abandoned: bool,
+    /// Present while this completion belongs to a batch; the finished index
+    /// is pushed to the core so the set can observe completion order. Lives
+    /// inside the cell (rather than the immutable state) so a pooled cell
+    /// can be re-linked to a new batch on reuse.
+    batch: Option<(Arc<BatchCore>, usize)>,
 }
 
 struct CompletionState<T> {
     cell: Mutex<CompletionCell<T>>,
     cv: Condvar,
-    /// Present when this completion belongs to a batch; finished indices are
-    /// pushed there so the set can observe completion order.
-    batch: Option<(Arc<BatchCore>, usize)>,
 }
 
 impl<T> CompletionState<T> {
@@ -90,17 +92,45 @@ impl<T> CompletionState<T> {
             cell: Mutex::new(CompletionCell {
                 value: None,
                 abandoned: false,
+                batch,
             }),
             cv: Condvar::new(),
-            batch,
         })
     }
 
-    fn notify_batch(&self) {
-        if let Some((core, index)) = &self.batch {
-            core.finished.lock().push_back(*index);
-            core.cv.notify_all();
+    /// Returns a recycled cell to its pristine state so a pool can hand it
+    /// to the next call.
+    fn reset(&self) {
+        let mut cell = self.cell.lock();
+        cell.value = None;
+        cell.abandoned = false;
+        cell.batch = None;
+    }
+
+    /// Links a (pooled) cell to a batch before submission.
+    fn set_batch(&self, core: Arc<BatchCore>, index: usize) {
+        self.cell.lock().batch = Some((core, index));
+    }
+
+    /// Waits until the call finishes and takes its result out of the cell.
+    fn take_result(&self) -> Result<T, SgxError> {
+        let mut cell = self.cell.lock();
+        loop {
+            if let Some(value) = cell.value.take() {
+                return Ok(value);
+            }
+            if cell.abandoned {
+                return Err(SgxError::SyscallInterfaceClosed);
+            }
+            self.cv.wait(&mut cell);
         }
+    }
+}
+
+fn notify_batch(batch: Option<(Arc<BatchCore>, usize)>) {
+    if let Some((core, index)) = batch {
+        core.finished.lock().push_back(index);
+        core.cv.notify_all();
     }
 }
 
@@ -115,16 +145,7 @@ pub struct Completion<T> {
 impl<T> Completion<T> {
     /// Blocks until the call finishes and returns its result.
     pub fn wait(self) -> Result<T, SgxError> {
-        let mut cell = self.state.cell.lock();
-        loop {
-            if let Some(value) = cell.value.take() {
-                return Ok(value);
-            }
-            if cell.abandoned {
-                return Err(SgxError::SyscallInterfaceClosed);
-            }
-            self.state.cv.wait(&mut cell);
-        }
+        self.state.take_result()
     }
 }
 
@@ -137,20 +158,125 @@ struct CompletionFiller<T> {
 
 impl<T> CompletionFiller<T> {
     fn fill(mut self, value: T) {
-        self.state.cell.lock().value = Some(value);
+        let batch = {
+            let mut cell = self.state.cell.lock();
+            cell.value = Some(value);
+            cell.batch.take()
+        };
         self.filled = true;
         self.state.cv.notify_all();
-        self.state.notify_batch();
+        notify_batch(batch);
     }
 }
 
 impl<T> Drop for CompletionFiller<T> {
     fn drop(&mut self) {
         if !self.filled {
-            self.state.cell.lock().abandoned = true;
+            let batch = {
+                let mut cell = self.state.cell.lock();
+                cell.abandoned = true;
+                cell.batch.take()
+            };
             self.state.cv.notify_all();
-            self.state.notify_batch();
+            notify_batch(batch);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed completion pools
+// ---------------------------------------------------------------------------
+
+/// Counters describing a pool's recycling behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompletionPoolStats {
+    /// Calls served from a recycled completion cell.
+    pub reused: u64,
+    /// Calls that had to allocate a fresh cell (pool empty, or the service
+    /// thread was still releasing its reference when the waiter finished).
+    pub allocated: u64,
+}
+
+/// A typed pool of reusable completion cells for [`AsyscallInterface::submit_with_pool`]
+/// and [`AsyscallInterface::submit_async_pooled`].
+///
+/// `submit`/`submit_async` allocate one `Arc` completion cell per call; on
+/// the storage hot path that is one heap allocation per drive exchange. A
+/// caller that issues many calls of the same result type (the kinetic
+/// client's PUT/GET/DELETE wrappers) holds one pool per type instead: cells
+/// are recycled after the waiter collects the result, so a steady-state
+/// workload allocates only up to the pool capacity once and then runs
+/// allocation-free — the slot-table discipline Scone applies to syscall
+/// arguments, applied to completions.
+///
+/// A cell is only recycled when the waiter observes itself as the last
+/// holder; if the service thread is still mid-release the cell is dropped
+/// instead (counted under `allocated` on the next call), so a recycled cell
+/// can never be written by a straggling producer.
+pub struct CompletionPool<T> {
+    capacity: usize,
+    free: Mutex<Vec<Arc<CompletionState<T>>>>,
+    reused: AtomicU64,
+    allocated: AtomicU64,
+}
+
+impl<T> CompletionPool<T> {
+    /// Creates a pool retaining at most `capacity` idle cells (at least
+    /// one). A natural capacity is the interface's slot count — more cells
+    /// than slots can never be in flight.
+    pub fn new(capacity: usize) -> Self {
+        CompletionPool {
+            capacity: capacity.max(1),
+            free: Mutex::new(Vec::new()),
+            reused: AtomicU64::new(0),
+            allocated: AtomicU64::new(0),
+        }
+    }
+
+    /// Recycling counters.
+    pub fn stats(&self) -> CompletionPoolStats {
+        CompletionPoolStats {
+            reused: self.reused.load(Ordering::Relaxed),
+            allocated: self.allocated.load(Ordering::Relaxed),
+        }
+    }
+
+    fn acquire(&self) -> Arc<CompletionState<T>> {
+        if let Some(state) = self.free.lock().pop() {
+            self.reused.fetch_add(1, Ordering::Relaxed);
+            state.reset();
+            return state;
+        }
+        self.allocated.fetch_add(1, Ordering::Relaxed);
+        CompletionState::new(None)
+    }
+
+    fn release(&self, state: Arc<CompletionState<T>>) {
+        // Recycle only when the filler's clone is gone: a unique reference
+        // proves no producer can touch the cell again.
+        if Arc::strong_count(&state) == 1 {
+            let mut free = self.free.lock();
+            if free.len() < self.capacity {
+                free.push(state);
+            }
+        }
+    }
+}
+
+/// Handle to one in-flight pooled call; joining it returns its completion
+/// cell to the pool.
+pub struct PooledCompletion<'a, T> {
+    state: Arc<CompletionState<T>>,
+    pool: &'a CompletionPool<T>,
+}
+
+impl<T> PooledCompletion<'_, T> {
+    /// Blocks until the call finishes, returns its result and recycles the
+    /// completion cell.
+    pub fn wait(self) -> Result<T, SgxError> {
+        let result = self.state.take_result();
+        self.pool.release(self.state);
+        result
     }
 }
 
@@ -164,13 +290,20 @@ struct BatchCore {
 }
 
 /// A joinable set of completions produced by one scatter-gather batch.
-pub struct CompletionSet<T> {
-    completions: Vec<Option<Completion<T>>>,
+///
+/// When produced by [`AsyscallInterface::submit_batch_pooled`] the set
+/// carries its pool and recycles each completion cell as it is delivered;
+/// cells never delivered (a raced read dropped the set early, or the set
+/// itself is dropped) simply fall out of circulation — the pool allocates
+/// replacements on demand, so correctness never depends on recycling.
+pub struct CompletionSet<'p, T> {
+    completions: Vec<Option<Arc<CompletionState<T>>>>,
     core: Arc<BatchCore>,
     delivered: usize,
+    pool: Option<&'p CompletionPool<T>>,
 }
 
-impl<T> CompletionSet<T> {
+impl<T> CompletionSet<'_, T> {
     /// Number of calls in the batch.
     pub fn len(&self) -> usize {
         self.completions.len()
@@ -201,11 +334,15 @@ impl<T> CompletionSet<T> {
             }
         };
         self.delivered += 1;
-        let completion = self.completions[index]
+        let state = self.completions[index]
             .take()
             .expect("completion index delivered twice");
         // The cell is already filled (or abandoned); this cannot block.
-        Some((index, completion.wait()))
+        let result = state.take_result();
+        if let Some(pool) = self.pool {
+            pool.release(state);
+        }
+        Some((index, result))
     }
 
     /// Joins the whole batch, returning results in submission order.
@@ -413,13 +550,46 @@ impl AsyscallInterface {
         self.submit_completion(body, None)
     }
 
+    /// Like [`AsyscallInterface::submit_async`] but the completion cell
+    /// comes from (and returns to) `pool` instead of being allocated per
+    /// call.
+    pub fn submit_async_pooled<'a, T, F>(
+        &self,
+        pool: &'a CompletionPool<T>,
+        body: F,
+    ) -> Result<PooledCompletion<'a, T>, SgxError>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let state = pool.acquire();
+        let mut filler = Some(CompletionFiller {
+            state: Arc::clone(&state),
+            filled: false,
+        });
+        self.enqueue(Box::new(move || {
+            filler.take().expect("body run twice").fill(body());
+        }))?;
+        Ok(PooledCompletion { state, pool })
+    }
+
+    /// Synchronous pooled submission: [`AsyscallInterface::submit`] without
+    /// the per-call completion allocation.
+    pub fn submit_with_pool<T, F>(&self, pool: &CompletionPool<T>, body: F) -> Result<T, SgxError>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.submit_async_pooled(pool, body)?.wait()
+    }
+
     /// Submits N call bodies as one scatter-gather batch and returns the
     /// joinable [`CompletionSet`].
     ///
     /// The bodies start executing as service threads become free — several
     /// at once when the pool allows — which is what turns serial
     /// replication loops into parallel fan-out.
-    pub fn submit_batch<T, F, I>(&self, bodies: I) -> Result<CompletionSet<T>, SgxError>
+    pub fn submit_batch<T, F, I>(&self, bodies: I) -> Result<CompletionSet<'static, T>, SgxError>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
@@ -432,13 +602,54 @@ impl AsyscallInterface {
         let mut completions = Vec::new();
         for (index, body) in bodies.into_iter().enumerate() {
             let completion = self.submit_completion(body, Some((Arc::clone(&core), index)))?;
-            completions.push(Some(completion));
+            completions.push(Some(completion.state));
         }
         self.shared.batches.fetch_add(1, Ordering::Relaxed);
         Ok(CompletionSet {
             completions,
             core,
             delivered: 0,
+            pool: None,
+        })
+    }
+
+    /// Like [`AsyscallInterface::submit_batch`] but every completion cell
+    /// comes from `pool` and returns to it as the set delivers results —
+    /// the scatter-gather hot path (replicated puts, raced gets, batched
+    /// deletes) runs allocation-free in steady state.
+    pub fn submit_batch_pooled<'p, T, F, I>(
+        &self,
+        pool: &'p CompletionPool<T>,
+        bodies: I,
+    ) -> Result<CompletionSet<'p, T>, SgxError>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+        I: IntoIterator<Item = F>,
+    {
+        let core = Arc::new(BatchCore {
+            finished: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        });
+        let mut completions = Vec::new();
+        for (index, body) in bodies.into_iter().enumerate() {
+            let state = pool.acquire();
+            state.set_batch(Arc::clone(&core), index);
+            let mut filler = Some(CompletionFiller {
+                state: Arc::clone(&state),
+                filled: false,
+            });
+            self.enqueue(Box::new(move || {
+                filler.take().expect("body run twice").fill(body());
+            }))?;
+            completions.push(Some(state));
+        }
+        self.shared.batches.fetch_add(1, Ordering::Relaxed);
+        Ok(CompletionSet {
+            completions,
+            core,
+            delivered: 0,
+            pool: Some(pool),
         })
     }
 
@@ -703,5 +914,69 @@ mod tests {
         let set = i.submit_batch(std::iter::empty::<fn() -> u32>()).unwrap();
         assert!(set.is_empty());
         assert_eq!(set.join().unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn pooled_submission_recycles_completion_cells() {
+        let i = iface();
+        let pool: CompletionPool<u64> = CompletionPool::new(8);
+        for k in 0..200u64 {
+            assert_eq!(i.submit_with_pool(&pool, move || k * 2).unwrap(), k * 2);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.reused + stats.allocated, 200);
+        // The waiter occasionally races the service thread's final Arc drop
+        // (the cell is then discarded rather than recycled), but a
+        // sequential workload must reuse cells most of the time.
+        assert!(
+            stats.reused > 100,
+            "pool barely recycled: {stats:?} (expected mostly reuse)"
+        );
+    }
+
+    #[test]
+    fn pooled_async_overlaps_and_returns_results() {
+        let i = iface();
+        let pool: CompletionPool<usize> = CompletionPool::new(4);
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let g = Arc::clone(&gate);
+        let pending = i
+            .submit_async_pooled(&pool, move || {
+                g.wait();
+                9
+            })
+            .unwrap();
+        gate.wait();
+        assert_eq!(pending.wait().unwrap(), 9);
+    }
+
+    #[test]
+    fn pool_capacity_bounds_idle_cells() {
+        let i = iface();
+        let pool: CompletionPool<()> = CompletionPool::new(2);
+        // Sequential calls never hold more than one cell at a time, so the
+        // free list stays within capacity; this mainly proves release does
+        // not grow the list unboundedly.
+        for _ in 0..20 {
+            i.submit_with_pool(&pool, || ()).unwrap();
+        }
+        assert!(pool.free.lock().len() <= 2);
+    }
+
+    #[test]
+    fn pooled_wait_reports_shutdown_as_abandoned() {
+        let i = AsyscallInterface::new(
+            1,
+            1,
+            ModeCost::new(ExecutionMode::Native, SgxCostModel::zero()),
+        );
+        let pool: CompletionPool<u32> = CompletionPool::new(2);
+        let boom = i.submit_async_pooled(&pool, || panic!("boom")).unwrap();
+        assert!(matches!(boom.wait(), Err(SgxError::SyscallInterfaceClosed)));
+        // The abandoned cell is reset before reuse; later calls see clean
+        // state.
+        for k in 0..4u32 {
+            assert_eq!(i.submit_with_pool(&pool, move || k).unwrap(), k);
+        }
     }
 }

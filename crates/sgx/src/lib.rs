@@ -39,7 +39,9 @@ pub mod scheduler;
 pub mod shield;
 
 pub use allocator::BitmapAllocator;
-pub use asyscall::{AsyscallInterface, AsyscallStats};
+pub use asyscall::{
+    AsyscallInterface, AsyscallStats, CompletionPool, CompletionPoolStats, PooledCompletion,
+};
 pub use attestation::{AttestationService, EnclaveQuote, ProvisionedSecrets};
 pub use cost::{CostEvent, ExecutionMode, SgxCostModel};
 pub use enclave::{Enclave, EnclaveConfig, EnclaveMeasurement, EpcStats};

@@ -1,15 +1,20 @@
-//! Multi-threaded trace replay against a Pesos controller.
+//! Multi-threaded trace replay against a Pesos endpoint.
 //!
 //! Mirrors the paper's methodology: a trace is generated (and conceptually
 //! persisted) up front, the key space is loaded, and then `clients`
 //! concurrent connections replay disjoint slices of the trace as fast as the
-//! controller allows. Throughput is total completed operations over
+//! endpoint allows. Throughput is total completed operations over
 //! wall-clock time; latency is recorded per operation.
+//!
+//! The runner drives any [`RequestEndpoint`] — a bare
+//! [`pesos_core::PesosController`] or a multi-controller cluster — through
+//! the same replay loop, so the controller-scaling figures measure exactly
+//! the code path the single-controller figures do.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use pesos_core::{PesosController, PesosError};
+use pesos_core::{PesosError, RequestEndpoint};
 use pesos_policy::PolicyId;
 
 use crate::stats::{LatencyHistogram, Summary};
@@ -51,16 +56,18 @@ impl Default for RunnerOptions {
     }
 }
 
-/// Drives a workload against a controller.
+/// Drives a workload against an endpoint (controller or cluster).
 pub struct WorkloadRunner {
-    controller: Arc<PesosController>,
+    endpoint: Arc<dyn RequestEndpoint>,
     spec: WorkloadSpec,
 }
 
 impl WorkloadRunner {
-    /// Creates a runner for `controller` and `spec`.
-    pub fn new(controller: Arc<PesosController>, spec: WorkloadSpec) -> Self {
-        WorkloadRunner { controller, spec }
+    /// Creates a runner for `endpoint` and `spec`. Accepts any concrete
+    /// endpoint behind an `Arc` (e.g. `Arc<PesosController>`); the runner
+    /// erases the type.
+    pub fn new<E: RequestEndpoint + 'static>(endpoint: Arc<E>, spec: WorkloadSpec) -> Self {
+        WorkloadRunner { endpoint, spec }
     }
 
     /// The workload specification.
@@ -83,17 +90,16 @@ impl WorkloadRunner {
     /// Loads the key space (the YCSB load phase), associating policies as
     /// configured. Returns the number of objects loaded.
     pub fn load(&self, options: &RunnerOptions) -> Result<usize, PesosError> {
-        let loader = self.controller.register_client("ycsb-loader");
+        let loader = self.endpoint.register_client("ycsb-loader");
         for index in 0..self.spec.record_count {
             let key = self.spec.key(index);
             let policy = self.policy_for_key(options, index);
             let value = self.spec.value(index);
             if options.versioned {
-                self.controller
+                self.endpoint
                     .put(&loader, &key, value, policy, Some(0), &[])?;
             } else {
-                self.controller
-                    .put(&loader, &key, value, policy, None, &[])?;
+                self.endpoint.put(&loader, &key, value, policy, None, &[])?;
             }
         }
         Ok(self.spec.record_count)
@@ -106,20 +112,20 @@ impl WorkloadRunner {
         // Register all client sessions up front (connection setup is not
         // part of the measured window, as in the paper).
         let client_ids: Vec<String> = (0..clients)
-            .map(|i| self.controller.register_client(&Self::client_name(i)))
+            .map(|i| self.endpoint.register_client(&Self::client_name(i)))
             .collect();
 
         let chunk = trace.len().div_ceil(clients);
         let start = Instant::now();
         let mut handles = Vec::new();
         for (i, ops) in trace.chunks(chunk).enumerate() {
-            let controller = Arc::clone(&self.controller);
+            let endpoint = Arc::clone(&self.endpoint);
             let client = client_ids[i.min(client_ids.len() - 1)].clone();
             let spec = self.spec.clone();
             let options = options.clone();
             let ops: Vec<TraceOp> = ops.to_vec();
             handles.push(std::thread::spawn(move || {
-                replay_slice(&controller, &client, &spec, &options, &ops)
+                replay_slice(&*endpoint, &client, &spec, &options, &ops)
             }));
         }
 
@@ -135,7 +141,7 @@ impl WorkloadRunner {
             denied += slice.denied;
         }
         if options.async_writes {
-            self.controller.drain_async();
+            self.endpoint.drain_async();
         }
         Summary {
             operations,
@@ -155,7 +161,7 @@ struct SliceResult {
 }
 
 fn replay_slice(
-    controller: &PesosController,
+    endpoint: &dyn RequestEndpoint,
     client: &str,
     spec: &WorkloadSpec,
     options: &RunnerOptions,
@@ -170,7 +176,7 @@ fn replay_slice(
         let key = spec.key(op.key_index);
         let op_start = Instant::now();
         let result: Result<(), PesosError> = match op.kind {
-            OpKind::Read => controller.get(client, &key, &[]).map(|_| ()),
+            OpKind::Read => endpoint.get(client, &key, &[]).map(|_| ()),
             OpKind::Update | OpKind::Insert => {
                 let value = spec.value(op.key_index);
                 // Mandatory access logging: append the intent to the log
@@ -180,25 +186,20 @@ fn replay_slice(
                     if granularity > 0 && op_index % granularity == 0 {
                         let log_key = format!("{key}.log");
                         let entry = format!("write(\"{key}\",{op_index},\"{client}\")\n");
-                        let _ =
-                            controller.put(client, &log_key, entry.into_bytes(), None, None, &[]);
+                        let _ = endpoint.put(client, &log_key, entry.into_bytes(), None, None, &[]);
                     }
                 }
                 let expected = if options.versioned {
-                    controller
-                        .store()
-                        .get_metadata(&key)
-                        .map(|m| m.latest_version + 1)
-                        .or(Some(0))
+                    endpoint.latest_version(&key).map(|v| v + 1).or(Some(0))
                 } else {
                     None
                 };
                 if options.async_writes {
-                    controller
+                    endpoint
                         .put_async(client, &key, value, None, expected, &[])
                         .map(|_| ())
                 } else {
-                    controller
+                    endpoint
                         .put(client, &key, value, None, expected, &[])
                         .map(|_| ())
                 }
@@ -224,7 +225,7 @@ fn replay_slice(
 mod tests {
     use super::*;
     use crate::workload::Workload;
-    use pesos_core::ControllerConfig;
+    use pesos_core::{ControllerConfig, PesosController};
 
     fn tiny_spec() -> WorkloadSpec {
         WorkloadSpec {

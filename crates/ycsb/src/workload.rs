@@ -142,13 +142,18 @@ impl WorkloadSpec {
                     inserted.saturating_sub(1 + back) % inserted.max(1)
                 }
             };
-            let kind = if is_read {
-                OpKind::Read
+            let (kind, key_index) = if is_read {
+                (OpKind::Read, key_index)
             } else if self.workload.writes_are_inserts() {
+                // An insert creates the *next* key, extending the key
+                // space; the read-latest distribution above then skews
+                // towards these fresh indices. (Targeting the sampled old
+                // index here would grow `inserted` without ever creating
+                // the keys the latest-reads chase.)
                 inserted += 1;
-                OpKind::Insert
+                (OpKind::Insert, inserted - 1)
             } else {
-                OpKind::Update
+                (OpKind::Update, key_index)
             };
             ops.push(TraceOp { kind, key_index });
         }

@@ -18,6 +18,7 @@
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and the experiment index.
 
+pub use pesos_cluster as cluster;
 pub use pesos_core as core;
 pub use pesos_crypto as crypto;
 pub use pesos_kinetic as kinetic;
@@ -26,6 +27,7 @@ pub use pesos_sgx as sgx;
 pub use pesos_wire as wire;
 pub use pesos_ycsb as ycsb;
 
+pub use pesos_cluster::{ClusterConfig, ControllerCluster};
 pub use pesos_core::{ControllerConfig, PesosController, PesosError};
 pub use pesos_policy::{Operation, PolicyId};
 
