@@ -71,6 +71,12 @@ struct Migration {
     range: HashRange,
     src: Arc<PesosController>,
     dst: Arc<PesosController>,
+    /// Keys whose object reached the destination but whose source copy
+    /// could not be deleted yet (the delete errored). Tracked so a later
+    /// pull retries *only* the delete: re-exporting the stale source copy
+    /// would resurrect the object if the client deleted it at the
+    /// destination in the meantime.
+    moved_pending_delete: Mutex<BTreeSet<String>>,
 }
 
 /// One immutable snapshot of everything a request needs to route: the
@@ -142,7 +148,10 @@ pub struct PartitionCostReport {
 /// range; [`ControllerCluster::remove_controller`] merges a partition into
 /// its neighbour. Both install the new routing state (table + migration
 /// record, atomically) while holding the ops gate's write side, so no
-/// request straddles the swap, then drain the moved range key by key:
+/// request straddles the swap; the source's scheduled asynchronous writes
+/// are flushed under that same write hold, so an acknowledged `put_async`
+/// can never land after a demand pull has already moved its key. The
+/// moved range then drains key by key:
 /// each object is exported from the source, imported at the destination
 /// and only then deleted at the source (all under per-key write locks and
 /// a striped migration lock), so a failed import can never lose an
@@ -164,6 +173,11 @@ pub struct ControllerCluster {
     /// Every client registered through the cluster, for re-homing sessions
     /// onto joining controllers.
     clients: Mutex<BTreeSet<String>>,
+    /// Every policy installed through the cluster, for copying the full
+    /// set onto joining controllers (policies broadcast on install would
+    /// otherwise exist only on the partitions present at install time, and
+    /// removing the last original holder would lose them).
+    policies: Mutex<BTreeSet<PolicyId>>,
     tx: ClusterTxManager,
     async_ops: AsyncOps,
     next_async_id: AtomicU64,
@@ -188,6 +202,7 @@ impl ControllerCluster {
             rebalance: Mutex::new(()),
             migration_locks: Sharded::new(shards, Mutex::default),
             clients: Mutex::new(BTreeSet::new()),
+            policies: Mutex::new(BTreeSet::new()),
             tx: ClusterTxManager::new(),
             async_ops: AsyncOps::new(shards, config.controller.result_buffer_capacity),
             next_async_id: AtomicU64::new(1),
@@ -248,10 +263,16 @@ impl ControllerCluster {
     /// controllers that join later.
     pub fn register_client(&self, client_id: &str) -> String {
         let _gate = self.ops_gate.read();
-        self.clients.lock().insert(client_id.to_string());
         for partition in self.routing.read().table.partitions() {
             partition.controller.register_client(client_id);
         }
+        // Record the id only after its sessions exist: a concurrent
+        // expire_sessions prunes the set against partition 0's live
+        // sessions, and recording first would let that prune silently
+        // unregister a client whose registration just succeeded. (A
+        // topology change cannot miss the id either way — its quiesce
+        // waits out this whole gate-read section before re-homing.)
+        self.clients.lock().insert(client_id.to_string());
         client_id.to_string()
     }
 
@@ -272,11 +293,21 @@ impl ControllerCluster {
     /// the first partition (sessions are mirrored, so each partition
     /// expires the same set).
     pub fn expire_sessions(&self) -> usize {
+        let _gate = self.ops_gate.read();
+        let routing = self.routing.read().clone();
         let mut first = None;
-        for partition in self.routing.read().table.partitions() {
+        for partition in routing.table.partitions() {
             let expired = partition.controller.expire_sessions();
             first.get_or_insert(expired);
         }
+        // Prune the re-homing set to the sessions that survived: an id
+        // with no session on partition 0 is expired everywhere (sessions
+        // are mirrored and clocks set together). Keeping it would admit
+        // the client at the cluster layer forever and resurrect its
+        // session on the next joining controller — authenticated on one
+        // partition, rejected on all others.
+        let probe = &routing.table.partitions()[0].controller;
+        self.clients.lock().retain(|id| probe.has_session(id));
         first.unwrap_or(0)
     }
 
@@ -294,16 +325,18 @@ impl ControllerCluster {
 
     /// Routes `key` to its owning controller under a consistent routing
     /// snapshot, demand-pulling the key out of an in-flight migration's
-    /// source first if necessary.
+    /// source first if necessary. The closure also receives the snapshot,
+    /// for callers that need more of the topology than the owner (e.g.
+    /// `ensure_policy`'s peer scan).
     fn with_owner<R>(
         &self,
         key: &HashedKey<'_>,
-        f: impl FnOnce(&Arc<PesosController>) -> Result<R, PesosError>,
+        f: impl FnOnce(&RoutingState, &Arc<PesosController>) -> Result<R, PesosError>,
     ) -> Result<R, PesosError> {
         let _gate = self.ops_gate.read();
         let routing = self.routing.read().clone();
         self.pull_if_migrating(&routing, key)?;
-        f(routing.table.route(key.hash()))
+        f(&routing, routing.table.route(key.hash()))
     }
 
     /// If `key` lies in a migrating range, ensure it has moved to the
@@ -328,6 +361,22 @@ impl ControllerCluster {
     /// write locks.
     fn pull_key(&self, migration: &Migration, key: &HashedKey<'_>) -> Result<(), PesosError> {
         let _stripe = self.migration_locks.get(key).lock();
+        if migration.moved_pending_delete.lock().contains(key.key()) {
+            // The object already reached the destination; only the
+            // source-side delete is outstanding. Never re-export here —
+            // the destination may legitimately have no metadata because
+            // the client deleted the object there, and re-importing the
+            // stale source copy would resurrect it. A prior partial
+            // delete may have already cleared the source, so NotFound
+            // counts as done.
+            return match migration.src.store().delete_object(*key) {
+                Ok(()) | Err(PesosError::ObjectNotFound(_)) => {
+                    migration.moved_pending_delete.lock().remove(key.key());
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            };
+        }
         if migration.dst.store().get_metadata(*key).is_some() {
             return Ok(()); // already moved
         }
@@ -345,11 +394,17 @@ impl ControllerCluster {
         migration.dst.store().import_object(&export)?;
         // Only once the destination durably holds the object does the
         // source copy go away: a failed import leaves the source
-        // authoritative and the pull retryable, never a lost object. (If
-        // this delete itself fails, the stale source copy is unreachable
-        // garbage, not a correctness problem — the router serves the
-        // destination and the dst-metadata check above stops re-pulls.)
-        migration.src.store().delete_object(*key)?;
+        // authoritative and the pull retryable, never a lost object.
+        if let Err(e) = migration.src.store().delete_object(*key) {
+            // The move succeeded but the stale source copy survives;
+            // remember it so retries (drain loop or demand pulls) finish
+            // the delete without ever re-exporting it.
+            migration
+                .moved_pending_delete
+                .lock()
+                .insert(key.key().to_string());
+            return Err(e);
+        }
         Ok(())
     }
 
@@ -366,16 +421,47 @@ impl ControllerCluster {
         if controller.store().load_policy(policy_id).is_ok() {
             return Ok(());
         }
+        if self.copy_policy_from_peers(routing, controller, policy_id)? {
+            Ok(())
+        } else {
+            Err(PesosError::PolicyNotFound(policy_id.to_hex()))
+        }
+    }
+
+    /// Copies `policy_id` onto `controller` from whichever other partition
+    /// holds it; returns whether a copy was found.
+    fn copy_policy_from_peers(
+        &self,
+        routing: &RoutingState,
+        controller: &Arc<PesosController>,
+        policy_id: &PolicyId,
+    ) -> Result<bool, PesosError> {
         for partition in routing.table.partitions() {
             if Arc::ptr_eq(&partition.controller, controller) {
                 continue;
             }
             if let Ok(policy) = partition.controller.store().load_policy(policy_id) {
                 controller.store().store_compiled_policy(policy)?;
-                return Ok(());
+                return Ok(true);
             }
         }
-        Err(PesosError::PolicyNotFound(policy_id.to_hex()))
+        Ok(false)
+    }
+
+    /// Copies every cluster-installed policy onto `controller`, loading
+    /// each from whichever partition still holds it. Used when a
+    /// controller joins: policies are broadcast at install time, so a
+    /// joiner must catch up on the ones installed before it existed —
+    /// otherwise removing the last original holder would lose them.
+    fn copy_policies_to(&self, controller: &Arc<PesosController>) -> Result<(), PesosError> {
+        let routing = self.routing.read().clone();
+        for id in self.policies.lock().iter() {
+            if controller.store().load_policy(id).is_ok() {
+                continue;
+            }
+            self.copy_policy_from_peers(&routing, controller, id)?;
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -392,7 +478,9 @@ impl ControllerCluster {
         for partition in routing.table.partitions() {
             id = Some(partition.controller.put_policy(client_id, source)?);
         }
-        id.ok_or_else(|| PesosError::Backend("cluster has no partitions".into()))
+        let id = id.ok_or_else(|| PesosError::Backend("cluster has no partitions".into()))?;
+        self.policies.lock().insert(id);
+        Ok(id)
     }
 
     /// Stores an object on its owning partition.
@@ -406,21 +494,19 @@ impl ControllerCluster {
         certificates: &[Certificate],
     ) -> Result<u64, PesosError> {
         let key = HashedKey::new(key);
-        let _gate = self.ops_gate.read();
-        let routing = self.routing.read().clone();
-        self.pull_if_migrating(&routing, &key)?;
-        let owner = routing.table.route(key.hash());
-        if let Some(id) = &policy_id {
-            self.ensure_policy(&routing, owner, id)?;
-        }
-        owner.put(
-            client_id,
-            key,
-            value,
-            policy_id,
-            expected_version,
-            certificates,
-        )
+        self.with_owner(&key, |routing, owner| {
+            if let Some(id) = &policy_id {
+                self.ensure_policy(routing, owner, id)?;
+            }
+            owner.put(
+                client_id,
+                key,
+                value,
+                policy_id,
+                expected_version,
+                certificates,
+            )
+        })
     }
 
     /// Stores an object asynchronously on its owning partition; the
@@ -437,25 +523,23 @@ impl ControllerCluster {
         certificates: &[Certificate],
     ) -> Result<u64, PesosError> {
         let key = HashedKey::new(key);
-        let _gate = self.ops_gate.read();
-        let routing = self.routing.read().clone();
-        self.pull_if_migrating(&routing, &key)?;
-        let owner = routing.table.route(key.hash());
-        if let Some(id) = &policy_id {
-            self.ensure_policy(&routing, owner, id)?;
-        }
-        let local_op = owner.put_async(
-            client_id,
-            key,
-            value,
-            policy_id,
-            expected_version,
-            certificates,
-        )?;
-        let cluster_op = self.next_async_id.fetch_add(1, Ordering::SeqCst);
-        self.async_ops
-            .insert(cluster_op, (Arc::clone(owner), local_op));
-        Ok(cluster_op)
+        self.with_owner(&key, |routing, owner| {
+            if let Some(id) = &policy_id {
+                self.ensure_policy(routing, owner, id)?;
+            }
+            let local_op = owner.put_async(
+                client_id,
+                key,
+                value,
+                policy_id,
+                expected_version,
+                certificates,
+            )?;
+            let cluster_op = self.next_async_id.fetch_add(1, Ordering::SeqCst);
+            self.async_ops
+                .insert(cluster_op, (Arc::clone(owner), local_op));
+            Ok(cluster_op)
+        })
     }
 
     /// Polls the result of a cluster-scoped asynchronous operation.
@@ -472,7 +556,7 @@ impl ControllerCluster {
         certificates: &[Certificate],
     ) -> Result<(Arc<Vec<u8>>, u64), PesosError> {
         let key = HashedKey::new(key);
-        self.with_owner(&key, |owner| owner.get(client_id, key, certificates))
+        self.with_owner(&key, |_, owner| owner.get(client_id, key, certificates))
     }
 
     /// Retrieves a specific stored version from the owning partition.
@@ -484,7 +568,7 @@ impl ControllerCluster {
         certificates: &[Certificate],
     ) -> Result<Vec<u8>, PesosError> {
         let key = HashedKey::new(key);
-        self.with_owner(&key, |owner| {
+        self.with_owner(&key, |_, owner| {
             owner.get_version(client_id, key, version, certificates)
         })
     }
@@ -497,7 +581,7 @@ impl ControllerCluster {
         certificates: &[Certificate],
     ) -> Result<(), PesosError> {
         let key = HashedKey::new(key);
-        self.with_owner(&key, |owner| owner.delete(client_id, key, certificates))
+        self.with_owner(&key, |_, owner| owner.delete(client_id, key, certificates))
     }
 
     /// Attaches an existing policy to an object on its owning partition.
@@ -509,12 +593,10 @@ impl ControllerCluster {
         certificates: &[Certificate],
     ) -> Result<(), PesosError> {
         let key = HashedKey::new(key);
-        let _gate = self.ops_gate.read();
-        let routing = self.routing.read().clone();
-        self.pull_if_migrating(&routing, &key)?;
-        let owner = routing.table.route(key.hash());
-        self.ensure_policy(&routing, owner, &policy_id)?;
-        owner.attach_policy(client_id, key, policy_id, certificates)
+        self.with_owner(&key, |routing, owner| {
+            self.ensure_policy(routing, owner, &policy_id)?;
+            owner.attach_policy(client_id, key, policy_id, certificates)
+        })
     }
 
     /// Waits for all scheduled asynchronous work on every controller.
@@ -619,12 +701,14 @@ impl ControllerCluster {
         // order that keeps concurrent coordinators deadlock-free. Any
         // staging failure aborts every local transaction created so far,
         // not just the failing branch's, so nothing lingers in the
-        // participants' transaction buffers.
-        let participants: Vec<(Arc<PesosController>, u64, &Branch)> = {
-            let mut out: Vec<(Arc<PesosController>, u64, &Branch)> =
+        // participants' transaction buffers. Write payloads move into the
+        // branch transactions (the merge below only needs each write's
+        // position), so staging copies no value bytes.
+        let participants: Vec<(Arc<PesosController>, u64, usize)> = {
+            let mut out: Vec<(Arc<PesosController>, u64, usize)> =
                 Vec::with_capacity(branches.len());
             let mut failure: Option<PesosError> = None;
-            'staging: for (&partition, branch) in &branches {
+            'staging: for (&partition, branch) in branches.iter_mut() {
                 let controller = Arc::clone(&routing.table.partitions()[partition].controller);
                 let local = match controller.create_tx(client_id) {
                     Ok(local) => local,
@@ -633,7 +717,7 @@ impl ControllerCluster {
                         break 'staging;
                     }
                 };
-                out.push((controller, local, branch));
+                out.push((controller, local, partition));
                 let (controller, local, _) = out.last().expect("just pushed");
                 for (_, key) in &branch.reads {
                     if let Err(e) = controller.add_read(client_id, *local, key) {
@@ -641,10 +725,9 @@ impl ControllerCluster {
                         break 'staging;
                     }
                 }
-                for (_, write) in &branch.writes {
-                    if let Err(e) =
-                        controller.add_write(client_id, *local, &write.key, write.value.clone())
-                    {
+                for (_, write) in &mut branch.writes {
+                    let value = std::mem::take(&mut write.value);
+                    if let Err(e) = controller.add_write(client_id, *local, &write.key, value) {
                         failure = Some(e);
                         break 'staging;
                     }
@@ -683,7 +766,8 @@ impl ControllerCluster {
         // order the client added the operations.
         let mut read_values: Vec<Option<Vec<u8>>> = vec![None; read_count];
         let mut write_versions: Vec<Option<u64>> = vec![None; write_count];
-        for (p, (controller, _, branch)) in prepared.into_iter().zip(participants.iter()) {
+        for (p, (controller, _, partition)) in prepared.into_iter().zip(participants.iter()) {
+            let branch = &branches[partition];
             let outcome = controller.commit_prepared(p)?;
             for ((position, _), value) in branch.reads.iter().zip(outcome.read_values) {
                 read_values[*position] = Some(value);
@@ -748,7 +832,10 @@ impl ControllerCluster {
     /// On a drain error the new topology stays installed and the migration
     /// record stays active, so every un-moved key remains reachable
     /// through the demand-pull path; the returned error reports the drain
-    /// fault (typically an offline drive) for the operator to retry.
+    /// fault (typically an offline drive). Retry via
+    /// [`ControllerCluster::settle_pending_migrations`] — or the next
+    /// topology change, which re-drives pending drains before touching
+    /// the table.
     pub fn add_controller(&self) -> Result<usize, PesosError> {
         self.add_controller_with(self.template.clone())
     }
@@ -757,13 +844,31 @@ impl ControllerCluster {
     /// controller configuration.
     pub fn add_controller_with(&self, config: ControllerConfig) -> Result<usize, PesosError> {
         let _topology = self.rebalance.lock();
+        // A topology change must never stack onto an unsettled migration:
+        // the new drain would list only its own source, so keys still
+        // sitting at the older migration's source would be stranded on an
+        // off-table controller once the newer record retires. Re-drive
+        // pending drains first; if the fault persists, fail the change.
+        self.settle_pending_locked()?;
         let controller = Arc::new(PesosController::new(config)?);
-        // Re-home sessions and the logical clock before any traffic can
-        // route to the new partition.
+        // Re-home sessions, policies and the logical clock before any
+        // traffic can route to the new partition.
         controller.set_time(self.now());
         for client in self.clients.lock().iter() {
             controller.register_client(client);
         }
+        self.copy_policies_to(&controller)?;
+
+        // The split source: the rebalance lock keeps the table stable, so
+        // the widest partition computed here is the one split below.
+        let src = {
+            let routing = self.routing.read();
+            let widest = routing.table.widest();
+            Arc::clone(&routing.table.partitions()[widest].controller)
+        };
+        // Pre-flush the source's scheduled asynchronous writes outside the
+        // gate so the race-closing flush under it (below) is short.
+        src.drain_async();
 
         let migration = {
             // Quiesce: holding the gate's write side means no operation is
@@ -772,15 +877,24 @@ impl ControllerCluster {
             // (table + migration record together), so a demand pull can
             // never race a write still executing against the old owner.
             let _quiesced = self.ops_gate.write();
+            // Acknowledged put_asyncs execute on the source's scheduler
+            // workers *outside* the gate; flush them before the swap makes
+            // demand pulls possible, or a pull could export stale state,
+            // move it, and let the late write recreate the key at a source
+            // the router no longer consults — losing a write already
+            // reported Completed. No new async work can be accepted while
+            // the write side is held, and after the swap the moved range's
+            // writes go to the destination, so this flush is complete.
+            src.drain_async();
             let mut routing = self.routing.write();
             let old = routing.clone();
             let widest = old.table.widest();
-            let src = Arc::clone(&old.table.partitions()[widest].controller);
             let (table, moved) = old.table.split(widest, Arc::clone(&controller));
             let migration = Arc::new(Migration {
                 range: moved,
-                src,
+                src: Arc::clone(&src),
                 dst: Arc::clone(&controller),
+                moved_pending_delete: Mutex::new(BTreeSet::new()),
             });
             let mut migrations = Vec::with_capacity(old.migrations.len() + 1);
             migrations.extend(old.migrations.iter().cloned());
@@ -788,13 +902,15 @@ impl ControllerCluster {
             *routing = Arc::new(RoutingState { table, migrations });
             migration
         };
-        // Second re-homing pass: a register_client that raced the first
-        // pass iterated the old table (without the joiner) but finished
-        // before the quiesce with its id in `clients`; registering again
-        // here is idempotent and closes that gap.
+        // Second re-homing pass: a register_client or put_policy that
+        // raced the first pass iterated the old table (without the joiner)
+        // but finished before the quiesce with its entry recorded;
+        // registering and copying again here is idempotent and closes
+        // that gap.
         for client in self.clients.lock().iter() {
             controller.register_client(client);
         }
+        self.copy_policies_to(&controller)?;
         self.settle_migration(&migration)?;
         Ok(self.partition_count())
     }
@@ -807,29 +923,43 @@ impl ControllerCluster {
     /// active (see [`ControllerCluster::add_controller`]).
     pub fn remove_controller(&self, index: usize) -> Result<(), PesosError> {
         let _topology = self.rebalance.lock();
-        let migration = {
-            // Same quiesce discipline as add_controller_with: no operation
-            // straddles the swap.
-            let _quiesced = self.ops_gate.write();
-            let mut routing = self.routing.write();
-            let old = routing.clone();
-            if old.table.len() <= 1 {
+        // Settle any migration an earlier topology change left unsettled
+        // (see add_controller_with); removing a pending migration's
+        // destination would otherwise strand its un-moved keys off-table.
+        self.settle_pending_locked()?;
+        // Validate and pre-flush outside the gate (the rebalance lock
+        // keeps the table stable, so the checks cannot go stale).
+        let src = {
+            let routing = self.routing.read();
+            if routing.table.len() <= 1 {
                 return Err(PesosError::BadRequest(
                     "cannot remove the last controller".into(),
                 ));
             }
-            if index >= old.table.len() {
+            if index >= routing.table.len() {
                 return Err(PesosError::BadRequest(format!(
                     "no partition {index} (cluster has {})",
-                    old.table.len()
+                    routing.table.len()
                 )));
             }
-            let src = Arc::clone(&old.table.partitions()[index].controller);
+            Arc::clone(&routing.table.partitions()[index].controller)
+        };
+        src.drain_async();
+        let migration = {
+            // Same quiesce discipline as add_controller_with: no operation
+            // straddles the swap, and the departing controller's scheduled
+            // asynchronous writes are flushed under the gate so a demand
+            // pull can never outrun a pending acknowledged write.
+            let _quiesced = self.ops_gate.write();
+            src.drain_async();
+            let mut routing = self.routing.write();
+            let old = routing.clone();
             let (table, moved, absorbed_by) = old.table.merge_out(index);
             let migration = Arc::new(Migration {
                 range: moved,
                 src,
                 dst: Arc::clone(&table.partitions()[absorbed_by].controller),
+                moved_pending_delete: Mutex::new(BTreeSet::new()),
             });
             let mut migrations = Vec::with_capacity(old.migrations.len() + 1);
             migrations.extend(old.migrations.iter().cloned());
@@ -840,19 +970,39 @@ impl ControllerCluster {
         self.settle_migration(&migration)
     }
 
-    /// The post-swap half of a topology change: flush the source's
-    /// scheduled asynchronous writes, drain the moved range, and retire
-    /// the migration record.
+    /// Re-drives the drain of any migration an earlier topology change
+    /// left unsettled after a drain error (typically an offline drive) —
+    /// the operator retry path. The affected keys stay reachable through
+    /// demand pulls in the meantime; a successful settle retires the
+    /// record and ends the per-request pull overhead.
+    pub fn settle_pending_migrations(&self) -> Result<(), PesosError> {
+        let _topology = self.rebalance.lock();
+        self.settle_pending_locked()
+    }
+
+    /// Settles every installed migration record, oldest first (an older
+    /// migration's keys may still need to traverse a newer migration's
+    /// range, in install order). Caller must hold the rebalance lock.
+    fn settle_pending_locked(&self) -> Result<(), PesosError> {
+        loop {
+            let Some(migration) = self.routing.read().migrations.first().cloned() else {
+                return Ok(());
+            };
+            self.settle_migration(&migration)?;
+        }
+    }
+
+    /// The post-swap half of a topology change: drain the moved range and
+    /// retire the migration record. The source's scheduled asynchronous
+    /// writes were already flushed under the ops gate before the swap, so
+    /// the drain's drive-authoritative key listing observes every
+    /// acknowledged write.
     ///
     /// The record is retired only after a *complete* drain. On error it
     /// stays installed, so the un-moved keys remain reachable through the
     /// demand-pull path — the safe direction; retiring it early would
     /// strand them at a source the router no longer consults.
     fn settle_migration(&self, migration: &Arc<Migration>) -> Result<(), PesosError> {
-        // Asynchronous puts accepted before the table flip may still sit
-        // in the source's scheduler queue; wait them out so the drain's
-        // drive-authoritative key listing observes their writes.
-        migration.src.drain_async();
         self.drain_migration(migration)?;
         let mut routing = self.routing.write();
         let old = routing.clone();
@@ -880,6 +1030,20 @@ impl ControllerCluster {
             if migration.range.contains(hashed.hash()) {
                 self.pull_key(migration, &hashed)?;
             }
+        }
+        // Keys whose move completed but whose source-side delete faulted
+        // may no longer surface in list_keys (a partial delete can drop
+        // the drive-level metadata before erroring), so drive them to
+        // completion explicitly — the record must never retire with a
+        // stale source copy still resident.
+        let pending: Vec<String> = migration
+            .moved_pending_delete
+            .lock()
+            .iter()
+            .cloned()
+            .collect();
+        for key in pending {
+            self.pull_key(migration, &HashedKey::new(&key))?;
         }
         Ok(())
     }
@@ -930,14 +1094,35 @@ impl ControllerCluster {
                 Ok(RestResponse::ok(id.to_hex().into_bytes()))
             }
             RestMethod::GetPolicy => {
-                // Policies are broadcast; any partition can serve the read.
+                // Policies are broadcast on install and copied to joiners,
+                // so partition 0 normally has every one — but scan the
+                // rest anyway (like check_results) so a read never fails
+                // while any partition still holds the policy.
                 self.require_client(client_id)?;
                 let id = parse_policy_id(&rest.key)?;
                 let routing = self.routing.read().clone();
-                let policy = routing.table.partitions()[0]
-                    .controller
-                    .store()
-                    .load_policy(&id)?;
+                let mut fault = None;
+                let mut policy = None;
+                for partition in routing.table.partitions() {
+                    match partition.controller.store().load_policy(&id) {
+                        Ok(p) => {
+                            policy = Some(p);
+                            break;
+                        }
+                        Err(PesosError::PolicyNotFound(_)) => {}
+                        // A decode/integrity fault is not "no such
+                        // policy"; keep it in case no partition serves
+                        // the read.
+                        Err(e) => {
+                            fault.get_or_insert(e);
+                        }
+                    }
+                }
+                let policy = match (policy, fault) {
+                    (Some(p), _) => p,
+                    (None, Some(e)) => return Err(e),
+                    (None, None) => return Err(PesosError::PolicyNotFound(id.to_hex())),
+                };
                 Ok(RestResponse::ok(policy.to_bytes()))
             }
             RestMethod::AttachPolicy => {
@@ -1445,6 +1630,92 @@ mod tests {
         for key in &keys {
             assert_eq!(&**c.get("alice", key, &[]).unwrap().0, key.as_bytes());
         }
+    }
+
+    #[test]
+    fn expired_clients_are_pruned_and_not_rehomed_onto_joiners() {
+        let c = cluster(2);
+        c.register_client("alice");
+        c.set_time(0);
+        c.put("alice", "pre/expiry", b"x".to_vec(), None, None, &[])
+            .unwrap();
+        // Advance past the session expiry and expire everywhere.
+        c.set_time(100_000);
+        assert_eq!(c.expire_sessions(), 1);
+        // The cluster layer no longer admits the expired client...
+        assert!(matches!(
+            c.create_tx("alice"),
+            Err(PesosError::NoSession(_))
+        ));
+        // ...and a joining controller must not resurrect the session: the
+        // expired id was pruned from the re-homing set, so every
+        // partition (old and new alike) rejects it until re-registration.
+        c.add_controller().unwrap();
+        for i in 0..32 {
+            assert!(matches!(
+                c.put(
+                    "alice",
+                    &format!("post/{i}"),
+                    b"x".to_vec(),
+                    None,
+                    None,
+                    &[]
+                ),
+                Err(PesosError::NoSession(_))
+            ));
+        }
+        // Re-registering restores service on every partition.
+        c.register_client("alice");
+        for i in 0..32 {
+            c.put(
+                "alice",
+                &format!("back/{i}"),
+                b"x".to_vec(),
+                None,
+                None,
+                &[],
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn policies_survive_removal_of_every_original_holder() {
+        // Install a policy on a one-partition cluster, join a controller
+        // *after* the install, then remove the original holder: the
+        // promoted joiner must still serve, attach and enforce the policy
+        // (it receives the full installed set at join time).
+        let c = cluster(1);
+        c.register_client("alice");
+        c.register_client("eve");
+        let acl = c
+            .put_policy(
+                "alice",
+                "read :- sessionKeyIs(\"alice\")\nupdate :- sessionKeyIs(\"alice\")\ndelete :- sessionKeyIs(\"alice\")",
+            )
+            .unwrap();
+        c.add_controller().unwrap();
+        c.remove_controller(0).unwrap();
+        assert_eq!(c.partition_count(), 1);
+        // GetPolicy reads from partition 0 — now the joiner.
+        let resp = c.handle(
+            "alice",
+            ClientRequest::new(RestRequest::new(RestMethod::GetPolicy, acl.to_hex())),
+        );
+        assert_eq!(resp.status, RestStatus::Ok);
+        c.put(
+            "alice",
+            "late/doc",
+            b"secret".to_vec(),
+            Some(acl),
+            None,
+            &[],
+        )
+        .unwrap();
+        assert!(matches!(
+            c.get("eve", "late/doc", &[]),
+            Err(PesosError::PolicyDenied(_))
+        ));
     }
 
     #[test]

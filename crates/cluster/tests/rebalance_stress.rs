@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 
 use pesos_cluster::{ClusterConfig, ControllerCluster};
-use pesos_core::PesosError;
+use pesos_core::{AsyncResult, PesosError};
 
 const WRITERS: usize = 4;
 const KEYS_PER_WRITER: usize = 16;
@@ -161,6 +161,103 @@ fn rebalance_under_concurrent_traffic_loses_and_resurrects_nothing() {
                     assert!(holders.is_empty(), "{key} still on partitions {holders:?}");
                 }
             }
+        }
+    }
+}
+
+/// Same churn, asynchronous writes: `put_async` acknowledges before the
+/// drive write executes on a scheduler worker, so a topology swap must
+/// flush the source's pending writes before any demand pull can export a
+/// key — otherwise the late write recreates the key at the old owner and
+/// a write reported `Completed` is silently lost. Every operation the
+/// cluster reports `Completed` must therefore be durable across the
+/// migrations, with the key resident exactly on its final owner.
+#[test]
+fn rebalance_never_loses_acknowledged_async_writes() {
+    let cluster = Arc::new(ControllerCluster::new(ClusterConfig::native_simulator(2, 1)).unwrap());
+    for w in 0..WRITERS {
+        cluster.register_client(&format!("async-writer-{w}"));
+    }
+
+    let start = Arc::new(Barrier::new(WRITERS + 1));
+    let mut writers = Vec::new();
+    for w in 0..WRITERS {
+        let cluster = Arc::clone(&cluster);
+        let start = Arc::clone(&start);
+        writers.push(std::thread::spawn(move || {
+            let client = format!("async-writer-{w}");
+            let mut expected: Vec<Vec<u8>> = vec![Vec::new(); KEYS_PER_WRITER];
+            start.wait();
+            for round in 0..ROUNDS {
+                // One asynchronous put per key, then poll every operation
+                // to a terminal state before the next round, so two writes
+                // to the same key never race each other in the scheduler.
+                let mut ops = Vec::with_capacity(KEYS_PER_WRITER);
+                for k in 0..KEYS_PER_WRITER {
+                    let key = format!("astress/w{w}/k{k}");
+                    let value = format!("w{w}-k{k}-r{round}").into_bytes();
+                    let op = cluster
+                        .put_async(&client, &key, value.clone(), None, None, &[])
+                        .unwrap_or_else(|e| panic!("writer {w} put_async {key}: {e}"));
+                    ops.push((k, key, op, value));
+                }
+                for (k, key, op, value) in ops {
+                    loop {
+                        match cluster.poll_result(&client, op) {
+                            Some(AsyncResult::Completed { .. }) => {
+                                expected[k] = value;
+                                break;
+                            }
+                            Some(AsyncResult::Pending) => std::thread::yield_now(),
+                            Some(AsyncResult::Failed { reason }) => {
+                                panic!("writer {w} async put {key} failed: {reason}")
+                            }
+                            None => panic!("writer {w} op {op} for {key} vanished"),
+                        }
+                    }
+                }
+            }
+            expected
+        }));
+    }
+
+    // Topology churn concurrent with the async traffic, including removal
+    // of both original controllers so every key crosses a migration.
+    start.wait();
+    assert_eq!(cluster.add_controller().unwrap(), 3);
+    assert_eq!(cluster.add_controller().unwrap(), 4);
+    cluster.remove_controller(1).unwrap();
+    cluster.remove_controller(0).unwrap();
+    assert_eq!(cluster.partition_count(), 2);
+
+    let expectations: Vec<Vec<Vec<u8>>> = writers
+        .into_iter()
+        .map(|h| h.join().expect("async writer panicked"))
+        .collect();
+
+    // Every acknowledged final value must be readable, and each key must
+    // live exactly on its current owner — a key recreated at a stale
+    // source by a late write would either read back an old round's value
+    // or show up on a partition that no longer owns it.
+    let controllers = cluster.controllers();
+    for (w, expected) in expectations.iter().enumerate() {
+        for (k, value) in expected.iter().enumerate() {
+            let key = format!("astress/w{w}/k{k}");
+            let (got, _) = cluster
+                .get(&format!("async-writer-{w}"), &key, &[])
+                .unwrap_or_else(|e| panic!("lost acknowledged async write {key}: {e}"));
+            assert_eq!(&*got, value, "stale value for {key}");
+            let holders: Vec<usize> = controllers
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.store().get_metadata(key.as_str()).is_some())
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(
+                holders,
+                vec![cluster.partition_of(&key)],
+                "{key} not exactly on its owner"
+            );
         }
     }
 }

@@ -191,6 +191,12 @@ impl PesosController {
         self.sessions.expire(self.now())
     }
 
+    /// Whether `client_id` currently holds a session (without touching its
+    /// idle timer).
+    pub fn has_session(&self, client_id: &str) -> bool {
+        self.sessions.contains(client_id)
+    }
+
     fn require_session(&self, client_id: &str) -> Result<(), PesosError> {
         if self.sessions.touch(client_id, self.now()) {
             Ok(())

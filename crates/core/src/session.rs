@@ -116,6 +116,11 @@ impl SessionManager {
         self.shard(client_id).lock().get(client_id).cloned()
     }
 
+    /// Whether a session exists for `client_id` (no clone, no touch).
+    pub fn contains(&self, client_id: &str) -> bool {
+        self.shard(client_id).lock().contains_key(client_id)
+    }
+
     /// Drops sessions idle past the expiry window; returns how many expired.
     pub fn expire(&self, now: u64) -> usize {
         let mut expired = 0;
