@@ -1,15 +1,18 @@
 //! Micro-benchmarks of the substrate primitives on the request fast path:
-//! SHA-256, the AEAD, HMAC, policy compilation and policy evaluation.
+//! SHA-256, the AEAD, HMAC, the kinetic wire-frame encoders, policy
+//! compilation and policy evaluation.
 //!
 //! The `before/after` pairs compare the digest pipeline's cached-midstate
 //! paths against the pre-overhaul constructions (re-run key schedule per
 //! MAC, re-absorbed key+nonce per keystream block), which are reproduced
-//! here from the public one-shot APIs. A summary delta in µs/op is printed
-//! at the end.
+//! here from the public one-shot APIs, and the vectored one-copy wire
+//! encode against the legacy copy-and-rehash frame path. Summary deltas in
+//! µs/op are printed at the end.
 use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pesos_crypto::{sha256, AeadKey, HmacKey, HmacSha256, Sha256};
+use pesos_kinetic::{Command, Envelope, MessageType};
 use pesos_policy::{compile, Operation, RequestContext, StaticObjectView};
 
 /// Times `f` over `iters` iterations and returns µs per op.
@@ -77,6 +80,25 @@ fn bench(c: &mut Criterion) {
         b.iter(|| HmacSha256::mac(b"session-secret-0123456789abcdef", &payload))
     });
 
+    // The kinetic wire-frame encoders over a 64 KiB PUT payload: the
+    // legacy path copies the payload into the body buffer, the command
+    // buffer and the outer frame and MACs the materialized bytes; the
+    // vectored path borrows the payload (reference-count bump), computes
+    // the frame HMAC in one streaming pass over the chunks, and only
+    // copies anything if a byte frame is actually materialized.
+    let frame_key = HmacKey::new(b"drive-session-secret");
+    let put = put_64kib();
+    c.bench_function("wire_encode_64kib_legacy", |b| b.iter(|| put.encode()));
+    c.bench_function("wire_encode_64kib_vectored", |b| {
+        b.iter(|| put.encode_vectored())
+    });
+    c.bench_function("wire_seal_64kib_legacy_frame", |b| {
+        b.iter(|| Envelope::seal_with(1, &frame_key, &put).encode())
+    });
+    c.bench_function("wire_seal_64kib_vectored", |b| {
+        b.iter(|| Envelope::seal_vectored(1, &frame_key, put.clone()))
+    });
+
     let policy_src = "read :- sessionKeyIs(\"alice\") or sessionKeyIs(\"bob\")\nupdate :- sessionKeyIs(\"alice\")\ndelete :- sessionKeyIs(\"admin\")";
     c.bench_function("policy_compile_acl", |b| {
         b.iter(|| compile(policy_src).unwrap())
@@ -90,6 +112,52 @@ fn bench(c: &mut Criterion) {
     });
 
     digest_pipeline_deltas();
+    wire_frame_deltas();
+}
+
+/// A PUT command carrying a 64 KiB payload, the shape the store's replica
+/// writes put on the wire.
+fn put_64kib() -> Command {
+    let mut put = Command::request(MessageType::Put);
+    put.connection_id = 0x1234_5678_9abc_def0;
+    put.sequence = 42;
+    put.body.key = b"bench/object".to_vec();
+    put.body.value = vec![7u8; 64 * 1024].into();
+    put.body.new_version = b"pesos".to_vec();
+    put
+}
+
+/// Prints the before/after µs-per-op delta of the vectored wire path for a
+/// full in-process 64 KiB PUT frame hop: legacy = materialize the frame
+/// (three payload copies), then decode and fully re-verify it on the
+/// receiving side; vectored = seal the chunks in one streaming MAC pass and
+/// check the tag with the folded outer-transform verification (no copies,
+/// no re-hash).
+///
+/// Skipped under `--test` for the same reason as the digest deltas.
+fn wire_frame_deltas() {
+    if criterion::test_mode() {
+        println!("\n== wire-frame deltas skipped (--test smoke mode) ==");
+        return;
+    }
+    println!("\n== wire frames: legacy copy-and-rehash vs vectored one-pass, µs/op ==");
+    let key = HmacKey::new(b"drive-session-secret");
+    let put = put_64kib();
+
+    let before = us_per_op(2_000, || {
+        let frame = Envelope::seal_with(1, &key, &put).encode();
+        let envelope = Envelope::decode(&frame).unwrap();
+        black_box(envelope.open_with(&key).unwrap());
+    });
+    let after = us_per_op(2_000, || {
+        let envelope = Envelope::seal_vectored(1, &key, put.clone());
+        assert!(envelope.verified_by(&key));
+        black_box(envelope.into_command());
+    });
+    println!(
+        "wire_hop_64kib_put             before {before:>8.3} µs/op   after {after:>8.3} µs/op   speedup {:>5.2}x",
+        before / after.max(f64::MIN_POSITIVE)
+    );
 }
 
 /// Prints the before/after µs-per-op deltas of the digest-pipeline overhaul

@@ -1317,10 +1317,31 @@ impl RequestEndpoint for ControllerCluster {
 
     fn latest_version(&self, key: &str) -> Option<u64> {
         let hashed = HashedKey::new(key);
+        // Best-effort (no demand pull), but never wrong about presence:
+        // the ops-gate read side keeps the routing snapshot consistent
+        // with the probes (a topology change cannot install mid-lookup),
+        // and each migration probe runs under the key's striped migration
+        // lock, so the key cannot finish moving between the destination
+        // and source probes — without the stripe, a concurrent pull could
+        // import the key at the destination after we probed it and delete
+        // the source copy before we got there, reporting a live object as
+        // missing. Destination before source: writes during a migration
+        // land at the destination, so it holds the freshest version.
+        let _gate = self.ops_gate.read();
         let routing = self.routing.read().clone();
-        // Best-effort (no pull): check destination first during migration.
         for migration in &routing.migrations {
             if migration.range.contains(hashed.hash()) {
+                let _stripe = self.migration_locks.get(&hashed).lock();
+                if migration.moved_pending_delete.lock().contains(key) {
+                    // Only the stale source copy's delete is outstanding;
+                    // the destination is authoritative (the source would
+                    // resurrect a client delete).
+                    return migration
+                        .dst
+                        .store()
+                        .get_metadata(hashed)
+                        .map(|m| m.latest_version);
+                }
                 if let Some(meta) = migration.dst.store().get_metadata(hashed) {
                     return Some(meta.latest_version);
                 }

@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 
 use pesos_cluster::{ClusterConfig, ControllerCluster};
-use pesos_core::{AsyncResult, PesosError};
+use pesos_core::{AsyncResult, PesosError, RequestEndpoint};
 
 const WRITERS: usize = 4;
 const KEYS_PER_WRITER: usize = 16;
@@ -162,6 +162,106 @@ fn rebalance_under_concurrent_traffic_loses_and_resurrects_nothing() {
                 }
             }
         }
+    }
+}
+
+/// `latest_version` during migrations: the probe walks migration records
+/// without taking the demand-pull path, so it must observe every existing
+/// key on exactly one side of an in-flight move. Regression for the race
+/// where the probe ran outside the ops gate and without the migration
+/// stripe lock: a concurrent pull could import the key at the destination
+/// *after* the destination probe and delete the source copy *before* the
+/// source probe, making an existing key read as `None` mid-migration.
+#[test]
+fn latest_version_never_reports_existing_keys_missing_mid_migration() {
+    const KEYS: usize = 64;
+    let cluster = Arc::new(ControllerCluster::new(ClusterConfig::native_simulator(2, 1)).unwrap());
+    cluster.register_client("prober");
+    let keys: Vec<String> = (0..KEYS).map(|i| format!("lv/k{i:03}")).collect();
+    for key in &keys {
+        cluster
+            .put(
+                "prober",
+                key,
+                format!("{key}-v0").into_bytes(),
+                None,
+                None,
+                &[],
+            )
+            .unwrap();
+    }
+
+    let start = Arc::new(Barrier::new(3));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Prober: every key exists for the whole test (no deletes), so a None
+    // is exactly the lost-mid-move race this test pins.
+    let prober = {
+        let cluster = Arc::clone(&cluster);
+        let keys = keys.clone();
+        let start = Arc::clone(&start);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            start.wait();
+            let mut probes = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                for key in &keys {
+                    let version = cluster.latest_version(key);
+                    assert!(
+                        version.is_some(),
+                        "latest_version reported existing key {key} as missing mid-migration"
+                    );
+                    probes += 1;
+                }
+            }
+            probes
+        })
+    };
+
+    // A writer keeps versions moving so the probe also exercises the
+    // freshest-side (destination-first) order while keys migrate.
+    let writer = {
+        let cluster = Arc::clone(&cluster);
+        let keys = keys.clone();
+        let start = Arc::clone(&start);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            start.wait();
+            let mut round = 1u64;
+            while !stop.load(Ordering::Relaxed) {
+                for key in keys.iter().step_by(7) {
+                    cluster
+                        .put(
+                            "prober",
+                            key,
+                            format!("{key}-v{round}").into_bytes(),
+                            None,
+                            None,
+                            &[],
+                        )
+                        .unwrap_or_else(|e| panic!("writer put {key}: {e}"));
+                }
+                round += 1;
+            }
+        })
+    };
+
+    // Churn the topology so every key crosses at least one migration.
+    start.wait();
+    assert_eq!(cluster.add_controller().unwrap(), 3);
+    assert_eq!(cluster.add_controller().unwrap(), 4);
+    cluster.remove_controller(1).unwrap();
+    cluster.remove_controller(0).unwrap();
+    assert_eq!(cluster.partition_count(), 2);
+
+    stop.store(true, Ordering::Relaxed);
+    let probes = prober.join().expect("prober panicked");
+    writer.join().expect("writer panicked");
+    assert!(probes > 0, "prober never ran");
+    // And after the churn the probe agrees with a real read on every key.
+    for key in &keys {
+        let (_, version) = cluster.get("prober", key, &[]).unwrap();
+        assert_eq!(cluster.latest_version(key), Some(version), "{key}");
     }
 }
 

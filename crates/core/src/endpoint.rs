@@ -64,6 +64,16 @@ pub trait RequestEndpoint: Send + Sync {
 
     /// The latest stored version of `key`, if the object exists (used by
     /// versioned-store harness modes to derive the expected next version).
+    ///
+    /// Best-effort contract: this is a metadata probe, not a client
+    /// operation — it runs no policy checks and, on a cluster, does not
+    /// demand-pull the key out of an in-flight migration. Implementations
+    /// must still never report an existing object as missing: the cluster
+    /// probes a migrating key's destination and then its source under the
+    /// migration's key stripe lock, so a key mid-move is observed on
+    /// exactly one side. What may lag is the *version*: a write that
+    /// commits concurrently with the probe can be reflected or not,
+    /// exactly as for any unsynchronized reader.
     fn latest_version(&self, key: &str) -> Option<u64>;
 
     /// Waits (bounded) for all scheduled asynchronous work to finish.

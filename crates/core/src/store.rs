@@ -18,7 +18,14 @@
 //! stragglers to finish in the background. Object payloads and backend keys
 //! travel as shared [`Payload`]/`Arc<[u8]>` buffers, so fanning a write out
 //! to N replicas bumps reference counts instead of cloning the encoded
-//! object per target.
+//! object per target — and the kinetic wire path underneath is vectored
+//! (`Command::encode_vectored` / `VectoredEnvelope`), so each replica's
+//! frame borrows that same buffer end to end: the sealed object the
+//! crypter produced is the buffer the drive engine stores, with zero
+//! physical copies in between. The enclave-boundary copy the paper's cost
+//! model charges per replica is accounted explicitly
+//! ([`Enclave::charge_boundary_copy`] in [`PesosStore::replicated_put`]);
+//! it is the *only* per-replica payload cost left on the write path.
 //!
 //! Hot shared state is lock-sharded: the metadata map
 //! ([`ShardedMetadata`]) and the object cache split their entries over N
@@ -277,7 +284,12 @@ impl PesosStore {
     /// The default path enqueues one PUT per replica as a single
     /// scatter-gather batch and joins the whole set once (first error
     /// wins); the payload and backend key are shared buffers, so each
-    /// replica costs a reference-count bump, not a copy.
+    /// replica costs a reference-count bump, not a copy — the vectored
+    /// kinetic frames keep it that way all the way into the drive engine.
+    /// The simulated enclave-boundary copy is charged here, once per
+    /// replica, because the cost model still pays for the bytes leaving
+    /// the enclave even though the in-process simulation elides the
+    /// physical copy.
     fn replicated_put(
         &self,
         placement_key: &HashedKey<'_>,
@@ -1155,6 +1167,42 @@ mod tests {
         assert_eq!(dst.get_object_version("moved", 0).unwrap(), b"v0");
         // Writes continue the version sequence at the destination.
         assert_eq!(dst.put_object("moved", b"v2", None).unwrap(), 2);
+    }
+
+    #[test]
+    fn zero_byte_object_survives_put_get_export_import() {
+        // Regression for the wire-presence bug: a zero-length payload used
+        // to decode as "absent". The whole lifecycle must treat it as a
+        // present, empty object — with and without encryption (the
+        // plaintext path stores the smallest frames).
+        for encrypt in [true, false] {
+            let make = |drives: usize| {
+                let mut s = store(drives, 1);
+                if !encrypt {
+                    s.crypter = ObjectCrypter::new(&[1u8; 32], false);
+                }
+                s
+            };
+            let src = make(1);
+            assert_eq!(src.put_object("empty", b"", None).unwrap(), 0);
+            let (value, version) = src.get_object("empty").unwrap();
+            assert!(value.is_empty(), "encrypt={encrypt}");
+            assert_eq!(version, 0);
+            assert_eq!(src.get_object_version("empty", 0).unwrap(), b"");
+
+            let export = src.export_object("empty").unwrap().expect("exists");
+            assert_eq!(export.versions, vec![(0, Vec::new())]);
+
+            let dst = make(2);
+            dst.import_object(&export).unwrap();
+            let (value, version) = dst.get_object("empty").unwrap();
+            assert!(value.is_empty(), "encrypt={encrypt}");
+            assert_eq!(version, 0);
+            // Still distinct from a missing object.
+            assert!(dst.get_object("missing").is_err());
+            dst.delete_object("empty").unwrap();
+            assert!(dst.get_object("empty").is_err());
+        }
     }
 
     #[test]

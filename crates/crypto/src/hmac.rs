@@ -87,6 +87,26 @@ impl HmacKey {
     pub fn verify(&self, data: &[u8], tag: &[u8]) -> bool {
         crate::ct_eq(&self.mac(data), tag)
     }
+
+    /// Verifies `tag` against a caller-supplied *inner digest* in constant
+    /// time, without re-hashing the message.
+    ///
+    /// HMAC is `outer(inner(message))`; [`HmacSha256::finalize_with_inner`]
+    /// exposes the inner digest alongside the tag. Re-running only the
+    /// outer transform over that digest costs one compression regardless of
+    /// message length and proves two things: the tag was produced under
+    /// this key (the outer midstate is key-derived), and it is bound to
+    /// exactly this inner commitment. It does **not** prove the inner
+    /// digest matches any particular message — the caller must obtain the
+    /// message and the inner digest from a channel that cannot desynchronize
+    /// them (e.g. both travel inside one in-process structure). Data that
+    /// crossed an untrusted serialization boundary must be verified with
+    /// [`HmacKey::verify`] instead.
+    pub fn verify_inner(&self, inner: &Digest, tag: &[u8]) -> bool {
+        let mut outer = self.outer.clone();
+        outer.update(inner);
+        crate::ct_eq(&outer.finalize(), tag)
+    }
 }
 
 /// Incremental HMAC-SHA256 computation.
@@ -124,6 +144,20 @@ impl HmacSha256 {
         let inner_digest = self.inner.finalize();
         self.outer.update(&inner_digest);
         self.outer.finalize()
+    }
+
+    /// Finalizes and returns `(inner digest, tag)`.
+    ///
+    /// The inner digest is the SHA-256 of `ipad-block || message` — the
+    /// commitment the outer transform signs. Callers that hand both values
+    /// to a verifier over a tamper-proof channel let it check the tag with
+    /// [`HmacKey::verify_inner`] in one compression instead of re-hashing
+    /// the whole message; see that method for the trust boundary this
+    /// implies.
+    pub fn finalize_with_inner(mut self) -> (Digest, Digest) {
+        let inner_digest = self.inner.finalize();
+        self.outer.update(&inner_digest);
+        (inner_digest, self.outer.finalize())
     }
 
     /// One-shot MAC of `data` under `key`.
@@ -274,5 +308,46 @@ mod tests {
     fn verify_rejects_truncated_tag() {
         let tag = HmacSha256::mac(b"k", b"m");
         assert!(!HmacSha256::verify(b"k", b"m", &tag[..16]));
+    }
+
+    #[test]
+    fn finalize_with_inner_matches_plain_finalize() {
+        for msg_len in [0usize, 1, 55, 56, 64, 200, 4096] {
+            let msg = vec![0xa7u8; msg_len];
+            let key = HmacKey::new(b"folded-frame-secret");
+            let mut h = key.hasher();
+            h.update(&msg);
+            let (inner, tag) = h.finalize_with_inner();
+            assert_eq!(tag, key.mac(&msg), "msg {msg_len}");
+            // The inner digest really is outer's preimage: the outer
+            // transform over it reproduces the tag.
+            assert!(key.verify_inner(&inner, &tag), "msg {msg_len}");
+        }
+    }
+
+    #[test]
+    fn verify_inner_rejects_wrong_key_and_tampered_commitment() {
+        let key = HmacKey::new(b"right-key");
+        let mut h = key.hasher();
+        h.update(b"message");
+        let (inner, tag) = h.finalize_with_inner();
+
+        // A tag produced under a different key does not pass the outer
+        // check, even with its own consistent inner digest.
+        let other = HmacKey::new(b"wrong-key");
+        let mut h = other.hasher();
+        h.update(b"message");
+        let (other_inner, other_tag) = h.finalize_with_inner();
+        assert!(!key.verify_inner(&other_inner, &other_tag));
+        assert!(!other.verify_inner(&inner, &tag));
+
+        // A flipped bit in either half is caught.
+        let mut bad_inner = inner;
+        bad_inner[0] ^= 1;
+        assert!(!key.verify_inner(&bad_inner, &tag));
+        let mut bad_tag = tag;
+        bad_tag[31] ^= 1;
+        assert!(!key.verify_inner(&inner, &bad_tag));
+        assert!(!key.verify_inner(&inner, &tag[..16]));
     }
 }

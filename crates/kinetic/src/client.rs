@@ -8,8 +8,13 @@
 //! response collection (paper §3.1 "Kinetic library" and §4.3).
 //!
 //! The "network" between client and drive is the in-process
-//! [`KineticDrive::handle_frame`] call; the frames exchanged are exactly the
-//! authenticated protocol envelopes a real deployment would put on the wire.
+//! [`KineticDrive::handle_envelope`] call, exchanging vectored frames
+//! ([`VectoredEnvelope`]): the authenticated envelopes are structurally and
+//! cryptographically identical to the byte frames a real deployment would
+//! put on the wire (materializing one with [`VectoredEnvelope::encode`]
+//! yields exactly those bytes, property-tested), but in process the payload
+//! crosses as a shared buffer and the frame tag is checked with the folded
+//! outer-transform verification — see the [`crate::protocol`] docs.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -20,7 +25,7 @@ use pesos_crypto::hmac::HmacKey;
 use crate::drive::KineticDrive;
 use crate::error::KineticError;
 use crate::protocol::{
-    AccountSpec, Command, CommandBody, Envelope, MessageType, Payload, StatusCode,
+    AccountSpec, Command, CommandBody, Envelope, MessageType, Payload, StatusCode, VectoredEnvelope,
 };
 
 /// Configuration of a client session.
@@ -81,15 +86,17 @@ impl AsyncHandle {
     }
 }
 
-type Job = (Vec<u8>, Sender<Result<Command, KineticError>>);
+type Job = (VectoredEnvelope, Sender<Result<Command, KineticError>>);
 
 /// A client session bound to one drive.
 ///
 /// The HMAC key schedule for the session secret is run once at connect time
-/// and shared with the service threads, so the two MACs the client computes
-/// per exchange (request seal, response verify) clone a cached midstate —
-/// the per-message schedule cost the seed paid on all four MACs of every
-/// drive exchange is gone.
+/// and shared with the service threads. Per exchange the client pays one
+/// streaming MAC pass to seal the request (cached midstates, vectored
+/// chunks) and a single outer compression to verify the response tag; the
+/// request-side re-hash happens on the drive — in this simulation also as
+/// one outer compression, since the chunks cross the boundary by reference
+/// (protocol module docs).
 pub struct KineticClient {
     drive: Arc<KineticDrive>,
     config: ClientConfig,
@@ -126,8 +133,8 @@ impl KineticClient {
             std::thread::Builder::new()
                 .name(format!("kinetic-svc-{}-{i}", drive.id()))
                 .spawn(move || {
-                    while let Ok((frame, done)) = rx.recv() {
-                        let result = Self::exchange_frame(&drive, &mac_key, &frame);
+                    while let Ok((envelope, done)) = rx.recv() {
+                        let result = Self::exchange_envelope(&drive, &mac_key, &envelope);
                         in_flight.fetch_sub(1, Ordering::SeqCst);
                         let _ = done.send(result);
                     }
@@ -172,24 +179,28 @@ impl KineticClient {
         cmd
     }
 
-    fn exchange_frame(
+    /// Performs one request/response exchange over the in-process vectored
+    /// frame path: no wire bytes are materialized, payloads cross by shared
+    /// buffer, and the response tag is checked with the folded
+    /// outer-transform verification.
+    fn exchange_envelope(
         drive: &KineticDrive,
         mac_key: &HmacKey,
-        frame: &[u8],
+        envelope: &VectoredEnvelope,
     ) -> Result<Command, KineticError> {
-        let resp_frame = drive.handle_frame(frame);
-        let envelope = Envelope::decode(&resp_frame)?;
+        let response = drive.handle_envelope(envelope);
         // Responses are authenticated with the session secret; an error
         // response produced before authentication uses an empty secret.
-        let response = envelope
-            .open_with(mac_key)
-            .or_else(|_| envelope.open_with(empty_secret_key()))?;
-        Ok(response)
+        if response.verified_by(mac_key) || response.verified_by(empty_secret_key()) {
+            Ok(response.into_command())
+        } else {
+            Err(KineticError::AuthenticationFailed)
+        }
     }
 
-    fn exchange(&self, command: &Command) -> Result<Command, KineticError> {
-        let frame = Envelope::seal_with(self.config.identity, &self.mac_key, command).encode();
-        Self::exchange_frame(&self.drive, &self.mac_key, &frame)
+    fn exchange(&self, command: Command) -> Result<Command, KineticError> {
+        let envelope = Envelope::seal_vectored(self.config.identity, &self.mac_key, command);
+        Self::exchange_envelope(&self.drive, &self.mac_key, &envelope)
     }
 
     fn check_success(response: Command) -> Result<Command, KineticError> {
@@ -206,7 +217,7 @@ impl KineticClient {
     /// Sends a `Noop` (keep-alive / latency probe).
     pub fn noop(&self) -> Result<(), KineticError> {
         let cmd = self.next_command(MessageType::Noop);
-        Self::check_success(self.exchange(&cmd)?).map(|_| ())
+        Self::check_success(self.exchange(cmd)?).map(|_| ())
     }
 
     /// Stores `value` under `key` with compare-and-swap semantics.
@@ -227,14 +238,14 @@ impl KineticClient {
             force,
             ..CommandBody::default()
         };
-        Self::check_success(self.exchange(&cmd)?).map(|_| ())
+        Self::check_success(self.exchange(cmd)?).map(|_| ())
     }
 
     /// Retrieves the value and version stored under `key`.
     pub fn get(&self, key: &[u8]) -> Result<(Payload, Vec<u8>), KineticError> {
         let mut cmd = self.next_command(MessageType::Get);
         cmd.body.key = key.to_vec();
-        let resp = self.exchange(&cmd)?;
+        let resp = self.exchange(cmd)?;
         match resp.status.code {
             StatusCode::Success => Ok((resp.body.value, resp.body.db_version)),
             StatusCode::NotFound => Err(KineticError::NotFound),
@@ -256,7 +267,7 @@ impl KineticClient {
         cmd.body.key = key.to_vec();
         cmd.body.db_version = expected_version.to_vec();
         cmd.body.force = force;
-        let resp = self.exchange(&cmd)?;
+        let resp = self.exchange(cmd)?;
         match resp.status.code {
             StatusCode::Success => Ok(()),
             StatusCode::NotFound => Err(KineticError::NotFound),
@@ -268,6 +279,10 @@ impl KineticClient {
     }
 
     /// Returns up to `max` keys in `[start, end]`.
+    ///
+    /// `max == 0` means "no results" and yields an empty listing — the
+    /// limit travels explicitly on the wire, so the drive never substitutes
+    /// a default page size for it.
     pub fn key_range(
         &self,
         start: &[u8],
@@ -278,7 +293,7 @@ impl KineticClient {
         cmd.body.range_start = start.to_vec();
         cmd.body.range_end = end.to_vec();
         cmd.body.max_returned = max;
-        let resp = Self::check_success(self.exchange(&cmd)?)?;
+        let resp = Self::check_success(self.exchange(cmd)?)?;
         // Length-prefixed keys (see the drive's range handler): safe for
         // keys containing any byte.
         let bytes = &resp.body.value;
@@ -307,7 +322,7 @@ impl KineticClient {
     pub fn replace_accounts(&self, accounts: Vec<AccountSpec>) -> Result<(), KineticError> {
         let mut cmd = self.next_command(MessageType::Security);
         cmd.body.security_accounts = accounts;
-        Self::check_success(self.exchange(&cmd)?).map(|_| ())
+        Self::check_success(self.exchange(cmd)?).map(|_| ())
     }
 
     /// Runs device setup (cluster version change and/or erase).
@@ -315,14 +330,14 @@ impl KineticClient {
         let mut cmd = self.next_command(MessageType::Setup);
         cmd.body.setup_new_cluster_version = new_cluster_version;
         cmd.body.setup_erase = erase;
-        Self::check_success(self.exchange(&cmd)?).map(|_| ())
+        Self::check_success(self.exchange(cmd)?).map(|_| ())
     }
 
     /// Fetches the device log string.
     pub fn get_log(&self, log_type: &str) -> Result<String, KineticError> {
         let mut cmd = self.next_command(MessageType::GetLog);
         cmd.body.log_type = log_type.to_string();
-        let resp = Self::check_success(self.exchange(&cmd)?)?;
+        let resp = Self::check_success(self.exchange(cmd)?)?;
         String::from_utf8(resp.body.value.to_vec())
             .map_err(|_| KineticError::Malformed("log not UTF-8".into()))
     }
@@ -345,7 +360,7 @@ impl KineticClient {
             force,
             ..CommandBody::default()
         };
-        self.submit_async(&cmd)
+        self.submit_async(cmd)
     }
 
     /// Submits a DELETE asynchronously.
@@ -359,15 +374,17 @@ impl KineticClient {
         cmd.body.key = key.to_vec();
         cmd.body.db_version = expected_version.to_vec();
         cmd.body.force = force;
-        self.submit_async(&cmd)
+        self.submit_async(cmd)
     }
 
-    fn submit_async(&self, command: &Command) -> Result<AsyncHandle, KineticError> {
-        let frame = Envelope::seal_with(self.config.identity, &self.mac_key, command).encode();
+    fn submit_async(&self, command: Command) -> Result<AsyncHandle, KineticError> {
+        // Sealed on the submitting thread (the vectored seal is the only
+        // full pass over the frame); the service thread just exchanges it.
+        let envelope = Envelope::seal_vectored(self.config.identity, &self.mac_key, command);
         let (done_tx, done_rx) = bounded(1);
         self.in_flight.fetch_add(1, Ordering::SeqCst);
         self.job_tx
-            .send((frame, done_tx))
+            .send((envelope, done_tx))
             .map_err(|_| KineticError::ConnectionClosed)?;
         Ok(AsyncHandle { rx: done_rx })
     }
@@ -433,6 +450,26 @@ mod tests {
         let keys = client.key_range(b"p/", b"p/~", 100).unwrap();
         assert_eq!(keys, vec![b"p/1".to_vec(), b"p/2".to_vec()]);
         assert!(client.key_range(b"z", b"zz", 10).unwrap().is_empty());
+        // A zero limit means "no results", never the drive's default page.
+        assert!(client.key_range(b"p/", b"p/~", 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn zero_byte_object_round_trips() {
+        // Regression: a zero-length payload must stay a present, zero-length
+        // object through the put/get cycle — the old encoder dropped the
+        // empty value field, so presence depended on the payload size.
+        let (_drive, client) = connected();
+        client
+            .put(b"empty/object", Vec::new(), b"", b"v1", false)
+            .unwrap();
+        let (value, version) = client.get(b"empty/object").unwrap();
+        assert!(value.is_empty());
+        assert_eq!(version, b"v1");
+        // Distinct from a missing key.
+        assert_eq!(client.get(b"empty/missing"), Err(KineticError::NotFound));
+        client.delete(b"empty/object", b"v1", false).unwrap();
+        assert_eq!(client.get(b"empty/object"), Err(KineticError::NotFound));
     }
 
     #[test]

@@ -19,7 +19,9 @@ use pesos_crypto::{Certificate, CertificateBuilder, KeyPair};
 use crate::backend::{BackendKind, DriveBackend, HddModel};
 use crate::engine::{DriveEngine, EngineStats, StoredEntry};
 use crate::error::KineticError;
-use crate::protocol::{AccountSpec, Command, Envelope, MessageType, ResponseStatus, StatusCode};
+use crate::protocol::{
+    AccountSpec, Command, Envelope, MessageType, ResponseStatus, StatusCode, VectoredEnvelope,
+};
 
 /// Permission bits for drive operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -341,15 +343,76 @@ impl KineticDrive {
                 // Best-effort error response; authenticate it if we know the
                 // caller's key schedule, otherwise send it with an empty
                 // secret.
-                let mut resp = Command::request(MessageType::Response);
-                resp.status = ResponseStatus {
-                    code: err.status_code(),
-                    message: err.to_string(),
-                };
                 let key = identity_key.unwrap_or_else(|| Box::new(HmacKey::new(&[])));
-                Envelope::seal_with(0, &key, &resp).encode()
+                Envelope::seal_with(0, &key, &Self::error_response(&err)).encode()
             }
         }
+    }
+
+    fn error_response(err: &KineticError) -> Command {
+        let mut resp = Command::request(MessageType::Response);
+        resp.status = ResponseStatus {
+            code: err.status_code(),
+            message: err.to_string(),
+        };
+        resp
+    }
+
+    /// Processes one authenticated vectored frame — the in-process fast
+    /// path of [`KineticDrive::handle_frame`].
+    ///
+    /// No frame bytes are materialized on either side: the request's
+    /// payload chunk is the controller's shared buffer (the engine stores
+    /// that same buffer on a PUT, and a GET response carries the engine's
+    /// stored buffer back), and the frame tag is checked with the folded
+    /// outer-transform verification ([`VectoredEnvelope::verified_by`] —
+    /// one compression under this drive's own cached key schedule). A
+    /// wrong-secret sealer still fails authentication exactly like on the
+    /// bytes path; see the protocol module docs for why the full re-hash is
+    /// unnecessary inside one process.
+    pub fn handle_envelope(&self, envelope: &VectoredEnvelope) -> VectoredEnvelope {
+        match self.handle_envelope_inner(envelope) {
+            Ok(response) => response,
+            Err((identity_key, err)) => {
+                let key = identity_key.unwrap_or_else(|| Box::new(HmacKey::new(&[])));
+                Envelope::seal_vectored(0, &key, Self::error_response(&err))
+            }
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn handle_envelope_inner(
+        &self,
+        envelope: &VectoredEnvelope,
+    ) -> Result<VectoredEnvelope, (Option<Box<HmacKey>>, KineticError)> {
+        if !self.is_online() {
+            return Err((
+                None,
+                KineticError::DriveUnavailable(format!("drive {} offline", self.config.id)),
+            ));
+        }
+        let account = {
+            let security = self.security.read();
+            security.account(envelope.identity()).cloned()
+        };
+        let account = account.ok_or_else(|| {
+            (
+                None,
+                KineticError::NotAuthorized(format!("unknown identity {}", envelope.identity())),
+            )
+        })?;
+        if !envelope.verified_by(account.mac_key()) {
+            return Err((
+                Some(Box::new(account.mac_key().clone())),
+                KineticError::AuthenticationFailed,
+            ));
+        }
+        let response = self.execute(&account, envelope.command());
+        Ok(Envelope::seal_vectored(
+            envelope.identity(),
+            account.mac_key(),
+            response,
+        ))
     }
 
     #[allow(clippy::type_complexity)]
@@ -492,11 +555,11 @@ impl KineticDrive {
         if !account.allows(Permission::Range) {
             return Self::deny(command, "range");
         }
-        let max = if command.body.max_returned == 0 {
-            200
-        } else {
-            command.body.max_returned as usize
-        };
+        // `max_returned` is taken literally: zero means "return no keys".
+        // The encoder carries the field explicitly even when zero, so a
+        // zero limit can no longer decode as "absent" and silently become
+        // a default page size.
+        let max = command.body.max_returned as usize;
         let keys =
             self.engine
                 .lock()
@@ -794,6 +857,7 @@ mod tests {
         let mut range = Command::request(MessageType::GetKeyRange);
         range.body.range_start = b"a/".to_vec();
         range.body.range_end = b"a/~".to_vec();
+        range.body.max_returned = 100;
         let resp = roundtrip(&d, &range);
         assert_eq!(resp.status.code, StatusCode::Success);
         let mut keys = Vec::new();
@@ -808,6 +872,130 @@ mod tests {
             offset += len;
         }
         assert_eq!(keys, vec!["a/1", "a/2", "a/x\ny"]);
+    }
+
+    #[test]
+    fn range_with_zero_max_returned_returns_no_keys() {
+        // `max_returned == 0` is honoured literally, not replaced by a
+        // default page size: the response carries zero keys. Regression
+        // for the presence bug where the zero was dropped on encode and
+        // the drive substituted a 200-key page.
+        let d = drive();
+        for k in ["r/1", "r/2", "r/3"] {
+            let mut put = Command::request(MessageType::Put);
+            put.body.key = k.as_bytes().to_vec();
+            put.body.value = b"v".into();
+            put.body.new_version = b"1".to_vec();
+            assert_eq!(roundtrip(&d, &put).status.code, StatusCode::Success);
+        }
+        let mut range = Command::request(MessageType::GetKeyRange);
+        range.body.range_start = b"r/".to_vec();
+        range.body.range_end = b"r/~".to_vec();
+        range.body.max_returned = 0;
+        let resp = roundtrip(&d, &range);
+        assert_eq!(resp.status.code, StatusCode::Success);
+        assert!(
+            resp.body.value.is_empty(),
+            "max_returned=0 must return no keys, got {} payload bytes",
+            resp.body.value.len()
+        );
+        // A non-zero limit still pages.
+        range.body.max_returned = 2;
+        let resp = roundtrip(&d, &range);
+        assert_eq!(resp.status.code, StatusCode::Success);
+        assert!(!resp.body.value.is_empty());
+    }
+
+    #[test]
+    fn vectored_exchange_matches_frame_exchange() {
+        // The vectored fast path and the serialized frame path must agree
+        // on the response for the same request.
+        let d = drive();
+        let secret = d.account_secret(1).unwrap();
+        let key = HmacKey::new(&secret);
+
+        let mut put = Command::request(MessageType::Put);
+        put.body.key = b"vec".to_vec();
+        put.body.value = b"payload".into();
+        put.body.new_version = b"1".to_vec();
+        let resp = d.handle_envelope(&Envelope::seal_vectored(1, &key, put));
+        assert!(resp.verified_by(&key));
+        assert_eq!(resp.command().status.code, StatusCode::Success);
+
+        let mut get = Command::request(MessageType::Get);
+        get.body.key = b"vec".to_vec();
+        let via_env = d
+            .handle_envelope(&Envelope::seal_vectored(1, &key, get.clone()))
+            .into_command();
+        let frame = Envelope::seal_with(1, &key, &get).encode();
+        let via_frame = Envelope::decode(&d.handle_frame(&frame))
+            .unwrap()
+            .open_with(&key)
+            .unwrap();
+        assert_eq!(via_env, via_frame);
+        assert_eq!(via_env.body.value, b"payload");
+    }
+
+    #[test]
+    fn vectored_exchange_rejects_wrong_secret_and_unknown_identity() {
+        let d = drive();
+        let noop = Command::request(MessageType::Noop);
+
+        let wrong = Envelope::seal_vectored(1, &HmacKey::new(b"wrong-secret"), noop.clone());
+        let resp = d.handle_envelope(&wrong);
+        assert_eq!(resp.command().status.code, StatusCode::HmacFailure);
+        // The error response is sealed with the account's real key, as on
+        // the bytes path.
+        assert!(resp.verified_by(&HmacKey::new(b"asdfasdf")));
+
+        let unknown = Envelope::seal_vectored(99, &HmacKey::new(b"whatever"), noop);
+        let resp = d.handle_envelope(&unknown);
+        assert_eq!(resp.command().status.code, StatusCode::NotAuthorized);
+        assert!(resp.verified_by(&HmacKey::new(&[])));
+
+        d.set_online(false);
+        let resp = d.handle_envelope(&Envelope::seal_vectored(
+            1,
+            &HmacKey::new(b"asdfasdf"),
+            Command::request(MessageType::Noop),
+        ));
+        assert_eq!(resp.command().status.code, StatusCode::NotAttempted);
+    }
+
+    #[test]
+    fn vectored_put_stores_the_shared_payload_buffer() {
+        // The one-copy story, pinned at the strongest point: the buffer the
+        // engine ends up storing *is* the caller's payload allocation — the
+        // whole wire path moved it by reference count only. (The simulated
+        // enclave-boundary copy is charged by the controller's cost model,
+        // not paid here.)
+        use crate::protocol::Payload;
+        let d = drive();
+        let key = HmacKey::new(b"asdfasdf");
+        let payload: Payload = vec![42u8; 1024].into();
+        let mut put = Command::request(MessageType::Put);
+        put.body.key = b"shared".to_vec();
+        put.body.value = payload.clone();
+        put.body.new_version = b"1".to_vec();
+        let resp = d.handle_envelope(&Envelope::seal_vectored(1, &key, put));
+        assert_eq!(resp.command().status.code, StatusCode::Success);
+        let stored = d.peek(b"shared").unwrap();
+        assert!(
+            std::sync::Arc::ptr_eq(stored.value.as_arc(), payload.as_arc()),
+            "engine stored a copy instead of the shared payload buffer"
+        );
+
+        // And the read path hands the stored buffer back, again by
+        // reference.
+        let mut get = Command::request(MessageType::Get);
+        get.body.key = b"shared".to_vec();
+        let got = d
+            .handle_envelope(&Envelope::seal_vectored(1, &key, get))
+            .into_command();
+        assert!(std::sync::Arc::ptr_eq(
+            got.body.value.as_arc(),
+            payload.as_arc()
+        ));
     }
 
     #[test]

@@ -11,7 +11,12 @@
 //!
 //! This crate rebuilds that stack:
 //!
-//! * [`protocol`] — the message model and its protobuf-style encoding.
+//! * [`protocol`] — the message model, its protobuf-style encoding, and
+//!   the vectored frame representation ([`VectoredEnvelope`]): scatter-
+//!   gather chunks around a borrowed payload, sealed with one streaming
+//!   frame HMAC, so the in-process exchange moves object payloads without
+//!   copying or re-hashing them (the module docs carry the wire-format and
+//!   security argument).
 //! * [`engine`] — the key-value engine inside a drive (versioned entries,
 //!   range scans, capacity accounting).
 //! * [`backend`] — the timing model: an in-memory *simulator* backend
@@ -42,4 +47,7 @@ pub use cluster::DriveSet;
 pub use drive::{AccessControl, Account, DriveConfig, KineticDrive, Permission};
 pub use engine::{DriveEngine, EngineStats, StoredEntry};
 pub use error::KineticError;
-pub use protocol::{Command, CommandBody, MessageType, Payload, ResponseStatus, StatusCode};
+pub use protocol::{
+    AccountSpec, Command, CommandBody, Envelope, MessageType, Payload, ResponseStatus, StatusCode,
+    VectoredCommand, VectoredEnvelope,
+};

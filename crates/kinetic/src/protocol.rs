@@ -18,13 +18,68 @@
 //!
 //! Only the fields the Pesos controller actually uses are modelled, but the
 //! decoder skips unknown fields so the format can grow.
+//!
+//! # Field presence
+//!
+//! `value`, `db_version`, `new_version` and `max_returned` are emitted
+//! unconditionally, including when empty or zero. Earlier encoders dropped
+//! empty fields, which silently changed meaning on decode: a zero-length
+//! object payload became "absent", and a `GetKeyRange` with
+//! `max_returned == 0` lost the field and had the drive substitute its
+//! default page size. With unconditional emission, empty-but-present
+//! round-trips and `max_returned == 0` travels as an explicit zero (the
+//! drive honours it as "return no keys"). The remaining optional fields
+//! (`key`, ranges, strings, booleans) keep presence-by-non-emptiness: for
+//! them, empty and absent genuinely mean the same thing.
+//!
+//! # Vectored frames
+//!
+//! [`Command::encode_vectored`] splits the command encoding into three
+//! chunks — everything before the payload bytes, the *borrowed* payload
+//! ([`Payload`] reference-count bump, no copy), everything after — whose
+//! concatenation is byte-identical to [`Command::encode`] (pinned by a
+//! property test; the legacy monolithic encoder is kept untouched precisely
+//! to serve as that oracle). [`Envelope::seal_vectored`] computes the frame
+//! HMAC in one streaming pass over the chunk sequence with the session's
+//! cached [`HmacKey`] midstates and yields a [`VectoredEnvelope`];
+//! [`VectoredEnvelope::encode`] is a scatter-gather writer that gathers the
+//! chunks straight into the output frame, so materializing a wire frame
+//! copies the payload exactly once. On the in-process client↔drive path the
+//! frame is never materialized at all: the envelope is handed to
+//! [`crate::drive::KineticDrive::handle_envelope`] and the payload travels
+//! from the sealing controller into the drive engine as one shared buffer.
+//!
+//! ## HMAC over the concatenation, folded verification
+//!
+//! The frame HMAC authenticates the concatenation of the chunks — the same
+//! bytes the legacy path MACs, so tags and wire frames are byte-identical.
+//! Because HMAC is `outer(inner(message))`, sealing records the inner
+//! digest next to the tag, and an in-process receiver verifies with
+//! [`HmacKey::verify_inner`]: one compression re-running the outer
+//! transform under *its own* key schedule. That check proves the tag was
+//! produced under the shared session secret and is bound to the inner
+//! commitment. It deliberately does not re-hash the message: inside one
+//! process the chunks and the digest travel in the same immutable structure
+//! and cannot desynchronize, which is exactly the trusted-boundary story —
+//! in a real deployment the re-hash happens on the drive's own processor,
+//! not on the controller's. Any frame that crosses a *serialized* boundary
+//! ([`Envelope::decode`] on received bytes) is still verified with the full
+//! two-pass [`Envelope::open_with`], so tampered or wrong-secret byte
+//! frames are rejected exactly as before.
 
 use std::sync::Arc;
 
 use pesos_crypto::hmac::HmacKey;
-use pesos_wire::codec::{FieldReader, FieldWriter};
+use pesos_crypto::Digest;
+use pesos_wire::codec::{write_varint, FieldReader, FieldWriter};
 
 use crate::error::KineticError;
+
+/// Protobuf tag byte prelude for a length-delimited field.
+fn length_delimited_tag(out: &mut Vec<u8>, field: u32, len: usize) {
+    write_varint(out, ((field as u64) << 3) | 2);
+    write_varint(out, len as u64);
+}
 
 /// Operation types (mirrors the Kinetic `MessageType` enum).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -379,15 +434,13 @@ impl Command {
         if !b.key.is_empty() {
             body.bytes(1, &b.key);
         }
-        if !b.value.is_empty() {
-            body.bytes(2, &b.value);
-        }
-        if !b.db_version.is_empty() {
-            body.bytes(3, &b.db_version);
-        }
-        if !b.new_version.is_empty() {
-            body.bytes(4, &b.new_version);
-        }
+        // value, db_version, new_version and max_returned are emitted even
+        // when empty/zero: dropping them would turn a present-but-empty
+        // payload into "absent" and a zero page limit into the drive's
+        // default page size (see the module docs on field presence).
+        body.bytes(2, &b.value);
+        body.bytes(3, &b.db_version);
+        body.bytes(4, &b.new_version);
         if b.force {
             body.boolean(5, true);
         }
@@ -397,9 +450,7 @@ impl Command {
         if !b.range_end.is_empty() {
             body.bytes(7, &b.range_end);
         }
-        if b.max_returned != 0 {
-            body.uint64(8, b.max_returned as u64);
-        }
+        body.uint64(8, b.max_returned as u64);
         if !b.p2p_target.is_empty() {
             body.string(9, &b.p2p_target);
         }
@@ -539,6 +590,139 @@ impl Command {
         }
         Ok(cmd)
     }
+
+    /// Encodes the command as scatter-gather chunks: everything before the
+    /// payload bytes, the payload itself as a *borrowed* [`Payload`]
+    /// (reference-count bump, no copy), and everything after.
+    ///
+    /// The concatenation `head || value || tail` is byte-identical to
+    /// [`Command::encode`] — the legacy monolithic encoder is deliberately
+    /// kept as an independent implementation so the property tests can use
+    /// it as the equivalence oracle. This method is written against the raw
+    /// varint primitives rather than sharing helpers with `encode`, so a
+    /// bug cannot hide in code common to both.
+    pub fn encode_vectored(&self) -> VectoredCommand {
+        let mut header = FieldWriter::new();
+        header
+            .uint64(1, self.connection_id)
+            .uint64(2, self.sequence)
+            .uint64(3, self.message_type.to_u64())
+            .uint64(4, self.cluster_version)
+            .uint64(5, self.ack_sequence);
+
+        let b = &self.body;
+        // Body fields that precede the value (field 2).
+        let mut body_head = FieldWriter::new();
+        if !b.key.is_empty() {
+            body_head.bytes(1, &b.key);
+        }
+        // Body fields that follow the value, in field order (the same
+        // unconditional-presence rules as `encode`; see the module docs).
+        let mut body_tail = FieldWriter::new();
+        body_tail.bytes(3, &b.db_version).bytes(4, &b.new_version);
+        if b.force {
+            body_tail.boolean(5, true);
+        }
+        if !b.range_start.is_empty() {
+            body_tail.bytes(6, &b.range_start);
+        }
+        if !b.range_end.is_empty() {
+            body_tail.bytes(7, &b.range_end);
+        }
+        body_tail.uint64(8, b.max_returned as u64);
+        if !b.p2p_target.is_empty() {
+            body_tail.string(9, &b.p2p_target);
+        }
+        if let Some(v) = b.setup_new_cluster_version {
+            body_tail.uint64(10, v);
+        }
+        if b.setup_erase {
+            body_tail.boolean(11, true);
+        }
+        if !b.log_type.is_empty() {
+            body_tail.string(12, &b.log_type);
+        }
+        for account in &b.security_accounts {
+            let mut acc = FieldWriter::new();
+            acc.sint64(1, account.identity)
+                .bytes(2, &account.secret)
+                .uint64(3, account.permissions as u64);
+            body_tail.message(13, &acc);
+        }
+
+        let mut status = FieldWriter::new();
+        status.uint64(1, self.status.code.to_u64());
+        if !self.status.message.is_empty() {
+            status.string(2, &self.status.message);
+        }
+
+        // The value field's own tag and length prefix sit at the end of the
+        // head chunk, so the borrowed payload slice is the entire middle
+        // chunk. The body message length covers head fields, the value
+        // field (tag + length prefix + bytes) and tail fields; it is
+        // computed arithmetically — nothing here touches the payload bytes.
+        let mut value_prefix = Vec::with_capacity(8);
+        length_delimited_tag(&mut value_prefix, 2, b.value.len());
+        let body_len = body_head.len() + value_prefix.len() + b.value.len() + body_tail.len();
+
+        let mut head = Vec::with_capacity(header.len() + body_head.len() + value_prefix.len() + 16);
+        length_delimited_tag(&mut head, 1, header.len());
+        head.extend_from_slice(header.as_bytes());
+        length_delimited_tag(&mut head, 2, body_len);
+        head.extend_from_slice(body_head.as_bytes());
+        head.extend_from_slice(&value_prefix);
+
+        let mut tail = body_tail.finish();
+        let status_bytes = status.finish();
+        length_delimited_tag(&mut tail, 3, status_bytes.len());
+        tail.extend_from_slice(&status_bytes);
+
+        VectoredCommand {
+            head,
+            value: b.value.clone(),
+            tail,
+        }
+    }
+}
+
+/// A command encoded as scatter-gather chunks.
+///
+/// `head || value || tail` is the exact byte sequence [`Command::encode`]
+/// produces; the `value` chunk is the shared [`Payload`] buffer, never
+/// copied. Produced by [`Command::encode_vectored`].
+#[derive(Debug, Clone)]
+pub struct VectoredCommand {
+    /// Header message, body tag and length, body fields before the value,
+    /// and the value field's tag and length prefix.
+    head: Vec<u8>,
+    /// The payload bytes (field 2 of the body), shared by reference count.
+    value: Payload,
+    /// Body fields after the value, and the status message.
+    tail: Vec<u8>,
+}
+
+impl VectoredCommand {
+    /// The chunk sequence, in frame order.
+    pub fn chunks(&self) -> [&[u8]; 3] {
+        [&self.head, &self.value, &self.tail]
+    }
+
+    /// Total encoded length of the command.
+    pub fn encoded_len(&self) -> usize {
+        self.head.len() + self.value.len() + self.tail.len()
+    }
+
+    /// Materializes the contiguous command encoding (one copy of every
+    /// chunk, including the payload). Only needed when command bytes must
+    /// actually leave the process; equality with [`Command::encode`] is
+    /// pinned by property test.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        for chunk in self.chunks() {
+            out.extend_from_slice(chunk);
+        }
+        out
+    }
 }
 
 /// The authenticated envelope around a command: identity + HMAC + bytes.
@@ -570,6 +754,28 @@ impl Envelope {
             identity,
             hmac,
             command_bytes,
+        }
+    }
+
+    /// Wraps and authenticates a command as a [`VectoredEnvelope`]: the
+    /// frame HMAC is computed in one streaming pass over the vectored
+    /// chunk sequence (cached `key` midstates, payload borrowed, no
+    /// intermediate `command_bytes` buffer), folding the legacy path's
+    /// separate encode and MAC passes — and, via the recorded inner digest,
+    /// the in-process receiver's re-hash — into that single pass.
+    pub fn seal_vectored(identity: i64, key: &HmacKey, command: Command) -> VectoredEnvelope {
+        let frame = command.encode_vectored();
+        let mut hasher = key.hasher();
+        for chunk in frame.chunks() {
+            hasher.update(chunk);
+        }
+        let (inner, hmac) = hasher.finalize_with_inner();
+        VectoredEnvelope {
+            identity,
+            hmac,
+            inner,
+            frame,
+            command,
         }
     }
 
@@ -622,6 +828,73 @@ impl Envelope {
             hmac,
             command_bytes,
         })
+    }
+}
+
+/// An authenticated frame in scatter-gather form: the in-process
+/// representation of a wire frame.
+///
+/// Created by [`Envelope::seal_vectored`]. The command travels alongside
+/// its encoded chunks (the payload is the same shared [`Payload`] buffer in
+/// both), so the in-process receiver neither re-decodes nor copies
+/// anything. [`VectoredEnvelope::encode`] materializes the byte-identical
+/// legacy frame when bytes are actually needed. See the module docs for the
+/// folded-verification security argument and its trust boundary.
+#[derive(Debug, Clone)]
+pub struct VectoredEnvelope {
+    identity: i64,
+    /// HMAC-SHA256 over `head || value || tail` — the same tag the legacy
+    /// [`Envelope::seal_with`] computes over `command_bytes`.
+    hmac: Digest,
+    /// The inner digest of that HMAC (`sha256(ipad-block || frame bytes)`),
+    /// recorded at seal time so an in-process receiver can verify the tag
+    /// with one outer compression ([`HmacKey::verify_inner`]).
+    inner: Digest,
+    frame: VectoredCommand,
+    command: Command,
+}
+
+impl VectoredEnvelope {
+    /// The numeric identity of the issuer.
+    pub fn identity(&self) -> i64 {
+        self.identity
+    }
+
+    /// The frame authentication tag.
+    pub fn hmac(&self) -> &Digest {
+        &self.hmac
+    }
+
+    /// The sealed command.
+    pub fn command(&self) -> &Command {
+        &self.command
+    }
+
+    /// Consumes the envelope, returning the sealed command.
+    pub fn into_command(self) -> Command {
+        self.command
+    }
+
+    /// Verifies the frame tag against `key` without re-hashing the frame:
+    /// one compression re-runs the outer HMAC transform over the recorded
+    /// inner digest. Sound only because the chunks and the digest travel
+    /// together inside one process (module docs); serialized frames must go
+    /// through [`Envelope::open_with`].
+    pub fn verified_by(&self, key: &HmacKey) -> bool {
+        key.verify_inner(&self.inner, &self.hmac)
+    }
+
+    /// The scatter-gather frame writer: materializes the wire frame by
+    /// gathering identity, tag and the command chunks straight into one
+    /// output buffer — the payload is copied exactly once, here, and
+    /// nowhere else on the encode path. Byte-identical to
+    /// `Envelope::seal_with(..).encode()` (property-tested).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = FieldWriter::with_capacity(self.frame.encoded_len() + 48);
+        w.sint64(1, self.identity)
+            .bytes(2, &self.hmac)
+            .bytes_from_parts(3, &self.frame.chunks());
+        w.finish()
     }
 }
 
@@ -735,6 +1008,116 @@ mod tests {
         let mut env = Envelope::seal(1, b"secret", &cmd);
         env.command_bytes[0] ^= 0x1;
         assert_eq!(env.open(b"secret"), Err(KineticError::AuthenticationFailed));
+    }
+
+    #[test]
+    fn empty_value_and_versions_round_trip_as_present() {
+        // A zero-length payload (or version field) must stay a zero-length
+        // payload across encode/decode, not silently become "absent": the
+        // fields are emitted unconditionally.
+        let mut cmd = Command::request(MessageType::Put);
+        cmd.body.key = b"zero/byte".to_vec();
+        cmd.body.value = Payload::new();
+        cmd.body.db_version = Vec::new();
+        cmd.body.new_version = Vec::new();
+        let encoded = cmd.encode();
+        let decoded = Command::decode(&encoded).unwrap();
+        assert_eq!(decoded, cmd);
+        assert!(decoded.body.value.is_empty());
+        // The body message really carries the three fields explicitly.
+        let fields = FieldReader::new(&encoded).collect_fields().unwrap();
+        let body = fields.iter().find(|f| f.number == 2).unwrap();
+        let body_fields: Vec<u32> = FieldReader::new(body.data)
+            .collect_fields()
+            .unwrap()
+            .iter()
+            .map(|f| f.number)
+            .collect();
+        for field in [2u32, 3, 4] {
+            assert!(body_fields.contains(&field), "field {field} dropped");
+        }
+    }
+
+    #[test]
+    fn max_returned_zero_is_encoded_explicitly() {
+        let mut cmd = Command::request(MessageType::GetKeyRange);
+        cmd.body.range_start = b"a".to_vec();
+        cmd.body.range_end = b"z".to_vec();
+        cmd.body.max_returned = 0;
+        let decoded = Command::decode(&cmd.encode()).unwrap();
+        assert_eq!(decoded.body.max_returned, 0);
+        assert_eq!(decoded, cmd);
+    }
+
+    fn command_shapes() -> Vec<Command> {
+        let mut shapes = vec![sample_command(), Command::request(MessageType::Noop)];
+        let mut zero = Command::request(MessageType::Put);
+        zero.body.key = b"zero".to_vec();
+        shapes.push(zero);
+        let mut range = Command::request(MessageType::GetKeyRange);
+        range.body.range_start = b"a/".to_vec();
+        range.body.range_end = b"a/~".to_vec();
+        range.body.max_returned = 0;
+        shapes.push(range);
+        let mut security = Command::request(MessageType::Security);
+        security.body.security_accounts = vec![AccountSpec {
+            identity: -3,
+            secret: b"s".to_vec(),
+            permissions: 0x7,
+        }];
+        shapes.push(security);
+        let mut setup = Command::request(MessageType::Setup);
+        setup.body.setup_new_cluster_version = Some(11);
+        setup.body.setup_erase = true;
+        shapes.push(setup);
+        let mut resp = Command::response_to(&sample_command(), StatusCode::NotFound, "missing");
+        resp.body.value = b"payload".into();
+        shapes.push(resp);
+        shapes
+    }
+
+    #[test]
+    fn vectored_encode_matches_legacy_encode() {
+        for cmd in command_shapes() {
+            let legacy = cmd.encode();
+            let vectored = cmd.encode_vectored();
+            assert_eq!(vectored.to_bytes(), legacy, "{:?}", cmd.message_type);
+            assert_eq!(vectored.encoded_len(), legacy.len());
+            // The middle chunk is the payload buffer itself, not a copy.
+            assert!(Arc::ptr_eq(
+                cmd.body.value.as_arc(),
+                vectored.value.as_arc()
+            ));
+        }
+    }
+
+    #[test]
+    fn vectored_envelope_matches_legacy_envelope() {
+        let key = HmacKey::new(b"secret");
+        for cmd in command_shapes() {
+            let legacy = Envelope::seal_with(1, &key, &cmd);
+            let vectored = Envelope::seal_vectored(1, &key, cmd.clone());
+            // Same tag, byte-identical materialized frame.
+            assert_eq!(vectored.hmac()[..], legacy.hmac[..]);
+            assert_eq!(vectored.encode(), legacy.encode());
+            // The folded verification accepts the right key and rejects a
+            // wrong one.
+            assert!(vectored.verified_by(&key));
+            assert!(!vectored.verified_by(&HmacKey::new(b"wrong")));
+            // The carried command is the sealed command.
+            assert_eq!(vectored.command(), &cmd);
+            assert_eq!(vectored.into_command(), cmd);
+        }
+    }
+
+    #[test]
+    fn vectored_frame_decodes_through_the_legacy_path() {
+        let key = HmacKey::new(b"secret");
+        let cmd = sample_command();
+        let frame = Envelope::seal_vectored(7, &key, cmd.clone()).encode();
+        let envelope = Envelope::decode(&frame).unwrap();
+        assert_eq!(envelope.identity, 7);
+        assert_eq!(envelope.open_with(&key).unwrap(), cmd);
     }
 
     #[test]
