@@ -13,10 +13,10 @@ fn run_cluster(controllers: usize, ops: usize) {
     let mut controller_config = ControllerConfig::sgx_disk(1);
     controller_config.syscall_threads = 8;
     let cluster = Arc::new(
-        ControllerCluster::new(ClusterConfig {
+        ControllerCluster::new(ClusterConfig::with_controller(
             controllers,
-            controller: controller_config,
-        })
+            controller_config,
+        ))
         .expect("cluster bootstrap"),
     );
     let spec = WorkloadSpec {

@@ -1,0 +1,49 @@
+//! Rebalance-drain micro-benchmark: how fast a joining controller's hash
+//! range drains, serial key-at-a-time vs the bounded-concurrency parallel
+//! drain, on the disk model where simulated drive service time makes the
+//! overlap visible.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pesos_cluster::{ClusterConfig, ControllerCluster};
+use pesos_core::ControllerConfig;
+
+fn drain_once(controllers: usize, drain_concurrency: usize, keys: usize) {
+    let mut controller_config = ControllerConfig::sgx_disk(1);
+    controller_config.syscall_threads = 8;
+    let mut cluster_config = ClusterConfig::with_controller(controllers, controller_config);
+    cluster_config.drain_concurrency = drain_concurrency;
+    let cluster = Arc::new(ControllerCluster::new(cluster_config).expect("cluster bootstrap"));
+    cluster.register_client("bench");
+    for i in 0..keys {
+        cluster
+            .put(
+                "bench",
+                &format!("d/k{i:04}"),
+                vec![7u8; 128],
+                None,
+                None,
+                &[],
+            )
+            .expect("load");
+    }
+    let grown = cluster.add_controller().expect("rebalance");
+    assert_eq!(grown, controllers + 1);
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_rebalance_drain");
+    group.sample_size(10);
+    for controllers in [1usize, 2] {
+        for (label, concurrency) in [("serial", 1usize), ("parallel", 8)] {
+            group.bench_function(format!("{label}-{controllers}c"), |b| {
+                b.iter(|| drain_once(controllers, concurrency, 32))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

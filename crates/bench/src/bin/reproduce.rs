@@ -12,7 +12,7 @@ type FigureFn = fn(Scale) -> Vec<DataPoint>;
 
 /// One table drives both argument validation and dispatch, so a figure
 /// cannot be valid-but-unrunnable or runnable-but-rejected.
-const FIGURES: [(&str, FigureFn); 11] = [
+const FIGURES: [(&str, FigureFn); 12] = [
     ("fig3", pesos_bench::fig3_throughput),
     ("fig4", pesos_bench::fig4_latency),
     ("fig5", pesos_bench::fig5_disk_scaling),
@@ -23,6 +23,7 @@ const FIGURES: [(&str, FigureFn); 11] = [
     ("fig9", pesos_bench::fig9_versioned),
     ("fig10", pesos_bench::fig10_mal_granularity),
     ("fig11", pesos_bench::fig11_controller_scaling),
+    ("fig12", pesos_bench::fig12_rebalance_drain),
     ("contention", pesos_bench::contention),
 ];
 

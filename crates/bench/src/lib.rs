@@ -623,10 +623,10 @@ pub fn fig11_controller_scaling(scale: Scale) -> Vec<DataPoint> {
         let mut controller_config = ControllerConfig::sgx_disk(1);
         controller_config.syscall_threads = 8;
         let cluster = Arc::new(
-            ControllerCluster::new(ClusterConfig {
+            ControllerCluster::new(ClusterConfig::with_controller(
                 controllers,
-                controller: controller_config,
-            })
+                controller_config,
+            ))
             .expect("cluster bootstrap"),
         );
         let spec = WorkloadSpec {
@@ -653,6 +653,75 @@ pub fn fig11_controller_scaling(scale: Scale) -> Vec<DataPoint> {
         };
         print_point(&point);
         out.push(point);
+    }
+    out
+}
+
+/// Figure 12: rebalance drain throughput — keys/s moved when a controller
+/// joins, serial key-at-a-time drain vs the parallel scatter-gather drain,
+/// at 1, 2 and 4 source controllers.
+///
+/// The disk model is where the comparison is honest on any host: each
+/// export/import/delete pays simulated drive service time, so the parallel
+/// drain's overlapped pulls finish the migration several times faster while
+/// the serial drain queues them end to end. The load-aware split moves
+/// roughly half the most loaded partition's *keys* (not half its hash
+/// range), so the moved count is stable across runs.
+pub fn fig12_rebalance_drain(scale: Scale) -> Vec<DataPoint> {
+    let mut out = Vec::new();
+    println!();
+    println!("=== Figure 12: rebalance drain (Pesos Disk, 1 drive per controller) ===");
+    println!(
+        "{:<22} {:>12} {:>12} {:>14}",
+        "config", "controllers", "keys/s", "drain(ms)"
+    );
+    let keys = match scale {
+        Scale::Quick => 96,
+        Scale::Full => 768,
+    };
+    for controllers in [1usize, 2, 4] {
+        for (label, concurrency) in [("serial drain", 1usize), ("parallel drain", 8)] {
+            let mut controller_config = ControllerConfig::sgx_disk(1);
+            controller_config.syscall_threads = 8;
+            let mut cluster_config = ClusterConfig::with_controller(controllers, controller_config);
+            cluster_config.drain_concurrency = concurrency;
+            let cluster = ControllerCluster::new(cluster_config).expect("cluster bootstrap");
+            cluster.register_client("bench");
+            for i in 0..keys {
+                cluster
+                    .put(
+                        "bench",
+                        &format!("drain/k{i:05}"),
+                        vec![7u8; 256],
+                        None,
+                        None,
+                        &[],
+                    )
+                    .expect("load phase");
+            }
+            let before = cluster.controllers();
+            let start = std::time::Instant::now();
+            cluster.add_controller().expect("rebalance");
+            let elapsed = start.elapsed();
+            let joiner = cluster
+                .controllers()
+                .into_iter()
+                .find(|c| !before.iter().any(|b| Arc::ptr_eq(b, c)))
+                .expect("a controller joined");
+            let moved = joiner.store().resident_object_count();
+            let keys_per_s = moved as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+            let point = DataPoint {
+                config: format!("{label} x{controllers}"),
+                x: controllers as f64,
+                kiops: keys_per_s / 1000.0,
+                latency_ms: elapsed.as_secs_f64() * 1e3,
+            };
+            println!(
+                "{:<22} {:>12} {:>12.0} {:>14.1}",
+                point.config, controllers, keys_per_s, point.latency_ms
+            );
+            out.push(point);
+        }
     }
     out
 }

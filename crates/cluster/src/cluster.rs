@@ -27,32 +27,56 @@ pub struct ClusterConfig {
     /// own enclave, drives and caches from a copy of this (one logical
     /// enclave per controller, so SGX costs are accounted per partition).
     pub controller: ControllerConfig,
+    /// Placement-group delimiter for cluster routing: a key routes by the
+    /// hash of its prefix up to the *first* occurrence of this character
+    /// (full key when the key contains none, starts with it, or the
+    /// delimiter is `None`). The default `'.'` makes `<key>`, `<key>.log`
+    /// and `<key>.v2` co-route, so object-referencing policies (`objSays`
+    /// over `<key>.log`, MAL-style) evaluate against one partition's store
+    /// on any topology. Routing-only: drive placement, caches and lock
+    /// shards keep using the full-key hash.
+    pub routing_delimiter: Option<char>,
+    /// Bounded concurrency of the migration drain loop: how many keys move
+    /// in flight at once when a topology change drains a hash range.
+    /// `1` restores the serial key-at-a-time drain (the benchmark "before"
+    /// configuration).
+    pub drain_concurrency: usize,
 }
 
 impl ClusterConfig {
+    /// Default routing/drain knobs around an explicit controller template.
+    pub fn with_controller(controllers: usize, controller: ControllerConfig) -> Self {
+        ClusterConfig {
+            controllers,
+            controller,
+            routing_delimiter: Some('.'),
+            drain_concurrency: 4,
+        }
+    }
+
     /// `controllers` instances in the paper's "Native Sim" configuration
     /// with `drives_per_controller` drives each.
     pub fn native_simulator(controllers: usize, drives_per_controller: usize) -> Self {
-        ClusterConfig {
+        Self::with_controller(
             controllers,
-            controller: ControllerConfig::native_simulator(drives_per_controller),
-        }
+            ControllerConfig::native_simulator(drives_per_controller),
+        )
     }
 
     /// `controllers` instances in the paper's "Pesos Sim" configuration.
     pub fn sgx_simulator(controllers: usize, drives_per_controller: usize) -> Self {
-        ClusterConfig {
+        Self::with_controller(
             controllers,
-            controller: ControllerConfig::sgx_simulator(drives_per_controller),
-        }
+            ControllerConfig::sgx_simulator(drives_per_controller),
+        )
     }
 
     /// `controllers` instances in the paper's "Pesos Disk" configuration.
     pub fn sgx_disk(controllers: usize, drives_per_controller: usize) -> Self {
-        ClusterConfig {
+        Self::with_controller(
             controllers,
-            controller: ControllerConfig::sgx_disk(drives_per_controller),
-        }
+            ControllerConfig::sgx_disk(drives_per_controller),
+        )
     }
 
     /// Validates the configuration.
@@ -60,6 +84,11 @@ impl ClusterConfig {
         if self.controllers == 0 {
             return Err(PesosError::BadRequest(
                 "cluster needs at least one controller".into(),
+            ));
+        }
+        if self.drain_concurrency == 0 {
+            return Err(PesosError::BadRequest(
+                "drain_concurrency must be at least 1".into(),
             ));
         }
         self.controller.validate()
@@ -77,6 +106,14 @@ struct Migration {
     /// would resurrect the object if the client deleted it at the
     /// destination in the meantime.
     moved_pending_delete: Mutex<BTreeSet<String>>,
+    /// Routing prefixes whose whole placement group is known to have left
+    /// the source (every member pulled or never present, no pending
+    /// deletes). Sound to memoize because the source receives no new
+    /// writes for the moved range after the routing swap, so a settled
+    /// group can never become unsettled; the memo turns repeat requests
+    /// into an in-memory lookup instead of a per-request source prefix
+    /// scan.
+    settled_groups: Mutex<BTreeSet<String>>,
 }
 
 /// One immutable snapshot of everything a request needs to route: the
@@ -111,6 +148,38 @@ pub struct PartitionCostReport {
     pub asyscall: pesos_sgx::AsyscallStats,
     /// Request counters of the partition's controller.
     pub metrics: pesos_core::metrics::MetricsSnapshot,
+    /// Objects resident on the partition (in-memory metadata count) — one
+    /// of the two load inputs the rebalancer weighs.
+    pub resident_objects: usize,
+}
+
+/// One partition's load, as the load-aware rebalancer sees it: resident
+/// objects plus the requests served *since the last topology change*.
+/// Topology changes split the heaviest partition (at a split point
+/// weighted by where its resident keys actually hash) and merge a leaving
+/// partition into its lighter neighbour. Windowed rather than lifetime
+/// request counts, so a partition that was hot long ago does not keep
+/// attracting splits forever (and a joiner starting at zero is compared
+/// fairly against partitions that predate it).
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionLoad {
+    /// Partition index in the current table.
+    pub partition: usize,
+    /// Objects resident on the partition (in-memory metadata count).
+    pub resident_objects: usize,
+    /// Requests the partition's controller has served since the last
+    /// topology change (lifetime count before the first one).
+    pub requests: u64,
+}
+
+impl PartitionLoad {
+    /// The scalar the rebalancer compares: resident population plus served
+    /// requests. Both approximate demand; their sum prefers partitions that
+    /// are large *or* hot, and a partition heavy on either axis attracts
+    /// the next split.
+    pub fn weight(&self) -> u64 {
+        self.resident_objects as u64 + self.requests
+    }
 }
 
 /// A cluster of controller instances partitioning the key space.
@@ -168,8 +237,30 @@ pub struct ControllerCluster {
     /// Serializes topology changes.
     rebalance: Mutex<()>,
     /// Striped per-key locks serializing demand pulls and the drain loop
-    /// during a migration.
-    migration_locks: Sharded<Mutex<()>>,
+    /// during a migration. Arc'd so parallel drain bodies can carry the
+    /// stripes into the scatter-gather asyscall closures.
+    migration_locks: Arc<Sharded<Mutex<()>>>,
+    /// Placement-group delimiter for routing (see
+    /// [`ClusterConfig::routing_delimiter`]).
+    delimiter: Option<char>,
+    /// Bounded drain concurrency (see
+    /// [`ClusterConfig::drain_concurrency`]); 1 = serial drain.
+    drain_concurrency: usize,
+    /// Per-controller request-counter snapshots taken at the last topology
+    /// change; [`ControllerCluster::partition_loads`] reports the delta,
+    /// so rebalance decisions weigh *recent* traffic instead of lifetime
+    /// history (matched by `Arc` identity; a controller absent from the
+    /// baseline — i.e. before the first topology change — counts from
+    /// zero).
+    request_baseline: Mutex<Vec<(Arc<PesosController>, u64)>>,
+    /// Dedicated asynchronous-syscall interface driving the migration
+    /// drain's scatter-gather batches, created lazily on the first drain
+    /// (a cluster that never rebalances spawns no extra threads) and only
+    /// when `drain_concurrency` exceeds 1. Deliberately *not* the source
+    /// store's interface: drain bodies issue nested store I/O, and running
+    /// them on the same service threads those submissions need would be a
+    /// starvation deadlock.
+    drain: std::sync::OnceLock<Arc<pesos_sgx::AsyscallInterface>>,
     /// Every client registered through the cluster, for re-homing sessions
     /// onto joining controllers.
     clients: Mutex<BTreeSet<String>>,
@@ -200,7 +291,11 @@ impl ControllerCluster {
             })),
             ops_gate: RwLock::new(()),
             rebalance: Mutex::new(()),
-            migration_locks: Sharded::new(shards, Mutex::default),
+            migration_locks: Arc::new(Sharded::new(shards, Mutex::default)),
+            delimiter: config.routing_delimiter,
+            drain_concurrency: config.drain_concurrency,
+            drain: std::sync::OnceLock::new(),
+            request_baseline: Mutex::new(Vec::new()),
             clients: Mutex::new(BTreeSet::new()),
             policies: Mutex::new(BTreeSet::new()),
             tx: ClusterTxManager::new(),
@@ -227,11 +322,13 @@ impl ControllerCluster {
     }
 
     /// Partition index the given key routes to (diagnostics and tests).
+    /// Routes by the key's placement group, so `<key>` and `<key>.log`
+    /// report the same partition.
     pub fn partition_of(&self, key: &str) -> usize {
         self.routing
             .read()
             .table
-            .index_of(HashedKey::new(key).hash())
+            .index_of(HashedKey::new(key).routing_hash(self.delimiter))
     }
 
     /// Per-partition cost report: one logical enclave per controller
@@ -250,8 +347,54 @@ impl ControllerCluster {
                 epc: p.controller.store().epc_stats(),
                 asyscall: p.controller.store().asyscall_stats(),
                 metrics: p.controller.metrics(),
+                resident_objects: p.controller.store().resident_object_count(),
             })
             .collect()
+    }
+
+    /// Per-partition load (resident objects + request counters) under the
+    /// current table — the accounting [`ControllerCluster::add_controller`]
+    /// and [`ControllerCluster::remove_controller`] rebalance by.
+    pub fn partition_loads(&self) -> Vec<PartitionLoad> {
+        let routing = self.routing.read().clone();
+        self.loads_of(&routing.table)
+    }
+
+    fn loads_of(&self, table: &PartitionTable) -> Vec<PartitionLoad> {
+        let baseline = self.request_baseline.lock();
+        let base_for = |controller: &Arc<PesosController>| {
+            baseline
+                .iter()
+                .find(|(c, _)| Arc::ptr_eq(c, controller))
+                .map(|(_, requests)| *requests)
+                .unwrap_or(0)
+        };
+        table
+            .partitions()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PartitionLoad {
+                partition: i,
+                resident_objects: p.controller.store().resident_object_count(),
+                requests: p
+                    .controller
+                    .metrics()
+                    .requests
+                    .saturating_sub(base_for(&p.controller)),
+            })
+            .collect()
+    }
+
+    /// Restarts the load window: snapshots every current controller's
+    /// request counter so the next rebalance decision weighs only traffic
+    /// served after this topology change. Called under the rebalance lock
+    /// right after a table swap.
+    fn reset_request_baseline(&self, table: &PartitionTable) {
+        *self.request_baseline.lock() = table
+            .partitions()
+            .iter()
+            .map(|p| (Arc::clone(&p.controller), p.controller.metrics().requests))
+            .collect();
     }
 
     // ------------------------------------------------------------------
@@ -323,11 +466,18 @@ impl ControllerCluster {
     // Routing internals
     // ------------------------------------------------------------------
 
+    /// The placement-group routing hash of `key` under this cluster's
+    /// delimiter (cached on the `HashedKey`, so repeated consultations on
+    /// one request cost nothing).
+    fn routing_hash(&self, key: &HashedKey<'_>) -> u64 {
+        key.routing_hash(self.delimiter)
+    }
+
     /// Routes `key` to its owning controller under a consistent routing
-    /// snapshot, demand-pulling the key out of an in-flight migration's
-    /// source first if necessary. The closure also receives the snapshot,
-    /// for callers that need more of the topology than the owner (e.g.
-    /// `ensure_policy`'s peer scan).
+    /// snapshot, demand-pulling the key (and its placement-group siblings)
+    /// out of an in-flight migration's source first if necessary. The
+    /// closure also receives the snapshot, for callers that need more of
+    /// the topology than the owner (e.g. `ensure_policy`'s peer scan).
     fn with_owner<R>(
         &self,
         key: &HashedKey<'_>,
@@ -336,31 +486,118 @@ impl ControllerCluster {
         let _gate = self.ops_gate.read();
         let routing = self.routing.read().clone();
         self.pull_if_migrating(&routing, key)?;
-        f(&routing, routing.table.route(key.hash()))
+        f(&routing, routing.table.route(self.routing_hash(key)))
     }
 
-    /// If `key` lies in a migrating range, ensure it has moved to the
-    /// destination before the caller operates on it.
+    /// If `key` lies in a migrating range, ensure it — and every other
+    /// member of its placement group still at the source — has moved to
+    /// the destination before the caller operates on it.
+    ///
+    /// Pulling the whole group (not just the requested key) is what keeps
+    /// object-referencing policies correct *during* a migration: the
+    /// owner's policy check may consult `<key>.log` through its store
+    /// view, and a sibling still sitting at the source would otherwise
+    /// read as missing mid-drain. Groups share one routing hash, so every
+    /// sibling lies in the same moving range; a bounded prefix scan of the
+    /// source's drives finds them, and a per-migration memo of settled
+    /// groups makes repeat requests into the moving range an in-memory
+    /// check instead of a scan.
     fn pull_if_migrating(
         &self,
         routing: &RoutingState,
         key: &HashedKey<'_>,
     ) -> Result<(), PesosError> {
         for migration in &routing.migrations {
-            if migration.range.contains(key.hash()) {
-                self.pull_key(migration, key)?;
+            if !migration.range.contains(self.routing_hash(key)) {
+                continue;
             }
+            if self.delimiter.is_some() {
+                let prefix = pesos_core::routing_prefix(key.key(), self.delimiter);
+                if migration.settled_groups.lock().contains(prefix) {
+                    // The whole group (this key included) is known to have
+                    // left the source, and the source receives no new
+                    // writes for the moved range — nothing to pull.
+                    continue;
+                }
+            }
+            Self::pull_key(&self.migration_locks, migration, key)?;
+            self.pull_group_siblings(migration, key);
         }
         Ok(())
+    }
+
+    /// Pulls the placement-group siblings of `key` (same routing prefix,
+    /// different key) that are still resident at a migration's source, and
+    /// memoizes the group as settled once nothing of it remains there.
+    ///
+    /// Best-effort by design: a failed source scan or sibling pull is
+    /// *not* fatal to the current request — the requested key itself was
+    /// already pulled (or its pull error propagated), so failing here
+    /// would turn e.g. an offline source drive into an outage for keys
+    /// that long since moved. The cost of skipping is bounded and
+    /// fail-closed: an object-referencing policy that cannot see its
+    /// still-stranded sibling denies access (the sibling is unreachable
+    /// at the source in that state anyway); the group is simply not
+    /// memoized, so the next request retries the scan, and the drain loop
+    /// independently guarantees the migration never retires with anything
+    /// left behind.
+    fn pull_group_siblings(&self, migration: &Migration, key: &HashedKey<'_>) {
+        if self.delimiter.is_none() {
+            return; // every key is its own group
+        }
+        let prefix = pesos_core::routing_prefix(key.key(), self.delimiter);
+        let settled = (|| -> Result<(), PesosError> {
+            // One bounded prefix scan over the source's metadata
+            // namespace; the string prefix over-matches (`doc` also finds
+            // `docs/x`), so filter to true group members. Keys already
+            // moved (or pending only their source delete) are settled
+            // cheaply by `pull_key`.
+            let siblings = migration.src.store().list_keys_with_prefix(prefix)?;
+            for sibling in siblings {
+                if sibling == key.key()
+                    || pesos_core::routing_prefix(&sibling, self.delimiter) != prefix
+                {
+                    continue;
+                }
+                Self::pull_key(&self.migration_locks, migration, &HashedKey::new(&sibling))?;
+            }
+            // Siblings whose move completed but whose source delete is
+            // still outstanding may no longer surface in the listing (a
+            // partial delete can drop the metadata record first); settle
+            // them too so no stale source copy lingers for this group.
+            let pending: Vec<String> = migration
+                .moved_pending_delete
+                .lock()
+                .iter()
+                .filter(|k| {
+                    k.as_str() != key.key()
+                        && pesos_core::routing_prefix(k, self.delimiter) == prefix
+                })
+                .cloned()
+                .collect();
+            for sibling in pending {
+                Self::pull_key(&self.migration_locks, migration, &HashedKey::new(&sibling))?;
+            }
+            Ok(())
+        })();
+        if settled.is_ok() {
+            migration.settled_groups.lock().insert(prefix.to_string());
+        }
     }
 
     /// Moves one key from a migration's source to its destination if it is
     /// still at the source. Serialized per key through the striped
     /// migration locks, so a demand pull and the drain loop cannot move the
     /// same key twice; the object itself moves under both stores' per-key
-    /// write locks.
-    fn pull_key(&self, migration: &Migration, key: &HashedKey<'_>) -> Result<(), PesosError> {
-        let _stripe = self.migration_locks.get(key).lock();
+    /// write locks. An associated function (locks passed in) so the
+    /// parallel drain can carry the stripes into its `'static`
+    /// scatter-gather closures.
+    fn pull_key(
+        locks: &Sharded<Mutex<()>>,
+        migration: &Migration,
+        key: &HashedKey<'_>,
+    ) -> Result<(), PesosError> {
+        let _stripe = locks.get(key).lock();
         if migration.moved_pending_delete.lock().contains(key.key()) {
             // The object already reached the destination; only the
             // source-side delete is outstanding. Never re-export here —
@@ -369,7 +606,7 @@ impl ControllerCluster {
             // stale source copy would resurrect it. A prior partial
             // delete may have already cleared the source, so NotFound
             // counts as done.
-            return match migration.src.store().delete_object(*key) {
+            return match migration.src.store().delete_object(key) {
                 Ok(()) | Err(PesosError::ObjectNotFound(_)) => {
                     migration.moved_pending_delete.lock().remove(key.key());
                     Ok(())
@@ -377,10 +614,10 @@ impl ControllerCluster {
                 Err(e) => Err(e),
             };
         }
-        if migration.dst.store().get_metadata(*key).is_some() {
+        if migration.dst.store().get_metadata(key).is_some() {
             return Ok(()); // already moved
         }
-        let Some(export) = migration.src.store().export_object(*key)? else {
+        let Some(export) = migration.src.store().export_object(key)? else {
             return Ok(()); // never existed (or deleted after moving)
         };
         // The destination must be able to enforce the object's policy.
@@ -395,7 +632,7 @@ impl ControllerCluster {
         // Only once the destination durably holds the object does the
         // source copy go away: a failed import leaves the source
         // authoritative and the pull retryable, never a lost object.
-        if let Err(e) = migration.src.store().delete_object(*key) {
+        if let Err(e) = migration.src.store().delete_object(key) {
             // The move succeeded but the stale source copy survives;
             // remember it so retries (drain loop or demand pulls) finish
             // the delete without ever re-exporting it.
@@ -500,7 +737,7 @@ impl ControllerCluster {
             }
             owner.put(
                 client_id,
-                key,
+                &key,
                 value,
                 policy_id,
                 expected_version,
@@ -529,7 +766,7 @@ impl ControllerCluster {
             }
             let local_op = owner.put_async(
                 client_id,
-                key,
+                &key,
                 value,
                 policy_id,
                 expected_version,
@@ -556,7 +793,7 @@ impl ControllerCluster {
         certificates: &[Certificate],
     ) -> Result<(Arc<Vec<u8>>, u64), PesosError> {
         let key = HashedKey::new(key);
-        self.with_owner(&key, |_, owner| owner.get(client_id, key, certificates))
+        self.with_owner(&key, |_, owner| owner.get(client_id, &key, certificates))
     }
 
     /// Retrieves a specific stored version from the owning partition.
@@ -569,7 +806,7 @@ impl ControllerCluster {
     ) -> Result<Vec<u8>, PesosError> {
         let key = HashedKey::new(key);
         self.with_owner(&key, |_, owner| {
-            owner.get_version(client_id, key, version, certificates)
+            owner.get_version(client_id, &key, version, certificates)
         })
     }
 
@@ -581,7 +818,7 @@ impl ControllerCluster {
         certificates: &[Certificate],
     ) -> Result<(), PesosError> {
         let key = HashedKey::new(key);
-        self.with_owner(&key, |_, owner| owner.delete(client_id, key, certificates))
+        self.with_owner(&key, |_, owner| owner.delete(client_id, &key, certificates))
     }
 
     /// Attaches an existing policy to an object on its owning partition.
@@ -595,7 +832,7 @@ impl ControllerCluster {
         let key = HashedKey::new(key);
         self.with_owner(&key, |routing, owner| {
             self.ensure_policy(routing, owner, &policy_id)?;
-            owner.attach_policy(client_id, key, policy_id, certificates)
+            owner.attach_policy(client_id, &key, policy_id, certificates)
         })
     }
 
@@ -679,7 +916,7 @@ impl ControllerCluster {
             let hashed = HashedKey::new(key);
             self.pull_if_migrating(&routing, &hashed)?;
             branches
-                .entry(routing.table.index_of(hashed.hash()))
+                .entry(routing.table.index_of(self.routing_hash(&hashed)))
                 .or_default()
                 .reads
                 .push((position, key.clone()));
@@ -688,7 +925,7 @@ impl ControllerCluster {
             let hashed = HashedKey::new(&write.key);
             self.pull_if_migrating(&routing, &hashed)?;
             branches
-                .entry(routing.table.index_of(hashed.hash()))
+                .entry(routing.table.index_of(self.routing_hash(&hashed)))
                 .or_default()
                 .writes
                 .push((position, write));
@@ -823,11 +1060,73 @@ impl ControllerCluster {
     // Online rebalancing
     // ------------------------------------------------------------------
 
+    /// The drain's dedicated scatter-gather interface: `None` for the
+    /// serial configuration, otherwise created (with its service threads)
+    /// on first use and reused by every later drain.
+    fn drain_interface(&self) -> Option<&Arc<pesos_sgx::AsyscallInterface>> {
+        if self.drain_concurrency <= 1 {
+            return None;
+        }
+        Some(self.drain.get_or_init(|| {
+            Arc::new(pesos_sgx::AsyscallInterface::new(
+                self.drain_concurrency,
+                self.drain_concurrency,
+                pesos_sgx::cost::ModeCost::new(self.template.mode, self.template.cost_model),
+            ))
+        }))
+    }
+
+    /// The split target for a joining controller: the partition with the
+    /// highest load weight (resident objects + served requests), tie-broken
+    /// toward the widest hash range. Partitions whose range is a single
+    /// hash cannot split and are skipped.
+    fn most_loaded_splittable(&self, table: &PartitionTable) -> usize {
+        let loads = self.loads_of(table);
+        (0..table.len())
+            .filter(|&i| table.range(i).width() >= 2)
+            .max_by_key(|&i| (loads[i].weight(), table.range(i).width()))
+            .expect("a table always has a splittable partition")
+    }
+
+    /// The weighted split point for partition `index`: the median routing
+    /// hash of the source's resident keys, so roughly half the *keys* (not
+    /// half the hash space) move to the joiner. Equal routing hashes —
+    /// whole placement groups — always land on one side. Falls back to the
+    /// range midpoint when the partition holds too few keys to weigh (or
+    /// the median degenerates onto the range start).
+    fn weighted_split_point(
+        &self,
+        table: &PartitionTable,
+        index: usize,
+        src: &Arc<PesosController>,
+    ) -> u64 {
+        let range = table.range(index);
+        let midpoint = range.start + ((range.end - range.start) / 2) + 1;
+        let mut hashes: Vec<u64> = src
+            .store()
+            .resident_keys()
+            .iter()
+            .map(|key| pesos_core::routing_hash(key, self.delimiter))
+            .filter(|hash| range.contains(*hash))
+            .collect();
+        if hashes.len() < 2 {
+            return midpoint;
+        }
+        hashes.sort_unstable();
+        let candidate = hashes[hashes.len() / 2];
+        if candidate > range.start {
+            candidate
+        } else {
+            midpoint
+        }
+    }
+
     /// Adds a controller built from the cluster's configuration template,
-    /// splitting the widest partition's hash range. Returns the new
-    /// partition count once the moved range is fully drained; concurrent
-    /// traffic keeps serving throughout (requests into the moving range
-    /// demand-pull their keys).
+    /// splitting the most loaded partition's hash range at a load-weighted
+    /// split point (see [`ControllerCluster::partition_loads`]). Returns
+    /// the new partition count once the moved range is fully drained;
+    /// concurrent traffic keeps serving throughout (requests into the
+    /// moving range demand-pull their keys).
     ///
     /// On a drain error the new topology stays installed and the migration
     /// record stays active, so every un-moved key remains reachable
@@ -859,12 +1158,17 @@ impl ControllerCluster {
         }
         self.copy_policies_to(&controller)?;
 
-        // The split source: the rebalance lock keeps the table stable, so
-        // the widest partition computed here is the one split below.
-        let src = {
+        // The split source and point: the rebalance lock keeps the table
+        // stable, so the most-loaded partition and the weighted split
+        // point computed here are exactly what the swap below installs.
+        // (Loads keep moving under concurrent traffic; that only shifts
+        // balance quality, never correctness.)
+        let (target, split_start, src) = {
             let routing = self.routing.read();
-            let widest = routing.table.widest();
-            Arc::clone(&routing.table.partitions()[widest].controller)
+            let target = self.most_loaded_splittable(&routing.table);
+            let src = Arc::clone(&routing.table.partitions()[target].controller);
+            let split_start = self.weighted_split_point(&routing.table, target, &src);
+            (target, split_start, src)
         };
         // Pre-flush the source's scheduled asynchronous writes outside the
         // gate so the race-closing flush under it (below) is short.
@@ -888,17 +1192,22 @@ impl ControllerCluster {
             src.drain_async();
             let mut routing = self.routing.write();
             let old = routing.clone();
-            let widest = old.table.widest();
-            let (table, moved) = old.table.split(widest, Arc::clone(&controller));
+            let (table, moved) = old
+                .table
+                .split_at(target, split_start, Arc::clone(&controller));
             let migration = Arc::new(Migration {
                 range: moved,
                 src: Arc::clone(&src),
                 dst: Arc::clone(&controller),
                 moved_pending_delete: Mutex::new(BTreeSet::new()),
+                settled_groups: Mutex::new(BTreeSet::new()),
             });
             let mut migrations = Vec::with_capacity(old.migrations.len() + 1);
             migrations.extend(old.migrations.iter().cloned());
             migrations.push(Arc::clone(&migration));
+            // New topology, new load window: the next rebalance decision
+            // weighs traffic from here on, not lifetime history.
+            self.reset_request_baseline(&table);
             *routing = Arc::new(RoutingState { table, migrations });
             migration
         };
@@ -916,33 +1225,51 @@ impl ControllerCluster {
     }
 
     /// Removes the controller owning partition `index`, merging its hash
-    /// range (and draining its keys) into a neighbouring partition. The
-    /// removed controller keeps running until its last in-flight request
-    /// and the drain complete, then drops out of the table. On a drain
-    /// error the merged topology stays installed with the migration record
-    /// active (see [`ControllerCluster::add_controller`]).
+    /// range (and draining its keys) into the *lighter* of its two
+    /// neighbouring partitions (by [`PartitionLoad::weight`]; partition 0
+    /// and the last partition have only one neighbour). The removed
+    /// controller keeps running until its last in-flight request and the
+    /// drain complete, then drops out of the table. On a drain error the
+    /// merged topology stays installed with the migration record active
+    /// (see [`ControllerCluster::add_controller`]).
     pub fn remove_controller(&self, index: usize) -> Result<(), PesosError> {
         let _topology = self.rebalance.lock();
         // Settle any migration an earlier topology change left unsettled
         // (see add_controller_with); removing a pending migration's
         // destination would otherwise strand its un-moved keys off-table.
         self.settle_pending_locked()?;
-        // Validate and pre-flush outside the gate (the rebalance lock
-        // keeps the table stable, so the checks cannot go stale).
-        let src = {
+        // Validate, choose the neighbour and pre-flush outside the gate
+        // (the rebalance lock keeps the table stable, so none of it can go
+        // stale).
+        let (src, neighbour) = {
             let routing = self.routing.read();
-            if routing.table.len() <= 1 {
+            let len = routing.table.len();
+            if len <= 1 {
                 return Err(PesosError::BadRequest(
                     "cannot remove the last controller".into(),
                 ));
             }
-            if index >= routing.table.len() {
+            if index >= len {
                 return Err(PesosError::BadRequest(format!(
-                    "no partition {index} (cluster has {})",
-                    routing.table.len()
+                    "no partition {index} (cluster has {len})",
                 )));
             }
-            Arc::clone(&routing.table.partitions()[index].controller)
+            let neighbour = if index == 0 {
+                1
+            } else if index == len - 1 {
+                index - 1
+            } else {
+                let loads = self.loads_of(&routing.table);
+                if loads[index + 1].weight() < loads[index - 1].weight() {
+                    index + 1
+                } else {
+                    index - 1
+                }
+            };
+            (
+                Arc::clone(&routing.table.partitions()[index].controller),
+                neighbour,
+            )
         };
         src.drain_async();
         let migration = {
@@ -954,16 +1281,20 @@ impl ControllerCluster {
             src.drain_async();
             let mut routing = self.routing.write();
             let old = routing.clone();
-            let (table, moved, absorbed_by) = old.table.merge_out(index);
+            let (table, moved, absorbed_by) = old.table.merge_into(index, neighbour);
             let migration = Arc::new(Migration {
                 range: moved,
                 src,
                 dst: Arc::clone(&table.partitions()[absorbed_by].controller),
                 moved_pending_delete: Mutex::new(BTreeSet::new()),
+                settled_groups: Mutex::new(BTreeSet::new()),
             });
             let mut migrations = Vec::with_capacity(old.migrations.len() + 1);
             migrations.extend(old.migrations.iter().cloned());
             migrations.push(Arc::clone(&migration));
+            // New topology, new load window: the next rebalance decision
+            // weighs traffic from here on, not lifetime history.
+            self.reset_request_baseline(&table);
             *routing = Arc::new(RoutingState { table, migrations });
             migration
         };
@@ -1024,11 +1355,33 @@ impl ControllerCluster {
     /// the barrier has passed, so one authoritative pass over the source's
     /// drive-resident keys suffices; each key moves under the same striped
     /// lock the demand-pull path takes.
-    fn drain_migration(&self, migration: &Migration) -> Result<(), PesosError> {
+    ///
+    /// Each listed key is hashed exactly once — the full-key hash and (for
+    /// suffixed keys) the routing-prefix hash — and both the range check
+    /// and the pull reuse that work; `tests/digest_budget.rs` in
+    /// `pesos-core` pins the drain's per-key digest budget. With
+    /// [`ClusterConfig::drain_concurrency`] above 1 the pulls are batched
+    /// through the cluster's dedicated scatter-gather asyscall interface,
+    /// so up to that many keys are in flight at once (the slot table is the
+    /// admission control); each in-flight pull still serializes with
+    /// demand pulls of the same key through the striped migration locks,
+    /// so every drain invariant — export under the source's key lock,
+    /// delete only after a successful import, `moved_pending_delete`
+    /// settlement — is exactly the serial path's.
+    fn drain_migration(&self, migration: &Arc<Migration>) -> Result<(), PesosError> {
+        // One authoritative listing, hashed once per key. The routing hash
+        // decides range membership (ranges partition the placement-group
+        // space); the full-key hash travels with the key into the pull so
+        // no layer re-digests it.
+        let mut keys: Vec<(String, u64)> = Vec::new();
         for key in migration.src.store().list_keys()? {
             let hashed = HashedKey::new(&key);
-            if migration.range.contains(hashed.hash()) {
-                self.pull_key(migration, &hashed)?;
+            if migration
+                .range
+                .contains(hashed.routing_hash(self.delimiter))
+            {
+                let hash = hashed.hash();
+                keys.push((key, hash));
             }
         }
         // Keys whose move completed but whose source-side delete faulted
@@ -1036,16 +1389,74 @@ impl ControllerCluster {
         // the drive-level metadata before erroring), so drive them to
         // completion explicitly — the record must never retire with a
         // stale source copy still resident.
-        let pending: Vec<String> = migration
-            .moved_pending_delete
-            .lock()
-            .iter()
-            .cloned()
-            .collect();
-        for key in pending {
-            self.pull_key(migration, &HashedKey::new(&key))?;
+        {
+            // Snapshot the pending names quickly and release the lock —
+            // every demand pull serializes through it — then dedup and
+            // hash outside, with a set lookup instead of a per-entry scan
+            // of the (possibly large) listing.
+            let pending: Vec<String> = migration
+                .moved_pending_delete
+                .lock()
+                .iter()
+                .cloned()
+                .collect();
+            if !pending.is_empty() {
+                let extra: Vec<String> = {
+                    let listed: std::collections::HashSet<&str> =
+                        keys.iter().map(|(k, _)| k.as_str()).collect();
+                    pending
+                        .into_iter()
+                        .filter(|p| !listed.contains(p.as_str()))
+                        .collect()
+                };
+                keys.extend(extra.into_iter().map(|p| {
+                    let hash = HashedKey::new(&p).hash();
+                    (p, hash)
+                }));
+            }
         }
-        Ok(())
+
+        let Some(iface) = self.drain_interface() else {
+            // Serial drain (drain_concurrency = 1): key at a time, in
+            // listing order.
+            for (key, hash) in &keys {
+                let hashed = HashedKey::from_parts(key, *hash);
+                Self::pull_key(&self.migration_locks, migration, &hashed)?;
+            }
+            return Ok(());
+        };
+        // Parallel drain: one pull body per key, fanned out through the
+        // drain interface. Submission itself is bounded by the interface's
+        // slot table, so at most `drain_concurrency` pulls are in flight;
+        // every body runs to completion even after an error (a pull is
+        // idempotent and identical to a demand pull), and the first error
+        // is reported so the migration record stays active for a retry.
+        let mut set = iface
+            .submit_batch(keys.into_iter().map(|(key, hash)| {
+                let migration = Arc::clone(migration);
+                let locks = Arc::clone(&self.migration_locks);
+                move || {
+                    let hashed = HashedKey::from_parts(&key, hash);
+                    Self::pull_key(&locks, &migration, &hashed)
+                }
+            }))
+            .map_err(|e| PesosError::Backend(e.to_string()))?;
+        let mut first_error = None;
+        while let Some((_, result)) = set.next_completed() {
+            match result {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    first_error.get_or_insert(e);
+                }
+                Err(e) => {
+                    first_error.get_or_insert(PesosError::Backend(e.to_string()));
+                }
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1327,10 +1738,13 @@ impl RequestEndpoint for ControllerCluster {
         // the source copy before we got there, reporting a live object as
         // missing. Destination before source: writes during a migration
         // land at the destination, so it holds the freshest version.
+        // Migration membership goes by the *routing* hash (ranges
+        // partition the placement-group space); the stripe and the store
+        // probes keep using the full-key hash, like every other path.
         let _gate = self.ops_gate.read();
         let routing = self.routing.read().clone();
         for migration in &routing.migrations {
-            if migration.range.contains(hashed.hash()) {
+            if migration.range.contains(self.routing_hash(&hashed)) {
                 let _stripe = self.migration_locks.get(&hashed).lock();
                 if migration.moved_pending_delete.lock().contains(key) {
                     // Only the stale source copy's delete is outstanding;
@@ -1339,22 +1753,22 @@ impl RequestEndpoint for ControllerCluster {
                     return migration
                         .dst
                         .store()
-                        .get_metadata(hashed)
+                        .get_metadata(&hashed)
                         .map(|m| m.latest_version);
                 }
-                if let Some(meta) = migration.dst.store().get_metadata(hashed) {
+                if let Some(meta) = migration.dst.store().get_metadata(&hashed) {
                     return Some(meta.latest_version);
                 }
-                if let Some(meta) = migration.src.store().get_metadata(hashed) {
+                if let Some(meta) = migration.src.store().get_metadata(&hashed) {
                     return Some(meta.latest_version);
                 }
             }
         }
         routing
             .table
-            .route(hashed.hash())
+            .route(self.routing_hash(&hashed))
             .store()
-            .get_metadata(hashed)
+            .get_metadata(&hashed)
             .map(|m| m.latest_version)
     }
 
@@ -1546,6 +1960,31 @@ mod tests {
             .unwrap();
         c.put("alice", &locked_key, b"v1".to_vec(), None, None, &[])
             .unwrap();
+    }
+
+    #[test]
+    fn load_window_restarts_at_every_topology_change() {
+        let c = cluster(2);
+        c.register_client("alice");
+        for i in 0..24 {
+            c.put("alice", &format!("win/{i}"), b"x".to_vec(), None, None, &[])
+                .unwrap();
+        }
+        assert!(c.partition_loads().iter().any(|l| l.requests > 0));
+        // A topology change snapshots the counters: the next decision must
+        // weigh traffic served after it, not lifetime history (a long-idle
+        // but formerly hot partition would otherwise attract every split).
+        c.add_controller().unwrap();
+        assert!(
+            c.partition_loads().iter().all(|l| l.requests == 0),
+            "request window did not restart at the topology change"
+        );
+        // Fresh traffic counts again, against the new baseline.
+        let (_, _) = c.get("alice", "win/0", &[]).unwrap();
+        assert!(c.partition_loads().iter().any(|l| l.requests > 0));
+        // Resident counts are unaffected by the windowing.
+        let resident: usize = c.partition_loads().iter().map(|l| l.resident_objects).sum();
+        assert_eq!(resident, 24);
     }
 
     #[test]
@@ -1858,6 +2297,169 @@ mod tests {
         // Missing object is NotFound, same mapping as the controller.
         let resp = c.handle("alice", ClientRequest::new(RestRequest::get("missing")));
         assert_eq!(resp.status, RestStatus::NotFound);
+    }
+
+    #[test]
+    fn sibling_keys_co_route_and_cross_the_same_migrations() {
+        let c = cluster(4);
+        c.register_client("alice");
+        for base in ["doc", "a.b", "deep/dir/obj", "x"] {
+            let log = format!("{base}.log");
+            let v2 = format!("{base}.v2");
+            assert_eq!(c.partition_of(base), c.partition_of(&log), "{base}");
+            assert_eq!(c.partition_of(base), c.partition_of(&v2), "{base}");
+            for key in [base, log.as_str(), v2.as_str()] {
+                c.put("alice", key, key.as_bytes().to_vec(), None, None, &[])
+                    .unwrap();
+            }
+        }
+        // Co-routing survives growth and shrink: after each change the
+        // whole group lives on one (identical) partition and round-trips.
+        c.add_controller().unwrap();
+        c.remove_controller(0).unwrap();
+        for base in ["doc", "a.b", "deep/dir/obj", "x"] {
+            let log = format!("{base}.log");
+            let v2 = format!("{base}.v2");
+            assert_eq!(c.partition_of(base), c.partition_of(&log), "{base}");
+            assert_eq!(c.partition_of(base), c.partition_of(&v2), "{base}");
+            for key in [base, log.as_str(), v2.as_str()] {
+                assert_eq!(&**c.get("alice", key, &[]).unwrap().0, key.as_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn delimiter_edge_keys_route_by_full_key_and_survive_rebalance() {
+        use pesos_core::{key_hash, routing_hash};
+        let c = cluster(3);
+        c.register_client("alice");
+        // No delimiter, leading delimiter (empty prefix), delimiter-only,
+        // trailing delimiter, and a plain nested key: the first three must
+        // route by their full key, and all of them must round-trip through
+        // the export/import drains a topology change runs.
+        let keys = [".log", ".", "plain", "nested/dir/key", "tail."];
+        for key in [".log", ".", "plain", "nested/dir/key"] {
+            assert_eq!(
+                routing_hash(key, Some('.')),
+                key_hash(key),
+                "{key} must route by its full key"
+            );
+        }
+        // A trailing delimiter groups with its prefix instead.
+        assert_eq!(routing_hash("tail.", Some('.')), key_hash("tail"));
+        for key in keys {
+            c.put(
+                "alice",
+                key,
+                format!("v:{key}").into_bytes(),
+                None,
+                None,
+                &[],
+            )
+            .unwrap();
+        }
+        c.add_controller().unwrap();
+        c.add_controller().unwrap();
+        c.remove_controller(1).unwrap();
+        c.remove_controller(0).unwrap();
+        let controllers = c.controllers();
+        for key in keys {
+            assert_eq!(
+                &**c.get("alice", key, &[]).unwrap().0,
+                format!("v:{key}").as_bytes()
+            );
+            let owner = c.partition_of(key);
+            for (i, controller) in controllers.iter().enumerate() {
+                assert_eq!(
+                    controller.store().get_metadata(key).is_some(),
+                    i == owner,
+                    "{key} misplaced on partition {i}"
+                );
+            }
+        }
+        // And they can still be deleted and re-created afterwards.
+        c.delete("alice", ".", &[]).unwrap();
+        assert!(c.get("alice", ".", &[]).is_err());
+        c.put("alice", ".", b"again".to_vec(), None, None, &[])
+            .unwrap();
+        assert_eq!(&**c.get("alice", ".", &[]).unwrap().0, b"again");
+    }
+
+    #[test]
+    fn add_controller_splits_the_most_loaded_partition_at_a_weighted_point() {
+        let c = cluster(2);
+        c.register_client("alice");
+        // Craft a strong imbalance: many keys on one partition, a handful
+        // on the other.
+        let mut heavy_keys = Vec::new();
+        let mut light_keys = Vec::new();
+        let mut i = 0usize;
+        while heavy_keys.len() < 120 || light_keys.len() < 8 {
+            let key = format!("load/{i}");
+            i += 1;
+            match c.partition_of(&key) {
+                0 if heavy_keys.len() < 120 => heavy_keys.push(key),
+                1 if light_keys.len() < 8 => light_keys.push(key),
+                _ => continue,
+            };
+        }
+        for key in heavy_keys.iter().chain(&light_keys) {
+            c.put("alice", key, b"x".to_vec(), None, None, &[]).unwrap();
+        }
+        let before = c.partition_loads();
+        assert!(before[0].weight() > before[1].weight());
+        assert_eq!(before[0].resident_objects, 120);
+
+        c.add_controller().unwrap();
+        let after = c.partition_loads();
+        assert_eq!(after.len(), 3);
+        // The joiner split partition 0 (the heavy one): it was inserted
+        // right after it, partition 1's (old light partition, now index 2)
+        // population is untouched, and the weighted split point divided
+        // the 120 resident keys roughly in half — not the hash space.
+        assert_eq!(after[2].resident_objects, 8, "light partition disturbed");
+        let (kept, moved) = (after[0].resident_objects, after[1].resident_objects);
+        assert_eq!(kept + moved, 120, "keys lost or duplicated by the split");
+        assert!(
+            (48..=72).contains(&moved),
+            "weighted split moved {moved} of 120 keys (expected ~half; \
+             a halve-the-range split would be arbitrarily lopsided)"
+        );
+    }
+
+    #[test]
+    fn remove_controller_merges_into_the_lighter_neighbour() {
+        let c = cluster(3);
+        c.register_client("alice");
+        // Partition 0 heavy, partition 2 light, partition 1 in between —
+        // removing partition 1 must merge it into partition 2.
+        let counts = [60usize, 24, 4];
+        let mut i = 0usize;
+        let mut placed = [0usize; 3];
+        while placed != counts {
+            let key = format!("merge/{i}");
+            i += 1;
+            let p = c.partition_of(&key);
+            if placed[p] < counts[p] {
+                placed[p] += 1;
+                c.put("alice", &key, b"x".to_vec(), None, None, &[])
+                    .unwrap();
+            }
+        }
+        let before = c.partition_loads();
+        assert!(before[2].weight() < before[0].weight());
+        c.remove_controller(1).unwrap();
+        let after = c.partition_loads();
+        assert_eq!(after.len(), 2);
+        assert_eq!(
+            after[0].resident_objects, counts[0],
+            "heavy neighbour should not have absorbed the merge"
+        );
+        assert_eq!(
+            after[1].resident_objects,
+            counts[1] + counts[2],
+            "lighter neighbour should hold its keys plus the removed partition's"
+        );
     }
 
     #[test]

@@ -5,9 +5,18 @@
 //! instances partitioning the key space. A [`ControllerCluster`] runs N
 //! independent [`pesos_core::PesosController`]s — each a complete Pesos
 //! instance with its own logical enclave, drives and caches — and routes
-//! every request by the object key's existing placement hash
-//! ([`pesos_core::HashedKey`]), so partitioning adds zero digests to the
-//! request path.
+//! every request by the object key's *routing hash*: the placement hash
+//! ([`pesos_core::HashedKey`]) of the key's placement group, its prefix up
+//! to the first [`ClusterConfig::routing_delimiter`] (the full key when
+//! the key contains none). Sibling objects — `<key>`, `<key>.log`,
+//! `<key>.v2` — therefore always land on one partition, so a policy that
+//! references another object (`objSays` over `<key>.log`, MAL-style)
+//! evaluates against the owning partition's store on *any* topology. Keys
+//! that are their own group reuse the request's cached placement hash, so
+//! routing them adds zero digests; drive placement, caches and lock
+//! sharding inside each controller keep using the full-key hash, so the
+//! single-controller store layout (and everything sealed or MAC'd) is
+//! untouched by how the cluster routes.
 //!
 //! Three pieces:
 //!
@@ -19,16 +28,14 @@
 //!   rejection aborts the whole thing before a single write) and its
 //!   outcome is queryable from any router.
 //! * [`cluster`] — the cluster itself: request routing, session mirroring,
-//!   REST dispatch, per-partition SGX cost reporting, and *online*
-//!   topology change — `add_controller` / `remove_controller` migrate only
-//!   the affected hash range, draining objects under per-key write locks
+//!   REST dispatch, per-partition SGX cost reporting, and *online*,
+//!   load-aware topology change — `add_controller` splits the most loaded
+//!   partition at a weighted split point and `remove_controller` merges
+//!   into the lighter neighbour, migrating only the affected hash range:
+//!   the moved keys drain with bounded parallelism
+//!   ([`ClusterConfig::drain_concurrency`]) under per-key write locks
 //!   while concurrent traffic keeps serving (requests into the moving
-//!   range demand-pull their keys).
-//!
-//! Known limitation, inherited from the paper's single-controller view:
-//! a policy that references *other* objects (`objSays` over a log object,
-//! MAL-style) is evaluated against the owning partition's store only, so
-//! such referenced objects must co-hash into the same partition.
+//!   range demand-pull their key's whole placement group).
 
 pub mod cluster;
 pub mod router;

@@ -119,8 +119,8 @@ impl PartitionTable {
         &self.partitions[self.index_of(hash)].controller
     }
 
-    /// Index of the partition owning the widest hash range (the split
-    /// target when a controller joins).
+    /// Index of the partition owning the widest hash range — the fallback
+    /// split target when no load information exists (an empty cluster).
     pub fn widest(&self) -> usize {
         (0..self.partitions.len())
             .max_by_key(|&i| self.range(i).width())
@@ -138,15 +138,38 @@ impl PartitionTable {
         let range = self.range(index);
         assert!(range.width() >= 2, "cannot split a single-hash partition");
         let upper_start = range.start + ((range.end - range.start) / 2) + 1;
+        self.split_at(index, upper_start, controller)
+    }
+
+    /// Splits partition `index` at an explicit hash boundary: the new
+    /// controller takes `[split_start, end]` and the old owner keeps
+    /// `[start, split_start - 1]`. Returns the new table and the moved
+    /// range. `split_start` must lie strictly inside the range (above its
+    /// start), so both halves are non-empty hash ranges; the load-aware
+    /// rebalancer derives it from the resident keys' routing hashes, which
+    /// keeps whole placement groups (equal routing hash) on one side.
+    pub fn split_at(
+        &self,
+        index: usize,
+        split_start: u64,
+        controller: Arc<PesosController>,
+    ) -> (PartitionTable, HashRange) {
+        let range = self.range(index);
+        assert!(
+            range.start < split_start && split_start <= range.end,
+            "split point {split_start} outside ({}, {}]",
+            range.start,
+            range.end
+        );
         let moved = HashRange {
-            start: upper_start,
+            start: split_start,
             end: range.end,
         };
         let mut partitions = self.partitions.clone();
         partitions.insert(
             index + 1,
             Partition {
-                start: upper_start,
+                start: split_start,
                 controller,
             },
         );
@@ -158,18 +181,36 @@ impl PartitionTable {
     /// table, the hash range that moved, and the index *in the new table*
     /// of the partition that absorbed it.
     pub fn merge_out(&self, index: usize) -> (PartitionTable, HashRange, usize) {
+        self.merge_into(index, if index == 0 { 1 } else { index - 1 })
+    }
+
+    /// Removes partition `index`, merging its range into the adjacent
+    /// partition `neighbour` (`index - 1` or `index + 1`) — the load-aware
+    /// rebalancer picks whichever neighbour is lighter. Returns the new
+    /// table, the hash range that moved, and the index *in the new table*
+    /// of the partition that absorbed it.
+    pub fn merge_into(&self, index: usize, neighbour: usize) -> (PartitionTable, HashRange, usize) {
         assert!(
             self.partitions.len() > 1,
             "cannot remove the last partition"
         );
+        assert!(
+            (index > 0 && neighbour == index - 1) || neighbour == index + 1,
+            "partition {neighbour} is not adjacent to {index}"
+        );
+        assert!(
+            neighbour < self.partitions.len(),
+            "no partition {neighbour}"
+        );
         let moved = self.range(index);
         let mut partitions = self.partitions.clone();
         partitions.remove(index);
-        let absorbed_by = if index == 0 {
-            // The old successor now owns from 0; contiguity requires the
-            // first partition to start at 0.
-            partitions[0].start = 0;
-            0
+        let absorbed_by = if neighbour == index + 1 {
+            // The old successor slides into `index` and now also owns the
+            // removed range below it — which, for partition 0, restores
+            // the required start-at-zero invariant.
+            partitions[index].start = moved.start;
+            index
         } else {
             // The predecessor's range silently extends up to the old
             // successor's start (or the end of the space).
@@ -263,6 +304,68 @@ mod tests {
                 assert_eq!(merged.index_of(probe), absorbed_by);
             }
         }
+    }
+
+    #[test]
+    fn split_at_moves_exactly_the_requested_range() {
+        let table = PartitionTable::even(controllers(2));
+        let range = table.range(1);
+        // An asymmetric split point: a quarter into the range.
+        let split_start = range.start + (range.end - range.start) / 4;
+        let (split, moved) = table.split_at(1, split_start, controller());
+        assert_eq!(split.len(), 3);
+        assert_eq!(
+            moved,
+            HashRange {
+                start: split_start,
+                end: range.end
+            }
+        );
+        assert_eq!(
+            split.range(1),
+            HashRange {
+                start: range.start,
+                end: split_start - 1
+            }
+        );
+        assert_eq!(split.range(2), moved);
+        let total: u128 = (0..3).map(|i| split.range(i).width()).sum();
+        assert_eq!(total, u64::MAX as u128 + 1);
+        // Boundary: splitting at the range's end moves a single hash.
+        let (_, moved) = table.split_at(1, range.end, controller());
+        assert_eq!(moved.width(), 1);
+    }
+
+    #[test]
+    fn merge_into_absorbs_in_either_direction() {
+        let table = PartitionTable::even(controllers(4));
+        // Merge partition 2 downward into 1.
+        let (down, moved, absorbed) = table.merge_into(2, 1);
+        assert_eq!(absorbed, 1);
+        assert_eq!(down.len(), 3);
+        assert_eq!(moved, table.range(2));
+        assert_eq!(down.range(1).end, table.range(2).end);
+        // Merge partition 2 upward into 3.
+        let (up, moved, absorbed) = table.merge_into(2, 3);
+        assert_eq!(absorbed, 2);
+        assert_eq!(up.len(), 3);
+        assert_eq!(up.range(2).start, moved.start);
+        assert_eq!(up.range(2).end, u64::MAX);
+        // Both directions preserve full coverage and route the moved range
+        // to the absorber.
+        for (merged, absorbed) in [(&down, &1usize), (&up, &2usize)] {
+            let total: u128 = (0..3).map(|i| merged.range(i).width()).sum();
+            assert_eq!(total, u64::MAX as u128 + 1);
+            assert_eq!(merged.partitions()[0].start, 0);
+            for probe in [moved.start, moved.end] {
+                assert_eq!(merged.index_of(probe), *absorbed);
+            }
+        }
+        // Partition 0 can only merge upward, and the successor then owns
+        // from 0.
+        let (zero, _, absorbed) = table.merge_into(0, 1);
+        assert_eq!(absorbed, 0);
+        assert_eq!(zero.partitions()[0].start, 0);
     }
 
     #[test]

@@ -34,11 +34,8 @@ fn single_config(encrypt: bool) -> ControllerConfig {
 }
 
 fn build_pair(encrypt: bool) -> (ControllerCluster, PesosController) {
-    let cluster = ControllerCluster::new(ClusterConfig {
-        controllers: 4,
-        controller: single_config(encrypt),
-    })
-    .unwrap();
+    let cluster =
+        ControllerCluster::new(ClusterConfig::with_controller(4, single_config(encrypt))).unwrap();
     let single = PesosController::new(single_config(encrypt)).unwrap();
     cluster.register_client("client");
     single.register_client("client");

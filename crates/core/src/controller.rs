@@ -322,7 +322,7 @@ impl PesosController {
         // One key hash and one content hash for the whole request: both are
         // reused by the policy check and then handed down into the store.
         let key = key.into();
-        let current = self.store.get_metadata(key);
+        let current = self.store.get_metadata(&key);
         let default_next = current.as_ref().map(|m| m.latest_version + 1).unwrap_or(0);
         let next_version = expected_version.unwrap_or(default_next);
         let new_hash = pesos_crypto::sha256(&value);
@@ -368,7 +368,7 @@ impl PesosController {
         ControllerMetrics::bump(&self.metrics.async_accepted);
 
         let key = key.into();
-        let current = self.store.get_metadata(key);
+        let current = self.store.get_metadata(&key);
         let default_next = current.as_ref().map(|m| m.latest_version + 1).unwrap_or(0);
         let next_version = expected_version.unwrap_or(default_next);
         let new_hash = pesos_crypto::sha256(&value);
@@ -420,7 +420,7 @@ impl PesosController {
         ControllerMetrics::bump(&self.metrics.requests);
         ControllerMetrics::bump(&self.metrics.reads);
         let key = key.into();
-        let current = self.store.get_metadata(key);
+        let current = self.store.get_metadata(&key);
         self.check_policy(
             Operation::Read,
             &key,
@@ -446,7 +446,7 @@ impl PesosController {
         ControllerMetrics::bump(&self.metrics.requests);
         ControllerMetrics::bump(&self.metrics.reads);
         let key = key.into();
-        let current = self.store.get_metadata(key);
+        let current = self.store.get_metadata(&key);
         self.check_policy(
             Operation::Read,
             &key,
@@ -470,7 +470,7 @@ impl PesosController {
         ControllerMetrics::bump(&self.metrics.requests);
         ControllerMetrics::bump(&self.metrics.deletes);
         let key = key.into();
-        let current = self.store.get_metadata(key);
+        let current = self.store.get_metadata(&key);
         self.check_policy(
             Operation::Delete,
             &key,
@@ -495,7 +495,7 @@ impl PesosController {
         self.require_session(client_id)?;
         ControllerMetrics::bump(&self.metrics.requests);
         let key = key.into();
-        let current = self.store.get_metadata(key);
+        let current = self.store.get_metadata(&key);
         self.check_policy(
             Operation::Update,
             &key,

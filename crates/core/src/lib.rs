@@ -42,7 +42,7 @@ pub use error::PesosError;
 pub use metadata::{ObjectMetadata, ShardedMetadata, VersionMeta};
 pub use metrics::ControllerMetrics;
 pub use object_cache::ObjectCache;
-pub use placement::{key_hash, placement, HashedKey};
+pub use placement::{key_hash, placement, routing_hash, routing_prefix, HashedKey};
 pub use request::{ClientRequest, ClientResponse};
 pub use result_buffer::{AsyncResult, ResultBuffer};
 pub use session::{SessionContext, SessionManager};

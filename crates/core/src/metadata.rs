@@ -216,6 +216,17 @@ impl ShardedMetadata {
         self.shards.iter().map(|s| s.read().len()).sum()
     }
 
+    /// The names of every cached record, in no particular order. Used by
+    /// the cluster's load-aware rebalancer to pick a weighted split point;
+    /// an in-memory snapshot (not drive-authoritative), which is all load
+    /// accounting needs.
+    pub fn keys(&self) -> Vec<String> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.read().keys().cloned().collect::<Vec<_>>())
+            .collect()
+    }
+
     /// Whether no metadata is cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0

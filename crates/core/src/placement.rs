@@ -7,6 +7,8 @@
 //! needs to be kept; on drive failure the next available drive in the
 //! sequence is used.
 
+use std::cell::Cell;
+
 use pesos_crypto::sha256;
 
 /// The deterministic key hash everything placement-related derives from:
@@ -18,6 +20,42 @@ pub fn key_hash(key: &str) -> u64 {
     let mut h = [0u8; 8];
     h.copy_from_slice(&digest[..8]);
     u64::from_be_bytes(h)
+}
+
+/// The *placement group* of a key: its directory-style prefix up to (and
+/// excluding) the first occurrence of `delimiter`, or the full key when the
+/// key contains no delimiter, starts with it (an empty prefix would lump
+/// unrelated keys into one group), or no delimiter is configured.
+///
+/// Keys in the same placement group always route to the same cluster
+/// partition, which is what makes object-referencing policies (`objSays`
+/// over `<key>.log`, MAL-style) evaluable against the owning partition's
+/// store on any topology: with the default `'.'` delimiter, `<key>`,
+/// `<key>.log` and `<key>.v2` all share the group `<key>`.
+pub fn routing_prefix(key: &str, delimiter: Option<char>) -> &str {
+    let Some(delimiter) = delimiter else {
+        return key;
+    };
+    match key.find(delimiter) {
+        Some(0) | None => key,
+        Some(at) => &key[..at],
+    }
+}
+
+/// The routing hash of `key`: [`key_hash`] of its [`routing_prefix`].
+///
+/// The cluster layer partitions the key space by *this* value, while drive
+/// placement, caches and lock shards keep using the full-key [`key_hash`] —
+/// the split that lets sibling objects co-route without perturbing any
+/// single-controller structure. For keys that are their own placement group
+/// the two hashes coincide and no extra digest is ever paid.
+pub fn routing_hash(key: &str, delimiter: Option<char>) -> u64 {
+    let prefix = routing_prefix(key, delimiter);
+    if prefix.len() == key.len() {
+        key_hash(key)
+    } else {
+        key_hash(prefix)
+    }
 }
 
 /// An object key bundled with its [`key_hash`], computed exactly once.
@@ -32,10 +70,22 @@ pub fn key_hash(key: &str) -> u64 {
 /// `From<&str>` keeps call sites that have only a bare key (tests, external
 /// store users) working: conversion computes the hash, so a bare `&str`
 /// argument is exactly the old behaviour.
-#[derive(Debug, Clone, Copy)]
+///
+/// The key's *routing hash* — [`key_hash`] over its placement-group prefix,
+/// by which the cluster layer partitions the key space — is computed lazily
+/// on first use and cached ([`HashedKey::routing_hash`]), so requests that
+/// never cross the cluster router (the whole single-controller surface)
+/// never pay for it. The cache cell is why `HashedKey` is `Clone` but not
+/// `Copy`; pass `&HashedKey` (every `impl Into<HashedKey>` parameter
+/// accepts it) to reuse one computation across layers.
+#[derive(Debug, Clone)]
 pub struct HashedKey<'a> {
     key: &'a str,
     hash: u64,
+    /// `(delimiter, routing hash)` memo of the last `routing_hash` call; a
+    /// cluster uses one delimiter for its lifetime, so in practice this is
+    /// computed at most once per request.
+    routing: Cell<Option<(Option<char>, u64)>>,
 }
 
 impl<'a> HashedKey<'a> {
@@ -44,15 +94,45 @@ impl<'a> HashedKey<'a> {
         HashedKey {
             key,
             hash: key_hash(key),
+            routing: Cell::new(None),
         }
     }
 
     /// Reassembles a `HashedKey` from a key and its previously computed
-    /// [`key_hash`]; crate-internal because a mismatched pair would corrupt
-    /// shard selection. Used where a request crosses an ownership boundary
-    /// (e.g. into an async closure) and only the raw parts can travel.
-    pub(crate) fn from_parts(key: &'a str, hash: u64) -> Self {
-        HashedKey { key, hash }
+    /// [`key_hash`]. The pair is trusted: a mismatched hash would corrupt
+    /// shard selection and drive placement for the key (the object would
+    /// be written where no lookup ever finds it), so only pass back a
+    /// value obtained from [`HashedKey::hash`] for the *same* key. Used
+    /// where a request crosses an ownership boundary (into an async or
+    /// migration-drain closure) and only the raw parts can travel; debug
+    /// builds verify the pair, release builds trust it (re-hashing would
+    /// defeat the point).
+    pub fn from_parts(key: &'a str, hash: u64) -> Self {
+        debug_assert_eq!(hash, key_hash(key), "hash does not belong to {key:?}");
+        HashedKey {
+            key,
+            hash,
+            routing: Cell::new(None),
+        }
+    }
+
+    /// The cluster-routing hash of this key: [`key_hash`] over the key's
+    /// [`routing_prefix`] under `delimiter`. Computed on first use and
+    /// cached; keys that are their own placement group reuse the already
+    /// cached full-key hash, costing nothing.
+    pub fn routing_hash(&self, delimiter: Option<char>) -> u64 {
+        let prefix = routing_prefix(self.key, delimiter);
+        if prefix.len() == self.key.len() {
+            return self.hash;
+        }
+        if let Some((memo_delim, memo_hash)) = self.routing.get() {
+            if memo_delim == delimiter {
+                return memo_hash;
+            }
+        }
+        let hash = key_hash(prefix);
+        self.routing.set(Some((delimiter, hash)));
+        hash
     }
 
     /// The object key.
@@ -102,7 +182,7 @@ impl<'a> From<&'a String> for HashedKey<'a> {
 
 impl<'a> From<&HashedKey<'a>> for HashedKey<'a> {
     fn from(key: &HashedKey<'a>) -> Self {
-        *key
+        key.clone()
     }
 }
 
@@ -249,11 +329,71 @@ mod tests {
             }
             // Placement through a precomputed hash is identical to placement
             // from the bare key.
-            assert_eq!(placement(hashed, 5, 3), placement(key, 5, 3));
+            assert_eq!(placement(&hashed, 5, 3), placement(key, 5, 3));
             assert_eq!(
-                placement_available(hashed, 5, 3, &[0, 2, 4]),
+                placement_available(&hashed, 5, 3, &[0, 2, 4]),
                 placement_available(key, 5, 3, &[0, 2, 4])
             );
+        }
+    }
+
+    #[test]
+    fn routing_prefix_cuts_at_the_first_delimiter_only() {
+        let d = Some('.');
+        // Siblings share the group of their base key.
+        assert_eq!(routing_prefix("doc", d), "doc");
+        assert_eq!(routing_prefix("doc.log", d), "doc");
+        assert_eq!(routing_prefix("doc.v2", d), "doc");
+        // First-delimiter rule: a dotted base key still groups with its
+        // suffixed siblings ("a.b" and "a.b.log" both cut to "a").
+        assert_eq!(routing_prefix("a.b", d), "a");
+        assert_eq!(routing_prefix("a.b.log", d), "a");
+        // Edge cases route by the full key: no delimiter in the key, a
+        // leading delimiter (empty prefix), a delimiter-only key, the empty
+        // key, and a configuration with no delimiter at all.
+        assert_eq!(routing_prefix("users/alice", d), "users/alice");
+        assert_eq!(routing_prefix(".log", d), ".log");
+        assert_eq!(routing_prefix(".", d), ".");
+        assert_eq!(routing_prefix("", d), "");
+        assert_eq!(routing_prefix("doc.log", None), "doc.log");
+        // Trailing delimiter: the prefix is the key minus the dot, so
+        // "doc." groups with "doc".
+        assert_eq!(routing_prefix("doc.", d), "doc");
+    }
+
+    #[test]
+    fn routing_hash_groups_siblings_and_caches() {
+        let d = Some('.');
+        for (a, b) in [
+            ("doc", "doc.log"),
+            ("doc", "doc.v2"),
+            ("a.b", "a.b.log"),
+            ("medical/record-7", "medical/record-7.log"),
+        ] {
+            assert_eq!(routing_hash(a, d), routing_hash(b, d), "{a} vs {b}");
+        }
+        // Full-key fallbacks equal the plain key hash.
+        for key in ["users/alice", ".log", ".", "", "doc"] {
+            assert_eq!(routing_hash(key, d), key_hash(key), "{key}");
+            assert_eq!(routing_hash(key, None), key_hash(key), "{key}");
+        }
+        // Distinct groups stay distinct.
+        assert_ne!(routing_hash("doc", d), routing_hash("dot", d));
+
+        // The cached form agrees with the free function, for every shape.
+        for key in ["doc", "doc.log", ".log", ".", "", "a.b.log", "x."] {
+            let hashed = HashedKey::new(key);
+            assert_eq!(hashed.routing_hash(d), routing_hash(key, d), "{key}");
+            // Second call answers from the memo (same value).
+            assert_eq!(hashed.routing_hash(d), routing_hash(key, d), "{key}");
+            // A different delimiter recomputes rather than serving a stale
+            // memo.
+            assert_eq!(
+                hashed.routing_hash(Some('/')),
+                routing_hash(key, Some('/')),
+                "{key}"
+            );
+            assert_eq!(hashed.routing_hash(None), key_hash(key), "{key}");
         }
     }
 

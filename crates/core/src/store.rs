@@ -442,7 +442,7 @@ impl PesosStore {
     /// or rolling versions back. The warm path (map hit) stays lock-free.
     pub fn get_metadata<'a>(&self, key: impl Into<HashedKey<'a>>) -> Option<ObjectMetadata> {
         let key = key.into();
-        if let Some(m) = self.metadata.get(key) {
+        if let Some(m) = self.metadata.get(&key) {
             return Some(m);
         }
         let key_lock = self.key_locks.lock_for(&key);
@@ -593,14 +593,14 @@ impl PesosStore {
         key: impl Into<HashedKey<'a>>,
     ) -> Result<(Arc<Vec<u8>>, u64), PesosError> {
         let key = key.into();
-        if let Some((value, version)) = self.object_cache.get(key) {
+        if let Some((value, version)) = self.object_cache.get(&key) {
             return Ok((value, version));
         }
         let meta = self
-            .get_metadata(key)
+            .get_metadata(&key)
             .ok_or_else(|| PesosError::ObjectNotFound(key.key().to_string()))?;
         let version = meta.latest_version;
-        let value = self.get_object_version(key, version)?;
+        let value = self.get_object_version(&key, version)?;
         let value = Arc::new(value);
         // Fill the cache under the key lock, and only if what we read from
         // the drives is still the latest content: without the re-check, a
@@ -615,13 +615,13 @@ impl PesosStore {
             let value_hash = pesos_crypto::sha256(&value);
             let key_lock = self.key_locks.lock_for(&key);
             let fill_guard = key_lock.lock();
-            let still_latest = self.metadata.get(key).is_some_and(|m| {
+            let still_latest = self.metadata.get(&key).is_some_and(|m| {
                 m.latest_version == version
                     && m.version(version)
                         .is_some_and(|v| v.value_hash == value_hash)
             });
             if still_latest {
-                self.object_cache.put(key, Arc::clone(&value), version);
+                self.object_cache.put(&key, Arc::clone(&value), version);
             }
             drop(fill_guard);
             self.key_locks.release_if_unused(&key, &key_lock);
@@ -687,8 +687,8 @@ impl PesosStore {
             )?;
             set.join()?;
         }
-        self.metadata.remove(key);
-        self.object_cache.invalidate(key);
+        self.metadata.remove(&key);
+        self.object_cache.invalidate(&key);
         drop(write_guard);
         self.key_locks.release_if_unused(&key, &key_lock);
         Ok(())
@@ -717,6 +717,23 @@ impl PesosStore {
         StoreView { store: self }
     }
 
+    /// Number of objects resident in the in-enclave metadata map.
+    ///
+    /// An in-memory approximation of the store's population (puts insert,
+    /// deletes remove, cold read-throughs fill) — exactly what load-aware
+    /// rebalancing needs; the drive-authoritative count is
+    /// [`PesosStore::list_keys`].
+    pub fn resident_object_count(&self) -> usize {
+        self.metadata.len()
+    }
+
+    /// The names of the resident objects (same in-memory approximation as
+    /// [`PesosStore::resident_object_count`]); the rebalancer hashes these
+    /// to pick a weighted split point.
+    pub fn resident_keys(&self) -> Vec<String> {
+        self.metadata.keys()
+    }
+
     // ------------------------------------------------------------------
     // Hash-range migration (cluster layer)
     // ------------------------------------------------------------------
@@ -733,6 +750,18 @@ impl PesosStore {
     /// keys may exist nowhere else, and a migration that believed this
     /// listing complete would strand them.
     pub fn list_keys(&self) -> Result<Vec<String>, PesosError> {
+        self.list_keys_with_prefix("")
+    }
+
+    /// Like [`PesosStore::list_keys`] but returns only keys beginning with
+    /// `prefix` (same drive-authoritative scan, narrowed to the prefix's
+    /// slice of the metadata namespace).
+    ///
+    /// The cluster layer uses this during hash-range migration to
+    /// demand-pull a whole *placement group* at once: every sibling of a
+    /// requested key shares its routing prefix, so one bounded prefix scan
+    /// finds the referenced objects a policy may consult.
+    pub fn list_keys_with_prefix(&self, prefix: &str) -> Result<Vec<String>, PesosError> {
         const BATCH: u32 = 512;
         let online = self.online_indices();
         if online.len() != self.clients.len() {
@@ -744,10 +773,16 @@ impl PesosStore {
         }
         let mut keys = std::collections::BTreeSet::new();
         for &index in &online {
-            let mut start: Vec<u8> = b"m/".to_vec();
-            // Everything in the metadata namespace sorts below "m\x30"
-            // ('/' is 0x2f), so "m\xff" is a safe inclusive upper bound.
-            let end: Vec<u8> = b"m\xff".to_vec();
+            let mut start: Vec<u8> = format!("m/{prefix}").into_bytes();
+            // Object keys are UTF-8 and therefore never contain the byte
+            // 0xff, so appending it to the scan prefix forms an inclusive
+            // upper bound covering exactly the keys that start with
+            // `prefix` (the whole "m/…" namespace for the empty prefix).
+            let end = {
+                let mut end = start.clone();
+                end.push(0xff);
+                end
+            };
             loop {
                 let client = Arc::clone(&self.clients[index]);
                 let range_start = start.clone();
@@ -1203,6 +1238,55 @@ mod tests {
             dst.delete_object("empty").unwrap();
             assert!(dst.get_object("empty").is_err());
         }
+    }
+
+    #[test]
+    fn list_keys_with_prefix_scans_exactly_the_prefix_slice() {
+        let s = store(2, 2);
+        for key in [
+            "doc",
+            "doc.log",
+            "doc.v2",
+            "docs/extra",
+            "dot",
+            "a.b",
+            ".log",
+            ".",
+        ] {
+            s.put_object(key, b"v", None).unwrap();
+        }
+        let mut got = s.list_keys_with_prefix("doc").unwrap();
+        got.sort();
+        assert_eq!(got, vec!["doc", "doc.log", "doc.v2", "docs/extra"]);
+        assert_eq!(s.list_keys_with_prefix("doc.").unwrap().len(), 2);
+        assert_eq!(s.list_keys_with_prefix(".").unwrap(), vec![".", ".log"]);
+        assert!(s.list_keys_with_prefix("zzz").unwrap().is_empty());
+        // The empty prefix is the full listing.
+        assert_eq!(s.list_keys_with_prefix("").unwrap().len(), 8);
+        assert_eq!(s.list_keys().unwrap().len(), 8);
+        // Same offline-drive refusal as the full listing: a narrowed scan
+        // could silently miss a group member that lives only there.
+        s.drives().get(1).unwrap().set_online(false);
+        assert!(matches!(
+            s.list_keys_with_prefix("doc"),
+            Err(PesosError::Backend(_))
+        ));
+    }
+
+    #[test]
+    fn resident_accounting_tracks_puts_and_deletes() {
+        let s = store(1, 1);
+        assert_eq!(s.resident_object_count(), 0);
+        for i in 0..5 {
+            s.put_object(&format!("r/{i}"), b"v", None).unwrap();
+        }
+        s.put_object("r/0", b"v2", None).unwrap(); // new version, same key
+        assert_eq!(s.resident_object_count(), 5);
+        let mut names = s.resident_keys();
+        names.sort();
+        assert_eq!(names, (0..5).map(|i| format!("r/{i}")).collect::<Vec<_>>());
+        s.delete_object("r/3").unwrap();
+        assert_eq!(s.resident_object_count(), 4);
     }
 
     #[test]

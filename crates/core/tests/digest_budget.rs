@@ -114,6 +114,56 @@ fn put_and_get_compression_budgets() {
 }
 
 #[test]
+fn rebalance_drain_compression_budget() {
+    let _serial = MEASURE_LOCK.lock().unwrap();
+    use pesos_cluster::{ClusterConfig, ControllerCluster};
+
+    // Two partitions, serial drain (drain_concurrency = 1) so the count is
+    // deterministic; removing partition 1 drains every one of its resident
+    // keys through export → import → delete.
+    let mut config = ClusterConfig::native_simulator(2, 1);
+    config.drain_concurrency = 1;
+    let cluster = ControllerCluster::new(config).unwrap();
+    cluster.register_client("budget");
+    const KEYS: usize = 48;
+    for i in 0..KEYS {
+        // A mix of plain and suffixed keys, so the budget also covers the
+        // routing-prefix hash suffixed keys pay during the range check.
+        let key = if i % 3 == 0 {
+            format!("drain/k{i}.log")
+        } else {
+            format!("drain/k{i}")
+        };
+        cluster
+            .put("budget", &key, b"v".to_vec(), None, None, &[])
+            .unwrap();
+    }
+    let moved = cluster.partition_loads()[1].resident_objects;
+    assert!(moved > 0, "no keys landed on the drained partition");
+
+    let (_, drained) = measured(|| cluster.remove_controller(1).unwrap());
+    let per_key = drained as f64 / moved as f64;
+    println!(
+        "rebalance drain: {drained} compressions for {moved} moved keys \
+         ({per_key:.1}/key)"
+    );
+    // Measured ~50/key: the object move itself (export's raced
+    // metadata+data reads and unseal, import's re-seal and replicated
+    // puts of data and metadata, the source-side delete — each drive
+    // exchange at the pinned ≤ 7 compressions) plus, amortized, the one
+    // key hash per listed key (the routing-prefix digest rides along only
+    // for suffixed keys), the listing pages and the weighted-load
+    // accounting. Re-hashing keys per structure or re-verifying frames
+    // during the drain blows well past the budget.
+    assert!(
+        per_key <= 65.0,
+        "drain spent {per_key:.1} compressions per moved key \
+         (budget 65; measured ~50) — a per-key re-hash or a full \
+         frame-verify pass crept into the migration path"
+    );
+}
+
+#[test]
 fn exchange_compression_budget() {
     let _serial = MEASURE_LOCK.lock().unwrap();
     use pesos_kinetic::{ClientConfig, DriveConfig, KineticClient, KineticDrive};

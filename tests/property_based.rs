@@ -237,13 +237,13 @@ proptest! {
         prop_assert_eq!(hashed.hash(), pesos::core::key_hash(&key));
         prop_assert_eq!(hashed.shard(shards), pesos::core::placement::shard_index(&key, shards));
         prop_assert_eq!(
-            pesos::core::placement(hashed, drives, factor),
+            pesos::core::placement(&hashed, drives, factor),
             pesos::core::placement(key.as_str(), drives, factor)
         );
         // placement_available through the membership mask equals a naive
         // linear-scan reference for arbitrary online subsets.
         let online: Vec<usize> = (0..drives).filter(|i| online_mask & (1 << (i % 64)) != 0).collect();
-        let got = pesos::core::placement::placement_available(hashed, drives, factor, &online);
+        let got = pesos::core::placement::placement_available(&hashed, drives, factor, &online);
         let expected = {
             if online.is_empty() {
                 Vec::new()
