@@ -1,0 +1,54 @@
+//! Failover micro-benchmark: one kill-and-promote cycle on a replicated
+//! 2-partition cluster — the cost of stopping the dead primary's replica
+//! set, replaying the retained log tail into the freshest backup under
+//! the ops gate, and swapping the routing table. Every write is
+//! acknowledged before the kill and checked after promotion, so a cycle
+//! that loses an acked write fails the benchmark rather than timing it.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pesos_cluster::{ClusterConfig, ControllerCluster};
+use pesos_core::ControllerConfig;
+
+fn failover_once(backups: usize, writes: usize) {
+    let mut controller_config = ControllerConfig::native_simulator(1);
+    controller_config.syscall_threads = 4;
+    let mut cluster_config = ClusterConfig::with_controller(2, controller_config);
+    cluster_config.backups_per_partition = backups;
+    let cluster = Arc::new(ControllerCluster::new(cluster_config).expect("cluster bootstrap"));
+    cluster.register_client("bench");
+    for i in 0..writes {
+        cluster
+            .put(
+                "bench",
+                &format!("fo{i:04}/obj"),
+                vec![7u8; 128],
+                None,
+                None,
+                &[],
+            )
+            .expect("load");
+    }
+    cluster.kill_controller(0).expect("kill");
+    cluster.fail_controller(0).expect("promote");
+    for i in 0..writes {
+        cluster
+            .get("bench", &format!("fo{i:04}/obj"), &[])
+            .expect("acked write lost across failover");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_failover");
+    group.sample_size(10);
+    for backups in [1usize, 2] {
+        group.bench_function(format!("b{backups}"), |b| {
+            b.iter(|| failover_once(backups, 48))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -869,6 +869,96 @@ pub fn fig10_mal_granularity(scale: Scale) -> Vec<DataPoint> {
     out
 }
 
+/// Figure 14: controller failover — time to promote a backup after the
+/// primary of a partition is killed, and (the robustness headline) how
+/// many acknowledged writes the failover loses. The answer to the second
+/// must be zero, and the figure asserts it rather than just printing it.
+///
+/// The load is half synchronous puts and half asynchronous puts polled to
+/// `Completed` — both acknowledgement paths cross the replication log —
+/// against a 2-partition cluster whose partition 0 is then killed and
+/// failed over. Promotion replays the retained log tail under the ops
+/// gate, so its cost scales with the acknowledged-but-unshipped window,
+/// not the full dataset.
+pub fn fig14_failover(scale: Scale) -> Vec<DataPoint> {
+    let mut out = Vec::new();
+    println!();
+    println!("=== Figure 14: failover (Pesos Sim, 2 partitions, kill primary 0) ===");
+    println!(
+        "{:<22} {:>10} {:>12} {:>14} {:>12}",
+        "config", "writes", "replayed", "promote(ms)", "acked lost"
+    );
+    let writes = match scale {
+        Scale::Quick => 128,
+        Scale::Full => 2048,
+    };
+    for backups in [1usize, 2] {
+        let mut controller_config = ControllerConfig::sgx_simulator(1);
+        controller_config.syscall_threads = 4;
+        let mut cluster_config = ClusterConfig::with_controller(2, controller_config);
+        cluster_config.backups_per_partition = backups;
+        let cluster = ControllerCluster::new(cluster_config).expect("cluster bootstrap");
+        cluster.register_client("bench");
+
+        // Half the writes synchronous, half asynchronous-then-polled:
+        // every one of them is acknowledged before the kill.
+        let mut ops = Vec::with_capacity(writes / 2);
+        for i in 0..writes {
+            let key = format!("fo{i:05}/obj");
+            let value = format!("fo{i:05}-payload").into_bytes();
+            if i % 2 == 0 {
+                cluster
+                    .put("bench", &key, value, None, None, &[])
+                    .expect("sync load");
+            } else {
+                ops.push(
+                    cluster
+                        .put_async("bench", &key, value, None, None, &[])
+                        .expect("async load"),
+                );
+            }
+        }
+        cluster.drain_async();
+        for op in ops {
+            assert!(
+                matches!(
+                    cluster.poll_result("bench", op),
+                    Some(pesos_core::AsyncResult::Completed { .. })
+                ),
+                "async load not acknowledged"
+            );
+        }
+
+        cluster.kill_controller(0).expect("kill");
+        let start = std::time::Instant::now();
+        let promotion = cluster.fail_controller(0).expect("promote");
+        let promote_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let mut lost = 0usize;
+        for i in 0..writes {
+            let key = format!("fo{i:05}/obj");
+            match cluster.get("bench", &key, &[]) {
+                Ok((value, _)) if *value == format!("fo{i:05}-payload").as_bytes() => {}
+                _ => lost += 1,
+            }
+        }
+        assert_eq!(lost, 0, "failover lost {lost} acknowledged writes");
+
+        let point = DataPoint {
+            config: format!("failover b{backups}"),
+            x: writes as f64,
+            kiops: promotion.replayed as f64,
+            latency_ms: promote_ms,
+        };
+        println!(
+            "{:<22} {:>10} {:>12} {:>14.2} {:>12}",
+            point.config, writes, promotion.replayed, promote_ms, lost
+        );
+        out.push(point);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,6 +4,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 use pesos_core::sharded::{Sharded, ShardedFifoMap};
@@ -12,11 +13,20 @@ use pesos_core::{
     PesosController, PesosError, RequestEndpoint, TxOutcome, TxWrite,
 };
 use pesos_crypto::Certificate;
+use pesos_kinetic::Payload;
 use pesos_policy::PolicyId;
 use pesos_wire::{RestMethod, RestRequest, RestResponse, RestStatus};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
+use crate::replication::{LogRecord, Promotion, ReplicaSet};
 use crate::router::{HashRange, PartitionTable};
 use crate::twopc::ClusterTxManager;
+
+/// Key of the per-partition replication log HMAC. Log frames never leave
+/// the process (each replica set ships only to its own backups), so one
+/// shared secret is enough to catch corruption and cross-channel mixups.
+const REPLICATION_SECRET: &[u8] = b"pesos-cluster-replication-log";
 
 /// Static configuration of a controller cluster.
 #[derive(Debug, Clone)]
@@ -41,6 +51,29 @@ pub struct ClusterConfig {
     /// `1` restores the serial key-at-a-time drain (the benchmark "before"
     /// configuration).
     pub drain_concurrency: usize,
+    /// Backup controllers per partition. `0` (the default) disables
+    /// replication entirely: no backup instances, no op logs, and
+    /// [`ControllerCluster::fail_controller`] refuses — exactly the
+    /// pre-replication behavior. With `n > 0` every partition primary
+    /// streams its op log to `n` backups and can fail over onto the
+    /// freshest one.
+    pub backups_per_partition: usize,
+    /// Bounded-lag backpressure for replication: when the slowest backup
+    /// falls more than this many log records behind, acknowledgements to
+    /// new writes on that partition block until it catches up (or the
+    /// stall cap expires — see `replication::APPEND_STALL_CAP`).
+    pub replication_max_lag: u64,
+    /// Maximum attempts for retryable operations: requests that hit a
+    /// failed controller (retried against the promoted backup), demand
+    /// pulls, and migration settles. `1` disables retry.
+    pub retry_attempts: u32,
+    /// First backoff of the capped exponential retry schedule.
+    pub retry_base: Duration,
+    /// Upper bound on any single retry backoff.
+    pub retry_cap: Duration,
+    /// Seed of the jitter generator the retry schedule draws from
+    /// (deterministic via the workspace's seeded rand shim).
+    pub retry_jitter_seed: u64,
 }
 
 impl ClusterConfig {
@@ -51,6 +84,12 @@ impl ClusterConfig {
             controller,
             routing_delimiter: Some('.'),
             drain_concurrency: 4,
+            backups_per_partition: 0,
+            replication_max_lag: 256,
+            retry_attempts: 4,
+            retry_base: Duration::from_millis(1),
+            retry_cap: Duration::from_millis(50),
+            retry_jitter_seed: 0x5EED,
         }
     }
 
@@ -91,6 +130,11 @@ impl ClusterConfig {
                 "drain_concurrency must be at least 1".into(),
             ));
         }
+        if self.retry_attempts == 0 {
+            return Err(PesosError::BadRequest(
+                "retry_attempts must be at least 1 (1 = no retry)".into(),
+            ));
+        }
         self.controller.validate()
     }
 }
@@ -114,6 +158,14 @@ struct Migration {
     /// into an in-memory lookup instead of a per-request source prefix
     /// scan.
     settled_groups: Mutex<BTreeSet<String>>,
+    /// The source partition's replication log, when replication is on:
+    /// a pull's source-side delete is appended so the source's backups
+    /// drop the moved object too.
+    src_set: Option<Arc<ReplicaSet>>,
+    /// The destination partition's replication log: a pull's import (and
+    /// any policy copied alongside it) is appended so the destination's
+    /// backups receive the moved object.
+    dst_set: Option<Arc<ReplicaSet>>,
 }
 
 /// One immutable snapshot of everything a request needs to route: the
@@ -151,6 +203,43 @@ pub struct PartitionCostReport {
     /// Objects resident on the partition (in-memory metadata count) — one
     /// of the two load inputs the rebalancer weighs.
     pub resident_objects: usize,
+    /// Cluster-wide retry counters (identical on every row — retries are
+    /// accounted at the routing layer, not per partition).
+    pub retries: RetryStats,
+}
+
+/// Cluster-wide counters of the capped-exponential retry paths, exposed
+/// through [`ControllerCluster::cost_report`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Demand pulls attempted (first tries included).
+    pub demand_pull_attempts: u64,
+    /// Demand pulls that needed at least one retry.
+    pub demand_pull_retries: u64,
+    /// Migration-settle attempts that were retried after a drain error.
+    pub settle_retries: u64,
+    /// Requests re-routed after hitting an unavailable controller.
+    pub request_retries: u64,
+}
+
+/// Interior-mutable accumulator behind [`RetryStats`].
+#[derive(Default)]
+struct RetryCounters {
+    demand_pull_attempts: AtomicU64,
+    demand_pull_retries: AtomicU64,
+    settle_retries: AtomicU64,
+    request_retries: AtomicU64,
+}
+
+impl RetryCounters {
+    fn snapshot(&self) -> RetryStats {
+        RetryStats {
+            demand_pull_attempts: self.demand_pull_attempts.load(Ordering::Relaxed),
+            demand_pull_retries: self.demand_pull_retries.load(Ordering::Relaxed),
+            settle_retries: self.settle_retries.load(Ordering::Relaxed),
+            request_retries: self.request_retries.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// One partition's load, as the load-aware rebalancer sees it: resident
@@ -273,6 +362,22 @@ pub struct ControllerCluster {
     async_ops: AsyncOps,
     next_async_id: AtomicU64,
     template: ControllerConfig,
+    /// Per-primary replication state, matched by `Arc` identity. Empty
+    /// when [`ClusterConfig::backups_per_partition`] is 0.
+    replicas: RwLock<Vec<(Arc<PesosController>, Arc<ReplicaSet>)>>,
+    /// Whether replication was configured at all; checked before touching
+    /// the `replicas` lock so a replication-free cluster pays nothing on
+    /// the request path.
+    replication_on: bool,
+    backups_per_partition: usize,
+    replication_max_lag: u64,
+    retry_attempts: u32,
+    retry_base: Duration,
+    retry_cap: Duration,
+    /// Jitter source for the retry schedule (seeded, so stress runs are
+    /// reproducible).
+    retry_rng: Mutex<StdRng>,
+    retries: RetryCounters,
 }
 
 impl ControllerCluster {
@@ -283,6 +388,21 @@ impl ControllerCluster {
         let controllers: Vec<Arc<PesosController>> = (0..config.controllers)
             .map(|_| PesosController::new(config.controller.clone()).map(Arc::new))
             .collect::<Result<_, _>>()?;
+        let replicas = if config.backups_per_partition > 0 {
+            controllers
+                .iter()
+                .map(|primary| {
+                    let set = Self::spawn_replica_set(
+                        &config.controller,
+                        config.backups_per_partition,
+                        config.replication_max_lag,
+                    )?;
+                    Ok((Arc::clone(primary), set))
+                })
+                .collect::<Result<Vec<_>, PesosError>>()?
+        } else {
+            Vec::new()
+        };
         let shards = config.controller.lock_shards;
         Ok(ControllerCluster {
             routing: RwLock::new(Arc::new(RoutingState {
@@ -302,7 +422,66 @@ impl ControllerCluster {
             async_ops: AsyncOps::new(shards, config.controller.result_buffer_capacity),
             next_async_id: AtomicU64::new(1),
             template: config.controller,
+            replicas: RwLock::new(replicas),
+            replication_on: config.backups_per_partition > 0,
+            backups_per_partition: config.backups_per_partition,
+            replication_max_lag: config.replication_max_lag,
+            retry_attempts: config.retry_attempts,
+            retry_base: config.retry_base,
+            retry_cap: config.retry_cap,
+            retry_rng: Mutex::new(StdRng::seed_from_u64(config.retry_jitter_seed)),
+            retries: RetryCounters::default(),
         })
+    }
+
+    /// Builds `count` backup controllers from the template and starts a
+    /// replica set shipping to them.
+    fn spawn_replica_set(
+        template: &ControllerConfig,
+        count: usize,
+        max_lag: u64,
+    ) -> Result<Arc<ReplicaSet>, PesosError> {
+        let backups = (0..count)
+            .map(|_| PesosController::new(template.clone()).map(Arc::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ReplicaSet::spawn(REPLICATION_SECRET, backups, max_lag))
+    }
+
+    /// The replication log of the partition `controller` is primary of,
+    /// if replication is on and the partition still has one.
+    fn replica_set_of(&self, controller: &Arc<PesosController>) -> Option<Arc<ReplicaSet>> {
+        if !self.replication_on {
+            return None;
+        }
+        self.replicas
+            .read()
+            .iter()
+            .find(|(primary, _)| Arc::ptr_eq(primary, controller))
+            .map(|(_, set)| Arc::clone(set))
+    }
+
+    /// Appends a log record to `controller`'s replication log, if it has
+    /// one. The record is built lazily so a replication-free cluster pays
+    /// no allocation on the request path. Callers invoke this *before*
+    /// releasing the acknowledgement to the client (everything runs under
+    /// the ops-gate read side), preserving the "acked ⇒ logged" invariant.
+    fn append_for(&self, controller: &Arc<PesosController>, record: impl FnOnce() -> LogRecord) {
+        if let Some(set) = self.replica_set_of(controller) {
+            set.append(record());
+        }
+    }
+
+    /// One capped-exponential backoff pause with seeded jitter: attempt
+    /// `n` sleeps a uniform draw from `[d/2, d]` where `d = base·2ⁿ`
+    /// capped at [`ClusterConfig::retry_cap`].
+    fn retry_pause(&self, attempt: u32) {
+        let base = (self.retry_base.as_micros() as u64).max(1);
+        let cap = (self.retry_cap.as_micros() as u64).max(1);
+        let exp = base.saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX));
+        let ceiling = exp.min(cap);
+        let floor = (ceiling / 2).max(1);
+        let jitter = self.retry_rng.lock().gen_range(floor..ceiling + 1);
+        std::thread::sleep(Duration::from_micros(jitter));
     }
 
     /// Number of partitions (= controller instances) in the current table.
@@ -335,6 +514,7 @@ impl ControllerCluster {
     /// instance, read out alongside the partition's hash range.
     pub fn cost_report(&self) -> Vec<PartitionCostReport> {
         let routing = self.routing.read().clone();
+        let retries = self.retries.snapshot();
         routing
             .table
             .partitions()
@@ -348,8 +528,15 @@ impl ControllerCluster {
                 asyscall: p.controller.store().asyscall_stats(),
                 metrics: p.controller.metrics(),
                 resident_objects: p.controller.store().resident_object_count(),
+                retries,
             })
             .collect()
+    }
+
+    /// Cluster-wide retry counters (also on every [`PartitionCostReport`]
+    /// row).
+    pub fn retry_stats(&self) -> RetryStats {
+        self.retries.snapshot()
     }
 
     /// Per-partition load (resident objects + request counters) under the
@@ -478,7 +665,46 @@ impl ControllerCluster {
     /// out of an in-flight migration's source first if necessary. The
     /// closure also receives the snapshot, for callers that need more of
     /// the topology than the owner (e.g. `ensure_policy`'s peer scan).
+    ///
+    /// An operation that hits an unavailable controller (its partition
+    /// failed) is retried with capped exponential backoff: the ops-gate
+    /// read and routing snapshot are re-acquired per attempt, so once a
+    /// concurrent [`ControllerCluster::fail_controller`] promotes a backup
+    /// and swaps the table, the retry lands on the new owner instead of
+    /// erroring out. The gate is *released* across the backoff sleep —
+    /// that release is what lets the failover's write acquire proceed.
     fn with_owner<R>(
+        &self,
+        key: &HashedKey<'_>,
+        mut f: impl FnMut(&RoutingState, &Arc<PesosController>) -> Result<R, PesosError>,
+    ) -> Result<R, PesosError> {
+        let mut attempt = 0u32;
+        loop {
+            let result = {
+                let _gate = self.ops_gate.read();
+                let routing = self.routing.read().clone();
+                match self.pull_if_migrating(&routing, key) {
+                    Ok(()) => f(&routing, routing.table.route(self.routing_hash(key))),
+                    Err(e) => Err(e),
+                }
+            };
+            match result {
+                Err(PesosError::Unavailable(_)) if attempt + 1 < self.retry_attempts => {
+                    self.retries.request_retries.fetch_add(1, Ordering::Relaxed);
+                    self.retry_pause(attempt);
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Single-shot variant of [`ControllerCluster::with_owner`] for the
+    /// paths that move their value into the operation (a retry would have
+    /// nothing left to send). Used when replication is off — without a
+    /// backup to promote there is nowhere useful to retry a put anyway,
+    /// and this keeps the replication-free put path copy-free.
+    fn with_owner_once<R>(
         &self,
         key: &HashedKey<'_>,
         f: impl FnOnce(&RoutingState, &Arc<PesosController>) -> Result<R, PesosError>,
@@ -520,10 +746,38 @@ impl ControllerCluster {
                     continue;
                 }
             }
-            Self::pull_key(&self.migration_locks, migration, key)?;
+            self.demand_pull(migration, key)?;
             self.pull_group_siblings(migration, key);
         }
         Ok(())
+    }
+
+    /// A demand pull with capped-exponential-backoff retry: transient
+    /// source/destination faults (an injected drive error, a torn reply)
+    /// are retried up to [`ClusterConfig::retry_attempts`] times instead
+    /// of failing the triggering request on the first fault. The pull is
+    /// idempotent (it re-checks destination state under the striped key
+    /// lock), so retrying after *any* error is safe: either the key ends
+    /// up moved or the migration record stays active and the key remains
+    /// reachable at the source.
+    fn demand_pull(&self, migration: &Migration, key: &HashedKey<'_>) -> Result<(), PesosError> {
+        let mut attempt = 0u32;
+        loop {
+            self.retries
+                .demand_pull_attempts
+                .fetch_add(1, Ordering::Relaxed);
+            match Self::pull_key(&self.migration_locks, migration, key) {
+                Ok(()) => return Ok(()),
+                Err(e) if attempt + 1 >= self.retry_attempts => return Err(e),
+                Err(_) => {
+                    self.retries
+                        .demand_pull_retries
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.retry_pause(attempt);
+                    attempt += 1;
+                }
+            }
+        }
     }
 
     /// Pulls the placement-group siblings of `key` (same routing prefix,
@@ -559,7 +813,7 @@ impl ControllerCluster {
                 {
                     continue;
                 }
-                Self::pull_key(&self.migration_locks, migration, &HashedKey::new(&sibling))?;
+                self.demand_pull(migration, &HashedKey::new(&sibling))?;
             }
             // Siblings whose move completed but whose source delete is
             // still outstanding may no longer surface in the listing (a
@@ -576,7 +830,7 @@ impl ControllerCluster {
                 .cloned()
                 .collect();
             for sibling in pending {
-                Self::pull_key(&self.migration_locks, migration, &HashedKey::new(&sibling))?;
+                self.demand_pull(migration, &HashedKey::new(&sibling))?;
             }
             Ok(())
         })();
@@ -609,13 +863,34 @@ impl ControllerCluster {
             return match migration.src.store().delete_object(key) {
                 Ok(()) | Err(PesosError::ObjectNotFound(_)) => {
                     migration.moved_pending_delete.lock().remove(key.key());
+                    if let Some(set) = &migration.src_set {
+                        set.append(LogRecord::Delete {
+                            key: key.key().to_string(),
+                        });
+                    }
                     Ok(())
                 }
                 Err(e) => Err(e),
             };
         }
         if migration.dst.store().get_metadata(key).is_some() {
-            return Ok(()); // already moved
+            // Already at the destination. Usually the source copy is gone
+            // too, but an import whose *reply* was torn by a drive fault
+            // lands the object while reporting failure — the retry takes
+            // this branch with the stale source copy still present, so
+            // finish the source-side delete here (NotFound means there
+            // was nothing left to do).
+            return match migration.src.store().delete_object(key) {
+                Ok(()) | Err(PesosError::ObjectNotFound(_)) => {
+                    if let Some(set) = &migration.src_set {
+                        set.append(LogRecord::Delete {
+                            key: key.key().to_string(),
+                        });
+                    }
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            };
         }
         let Some(export) = migration.src.store().export_object(key)? else {
             return Ok(()); // never existed (or deleted after moving)
@@ -624,11 +899,21 @@ impl ControllerCluster {
         if let Some(policy_id) = export.meta.policy_id {
             if migration.dst.store().load_policy(&policy_id).is_err() {
                 if let Ok(policy) = migration.src.store().load_policy(&policy_id) {
+                    if let Some(set) = &migration.dst_set {
+                        set.append(LogRecord::PolicyInstall {
+                            bytes: policy.to_bytes().into(),
+                        });
+                    }
                     migration.dst.store().store_compiled_policy(policy)?;
                 }
             }
         }
         migration.dst.store().import_object(&export)?;
+        // The destination's backups receive the moved object through the
+        // destination's log; the source's drop it through the source's.
+        if let Some(set) = &migration.dst_set {
+            set.append(LogRecord::Import(Box::new(export)));
+        }
         // Only once the destination durably holds the object does the
         // source copy go away: a failed import leaves the source
         // authoritative and the pull retryable, never a lost object.
@@ -641,6 +926,11 @@ impl ControllerCluster {
                 .lock()
                 .insert(key.key().to_string());
             return Err(e);
+        }
+        if let Some(set) = &migration.src_set {
+            set.append(LogRecord::Delete {
+                key: key.key().to_string(),
+            });
         }
         Ok(())
     }
@@ -678,6 +968,9 @@ impl ControllerCluster {
                 continue;
             }
             if let Ok(policy) = partition.controller.store().load_policy(policy_id) {
+                self.append_for(controller, || LogRecord::PolicyInstall {
+                    bytes: policy.to_bytes().into(),
+                });
                 controller.store().store_compiled_policy(policy)?;
                 return Ok(true);
             }
@@ -717,6 +1010,23 @@ impl ControllerCluster {
         }
         let id = id.ok_or_else(|| PesosError::Backend("cluster has no partitions".into()))?;
         self.policies.lock().insert(id);
+        // Broadcast the compiled *body* into every partition's log: a
+        // promoted backup must evaluate policies with no surviving peer to
+        // copy them from.
+        if self.replication_on {
+            if let Ok(policy) = routing.table.partitions()[0]
+                .controller
+                .store()
+                .load_policy(&id)
+            {
+                let bytes: Payload = policy.to_bytes().into();
+                for partition in routing.table.partitions() {
+                    self.append_for(&partition.controller, || LogRecord::PolicyInstall {
+                        bytes: bytes.clone(),
+                    });
+                }
+            }
+        }
         Ok(id)
     }
 
@@ -731,18 +1041,46 @@ impl ControllerCluster {
         certificates: &[Certificate],
     ) -> Result<u64, PesosError> {
         let key = HashedKey::new(key);
+        if !self.replication_on {
+            // Replication-free fast path: the value moves straight into
+            // the owner, copy-free, exactly as before replication existed.
+            return self.with_owner_once(&key, |routing, owner| {
+                if let Some(id) = &policy_id {
+                    self.ensure_policy(routing, owner, id)?;
+                }
+                owner.put(
+                    client_id,
+                    &key,
+                    value,
+                    policy_id,
+                    expected_version,
+                    certificates,
+                )
+            });
+        }
+        // Replicated path: the value becomes a shared buffer once; each
+        // attempt hands the owner its own copy and, on success, the log
+        // record ships the shared buffer itself (no further copies).
+        let payload: Payload = value.into();
         self.with_owner(&key, |routing, owner| {
             if let Some(id) = &policy_id {
                 self.ensure_policy(routing, owner, id)?;
             }
-            owner.put(
+            let version = owner.put(
                 client_id,
                 &key,
-                value,
+                payload.to_vec(),
                 policy_id,
                 expected_version,
                 certificates,
-            )
+            )?;
+            self.append_for(owner, || LogRecord::Put {
+                key: key.key().to_string(),
+                value: payload.clone(),
+                policy_id,
+                version: Some(version),
+            });
+            Ok(version)
         })
     }
 
@@ -760,6 +1098,26 @@ impl ControllerCluster {
         certificates: &[Certificate],
     ) -> Result<u64, PesosError> {
         let key = HashedKey::new(key);
+        if !self.replication_on {
+            return self.with_owner_once(&key, |routing, owner| {
+                if let Some(id) = &policy_id {
+                    self.ensure_policy(routing, owner, id)?;
+                }
+                let local_op = owner.put_async(
+                    client_id,
+                    &key,
+                    value,
+                    policy_id,
+                    expected_version,
+                    certificates,
+                )?;
+                let cluster_op = self.next_async_id.fetch_add(1, Ordering::SeqCst);
+                self.async_ops
+                    .insert(cluster_op, (Arc::clone(owner), local_op));
+                Ok(cluster_op)
+            });
+        }
+        let payload: Payload = value.into();
         self.with_owner(&key, |routing, owner| {
             if let Some(id) = &policy_id {
                 self.ensure_policy(routing, owner, id)?;
@@ -767,11 +1125,23 @@ impl ControllerCluster {
             let local_op = owner.put_async(
                 client_id,
                 &key,
-                value,
+                payload.to_vec(),
                 policy_id,
                 expected_version,
                 certificates,
             )?;
+            // Logged at acceptance — before the Accepted acknowledgement
+            // escapes — so a failover after the ack can never lose the
+            // write even if the primary's scheduler hadn't executed it
+            // yet. The version is the primary scheduler's to assign (the
+            // backup self-assigns in log order), except for CAS writes
+            // where success pins it to exactly the expected version.
+            self.append_for(owner, || LogRecord::Put {
+                key: key.key().to_string(),
+                value: payload.clone(),
+                policy_id,
+                version: expected_version,
+            });
             let cluster_op = self.next_async_id.fetch_add(1, Ordering::SeqCst);
             self.async_ops
                 .insert(cluster_op, (Arc::clone(owner), local_op));
@@ -818,7 +1188,13 @@ impl ControllerCluster {
         certificates: &[Certificate],
     ) -> Result<(), PesosError> {
         let key = HashedKey::new(key);
-        self.with_owner(&key, |_, owner| owner.delete(client_id, &key, certificates))
+        self.with_owner(&key, |_, owner| {
+            owner.delete(client_id, &key, certificates)?;
+            self.append_for(owner, || LogRecord::Delete {
+                key: key.key().to_string(),
+            });
+            Ok(())
+        })
     }
 
     /// Attaches an existing policy to an object on its owning partition.
@@ -832,7 +1208,12 @@ impl ControllerCluster {
         let key = HashedKey::new(key);
         self.with_owner(&key, |routing, owner| {
             self.ensure_policy(routing, owner, &policy_id)?;
-            owner.attach_policy(client_id, &key, policy_id, certificates)
+            owner.attach_policy(client_id, &key, policy_id, certificates)?;
+            self.append_for(owner, || LogRecord::AttachPolicy {
+                key: key.key().to_string(),
+                policy_id,
+            });
+            Ok(())
         })
     }
 
@@ -910,6 +1291,11 @@ impl ControllerCluster {
         struct Branch {
             reads: Vec<(usize, String)>,
             writes: Vec<(usize, TxWrite)>,
+            /// Shared copies of the write values, captured at staging
+            /// (before the values move into the branch transactions) so
+            /// the post-commit log records can ship them by reference.
+            /// Empty when replication is off.
+            payloads: Vec<Payload>,
         }
         let mut branches: BTreeMap<usize, Branch> = BTreeMap::new();
         for (position, key) in tx.reads.iter().enumerate() {
@@ -962,9 +1348,16 @@ impl ControllerCluster {
                         break 'staging;
                     }
                 }
-                for (_, write) in &mut branch.writes {
-                    let value = std::mem::take(&mut write.value);
-                    if let Err(e) = controller.add_write(client_id, *local, &write.key, value) {
+                for i in 0..branch.writes.len() {
+                    let value = std::mem::take(&mut branch.writes[i].1.value);
+                    if self.replication_on {
+                        // One copy into a shared buffer, paid only when a
+                        // log record will ship it after commit.
+                        branch.payloads.push(value.clone().into());
+                    }
+                    if let Err(e) =
+                        controller.add_write(client_id, *local, &branch.writes[i].1.key, value)
+                    {
                         failure = Some(e);
                         break 'staging;
                     }
@@ -1006,6 +1399,27 @@ impl ControllerCluster {
         for (p, (controller, _, partition)) in prepared.into_iter().zip(participants.iter()) {
             let branch = &branches[partition];
             let outcome = controller.commit_prepared(p)?;
+            // Applied branch writes enter the partition's log with their
+            // committed versions, before the outcome (the client-visible
+            // acknowledgement) is assembled below.
+            if self.replication_on {
+                for (((_, write), payload), version) in branch
+                    .writes
+                    .iter()
+                    .zip(&branch.payloads)
+                    .zip(&outcome.write_versions)
+                {
+                    self.append_for(controller, || LogRecord::Put {
+                        key: write.key.clone(),
+                        value: payload.clone(),
+                        policy_id: write
+                            .policy_id
+                            .as_deref()
+                            .and_then(|hex| parse_policy_id(hex).ok()),
+                        version: Some(*version),
+                    });
+                }
+            }
             for ((position, _), value) in branch.reads.iter().zip(outcome.read_values) {
                 read_values[*position] = Some(value);
             }
@@ -1029,12 +1443,22 @@ impl ControllerCluster {
         // file its (empty) outcome on the first partition so a committed
         // transaction is always queryable, as on a single controller.
         if participants.is_empty() {
-            routing.table.partitions()[0]
-                .controller
-                .record_tx_outcome(tx_id, outcome.clone());
+            let first = &routing.table.partitions()[0].controller;
+            first.record_tx_outcome(tx_id, outcome.clone());
+            self.append_for(first, || LogRecord::TxOutcome {
+                tx_id,
+                outcome: outcome.clone(),
+            });
         }
+        // The outcome map is replicated too: a promoted backup resolves
+        // in-doubt cluster transactions from its copy, so check_results
+        // keeps answering after a participant fails over.
         for (controller, _, _) in &participants {
             controller.record_tx_outcome(tx_id, outcome.clone());
+            self.append_for(controller, || LogRecord::TxOutcome {
+                tx_id,
+                outcome: outcome.clone(),
+            });
         }
         Ok(outcome)
     }
@@ -1147,9 +1571,20 @@ impl ControllerCluster {
         // the new drain would list only its own source, so keys still
         // sitting at the older migration's source would be stranded on an
         // off-table controller once the newer record retires. Re-drive
-        // pending drains first; if the fault persists, fail the change.
-        self.settle_pending_locked()?;
-        let controller = Arc::new(PesosController::new(config)?);
+        // pending drains first; if the fault persists, refuse the change.
+        self.settle_pending_or_refuse("add a controller")?;
+        let controller = Arc::new(PesosController::new(config.clone())?);
+        // The joiner gets its own backups before it can accept traffic, so
+        // every write it acknowledges is covered by its log from the
+        // first request.
+        if self.replication_on {
+            let set = Self::spawn_replica_set(
+                &config,
+                self.backups_per_partition,
+                self.replication_max_lag,
+            )?;
+            self.replicas.write().push((Arc::clone(&controller), set));
+        }
         // Re-home sessions, policies and the logical clock before any
         // traffic can route to the new partition.
         controller.set_time(self.now());
@@ -1201,6 +1636,8 @@ impl ControllerCluster {
                 dst: Arc::clone(&controller),
                 moved_pending_delete: Mutex::new(BTreeSet::new()),
                 settled_groups: Mutex::new(BTreeSet::new()),
+                src_set: self.replica_set_of(&src),
+                dst_set: self.replica_set_of(&controller),
             });
             let mut migrations = Vec::with_capacity(old.migrations.len() + 1);
             migrations.extend(old.migrations.iter().cloned());
@@ -1234,19 +1671,17 @@ impl ControllerCluster {
     /// (see [`ControllerCluster::add_controller`]).
     pub fn remove_controller(&self, index: usize) -> Result<(), PesosError> {
         let _topology = self.rebalance.lock();
-        // Settle any migration an earlier topology change left unsettled
-        // (see add_controller_with); removing a pending migration's
-        // destination would otherwise strand its un-moved keys off-table.
-        self.settle_pending_locked()?;
-        // Validate, choose the neighbour and pre-flush outside the gate
-        // (the rebalance lock keeps the table stable, so none of it can go
-        // stale).
-        let (src, neighbour) = {
+        // Validate first: a doomed removal should not spend a settle (and
+        // the table cannot change under the rebalance lock, so checking
+        // before the settle is sound — settling never alters the table).
+        {
             let routing = self.routing.read();
             let len = routing.table.len();
             if len <= 1 {
                 return Err(PesosError::BadRequest(
-                    "cannot remove the last controller".into(),
+                    "cannot remove the last controller: a 1-controller cluster has no \
+                     neighbour partition to absorb its hash range"
+                        .into(),
                 ));
             }
             if index >= len {
@@ -1254,6 +1689,19 @@ impl ControllerCluster {
                     "no partition {index} (cluster has {len})",
                 )));
             }
+        }
+        // Settle any migration an earlier topology change left unsettled
+        // (see add_controller_with); removing a pending migration's
+        // destination would otherwise strand its un-moved keys off-table.
+        // A settle that still fails after its retries refuses the removal
+        // with a typed error instead of surfacing the raw drain fault.
+        self.settle_pending_or_refuse("remove a controller")?;
+        // Choose the neighbour and pre-flush outside the gate (the
+        // rebalance lock keeps the table stable, so none of it can go
+        // stale).
+        let (src, neighbour) = {
+            let routing = self.routing.read();
+            let len = routing.table.len();
             let neighbour = if index == 0 {
                 1
             } else if index == len - 1 {
@@ -1282,12 +1730,15 @@ impl ControllerCluster {
             let mut routing = self.routing.write();
             let old = routing.clone();
             let (table, moved, absorbed_by) = old.table.merge_into(index, neighbour);
+            let dst = Arc::clone(&table.partitions()[absorbed_by].controller);
             let migration = Arc::new(Migration {
                 range: moved,
-                src,
-                dst: Arc::clone(&table.partitions()[absorbed_by].controller),
+                src: Arc::clone(&src),
+                dst: Arc::clone(&dst),
                 moved_pending_delete: Mutex::new(BTreeSet::new()),
                 settled_groups: Mutex::new(BTreeSet::new()),
+                src_set: self.replica_set_of(&src),
+                dst_set: self.replica_set_of(&dst),
             });
             let mut migrations = Vec::with_capacity(old.migrations.len() + 1);
             migrations.extend(old.migrations.iter().cloned());
@@ -1298,7 +1749,18 @@ impl ControllerCluster {
             *routing = Arc::new(RoutingState { table, migrations });
             migration
         };
-        self.settle_migration(&migration)
+        self.settle_migration(&migration)?;
+        // The removed partition's replica set has nothing left to guard:
+        // its primary is off the table and fully drained. Stop the
+        // shippers and drop the entry (the log itself shipped every drain
+        // delete, so the backups are already empty of the moved range).
+        if let Some(set) = self.replica_set_of(&src) {
+            set.stop();
+            self.replicas
+                .write()
+                .retain(|(primary, _)| !Arc::ptr_eq(primary, &src));
+        }
+        Ok(())
     }
 
     /// Re-drives the drain of any migration an earlier topology change
@@ -1313,14 +1775,40 @@ impl ControllerCluster {
 
     /// Settles every installed migration record, oldest first (an older
     /// migration's keys may still need to traverse a newer migration's
-    /// range, in install order). Caller must hold the rebalance lock.
+    /// range, in install order). Each record's drain gets the capped
+    /// exponential retry schedule — a transient drive fault no longer
+    /// fails the whole settle on its first appearance. Caller must hold
+    /// the rebalance lock.
     fn settle_pending_locked(&self) -> Result<(), PesosError> {
         loop {
             let Some(migration) = self.routing.read().migrations.first().cloned() else {
                 return Ok(());
             };
-            self.settle_migration(&migration)?;
+            let mut attempt = 0u32;
+            loop {
+                match self.settle_migration(&migration) {
+                    Ok(()) => break,
+                    Err(e) if attempt + 1 >= self.retry_attempts => return Err(e),
+                    Err(_) => {
+                        self.retries.settle_retries.fetch_add(1, Ordering::Relaxed);
+                        self.retry_pause(attempt);
+                        attempt += 1;
+                    }
+                }
+            }
         }
+    }
+
+    /// [`ControllerCluster::settle_pending_locked`], converted into the
+    /// typed refusal topology changes give the operator when a pending
+    /// migration cannot be settled first.
+    fn settle_pending_or_refuse(&self, action: &str) -> Result<(), PesosError> {
+        self.settle_pending_locked().map_err(|e| {
+            PesosError::MigrationPending(format!(
+                "refusing to {action}: a pending migration must settle first \
+                 and its drain keeps failing: {e}"
+            ))
+        })
     }
 
     /// The post-swap half of a topology change: drain the moved range and
@@ -1457,6 +1945,152 @@ impl ControllerCluster {
             Some(e) => Err(e),
             None => Ok(()),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Failover
+    // ------------------------------------------------------------------
+
+    /// Simulates a crash of partition `index`'s controller: it refuses
+    /// every sessioned operation from now on ([`PesosError::Unavailable`])
+    /// and all of its drives go offline. Requests into its range retry
+    /// with capped backoff and succeed once
+    /// [`ControllerCluster::fail_controller`] promotes a backup.
+    pub fn kill_controller(&self, index: usize) -> Result<(), PesosError> {
+        let routing = self.routing.read().clone();
+        let len = routing.table.len();
+        if index >= len {
+            return Err(PesosError::BadRequest(format!(
+                "no partition {index} (cluster has {len})",
+            )));
+        }
+        let controller = &routing.table.partitions()[index].controller;
+        controller.set_failed(true);
+        for drive in controller.store().drives().iter() {
+            drive.set_online(false);
+        }
+        Ok(())
+    }
+
+    /// Fails partition `index` over onto the freshest of its backups.
+    ///
+    /// The promotion runs under the ops gate's write side with the same
+    /// flush-under-gate discipline as a rebalance: every request either
+    /// completed (and appended its log record) before the gate flips or
+    /// starts against the promoted backup after it — so the retained log
+    /// tail replayed into the backup covers every acknowledged write, and
+    /// none is lost. In-doubt cluster transactions resolve from the
+    /// replicated outcome map the backup received through the same log.
+    ///
+    /// Refuses ([`PesosError::MigrationPending`]) while a pending
+    /// migration involves the partition — its demand pulls hold
+    /// references to the old primary that a table swap would strand;
+    /// settle (or let settle retries finish) first. Fails
+    /// ([`PesosError::Unavailable`]) when the partition has no backups or
+    /// the freshest backup cannot apply the log tail.
+    ///
+    /// Returns the promotion record: the controller now serving the
+    /// partition, how many retained records were replayed into it, and
+    /// the surviving backups that re-seed its next replica set.
+    pub fn fail_controller(&self, index: usize) -> Result<Promotion, PesosError> {
+        let _topology = self.rebalance.lock();
+        let (failed, set) = {
+            let routing = self.routing.read();
+            let len = routing.table.len();
+            if index >= len {
+                return Err(PesosError::BadRequest(format!(
+                    "no partition {index} (cluster has {len})",
+                )));
+            }
+            let failed = Arc::clone(&routing.table.partitions()[index].controller);
+            for migration in &routing.migrations {
+                if Arc::ptr_eq(&migration.src, &failed) || Arc::ptr_eq(&migration.dst, &failed) {
+                    return Err(PesosError::MigrationPending(format!(
+                        "cannot fail over partition {index}: a pending migration still \
+                         moves keys {} it; settle it first",
+                        if Arc::ptr_eq(&migration.src, &failed) {
+                            "out of"
+                        } else {
+                            "into"
+                        },
+                    )));
+                }
+            }
+            let set = self.replica_set_of(&failed).ok_or_else(|| {
+                PesosError::Unavailable(format!(
+                    "partition {index} has no backups to promote \
+                     (backups_per_partition is 0 or they were lost)"
+                ))
+            })?;
+            (failed, set)
+        };
+        // From here the partition is failed even if it was still healthy
+        // (operator-initiated failover): new requests into its range get
+        // Unavailable and retry into the promoted backup.
+        failed.set_failed(true);
+        // Stop the shippers *outside* the gate: stop() joins threads that
+        // may be mid-retry against a faulting backup, and holding the gate
+        // across that join would stall every partition's traffic. Appends
+        // from requests still in flight keep enqueueing after stop() —
+        // promotion replays the retained queue, so they are not lost.
+        set.stop();
+        let promotion = {
+            // Quiesce: after this acquire no request is in flight, so the
+            // log is final — every acknowledged write's record is either
+            // applied on a backup or sitting in the retained tail.
+            let _quiesced = self.ops_gate.write();
+            let promotion = set.promote()?;
+            let promoted = Arc::clone(&promotion.promoted);
+            // Re-home what the log does not carry: sessions, any policy
+            // installed before this partition had its backups (none today,
+            // but copy_policies_to is idempotent and cheap), and the
+            // logical clock (read from any surviving partition — clocks
+            // are set together).
+            let now = {
+                let routing = self.routing.read();
+                routing
+                    .table
+                    .partitions()
+                    .iter()
+                    .find(|p| !Arc::ptr_eq(&p.controller, &failed))
+                    .map(|p| p.controller.now())
+                    .unwrap_or_else(|| failed.now())
+            };
+            promoted.set_time(now);
+            for client in self.clients.lock().iter() {
+                promoted.register_client(client);
+            }
+            self.copy_policies_to(&promoted)?;
+            let mut routing = self.routing.write();
+            let old = routing.clone();
+            let table = old.table.with_controller(index, Arc::clone(&promoted));
+            // New owner, new load window — same rule as every other
+            // topology change.
+            self.reset_request_baseline(&table);
+            *routing = Arc::new(RoutingState {
+                table,
+                migrations: old.migrations.clone(),
+            });
+            drop(routing);
+            // The promoted primary's new replica set is seeded from the
+            // backups that also caught up during promotion. With no
+            // survivor the partition runs unreplicated until the operator
+            // adds capacity — append_for simply finds no set.
+            let mut replicas = self.replicas.write();
+            replicas.retain(|(primary, _)| !Arc::ptr_eq(primary, &failed));
+            if !promotion.survivors.is_empty() {
+                replicas.push((
+                    Arc::clone(&promoted),
+                    ReplicaSet::spawn(
+                        REPLICATION_SECRET,
+                        promotion.survivors.clone(),
+                        self.replication_max_lag,
+                    ),
+                ));
+            }
+            promotion
+        };
+        Ok(promotion)
     }
 
     // ------------------------------------------------------------------
@@ -1659,6 +2293,17 @@ impl ControllerCluster {
     }
 }
 
+impl Drop for ControllerCluster {
+    fn drop(&mut self) {
+        // Join every replica set's shipper threads; a still-running
+        // shipper holds Arcs to its backups and would outlive the cluster
+        // retrying against stores nobody can observe anymore.
+        for (_, set) in self.replicas.get_mut().iter() {
+            set.stop();
+        }
+    }
+}
+
 impl RequestEndpoint for ControllerCluster {
     fn register_client(&self, client_id: &str) -> String {
         ControllerCluster::register_client(self, client_id)
@@ -1784,6 +2429,12 @@ mod tests {
 
     fn cluster(controllers: usize) -> ControllerCluster {
         ControllerCluster::new(ClusterConfig::native_simulator(controllers, 1)).unwrap()
+    }
+
+    fn replicated_cluster(controllers: usize, backups: usize) -> ControllerCluster {
+        let mut config = ClusterConfig::native_simulator(controllers, 1);
+        config.backups_per_partition = backups;
+        ControllerCluster::new(config).unwrap()
     }
 
     #[test]
@@ -2487,5 +3138,249 @@ mod tests {
         // The request counters across partitions account for the traffic.
         let requests: u64 = report.iter().map(|p| p.metrics.requests).sum();
         assert!(requests >= 12);
+    }
+
+    #[test]
+    fn killed_partition_is_unavailable_until_promoted() {
+        let c = replicated_cluster(2, 1);
+        c.register_client("alice");
+        let keys: Vec<String> = (0..32).map(|i| format!("fo/{i}")).collect();
+        for key in &keys {
+            c.put("alice", key, key.clone().into_bytes(), None, None, &[])
+                .unwrap();
+        }
+        let dead = keys
+            .iter()
+            .find(|k| c.partition_of(k) == 0)
+            .expect("some key routes to partition 0")
+            .clone();
+        let alive = keys
+            .iter()
+            .find(|k| c.partition_of(k) == 1)
+            .expect("some key routes to partition 1")
+            .clone();
+        c.kill_controller(0).unwrap();
+        // The failed range errors (after its capped retries); the other
+        // partition keeps serving.
+        assert!(matches!(
+            c.get("alice", &dead, &[]),
+            Err(PesosError::Unavailable(_))
+        ));
+        c.get("alice", &alive, &[]).unwrap();
+        let retried = c.retry_stats().request_retries;
+        assert!(retried > 0, "unavailable range should have retried");
+        // Promotion brings the range back with every acknowledged write.
+        let promotion = c.fail_controller(0).unwrap();
+        assert!(!Arc::ptr_eq(&promotion.promoted, &c.controllers()[1]));
+        for key in &keys {
+            let (value, _) = c.get("alice", key, &[]).unwrap();
+            assert_eq!(&**value, key.as_bytes());
+        }
+        // And the promoted partition accepts new writes.
+        c.put("alice", &dead, b"after failover".to_vec(), None, None, &[])
+            .unwrap();
+    }
+
+    #[test]
+    fn failover_preserves_versions_deletes_and_policies() {
+        let c = replicated_cluster(1, 2);
+        c.register_client("alice");
+        c.register_client("eve");
+        let acl = c
+            .put_policy(
+                "alice",
+                "read :- sessionKeyIs(\"alice\")\nupdate :- sessionKeyIs(\"alice\")",
+            )
+            .unwrap();
+        c.put("alice", "k", b"v0".to_vec(), Some(acl), None, &[])
+            .unwrap();
+        // CAS put (expected_version names the version this write creates):
+        // the log record carries the exact committed version.
+        c.put("alice", "k", b"v1".to_vec(), None, Some(1), &[])
+            .unwrap();
+        c.put("alice", "gone", b"x".to_vec(), None, None, &[])
+            .unwrap();
+        c.delete("alice", "gone", &[]).unwrap();
+        c.kill_controller(0).unwrap();
+        c.fail_controller(0).unwrap();
+        assert_eq!(c.get_version("alice", "k", 0, &[]).unwrap(), b"v0");
+        let (value, version) = c.get("alice", "k", &[]).unwrap();
+        assert_eq!(&**value, b"v1");
+        assert_eq!(version, 1);
+        assert!(matches!(
+            c.get("alice", "gone", &[]),
+            Err(PesosError::ObjectNotFound(_))
+        ));
+        // The policy body replicated with the log: the promoted backup
+        // enforces it with no surviving peer to copy from.
+        assert!(c.get("eve", "k", &[]).is_err());
+    }
+
+    #[test]
+    fn acked_async_writes_survive_failover() {
+        let c = replicated_cluster(2, 1);
+        c.register_client("alice");
+        let keys: Vec<String> = (0..24).map(|i| format!("async/{i}")).collect();
+        let mut ops = Vec::new();
+        for key in &keys {
+            ops.push(
+                c.put_async("alice", key, key.clone().into_bytes(), None, None, &[])
+                    .unwrap(),
+            );
+        }
+        c.drain_async();
+        for op in &ops {
+            assert!(matches!(
+                c.poll_result("alice", *op),
+                Some(AsyncResult::Completed { .. })
+            ));
+        }
+        c.kill_controller(0).unwrap();
+        c.fail_controller(0).unwrap();
+        for key in &keys {
+            let (value, _) = c.get("alice", key, &[]).unwrap();
+            assert_eq!(&**value, key.as_bytes(), "acked async write lost");
+        }
+    }
+
+    #[test]
+    fn failover_resolves_in_doubt_transactions_from_the_replicated_outcome_map() {
+        let c = replicated_cluster(1, 1);
+        c.register_client("alice");
+        let tx = c.create_tx("alice").unwrap();
+        c.add_write("alice", tx, "tx/a", b"1".to_vec()).unwrap();
+        c.add_write("alice", tx, "tx/b", b"2".to_vec()).unwrap();
+        let outcome = c.commit_tx("alice", tx).unwrap();
+        c.kill_controller(0).unwrap();
+        c.fail_controller(0).unwrap();
+        // The only copy of the outcome map was the failed primary's; the
+        // promoted backup answers from its replicated copy.
+        let resolved = c.check_results("alice", tx).unwrap();
+        assert_eq!(resolved.write_versions, outcome.write_versions);
+        let (value, _) = c.get("alice", "tx/a", &[]).unwrap();
+        assert_eq!(&**value, b"1");
+    }
+
+    #[test]
+    fn fail_controller_without_backups_is_a_typed_error() {
+        let c = cluster(2);
+        assert!(matches!(
+            c.fail_controller(0),
+            Err(PesosError::Unavailable(_))
+        ));
+        assert!(matches!(
+            c.fail_controller(7),
+            Err(PesosError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn remove_controller_refuses_on_an_unsettleable_migration_with_a_typed_error() {
+        let c = cluster(3);
+        c.register_client("alice");
+        for i in 0..32 {
+            c.put(
+                "alice",
+                &format!("stuck/{i}"),
+                vec![1u8; 64],
+                None,
+                None,
+                &[],
+            )
+            .unwrap();
+        }
+        // Break the departing partition's drive mid-removal: the merged
+        // table installs but the drain cannot settle, so the migration
+        // record stays active.
+        let source = Arc::clone(&c.controllers()[0]);
+        source.store().drives().get(0).unwrap().set_online(false);
+        assert!(c.remove_controller(0).is_err());
+        // Any further topology change now refuses with the typed error
+        // (after its settle retries) instead of a generic drain fault.
+        match c.remove_controller(0) {
+            Err(PesosError::MigrationPending(msg)) => {
+                assert!(msg.contains("pending migration"), "unhelpful: {msg}")
+            }
+            other => panic!("expected MigrationPending, got {other:?}"),
+        }
+        assert!(c.retry_stats().settle_retries > 0, "settle never retried");
+        // Repair the drive: the operator settle path drains and the
+        // removal goes through.
+        source.store().drives().get(0).unwrap().set_online(true);
+        c.settle_pending_migrations().unwrap();
+        c.remove_controller(0).unwrap();
+        assert_eq!(c.partition_count(), 1);
+        for i in 0..32 {
+            c.get("alice", &format!("stuck/{i}"), &[]).unwrap();
+        }
+    }
+
+    #[test]
+    fn removing_the_last_controller_has_a_clear_error() {
+        let c = cluster(1);
+        match c.remove_controller(0) {
+            Err(PesosError::BadRequest(msg)) => {
+                assert!(msg.contains("1-controller"), "unhelpful: {msg}")
+            }
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fail_controller_refuses_while_a_migration_involves_the_partition() {
+        let c = replicated_cluster(2, 1);
+        c.register_client("alice");
+        for i in 0..32 {
+            c.put("alice", &format!("mig/{i}"), vec![2u8; 64], None, None, &[])
+                .unwrap();
+        }
+        // Strand a migration: break the source drive mid-removal.
+        let controllers = c.controllers();
+        controllers[0]
+            .store()
+            .drives()
+            .get(0)
+            .unwrap()
+            .set_online(false);
+        assert!(c.remove_controller(0).is_err());
+        match c.fail_controller(0) {
+            Err(PesosError::MigrationPending(_)) => {}
+            other => panic!("expected MigrationPending, got {other:?}"),
+        }
+        controllers[0]
+            .store()
+            .drives()
+            .get(0)
+            .unwrap()
+            .set_online(true);
+        c.settle_pending_migrations().unwrap();
+    }
+
+    #[test]
+    fn retry_counters_ride_the_cost_report_on_every_row() {
+        let c = replicated_cluster(2, 1);
+        c.register_client("alice");
+        let key = (0..64)
+            .map(|i| format!("rc/{i}"))
+            .find(|k| c.partition_of(k) == 0)
+            .expect("some key routes to partition 0");
+        c.put("alice", &key, b"v".to_vec(), None, None, &[])
+            .unwrap();
+        c.kill_controller(0).unwrap();
+        let _ = c.get("alice", &key, &[]);
+        c.fail_controller(0).unwrap();
+        let report = c.cost_report();
+        assert!(report.iter().all(|p| p.retries == report[0].retries));
+        assert!(report[0].retries.request_retries > 0);
+    }
+
+    #[test]
+    fn replication_config_validates() {
+        let mut config = ClusterConfig::native_simulator(1, 1);
+        config.retry_attempts = 0;
+        assert!(matches!(
+            ControllerCluster::new(config),
+            Err(PesosError::BadRequest(_))
+        ));
     }
 }

@@ -36,11 +36,18 @@
 //!   ([`ClusterConfig::drain_concurrency`]) under per-key write locks
 //!   while concurrent traffic keeps serving (requests into the moving
 //!   range demand-pull their key's whole placement group).
+//! * [`replication`] — primary/backup partitions: each primary streams a
+//!   per-partition op log to backup controllers over the vectored frame
+//!   encode with bounded-lag backpressure, and
+//!   [`ControllerCluster::fail_controller`] promotes the freshest backup
+//!   under the ops-gate write side without losing an acknowledged write.
 
 pub mod cluster;
+pub mod replication;
 pub mod router;
 pub mod twopc;
 
-pub use cluster::{ClusterConfig, ControllerCluster, PartitionCostReport};
+pub use cluster::{ClusterConfig, ControllerCluster, PartitionCostReport, RetryStats};
+pub use replication::{LogRecord, Promotion, ReplicaSet};
 pub use router::{HashRange, Partition, PartitionTable};
 pub use twopc::CLUSTER_TX_BIT;

@@ -176,6 +176,21 @@ impl PartitionTable {
         (PartitionTable { partitions }, moved)
     }
 
+    /// Returns a table identical to this one except that partition `index`
+    /// is owned by `controller` — the routing half of a failover promotion.
+    /// No hash range moves: the promoted backup answers for exactly the
+    /// range the failed primary owned.
+    pub fn with_controller(
+        &self,
+        index: usize,
+        controller: Arc<PesosController>,
+    ) -> PartitionTable {
+        assert!(index < self.partitions.len(), "no partition {index}");
+        let mut partitions = self.partitions.clone();
+        partitions[index].controller = controller;
+        PartitionTable { partitions }
+    }
+
     /// Removes partition `index`, merging its range into a neighbour (the
     /// predecessor, or the successor for partition 0). Returns the new
     /// table, the hash range that moved, and the index *in the new table*
@@ -366,6 +381,24 @@ mod tests {
         let (zero, _, absorbed) = table.merge_into(0, 1);
         assert_eq!(absorbed, 0);
         assert_eq!(zero.partitions()[0].start, 0);
+    }
+
+    #[test]
+    fn with_controller_swaps_the_owner_without_moving_ranges() {
+        let table = PartitionTable::even(controllers(3));
+        let promoted = controller();
+        let swapped = table.with_controller(1, Arc::clone(&promoted));
+        assert_eq!(swapped.len(), 3);
+        for i in 0..3 {
+            assert_eq!(swapped.range(i), table.range(i));
+        }
+        assert!(Arc::ptr_eq(&swapped.partitions()[1].controller, &promoted));
+        assert!(Arc::ptr_eq(
+            &swapped.partitions()[0].controller,
+            &table.partitions()[0].controller
+        ));
+        let probe = table.range(1).start;
+        assert!(Arc::ptr_eq(swapped.route(probe), &promoted));
     }
 
     #[test]

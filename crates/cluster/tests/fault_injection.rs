@@ -1,0 +1,207 @@
+//! Fault-injection coverage for the migration primitives: an injected
+//! drive fault hitting `export_object`/`import_object` (directly, or via
+//! a rebalance drain / demand pull) must leave the system in one of
+//! exactly two states — the migration record still active with the key
+//! fully reachable at the source, or the move cleanly complete at the
+//! destination. Never a third state: no lost key, no visible-but-partial
+//! copy, no wrong bytes.
+
+use std::sync::Arc;
+
+use pesos_cluster::{ClusterConfig, ControllerCluster};
+use pesos_core::{ControllerConfig, PesosController, PesosError};
+use pesos_kinetic::FaultPlan;
+
+/// Direct export/import sweep across deterministic fault sequences: the
+/// export either fails (source untouched) or produces a complete record;
+/// the import either fails (destination shows nothing) or lands the whole
+/// object. Atomicity is checked after every single attempt.
+#[test]
+fn export_import_is_all_or_nothing_under_drive_faults() {
+    for seed in 0..12u64 {
+        let src = PesosController::new(ControllerConfig::native_simulator(2)).unwrap();
+        let dst = PesosController::new(ControllerConfig::native_simulator(2)).unwrap();
+        src.register_client("alice");
+        let key = format!("faulty/{seed}");
+        // A few versions so a torn export would be visibly incomplete.
+        for v in 0..3u64 {
+            src.put(
+                "alice",
+                key.as_str(),
+                format!("{key}-v{v}").into_bytes(),
+                None,
+                None,
+                &[],
+            )
+            .unwrap();
+        }
+
+        let plan = FaultPlan {
+            seed,
+            error_rate: 0.4,
+            torn_reply_rate: 0.3,
+            latency: None,
+        };
+        for drive in src.store().drives().iter() {
+            drive.inject_faults(plan);
+        }
+        for drive in dst.store().drives().iter() {
+            drive.inject_faults(plan);
+        }
+
+        let mut imported = false;
+        for _ in 0..8 {
+            match src.store().export_object(key.as_str()) {
+                Ok(Some(export)) => {
+                    // A successful export is complete: every version, in
+                    // order, with the bytes that were written.
+                    assert_eq!(export.versions.len(), 3, "seed {seed}: partial export");
+                    for (v, plain) in &export.versions {
+                        assert_eq!(plain, &format!("{key}-v{v}").into_bytes(), "seed {seed}");
+                    }
+                    match dst.store().import_object(&export) {
+                        Ok(()) => {
+                            imported = true;
+                            break;
+                        }
+                        Err(_) => {
+                            // A failed import must not leave a *visible*
+                            // object: either no metadata at all, or a
+                            // record whose every version is readable once
+                            // faults lift (retried import below).
+                        }
+                    }
+                }
+                Ok(None) => panic!("seed {seed}: existing key exported as None"),
+                Err(_) => {
+                    // Export failed: the source object must be intact.
+                }
+            }
+        }
+
+        for drive in src.store().drives().iter() {
+            drive.clear_faults();
+        }
+        for drive in dst.store().drives().iter() {
+            drive.clear_faults();
+        }
+
+        // Source survived every faulty attempt with all versions intact.
+        let clean = src.store().export_object(key.as_str()).unwrap().unwrap();
+        assert_eq!(
+            clean.versions.len(),
+            3,
+            "seed {seed}: source lost a version"
+        );
+
+        // With faults lifted the import completes, and the destination
+        // now serves the full history — a partial earlier import must
+        // have been invisible or fully overwritten, never half-served.
+        if !imported {
+            dst.store().import_object(&clean).unwrap();
+        }
+        dst.register_client("alice");
+        for v in 0..3u64 {
+            let value = dst.get_version("alice", key.as_str(), v, &[]).unwrap();
+            assert_eq!(value, format!("{key}-v{v}").into_bytes(), "seed {seed}");
+        }
+    }
+}
+
+/// End-to-end: a rebalance drain over faulty drives. Whatever mix of
+/// export failures, torn replies and import failures the seed produces,
+/// every key stays continuously reachable through the cluster (demand
+/// pull covers keys whose move is still pending), and once faults lift
+/// and pending migrations settle, each key sits exactly on its owner
+/// with the written value.
+#[test]
+fn faulty_drain_leaves_keys_reachable_or_cleanly_moved() {
+    const KEYS: usize = 24;
+    for seed in [3u64, 17, 40] {
+        let cluster =
+            Arc::new(ControllerCluster::new(ClusterConfig::native_simulator(2, 1)).unwrap());
+        cluster.register_client("alice");
+        let keys: Vec<String> = (0..KEYS).map(|i| format!("drain{i}/obj")).collect();
+        for key in &keys {
+            cluster
+                .put(
+                    "alice",
+                    key,
+                    format!("{key}-payload").into_bytes(),
+                    None,
+                    None,
+                    &[],
+                )
+                .unwrap();
+        }
+
+        for (i, controller) in cluster.controllers().iter().enumerate() {
+            for drive in controller.store().drives().iter() {
+                drive.inject_faults(FaultPlan {
+                    seed: seed + i as u64,
+                    error_rate: 0.15,
+                    torn_reply_rate: 0.15,
+                    latency: None,
+                });
+            }
+        }
+
+        // The drain may fail partway (leaving a pending migration) or
+        // squeak through on retries; both are legal.
+        let grew = cluster.add_controller().is_ok();
+
+        // Mid-migration, with faults still firing: every key must be
+        // reachable — transient drive errors are fine, a NotFound is the
+        // forbidden third state (a key neither at src nor importable).
+        for key in &keys {
+            let mut last_err = None;
+            let mut seen = false;
+            for _ in 0..16 {
+                match cluster.get("alice", key, &[]) {
+                    Ok((value, _)) => {
+                        assert_eq!(
+                            &*value,
+                            format!("{key}-payload").as_bytes(),
+                            "seed {seed}: wrong bytes under faults"
+                        );
+                        seen = true;
+                        break;
+                    }
+                    Err(PesosError::ObjectNotFound(_)) => {
+                        panic!("seed {seed}: key {key} vanished mid-migration (grew={grew})")
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            assert!(
+                seen,
+                "seed {seed}: key {key} unreadable after 16 attempts: {last_err:?}"
+            );
+        }
+
+        for controller in cluster.controllers().iter() {
+            for drive in controller.store().drives().iter() {
+                drive.clear_faults();
+            }
+        }
+        cluster.settle_pending_migrations().unwrap();
+
+        // Settled state: value intact and resident exactly on the owner.
+        let controllers = cluster.controllers();
+        for key in &keys {
+            let (value, _) = cluster.get("alice", key, &[]).unwrap();
+            assert_eq!(&*value, format!("{key}-payload").as_bytes());
+            let holders: Vec<usize> = controllers
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.store().get_metadata(key.as_str()).is_some())
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(
+                holders,
+                vec![cluster.partition_of(key)],
+                "seed {seed}: {key} not exactly on its owner"
+            );
+        }
+    }
+}

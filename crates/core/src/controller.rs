@@ -8,7 +8,7 @@
 //! are acknowledged immediately with an operation identifier and executed on
 //! enclave worker threads; their results land in the bounded result buffer.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pesos_crypto::Certificate;
@@ -87,6 +87,11 @@ pub struct PesosController {
     clock: AtomicU64,
     report: BootstrapReport,
     tx_outcomes: ShardedTxOutcomes,
+    /// Simulated crash flag. While set, every sessioned operation is
+    /// refused with the retryable [`PesosError::Unavailable`] so a cluster
+    /// layer can fail over to a backup; direct store access (replication
+    /// appliers, recovery tooling) is unaffected.
+    failed: AtomicBool,
 }
 
 impl PesosController {
@@ -113,6 +118,7 @@ impl PesosController {
             clock: AtomicU64::new(1),
             report: outcome.report,
             tx_outcomes: ShardedTxOutcomes::new(config.lock_shards, config.tx_outcome_capacity),
+            failed: AtomicBool::new(false),
             store,
             config,
         })
@@ -197,7 +203,25 @@ impl PesosController {
         self.sessions.contains(client_id)
     }
 
+    /// Marks the controller as crashed (or recovered). A failed controller
+    /// refuses every sessioned operation with
+    /// [`PesosError::Unavailable`] — the cluster layer's cue to retry
+    /// against a promoted backup.
+    pub fn set_failed(&self, failed: bool) {
+        self.failed.store(failed, Ordering::SeqCst);
+    }
+
+    /// True if the controller is simulating a crash.
+    pub fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::SeqCst)
+    }
+
     fn require_session(&self, client_id: &str) -> Result<(), PesosError> {
+        if self.is_failed() {
+            return Err(PesosError::Unavailable(
+                "controller failed (simulated crash)".to_string(),
+            ));
+        }
         if self.sessions.touch(client_id, self.now()) {
             Ok(())
         } else {
@@ -963,6 +987,27 @@ mod tests {
             c.put("ghost", "k", vec![], None, None, &[]),
             Err(PesosError::NoSession(_))
         ));
+    }
+
+    #[test]
+    fn failed_controller_refuses_sessioned_operations() {
+        let c = controller();
+        c.register_client("alice");
+        c.put("alice", "k", b"v".to_vec(), None, None, &[]).unwrap();
+        c.set_failed(true);
+        assert!(c.is_failed());
+        assert!(matches!(
+            c.get("alice", "k", &[]),
+            Err(PesosError::Unavailable(_))
+        ));
+        assert!(matches!(
+            c.put("alice", "k", b"w".to_vec(), None, None, &[]),
+            Err(PesosError::Unavailable(_))
+        ));
+        // Direct store access (replication appliers) keeps working.
+        assert!(c.store().get_object("k").is_ok());
+        c.set_failed(false);
+        assert_eq!(&**c.get("alice", "k", &[]).unwrap().0, b"v");
     }
 
     #[test]

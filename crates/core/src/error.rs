@@ -32,6 +32,14 @@ pub enum PesosError {
     Backend(String),
     /// Bootstrap or attestation failed.
     Bootstrap(String),
+    /// The controller owning the request's range is (temporarily) down.
+    /// Unlike [`PesosError::Backend`] this is retryable: the cluster layer
+    /// re-resolves routing and retries with backoff, because a failover may
+    /// promote a backup for the range at any moment.
+    Unavailable(String),
+    /// A topology change was refused because a pending migration must be
+    /// settled (or has failed to settle) first.
+    MigrationPending(String),
 }
 
 impl fmt::Display for PesosError {
@@ -49,6 +57,8 @@ impl fmt::Display for PesosError {
             PesosError::NoSession(msg) => write!(f, "no session: {msg}"),
             PesosError::Backend(msg) => write!(f, "backend error: {msg}"),
             PesosError::Bootstrap(msg) => write!(f, "bootstrap failed: {msg}"),
+            PesosError::Unavailable(msg) => write!(f, "controller unavailable: {msg}"),
+            PesosError::MigrationPending(msg) => write!(f, "migration pending: {msg}"),
         }
     }
 }
@@ -68,7 +78,10 @@ impl PesosError {
                 RestStatus::Conflict
             }
             PesosError::BadRequest(_) | PesosError::NoSession(_) => RestStatus::BadRequest,
-            PesosError::Backend(_) | PesosError::Bootstrap(_) => RestStatus::BackendError,
+            PesosError::Backend(_) | PesosError::Bootstrap(_) | PesosError::Unavailable(_) => {
+                RestStatus::BackendError
+            }
+            PesosError::MigrationPending(_) => RestStatus::Conflict,
         }
     }
 
@@ -125,5 +138,16 @@ mod tests {
         }
         .to_string()
         .contains("1"));
+    }
+
+    #[test]
+    fn failover_variants_map_to_rest_statuses() {
+        use pesos_wire::RestStatus;
+        let e = PesosError::Unavailable("controller 2 failed".into());
+        assert_eq!(e.rest_status(), RestStatus::BackendError);
+        assert!(e.to_string().contains("unavailable"));
+        let e = PesosError::MigrationPending("range [0,10) still draining".into());
+        assert_eq!(e.rest_status(), RestStatus::Conflict);
+        assert!(e.to_string().contains("migration pending"));
     }
 }

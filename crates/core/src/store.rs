@@ -587,6 +587,70 @@ impl PesosStore {
         Ok(new_version)
     }
 
+    /// Applies a write shipped through a partition replication log.
+    ///
+    /// Unlike [`PesosStore::put_object`] this path performs no policy work
+    /// and no version-sequence invention: a record carrying
+    /// `Some(version)` lands at exactly that version (the primary already
+    /// assigned it), and a record carrying `None` — an asynchronous write
+    /// that was acknowledged before the primary assigned its version —
+    /// takes the next free slot in log order. Re-applying a version that is
+    /// already recorded is a no-op, which makes replaying an unacked log
+    /// tail during promotion idempotent.
+    pub fn apply_replicated_put<'a>(
+        &self,
+        key: impl Into<HashedKey<'a>>,
+        value: &[u8],
+        policy_id: Option<PolicyId>,
+        version: Option<u64>,
+    ) -> Result<u64, PesosError> {
+        let key = key.into();
+        let key_lock = self.key_locks.lock_for(&key);
+        let _write_guard = key_lock.lock();
+
+        let mut meta = self
+            .load_metadata_locked(&key)
+            .unwrap_or_else(|| ObjectMetadata::new(key.key()));
+        let next_free = if meta.versions.is_empty() {
+            0
+        } else {
+            meta.latest_version + 1
+        };
+        let version = version.unwrap_or(next_free);
+        if meta.version(version).is_some() {
+            return Ok(version);
+        }
+
+        let encoded: Payload = self.crypter.seal(key.key(), version, value).into();
+        self.replicated_put(&key, Arc::from(data_key(key.key(), version)), encoded)?;
+
+        let policy_hash = policy_id
+            .or(meta.policy_id)
+            .map(|p| p.0.to_vec())
+            .unwrap_or_default();
+        if policy_id.is_some() {
+            meta.policy_id = policy_id;
+        }
+        meta.record_version(VersionMeta {
+            version,
+            size: value.len() as u64,
+            value_hash: pesos_crypto::sha256(value).to_vec(),
+            policy_hash,
+        });
+        // Records for one key normally arrive in version order, but two
+        // racing appenders on the primary can invert neighbouring entries;
+        // the version index, not the arrival order, is authoritative.
+        meta.versions.sort_by_key(|v| v.version);
+        meta.latest_version = meta.versions.last().map(|v| v.version).unwrap_or(version);
+        self.persist_metadata(&key, &meta)?;
+
+        if version == meta.latest_version {
+            self.object_cache
+                .put(key, Arc::new(value.to_vec()), version);
+        }
+        Ok(version)
+    }
+
     /// Retrieves the latest version of `key`.
     pub fn get_object<'a>(
         &self,
@@ -876,6 +940,7 @@ impl PesosStore {
 /// the (simulated) enclave boundary — migration is controller-to-controller
 /// inside the trust domain, exactly like the original single controller
 /// moving an object between its own drives.
+#[derive(Debug, Clone)]
 pub struct ObjectExport {
     /// The metadata record, persisted verbatim at the destination.
     pub meta: ObjectMetadata,
@@ -990,6 +1055,45 @@ mod tests {
             s.get_object("missing"),
             Err(PesosError::ObjectNotFound(_))
         ));
+    }
+
+    #[test]
+    fn replicated_apply_mirrors_primary_versions_idempotently() {
+        let primary = store(1, 1);
+        let backup = store(1, 1);
+        // A log of explicit-version records (sync puts) mirrors exactly.
+        for value in [b"v0".as_slice(), b"v1", b"v2"] {
+            let v = primary.put_object("acct/a", value, None).unwrap();
+            backup
+                .apply_replicated_put("acct/a", value, None, Some(v))
+                .unwrap();
+        }
+        assert_eq!(&**backup.get_object("acct/a").unwrap().0, b"v2");
+        assert_eq!(backup.get_object_version("acct/a", 0).unwrap(), b"v0");
+        // Replaying a tail is a no-op, not a version bump.
+        backup
+            .apply_replicated_put("acct/a", b"v2", None, Some(2))
+            .unwrap();
+        assert_eq!(backup.get_object("acct/a").unwrap().1, 2);
+        // Version-less records (acked async writes) self-assign in log
+        // order.
+        assert_eq!(
+            backup
+                .apply_replicated_put("acct/a", b"v3", None, None)
+                .unwrap(),
+            3
+        );
+        // Out-of-order arrival from racing appenders converges on the
+        // version index.
+        backup
+            .apply_replicated_put("acct/b", b"late", None, Some(1))
+            .unwrap();
+        backup
+            .apply_replicated_put("acct/b", b"early", None, Some(0))
+            .unwrap();
+        let (value, version) = backup.get_object("acct/b").unwrap();
+        assert_eq!(version, 1);
+        assert_eq!(&**value, b"late");
     }
 
     #[test]

@@ -19,6 +19,7 @@ use pesos_crypto::{Certificate, CertificateBuilder, KeyPair};
 use crate::backend::{BackendKind, DriveBackend, HddModel};
 use crate::engine::{DriveEngine, EngineStats, StoredEntry};
 use crate::error::KineticError;
+use crate::fault::{FaultCounts, FaultDecision, FaultInjector, FaultPlan};
 use crate::protocol::{
     AccountSpec, Command, Envelope, MessageType, ResponseStatus, StatusCode, VectoredEnvelope,
 };
@@ -255,6 +256,8 @@ pub struct KineticDrive {
     device_certificate: Certificate,
     /// Simulated availability flag (failure injection).
     online: RwLock<bool>,
+    /// Optional deterministic fault source (see [`crate::fault`]).
+    fault: Mutex<Option<FaultInjector>>,
 }
 
 impl KineticDrive {
@@ -282,6 +285,7 @@ impl KineticDrive {
             device_certificate,
             config,
             online: RwLock::new(true),
+            fault: Mutex::new(None),
         }
     }
 
@@ -309,6 +313,33 @@ impl KineticDrive {
     /// True if the drive is reachable.
     pub fn is_online(&self) -> bool {
         *self.online.read()
+    }
+
+    /// Attaches a deterministic fault plan; subsequent requests may be
+    /// dropped, torn, or delayed according to the plan's seeded generator.
+    pub fn inject_faults(&self, plan: FaultPlan) {
+        *self.fault.lock() = Some(FaultInjector::new(plan));
+    }
+
+    /// Removes any active fault plan.
+    pub fn clear_faults(&self) {
+        *self.fault.lock() = None;
+    }
+
+    /// Counters for the faults injected so far (zero when no plan is set).
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.fault
+            .lock()
+            .as_ref()
+            .map(|i| i.counts())
+            .unwrap_or_default()
+    }
+
+    fn fault_decision(&self) -> FaultDecision {
+        match self.fault.lock().as_ref() {
+            Some(injector) => injector.decide(),
+            None => FaultDecision::Pass,
+        }
     }
 
     /// Returns device information (the `GetLog` payload).
@@ -391,6 +422,16 @@ impl KineticDrive {
                 KineticError::DriveUnavailable(format!("drive {} offline", self.config.id)),
             ));
         }
+        let decision = self.fault_decision();
+        if decision == FaultDecision::DropRequest {
+            return Err((
+                None,
+                KineticError::DriveUnavailable(format!(
+                    "injected fault: drive {} dropped the request",
+                    self.config.id
+                )),
+            ));
+        }
         let account = {
             let security = self.security.read();
             security.account(envelope.identity()).cloned()
@@ -408,6 +449,17 @@ impl KineticDrive {
             ));
         }
         let response = self.execute(&account, envelope.command());
+        if decision == FaultDecision::TearReply {
+            // The operation ran; the caller is told it did not. Recovery
+            // code must treat this exactly like a dropped request.
+            return Err((
+                Some(Box::new(account.mac_key().clone())),
+                KineticError::DriveUnavailable(format!(
+                    "injected fault: drive {} tore the reply",
+                    self.config.id
+                )),
+            ));
+        }
         Ok(Envelope::seal_vectored(
             envelope.identity(),
             account.mac_key(),
@@ -426,6 +478,16 @@ impl KineticDrive {
                 KineticError::DriveUnavailable(format!("drive {} offline", self.config.id)),
             ));
         }
+        let decision = self.fault_decision();
+        if decision == FaultDecision::DropRequest {
+            return Err((
+                None,
+                KineticError::DriveUnavailable(format!(
+                    "injected fault: drive {} dropped the request",
+                    self.config.id
+                )),
+            ));
+        }
         let envelope = Envelope::decode(frame).map_err(|e| (None, e))?;
         let account = {
             let security = self.security.read();
@@ -442,6 +504,15 @@ impl KineticDrive {
             .map_err(|e| (Some(Box::new(account.mac_key().clone())), e))?;
 
         let response = self.execute(&account, &command);
+        if decision == FaultDecision::TearReply {
+            return Err((
+                Some(Box::new(account.mac_key().clone())),
+                KineticError::DriveUnavailable(format!(
+                    "injected fault: drive {} tore the reply",
+                    self.config.id
+                )),
+            ));
+        }
         Ok(Envelope::seal_with(envelope.identity, account.mac_key(), &response).encode())
     }
 
@@ -1033,6 +1104,41 @@ mod tests {
         assert!(source
             .push_to(&target, &[b"replicate-me".to_vec()])
             .is_err());
+    }
+
+    #[test]
+    fn injected_drop_fails_request_without_executing() {
+        let d = drive();
+        d.inject_faults(FaultPlan::errors(11, 1.0));
+        let key = HmacKey::new(b"asdfasdf");
+        let mut put = Command::request(MessageType::Put);
+        put.body.key = b"k".to_vec();
+        put.body.value = b"v".into();
+        put.body.new_version = b"1".to_vec();
+        let resp = d.handle_envelope(&Envelope::seal_vectored(1, &key, put));
+        assert_eq!(resp.command().status.code, StatusCode::NotAttempted);
+        d.clear_faults();
+        assert!(d.peek(b"k").is_none(), "dropped request must not execute");
+        assert_eq!(d.fault_counts(), FaultCounts::default());
+    }
+
+    #[test]
+    fn injected_torn_reply_executes_then_reports_failure() {
+        let d = drive();
+        d.inject_faults(FaultPlan::torn_replies(11, 1.0));
+        let key = HmacKey::new(b"asdfasdf");
+        let mut put = Command::request(MessageType::Put);
+        put.body.key = b"torn".to_vec();
+        put.body.value = b"v".into();
+        put.body.new_version = b"1".to_vec();
+        let resp = d.handle_envelope(&Envelope::seal_vectored(1, &key, put));
+        // The caller sees a failure sealed under its own account key...
+        assert_eq!(resp.command().status.code, StatusCode::NotAttempted);
+        assert!(resp.verified_by(&key));
+        // ...but the operation ran.
+        assert!(d.fault_counts().torn >= 1);
+        d.clear_faults();
+        assert_eq!(d.peek(b"torn").unwrap().value, b"v");
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Deterministic fault injection for simulated drives.
+//!
+//! The failover and migration test suites need drives that misbehave in
+//! controlled, reproducible ways. A [`FaultPlan`] configures three
+//! orthogonal fault classes, all driven by one seeded generator so a test
+//! run is a pure function of its seed:
+//!
+//! * **Errors** — with probability `error_rate` a request is dropped
+//!   *before* execution and answered with
+//!   [`KineticError::DriveUnavailable`], modelling a transient transport or
+//!   SoC failure. The engine state is untouched.
+//! * **Torn replies** — with probability `torn_reply_rate` a request is
+//!   executed *and then* answered with an error, modelling a reply lost on
+//!   the wire after the drive applied the operation. This is the nasty
+//!   case: the caller cannot distinguish it from a dropped request, so
+//!   every recovery path must tolerate "failed" operations that actually
+//!   happened.
+//! * **Latency** — every injected decision can add a fixed service delay,
+//!   modelling a degraded or overloaded drive.
+//!
+//! The injector sits at the drive's authenticated-frame entry points, after
+//! the online check and before account lookup, so it covers every operation
+//! the controller can issue (data path, range scans, export/import reads,
+//! admin traffic) through one choke point.
+
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for injected faults on one drive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the injector's generator; equal seeds give equal fault
+    /// sequences.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that a request fails before execution.
+    pub error_rate: f64,
+    /// Probability in `[0, 1]` that a request executes but its reply is
+    /// replaced with an error (a torn reply).
+    pub torn_reply_rate: f64,
+    /// Extra service latency charged to every request while the plan is
+    /// active.
+    pub latency: Option<Duration>,
+}
+
+impl FaultPlan {
+    /// A plan that only drops requests, with the given probability.
+    pub fn errors(seed: u64, error_rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            error_rate,
+            torn_reply_rate: 0.0,
+            latency: None,
+        }
+    }
+
+    /// A plan that only tears replies, with the given probability.
+    pub fn torn_replies(seed: u64, torn_reply_rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            error_rate: 0.0,
+            torn_reply_rate,
+            latency: None,
+        }
+    }
+}
+
+/// The outcome of one injection decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Execute the request normally.
+    Pass,
+    /// Fail the request without executing it.
+    DropRequest,
+    /// Execute the request, then report an error to the caller.
+    TearReply,
+}
+
+/// A seeded fault source attached to a drive.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: Mutex<StdRng>,
+    injected: Mutex<FaultCounts>,
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("plan", &self.plan)
+            .field("injected", &*self.injected.lock())
+            .finish()
+    }
+}
+
+/// How many faults of each class an injector has produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Requests dropped before execution.
+    pub dropped: u64,
+    /// Replies torn after execution.
+    pub torn: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            rng: Mutex::new(StdRng::seed_from_u64(plan.seed)),
+            injected: Mutex::new(FaultCounts::default()),
+            plan,
+        }
+    }
+
+    /// The active plan.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// Counters for the faults produced so far.
+    pub fn counts(&self) -> FaultCounts {
+        *self.injected.lock()
+    }
+
+    /// Draws the next injection decision and sleeps for the configured
+    /// latency. Decisions consume the generator in a fixed order (drop
+    /// first, then tear), so a plan's fault sequence is reproducible
+    /// whatever the rates are.
+    pub fn decide(&self) -> FaultDecision {
+        let (drop, tear) = {
+            let mut rng = self.rng.lock();
+            let drop = self.plan.error_rate > 0.0 && rng.gen_bool(self.plan.error_rate);
+            let tear = self.plan.torn_reply_rate > 0.0 && rng.gen_bool(self.plan.torn_reply_rate);
+            (drop, tear)
+        };
+        if let Some(latency) = self.plan.latency {
+            std::thread::sleep(latency);
+        }
+        if drop {
+            self.injected.lock().dropped += 1;
+            FaultDecision::DropRequest
+        } else if tear {
+            self.injected.lock().torn += 1;
+            FaultDecision::TearReply
+        } else {
+            FaultDecision::Pass
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let plan = FaultPlan {
+            seed: 7,
+            error_rate: 0.3,
+            torn_reply_rate: 0.2,
+            latency: None,
+        };
+        let a = FaultInjector::new(plan);
+        let b = FaultInjector::new(plan);
+        let da: Vec<_> = (0..64).map(|_| a.decide()).collect();
+        let db: Vec<_> = (0..64).map(|_| b.decide()).collect();
+        assert_eq!(da, db);
+        assert_eq!(a.counts(), b.counts());
+    }
+
+    #[test]
+    fn zero_rates_always_pass() {
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 1,
+            error_rate: 0.0,
+            torn_reply_rate: 0.0,
+            latency: None,
+        });
+        for _ in 0..32 {
+            assert_eq!(inj.decide(), FaultDecision::Pass);
+        }
+        assert_eq!(inj.counts(), FaultCounts::default());
+    }
+
+    #[test]
+    fn rates_produce_both_fault_classes() {
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 42,
+            error_rate: 0.4,
+            torn_reply_rate: 0.4,
+            latency: None,
+        });
+        for _ in 0..256 {
+            inj.decide();
+        }
+        let counts = inj.counts();
+        assert!(counts.dropped > 0, "expected dropped requests");
+        assert!(counts.torn > 0, "expected torn replies");
+    }
+
+    #[test]
+    fn latency_is_charged() {
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 3,
+            error_rate: 0.0,
+            torn_reply_rate: 0.0,
+            latency: Some(Duration::from_millis(5)),
+        });
+        let start = std::time::Instant::now();
+        inj.decide();
+        inj.decide();
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+}

@@ -32,6 +32,9 @@
 //!   operations with a bounded ring of in-flight requests serviced by a
 //!   thread pool.
 //! * [`cluster`] — a named set of drives, as configured for one controller.
+//! * [`fault`] — deterministic fault injection (dropped requests, torn
+//!   replies, added latency) driven by a seeded generator, used by the
+//!   failover and migration test suites.
 
 pub mod backend;
 pub mod client;
@@ -39,6 +42,7 @@ pub mod cluster;
 pub mod drive;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod protocol;
 
 pub use backend::{BackendKind, DriveBackend, HddModel};
@@ -47,6 +51,7 @@ pub use cluster::DriveSet;
 pub use drive::{AccessControl, Account, DriveConfig, KineticDrive, Permission};
 pub use engine::{DriveEngine, EngineStats, StoredEntry};
 pub use error::KineticError;
+pub use fault::{FaultCounts, FaultDecision, FaultInjector, FaultPlan};
 pub use protocol::{
     AccountSpec, Command, CommandBody, Envelope, MessageType, Payload, ResponseStatus, StatusCode,
     VectoredCommand, VectoredEnvelope,
