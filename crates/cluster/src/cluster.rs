@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{lock_order, Mutex, RwLock};
 use pesos_core::sharded::{Sharded, ShardedFifoMap};
 use pesos_core::{
     parse_policy_id, AsyncResult, ClientRequest, ClientResponse, ControllerConfig, HashedKey,
@@ -405,31 +405,39 @@ impl ControllerCluster {
         };
         let shards = config.controller.lock_shards;
         Ok(ControllerCluster {
-            routing: RwLock::new(Arc::new(RoutingState {
-                table: PartitionTable::even(controllers),
-                migrations: Vec::new(),
+            routing: RwLock::with_rank(
+                lock_order::ROUTING_STATE,
+                Arc::new(RoutingState {
+                    table: PartitionTable::even(controllers),
+                    migrations: Vec::new(),
+                }),
+            ),
+            ops_gate: RwLock::with_rank(lock_order::OPS_GATE, ()),
+            rebalance: Mutex::with_rank(lock_order::CLUSTER_TOPOLOGY, ()),
+            migration_locks: Arc::new(Sharded::new_indexed(shards, |i| {
+                Mutex::with_rank_indexed(lock_order::MIGRATION_STRIPE, i, ())
             })),
-            ops_gate: RwLock::new(()),
-            rebalance: Mutex::new(()),
-            migration_locks: Arc::new(Sharded::new(shards, Mutex::default)),
             delimiter: config.routing_delimiter,
             drain_concurrency: config.drain_concurrency,
             drain: std::sync::OnceLock::new(),
-            request_baseline: Mutex::new(Vec::new()),
-            clients: Mutex::new(BTreeSet::new()),
-            policies: Mutex::new(BTreeSet::new()),
+            request_baseline: Mutex::with_rank(lock_order::REQUEST_BASELINE, Vec::new()),
+            clients: Mutex::with_rank(lock_order::CLUSTER_CLIENTS, BTreeSet::new()),
+            policies: Mutex::with_rank(lock_order::CLUSTER_POLICIES, BTreeSet::new()),
             tx: ClusterTxManager::new(),
             async_ops: AsyncOps::new(shards, config.controller.result_buffer_capacity),
             next_async_id: AtomicU64::new(1),
             template: config.controller,
-            replicas: RwLock::new(replicas),
+            replicas: RwLock::with_rank(lock_order::REPLICA_REGISTRY, replicas),
             replication_on: config.backups_per_partition > 0,
             backups_per_partition: config.backups_per_partition,
             replication_max_lag: config.replication_max_lag,
             retry_attempts: config.retry_attempts,
             retry_base: config.retry_base,
             retry_cap: config.retry_cap,
-            retry_rng: Mutex::new(StdRng::seed_from_u64(config.retry_jitter_seed)),
+            retry_rng: Mutex::with_rank(
+                lock_order::RETRY_RNG,
+                StdRng::seed_from_u64(config.retry_jitter_seed),
+            ),
             retries: RetryCounters::default(),
         })
     }
@@ -616,6 +624,7 @@ impl ControllerCluster {
     /// The cluster's logical time (partition 0's clock; all clocks are set
     /// together through [`ControllerCluster::set_time`]).
     pub fn now(&self) -> u64 {
+        // pesos-lint: allow(panic_freedom, "partition index produced by or bounds-checked against this routing table")
         self.routing.read().table.partitions()[0].controller.now()
     }
 
@@ -636,6 +645,7 @@ impl ControllerCluster {
         // the client at the cluster layer forever and resurrect its
         // session on the next joining controller — authenticated on one
         // partition, rejected on all others.
+        // pesos-lint: allow(panic_freedom, "partition index produced by or bounds-checked against this routing table")
         let probe = &routing.table.partitions()[0].controller;
         self.clients.lock().retain(|id| probe.has_session(id));
         first.unwrap_or(0)
@@ -985,7 +995,11 @@ impl ControllerCluster {
     /// otherwise removing the last original holder would lose them.
     fn copy_policies_to(&self, controller: &Arc<PesosController>) -> Result<(), PesosError> {
         let routing = self.routing.read().clone();
-        for id in self.policies.lock().iter() {
+        // Snapshot the id set rather than iterating under the registry
+        // mutex: each copy runs policy loads and replicated stores (drive
+        // I/O), and no lock guard may live across the submit path.
+        let ids: Vec<PolicyId> = self.policies.lock().iter().copied().collect();
+        for id in &ids {
             if controller.store().load_policy(id).is_ok() {
                 continue;
             }
@@ -1001,6 +1015,7 @@ impl ControllerCluster {
     /// Installs a policy on every controller and returns its identifier
     /// (compilation is deterministic, so every instance derives the same
     /// id).
+    // pesos-lint: invariant(acked_logged)
     pub fn put_policy(&self, client_id: &str, source: &str) -> Result<PolicyId, PesosError> {
         let _gate = self.ops_gate.read();
         let routing = self.routing.read().clone();
@@ -1014,6 +1029,7 @@ impl ControllerCluster {
         // promoted backup must evaluate policies with no surviving peer to
         // copy them from.
         if self.replication_on {
+            // pesos-lint: allow(panic_freedom, "partition index produced by or bounds-checked against this routing table")
             if let Ok(policy) = routing.table.partitions()[0]
                 .controller
                 .store()
@@ -1031,6 +1047,7 @@ impl ControllerCluster {
     }
 
     /// Stores an object on its owning partition.
+    // pesos-lint: invariant(acked_logged)
     pub fn put(
         &self,
         client_id: &str,
@@ -1088,6 +1105,7 @@ impl ControllerCluster {
     /// returned operation id is cluster-scoped and pollable through
     /// [`ControllerCluster::poll_result`] regardless of later topology
     /// changes (the mapping pins the accepting controller).
+    // pesos-lint: invariant(acked_logged)
     pub fn put_async(
         &self,
         client_id: &str,
@@ -1114,6 +1132,7 @@ impl ControllerCluster {
                 let cluster_op = self.next_async_id.fetch_add(1, Ordering::SeqCst);
                 self.async_ops
                     .insert(cluster_op, (Arc::clone(owner), local_op));
+                // pesos-lint: allow(acked_logged, "replication is off on this path: no log exists to append to")
                 Ok(cluster_op)
             });
         }
@@ -1181,6 +1200,7 @@ impl ControllerCluster {
     }
 
     /// Deletes an object from its owning partition.
+    // pesos-lint: invariant(acked_logged)
     pub fn delete(
         &self,
         client_id: &str,
@@ -1198,6 +1218,7 @@ impl ControllerCluster {
     }
 
     /// Attaches an existing policy to an object on its owning partition.
+    // pesos-lint: invariant(acked_logged)
     pub fn attach_policy(
         &self,
         client_id: &str,
@@ -1278,6 +1299,7 @@ impl ControllerCluster {
     /// prepare-phase failure (policy denial on any partition, unknown
     /// session, read of a missing object) aborts every prepared branch —
     /// no partition writes.
+    // pesos-lint: invariant(acked_logged)
     pub fn commit_tx(&self, client_id: &str, tx_id: u64) -> Result<TxOutcome, PesosError> {
         self.require_client(client_id)?;
         let _gate = self.ops_gate.read();
@@ -1332,6 +1354,7 @@ impl ControllerCluster {
                 Vec::with_capacity(branches.len());
             let mut failure: Option<PesosError> = None;
             'staging: for (&partition, branch) in branches.iter_mut() {
+                // pesos-lint: allow(panic_freedom, "partition index produced by or bounds-checked against this routing table")
                 let controller = Arc::clone(&routing.table.partitions()[partition].controller);
                 let local = match controller.create_tx(client_id) {
                     Ok(local) => local,
@@ -1340,24 +1363,24 @@ impl ControllerCluster {
                         break 'staging;
                     }
                 };
-                out.push((controller, local, partition));
-                let (controller, local, _) = out.last().expect("just pushed");
+                out.push((Arc::clone(&controller), local, partition));
                 for (_, key) in &branch.reads {
-                    if let Err(e) = controller.add_read(client_id, *local, key) {
+                    if let Err(e) = controller.add_read(client_id, local, key) {
                         failure = Some(e);
                         break 'staging;
                     }
                 }
                 for i in 0..branch.writes.len() {
+                    // pesos-lint: allow(panic_freedom, "loop index bounded by writes.len()")
                     let value = std::mem::take(&mut branch.writes[i].1.value);
                     if self.replication_on {
                         // One copy into a shared buffer, paid only when a
                         // log record will ship it after commit.
                         branch.payloads.push(value.clone().into());
                     }
-                    if let Err(e) =
-                        controller.add_write(client_id, *local, &branch.writes[i].1.key, value)
-                    {
+                    // pesos-lint: allow(panic_freedom, "loop index bounded by writes.len()")
+                    let key = &branch.writes[i].1.key;
+                    if let Err(e) = controller.add_write(client_id, local, key, value) {
                         failure = Some(e);
                         break 'staging;
                     }
@@ -1379,6 +1402,7 @@ impl ControllerCluster {
                 Ok(p) => prepared.push(p),
                 Err(e) => {
                     for (slot, p) in prepared.into_iter().enumerate() {
+                        // pesos-lint: allow(panic_freedom, "slot enumerates prepared, which is a prefix of participants")
                         participants[slot].0.abort_prepared(p);
                     }
                     // Branches after the failing one were never prepared;
@@ -1397,6 +1421,7 @@ impl ControllerCluster {
         let mut read_values: Vec<Option<Vec<u8>>> = vec![None; read_count];
         let mut write_versions: Vec<Option<u64>> = vec![None; write_count];
         for (p, (controller, _, partition)) in prepared.into_iter().zip(participants.iter()) {
+            // pesos-lint: allow(panic_freedom, "partition keys come from iterating this branches map")
             let branch = &branches[partition];
             let outcome = controller.commit_prepared(p)?;
             // Applied branch writes enter the partition's log with their
@@ -1421,21 +1446,28 @@ impl ControllerCluster {
                 }
             }
             for ((position, _), value) in branch.reads.iter().zip(outcome.read_values) {
+                // pesos-lint: allow(panic_freedom, "positions were assigned by enumerate over vectors sized to the operation counts")
                 read_values[*position] = Some(value);
             }
             for ((position, _), version) in branch.writes.iter().zip(outcome.write_versions) {
+                // pesos-lint: allow(panic_freedom, "positions were assigned by enumerate over vectors sized to the operation counts")
                 write_versions[*position] = Some(version);
             }
         }
+        // Every buffered operation was routed to exactly one branch and
+        // every branch outcome was merged above, so a gap is a routing
+        // bug; surface it as an abort rather than a panic.
+        let merge_gap =
+            || PesosError::TransactionAborted("branch outcome left an operation unmerged".into());
         let outcome = TxOutcome {
             read_values: read_values
                 .into_iter()
-                .map(|v| v.expect("every read merged"))
-                .collect(),
+                .map(|v| v.ok_or_else(merge_gap))
+                .collect::<Result<_, PesosError>>()?,
             write_versions: write_versions
                 .into_iter()
-                .map(|v| v.expect("every write merged"))
-                .collect(),
+                .map(|v| v.ok_or_else(merge_gap))
+                .collect::<Result<_, PesosError>>()?,
         };
         // File the merged outcome on every participant under the cluster
         // id, so check_results finds it no matter which partition is asked.
@@ -1443,6 +1475,7 @@ impl ControllerCluster {
         // file its (empty) outcome on the first partition so a committed
         // transaction is always queryable, as on a single controller.
         if participants.is_empty() {
+            // pesos-lint: allow(panic_freedom, "partition index produced by or bounds-checked against this routing table")
             let first = &routing.table.partitions()[0].controller;
             first.record_tx_outcome(tx_id, outcome.clone());
             self.append_for(first, || LogRecord::TxOutcome {
@@ -1508,7 +1541,9 @@ impl ControllerCluster {
         let loads = self.loads_of(table);
         (0..table.len())
             .filter(|&i| table.range(i).width() >= 2)
+            // pesos-lint: allow(panic_freedom, "loads_of returns one load per partition")
             .max_by_key(|&i| (loads[i].weight(), table.range(i).width()))
+            // pesos-lint: allow(panic_freedom, "unreachable: every partition owning a single hash would need 2^64 partitions")
             .expect("a table always has a splittable partition")
     }
 
@@ -1537,6 +1572,7 @@ impl ControllerCluster {
             return midpoint;
         }
         hashes.sort_unstable();
+        // pesos-lint: allow(panic_freedom, "hashes was checked to hold at least two entries above")
         let candidate = hashes[hashes.len() / 2];
         if candidate > range.start {
             candidate
@@ -1601,6 +1637,7 @@ impl ControllerCluster {
         let (target, split_start, src) = {
             let routing = self.routing.read();
             let target = self.most_loaded_splittable(&routing.table);
+            // pesos-lint: allow(panic_freedom, "partition index produced by or bounds-checked against this routing table")
             let src = Arc::clone(&routing.table.partitions()[target].controller);
             let split_start = self.weighted_split_point(&routing.table, target, &src);
             (target, split_start, src)
@@ -1634,8 +1671,11 @@ impl ControllerCluster {
                 range: moved,
                 src: Arc::clone(&src),
                 dst: Arc::clone(&controller),
-                moved_pending_delete: Mutex::new(BTreeSet::new()),
-                settled_groups: Mutex::new(BTreeSet::new()),
+                moved_pending_delete: Mutex::with_rank(
+                    lock_order::MIGRATION_STATE,
+                    BTreeSet::new(),
+                ),
+                settled_groups: Mutex::with_rank(lock_order::MIGRATION_STATE, BTreeSet::new()),
                 src_set: self.replica_set_of(&src),
                 dst_set: self.replica_set_of(&controller),
             });
@@ -1708,6 +1748,7 @@ impl ControllerCluster {
                 index - 1
             } else {
                 let loads = self.loads_of(&routing.table);
+                // pesos-lint: allow(panic_freedom, "index is strictly interior: 0 and len-1 are handled by the arms above")
                 if loads[index + 1].weight() < loads[index - 1].weight() {
                     index + 1
                 } else {
@@ -1715,6 +1756,7 @@ impl ControllerCluster {
                 }
             };
             (
+                // pesos-lint: allow(panic_freedom, "partition index produced by or bounds-checked against this routing table")
                 Arc::clone(&routing.table.partitions()[index].controller),
                 neighbour,
             )
@@ -1730,13 +1772,17 @@ impl ControllerCluster {
             let mut routing = self.routing.write();
             let old = routing.clone();
             let (table, moved, absorbed_by) = old.table.merge_into(index, neighbour);
+            // pesos-lint: allow(panic_freedom, "partition index produced by or bounds-checked against this routing table")
             let dst = Arc::clone(&table.partitions()[absorbed_by].controller);
             let migration = Arc::new(Migration {
                 range: moved,
                 src: Arc::clone(&src),
                 dst: Arc::clone(&dst),
-                moved_pending_delete: Mutex::new(BTreeSet::new()),
-                settled_groups: Mutex::new(BTreeSet::new()),
+                moved_pending_delete: Mutex::with_rank(
+                    lock_order::MIGRATION_STATE,
+                    BTreeSet::new(),
+                ),
+                settled_groups: Mutex::with_rank(lock_order::MIGRATION_STATE, BTreeSet::new()),
                 src_set: self.replica_set_of(&src),
                 dst_set: self.replica_set_of(&dst),
             });
@@ -1964,6 +2010,7 @@ impl ControllerCluster {
                 "no partition {index} (cluster has {len})",
             )));
         }
+        // pesos-lint: allow(panic_freedom, "partition index produced by or bounds-checked against this routing table")
         let controller = &routing.table.partitions()[index].controller;
         controller.set_failed(true);
         for drive in controller.store().drives().iter() {
@@ -2002,6 +2049,7 @@ impl ControllerCluster {
                     "no partition {index} (cluster has {len})",
                 )));
             }
+            // pesos-lint: allow(panic_freedom, "partition index produced by or bounds-checked against this routing table")
             let failed = Arc::clone(&routing.table.partitions()[index].controller);
             for migration in &routing.migrations {
                 if Arc::ptr_eq(&migration.src, &failed) || Arc::ptr_eq(&migration.dst, &failed) {

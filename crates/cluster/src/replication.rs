@@ -387,10 +387,13 @@ impl ReplicaSet {
         let set = Arc::new(ReplicaSet {
             key: HmacKey::new(secret),
             max_lag: max_lag.max(1),
-            inner: Mutex::new(LogState {
-                next_seq: 0,
-                queue: VecDeque::new(),
-            }),
+            inner: Mutex::with_rank(
+                parking_lot::lock_order::REPLICATION_LOG,
+                LogState {
+                    next_seq: 0,
+                    queue: VecDeque::new(),
+                },
+            ),
             space: Condvar::new(),
             work: Condvar::new(),
             stopping: AtomicBool::new(false),
@@ -401,7 +404,7 @@ impl ReplicaSet {
                     applied: AtomicU64::new(0),
                 })
                 .collect(),
-            workers: Mutex::new(Vec::new()),
+            workers: Mutex::with_rank(parking_lot::lock_order::REPLICATION_WORKERS, Vec::new()),
         });
         let mut workers = set.workers.lock();
         for index in 0..set.backups.len() {
@@ -480,6 +483,7 @@ impl ReplicaSet {
     }
 
     fn run_shipper(&self, index: usize) {
+        // pesos-lint: allow(panic_freedom, "one shipper thread is spawned per backup index")
         let link = &self.backups[index];
         loop {
             let batch: Vec<Arc<VectoredEnvelope>> = {
@@ -550,6 +554,7 @@ impl ReplicaSet {
     /// Index of the backup with the most applied records (the freshest),
     /// or `None` if the set has no backups.
     pub fn freshest(&self) -> Option<usize> {
+        // pesos-lint: allow(panic_freedom, "loop index bounded by backups.len()")
         (0..self.backups.len()).max_by_key(|&i| self.backups[i].applied.load(Ordering::Acquire))
     }
 
@@ -566,12 +571,28 @@ impl ReplicaSet {
         let chosen = self
             .freshest()
             .ok_or_else(|| PesosError::Unavailable("partition has no backup".to_string()))?;
-        let state = self.inner.lock();
+        // Snapshot the retained tail and release the log mutex before
+        // replaying: the log mutex (rank REPLICATION_LOG) sits *above* the
+        // stores' key locks in the workspace lock hierarchy, so holding it
+        // across apply_frame (which takes the backup store's key locks)
+        // would invert the order. The set is stopped and the caller holds
+        // the ops-gate write side, so the queue cannot change under us.
+        let snapshot: Vec<QueuedFrame> = {
+            let state = self.inner.lock();
+            state
+                .queue
+                .iter()
+                .map(|f| QueuedFrame {
+                    seq: f.seq,
+                    frame: Arc::clone(&f.frame),
+                })
+                .collect()
+        };
         let mut replayed = 0u64;
         let mut survivors = Vec::new();
         for (index, link) in self.backups.iter().enumerate() {
             let applied = link.applied.load(Ordering::Acquire);
-            let tail: Vec<&QueuedFrame> = state.queue.iter().filter(|f| f.seq >= applied).collect();
+            let tail: Vec<&QueuedFrame> = snapshot.iter().filter(|f| f.seq >= applied).collect();
             let mut caught_up = true;
             for frame in tail {
                 match Self::apply_frame(&self.key, &link.controller, &frame.frame) {
@@ -598,6 +619,7 @@ impl ReplicaSet {
             }
         }
         Ok(Promotion {
+            // pesos-lint: allow(panic_freedom, "chosen by max_by_key over 0..backups.len()")
             promoted: Arc::clone(&self.backups[chosen].controller),
             replayed,
             survivors,

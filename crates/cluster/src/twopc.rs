@@ -41,7 +41,7 @@ impl ClusterTxManager {
     pub fn new() -> Self {
         ClusterTxManager {
             next_id: AtomicU64::new(1),
-            open: Mutex::new(HashMap::new()),
+            open: Mutex::with_rank(parking_lot::lock_order::CLUSTER_TX, HashMap::new()),
         }
     }
 
@@ -93,11 +93,15 @@ impl ClusterTxManager {
     /// Removes and returns the transaction for committing.
     pub fn take(&self, id: u64, owner: &str) -> Result<ClusterTx, PesosError> {
         let mut open = self.open.lock();
-        match open.get(&id) {
-            Some(tx) if tx.owner == owner => Ok(open.remove(&id).expect("checked above")),
-            Some(_) => Err(PesosError::TransactionAborted(
-                "transaction owned by a different client".into(),
-            )),
+        match open.remove(&id) {
+            Some(tx) if tx.owner == owner => Ok(tx),
+            Some(tx) => {
+                // Wrong owner: put the transaction back untouched.
+                open.insert(id, tx);
+                Err(PesosError::TransactionAborted(
+                    "transaction owned by a different client".into(),
+                ))
+            }
             None => Err(PesosError::TransactionAborted(format!(
                 "unknown transaction {id}"
             ))),

@@ -71,9 +71,11 @@ impl ObjectCrypter {
         stored: &[u8],
     ) -> Result<Vec<u8>, CryptoError> {
         match stored.first() {
+            // pesos-lint: allow(panic_freedom, "the match on stored.first() guarantees at least one byte")
             Some(0) => Ok(stored[1..].to_vec()),
             Some(1) => self
                 .key
+                // pesos-lint: allow(panic_freedom, "the match on stored.first() guarantees at least one byte")
                 .open_from_bytes(&stored[1..], &Self::aad(object_key, version)),
             _ => Err(CryptoError::InvalidEncoding("empty stored object".into())),
         }

@@ -170,7 +170,13 @@ impl ShardedMetadata {
     /// Creates a map with `shards` lock shards (at least one).
     pub fn new(shards: usize) -> Self {
         ShardedMetadata {
-            shards: Sharded::new(shards, RwLock::default),
+            shards: Sharded::new_indexed(shards, |i| {
+                RwLock::with_rank_indexed(
+                    parking_lot::lock_order::METADATA_SHARD,
+                    i,
+                    HashMap::new(),
+                )
+            }),
         }
     }
 

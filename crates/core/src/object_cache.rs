@@ -78,7 +78,13 @@ impl ObjectCache {
         let shards = shards.max(1);
         ObjectCache {
             shard_budget_bytes: (budget_bytes / shards).max(1) as u64,
-            shards: Sharded::new(shards, Mutex::default),
+            shards: Sharded::new_indexed(shards, |i| {
+                Mutex::with_rank_indexed(
+                    parking_lot::lock_order::OBJECT_CACHE_SHARD,
+                    i,
+                    Inner::default(),
+                )
+            }),
         }
     }
 

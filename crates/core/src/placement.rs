@@ -18,6 +18,7 @@ use pesos_crypto::sha256;
 pub fn key_hash(key: &str) -> u64 {
     let digest = sha256(key.as_bytes());
     let mut h = [0u8; 8];
+    // pesos-lint: allow(panic_freedom, "sha256 digests are 32 bytes")
     h.copy_from_slice(&digest[..8]);
     u64::from_be_bytes(h)
 }
@@ -38,6 +39,7 @@ pub fn routing_prefix(key: &str, delimiter: Option<char>) -> &str {
     };
     match key.find(delimiter) {
         Some(0) | None => key,
+        // pesos-lint: allow(panic_freedom, "at is an index find() returned on this key")
         Some(at) => &key[..at],
     }
 }
@@ -245,6 +247,7 @@ pub fn placement_available<'a>(
         let mut mask = vec![false; drive_count];
         for &idx in online {
             if idx < drive_count {
+                // pesos-lint: allow(panic_freedom, "mask is sized to drive_count and idx is guarded above")
                 mask[idx] = true;
             }
         }
@@ -252,6 +255,7 @@ pub fn placement_available<'a>(
     };
     let is_online = |idx: usize| match &mask {
         Mask::Small(m) => m & (1 << idx) != 0,
+        // pesos-lint: allow(panic_freedom, "is_online is only called with drive indices below drive_count")
         Mask::Large(v) => v[idx],
     };
 

@@ -42,11 +42,14 @@ impl ResultBuffer {
         ResultBuffer {
             capacity: capacity.max(1),
             next_id: AtomicU64::new(1),
-            inner: Mutex::new(Inner {
-                results: HashMap::new(),
-                order: VecDeque::new(),
-                discarded: 0,
-            }),
+            inner: Mutex::with_rank(
+                parking_lot::lock_order::RESULT_BUFFER,
+                Inner {
+                    results: HashMap::new(),
+                    order: VecDeque::new(),
+                    discarded: 0,
+                },
+            ),
         }
     }
 

@@ -55,7 +55,9 @@ impl SessionManager {
     pub fn with_shards(expiry_secs: u64, shards: usize) -> Self {
         SessionManager {
             expiry_secs,
-            shards: Sharded::new(shards, Mutex::default),
+            shards: Sharded::new_indexed(shards, |i| {
+                Mutex::with_rank_indexed(parking_lot::lock_order::SESSION_SHARD, i, HashMap::new())
+            }),
         }
     }
 

@@ -72,8 +72,8 @@ impl TransactionManager {
     pub fn new() -> Self {
         TransactionManager {
             next_id: AtomicU64::new(1),
-            transactions: Mutex::new(HashMap::new()),
-            locks: Mutex::new(LockTable::default()),
+            transactions: Mutex::with_rank(parking_lot::lock_order::TX_TABLE, HashMap::new()),
+            locks: Mutex::with_rank(parking_lot::lock_order::TX_LOCKS, LockTable::default()),
             unblocked: Condvar::new(),
         }
     }
@@ -158,15 +158,21 @@ impl TransactionManager {
     pub fn prepare(&self, id: u64, owner: &str) -> Result<PreparedTransaction<'_>, PesosError> {
         let tx = {
             let mut txs = self.transactions.lock();
-            let tx = txs.get(&id).ok_or_else(|| {
-                PesosError::TransactionAborted(format!("unknown transaction {id}"))
-            })?;
-            if tx.owner != owner {
-                return Err(PesosError::TransactionAborted(
-                    "transaction owned by a different client".into(),
-                ));
+            match txs.remove(&id) {
+                Some(tx) if tx.owner == owner => tx,
+                Some(tx) => {
+                    // Wrong owner: put the transaction back untouched.
+                    txs.insert(id, tx);
+                    return Err(PesosError::TransactionAborted(
+                        "transaction owned by a different client".into(),
+                    ));
+                }
+                None => {
+                    return Err(PesosError::TransactionAborted(format!(
+                        "unknown transaction {id}"
+                    )))
+                }
             }
-            txs.remove(&id).expect("checked above")
         };
 
         self.acquire_locks(id, &tx);
@@ -261,21 +267,22 @@ pub struct PreparedTransaction<'a> {
 
 impl PreparedTransaction<'_> {
     /// The buffered read keys, in the order they were added.
+    ///
+    /// `tx` is `None` only after `Drop` took it, which cannot overlap a
+    /// live borrow; the empty fallback keeps the accessor panic-free.
     pub fn reads(&self) -> &[String] {
-        &self
-            .tx
-            .as_ref()
-            .expect("prepared transaction present")
-            .reads
+        match &self.tx {
+            Some(tx) => &tx.reads,
+            None => &[],
+        }
     }
 
     /// The buffered writes, in the order they were added.
     pub fn writes(&self) -> &[TxWrite] {
-        &self
-            .tx
-            .as_ref()
-            .expect("prepared transaction present")
-            .writes
+        match &self.tx {
+            Some(tx) => &tx.writes,
+            None => &[],
+        }
     }
 }
 

@@ -86,7 +86,7 @@ impl DriveBackend {
         DriveBackend {
             kind: BackendKind::Memory,
             model: HddModel::default(),
-            actuator: Mutex::new(()),
+            actuator: Mutex::with_rank(parking_lot::lock_order::BACKEND_ACTUATOR, ()),
         }
     }
 
@@ -100,7 +100,7 @@ impl DriveBackend {
         DriveBackend {
             kind: BackendKind::Hdd,
             model,
-            actuator: Mutex::new(()),
+            actuator: Mutex::with_rank(parking_lot::lock_order::BACKEND_ACTUATOR, ()),
         }
     }
 

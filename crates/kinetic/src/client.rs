@@ -139,6 +139,7 @@ impl KineticClient {
                         let _ = done.send(result);
                     }
                 })
+                // pesos-lint: allow(panic_freedom, "service-thread spawn failure at construction is fatal initialization, not request handling")
                 .expect("spawn kinetic service thread");
         }
 
@@ -306,12 +307,14 @@ impl KineticClient {
                 ));
             }
             let mut len_bytes = [0u8; 4];
+            // pesos-lint: allow(panic_freedom, "length prefix bounds-checked against bytes.len() above")
             len_bytes.copy_from_slice(&bytes[offset..offset + 4]);
             let len = u32::from_be_bytes(len_bytes) as usize;
             offset += 4;
             if offset + len > bytes.len() {
                 return Err(KineticError::Malformed("truncated key-range entry".into()));
             }
+            // pesos-lint: allow(panic_freedom, "entry length bounds-checked against bytes.len() above")
             keys.push(bytes[offset..offset + len].to_vec());
             offset += len;
         }

@@ -277,15 +277,24 @@ impl KineticDrive {
                 .claim("serial", vec![config.id.clone()])
                 .issue_self_signed(&device_keys);
         KineticDrive {
-            engine: Mutex::new(DriveEngine::new(config.capacity_bytes)),
+            engine: Mutex::with_rank(
+                parking_lot::lock_order::DRIVE_ENGINE,
+                DriveEngine::new(config.capacity_bytes),
+            ),
             backend,
-            security: RwLock::new(AccessControl::factory_default()),
-            cluster_version: RwLock::new(config.cluster_version),
+            security: RwLock::with_rank(
+                parking_lot::lock_order::DRIVE_SECURITY,
+                AccessControl::factory_default(),
+            ),
+            cluster_version: RwLock::with_rank(
+                parking_lot::lock_order::DRIVE_CLUSTER_VERSION,
+                config.cluster_version,
+            ),
             device_keys,
             device_certificate,
             config,
-            online: RwLock::new(true),
-            fault: Mutex::new(None),
+            online: RwLock::with_rank(parking_lot::lock_order::DRIVE_ONLINE, true),
+            fault: Mutex::with_rank(parking_lot::lock_order::DRIVE_FAULT, None),
         }
     }
 
@@ -344,6 +353,12 @@ impl KineticDrive {
 
     /// Returns device information (the `GetLog` payload).
     pub fn info(&self) -> DriveInfo {
+        // Read the standalone cells before locking the engine: guards
+        // created inside one struct literal all live to the end of the
+        // statement, and the drive-internal lock order is engine →
+        // security → cluster_version.
+        let cluster_version = *self.cluster_version.read();
+        let accounts = self.security.read().len();
         let engine = self.engine.lock();
         DriveInfo {
             id: self.config.id.clone(),
@@ -351,8 +366,8 @@ impl KineticDrive {
             used_bytes: engine.used_bytes(),
             utilization: engine.utilization(),
             stats: engine.stats(),
-            cluster_version: *self.cluster_version.read(),
-            accounts: self.security.read().len(),
+            cluster_version,
+            accounts,
         }
     }
 

@@ -107,8 +107,14 @@ impl FaultInjector {
     /// Creates an injector for `plan`.
     pub fn new(plan: FaultPlan) -> Self {
         FaultInjector {
-            rng: Mutex::new(StdRng::seed_from_u64(plan.seed)),
-            injected: Mutex::new(FaultCounts::default()),
+            rng: Mutex::with_rank(
+                parking_lot::lock_order::FAULT_RNG,
+                StdRng::seed_from_u64(plan.seed),
+            ),
+            injected: Mutex::with_rank(
+                parking_lot::lock_order::FAULT_COUNTERS,
+                FaultCounts::default(),
+            ),
             plan,
         }
     }

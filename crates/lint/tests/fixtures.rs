@@ -1,0 +1,77 @@
+//! Fixture tests: each pass runs over a small source file with known
+//! violations and the findings must match exactly — pass, file, and line.
+
+use pesos_lint::{lint_source, Finding, Options, Pass};
+
+fn lint_fixture(name: &str, opts: &Options) -> Vec<Finding> {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let source = std::fs::read_to_string(&path).expect("fixture readable");
+    // The relative name drives path-scoped family lookup.
+    lint_source(&format!("fixtures/{name}"), &source, opts)
+}
+
+fn as_pass_lines(findings: &[Finding]) -> Vec<(Pass, u32)> {
+    findings.iter().map(|f| (f.pass, f.line)).collect()
+}
+
+#[test]
+fn lock_hierarchy_fixture() {
+    let findings = lint_fixture("lock_hierarchy.rs", &Options::without_panic_freedom());
+    assert_eq!(
+        as_pass_lines(&findings),
+        vec![(Pass::LockHierarchy, 14), (Pass::LockHierarchy, 25)],
+        "{findings:#?}"
+    );
+    assert!(findings[0].message.contains("OPS_GATE"));
+    assert!(findings[0].message.contains("ROUTING_STATE"));
+    assert!(findings[1].message.contains("MIGRATION_STRIPE"));
+}
+
+#[test]
+fn guard_across_io_fixture() {
+    let findings = lint_fixture("guard_across_io.rs", &Options::without_panic_freedom());
+    assert_eq!(
+        as_pass_lines(&findings),
+        vec![(Pass::GuardAcrossIo, 9), (Pass::GuardAcrossIo, 14)],
+        "{findings:#?}"
+    );
+    assert!(findings[0].message.contains("OPS_GATE"));
+    assert!(findings[1].message.contains("queue"));
+}
+
+#[test]
+fn panic_freedom_fixture() {
+    let findings = lint_fixture("panic_freedom.rs", &Options::all());
+    assert_eq!(
+        as_pass_lines(&findings),
+        vec![
+            (Pass::PanicFreedom, 5),
+            (Pass::PanicFreedom, 9),
+            (Pass::PanicFreedom, 17),
+            (Pass::PanicFreedom, 21),
+            (Pass::BadAllow, 34),
+            (Pass::PanicFreedom, 35),
+            (Pass::BadAllow, 39),
+        ],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn acked_logged_fixture() {
+    let findings = lint_fixture("acked_logged.rs", &Options::all());
+    assert_eq!(
+        as_pass_lines(&findings),
+        vec![(Pass::AckedLogged, 15), (Pass::BadAllow, 34)],
+        "{findings:#?}"
+    );
+    assert!(findings[0].message.contains("put_async"));
+}
+
+#[test]
+fn fixture_files_report_their_path() {
+    let findings = lint_fixture("panic_freedom.rs", &Options::all());
+    assert!(findings
+        .iter()
+        .all(|f| f.file == "fixtures/panic_freedom.rs"));
+}

@@ -1,0 +1,51 @@
+// Fixture for the panic-freedom pass. The test asserts exact line
+// numbers; keep the layout stable.
+
+fn bad_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() // line 5
+}
+
+fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("present") // line 9
+}
+
+fn fallible_helper_named_expect(p: &mut Parser) -> Result<(), Error> {
+    p.expect(&Token::RParen) // not Option::expect: no string argument
+}
+
+fn bad_panic() {
+    panic!("boom"); // line 17
+}
+
+fn bad_index(v: &[u32]) -> u32 {
+    v[0] // line 21
+}
+
+fn full_range_is_infallible(v: &[u32]) -> &[u32] {
+    &v[..]
+}
+
+fn allowed(v: &[u32]) -> u32 {
+    // pesos-lint: allow(panic_freedom, "caller guarantees a non-empty slice")
+    v[0]
+}
+
+fn empty_reason_does_not_suppress(v: &[u32]) -> u32 {
+    // pesos-lint: allow(panic_freedom, "")
+    v[0] // line 35: still reported, plus bad_allow on line 34
+}
+
+fn unknown_slug() {
+    // pesos-lint: allow(no_such_pass, "irrelevant") -- line 39: bad_allow
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v = vec![1u32];
+        assert_eq!(v[0], 1);
+        Some(2u32).unwrap();
+        panic!("fine in tests");
+    }
+}

@@ -82,7 +82,13 @@ impl PolicyCache {
         let shards = shards.max(1);
         PolicyCache {
             per_shard_capacity: (capacity / shards).max(1),
-            shards: Sharded::new(shards, Mutex::default),
+            shards: Sharded::new_indexed(shards, |i| {
+                Mutex::with_rank_indexed(
+                    parking_lot::lock_order::POLICY_CACHE_SHARD,
+                    i,
+                    Inner::default(),
+                )
+            }),
         }
     }
 

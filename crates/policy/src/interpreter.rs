@@ -102,6 +102,7 @@ impl CompiledPolicy {
         let mut env: Env = vec![None; self.slot_count()];
         for (name, value) in &ctx.bindings {
             if let Some(slot) = self.variables.iter().position(|v| v == name) {
+                // pesos-lint: allow(panic_freedom, "variable slots are assigned densely by the compiler that sized env")
                 env[slot] = Some(value.clone());
             }
         }
@@ -139,12 +140,14 @@ impl CompiledPolicy {
                 let Some(session) = &ctx.session_key else {
                     return Ok(false);
                 };
+                // pesos-lint: allow(panic_freedom, "predicate arity is enforced by check_arity at compile time")
                 Ok(self.unify(&call.args[0], &Value::PubKey(session.clone()), env)?)
             }
             Predicate::NextVersion => {
                 let Some(next) = ctx.next_version else {
                     return Ok(false);
                 };
+                // pesos-lint: allow(panic_freedom, "predicate arity is enforced by check_arity at compile time")
                 Ok(self.unify(&call.args[0], &Value::Int(next as i64), env)?)
             }
             Predicate::ObjId => self.eval_obj_id(&call.args, env, view),
@@ -164,6 +167,7 @@ impl CompiledPolicy {
     fn eval_expr(&self, expr: &CompiledExpr, env: &Env) -> Result<Option<Value>, PolicyError> {
         match expr {
             CompiledExpr::Literal(v) => Ok(Some(v.clone())),
+            // pesos-lint: allow(panic_freedom, "variable slots are assigned densely by the compiler that sized env")
             CompiledExpr::Var(slot) => Ok(env[*slot as usize].clone()),
             CompiledExpr::Add(a, b) => {
                 let a = self
@@ -212,9 +216,11 @@ impl CompiledPolicy {
         match expr {
             CompiledExpr::Var(slot) => {
                 let slot = *slot as usize;
+                // pesos-lint: allow(panic_freedom, "variable slots are assigned densely by the compiler that sized env")
                 match &env[slot] {
                     Some(bound) => Ok(bound.loosely_equals(value)),
                     None => {
+                        // pesos-lint: allow(panic_freedom, "variable slots are assigned densely by the compiler that sized env")
                         env[slot] = Some(value.clone());
                         Ok(true)
                     }
@@ -245,11 +251,15 @@ impl CompiledPolicy {
     }
 
     fn eval_eq(&self, args: &[CompiledExpr], env: &mut Env) -> Result<bool, PolicyError> {
+        // pesos-lint: allow(panic_freedom, "predicate arity is enforced by check_arity at compile time")
         let a = self.eval_expr(&args[0], env)?;
+        // pesos-lint: allow(panic_freedom, "predicate arity is enforced by check_arity at compile time")
         let b = self.eval_expr(&args[1], env)?;
         match (a, b) {
             (Some(a), Some(b)) => Ok(a.loosely_equals(&b)),
+            // pesos-lint: allow(panic_freedom, "predicate arity is enforced by check_arity at compile time")
             (Some(a), None) => self.unify(&args[1], &a, env),
+            // pesos-lint: allow(panic_freedom, "predicate arity is enforced by check_arity at compile time")
             (None, Some(b)) => self.unify(&args[0], &b, env),
             (None, None) => Ok(false),
         }
@@ -261,7 +271,9 @@ impl CompiledPolicy {
         args: &[CompiledExpr],
         env: &Env,
     ) -> Result<bool, PolicyError> {
+        // pesos-lint: allow(panic_freedom, "predicate arity is enforced by check_arity at compile time")
         let a = self.eval_expr(&args[0], env)?.and_then(|v| v.as_int());
+        // pesos-lint: allow(panic_freedom, "predicate arity is enforced by check_arity at compile time")
         let b = self.eval_expr(&args[1], env)?.and_then(|v| v.as_int());
         let (Some(a), Some(b)) = (a, b) else {
             return Ok(false);
@@ -281,6 +293,7 @@ impl CompiledPolicy {
         env: &mut Env,
         view: &V,
     ) -> Result<bool, PolicyError> {
+        // pesos-lint: allow(panic_freedom, "predicate arity is enforced by check_arity at compile time")
         let Some(handle) = self.eval_expr(&args[0], env)? else {
             return Ok(false);
         };
@@ -292,6 +305,7 @@ impl CompiledPolicy {
         } else {
             Value::Null
         };
+        // pesos-lint: allow(panic_freedom, "predicate arity is enforced by check_arity at compile time")
         self.unify(&args[1], &id_value, env)
     }
 
@@ -301,12 +315,14 @@ impl CompiledPolicy {
         env: &mut Env,
         view: &V,
     ) -> Result<bool, PolicyError> {
+        // pesos-lint: allow(panic_freedom, "predicate arity is enforced by check_arity at compile time")
         let Some(key) = self.resolve_key(&args[0], env)? else {
             return Ok(false);
         };
         let Some(version) = view.current_version(&key) else {
             return Ok(false);
         };
+        // pesos-lint: allow(panic_freedom, "predicate arity is enforced by check_arity at compile time")
         self.unify(&args[1], &Value::Int(version as i64), env)
     }
 
@@ -345,9 +361,11 @@ impl CompiledPolicy {
         view: &V,
         kind: FactKind,
     ) -> Result<bool, PolicyError> {
+        // pesos-lint: allow(panic_freedom, "predicate arity is enforced by check_arity at compile time")
         let Some(key) = self.resolve_key(&args[0], env)? else {
             return Ok(false);
         };
+        // pesos-lint: allow(panic_freedom, "predicate arity is enforced by check_arity at compile time")
         let Some(version) = self.resolve_version(&args[1], env, view, &key)? else {
             return Ok(false);
         };
@@ -359,6 +377,7 @@ impl CompiledPolicy {
             FactKind::Policy => view.policy_hash(&key, version).map(Value::Hash),
         };
         match fact {
+            // pesos-lint: allow(panic_freedom, "predicate arity is enforced by check_arity at compile time")
             Some(value) => self.unify(&args[2], &value, env),
             None => Ok(false),
         }
@@ -375,9 +394,11 @@ impl CompiledPolicy {
         view: &V,
         kind: FactKind,
     ) -> Result<bool, PolicyError> {
+        // pesos-lint: allow(panic_freedom, "predicate arity is enforced by check_arity at compile time")
         let Some(key) = self.resolve_key(&args[0], env)? else {
             return Ok(false);
         };
+        // pesos-lint: allow(panic_freedom, "predicate arity is enforced by check_arity at compile time")
         let Some(version) = self.resolve_version(&args[1], env, view, &key)? else {
             return Ok(false);
         };
@@ -388,6 +409,7 @@ impl CompiledPolicy {
         };
         if is_pending {
             if let Some(hash) = &ctx.new_object_hash {
+                // pesos-lint: allow(panic_freedom, "predicate arity is enforced by check_arity at compile time")
                 return self.unify(&args[2], &Value::Hash(hash.clone()), env);
             }
             return Ok(false);
@@ -410,6 +432,7 @@ impl CompiledPolicy {
             FactKind::Policy => view.policy_hash(key, version).map(Value::Hash),
         };
         match fact {
+            // pesos-lint: allow(panic_freedom, "predicate arity is enforced by check_arity at compile time")
             Some(value) => self.unify(&args[2], &value, env),
             None => Ok(false),
         }
@@ -421,11 +444,13 @@ impl CompiledPolicy {
         env: &mut Env,
         view: &V,
     ) -> Result<bool, PolicyError> {
+        // pesos-lint: allow(panic_freedom, "predicate arity is enforced by check_arity at compile time")
         let Some(key) = self.resolve_key(&args[0], env)? else {
             return Ok(false);
         };
         // If the version argument is bound, check only that version;
         // otherwise search backwards from the latest version.
+        // pesos-lint: allow(panic_freedom, "predicate arity is enforced by check_arity at compile time")
         let bound_version = self.eval_expr(&args[1], env)?.and_then(|v| v.as_int());
         let versions: Vec<u64> = match bound_version {
             Some(v) if v >= 0 => vec![v as u64],
@@ -442,8 +467,10 @@ impl CompiledPolicy {
         for version in versions {
             for tuple in view.object_tuples(&key, version) {
                 let snapshot = env.clone();
+                // pesos-lint: allow(panic_freedom, "predicate arity is enforced by check_arity at compile time")
                 if self.unify(&args[2], &Value::Tuple(Box::new(tuple)), env)? {
                     // Bind the version argument if it was unbound.
+                    // pesos-lint: allow(panic_freedom, "predicate arity is enforced by check_arity at compile time")
                     if self.unify(&args[1], &Value::Int(version as i64), env)? {
                         return Ok(true);
                     }
@@ -461,7 +488,9 @@ impl CompiledPolicy {
         ctx: &RequestContext,
     ) -> Result<bool, PolicyError> {
         let (authority_expr, freshness_expr, tuple_expr) = match args.len() {
+            // pesos-lint: allow(panic_freedom, "predicate arity is enforced by check_arity at compile time")
             2 => (&args[0], None, &args[1]),
+            // pesos-lint: allow(panic_freedom, "predicate arity is enforced by check_arity at compile time")
             3 => (&args[0], Some(&args[1]), &args[2]),
             _ => unreachable!("arity checked at compile time"),
         };

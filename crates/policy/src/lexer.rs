@@ -43,11 +43,13 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, PolicyError> {
     let mut i = 0usize;
 
     while i < chars.len() {
+        // pesos-lint: allow(panic_freedom, "scan index is guarded by the enclosing length check")
         let c = chars[i];
         match c {
             ' ' | '\t' | '\r' | '\n' => i += 1,
             '%' | '#' => {
                 // Comment to end of line.
+                // pesos-lint: allow(panic_freedom, "scan index is guarded by the enclosing length check")
                 while i < chars.len() && chars[i] != '\n' {
                     i += 1;
                 }
@@ -71,6 +73,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, PolicyError> {
             '&' => {
                 tokens.push(Token::And);
                 i += 1;
+                // pesos-lint: allow(panic_freedom, "scan index is guarded by the enclosing length check")
                 if i < chars.len() && chars[i] == '&' {
                     i += 1;
                 }
@@ -78,6 +81,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, PolicyError> {
             '|' => {
                 tokens.push(Token::Or);
                 i += 1;
+                // pesos-lint: allow(panic_freedom, "scan index is guarded by the enclosing length check")
                 if i < chars.len() && chars[i] == '|' {
                     i += 1;
                 }
@@ -91,6 +95,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, PolicyError> {
                 i += 1;
             }
             ':' => {
+                // pesos-lint: allow(panic_freedom, "scan index is guarded by the enclosing length check")
                 if i + 1 < chars.len() && chars[i + 1] == '-' {
                     tokens.push(Token::Turnstile);
                     i += 2;
@@ -105,6 +110,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, PolicyError> {
                 let quote = c;
                 let start = i + 1;
                 let mut j = start;
+                // pesos-lint: allow(panic_freedom, "scan index is guarded by the enclosing length check")
                 while j < chars.len() && chars[j] != quote {
                     j += 1;
                 }
@@ -114,18 +120,22 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, PolicyError> {
                         message: "unterminated string literal".to_string(),
                     });
                 }
+                // pesos-lint: allow(panic_freedom, "scan index is guarded by the enclosing length check")
                 tokens.push(Token::Str(chars[start..j].iter().collect()));
                 i = j + 1;
             }
             '-' | '0'..='9' => {
                 let start = i;
                 let mut j = i;
+                // pesos-lint: allow(panic_freedom, "scan index is guarded by the enclosing length check")
                 if chars[j] == '-' {
                     j += 1;
                 }
+                // pesos-lint: allow(panic_freedom, "scan index is guarded by the enclosing length check")
                 while j < chars.len() && chars[j].is_ascii_digit() {
                     j += 1;
                 }
+                // pesos-lint: allow(panic_freedom, "scan index is guarded by the enclosing length check")
                 let text: String = chars[start..j].iter().collect();
                 let value = text.parse::<i64>().map_err(|_| PolicyError::LexError {
                     position: start,
@@ -138,17 +148,19 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, PolicyError> {
                 let start = i;
                 let mut j = i;
                 while j < chars.len()
+                    // pesos-lint: allow(panic_freedom, "scan index is guarded by the enclosing length check")
                     && (chars[j].is_alphanumeric() || chars[j] == '_' || chars[j] == '-')
                 {
                     j += 1;
                 }
+                // pesos-lint: allow(panic_freedom, "scan index is guarded by the enclosing length check")
                 let word: String = chars[start..j].iter().collect();
                 i = j;
                 match word.to_ascii_lowercase().as_str() {
                     "and" => tokens.push(Token::And),
                     "or" => tokens.push(Token::Or),
                     _ => {
-                        if word.chars().next().unwrap().is_uppercase() {
+                        if word.chars().next().is_some_and(char::is_uppercase) {
                             tokens.push(Token::Variable(word));
                         } else {
                             tokens.push(Token::Ident(word));

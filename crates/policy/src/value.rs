@@ -36,10 +36,12 @@ impl Tuple {
         if !text.ends_with(')') {
             return None;
         }
+        // pesos-lint: allow(panic_freedom, "open is an index find() returned on this string")
         let name = text[..open].trim();
         if name.is_empty() {
             return None;
         }
+        // pesos-lint: allow(panic_freedom, "bounded by the find of the opening paren and the ends_with close-paren check")
         let inner = &text[open + 1..text.len() - 1];
         let args = if inner.trim().is_empty() {
             Vec::new()

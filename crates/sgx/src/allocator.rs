@@ -48,14 +48,17 @@ impl BitmapAllocator {
     }
 
     fn is_set(&self, page: usize) -> bool {
+        // pesos-lint: allow(panic_freedom, "the bitmap is sized to cover every page")
         (self.bitmap[page / 64] >> (page % 64)) & 1 == 1
     }
 
     fn set(&mut self, page: usize) {
+        // pesos-lint: allow(panic_freedom, "the bitmap is sized to cover every page")
         self.bitmap[page / 64] |= 1 << (page % 64);
     }
 
     fn clear(&mut self, page: usize) {
+        // pesos-lint: allow(panic_freedom, "the bitmap is sized to cover every page")
         self.bitmap[page / 64] &= !(1 << (page % 64));
     }
 

@@ -89,11 +89,14 @@ struct CompletionState<T> {
 impl<T> CompletionState<T> {
     fn new(batch: Option<(Arc<BatchCore>, usize)>) -> Arc<Self> {
         Arc::new(CompletionState {
-            cell: Mutex::new(CompletionCell {
-                value: None,
-                abandoned: false,
-                batch,
-            }),
+            cell: Mutex::with_rank(
+                parking_lot::lock_order::COMPLETION_CELL,
+                CompletionCell {
+                    value: None,
+                    abandoned: false,
+                    batch,
+                },
+            ),
             cv: Condvar::new(),
         })
     }
@@ -227,7 +230,7 @@ impl<T> CompletionPool<T> {
     pub fn new(capacity: usize) -> Self {
         CompletionPool {
             capacity: capacity.max(1),
-            free: Mutex::new(Vec::new()),
+            free: Mutex::with_rank(parking_lot::lock_order::ASYSCALL_FREE, Vec::new()),
             reused: AtomicU64::new(0),
             allocated: AtomicU64::new(0),
         }
@@ -334,8 +337,10 @@ impl<T> CompletionSet<'_, T> {
             }
         };
         self.delivered += 1;
+        // pesos-lint: allow(panic_freedom, "the queue delivers only indices this batch issued")
         let state = self.completions[index]
             .take()
+            // pesos-lint: allow(panic_freedom, "the queue delivers each completion index exactly once")
             .expect("completion index delivered twice");
         // The cell is already filled (or abandoned); this cannot block.
         let result = state.take_result();
@@ -352,10 +357,12 @@ impl<T> CompletionSet<'_, T> {
     pub fn join(mut self) -> Result<Vec<T>, SgxError> {
         let mut out: Vec<Option<T>> = (0..self.completions.len()).map(|_| None).collect();
         while let Some((index, result)) = self.next_completed() {
+            // pesos-lint: allow(panic_freedom, "index was issued by this batch, bounded by completions.len()")
             out[index] = Some(result?);
         }
         Ok(out
             .into_iter()
+            // pesos-lint: allow(panic_freedom, "next_completed drained every index before returning None")
             .map(|v| v.expect("missing result"))
             .collect())
     }
@@ -427,11 +434,18 @@ impl AsyscallInterface {
         let (tx, rx): (Sender<usize>, Receiver<usize>) = unbounded();
         let shared = Arc::new(Shared {
             slots: (0..slots)
-                .map(|_| Slot {
-                    body: Mutex::new(None),
+                .map(|i| Slot {
+                    body: Mutex::with_rank_indexed(
+                        parking_lot::lock_order::ASYSCALL_SLOT,
+                        i as u32,
+                        None,
+                    ),
                 })
                 .collect(),
-            free: Mutex::new((0..slots).rev().collect()),
+            free: Mutex::with_rank(
+                parking_lot::lock_order::ASYSCALL_FREE,
+                (0..slots).rev().collect(),
+            ),
             free_cv: Condvar::new(),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -449,10 +463,12 @@ impl AsyscallInterface {
                 .name(format!("asyscall-{i}"))
                 .spawn(move || {
                     while let Ok(slot_index) = rx.recv() {
+                        // pesos-lint: allow(panic_freedom, "the queue carries only acquired slot indices")
                         let body = shared.slots[slot_index]
                             .body
                             .lock()
                             .take()
+                            // pesos-lint: allow(panic_freedom, "the body is stored before the slot index is queued")
                             .expect("queued slot without body");
                         let active = shared.active.fetch_add(1, Ordering::SeqCst) as u64 + 1;
                         shared.max_concurrency.fetch_max(active, Ordering::SeqCst);
@@ -471,6 +487,7 @@ impl AsyscallInterface {
                         }
                     }
                 })
+                // pesos-lint: allow(panic_freedom, "service-thread spawn failure at construction is fatal initialization")
                 .expect("spawn asyscall service thread");
             workers.push(handle);
         }
@@ -492,12 +509,14 @@ impl AsyscallInterface {
         self.cost.charge(CostEvent::AsyncSyscall);
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         let slot_index = self.shared.acquire_slot();
+        // pesos-lint: allow(panic_freedom, "slot_index was just acquired from this slot table")
         *self.shared.slots[slot_index].body.lock() = Some(body);
         match self.tx.send(slot_index) {
             Ok(()) => Ok(()),
             Err(_) => {
                 // Interface closed: reclaim the slot and drop the body (its
                 // completion filler reports the abandonment).
+                // pesos-lint: allow(panic_freedom, "slot_index was just acquired from this slot table")
                 drop(self.shared.slots[slot_index].body.lock().take());
                 self.shared.release_slot(slot_index);
                 Err(SgxError::SyscallInterfaceClosed)
@@ -520,6 +539,7 @@ impl AsyscallInterface {
             filled: false,
         });
         self.enqueue(Box::new(move || {
+            // pesos-lint: allow(panic_freedom, "the filler closure runs exactly once per enqueue")
             filler.take().expect("body run twice").fill(body());
         }))?;
         Ok(Completion { state })
@@ -568,6 +588,7 @@ impl AsyscallInterface {
             filled: false,
         });
         self.enqueue(Box::new(move || {
+            // pesos-lint: allow(panic_freedom, "the filler closure runs exactly once per enqueue")
             filler.take().expect("body run twice").fill(body());
         }))?;
         Ok(PooledCompletion { state, pool })
@@ -596,7 +617,7 @@ impl AsyscallInterface {
         I: IntoIterator<Item = F>,
     {
         let core = Arc::new(BatchCore {
-            finished: Mutex::new(VecDeque::new()),
+            finished: Mutex::with_rank(parking_lot::lock_order::ASYSCALL_BATCH, VecDeque::new()),
             cv: Condvar::new(),
         });
         let mut completions = Vec::new();
@@ -628,7 +649,7 @@ impl AsyscallInterface {
         I: IntoIterator<Item = F>,
     {
         let core = Arc::new(BatchCore {
-            finished: Mutex::new(VecDeque::new()),
+            finished: Mutex::with_rank(parking_lot::lock_order::ASYSCALL_BATCH, VecDeque::new()),
             cv: Condvar::new(),
         });
         let mut completions = Vec::new();
@@ -640,6 +661,7 @@ impl AsyscallInterface {
                 filled: false,
             });
             self.enqueue(Box::new(move || {
+                // pesos-lint: allow(panic_freedom, "the filler closure runs exactly once per enqueue")
                 filler.take().expect("body run twice").fill(body());
             }))?;
             completions.push(Some(state));

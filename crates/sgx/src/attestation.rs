@@ -152,6 +152,7 @@ mod pesos_wire_encode {
         }
         pub fn u32(&mut self) -> Option<u32> {
             let b = self.raw(4)?;
+            // pesos-lint: allow(panic_freedom, "raw(4) returned a slice of exactly four bytes")
             Some(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
         }
         pub fn bytes(&mut self) -> Option<Vec<u8>> {
@@ -165,6 +166,7 @@ mod pesos_wire_encode {
             if self.pos + len > self.data.len() {
                 return None;
             }
+            // pesos-lint: allow(panic_freedom, "bounds-checked against data.len() above")
             let out = &self.data[self.pos..self.pos + len];
             self.pos += len;
             Some(out)

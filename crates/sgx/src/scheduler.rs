@@ -56,7 +56,7 @@ impl UserScheduler {
             spawned: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             active: AtomicUsize::new(0),
-            idle_lock: Mutex::new(()),
+            idle_lock: Mutex::with_rank(parking_lot::lock_order::SCHEDULER, ()),
             idle_cv: Condvar::new(),
         });
 
@@ -77,6 +77,7 @@ impl UserScheduler {
                             inner.idle_cv.notify_all();
                         }
                     })
+                    // pesos-lint: allow(panic_freedom, "worker spawn failure at construction is fatal initialization")
                     .expect("spawn enclave worker"),
             );
         }
@@ -92,6 +93,7 @@ impl UserScheduler {
         self.inner.spawned.fetch_add(1, Ordering::SeqCst);
         self.tx
             .send(Box::new(task))
+            // pesos-lint: allow(panic_freedom, "the receiver is owned by workers held in self, so the channel outlives every sender")
             .expect("scheduler queue closed");
     }
 

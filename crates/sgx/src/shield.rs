@@ -31,8 +31,8 @@ impl FileShield {
     pub fn new(master_key: [u8; 32]) -> Self {
         FileShield {
             master_key,
-            store: Mutex::new(HashMap::new()),
-            counters: Mutex::new(HashMap::new()),
+            store: Mutex::with_rank(parking_lot::lock_order::SHIELD, HashMap::new()),
+            counters: Mutex::with_rank(parking_lot::lock_order::SHIELD, HashMap::new()),
         }
     }
 
@@ -92,6 +92,7 @@ impl FileShield {
         match store.get_mut(name) {
             Some(data) if !data.is_empty() => {
                 let last = data.len() - 1;
+                // pesos-lint: allow(panic_freedom, "the match arm guarantees data is non-empty")
                 data[last] ^= 0x1;
                 true
             }
@@ -103,11 +104,9 @@ impl FileShield {
     /// malicious OS could try in order to serve stale or foreign data.
     pub fn swap_files(&self, a: &str, b: &str) -> bool {
         let mut store = self.store.lock();
-        if !store.contains_key(a) || !store.contains_key(b) {
+        let (Some(va), Some(vb)) = (store.get(a).cloned(), store.get(b).cloned()) else {
             return false;
-        }
-        let va = store.get(a).cloned().unwrap();
-        let vb = store.get(b).cloned().unwrap();
+        };
         store.insert(a.to_string(), vb);
         store.insert(b.to_string(), va);
         true
