@@ -1,0 +1,51 @@
+//! Telemetry overhead micro-benchmark: YCSB-A passes through one
+//! 2-controller native-simulator cluster with `/stats` recording toggled
+//! at runtime between the two measured configurations — the same
+//! single-cluster methodology as the Figure 15 sweep, so both sides run
+//! against identical memory layout. Criterion's paired output makes the
+//! per-request cost of the histograms and hot-group counters directly
+//! comparable.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pesos_cluster::{ClusterConfig, ControllerCluster};
+use pesos_core::ControllerConfig;
+use pesos_ycsb::{RunnerOptions, Workload, WorkloadRunner, WorkloadSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut controller_config = ControllerConfig::native_simulator(1);
+    controller_config.syscall_threads = 4;
+    controller_config.telemetry = true;
+    let cluster = Arc::new(
+        ControllerCluster::new(ClusterConfig::with_controller(2, controller_config))
+            .expect("cluster bootstrap"),
+    );
+    let spec = WorkloadSpec {
+        workload: Workload::A,
+        record_count: 100,
+        operation_count: 400,
+        value_size: 1024,
+        seed: 42,
+    };
+    let options = RunnerOptions {
+        clients: 4,
+        ..RunnerOptions::default()
+    };
+    let runner = WorkloadRunner::new(Arc::clone(&cluster), spec);
+    runner.load(&options).expect("load phase");
+
+    let mut group = c.benchmark_group("fig15_telemetry_overhead");
+    group.sample_size(10);
+    for (label, telemetry) in [("off", false), ("on", true)] {
+        group.bench_function(label, |b| {
+            cluster.set_telemetry_enabled(telemetry);
+            b.iter(|| runner.run(&options))
+        });
+    }
+    group.finish();
+    cluster.set_telemetry_enabled(true);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

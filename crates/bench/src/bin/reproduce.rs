@@ -12,7 +12,7 @@ type FigureFn = fn(Scale) -> Vec<DataPoint>;
 
 /// One table drives both argument validation and dispatch, so a figure
 /// cannot be valid-but-unrunnable or runnable-but-rejected.
-const FIGURES: [(&str, FigureFn); 13] = [
+const FIGURES: [(&str, FigureFn); 14] = [
     ("fig3", pesos_bench::fig3_throughput),
     ("fig4", pesos_bench::fig4_latency),
     ("fig5", pesos_bench::fig5_disk_scaling),
@@ -25,6 +25,7 @@ const FIGURES: [(&str, FigureFn); 13] = [
     ("fig11", pesos_bench::fig11_controller_scaling),
     ("fig12", pesos_bench::fig12_rebalance_drain),
     ("fig14", pesos_bench::fig14_failover),
+    ("fig15", pesos_bench::fig15_telemetry_overhead),
     ("contention", pesos_bench::contention),
 ];
 

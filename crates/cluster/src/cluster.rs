@@ -2,7 +2,7 @@
 //! online rebalancing.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -15,6 +15,7 @@ use pesos_core::{
 use pesos_crypto::Certificate;
 use pesos_kinetic::Payload;
 use pesos_policy::PolicyId;
+use pesos_telemetry::{HotKeyTracker, OpHistograms, OpKind, OpTimer, WindowedCounter};
 use pesos_wire::{RestMethod, RestRequest, RestResponse, RestStatus};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -22,6 +23,8 @@ use rand::{Rng, SeedableRng};
 use crate::replication::{LogRecord, Promotion, ReplicaSet};
 use crate::router::{HashRange, PartitionTable};
 use crate::twopc::ClusterTxManager;
+
+pub mod stats;
 
 /// Key of the per-partition replication log HMAC. Log frames never leave
 /// the process (each replica set ships only to its own backups), so one
@@ -144,6 +147,9 @@ struct Migration {
     range: HashRange,
     src: Arc<PesosController>,
     dst: Arc<PesosController>,
+    /// Objects this migration has imported at the destination (drain and
+    /// demand pulls combined) — the `/stats` drain-progress gauge.
+    keys_moved: AtomicU64,
     /// Keys whose object reached the destination but whose source copy
     /// could not be deleted yet (the delete errored). Tracked so a later
     /// pull retries *only* the delete: re-exporting the stale source copy
@@ -222,25 +228,65 @@ pub struct RetryStats {
     pub request_retries: u64,
 }
 
-/// Interior-mutable accumulator behind [`RetryStats`].
+/// Interior-mutable accumulator behind [`RetryStats`]. Windowed so
+/// `/stats/reset` restarts the reported counts without losing the
+/// lifetime totals.
 #[derive(Default)]
 struct RetryCounters {
-    demand_pull_attempts: AtomicU64,
-    demand_pull_retries: AtomicU64,
-    settle_retries: AtomicU64,
-    request_retries: AtomicU64,
+    demand_pull_attempts: WindowedCounter,
+    demand_pull_retries: WindowedCounter,
+    settle_retries: WindowedCounter,
+    request_retries: WindowedCounter,
 }
 
 impl RetryCounters {
     fn snapshot(&self) -> RetryStats {
         RetryStats {
-            demand_pull_attempts: self.demand_pull_attempts.load(Ordering::Relaxed),
-            demand_pull_retries: self.demand_pull_retries.load(Ordering::Relaxed),
-            settle_retries: self.settle_retries.load(Ordering::Relaxed),
-            request_retries: self.request_retries.load(Ordering::Relaxed),
+            demand_pull_attempts: self.demand_pull_attempts.windowed(),
+            demand_pull_retries: self.demand_pull_retries.windowed(),
+            settle_retries: self.settle_retries.windowed(),
+            request_retries: self.request_retries.windowed(),
         }
     }
+
+    fn reset_window(&self) {
+        self.demand_pull_attempts.reset_window();
+        self.demand_pull_retries.reset_window();
+        self.settle_retries.reset_window();
+        self.request_retries.reset_window();
+    }
 }
+
+/// Cluster-level telemetry: end-to-end per-operation latency histograms
+/// (including routing, demand pulls and retries — the controller's own
+/// histograms time only the owner's work), windowed hot-group counters
+/// feeding the weighted split point and `/stats/groups/hot`, and drain
+/// checkpoint gauges. Atomics only: recording on the request path takes
+/// no lock.
+struct ClusterTelemetry {
+    /// Runtime off-switch, seeded from
+    /// [`pesos_core::ControllerConfig::telemetry`] and flipped without a
+    /// restart via [`ControllerCluster::set_telemetry_enabled`]; the
+    /// overhead benchmark's "off" side.
+    enabled: AtomicBool,
+    ops: OpHistograms,
+    hot: HotKeyTracker,
+    /// Placement groups a drain did not have to re-drain because the
+    /// migration's settled-group memo already proved them gone from the
+    /// source (counted at the start of each drain pass).
+    drain_group_skips: WindowedCounter,
+}
+
+impl ClusterTelemetry {
+    fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+}
+
+/// Slots in the hot-group tracker. Per-group accounting, so this bounds
+/// *distinct placement groups* observed per window, not keys; beyond it
+/// new groups land in the overflow tally (`/stats/groups/overflowed`).
+const HOT_GROUP_SLOTS: usize = 4096;
 
 /// One partition's load, as the load-aware rebalancer sees it: resident
 /// objects plus the requests served *since the last topology change*.
@@ -378,6 +424,9 @@ pub struct ControllerCluster {
     /// reproducible).
     retry_rng: Mutex<StdRng>,
     retries: RetryCounters,
+    /// Cluster-level latency histograms, hot-group counters and drain
+    /// gauges — the `/stats` inputs recorded on the request path.
+    telemetry: ClusterTelemetry,
 }
 
 impl ControllerCluster {
@@ -404,6 +453,7 @@ impl ControllerCluster {
             Vec::new()
         };
         let shards = config.controller.lock_shards;
+        let telemetry_on = config.controller.telemetry;
         Ok(ControllerCluster {
             routing: RwLock::with_rank(
                 lock_order::ROUTING_STATE,
@@ -439,6 +489,12 @@ impl ControllerCluster {
                 StdRng::seed_from_u64(config.retry_jitter_seed),
             ),
             retries: RetryCounters::default(),
+            telemetry: ClusterTelemetry {
+                enabled: AtomicBool::new(telemetry_on),
+                ops: OpHistograms::new(),
+                hot: HotKeyTracker::new(HOT_GROUP_SLOTS),
+                drain_group_skips: WindowedCounter::new(),
+            },
         })
     }
 
@@ -590,6 +646,41 @@ impl ControllerCluster {
             .iter()
             .map(|p| (Arc::clone(&p.controller), p.controller.metrics().requests))
             .collect();
+        // New topology, new hot window too: the split point this change
+        // consumed was computed *before* this call, and the next one
+        // should weigh traffic under the new table only — mirroring the
+        // request-counter window above.
+        self.telemetry.hot.reset_window();
+    }
+
+    /// Restarts every windowed telemetry reading — the `/stats/reset`
+    /// hook: cluster and per-controller latency histograms, hot-group
+    /// counters, retry counters, drain-skip tally and the partition load
+    /// window. Lifetime-style gauges (replication lag, resident objects,
+    /// digest compressions, migration progress) are unaffected.
+    pub fn reset_window(&self) {
+        self.telemetry.ops.reset_window();
+        self.telemetry.hot.reset_window();
+        self.telemetry.drain_group_skips.reset_window();
+        self.retries.reset_window();
+        let routing = self.routing.read().clone();
+        for partition in routing.table.partitions() {
+            partition.controller.reset_telemetry_window();
+        }
+        self.reset_request_baseline(&routing.table);
+    }
+
+    /// Switches telemetry recording (latency histograms, hot-group
+    /// counters) on or off cluster-wide at runtime — the cluster flag and
+    /// every current partition controller flip together, without a
+    /// restart or a request-path lock. Counters keep their values across
+    /// an off/on cycle; controllers that join later follow their own
+    /// [`pesos_core::ControllerConfig::telemetry`] seed.
+    pub fn set_telemetry_enabled(&self, on: bool) {
+        self.telemetry.enabled.store(on, Ordering::Relaxed);
+        for partition in self.routing.read().table.partitions() {
+            partition.controller.set_telemetry_enabled(on);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -670,6 +761,22 @@ impl ControllerCluster {
         key.routing_hash(self.delimiter)
     }
 
+    /// Records a keyed operation against its placement group's hot
+    /// counter and starts the end-to-end latency timer — the cluster's
+    /// per-request telemetry, all atomics. The group counter feeds the
+    /// hot-key-weighted split point and `/stats/groups/hot`; the timer
+    /// records into the cluster histogram (routing + pulls + retries
+    /// included) when the returned guard drops.
+    fn observe(&self, kind: OpKind, key: &HashedKey<'_>) -> OpTimer<'_> {
+        if self.telemetry.enabled() {
+            self.telemetry.hot.record(
+                self.routing_hash(key),
+                pesos_core::routing_prefix(key.key(), self.delimiter),
+            );
+        }
+        self.telemetry.ops.timer(kind, self.telemetry.enabled())
+    }
+
     /// Routes `key` to its owning controller under a consistent routing
     /// snapshot, demand-pulling the key (and its placement-group siblings)
     /// out of an in-flight migration's source first if necessary. The
@@ -700,7 +807,7 @@ impl ControllerCluster {
             };
             match result {
                 Err(PesosError::Unavailable(_)) if attempt + 1 < self.retry_attempts => {
-                    self.retries.request_retries.fetch_add(1, Ordering::Relaxed);
+                    self.retries.request_retries.add(1);
                     self.retry_pause(attempt);
                     attempt += 1;
                 }
@@ -773,16 +880,12 @@ impl ControllerCluster {
     fn demand_pull(&self, migration: &Migration, key: &HashedKey<'_>) -> Result<(), PesosError> {
         let mut attempt = 0u32;
         loop {
-            self.retries
-                .demand_pull_attempts
-                .fetch_add(1, Ordering::Relaxed);
+            self.retries.demand_pull_attempts.add(1);
             match Self::pull_key(&self.migration_locks, migration, key) {
                 Ok(()) => return Ok(()),
                 Err(e) if attempt + 1 >= self.retry_attempts => return Err(e),
                 Err(_) => {
-                    self.retries
-                        .demand_pull_retries
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.retries.demand_pull_retries.add(1);
                     self.retry_pause(attempt);
                     attempt += 1;
                 }
@@ -919,6 +1022,7 @@ impl ControllerCluster {
             }
         }
         migration.dst.store().import_object(&export)?;
+        migration.keys_moved.fetch_add(1, Ordering::Relaxed);
         // The destination's backups receive the moved object through the
         // destination's log; the source's drop it through the source's.
         if let Some(set) = &migration.dst_set {
@@ -943,6 +1047,24 @@ impl ControllerCluster {
             });
         }
         Ok(())
+    }
+
+    /// Records `prefix` in the migration's settled-group memo after a
+    /// drain fully pulled the group, unless a delete is still pending for
+    /// one of its members (a concurrent demand pull can park one between
+    /// our last pull and here; the group then settles on a later pass).
+    /// An associated function so the parallel drain's `'static` bodies can
+    /// call it. The two migration-state locks are taken one after the
+    /// other, never nested.
+    fn checkpoint_group(migration: &Migration, delimiter: Option<char>, prefix: &str) {
+        let has_pending = migration
+            .moved_pending_delete
+            .lock()
+            .iter()
+            .any(|k| pesos_core::routing_prefix(k, delimiter) == prefix);
+        if !has_pending {
+            migration.settled_groups.lock().insert(prefix.to_string());
+        }
     }
 
     /// Makes sure `controller` can resolve `policy_id`, copying the policy
@@ -1017,6 +1139,10 @@ impl ControllerCluster {
     /// id).
     // pesos-lint: invariant(acked_logged)
     pub fn put_policy(&self, client_id: &str, source: &str) -> Result<PolicyId, PesosError> {
+        let _timer = self
+            .telemetry
+            .ops
+            .timer(OpKind::PutPolicy, self.telemetry.enabled());
         let _gate = self.ops_gate.read();
         let routing = self.routing.read().clone();
         let mut id = None;
@@ -1058,6 +1184,7 @@ impl ControllerCluster {
         certificates: &[Certificate],
     ) -> Result<u64, PesosError> {
         let key = HashedKey::new(key);
+        let _timer = self.observe(OpKind::Put, &key);
         if !self.replication_on {
             // Replication-free fast path: the value moves straight into
             // the owner, copy-free, exactly as before replication existed.
@@ -1116,6 +1243,9 @@ impl ControllerCluster {
         certificates: &[Certificate],
     ) -> Result<u64, PesosError> {
         let key = HashedKey::new(key);
+        // Times acceptance (the synchronous half of the async put), like
+        // the controller's own put_async histogram.
+        let _timer = self.observe(OpKind::PutAsync, &key);
         if !self.replication_on {
             return self.with_owner_once(&key, |routing, owner| {
                 if let Some(id) = &policy_id {
@@ -1182,6 +1312,7 @@ impl ControllerCluster {
         certificates: &[Certificate],
     ) -> Result<(Arc<Vec<u8>>, u64), PesosError> {
         let key = HashedKey::new(key);
+        let _timer = self.observe(OpKind::Get, &key);
         self.with_owner(&key, |_, owner| owner.get(client_id, &key, certificates))
     }
 
@@ -1194,6 +1325,7 @@ impl ControllerCluster {
         certificates: &[Certificate],
     ) -> Result<Vec<u8>, PesosError> {
         let key = HashedKey::new(key);
+        let _timer = self.observe(OpKind::GetVersion, &key);
         self.with_owner(&key, |_, owner| {
             owner.get_version(client_id, &key, version, certificates)
         })
@@ -1208,6 +1340,7 @@ impl ControllerCluster {
         certificates: &[Certificate],
     ) -> Result<(), PesosError> {
         let key = HashedKey::new(key);
+        let _timer = self.observe(OpKind::Delete, &key);
         self.with_owner(&key, |_, owner| {
             owner.delete(client_id, &key, certificates)?;
             self.append_for(owner, || LogRecord::Delete {
@@ -1227,6 +1360,7 @@ impl ControllerCluster {
         certificates: &[Certificate],
     ) -> Result<(), PesosError> {
         let key = HashedKey::new(key);
+        let _timer = self.observe(OpKind::AttachPolicy, &key);
         self.with_owner(&key, |routing, owner| {
             self.ensure_policy(routing, owner, &policy_id)?;
             owner.attach_policy(client_id, &key, policy_id, certificates)?;
@@ -1301,6 +1435,10 @@ impl ControllerCluster {
     /// no partition writes.
     // pesos-lint: invariant(acked_logged)
     pub fn commit_tx(&self, client_id: &str, tx_id: u64) -> Result<TxOutcome, PesosError> {
+        let _timer = self
+            .telemetry
+            .ops
+            .timer(OpKind::CommitTx, self.telemetry.enabled());
         self.require_client(client_id)?;
         let _gate = self.ops_gate.read();
         let tx = self.tx.take(tx_id, client_id)?;
@@ -1547,12 +1685,17 @@ impl ControllerCluster {
             .expect("a table always has a splittable partition")
     }
 
-    /// The weighted split point for partition `index`: the median routing
-    /// hash of the source's resident keys, so roughly half the *keys* (not
-    /// half the hash space) move to the joiner. Equal routing hashes —
-    /// whole placement groups — always land on one side. Falls back to the
-    /// range midpoint when the partition holds too few keys to weigh (or
-    /// the median degenerates onto the range start).
+    /// The weighted split point for partition `index`: the op-weighted
+    /// median routing hash of the source's resident keys, so roughly half
+    /// the partition's *demand* (not half the hash space) moves to the
+    /// joiner. Each placement group weighs its resident keys plus the
+    /// operations the hot-group counters recorded for it this window — a
+    /// hot minority of groups pulls the split point toward itself, while a
+    /// cold window (or telemetry off) degenerates to the plain resident-key
+    /// median. Equal routing hashes — whole placement groups — always land
+    /// on one side. Falls back to the range midpoint when the partition
+    /// holds too few keys to weigh (or the median degenerates onto the
+    /// range start).
     fn weighted_split_point(
         &self,
         table: &PartitionTable,
@@ -1572,12 +1715,36 @@ impl ControllerCluster {
             return midpoint;
         }
         hashes.sort_unstable();
-        // pesos-lint: allow(panic_freedom, "hashes was checked to hold at least two entries above")
-        let candidate = hashes[hashes.len() / 2];
-        if candidate > range.start {
-            candidate
-        } else {
-            midpoint
+        // Aggregate runs of equal hash into placement groups, weighted by
+        // resident keys plus windowed hot-group operations.
+        let mut groups: Vec<(u64, u64)> = Vec::new();
+        for hash in hashes {
+            match groups.last_mut() {
+                Some((h, w)) if *h == hash => *w += 1,
+                _ => groups.push((hash, 1)),
+            }
+        }
+        if self.telemetry.enabled() {
+            for (hash, weight) in groups.iter_mut() {
+                *weight = weight.saturating_add(self.telemetry.hot.ops_for(*hash));
+            }
+        }
+        // Upper weighted median: the first group past half the total
+        // weight. With unit weights (cold window) this is exactly the old
+        // resident-key median `hashes[len / 2]`.
+        let total: u64 = groups.iter().map(|(_, w)| *w).sum();
+        let mut cumulative = 0u64;
+        let mut candidate = None;
+        for (hash, weight) in &groups {
+            cumulative += *weight;
+            if cumulative.saturating_mul(2) > total {
+                candidate = Some(*hash);
+                break;
+            }
+        }
+        match candidate {
+            Some(c) if c > range.start => c,
+            _ => midpoint,
         }
     }
 
@@ -1671,6 +1838,7 @@ impl ControllerCluster {
                 range: moved,
                 src: Arc::clone(&src),
                 dst: Arc::clone(&controller),
+                keys_moved: AtomicU64::new(0),
                 moved_pending_delete: Mutex::with_rank(
                     lock_order::MIGRATION_STATE,
                     BTreeSet::new(),
@@ -1778,6 +1946,7 @@ impl ControllerCluster {
                 range: moved,
                 src: Arc::clone(&src),
                 dst: Arc::clone(&dst),
+                keys_moved: AtomicU64::new(0),
                 moved_pending_delete: Mutex::with_rank(
                     lock_order::MIGRATION_STATE,
                     BTreeSet::new(),
@@ -1836,7 +2005,7 @@ impl ControllerCluster {
                     Ok(()) => break,
                     Err(e) if attempt + 1 >= self.retry_attempts => return Err(e),
                     Err(_) => {
-                        self.retries.settle_retries.fetch_add(1, Ordering::Relaxed);
+                        self.retries.settle_retries.add(1);
                         self.retry_pause(attempt);
                         attempt += 1;
                     }
@@ -1896,12 +2065,26 @@ impl ControllerCluster {
     /// `pesos-core` pins the drain's per-key digest budget. With
     /// [`ClusterConfig::drain_concurrency`] above 1 the pulls are batched
     /// through the cluster's dedicated scatter-gather asyscall interface,
-    /// so up to that many keys are in flight at once (the slot table is the
-    /// admission control); each in-flight pull still serializes with
-    /// demand pulls of the same key through the striped migration locks,
-    /// so every drain invariant — export under the source's key lock,
-    /// delete only after a successful import, `moved_pending_delete`
-    /// settlement — is exactly the serial path's.
+    /// so up to that many placement groups are in flight at once (the slot
+    /// table is the admission control); each in-flight pull still
+    /// serializes with demand pulls of the same key through the striped
+    /// migration locks, so every drain invariant — export under the
+    /// source's key lock, delete only after a successful import,
+    /// `moved_pending_delete` settlement — is exactly the serial path's.
+    ///
+    /// The drain checkpoints group by group into the migration's
+    /// settled-group memo: a group whose members all pulled cleanly (and
+    /// left no pending delete) is recorded, so a *retried* drain after a
+    /// mid-drain fault re-drives only the groups the fault actually
+    /// interrupted — a settled group's keys are gone from the source, so
+    /// the fresh listing simply no longer produces work for it. The memo
+    /// never overrides the listing: `delete_object` tolerates individual
+    /// replica-delete failures, so a "cleanly pulled" key can still leave
+    /// a drive-resident source copy that read-throughs resurrect, and the
+    /// drive-authoritative listing is the only witness. Every listed key
+    /// is therefore pulled regardless of the memo, and memo entries the
+    /// listing contradicts are evicted. Settled groups the listing
+    /// confirms gone are tallied on `/stats/migrations/drain_group_skips`.
     fn drain_migration(&self, migration: &Arc<Migration>) -> Result<(), PesosError> {
         // One authoritative listing, hashed once per key. The routing hash
         // decides range membership (ranges partition the placement-group
@@ -1950,28 +2133,60 @@ impl ControllerCluster {
             }
         }
 
+        // Bucket the work into placement groups (each key is its own
+        // group without a delimiter).
+        let mut groups: BTreeMap<String, Vec<(String, u64)>> = BTreeMap::new();
+        for (key, hash) in keys {
+            let prefix = pesos_core::routing_prefix(&key, self.delimiter);
+            groups
+                .entry(prefix.to_string())
+                .or_default()
+                .push((key, hash));
+        }
+        // Cross-check the settled-group memo against the listing. A memo
+        // entry whose group still surfaces in the listing is optimistic —
+        // a tolerated replica-delete failure left a drive-resident copy —
+        // so evict it and let the pull below finish the job. The entries
+        // the listing confirms are the drain's checkpoint payoff: groups a
+        // retry does not have to re-drive.
+        {
+            let mut settled = migration.settled_groups.lock();
+            settled.retain(|group| !groups.contains_key(group));
+            self.telemetry.drain_group_skips.add(settled.len() as u64);
+        }
+
         let Some(iface) = self.drain_interface() else {
-            // Serial drain (drain_concurrency = 1): key at a time, in
-            // listing order.
-            for (key, hash) in &keys {
-                let hashed = HashedKey::from_parts(key, *hash);
-                Self::pull_key(&self.migration_locks, migration, &hashed)?;
+            // Serial drain (drain_concurrency = 1): key at a time, group
+            // by group, checkpointing each completed group.
+            for (prefix, members) in &groups {
+                for (key, hash) in members {
+                    let hashed = HashedKey::from_parts(key, *hash);
+                    Self::pull_key(&self.migration_locks, migration, &hashed)?;
+                }
+                Self::checkpoint_group(migration, self.delimiter, prefix);
             }
             return Ok(());
         };
-        // Parallel drain: one pull body per key, fanned out through the
-        // drain interface. Submission itself is bounded by the interface's
-        // slot table, so at most `drain_concurrency` pulls are in flight;
-        // every body runs to completion even after an error (a pull is
-        // idempotent and identical to a demand pull), and the first error
-        // is reported so the migration record stays active for a retry.
+        // Parallel drain: one body per placement group, fanned out through
+        // the drain interface. Submission itself is bounded by the
+        // interface's slot table, so at most `drain_concurrency` groups
+        // are in flight; every body runs to completion even after an error
+        // (a pull is idempotent and identical to a demand pull), and the
+        // first error is reported so the migration record stays active for
+        // a retry — with every *completed* group checkpointed, so the
+        // retry re-drives only the interrupted ones.
+        let delimiter = self.delimiter;
         let mut set = iface
-            .submit_batch(keys.into_iter().map(|(key, hash)| {
+            .submit_batch(groups.into_iter().map(|(prefix, members)| {
                 let migration = Arc::clone(migration);
                 let locks = Arc::clone(&self.migration_locks);
-                move || {
-                    let hashed = HashedKey::from_parts(&key, hash);
-                    Self::pull_key(&locks, &migration, &hashed)
+                move || -> Result<(), PesosError> {
+                    for (key, hash) in &members {
+                        let hashed = HashedKey::from_parts(key, *hash);
+                        Self::pull_key(&locks, &migration, &hashed)?;
+                    }
+                    Self::checkpoint_group(&migration, delimiter, &prefix);
+                    Ok(())
                 }
             }))
             .map_err(|e| PesosError::Backend(e.to_string()))?;
@@ -2336,6 +2551,21 @@ impl ControllerCluster {
                     .map(|v| v.to_string())
                     .collect();
                 Ok(RestResponse::ok(versions.join(",").into_bytes()))
+            }
+            RestMethod::Stats => {
+                self.require_client(client_id)?;
+                let (path, query) = pesos_telemetry::split_query(&rest.key);
+                if path.trim_matches('/') == "reset" {
+                    self.reset_window();
+                    return Ok(RestResponse::ok_empty());
+                }
+                let top = pesos_telemetry::query_param(query, "top")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(stats::DEFAULT_TOP_GROUPS);
+                let flat = pesos_telemetry::query_param(query, "flat").is_some();
+                pesos_telemetry::serve(&self.stats_tree(top), path, flat)
+                    .map(|body| RestResponse::ok(body.into_bytes()))
+                    .ok_or_else(|| PesosError::ObjectNotFound(format!("stats path {path:?}")))
             }
         }
     }

@@ -36,6 +36,11 @@
 //!   ([`ClusterConfig::drain_concurrency`]) under per-key write locks
 //!   while concurrent traffic keeps serving (requests into the moving
 //!   range demand-pull their key's whole placement group).
+//! * [`cluster::stats`] — the `/stats` observability surface: cluster and
+//!   per-partition latency histograms, windowed hot-group counters (which
+//!   also feed the hot-key-weighted split point), replication and
+//!   migration gauges, served as a hierarchical attribute tree over the
+//!   REST dispatch and as the [`TelemetrySnapshot`] API.
 //! * [`replication`] — primary/backup partitions: each primary streams a
 //!   per-partition op log to backup controllers over the vectored frame
 //!   encode with bounded-lag backpressure, and
@@ -47,7 +52,8 @@ pub mod replication;
 pub mod router;
 pub mod twopc;
 
+pub use cluster::stats::{MigrationTelemetry, PartitionTelemetry, TelemetrySnapshot};
 pub use cluster::{ClusterConfig, ControllerCluster, PartitionCostReport, RetryStats};
-pub use replication::{LogRecord, Promotion, ReplicaSet};
+pub use replication::{LogRecord, Promotion, ReplicaSet, ReplicationStats};
 pub use router::{HashRange, Partition, PartitionTable};
 pub use twopc::CLUSTER_TX_BIT;

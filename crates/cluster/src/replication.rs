@@ -339,6 +339,31 @@ struct BackupLink {
     applied: AtomicU64,
 }
 
+/// Point-in-time replication gauges of one replica set, as served under
+/// `/stats/partitions/<i>/replication`: records appended, each backup's
+/// applied count (lag = appended − applied), and how many appends had to
+/// stall on the bounded-lag backpressure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// Records appended to the log so far.
+    pub appended: u64,
+    /// Records applied, per backup (shipper order).
+    pub applied: Vec<u64>,
+    /// Appends that blocked on backpressure at least once.
+    pub stalls: u64,
+}
+
+impl ReplicationStats {
+    /// The slowest backup's lag in records (0 with no backups).
+    pub fn max_lag(&self) -> u64 {
+        self.applied
+            .iter()
+            .map(|&a| self.appended.saturating_sub(a))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 /// The outcome of promoting a backup out of a stopped replica set.
 pub struct Promotion {
     /// The backup now serving the partition, with the full log applied.
@@ -373,6 +398,9 @@ pub struct ReplicaSet {
     stopping: AtomicBool,
     backups: Vec<BackupLink>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Appends that hit the bounded-lag backpressure and waited (however
+    /// briefly) — the `/stats` shipper-stall gauge.
+    stalls: AtomicU64,
 }
 
 impl ReplicaSet {
@@ -405,6 +433,7 @@ impl ReplicaSet {
                 })
                 .collect(),
             workers: Mutex::with_rank(parking_lot::lock_order::REPLICATION_WORKERS, Vec::new()),
+            stalls: AtomicU64::new(0),
         });
         let mut workers = set.workers.lock();
         for index in 0..set.backups.len() {
@@ -424,6 +453,19 @@ impl ReplicaSet {
     /// appended so far).
     pub fn appended(&self) -> u64 {
         self.inner.lock().next_seq
+    }
+
+    /// Point-in-time replication gauges (see [`ReplicationStats`]).
+    pub fn stats(&self) -> ReplicationStats {
+        ReplicationStats {
+            appended: self.appended(),
+            applied: self
+                .backups
+                .iter()
+                .map(|b| b.applied.load(Ordering::Acquire))
+                .collect(),
+            stalls: self.stalls.load(Ordering::Relaxed),
+        }
     }
 
     /// The lowest applied count across backups.
@@ -455,6 +497,9 @@ impl ReplicaSet {
             // not wedge the write path (see APPEND_STALL_CAP).
             self.space.wait_for(&mut state, Duration::from_millis(50));
             stalled += Duration::from_millis(50);
+        }
+        if stalled > Duration::ZERO {
+            self.stalls.fetch_add(1, Ordering::Relaxed);
         }
         let seq = state.next_seq;
         state.next_seq += 1;

@@ -205,3 +205,88 @@ fn faulty_drain_leaves_keys_reachable_or_cleanly_moved() {
         }
     }
 }
+
+/// Drain checkpointing: a drain interrupted by drive faults records every
+/// placement group it completed in the migration's settled-group memo,
+/// and the retry skips those groups instead of re-driving them — visible
+/// as a nonzero `drain_group_skips` telemetry reading. The memo never
+/// overrides the drive-authoritative listing, so the final placement is
+/// still exact: every key ends up on its owner and nowhere else.
+#[test]
+fn interrupted_drain_checkpoints_settled_groups_for_the_retry() {
+    const GROUPS: usize = 16;
+    let cluster = Arc::new(ControllerCluster::new(ClusterConfig::native_simulator(2, 1)).unwrap());
+    cluster.register_client("alice");
+    let keys: Vec<String> = (0..GROUPS)
+        .flat_map(|i| ["a", "b"].map(|m| format!("ckpt{i}.{m}")))
+        .collect();
+    for key in &keys {
+        cluster
+            .put(
+                "alice",
+                key,
+                format!("{key}-payload").into_bytes(),
+                None,
+                None,
+                &[],
+            )
+            .unwrap();
+    }
+
+    // Error-only faults: pulls fail on export/import errors and the drain
+    // retries, re-driving only what the previous attempt left unsettled.
+    for (i, controller) in cluster.controllers().iter().enumerate() {
+        for drive in controller.store().drives().iter() {
+            drive.inject_faults(FaultPlan {
+                seed: 7 + i as u64,
+                error_rate: 0.1,
+                torn_reply_rate: 0.0,
+                latency: None,
+            });
+        }
+    }
+    // The grow fails partway, leaving the migration pending; each faulty
+    // settle attempt is one drain pass that checkpoints whatever groups
+    // it completed before the fault stopped it, so later passes run
+    // against a non-empty memo.
+    let _ = cluster.add_controller();
+    for _ in 0..6 {
+        if cluster.settle_pending_migrations().is_ok() {
+            break;
+        }
+    }
+    for controller in cluster.controllers().iter() {
+        for drive in controller.store().drives().iter() {
+            drive.clear_faults();
+        }
+    }
+    cluster.settle_pending_migrations().unwrap();
+
+    let snapshot = cluster.telemetry_snapshot(4);
+    assert!(
+        snapshot.migrations.is_empty(),
+        "migration should have settled"
+    );
+    assert!(
+        snapshot.drain_group_skips > 0,
+        "retried drain should have skipped checkpointed groups"
+    );
+
+    // Checkpoint skipping saved work, not correctness: exact placement.
+    let controllers = cluster.controllers();
+    for key in &keys {
+        let (value, _) = cluster.get("alice", key, &[]).unwrap();
+        assert_eq!(&*value, format!("{key}-payload").as_bytes());
+        let holders: Vec<usize> = controllers
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.store().get_metadata(key.as_str()).is_some())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(
+            holders,
+            vec![cluster.partition_of(key)],
+            "{key} not exactly on its owner"
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! The `/stats` observability surface, end to end through REST dispatch:
+//! path resolution, flat/tree renderings, monotone counters across
+//! topology churn (add/remove/fail), the hot-key-weighted split point,
+//! and window-reset semantics (`/stats/reset`).
+
+use std::sync::Arc;
+
+use pesos_cluster::{ClusterConfig, ControllerCluster};
+use pesos_core::ClientRequest;
+use pesos_wire::{RestMethod, RestRequest, RestStatus};
+
+const CLIENT: &str = "alice";
+
+fn build(controllers: usize, backups: usize) -> Arc<ControllerCluster> {
+    let mut config = ClusterConfig::native_simulator(controllers, 1);
+    config.backups_per_partition = backups;
+    let cluster = Arc::new(ControllerCluster::new(config).unwrap());
+    cluster.register_client(CLIENT);
+    cluster
+}
+
+/// Serves `/stats/<path>` through the cluster's REST dispatch; `None`
+/// when the path does not resolve.
+fn stats(cluster: &ControllerCluster, path: &str) -> Option<String> {
+    let response = cluster.handle(
+        CLIENT,
+        ClientRequest::new(RestRequest::new(RestMethod::Stats, path)),
+    );
+    if response.status == RestStatus::Ok {
+        Some(String::from_utf8(response.value).unwrap())
+    } else {
+        None
+    }
+}
+
+/// Reads one numeric leaf.
+fn leaf(cluster: &ControllerCluster, path: &str) -> u64 {
+    stats(cluster, path)
+        .unwrap_or_else(|| panic!("stats path {path:?} did not resolve"))
+        .trim()
+        .parse()
+        .unwrap_or_else(|e| panic!("stats path {path:?} is not a numeric leaf: {e}"))
+}
+
+fn put(cluster: &ControllerCluster, key: &str) {
+    cluster
+        .put(
+            CLIENT,
+            key,
+            format!("{key}-v").into_bytes(),
+            None,
+            None,
+            &[],
+        )
+        .unwrap();
+}
+
+/// Every partition index in the current table resolves under
+/// `/stats/partitions/<i>`, the next index does not (no stale entries
+/// survive churn), and the advertised partition count matches.
+fn assert_partitions_consistent(cluster: &ControllerCluster) {
+    let count = cluster.partition_count() as u64;
+    assert_eq!(leaf(cluster, "cluster/partitions"), count);
+    for i in 0..count {
+        leaf(cluster, &format!("partitions/{i}/requests"));
+        leaf(cluster, &format!("partitions/{i}/range/end"));
+    }
+    assert!(
+        stats(cluster, &format!("partitions/{count}")).is_none(),
+        "stale partition id {count} still served"
+    );
+}
+
+#[test]
+fn stats_paths_stay_valid_and_monotone_across_churn() {
+    let cluster = build(2, 1);
+    for i in 0..12 {
+        put(&cluster, &format!("churn{i}.obj"));
+    }
+    for i in 0..12 {
+        cluster.get(CLIENT, &format!("churn{i}.obj"), &[]).unwrap();
+    }
+
+    assert_partitions_consistent(&cluster);
+    assert_eq!(leaf(&cluster, "ops/put/count"), 12);
+    assert_eq!(leaf(&cluster, "ops/get/count"), 12);
+    assert!(leaf(&cluster, "ops/get/p50_us") <= leaf(&cluster, "ops/get/max_us"));
+    assert!(leaf(&cluster, "groups/total_ops") >= 24);
+    let digests_before = leaf(&cluster, "digests/compressions");
+    assert!(digests_before > 0);
+
+    // Replication gauges exist with one backup per partition, and lag is
+    // bounded by what was appended.
+    let appended = leaf(&cluster, "partitions/0/replication/appended");
+    assert!(leaf(&cluster, "partitions/0/replication/lag") <= appended);
+    assert_eq!(leaf(&cluster, "partitions/0/replication/backups"), 1);
+
+    // Grow: the new partition appears, no index is stale, and lifetime
+    // counters never move backwards.
+    cluster.add_controller().unwrap();
+    assert_partitions_consistent(&cluster);
+    assert_eq!(leaf(&cluster, "migrations/active"), 0);
+    assert!(leaf(&cluster, "digests/compressions") >= digests_before);
+
+    // The flat rendering carries full paths; the rendered tree resolves
+    // the same leaves the direct paths do.
+    let flat = stats(&cluster, "?flat").unwrap();
+    assert!(flat.lines().any(|l| l.starts_with("cluster/partitions ")));
+    assert!(flat.lines().any(|l| l.starts_with("ops/get/count ")));
+
+    // Shrink back and fail a partition over to its backup: the tree keeps
+    // matching the live table through both.
+    cluster
+        .remove_controller(cluster.partition_count() - 1)
+        .unwrap();
+    assert_partitions_consistent(&cluster);
+    cluster.fail_controller(0).unwrap();
+    assert_partitions_consistent(&cluster);
+
+    // Counters keep counting after churn (windows survive topology
+    // changes; only an explicit reset clears them).
+    let gets_before = leaf(&cluster, "ops/get/count");
+    cluster.get(CLIENT, "churn0.obj", &[]).unwrap();
+    assert_eq!(leaf(&cluster, "ops/get/count"), gets_before + 1);
+}
+
+#[test]
+fn hot_key_weight_moves_the_split_point() {
+    // 20 single-member groups on one partition; hammer the 4 groups with
+    // the *highest* routing hashes so the op-weighted median lands inside
+    // the hot minority instead of the resident-key midpoint.
+    let keys: Vec<String> = (0..20).map(|i| format!("hot{i}.obj")).collect();
+    let mut by_hash: Vec<&String> = keys.iter().collect();
+    by_hash.sort_by_key(|k| pesos_core::routing_hash(k, Some('.')));
+    let hot: Vec<&String> = by_hash[16..].to_vec();
+
+    let cluster = build(1, 0);
+    for key in &keys {
+        put(&cluster, key);
+    }
+    for key in &hot {
+        for _ in 0..50 {
+            cluster.get(CLIENT, key, &[]).unwrap();
+        }
+    }
+    cluster.add_controller().unwrap();
+
+    let snapshot = cluster.telemetry_snapshot(4);
+    let mut residents: Vec<usize> = snapshot
+        .partitions
+        .iter()
+        .map(|p| p.resident_objects)
+        .collect();
+    residents.sort_unstable();
+    assert_eq!(residents.iter().sum::<usize>(), 20);
+    assert!(
+        residents[0] <= 5,
+        "split ignored the hot minority: residents {residents:?}"
+    );
+    // The hot window was consumed by the split and then reset with the
+    // rest of the request baseline.
+    assert_eq!(snapshot.hot_total_ops, 0);
+
+    // Control: identical keys with uniform traffic split at the resident
+    // median — an even spread, not a hot-side carve-out.
+    let uniform = build(1, 0);
+    for key in &keys {
+        put(&uniform, key);
+    }
+    uniform.add_controller().unwrap();
+    let snapshot = uniform.telemetry_snapshot(4);
+    let mut residents: Vec<usize> = snapshot
+        .partitions
+        .iter()
+        .map(|p| p.resident_objects)
+        .collect();
+    residents.sort_unstable();
+    assert!(
+        residents[0] >= 8,
+        "uniform traffic should split near the median: residents {residents:?}"
+    );
+}
+
+#[test]
+fn stats_reset_clears_windows_but_not_lifetime_counters() {
+    let cluster = build(2, 0);
+    for i in 0..8 {
+        put(&cluster, &format!("reset{i}.obj"));
+        cluster.get(CLIENT, &format!("reset{i}.obj"), &[]).unwrap();
+    }
+    assert_eq!(leaf(&cluster, "ops/put/count"), 8);
+    assert!(leaf(&cluster, "groups/total_ops") >= 16);
+    let digests = leaf(&cluster, "digests/compressions");
+    assert!(digests > 0);
+
+    let response = cluster.handle(
+        CLIENT,
+        ClientRequest::new(RestRequest::new(RestMethod::Stats, "reset")),
+    );
+    assert_eq!(response.status, RestStatus::Ok);
+
+    assert_eq!(leaf(&cluster, "ops/put/count"), 0);
+    assert_eq!(leaf(&cluster, "ops/get/count"), 0);
+    assert_eq!(leaf(&cluster, "groups/total_ops"), 0);
+    assert_eq!(leaf(&cluster, "retries/request_retries"), 0);
+    // Lifetime counters (the digest tally is process-wide and always on)
+    // survive the window reset.
+    assert!(leaf(&cluster, "digests/compressions") >= digests);
+
+    // The window starts counting again immediately.
+    cluster.get(CLIENT, "reset0.obj", &[]).unwrap();
+    assert_eq!(leaf(&cluster, "ops/get/count"), 1);
+
+    // An unauthenticated client cannot read or reset stats.
+    let response = cluster.handle(
+        "mallory",
+        ClientRequest::new(RestRequest::new(RestMethod::Stats, "")),
+    );
+    assert_ne!(response.status, RestStatus::Ok);
+}
+
+#[test]
+fn telemetry_toggle_pauses_and_resumes_recording() {
+    let cluster = build(2, 0);
+    for i in 0..4 {
+        put(&cluster, &format!("tog{i}.obj"));
+    }
+    assert_eq!(
+        stats(&cluster, "cluster/telemetry_enabled").unwrap().trim(),
+        "true"
+    );
+    assert_eq!(leaf(&cluster, "ops/put/count"), 4);
+    let group_ops = leaf(&cluster, "groups/total_ops");
+    assert!(group_ops >= 4);
+
+    // Off: requests keep being served (and the lifetime request counter
+    // keeps moving), but histograms and hot-group counters stand still.
+    cluster.set_telemetry_enabled(false);
+    let requests =
+        leaf(&cluster, "partitions/0/requests") + leaf(&cluster, "partitions/1/requests");
+    for i in 0..4 {
+        cluster.get(CLIENT, &format!("tog{i}.obj"), &[]).unwrap();
+    }
+    assert_eq!(
+        stats(&cluster, "cluster/telemetry_enabled").unwrap().trim(),
+        "false"
+    );
+    assert_eq!(leaf(&cluster, "ops/get/count"), 0);
+    assert_eq!(leaf(&cluster, "groups/total_ops"), group_ops);
+    assert!(
+        leaf(&cluster, "partitions/0/requests") + leaf(&cluster, "partitions/1/requests")
+            > requests
+    );
+
+    // Back on: the same windows resume counting from where they stopped.
+    cluster.set_telemetry_enabled(true);
+    cluster.get(CLIENT, "tog0.obj", &[]).unwrap();
+    assert_eq!(leaf(&cluster, "ops/get/count"), 1);
+    assert!(leaf(&cluster, "groups/total_ops") > group_ops);
+}

@@ -45,6 +45,10 @@ pub struct ControllerConfig {
     /// instead of as one scatter-gather batch. Only useful as the "before"
     /// configuration in benchmarks and equivalence tests.
     pub serial_replication: bool,
+    /// Record per-operation latency histograms and hot-key counters
+    /// (atomics only — no locks on the request path). On by default;
+    /// benchmarks flip it off to measure the recording overhead.
+    pub telemetry: bool,
 }
 
 impl Default for ControllerConfig {
@@ -66,6 +70,7 @@ impl Default for ControllerConfig {
             session_expiry_secs: 600,
             lock_shards: 16,
             serial_replication: false,
+            telemetry: true,
         }
     }
 }
@@ -178,5 +183,6 @@ mod tests {
         let c = ControllerConfig::default();
         assert!(c.lock_shards >= 1);
         assert!(!c.serial_replication);
+        assert!(c.telemetry);
     }
 }

@@ -14,6 +14,7 @@ use std::sync::Arc;
 use pesos_crypto::Certificate;
 use pesos_policy::{Operation, PolicyId, RequestContext, Value};
 use pesos_sgx::UserScheduler;
+use pesos_telemetry::{OpKind, OpTimer, StatsNode};
 use pesos_wire::{RestMethod, RestRequest, RestResponse, RestStatus};
 use rand::RngCore;
 
@@ -92,6 +93,10 @@ pub struct PesosController {
     /// layer can fail over to a backup; direct store access (replication
     /// appliers, recovery tooling) is unaffected.
     failed: AtomicBool,
+    /// Runtime switch for per-operation latency recording. Seeded from
+    /// [`ControllerConfig::telemetry`]; flipped without a restart via
+    /// [`PesosController::set_telemetry_enabled`].
+    telemetry_enabled: AtomicBool,
 }
 
 impl PesosController {
@@ -119,6 +124,7 @@ impl PesosController {
             report: outcome.report,
             tx_outcomes: ShardedTxOutcomes::new(config.lock_shards, config.tx_outcome_capacity),
             failed: AtomicBool::new(false),
+            telemetry_enabled: AtomicBool::new(config.telemetry),
             store,
             config,
         })
@@ -318,6 +324,7 @@ impl PesosController {
 
     /// Installs a policy and returns its identifier.
     pub fn put_policy(&self, client_id: &str, source: &str) -> Result<PolicyId, PesosError> {
+        let _timer = self.op_timer(OpKind::PutPolicy);
         self.require_session(client_id)?;
         ControllerMetrics::bump(&self.metrics.requests);
         self.store.put_policy(source)
@@ -339,6 +346,7 @@ impl PesosController {
         expected_version: Option<u64>,
         certificates: &[Certificate],
     ) -> Result<u64, PesosError> {
+        let _timer = self.op_timer(OpKind::Put);
         self.require_session(client_id)?;
         ControllerMetrics::bump(&self.metrics.requests);
         ControllerMetrics::bump(&self.metrics.writes);
@@ -386,6 +394,8 @@ impl PesosController {
         expected_version: Option<u64>,
         certificates: &[Certificate],
     ) -> Result<u64, PesosError> {
+        // Times acceptance (policy check + enqueue), not the deferred write.
+        let _timer = self.op_timer(OpKind::PutAsync);
         self.require_session(client_id)?;
         ControllerMetrics::bump(&self.metrics.requests);
         ControllerMetrics::bump(&self.metrics.writes);
@@ -440,6 +450,7 @@ impl PesosController {
         key: impl Into<HashedKey<'a>>,
         certificates: &[Certificate],
     ) -> Result<(Arc<Vec<u8>>, u64), PesosError> {
+        let _timer = self.op_timer(OpKind::Get);
         self.require_session(client_id)?;
         ControllerMetrics::bump(&self.metrics.requests);
         ControllerMetrics::bump(&self.metrics.reads);
@@ -466,6 +477,7 @@ impl PesosController {
         version: u64,
         certificates: &[Certificate],
     ) -> Result<Vec<u8>, PesosError> {
+        let _timer = self.op_timer(OpKind::GetVersion);
         self.require_session(client_id)?;
         ControllerMetrics::bump(&self.metrics.requests);
         ControllerMetrics::bump(&self.metrics.reads);
@@ -490,6 +502,7 @@ impl PesosController {
         key: impl Into<HashedKey<'a>>,
         certificates: &[Certificate],
     ) -> Result<(), PesosError> {
+        let _timer = self.op_timer(OpKind::Delete);
         self.require_session(client_id)?;
         ControllerMetrics::bump(&self.metrics.requests);
         ControllerMetrics::bump(&self.metrics.deletes);
@@ -516,6 +529,7 @@ impl PesosController {
         policy_id: PolicyId,
         certificates: &[Certificate],
     ) -> Result<(), PesosError> {
+        let _timer = self.op_timer(OpKind::AttachPolicy);
         self.require_session(client_id)?;
         ControllerMetrics::bump(&self.metrics.requests);
         let key = key.into();
@@ -596,6 +610,7 @@ impl PesosController {
     /// degenerate case of the two-phase protocol the cluster layer runs
     /// across partitions.
     pub fn commit_tx(&self, client_id: &str, tx_id: u64) -> Result<TxOutcome, PesosError> {
+        let _timer = self.op_timer(OpKind::CommitTx);
         let prepared = self.prepare_commit(client_id, tx_id)?;
         self.commit_prepared(prepared)
     }
@@ -790,6 +805,74 @@ impl PesosController {
     }
 
     // ------------------------------------------------------------------
+    // Telemetry
+    // ------------------------------------------------------------------
+
+    /// Starts the latency timer for one typed operation (records into the
+    /// controller's per-op histogram when dropped; a no-op while telemetry
+    /// recording is switched off).
+    fn op_timer(&self, kind: OpKind) -> OpTimer<'_> {
+        self.metrics
+            .ops
+            .timer(kind, self.telemetry_enabled.load(Ordering::Relaxed))
+    }
+
+    /// Whether per-operation latency recording is currently on.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Switches per-operation latency recording on or off at runtime —
+    /// no restart, no lock; in-flight timers finish under the setting
+    /// they started with. Counters keep their values across an off/on
+    /// cycle, so flipping telemetry back on resumes the same windows.
+    pub fn set_telemetry_enabled(&self, on: bool) {
+        self.telemetry_enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// This controller's stats subtree: request counters, per-operation
+    /// latency histograms, and store occupancy/SGX gauges. The cluster
+    /// router mounts one of these per partition under
+    /// `/stats/partitions/<i>`; a standalone controller serves it directly
+    /// via [`RestMethod::Stats`]. See `pesos_telemetry` for the path
+    /// grammar.
+    pub fn stats_tree(&self) -> StatsNode {
+        let m = self.metrics.snapshot();
+        let metrics = StatsNode::dir()
+            .with("requests", StatsNode::leaf(m.requests))
+            .with("reads", StatsNode::leaf(m.reads))
+            .with("writes", StatsNode::leaf(m.writes))
+            .with("deletes", StatsNode::leaf(m.deletes))
+            .with("policy_denials", StatsNode::leaf(m.policy_denials))
+            .with("async_accepted", StatsNode::leaf(m.async_accepted))
+            .with("tx_committed", StatsNode::leaf(m.tx_committed))
+            .with("tx_aborted", StatsNode::leaf(m.tx_aborted));
+        let epc = self.store.epc_stats();
+        let asyscall = self.store.asyscall_stats();
+        let sgx = StatsNode::dir()
+            .with("epc_resident_bytes", StatsNode::leaf(epc.resident_bytes))
+            .with("epc_peak_bytes", StatsNode::leaf(epc.peak_bytes))
+            .with("epc_page_faults", StatsNode::leaf(epc.page_faults))
+            .with("asyscalls_submitted", StatsNode::leaf(asyscall.submitted))
+            .with("asyscall_slot_waits", StatsNode::leaf(asyscall.slot_waits))
+            .with("asyscall_batches", StatsNode::leaf(asyscall.batches));
+        StatsNode::dir()
+            .with(
+                "resident_objects",
+                StatsNode::leaf(self.store.resident_object_count()),
+            )
+            .with("metrics", metrics)
+            .with("latency", pesos_telemetry::ops_node(&self.metrics.ops))
+            .with("sgx", sgx)
+    }
+
+    /// Restarts this controller's telemetry window (latency histograms).
+    /// Lifetime request counters are unaffected.
+    pub fn reset_telemetry_window(&self) {
+        self.metrics.ops.reset_window();
+    }
+
+    // ------------------------------------------------------------------
     // REST dispatch
     // ------------------------------------------------------------------
 
@@ -940,6 +1023,18 @@ impl PesosController {
                     .map(|v| v.to_string())
                     .collect();
                 Ok(RestResponse::ok(versions.join(",").into_bytes()))
+            }
+            RestMethod::Stats => {
+                self.require_session(client_id)?;
+                let (path, query) = pesos_telemetry::split_query(&rest.key);
+                if path.trim_matches('/') == "reset" {
+                    self.reset_telemetry_window();
+                    return Ok(RestResponse::ok_empty());
+                }
+                let flat = pesos_telemetry::query_param(query, "flat").is_some();
+                pesos_telemetry::serve(&self.stats_tree(), path, flat)
+                    .map(|body| RestResponse::ok(body.into_bytes()))
+                    .ok_or_else(|| PesosError::ObjectNotFound(format!("stats path {path:?}")))
             }
         }
     }

@@ -2,6 +2,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use pesos_telemetry::OpHistograms;
+
 /// Atomic counters describing controller activity.
 #[derive(Debug, Default)]
 pub struct ControllerMetrics {
@@ -21,6 +23,8 @@ pub struct ControllerMetrics {
     pub tx_committed: AtomicU64,
     /// Transactions aborted.
     pub tx_aborted: AtomicU64,
+    /// Per-operation latency histograms (µs), windowed.
+    pub ops: OpHistograms,
 }
 
 /// A plain-data snapshot of [`ControllerMetrics`].

@@ -465,24 +465,44 @@ impl PesosStore {
     /// The read-through body of [`PesosStore::get_metadata`]; the caller
     /// must hold `key`'s write lock, which makes the drive read
     /// authoritative (no delete or put can run concurrently for this key).
+    /// Collapses drive faults into `None` — callers that must distinguish
+    /// "no record" from "drives unreachable" (deletes and exports, whose
+    /// callers treat absence as *completion*) use
+    /// [`PesosStore::load_metadata_checked`] instead.
     fn load_metadata_locked(&self, key: &HashedKey<'_>) -> Option<ObjectMetadata> {
+        self.load_metadata_checked(key).ok().flatten()
+    }
+
+    /// Read-through metadata load that keeps drive faults as errors:
+    /// `Ok(None)` means the drives *answered* and no record exists, never
+    /// that they could not be asked. Migration pulls rely on this — a
+    /// delete or export that mistook an unreachable drive for an absent
+    /// record would report a still-resident object as settled. The caller
+    /// must hold `key`'s write lock.
+    fn load_metadata_checked(
+        &self,
+        key: &HashedKey<'_>,
+    ) -> Result<Option<ObjectMetadata>, PesosError> {
         if let Some(m) = self.metadata.get(key) {
-            return Some(m);
+            return Ok(Some(m));
         }
         match self.replicated_get(key, Arc::from(meta_key(key.key()))) {
             Ok(bytes) => {
-                let meta = ObjectMetadata::from_bytes(&bytes).ok()?;
+                let Ok(meta) = ObjectMetadata::from_bytes(&bytes) else {
+                    return Ok(None);
+                };
                 // A record whose embedded key differs from the key it was
                 // stored under is corrupt drive state: caching it would
                 // file it in `key`'s shard under the embedded name, where
                 // no lookup or removal would ever find it again.
                 if meta.key != key.key() {
-                    return None;
+                    return Ok(None);
                 }
                 self.metadata.insert(key, meta.clone());
-                Some(meta)
+                Ok(Some(meta))
             }
-            Err(_) => None,
+            Err(PesosError::ObjectNotFound(_)) => Ok(None),
+            Err(e) => Err(e),
         }
     }
 
@@ -727,7 +747,7 @@ impl PesosStore {
         let write_guard = key_lock.lock();
 
         let meta = self
-            .load_metadata_locked(&key)
+            .load_metadata_checked(&key)?
             .ok_or_else(|| PesosError::ObjectNotFound(key.key().to_string()))?;
         let targets = self.targets_for(&key);
         let mut backend_keys: Vec<Arc<[u8]>> = meta
@@ -905,10 +925,22 @@ impl PesosStore {
         let key_lock = self.key_locks.lock_for(&key);
         let write_guard = key_lock.lock();
 
-        let Some(meta) = self.load_metadata_locked(&key) else {
-            drop(write_guard);
-            self.key_locks.release_if_unused(&key, &key_lock);
-            return Ok(None);
+        let meta = match self.load_metadata_checked(&key) {
+            Ok(Some(meta)) => meta,
+            // The drives answered: there is genuinely nothing to export.
+            // A drive *fault* stays an error — reporting it as "never
+            // existed" would let a migration pull settle a key whose
+            // record simply could not be read.
+            Ok(None) => {
+                drop(write_guard);
+                self.key_locks.release_if_unused(&key, &key_lock);
+                return Ok(None);
+            }
+            Err(e) => {
+                drop(write_guard);
+                self.key_locks.release_if_unused(&key, &key_lock);
+                return Err(e);
+            }
         };
         let mut versions = Vec::with_capacity(meta.versions.len());
         for v in &meta.versions {

@@ -1,7 +1,7 @@
 //! Compression-count budgets for the request hot path.
 //!
-//! The `count-ops` feature of `pesos-crypto` (enabled for test builds only)
-//! counts every SHA-256 compression executed in the process. These tests pin
+//! The always-on `pesos_crypto::sha256::ops` counter tallies every SHA-256
+//! compression executed in the process. These tests pin
 //! the number of compressions the put/get/exchange paths are allowed to
 //! spend, so digest-count regressions — hashing the same payload twice,
 //! recomputing a key hash per structure, redoing an HMAC key schedule per

@@ -40,9 +40,11 @@
 //! caches are pure cost optimizations, not format changes. Security-wise,
 //! a midstate holds exactly the secret-derived state a fresh computation
 //! would reach; cloning it neither widens key exposure in memory beyond the
-//! existing key copies nor changes any tag or ciphertext. The `count-ops`
-//! feature (test builds only) counts SHA-256 compressions process-wide so
-//! regression tests can pin per-operation digest budgets.
+//! existing key copies nor changes any tag or ciphertext. The
+//! [`sha256::ops`] counter tallies SHA-256 compressions process-wide (one
+//! relaxed atomic add per 64-byte block, always on) so regression tests can
+//! pin per-operation digest budgets and the cluster's `/stats/digests`
+//! gauge can report hashing work.
 
 pub mod aead;
 pub mod bigint;

@@ -1564,6 +1564,7 @@ pub const LINTED_CRATES: &[(&str, bool)] = &[
     ("kinetic", true),
     ("policy", true),
     ("sgx", true),
+    ("telemetry", true),
     ("wire", false),
     ("crypto", false),
     ("ycsb", false),

@@ -1,0 +1,49 @@
+//! Property test: merging per-shard histogram snapshots is exactly a
+//! histogram of the union of their samples, regardless of how samples
+//! are partitioned across shards.
+
+use pesos_telemetry::Histogram;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn merge_of_shards_equals_histogram_of_union(
+        // Values stay below 2^44 so the running sum cannot overflow a u64
+        // (the atomic sum wraps on overflow while merge saturates; sums are
+        // only exact while they fit, which any real latency total does).
+        samples in proptest::collection::vec((0u64..(1 << 44), 0usize..4), 0..256),
+        shards in 1usize..4,
+    ) {
+        let per_shard: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+        let union = Histogram::new();
+        for (value, pick) in &samples {
+            if let Some(shard) = per_shard.get(pick % shards) {
+                shard.record(*value);
+            }
+            union.record(*value);
+        }
+        let mut merged = pesos_telemetry::HistogramSnapshot::default();
+        for shard in &per_shard {
+            merged.merge(&shard.snapshot());
+        }
+        prop_assert_eq!(merged, union.snapshot());
+    }
+
+    #[test]
+    fn quantiles_never_under_report(values in proptest::collection::vec(1u64..1_000_000, 1..128)) {
+        let h = Histogram::new();
+        for v in &values {
+            h.record(*v);
+        }
+        let s = h.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        // The reported quantile is a bucket ceiling, so it bounds the true
+        // order statistic from above.
+        let true_max = sorted.last().copied().unwrap_or(0);
+        prop_assert!(s.quantile(1.0) >= true_max);
+        prop_assert!(s.max() >= true_max);
+        let mid = sorted.get(sorted.len() / 2).copied().unwrap_or(0);
+        prop_assert!(s.quantile(0.5).saturating_mul(2) >= mid);
+    }
+}

@@ -49,6 +49,10 @@ pub enum RestMethod {
     CheckResults,
     /// Controller status / health.
     Status,
+    /// Read the hierarchical telemetry tree; the key carries the stats
+    /// path (and optional query), e.g. `partitions/3/replication/lag` or
+    /// `groups/hot?top=16`. On the wire this maps to `GET /stats/<path>`.
+    Stats,
 }
 
 impl RestMethod {
@@ -70,6 +74,7 @@ impl RestMethod {
             RestMethod::AbortTx => "abortTx",
             RestMethod::CheckResults => "checkResults",
             RestMethod::Status => "status",
+            RestMethod::Stats => "stats",
         }
     }
 
@@ -91,6 +96,7 @@ impl RestMethod {
             "abortTx" => Ok(RestMethod::AbortTx),
             "checkResults" => Ok(RestMethod::CheckResults),
             "status" => Ok(RestMethod::Status),
+            "stats" => Ok(RestMethod::Stats),
             other => Err(WireError::InvalidParameter(format!(
                 "unknown method {other:?}"
             ))),
@@ -106,7 +112,9 @@ impl RestMethod {
         )
     }
 
-    /// True for methods that mutate state.
+    /// True for methods that mutate state. `Stats` counts as a read even
+    /// though the `stats/reset` path restarts telemetry windows — windows
+    /// are observability state, not stored data.
     pub fn is_write(self) -> bool {
         !matches!(
             self,
@@ -115,6 +123,7 @@ impl RestMethod {
                 | RestMethod::PollResult
                 | RestMethod::CheckResults
                 | RestMethod::Status
+                | RestMethod::Stats
         )
     }
 }
@@ -199,8 +208,32 @@ impl RestRequest {
         self
     }
 
-    /// Converts into an HTTP request (`POST /objects/<key>?method=...`).
+    /// Converts into an HTTP request (`POST /objects/<key>?method=...`;
+    /// stats reads become `GET /stats/<path>`).
     pub fn to_http(&self) -> HttpRequest {
+        if self.method == RestMethod::Stats {
+            // The key is the stats path plus optional query. Split the
+            // query off so it travels as a real HTTP query string (the
+            // path side percent-encodes `?`, which would glue it to the
+            // last segment).
+            let (path, query) = match self.key.split_once('?') {
+                Some((p, q)) => (p, Some(q)),
+                None => (self.key.as_str(), None),
+            };
+            // Encode per segment: `/` is the tree separator, not key data.
+            let encoded = path
+                .trim_start_matches('/')
+                .split('/')
+                .map(percent_encode)
+                .collect::<Vec<_>>()
+                .join("/");
+            let mut url = format!("/stats/{encoded}");
+            if let Some(q) = query {
+                url.push('?');
+                url.push_str(q);
+            }
+            return HttpRequest::get(url);
+        }
         let mut path = format!(
             "/objects/{}?method={}",
             percent_encode(&self.key),
@@ -229,6 +262,18 @@ impl RestRequest {
                 req.method
             )));
         }
+        if let Some(stats_path) = req.path_only().strip_prefix("/stats") {
+            // `GET /stats/<path>?<query>`: the decoded path plus the raw
+            // query (still meaningful to the stats tree: top=, flat=)
+            // becomes the request key.
+            let mut key = percent_decode(stats_path.trim_start_matches('/'));
+            if let Some((_, query)) = req.path.split_once('?') {
+                key.push('?');
+                key.push_str(query);
+            }
+            return Ok(RestRequest::new(RestMethod::Stats, key));
+        }
+
         let params = req.query_params();
         let method_str = params
             .get("method")
@@ -446,11 +491,38 @@ mod tests {
             RestMethod::AbortTx,
             RestMethod::CheckResults,
             RestMethod::Status,
+            RestMethod::Stats,
         ];
         for m in all {
             assert_eq!(RestMethod::parse(m.as_str()).unwrap(), m);
         }
         assert!(RestMethod::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn stats_request_maps_to_get_stats_path() {
+        let req = RestRequest::new(RestMethod::Stats, "partitions/3/replication/lag");
+        let http = req.to_http();
+        assert_eq!(http.method, "GET");
+        assert_eq!(http.path, "/stats/partitions/3/replication/lag");
+        let parsed =
+            RestRequest::from_http(&HttpRequest::parse(&http.to_bytes()).unwrap()).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn stats_query_survives_the_http_mapping() {
+        let req = RestRequest::new(RestMethod::Stats, "groups/hot?top=16");
+        let http = req.to_http();
+        assert_eq!(http.path, "/stats/groups/hot?top=16");
+        let parsed = RestRequest::from_http(&http).unwrap();
+        assert_eq!(parsed, req);
+        // A hand-typed request with no typed round trip behind it.
+        let direct = HttpRequest::get("/stats");
+        let parsed = RestRequest::from_http(&direct).unwrap();
+        assert_eq!(parsed.method, RestMethod::Stats);
+        assert_eq!(parsed.key, "");
+        assert!(!RestMethod::Stats.is_write());
     }
 
     #[test]
